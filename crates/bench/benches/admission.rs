@@ -1,0 +1,88 @@
+//! B3 — CMFS admission control and network path reservation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nod_cmfs::{FileServer, Guarantee, ServerConfig, StreamRequirement};
+use nod_mmdoc::{ClientId, ServerId, VariantId};
+use nod_netsim::{Network, Topology};
+
+fn requirement(id: u64) -> StreamRequirement {
+    StreamRequirement {
+        variant: VariantId(id),
+        max_bit_rate: 3_000_000,
+        avg_bit_rate: 1_200_000,
+        max_block_bytes: 15_000,
+        avg_block_bytes: 6_000,
+        blocks_per_second: 25,
+        guarantee: Guarantee::Guaranteed,
+    }
+}
+
+fn bench_server_reserve_release(c: &mut Criterion) {
+    let server = FileServer::new(ServerId(0), ServerConfig::era_default());
+    c.bench_function("b3_server_reserve_release_cycle", |b| {
+        b.iter(|| {
+            let id = server
+                .try_reserve(black_box(requirement(1)))
+                .expect("idle server admits");
+            server.release(id);
+        })
+    });
+}
+
+fn bench_admission_to_saturation(c: &mut Criterion) {
+    c.bench_function("b3_admit_to_saturation", |b| {
+        b.iter(|| {
+            let server = FileServer::new(ServerId(0), ServerConfig::era_default());
+            let mut n = 0u64;
+            while server.try_reserve(requirement(n)).is_ok() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_rejection_path(c: &mut Criterion) {
+    // A saturated server: measure the cost of a refusal (the hot path of
+    // step 5 under load).
+    let server = FileServer::new(ServerId(0), ServerConfig::era_default());
+    let mut n = 0;
+    while server.try_reserve(requirement(n)).is_ok() {
+        n += 1;
+    }
+    c.bench_function("b3_admission_rejection", |b| {
+        b.iter(|| black_box(server.try_reserve(requirement(9_999))).is_err())
+    });
+}
+
+fn bench_network_path_reservation(c: &mut Criterion) {
+    let net = Network::new(Topology::dumbbell(8, 4, 25_000_000, 155_000_000));
+    c.bench_function("b3_network_reserve_release_cycle", |b| {
+        b.iter(|| {
+            let id = net
+                .try_reserve(ClientId(3), ServerId(2), black_box(1_200_000))
+                .expect("idle network admits");
+            net.release(id);
+        })
+    });
+}
+
+fn bench_path_metrics(c: &mut Criterion) {
+    let net = Network::new(Topology::dumbbell(8, 4, 25_000_000, 155_000_000));
+    c.bench_function("b3_path_metrics", |b| {
+        b.iter(|| black_box(net.path_metrics(ClientId(1), ServerId(1))).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_server_reserve_release,
+        bench_admission_to_saturation,
+        bench_rejection_path,
+        bench_network_path_reservation,
+        bench_path_metrics
+);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! B1/B2/B5 — classification kernels and scaling.
+//!
+//! * B1: the SNS + OIF scoring kernel for a single offer;
+//! * B2: full classification (score + stable sort) over growing offer sets;
+//! * B5: ablation — sequential vs. thread-fan-out scoring at the sizes
+//!   where the parallel path engages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nod_mmdoc::prelude::*;
+use nod_qosneg::classify::{classify, score_all, score_all_parallel, ClassificationStrategy, ScoredOffer};
+use nod_qosneg::prune::prune_dominated;
+use nod_qosneg::offer::SystemOffer;
+use nod_qosneg::profile::{tv_news_profile, UserProfile};
+use nod_qosneg::Money;
+
+fn offers(n: usize) -> Vec<SystemOffer> {
+    (0..n)
+        .map(|i| {
+            let fps = (i % 25 + 1) as u32;
+            SystemOffer {
+                variants: vec![Variant {
+                    id: VariantId(i as u64),
+                    monomedia: MonomediaId(1),
+                    format: Format::Mpeg1,
+                    qos: MediaQos::Video(VideoQos {
+                        color: ColorDepth::ALL[i % 4],
+                        resolution: Resolution::new(10 + (i as u32 * 37) % 1900),
+                        frame_rate: FrameRate::new(fps),
+                    }),
+                    blocks: BlockStats::new(12_000, 5_000),
+                    blocks_per_second: fps,
+                    file_bytes: 1_000_000,
+                    server: ServerId((i % 4) as u64),
+                }],
+                cost: Money::from_millis(500 + (i as i64 * 137) % 8_000),
+            }
+        })
+        .collect()
+}
+
+fn profile() -> UserProfile {
+    tv_news_profile()
+}
+
+fn bench_scoring_kernel(c: &mut Criterion) {
+    let p = profile();
+    let offer = offers(1).pop().unwrap();
+    c.bench_function("b1_score_single_offer", |b| {
+        b.iter(|| ScoredOffer::score(black_box(offer.clone()), black_box(&p)))
+    });
+}
+
+fn bench_classification_scaling(c: &mut Criterion) {
+    let p = profile();
+    let mut group = c.benchmark_group("b2_classify_scaling");
+    for n in [16usize, 128, 1_024, 8_192] {
+        let set = offers(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| {
+                classify(
+                    black_box(set.clone()),
+                    black_box(&p),
+                    ClassificationStrategy::SnsThenOif,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_ablation(c: &mut Criterion) {
+    let p = profile();
+    let mut group = c.benchmark_group("b5_parallel_vs_sequential_scoring");
+    for n in [2_048usize, 16_384] {
+        let set = offers(n);
+        group.bench_with_input(BenchmarkId::new("parallel", n), &set, |b, set| {
+            b.iter(|| score_all_parallel(black_box(set.clone()), black_box(&p)))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &set, |b, set| {
+            b.iter(|| score_all(black_box(set.clone()), black_box(&p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let p = profile();
+    let set = offers(1_024);
+    let mut group = c.benchmark_group("b2_strategy_comparison");
+    for (label, strategy) in [
+        ("sns_then_oif", ClassificationStrategy::SnsThenOif),
+        ("oif_only", ClassificationStrategy::OifOnly),
+        ("cost_only", ClassificationStrategy::CostOnly),
+        ("qos_only", ClassificationStrategy::QosOnly),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| classify(black_box(set.clone()), black_box(&p), strategy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning_ablation(c: &mut Criterion) {
+    // B7: dominated-offer pruning as a pre-pass — prune cost vs the
+    // classification work it saves.
+    let p = profile();
+    let mut group = c.benchmark_group("b7_pruning_ablation");
+    for n in [256usize, 1_024] {
+        let set = offers(n);
+        group.bench_with_input(BenchmarkId::new("classify_full", n), &set, |b, set| {
+            b.iter(|| {
+                classify(
+                    black_box(set.clone()),
+                    black_box(&p),
+                    ClassificationStrategy::SnsThenOif,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("prune_then_classify", n), &set, |b, set| {
+            b.iter(|| {
+                let (survivors, _) = prune_dominated(black_box(set.clone()));
+                classify(survivors, black_box(&p), ClassificationStrategy::SnsThenOif)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scoring_kernel,
+        bench_classification_scaling,
+        bench_parallel_ablation,
+        bench_strategies,
+        bench_pruning_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! B4 — end-to-end negotiation latency and its scaling with catalog
+//! richness (variants per monomedia drive the offer-enumeration size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nod_client::ClientMachine;
+use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
+use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
+use nod_mmdoc::{ClientId, DocumentId, ServerId};
+use nod_netsim::{Network, Topology};
+use nod_qosneg::baseline::negotiate_static_first_fit;
+use nod_qosneg::negotiate::{negotiate, NegotiationContext};
+use nod_qosneg::profile::tv_news_profile;
+use nod_qosneg::{ClassificationStrategy, CostModel};
+use nod_simcore::StreamRng;
+
+struct World {
+    catalog: Catalog,
+    farm: ServerFarm,
+    network: Network,
+    cost: CostModel,
+}
+
+fn world(video_variants: (usize, usize)) -> World {
+    let mut rng = StreamRng::new(17);
+    let catalog = CorpusBuilder::new(CorpusParams {
+        documents: 4,
+        servers: (0..4).map(ServerId).collect(),
+        video_variants,
+        audio_variants: (2, 4),
+        replicas: (1, 2),
+        ..CorpusParams::default()
+    })
+    .build(&mut rng);
+    World {
+        catalog,
+        farm: ServerFarm::uniform(4, ServerConfig::era_default()),
+        network: Network::new(Topology::dumbbell(4, 4, 25_000_000, 155_000_000)),
+        cost: CostModel::era_default(),
+    }
+}
+
+fn ctx(w: &World) -> NegotiationContext<'_> {
+    NegotiationContext {
+        catalog: &w.catalog,
+        farm: &w.farm,
+        network: &w.network,
+        cost_model: &w.cost,
+        strategy: ClassificationStrategy::SnsThenOif,
+        guarantee: Guarantee::Guaranteed,
+        enumeration_cap: 2_000_000,
+    jitter_buffer_ms: 2_000,
+    prune_dominated: false,
+    }
+}
+
+fn bench_negotiation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_negotiate_by_catalog_richness");
+    for variants in [2usize, 4, 8] {
+        let w = world((variants, variants));
+        let client = ClientMachine::era_workstation(ClientId(0));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variants),
+            &w,
+            |b, w| {
+                let c = ctx(w);
+                b.iter(|| {
+                    let out = negotiate(
+                        &c,
+                        black_box(&client),
+                        DocumentId(1),
+                        black_box(&tv_news_profile()),
+                    )
+                    .unwrap();
+                    if let Some(r) = &out.reservation {
+                        r.release(&w.farm, &w.network);
+                    }
+                    out.trace.offers_enumerated
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_smart_vs_first_fit(c: &mut Criterion) {
+    let w = world((4, 6));
+    let client = ClientMachine::era_workstation(ClientId(0));
+    let mut group = c.benchmark_group("b4_smart_vs_first_fit");
+    group.bench_function("smart", |b| {
+        let c = ctx(&w);
+        b.iter(|| {
+            let out = negotiate(&c, &client, DocumentId(1), &tv_news_profile()).unwrap();
+            if let Some(r) = &out.reservation {
+                r.release(&w.farm, &w.network);
+            }
+        })
+    });
+    group.bench_function("first_fit", |b| {
+        let c = ctx(&w);
+        b.iter(|| {
+            let out =
+                negotiate_static_first_fit(&c, &client, DocumentId(1), &tv_news_profile())
+                    .unwrap();
+            if let Some(r) = &out.reservation {
+                r.release(&w.farm, &w.network);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_negotiation_scaling, bench_smart_vs_first_fit
+);
+criterion_main!(benches);

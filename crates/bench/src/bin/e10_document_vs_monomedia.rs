@@ -1,0 +1,120 @@
+//! E10 — atomic whole-document negotiation vs. independent per-monomedia
+//! negotiation (the paper's §1 differentiator (2) and §8 claim that the
+//! optimization "is performed taking into account all monomedia components
+//! of the document at the same time").
+//!
+//! Across seeded corpora, compares: budget compliance of the delivered
+//! offer, mean cost, mean OIF, and request-satisfaction rate.
+
+use nod_bench::{f3, standard_world, Table};
+use nod_client::ClientMachine;
+use nod_cmfs::Guarantee;
+use nod_mmdoc::{ClientId, DocumentId};
+use nod_qosneg::baseline::negotiate_per_monomedia;
+use nod_qosneg::negotiate::{negotiate, NegotiationContext, NegotiationStatus};
+use nod_qosneg::profile::tv_news_profile;
+use nod_qosneg::{ClassificationStrategy, Money};
+
+struct Tally {
+    runs: u64,
+    delivered: u64,
+    over_budget: u64,
+    satisfied: u64,
+    cost_sum: f64,
+    oif_sum: f64,
+}
+
+impl Tally {
+    fn new() -> Self {
+        Tally {
+            runs: 0,
+            delivered: 0,
+            over_budget: 0,
+            satisfied: 0,
+            cost_sum: 0.0,
+            oif_sum: 0.0,
+        }
+    }
+}
+
+fn main() {
+    println!("E10 — whole-document vs per-monomedia negotiation\n");
+    let mut profile = tv_news_profile();
+    profile.max_cost = Money::from_dollars(5);
+
+    let mut atomic = Tally::new();
+    let mut per_mono = Tally::new();
+
+    for seed in 0..40u64 {
+        let world = standard_world(seed, 6, 3, 4);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let ctx = NegotiationContext {
+            catalog: &world.catalog,
+            farm: &world.farm,
+            network: &world.network,
+            cost_model: &world.cost,
+            strategy: ClassificationStrategy::SnsThenOif,
+            guarantee: Guarantee::Guaranteed,
+            enumeration_cap: 500_000,
+        jitter_buffer_ms: 2_000,
+        prune_dominated: false,
+        };
+
+        for (tally, outcome) in [
+            (&mut atomic, negotiate(&ctx, &client, DocumentId(1), &profile)),
+            (
+                &mut per_mono,
+                negotiate_per_monomedia(&ctx, &client, DocumentId(1), &profile),
+            ),
+        ] {
+            let out = outcome.expect("valid request");
+            tally.runs += 1;
+            if let (Some(idx), Some(_)) = (out.reserved_index, &out.reservation) {
+                tally.delivered += 1;
+                let offer = &out.ordered_offers[idx];
+                tally.cost_sum += offer.offer.cost.dollars();
+                tally.oif_sum += offer.oif;
+                if offer.offer.cost > profile.max_cost {
+                    tally.over_budget += 1;
+                }
+                if out.status == NegotiationStatus::Succeeded {
+                    tally.satisfied += 1;
+                }
+            }
+            if let Some(r) = out.reservation {
+                r.release(&world.farm, &world.network);
+            }
+        }
+    }
+
+    let mut t = Table::new(&[
+        "negotiator", "runs", "delivered", "satisfied request", "over budget",
+        "mean cost", "mean OIF",
+    ]);
+    for (label, tl) in [("atomic (paper)", &atomic), ("per-monomedia", &per_mono)] {
+        t.row(&[
+            label.to_string(),
+            tl.runs.to_string(),
+            tl.delivered.to_string(),
+            format!("{} ({})", tl.satisfied, f3(tl.satisfied as f64 / tl.runs as f64)),
+            format!(
+                "{} ({})",
+                tl.over_budget,
+                f3(tl.over_budget as f64 / tl.delivered.max(1) as f64)
+            ),
+            format!("${:.2}", tl.cost_sum / tl.delivered.max(1) as f64),
+            format!("{:.1}", tl.oif_sum / tl.delivered.max(1) as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "expected shape: atomic negotiation never exceeds the user's budget on a \
+         SUCCEEDED offer and achieves a higher satisfaction rate; the per-monomedia \
+         baseline, blind to the document-level ceiling, overshoots it on a fraction \
+         of runs — the paper's motivation for negotiating the document atomically."
+    );
+    assert_eq!(
+        atomic.runs, per_mono.runs,
+        "both negotiators see the same workload"
+    );
+}

@@ -1,0 +1,97 @@
+//! E11 — Figures 3–7: the QoS GUI windows driving a real negotiation.
+//!
+//! Renders the terminal equivalents of the paper's GUI figures while
+//! walking the §8 workflow end-to-end: main window → OK (negotiate) →
+//! information window with the reserved offer and the `choicePeriod`
+//! countdown → accept → playout; then a failure path showing the profile
+//! component window with its constraint markers.
+
+use nod_bench::standard_world;
+use nod_client::ClientMachine;
+use nod_cmfs::Guarantee;
+use nod_mmdoc::{ClientId, DocumentId};
+use nod_qosneg::negotiate::{negotiate, NegotiationContext};
+use nod_qosneg::profile::tv_news_profile;
+use nod_qosneg::{ClassificationStrategy, ConfirmationTimer, Money};
+use nod_simcore::SimTime;
+use nod_tui::{ProfileManagerApp, UiEvent, UiState};
+
+fn main() {
+    println!("E11 — QoS GUI walkthrough (paper §8, Figures 3-7)\n");
+    let world = standard_world(5, 6, 3, 4);
+    let client = ClientMachine::era_workstation(ClientId(0));
+    let ctx = NegotiationContext {
+        catalog: &world.catalog,
+        farm: &world.farm,
+        network: &world.network,
+        cost_model: &world.cost,
+        strategy: ClassificationStrategy::SnsThenOif,
+        guarantee: Guarantee::Guaranteed,
+        enumeration_cap: 500_000,
+    jitter_buffer_ms: 2_000,
+    prune_dominated: false,
+    };
+
+    let mut economy = tv_news_profile();
+    economy.name = "economy".into();
+    economy.max_cost = Money::from_cents(50);
+    let mut app = ProfileManagerApp::new(vec![tv_news_profile(), economy.clone()]);
+
+    println!("-- Figure 3: main window (user selects a profile, presses OK) --");
+    println!("{}", app.render(None));
+
+    // The user presses OK on the default profile.
+    app.handle(UiEvent::Ok);
+    let out = negotiate(&ctx, &client, DocumentId(1), &tv_news_profile())
+        .expect("valid request");
+    app.handle(UiEvent::NegotiationResult {
+        status: out.status,
+        violated: out
+            .user_offer
+            .as_ref()
+            .map(|o| nod_qosneg::violated_components(&tv_news_profile(), o))
+            .unwrap_or_default(),
+        offer: out.user_offer,
+    });
+
+    println!("-- Figures 6/7: information window (offer held, timer armed) --");
+    let timer = ConfirmationTimer::arm(SimTime::ZERO, tv_news_profile().time.choice_period_ms);
+    let remaining = timer.deadline().since(SimTime::from_secs(5)).as_millis();
+    println!("{}", app.render(Some(remaining)));
+
+    // The user accepts within the choice period.
+    app.handle(UiEvent::Ok);
+    println!("offer accepted — presentation starts; resources stay committed.\n");
+    if let Some(r) = out.reservation {
+        r.release(&world.farm, &world.network);
+    }
+
+    // Failure path: the economy profile cannot be satisfied at $0.50.
+    app.handle(UiEvent::SelectProfile(1));
+    app.handle(UiEvent::Ok);
+    let out = negotiate(&ctx, &client, DocumentId(1), &economy).expect("valid request");
+    app.handle(UiEvent::NegotiationResult {
+        status: out.status,
+        violated: out
+            .user_offer
+            .as_ref()
+            .map(|o| nod_qosneg::violated_components(&economy, o))
+            .unwrap_or_default(),
+        offer: out.user_offer,
+    });
+    if app.state() == UiState::Information {
+        println!("-- information window (degraded offer) --");
+        println!("{}", app.render(Some(30_000)));
+        app.handle(UiEvent::Cancel);
+    }
+    println!("-- Figure 4: profile component window (constraint buttons lit) --");
+    println!("{}", app.render(None));
+
+    app.handle(UiEvent::OpenVideoProfile);
+    println!("-- Figure 5: video profile window (scaling bars, offer marker) --");
+    println!("{}", app.render(None));
+    if let Some(r) = out.reservation {
+        r.release(&world.farm, &world.network);
+    }
+    println!("walkthrough complete: negotiate → offer → confirm/reject → edit → renegotiate.");
+}

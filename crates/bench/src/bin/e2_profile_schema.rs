@@ -1,0 +1,100 @@
+//! E2 — Figure 2: the MM profile schema and its anchor scales.
+//!
+//! Prints the parameter scales of the paper's Figure 2 (frame rate from
+//! frozen 1 fps to HDTV 60 fps, resolution from 10 px/line to HDTV 1920
+//! px/line, color levels, audio qualities), the default importance anchors,
+//! and a complete user profile (desired / worst-acceptable / cost / time /
+//! importance).
+
+use nod_bench::Table;
+use nod_mmdoc::prelude::*;
+use nod_qosneg::profile::tv_news_profile;
+use nod_qosneg::ImportanceProfile;
+
+fn main() {
+    println!("E2 — MM profile schema (paper Figure 2)\n");
+
+    let imp = ImportanceProfile::default();
+
+    let mut t = Table::new(&["parameter", "scale", "anchors (value → default importance)"]);
+    t.row(&[
+        "video frame rate".into(),
+        "1..=60 frames/s".into(),
+        imp.frame_rate
+            .anchors()
+            .iter()
+            .map(|(x, y)| format!("{x:.0} fps → {y:.0}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    t.row(&[
+        "video resolution".into(),
+        "10..=1920 px/line".into(),
+        imp.resolution
+            .anchors()
+            .iter()
+            .map(|(x, y)| format!("{x:.0} px → {y:.0}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    t.row(&[
+        "color".into(),
+        "b&w / grey / color / super-color".into(),
+        ColorDepth::ALL
+            .iter()
+            .map(|c| format!("{c} → {:.0}", imp.color_importance(*c)))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    t.row(&[
+        "audio quality".into(),
+        "telephone / radio / CD".into(),
+        AudioQuality::ALL
+            .iter()
+            .map(|q| format!("{q} → {:.0}", imp.audio_quality_importance(*q)))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    t.row(&[
+        "cost".into(),
+        "$ (max the user will pay)".into(),
+        format!("1 $ → {:.0}", imp.cost_per_dollar),
+    ]);
+    println!("{}", t.render());
+
+    let p = tv_news_profile();
+    println!("A complete user profile (\"{}\"):", p.name);
+    let mut t = Table::new(&["profile", "desired", "worst acceptable"]);
+    t.row(&[
+        "video".into(),
+        p.desired.video.map(|v| v.to_string()).unwrap_or_default(),
+        p.worst.video.map(|v| v.to_string()).unwrap_or_default(),
+    ]);
+    t.row(&[
+        "audio".into(),
+        p.desired.audio.map(|a| a.to_string()).unwrap_or_default(),
+        p.worst.audio.map(|a| a.to_string()).unwrap_or_default(),
+    ]);
+    t.row(&[
+        "text".into(),
+        p.desired
+            .text
+            .map(|x| format!("({})", x.language))
+            .unwrap_or_default(),
+        p.worst
+            .text
+            .map(|x| format!("({})", x.language))
+            .unwrap_or_default(),
+    ]);
+    t.row(&["cost".into(), format!("≤ {}", p.max_cost), "—".into()]);
+    t.row(&[
+        "time".into(),
+        format!("startup ≤ {} s", p.time.max_startup_ms / 1000),
+        format!("choicePeriod {} s", p.time.choice_period_ms / 1000),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "interpolation check: importance(13 fps) = {:.2} (linear between anchors)",
+        p.importance.frame_rate_importance(FrameRate::new(13))
+    );
+}

@@ -1,0 +1,70 @@
+//! E3 — the worked SNS example of §5.2.1.
+//!
+//! Request: desired = worst = (color, TV resolution, 25 frames/s), maximum
+//! cost $4. Expected statuses (verbatim from the paper): offer1 CONSTRAINT,
+//! offer2 CONSTRAINT, offer3 CONSTRAINT, offer4 ACCEPTABLE.
+
+use nod_bench::Table;
+use nod_mmdoc::prelude::*;
+use nod_qosneg::profile::MmQosSpec;
+use nod_qosneg::sns::compute_sns;
+use nod_qosneg::{Money, UserProfile};
+
+fn video(color: ColorDepth, fps: u32) -> MediaQos {
+    MediaQos::Video(VideoQos {
+        color,
+        resolution: Resolution::TV,
+        frame_rate: FrameRate::new(fps),
+    })
+}
+
+fn main() {
+    println!("E3 — static negotiation status, worked example (paper §5.2.1)\n");
+    let spec = MmQosSpec {
+        video: Some(VideoQos {
+            color: ColorDepth::Color,
+            resolution: Resolution::TV,
+            frame_rate: FrameRate::TV,
+        }),
+        ..MmQosSpec::default()
+    };
+    let profile = UserProfile::strict("paper-521", spec, Money::from_dollars(4));
+    println!(
+        "request: (color, TV resolution, 25 frames/s), max cost {}\n",
+        profile.max_cost
+    );
+
+    let offers = [
+        ("offer1", video(ColorDepth::BlackWhite, 25), 2.5, "CONSTRAINT"),
+        ("offer2", video(ColorDepth::Color, 15), 4.0, "CONSTRAINT"),
+        ("offer3", video(ColorDepth::Grey, 25), 3.0, "CONSTRAINT"),
+        ("offer4", video(ColorDepth::Color, 25), 5.0, "ACCEPTABLE"),
+    ];
+
+    let mut t = Table::new(&["offer", "QoS", "cost", "SNS (measured)", "SNS (paper)", "match"]);
+    let mut all_match = true;
+    for (name, qos, dollars, expected) in &offers {
+        let cost = Money::from_dollars_f64(*dollars);
+        let sns = compute_sns(&profile, [qos], cost);
+        let ok = sns.to_string() == *expected;
+        all_match &= ok;
+        t.row(&[
+            name.to_string(),
+            qos.to_string(),
+            cost.to_string(),
+            sns.to_string(),
+            expected.to_string(),
+            if ok { "✓" } else { "✗" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "reproduction: {}",
+        if all_match {
+            "EXACT — all four statuses match the paper"
+        } else {
+            "MISMATCH — see EXPERIMENTS.md"
+        }
+    );
+    assert!(all_match, "E3 must reproduce the paper exactly");
+}

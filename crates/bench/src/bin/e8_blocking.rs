@@ -1,0 +1,99 @@
+//! E8 — blocking probability and user satisfaction vs. offered load:
+//! smart negotiation against the baseline negotiators.
+//!
+//! Quantifies the paper's §1/§8 claim that smart negotiation "increases
+//! the availability of the system and the user satisfaction" relative to
+//! the basic negotiation of existing architectures. Run with `--release`;
+//! pass `--quick` for a reduced sweep.
+
+use nod_bench::{f3, Table};
+use nod_qosneg::ClassificationStrategy;
+use nod_workload::{run_blocking, BlockingConfig, NegotiatorKind};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("E8 — blocking probability & satisfaction vs offered load\n");
+
+    let loads: &[f64] = if quick {
+        &[2.0, 8.0, 20.0]
+    } else {
+        &[1.0, 2.0, 4.0, 8.0, 12.0, 20.0, 32.0]
+    };
+    let seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3] };
+    let negotiators = [
+        NegotiatorKind::Smart(ClassificationStrategy::SnsThenOif),
+        NegotiatorKind::Smart(ClassificationStrategy::CostOnly),
+        NegotiatorKind::Smart(ClassificationStrategy::QosOnly),
+        NegotiatorKind::FirstFit,
+        NegotiatorKind::PerMonomedia,
+    ];
+
+    let mut t = Table::new(&[
+        "arrivals/min", "negotiator", "offered", "carried", "blocked", "P(block)",
+        "satisfaction", "mean cost", "mean OIF",
+    ]);
+    let mut smart_sat = Vec::new();
+    let mut ff_sat = Vec::new();
+    for &load in loads {
+        for negotiator in negotiators {
+            let mut agg = nod_workload::BlockingResult::default();
+            let mut sat = 0.0;
+            let mut cost = 0.0;
+            let mut oif = 0.0;
+            for &seed in seeds {
+                let r = run_blocking(&BlockingConfig {
+                    seed,
+                    arrivals_per_minute: load,
+                    horizon_minutes: if quick { 30.0 } else { 60.0 },
+                    negotiator,
+                    ..BlockingConfig::default()
+                });
+                sat += r.mean_satisfaction;
+                cost += r.mean_cost_dollars;
+                oif += r.mean_oif;
+                agg.offered += r.offered;
+                agg.carried += r.carried;
+                agg.succeeded += r.succeeded;
+                agg.failed_with_offer += r.failed_with_offer;
+                agg.degraded_accepted += r.degraded_accepted;
+                agg.try_later += r.try_later;
+                agg.without_offer += r.without_offer;
+                agg.local_offer += r.local_offer;
+            }
+            let n = seeds.len() as f64;
+            let satisfaction = sat / n;
+            match negotiator {
+                NegotiatorKind::Smart(ClassificationStrategy::SnsThenOif) => {
+                    smart_sat.push(satisfaction)
+                }
+                NegotiatorKind::FirstFit => ff_sat.push(satisfaction),
+                _ => {}
+            }
+            t.row(&[
+                format!("{load:.0}"),
+                negotiator.label().to_string(),
+                agg.offered.to_string(),
+                agg.carried.to_string(),
+                (agg.offered - agg.carried).to_string(),
+                f3(agg.blocking_probability()),
+                f3(satisfaction),
+                format!("${:.2}", cost / n),
+                format!("{:.1}", oif / n),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    let smart_mean: f64 = smart_sat.iter().sum::<f64>() / smart_sat.len() as f64;
+    let ff_mean: f64 = ff_sat.iter().sum::<f64>() / ff_sat.len() as f64;
+    println!(
+        "headline: mean satisfaction smart = {:.3} vs first-fit = {:.3} ({}).",
+        smart_mean,
+        ff_mean,
+        if smart_mean > ff_mean {
+            "smart negotiation wins, as the paper claims"
+        } else {
+            "UNEXPECTED — see EXPERIMENTS.md"
+        }
+    );
+}

@@ -1,0 +1,93 @@
+//! Run a persisted experiment scenario.
+//!
+//! ```text
+//! cargo run --release -p nod-bench --bin run_scenario -- light-load
+//! cargo run --release -p nod-bench --bin run_scenario -- path/to/scenario.json
+//! cargo run --release -p nod-bench --bin run_scenario -- --dump prime-time > pt.json
+//! ```
+//!
+//! Accepts a preset name (`light-load`, `prime-time`, `outage-drill`) or a
+//! JSON file produced by `Scenario::save`; `--dump` prints a preset's JSON
+//! so it can be edited and replayed.
+
+use nod_bench::{f3, Table};
+use nod_workload::scenario::{presets, Scenario};
+use nod_workload::{run_adaptation, run_blocking};
+
+fn resolve(name: &str) -> Result<Scenario, String> {
+    match name {
+        "light-load" => Ok(presets::light_load()),
+        "prime-time" => Ok(presets::prime_time()),
+        "outage-drill" => Ok(presets::outage_drill()),
+        path => Scenario::load(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: not a preset and not loadable as JSON ({e})")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dump, name) = match args.as_slice() {
+        [flag, name] if flag == "--dump" => (true, name.clone()),
+        [name] => (false, name.clone()),
+        _ => {
+            eprintln!("usage: run_scenario [--dump] <preset|file.json>");
+            eprintln!("presets: light-load, prime-time, outage-drill");
+            std::process::exit(2);
+        }
+    };
+    let scenario = match resolve(&name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if dump {
+        println!("{}", scenario.to_json());
+        return;
+    }
+
+    println!("scenario \"{}\" — {}\n", scenario.name, scenario.description);
+
+    if !scenario.blocking.is_empty() {
+        let mut t = Table::new(&[
+            "arrivals/min", "negotiator", "offered", "carried", "P(block)", "satisfaction",
+            "p50 cost", "p95 cost",
+        ]);
+        for cfg in &scenario.blocking {
+            let r = run_blocking(cfg);
+            t.row(&[
+                format!("{:.0}", cfg.arrivals_per_minute),
+                cfg.negotiator.label().to_string(),
+                r.offered.to_string(),
+                r.carried.to_string(),
+                f3(r.blocking_probability()),
+                f3(r.mean_satisfaction),
+                format!("${:.2}", r.p50_cost_dollars),
+                format!("${:.2}", r.p95_cost_dollars),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    if !scenario.adaptation.is_empty() {
+        let mut t = Table::new(&[
+            "adaptation", "health", "started", "completed", "aborted", "continuity",
+            "transitions", "underruns",
+        ]);
+        for cfg in &scenario.adaptation {
+            let r = run_adaptation(cfg);
+            t.row(&[
+                if cfg.adaptation_enabled { "ON" } else { "off" }.to_string(),
+                format!("{:.2}", cfg.congestion_health),
+                r.started.to_string(),
+                r.completed.to_string(),
+                r.aborted.to_string(),
+                f3(r.mean_continuity),
+                r.transitions.to_string(),
+                r.underruns.to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}

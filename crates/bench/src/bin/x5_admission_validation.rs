@@ -1,0 +1,68 @@
+//! X5 (extension) — empirical validation of the CMFS admission control.
+//!
+//! Simulates the round scheduler block-by-block under VBR draws and checks
+//! the admission promise: a farm filled to capacity with *guaranteed*
+//! streams (admitted against peak block sizes) must never overrun a round;
+//! the same farm filled with *best-effort* streams (admitted against
+//! averages) overruns under hot draws — the violation risk the §7 price
+//! discount buys.
+
+use nod_bench::{f3, Table};
+use nod_cmfs::{admit_greedily, simulate_rounds, DiskModel, Guarantee, StreamRequirement};
+use nod_mmdoc::VariantId;
+use nod_simcore::StreamRng;
+
+fn stream(guarantee: Guarantee, avg: u64, burst: u64) -> StreamRequirement {
+    StreamRequirement {
+        variant: VariantId(1),
+        max_bit_rate: avg * burst * 8 * 25,
+        avg_bit_rate: avg * 8 * 25,
+        max_block_bytes: avg * burst,
+        avg_block_bytes: avg,
+        blocks_per_second: 25,
+        guarantee,
+    }
+}
+
+fn main() {
+    println!("X5 — admission-control validation via round simulation\n");
+    let disk = DiskModel::era_default(2);
+    let round_us = 500_000;
+    let util = 0.9;
+
+    let mut t = Table::new(&[
+        "burstiness", "class", "admitted", "mean util", "peak util", "overrun rate",
+    ]);
+    for &burst in &[2u64, 3, 4] {
+        for (label, guarantee) in [
+            ("guaranteed", Guarantee::Guaranteed),
+            ("best-effort", Guarantee::BestEffort),
+        ] {
+            let template = stream(guarantee, 6_000, burst);
+            let streams = admit_greedily(&disk, round_us, util, template, 500);
+            let mut rng = StreamRng::new(42);
+            let report = simulate_rounds(&disk, round_us, util, &streams, 1_000, &mut rng);
+            t.row(&[
+                format!("{burst}:1"),
+                label.to_string(),
+                streams.len().to_string(),
+                f3(report.mean_utilization),
+                f3(report.peak_utilization),
+                f3(report.overrun_rate()),
+            ]);
+            if guarantee == Guarantee::Guaranteed {
+                assert_eq!(
+                    report.overruns, 0,
+                    "guaranteed admission must never overrun"
+                );
+            }
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "shape: guaranteed admission (peak-charged) admits fewer streams and never \
+         overruns, even at 4:1 burstiness; best-effort admission packs ~2-3x the \
+         streams and overruns a growing fraction of rounds as burstiness rises — \
+         the admission control keeps exactly the promise each class pays for."
+    );
+}

@@ -1,0 +1,182 @@
+//! Decoders installed on a client machine.
+
+use nod_mmdoc::{Format, FrameRate, MediaQos, Resolution, Variant};
+
+/// One installed decoder: a format plus the envelope it can sustain.
+///
+/// The limits model real decoder behaviour of the era: a software MPEG-1
+/// decoder on a workstation could sustain SIF at 30 fps but not full HDTV;
+/// the INRS scalable MPEG-2 decoder [Dub 95] decodes a subset of layers,
+/// bounding resolution and rate by available cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decoder {
+    /// The coding format this decoder handles.
+    pub format: Format,
+    /// Largest video resolution it can sustain (ignored for audio/discrete).
+    pub max_resolution: Resolution,
+    /// Highest frame rate it can sustain (ignored for audio/discrete).
+    pub max_frame_rate: FrameRate,
+}
+
+impl Decoder {
+    /// A decoder with no practical envelope limits (discrete media, audio).
+    pub fn unlimited(format: Format) -> Self {
+        Decoder {
+            format,
+            max_resolution: Resolution::HDTV,
+            max_frame_rate: FrameRate::HDTV,
+        }
+    }
+
+    /// A video decoder bounded by resolution and rate.
+    pub fn video(format: Format, max_resolution: Resolution, max_frame_rate: FrameRate) -> Self {
+        Decoder {
+            format,
+            max_resolution,
+            max_frame_rate,
+        }
+    }
+
+    /// Can this decoder play the variant at its stored QoS?
+    pub fn can_decode(&self, variant: &Variant) -> bool {
+        if variant.format != self.format {
+            return false;
+        }
+        match &variant.qos {
+            MediaQos::Video(v) => {
+                v.resolution <= self.max_resolution && v.frame_rate <= self.max_frame_rate
+            }
+            // Audio, text, image, graphic decoders are envelope-free here:
+            // matching the format suffices.
+            _ => true,
+        }
+    }
+}
+
+/// The set of decoders a client machine carries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecoderRegistry {
+    decoders: Vec<Decoder>,
+}
+
+impl DecoderRegistry {
+    /// An empty registry (a diskless terminal).
+    pub fn new() -> Self {
+        DecoderRegistry::default()
+    }
+
+    /// Install a decoder; keeps the most capable envelope per format.
+    pub fn install(&mut self, decoder: Decoder) {
+        if let Some(existing) = self
+            .decoders
+            .iter_mut()
+            .find(|d| d.format == decoder.format)
+        {
+            existing.max_resolution = existing.max_resolution.max(decoder.max_resolution);
+            existing.max_frame_rate = existing.max_frame_rate.max(decoder.max_frame_rate);
+        } else {
+            self.decoders.push(decoder);
+        }
+    }
+
+    /// Builder-style install.
+    pub fn with(mut self, decoder: Decoder) -> Self {
+        self.install(decoder);
+        self
+    }
+
+    /// Is any decoder installed for this format?
+    pub fn supports_format(&self, format: Format) -> bool {
+        self.decoders.iter().any(|d| d.format == format)
+    }
+
+    /// Can any installed decoder play this variant?
+    pub fn can_decode(&self, variant: &Variant) -> bool {
+        self.decoders.iter().any(|d| d.can_decode(variant))
+    }
+
+    /// Installed decoders.
+    pub fn decoders(&self) -> &[Decoder] {
+        &self.decoders
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nod_mmdoc::prelude::*;
+
+    fn mpeg1_variant(px: u32, fps: u32) -> Variant {
+        Variant {
+            id: VariantId(1),
+            monomedia: MonomediaId(1),
+            format: Format::Mpeg1,
+            qos: MediaQos::Video(VideoQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::new(px),
+                frame_rate: FrameRate::new(fps),
+            }),
+            blocks: BlockStats::new(10_000, 5_000),
+            blocks_per_second: fps,
+            file_bytes: 1_000_000,
+            server: ServerId(0),
+        }
+    }
+
+    #[test]
+    fn format_mismatch_rejected() {
+        let d = Decoder::video(Format::Mpeg1, Resolution::TV, FrameRate::TV);
+        let mut v = mpeg1_variant(640, 25);
+        assert!(d.can_decode(&v));
+        v.format = Format::Mjpeg;
+        assert!(!d.can_decode(&v));
+    }
+
+    #[test]
+    fn envelope_limits_enforced() {
+        let d = Decoder::video(Format::Mpeg1, Resolution::TV, FrameRate::TV);
+        assert!(d.can_decode(&mpeg1_variant(640, 25)));
+        assert!(!d.can_decode(&mpeg1_variant(960, 25))); // beyond resolution
+        assert!(!d.can_decode(&mpeg1_variant(640, 30))); // beyond rate
+    }
+
+    #[test]
+    fn registry_unions_decoders() {
+        let reg = DecoderRegistry::new()
+            .with(Decoder::video(Format::Mpeg1, Resolution::TV, FrameRate::TV))
+            .with(Decoder::unlimited(Format::PcmLinear));
+        assert!(reg.supports_format(Format::Mpeg1));
+        assert!(reg.supports_format(Format::PcmLinear));
+        assert!(!reg.supports_format(Format::Mjpeg));
+        assert!(reg.can_decode(&mpeg1_variant(640, 25)));
+        assert!(!reg.can_decode(&mpeg1_variant(1280, 25)));
+    }
+
+    #[test]
+    fn install_keeps_best_envelope() {
+        let mut reg = DecoderRegistry::new();
+        reg.install(Decoder::video(Format::Mpeg1, Resolution::new(352), FrameRate::new(15)));
+        reg.install(Decoder::video(Format::Mpeg1, Resolution::TV, FrameRate::TV));
+        assert_eq!(reg.decoders().len(), 1);
+        assert!(reg.can_decode(&mpeg1_variant(640, 25)));
+    }
+
+    #[test]
+    fn audio_decoder_ignores_video_limits() {
+        let reg = DecoderRegistry::new().with(Decoder::unlimited(Format::MpegAudio));
+        let v = Variant {
+            id: VariantId(2),
+            monomedia: MonomediaId(2),
+            format: Format::MpegAudio,
+            qos: MediaQos::Audio(AudioQos {
+                quality: AudioQuality::Cd,
+                language: Language::English,
+            }),
+            blocks: BlockStats::new(1, 1),
+            blocks_per_second: 44_100,
+            file_bytes: 1_000,
+            server: ServerId(0),
+        };
+        assert!(reg.can_decode(&v));
+    }
+}

@@ -1,0 +1,22 @@
+//! Client machine capability model.
+//!
+//! Two steps of the paper's negotiation procedure live against this model:
+//!
+//! * **Step 1, static local negotiation** — "check whether the client
+//!   machine characteristics, such as the screen size and the screen color,
+//!   support the requested QoS"; a color request on a black&white screen
+//!   yields `FAILEDWITHLOCALOFFER`.
+//! * **Step 2, static compatibility checking** — "check the format
+//!   compatibility of the variants … with the decoder(s) supported by the
+//!   client machine"; an MJPEG variant is infeasible on an MPEG-only
+//!   client.
+//!
+//! The model covers the display (size, color depth), the audio device, and
+//! a decoder registry with per-decoder limits (the INRS scalable MPEG-2
+//! decoder is a decoder whose resolution limit depends on layers decoded).
+
+pub mod decoder;
+pub mod machine;
+
+pub use decoder::{Decoder, DecoderRegistry};
+pub use machine::{AudioDevice, ClientMachine, Display, LocalLimitation};

@@ -1,0 +1,516 @@
+//! The client machine: display, audio device, decoders.
+
+use nod_mmdoc::prelude::*;
+
+use crate::decoder::{Decoder, DecoderRegistry};
+
+/// Display characteristics relevant to step-1 local negotiation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Display {
+    /// Screen width, pixels.
+    pub width_px: u32,
+    /// Screen height, pixels.
+    pub height_px: u32,
+    /// Deepest color the screen can render.
+    pub color: ColorDepth,
+}
+
+/// Audio output hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AudioDevice {
+    /// Best quality the device can reproduce.
+    pub max_quality: AudioQuality,
+}
+
+/// Why the client machine cannot render a requested QoS (the
+/// `FAILEDWITHLOCALOFFER` causes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LocalLimitation {
+    /// Requested color depth exceeds the screen's (e.g. color on b&w).
+    ScreenColor {
+        /// What the screen can do.
+        supported: ColorDepth,
+        /// What was asked.
+        requested: ColorDepth,
+    },
+    /// Requested resolution exceeds the screen width.
+    ScreenSize {
+        /// Screen width in pixels.
+        supported_px: u32,
+        /// Requested pixels per line.
+        requested_px: u32,
+    },
+    /// Requested audio quality exceeds the device (or there is no device).
+    AudioDevice {
+        /// Best reproducible quality, `None` for no audio hardware.
+        supported: Option<AudioQuality>,
+        /// What was asked.
+        requested: AudioQuality,
+    },
+}
+
+impl std::fmt::Display for LocalLimitation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalLimitation::ScreenColor {
+                supported,
+                requested,
+            } => write!(f, "screen renders {supported}, {requested} requested"),
+            LocalLimitation::ScreenSize {
+                supported_px,
+                requested_px,
+            } => write!(
+                f,
+                "screen is {supported_px} px wide, {requested_px} px/line requested"
+            ),
+            LocalLimitation::AudioDevice {
+                supported,
+                requested,
+            } => match supported {
+                Some(q) => write!(f, "audio device tops out at {q}, {requested} requested"),
+                None => write!(f, "no audio device, {requested} requested"),
+            },
+        }
+    }
+}
+
+/// A client machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientMachine {
+    /// Machine id.
+    pub id: ClientId,
+    /// The display.
+    pub display: Display,
+    /// The audio device, if any.
+    pub audio: Option<AudioDevice>,
+    /// Installed decoders.
+    pub decoders: DecoderRegistry,
+    /// Concurrent decode budget, in megapixel-operations per second.
+    /// Decoding the streams of one system offer must fit this budget — the
+    /// era's software decoders were CPU-bound (the INRS scalable decoder
+    /// trades layers for cycles).
+    pub decode_budget: f64,
+}
+
+impl ClientMachine {
+    /// A period-typical color workstation: 1024×768 color display, CD-class
+    /// audio, MPEG-1 + MJPEG + H.261 video and the full audio/still suite.
+    pub fn era_workstation(id: ClientId) -> Self {
+        let decoders = DecoderRegistry::new()
+            .with(Decoder::video(Format::Mpeg1, Resolution::new(1024), FrameRate::new(30)))
+            .with(Decoder::video(Format::Mjpeg, Resolution::new(640), FrameRate::new(25)))
+            .with(Decoder::video(Format::H261, Resolution::new(352), FrameRate::new(30)))
+            .with(Decoder::unlimited(Format::PcmLinear))
+            .with(Decoder::unlimited(Format::PcmMulaw))
+            .with(Decoder::unlimited(Format::Adpcm))
+            .with(Decoder::unlimited(Format::MpegAudio))
+            .with(Decoder::unlimited(Format::Jpeg))
+            .with(Decoder::unlimited(Format::Gif))
+            .with(Decoder::unlimited(Format::PlainText))
+            .with(Decoder::unlimited(Format::Html));
+        ClientMachine {
+            id,
+            display: Display {
+                width_px: 1024,
+                height_px: 768,
+                color: ColorDepth::Color,
+            },
+            audio: Some(AudioDevice {
+                max_quality: AudioQuality::Cd,
+            }),
+            decoders,
+            decode_budget: 14.0,
+        }
+    }
+
+    /// A high-end machine: 1920-wide super-color display, MPEG-2 scalable
+    /// decoder (the INRS component) on top of the workstation suite.
+    pub fn era_highend(id: ClientId) -> Self {
+        let mut m = ClientMachine::era_workstation(id);
+        m.display = Display {
+            width_px: 1920,
+            height_px: 1080,
+            color: ColorDepth::SuperColor,
+        };
+        m.decoders.install(Decoder::video(
+            Format::Mpeg2,
+            Resolution::HDTV,
+            FrameRate::new(30),
+        ));
+        m.decoders.install(Decoder::video(
+            Format::Mpeg1,
+            Resolution::HDTV,
+            FrameRate::new(30),
+        ));
+        m.decode_budget = 64.0;
+        m
+    }
+
+    /// A grayscale budget PC: 640-wide grey display, telephone audio,
+    /// H.261-only video.
+    pub fn era_budget_pc(id: ClientId) -> Self {
+        let decoders = DecoderRegistry::new()
+            .with(Decoder::video(Format::H261, Resolution::new(352), FrameRate::new(15)))
+            .with(Decoder::unlimited(Format::PcmMulaw))
+            .with(Decoder::unlimited(Format::Gif))
+            .with(Decoder::unlimited(Format::PlainText));
+        ClientMachine {
+            id,
+            display: Display {
+                width_px: 640,
+                height_px: 480,
+                color: ColorDepth::Grey,
+            },
+            audio: Some(AudioDevice {
+                max_quality: AudioQuality::Telephone,
+            }),
+            decoders,
+            decode_budget: 3.0,
+        }
+    }
+
+    /// Step-1 check: can the machine *render* this QoS at all? Returns the
+    /// first limitation found.
+    pub fn check_local(&self, qos: &MediaQos) -> Result<(), LocalLimitation> {
+        match qos {
+            MediaQos::Video(v) => {
+                if v.color > self.display.color {
+                    return Err(LocalLimitation::ScreenColor {
+                        supported: self.display.color,
+                        requested: v.color,
+                    });
+                }
+                if v.resolution.pixels_per_line() > self.display.width_px {
+                    return Err(LocalLimitation::ScreenSize {
+                        supported_px: self.display.width_px,
+                        requested_px: v.resolution.pixels_per_line(),
+                    });
+                }
+                Ok(())
+            }
+            MediaQos::Image(i) | MediaQos::Graphic(i) => {
+                if i.color > self.display.color {
+                    return Err(LocalLimitation::ScreenColor {
+                        supported: self.display.color,
+                        requested: i.color,
+                    });
+                }
+                if i.resolution.pixels_per_line() > self.display.width_px {
+                    return Err(LocalLimitation::ScreenSize {
+                        supported_px: self.display.width_px,
+                        requested_px: i.resolution.pixels_per_line(),
+                    });
+                }
+                Ok(())
+            }
+            MediaQos::Audio(a) => {
+                let supported = self.audio.map(|d| d.max_quality);
+                match supported {
+                    Some(q) if a.quality <= q => Ok(()),
+                    _ => Err(LocalLimitation::AudioDevice {
+                        supported,
+                        requested: a.quality,
+                    }),
+                }
+            }
+            MediaQos::Text(_) => Ok(()),
+        }
+    }
+
+    /// Step-2 check: is any installed decoder able to play the variant (and
+    /// the machine able to render it)?
+    pub fn feasible(&self, variant: &Variant) -> bool {
+        self.decoders.can_decode(variant) && self.check_local(&variant.qos).is_ok()
+    }
+
+    /// CPU cost of decoding one variant, in megapixel-ops/s. Video scales
+    /// with raster area × rate × a codec-complexity factor; audio is a
+    /// small fixed charge; discrete media decode once, off the budget.
+    pub fn decode_cost(&self, variant: &Variant) -> f64 {
+        match &variant.qos {
+            MediaQos::Video(v) => {
+                let codec = match variant.format {
+                    Format::Mpeg2 => 1.3,
+                    Format::Mpeg1 => 1.0,
+                    Format::H261 => 0.8,
+                    Format::Mjpeg => 0.6,
+                    _ => 1.0,
+                };
+                v.resolution.pixels_per_line() as f64
+                    * v.resolution.lines() as f64
+                    * v.frame_rate.fps() as f64
+                    / 1e6
+                    * codec
+            }
+            MediaQos::Audio(_) => 0.5,
+            _ => 0.0,
+        }
+    }
+
+    /// Can the machine decode all these streams *at the same time*?
+    /// Per-variant decodability is step 2's job; this is the combination
+    /// check step 5 applies to a whole system offer.
+    pub fn can_decode_concurrently<'a>(
+        &self,
+        variants: impl IntoIterator<Item = &'a Variant>,
+    ) -> bool {
+        let total: f64 = variants.into_iter().map(|v| self.decode_cost(v)).sum();
+        total <= self.decode_budget
+    }
+
+    /// Clamp a requested QoS to what the machine can render — the *local
+    /// offer* returned with `FAILEDWITHLOCALOFFER`.
+    pub fn clamp_to_local(&self, qos: &MediaQos) -> MediaQos {
+        match qos {
+            MediaQos::Video(v) => MediaQos::Video(VideoQos {
+                color: v.color.min(self.display.color),
+                resolution: Resolution::new(
+                    v.resolution
+                        .pixels_per_line()
+                        .min(self.display.width_px.clamp(10, 1920)),
+                ),
+                frame_rate: v.frame_rate,
+            }),
+            MediaQos::Image(i) => MediaQos::Image(ImageQos {
+                color: i.color.min(self.display.color),
+                resolution: Resolution::new(
+                    i.resolution
+                        .pixels_per_line()
+                        .min(self.display.width_px.clamp(10, 1920)),
+                ),
+            }),
+            MediaQos::Graphic(g) => MediaQos::Graphic(ImageQos {
+                color: g.color.min(self.display.color),
+                resolution: Resolution::new(
+                    g.resolution
+                        .pixels_per_line()
+                        .min(self.display.width_px.clamp(10, 1920)),
+                ),
+            }),
+            MediaQos::Audio(a) => MediaQos::Audio(AudioQos {
+                quality: self
+                    .audio
+                    .map(|d| a.quality.min(d.max_quality))
+                    .unwrap_or(AudioQuality::Telephone),
+                language: a.language,
+            }),
+            MediaQos::Text(t) => MediaQos::Text(*t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn color_tv_video() -> MediaQos {
+        MediaQos::Video(VideoQos {
+            color: ColorDepth::Color,
+            resolution: Resolution::TV,
+            frame_rate: FrameRate::TV,
+        })
+    }
+
+    #[test]
+    fn workstation_renders_tv_color() {
+        let m = ClientMachine::era_workstation(ClientId(0));
+        assert!(m.check_local(&color_tv_video()).is_ok());
+    }
+
+    #[test]
+    fn paper_example_color_on_bw_screen() {
+        // Paper §4, FAILEDWITHLOCALOFFER: "the user asks for a color video,
+        // while the client machine screen is black&white".
+        let mut m = ClientMachine::era_budget_pc(ClientId(0));
+        m.display.color = ColorDepth::BlackWhite;
+        match m.check_local(&color_tv_video()).unwrap_err() {
+            LocalLimitation::ScreenColor {
+                supported,
+                requested,
+            } => {
+                assert_eq!(supported, ColorDepth::BlackWhite);
+                assert_eq!(requested, ColorDepth::Color);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn screen_size_limitation() {
+        let m = ClientMachine::era_budget_pc(ClientId(0));
+        let hd = MediaQos::Video(VideoQos {
+            color: ColorDepth::Grey,
+            resolution: Resolution::new(1280),
+            frame_rate: FrameRate::TV,
+        });
+        assert!(matches!(
+            m.check_local(&hd).unwrap_err(),
+            LocalLimitation::ScreenSize { supported_px: 640, requested_px: 1280 }
+        ));
+    }
+
+    #[test]
+    fn audio_limitation() {
+        let m = ClientMachine::era_budget_pc(ClientId(0));
+        let cd = MediaQos::Audio(AudioQos {
+            quality: AudioQuality::Cd,
+            language: Language::English,
+        });
+        assert!(matches!(
+            m.check_local(&cd).unwrap_err(),
+            LocalLimitation::AudioDevice { supported: Some(AudioQuality::Telephone), .. }
+        ));
+        let mut deaf = m.clone();
+        deaf.audio = None;
+        assert!(matches!(
+            deaf.check_local(&cd).unwrap_err(),
+            LocalLimitation::AudioDevice { supported: None, .. }
+        ));
+    }
+
+    #[test]
+    fn text_always_renderable() {
+        let m = ClientMachine::era_budget_pc(ClientId(0));
+        assert!(m
+            .check_local(&MediaQos::Text(TextQos {
+                language: Language::French
+            }))
+            .is_ok());
+    }
+
+    #[test]
+    fn feasible_combines_decode_and_render() {
+        let m = ClientMachine::era_workstation(ClientId(0));
+        let mpeg = Variant {
+            id: VariantId(1),
+            monomedia: MonomediaId(1),
+            format: Format::Mpeg1,
+            qos: color_tv_video(),
+            blocks: BlockStats::new(10_000, 5_000),
+            blocks_per_second: 25,
+            file_bytes: 1_000_000,
+            server: ServerId(0),
+        };
+        assert!(m.feasible(&mpeg));
+        // Paper §4 example: MJPEG file on an MPEG-only client is "simply
+        // not considered as a feasible system offer".
+        let mut mpeg_only = m.clone();
+        mpeg_only.decoders = DecoderRegistry::new().with(Decoder::video(
+            Format::Mpeg1,
+            Resolution::new(1024),
+            FrameRate::new(30),
+        ));
+        let mut mjpeg = mpeg.clone();
+        mjpeg.format = Format::Mjpeg;
+        assert!(!mpeg_only.feasible(&mjpeg));
+        assert!(mpeg_only.feasible(&mpeg));
+    }
+
+    #[test]
+    fn clamp_produces_renderable_offer() {
+        let m = ClientMachine::era_budget_pc(ClientId(0));
+        let clamped = m.clamp_to_local(&color_tv_video());
+        assert!(m.check_local(&clamped).is_ok());
+        match clamped {
+            MediaQos::Video(v) => {
+                assert_eq!(v.color, ColorDepth::Grey);
+                assert_eq!(v.resolution.pixels_per_line(), 640);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Audio clamps to the device.
+        let cd = MediaQos::Audio(AudioQos {
+            quality: AudioQuality::Cd,
+            language: Language::French,
+        });
+        match m.clamp_to_local(&cd) {
+            MediaQos::Audio(a) => {
+                assert_eq!(a.quality, AudioQuality::Telephone);
+                assert_eq!(a.language, Language::French);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_budget_bounds_concurrency() {
+        let ws = ClientMachine::era_workstation(ClientId(0));
+        let mk = |id: u64, px: u32, fps: u32, fmt: Format| Variant {
+            id: VariantId(id),
+            monomedia: MonomediaId(id),
+            format: fmt,
+            qos: MediaQos::Video(VideoQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::new(px),
+                frame_rate: FrameRate::new(fps),
+            }),
+            blocks: BlockStats::new(10_000, 5_000),
+            blocks_per_second: fps,
+            file_bytes: 1_000_000,
+            server: ServerId(0),
+        };
+        let tv = mk(1, 640, 25, Format::Mpeg1);
+        // One TV stream plus audio fits the workstation budget.
+        let audio = Variant {
+            id: VariantId(2),
+            monomedia: MonomediaId(2),
+            format: Format::PcmLinear,
+            qos: MediaQos::Audio(AudioQos {
+                quality: AudioQuality::Cd,
+                language: Language::English,
+            }),
+            blocks: BlockStats::new(4, 4),
+            blocks_per_second: 44_100,
+            file_bytes: 1_000,
+            server: ServerId(0),
+        };
+        assert!(ws.can_decode_concurrently([&tv, &audio]));
+        // Two concurrent TV streams blow the budget (7.7 × 2 > 14).
+        let tv2 = mk(3, 640, 25, Format::Mpeg1);
+        assert!(!ws.can_decode_concurrently([&tv, &tv2]));
+        // The high-end machine handles both.
+        let hi = ClientMachine::era_highend(ClientId(1));
+        assert!(hi.can_decode_concurrently([&tv, &tv2]));
+        // MJPEG is cheaper to decode than MPEG-1 at the same raster.
+        let mjpeg = mk(4, 640, 25, Format::Mjpeg);
+        assert!(ws.decode_cost(&mjpeg) < ws.decode_cost(&tv));
+        // Discrete media are free at playout time.
+        use crate::decoder::Decoder as _d;
+        let _ = _d::unlimited(Format::Jpeg);
+        let img = Variant {
+            id: VariantId(5),
+            monomedia: MonomediaId(5),
+            format: Format::Jpeg,
+            qos: MediaQos::Image(ImageQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::TV,
+            }),
+            blocks: BlockStats::new(1_000, 1_000),
+            blocks_per_second: 0,
+            file_bytes: 1_000,
+            server: ServerId(0),
+        };
+        assert_eq!(ws.decode_cost(&img), 0.0);
+    }
+
+    #[test]
+    fn highend_decodes_mpeg2() {
+        let m = ClientMachine::era_highend(ClientId(0));
+        let v = Variant {
+            id: VariantId(1),
+            monomedia: MonomediaId(1),
+            format: Format::Mpeg2,
+            qos: MediaQos::Video(VideoQos {
+                color: ColorDepth::SuperColor,
+                resolution: Resolution::new(1280),
+                frame_rate: FrameRate::new(30),
+            }),
+            blocks: BlockStats::new(40_000, 20_000),
+            blocks_per_second: 30,
+            file_bytes: 10_000_000,
+            server: ServerId(0),
+        };
+        assert!(m.feasible(&v));
+        assert!(!ClientMachine::era_workstation(ClientId(1)).feasible(&v));
+    }
+}

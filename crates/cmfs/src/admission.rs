@@ -1,0 +1,178 @@
+//! Stream requirements and admission errors.
+
+use nod_mmdoc::{Variant, VariantId};
+use serde::{Deserialize, Serialize};
+
+/// Service-guarantee class (paper §7: "the type of guarantees, e.g.
+/// best-effort or guaranteed service" enters the cost computation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Guarantee {
+    /// Resources sized for the peak (max block length) — never violated by
+    /// admission-controlled load.
+    Guaranteed,
+    /// Resources sized for the average — cheaper, but degradable.
+    BestEffort,
+}
+
+/// What a stream asks of a server: the output of the §6 QoS mapping for one
+/// variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRequirement {
+    /// The variant to be streamed.
+    pub variant: VariantId,
+    /// Peak bit rate (bits/s) — `max block length × block rate`.
+    pub max_bit_rate: u64,
+    /// Mean bit rate (bits/s) — `avg block length × block rate`.
+    pub avg_bit_rate: u64,
+    /// Largest block (bytes), the unit of disk reads.
+    pub max_block_bytes: u64,
+    /// Average block (bytes).
+    pub avg_block_bytes: u64,
+    /// Blocks consumed per second.
+    pub blocks_per_second: u32,
+    /// Guarantee class.
+    pub guarantee: Guarantee,
+}
+
+impl StreamRequirement {
+    /// Derive the requirement for streaming `variant` under a guarantee
+    /// class (discrete media produce a zero-rate requirement: they are
+    /// fetched ahead of time, not streamed).
+    pub fn for_variant(variant: &Variant, guarantee: Guarantee) -> Self {
+        StreamRequirement {
+            variant: variant.id,
+            max_bit_rate: variant.max_bit_rate(),
+            avg_bit_rate: variant.avg_bit_rate(),
+            max_block_bytes: variant.blocks.max_block_bytes,
+            avg_block_bytes: variant.blocks.avg_block_bytes,
+            blocks_per_second: variant.blocks_per_second,
+            guarantee,
+        }
+    }
+
+    /// The block size admission charges for, by guarantee class.
+    pub fn charged_block_bytes(&self) -> u64 {
+        match self.guarantee {
+            Guarantee::Guaranteed => self.max_block_bytes,
+            Guarantee::BestEffort => self.avg_block_bytes,
+        }
+    }
+
+    /// The bit rate admission charges for, by guarantee class.
+    pub fn charged_bit_rate(&self) -> u64 {
+        match self.guarantee {
+            Guarantee::Guaranteed => self.max_bit_rate,
+            Guarantee::BestEffort => self.avg_bit_rate,
+        }
+    }
+
+    /// True for continuous media (requires ongoing rounds).
+    pub fn is_continuous(&self) -> bool {
+        self.blocks_per_second > 0
+    }
+}
+
+/// Why a server refused a reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The disk round schedule cannot absorb the stream.
+    DiskSaturated {
+        /// Current round usage, µs.
+        used_us: u64,
+        /// Additional cost of the stream, µs.
+        requested_us: u64,
+        /// Round capacity, µs.
+        capacity_us: u64,
+    },
+    /// The server's network interface is out of bandwidth.
+    InterfaceSaturated {
+        /// Currently reserved, bits/s.
+        used_bps: u64,
+        /// Requested, bits/s.
+        requested_bps: u64,
+        /// Interface capacity, bits/s.
+        capacity_bps: u64,
+    },
+    /// Too many concurrent streams (descriptor/buffer limit).
+    StreamLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::DiskSaturated {
+                used_us,
+                requested_us,
+                capacity_us,
+            } => write!(
+                f,
+                "disk saturated: {used_us}+{requested_us} > {capacity_us} µs/round"
+            ),
+            AdmissionError::InterfaceSaturated {
+                used_bps,
+                requested_bps,
+                capacity_bps,
+            } => write!(
+                f,
+                "interface saturated: {used_bps}+{requested_bps} > {capacity_bps} b/s"
+            ),
+            AdmissionError::StreamLimit { limit } => {
+                write!(f, "stream limit reached ({limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nod_mmdoc::prelude::*;
+
+    fn variant() -> Variant {
+        Variant {
+            id: VariantId(1),
+            monomedia: MonomediaId(1),
+            format: Format::Mpeg1,
+            qos: MediaQos::Video(VideoQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::TV,
+                frame_rate: FrameRate::TV,
+            }),
+            blocks: BlockStats::new(15_000, 6_000),
+            blocks_per_second: 25,
+            file_bytes: 6_000 * 25 * 60,
+            server: ServerId(0),
+        }
+    }
+
+    #[test]
+    fn requirement_from_variant() {
+        let v = variant();
+        let r = StreamRequirement::for_variant(&v, Guarantee::Guaranteed);
+        assert_eq!(r.max_bit_rate, 15_000 * 8 * 25);
+        assert_eq!(r.avg_bit_rate, 6_000 * 8 * 25);
+        assert!(r.is_continuous());
+    }
+
+    #[test]
+    fn guarantee_class_selects_charging_basis() {
+        let v = variant();
+        let g = StreamRequirement::for_variant(&v, Guarantee::Guaranteed);
+        let b = StreamRequirement::for_variant(&v, Guarantee::BestEffort);
+        assert_eq!(g.charged_block_bytes(), 15_000);
+        assert_eq!(b.charged_block_bytes(), 6_000);
+        assert_eq!(g.charged_bit_rate(), g.max_bit_rate);
+        assert_eq!(b.charged_bit_rate(), b.avg_bit_rate);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = AdmissionError::StreamLimit { limit: 32 };
+        assert!(e.to_string().contains("32"));
+    }
+}

@@ -1,0 +1,148 @@
+//! First-order disk service model.
+//!
+//! The UBC CMFS schedules block reads in rounds; what admission control
+//! needs from the disk is "how much service time does stream S consume per
+//! round". We model a block read as average seek + half-rotation + transfer,
+//! the standard first-order model. Defaults are calibrated to a mid-1990s
+//! server drive (Seagate Barracuda class: ~8 ms seek, 7200 rpm, ~8 MB/s
+//! media rate), matching the hardware regime of the paper's prototype.
+
+/// Disk service-time parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Average seek time, microseconds.
+    pub avg_seek_us: u64,
+    /// Full rotation period, microseconds (half is charged per read).
+    pub rotation_us: u64,
+    /// Sustained media transfer rate, bytes per second.
+    pub transfer_bytes_per_sec: u64,
+    /// Number of independent disks (striped; service capacity scales).
+    pub disks: u32,
+}
+
+impl DiskModel {
+    /// A mid-1990s server disk array with `disks` spindles.
+    pub fn era_default(disks: u32) -> Self {
+        assert!(disks > 0, "a server needs at least one disk");
+        DiskModel {
+            avg_seek_us: 8_000,
+            rotation_us: 8_333, // 7200 rpm
+            transfer_bytes_per_sec: 8_000_000,
+            disks,
+        }
+    }
+
+    /// Service time (µs) to read one block of `bytes` from one disk.
+    pub fn block_service_us(&self, bytes: u64) -> u64 {
+        let positioning = self.avg_seek_us + self.rotation_us / 2;
+        let transfer = bytes.saturating_mul(1_000_000) / self.transfer_bytes_per_sec.max(1);
+        positioning + transfer
+    }
+
+    /// Total service capacity (µs of disk time) available per round of
+    /// length `round_us`, across all spindles.
+    pub fn round_capacity_us(&self, round_us: u64) -> u64 {
+        round_us * self.disks as u64
+    }
+
+    /// Service time (µs per round) a stream consumes, reading
+    /// `blocks_per_round` blocks of `block_bytes` each.
+    ///
+    /// Round-based schedulers (SCAN order within the round) store a
+    /// stream's blocks contiguously and fetch the whole round's worth in
+    /// one sweep: **one** positioning charge per stream per round plus the
+    /// contiguous transfer. Partial blocks round up — the scheduler cannot
+    /// read half a frame.
+    pub fn stream_round_cost_us(&self, block_bytes: u64, blocks_per_round: f64) -> u64 {
+        assert!(
+            blocks_per_round.is_finite() && blocks_per_round >= 0.0,
+            "invalid blocks_per_round"
+        );
+        let whole_blocks = blocks_per_round.ceil() as u64;
+        if whole_blocks == 0 {
+            return 0;
+        }
+        let positioning = self.avg_seek_us + self.rotation_us / 2;
+        let bytes = whole_blocks.saturating_mul(block_bytes);
+        let transfer = bytes.saturating_mul(1_000_000) / self.transfer_bytes_per_sec.max(1);
+        positioning + transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn era_default_is_sane() {
+        let d = DiskModel::era_default(1);
+        // One 8 KB block: 8ms seek + ~4.2ms rotation + ~1ms transfer.
+        let t = d.block_service_us(8_192);
+        assert!((12_000..15_000).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn transfer_dominates_large_blocks() {
+        let d = DiskModel::era_default(1);
+        let small = d.block_service_us(1_000);
+        let large = d.block_service_us(1_000_000);
+        // 1 MB at 8 MB/s = 125 ms transfer; positioning is noise.
+        assert!(large > small);
+        assert!((large - small) as f64 / 1e6 > 0.12);
+    }
+
+    #[test]
+    fn round_capacity_scales_with_disks() {
+        let one = DiskModel::era_default(1);
+        let four = DiskModel::era_default(4);
+        assert_eq!(
+            four.round_capacity_us(500_000),
+            4 * one.round_capacity_us(500_000)
+        );
+    }
+
+    #[test]
+    fn stream_round_cost_rounds_blocks_up() {
+        let d = DiskModel::era_default(1);
+        let positioning = d.avg_seek_us + d.rotation_us / 2;
+        let transfer_per_block = 4_000 * 1_000_000 / d.transfer_bytes_per_sec;
+        assert_eq!(
+            d.stream_round_cost_us(4_000, 12.0),
+            positioning + 12 * transfer_per_block
+        );
+        assert_eq!(
+            d.stream_round_cost_us(4_000, 12.1),
+            positioning + 13 * transfer_per_block
+        );
+        assert_eq!(d.stream_round_cost_us(4_000, 0.0), 0);
+    }
+
+    #[test]
+    fn one_positioning_charge_per_round() {
+        // Doubling the blocks per round must NOT double the positioning
+        // overhead — only the transfer scales.
+        let d = DiskModel::era_default(1);
+        let one = d.stream_round_cost_us(8_000, 10.0);
+        let two = d.stream_round_cost_us(8_000, 20.0);
+        let positioning = d.avg_seek_us + d.rotation_us / 2;
+        assert_eq!(two - one, 10 * (8_000 * 1_000_000 / d.transfer_bytes_per_sec));
+        assert!(two < 2 * one, "positioning {positioning} µs charged twice");
+    }
+
+    #[test]
+    fn capacity_supports_a_realistic_stream_count() {
+        // ~1.2 Mb/s MPEG-1 streams (6 KB frames at 25 fps), 500 ms rounds:
+        // a single era disk should admit on the order of 10-35 streams.
+        let d = DiskModel::era_default(1);
+        let round_us = 500_000;
+        let cost = d.stream_round_cost_us(6_000, 12.5);
+        let fit = d.round_capacity_us(round_us) / cost;
+        assert!((8..40).contains(&fit), "fit={fit}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_disks_rejected() {
+        DiskModel::era_default(0);
+    }
+}

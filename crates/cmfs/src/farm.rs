@@ -1,0 +1,195 @@
+//! A farm of file servers, the negotiation's server-side resource pool.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use nod_mmdoc::ServerId;
+
+use crate::admission::{AdmissionError, StreamRequirement};
+use crate::server::{FileServer, ReservationId, ServerConfig};
+
+/// The set of server machines known to the QoS manager.
+///
+/// Shared (`Arc`) across negotiation sessions; individual servers guard
+/// their own reservation tables.
+#[derive(Debug, Clone, Default)]
+pub struct ServerFarm {
+    servers: BTreeMap<ServerId, Arc<FileServer>>,
+}
+
+impl ServerFarm {
+    /// An empty farm.
+    pub fn new() -> Self {
+        ServerFarm::default()
+    }
+
+    /// A farm of `n` identically configured servers with ids `0..n`.
+    pub fn uniform(n: usize, config: ServerConfig) -> Self {
+        let mut farm = ServerFarm::new();
+        for i in 0..n {
+            farm.add(FileServer::new(ServerId(i as u64), config.clone()));
+        }
+        farm
+    }
+
+    /// Add a server.
+    ///
+    /// # Panics
+    /// Panics on a duplicate server id.
+    pub fn add(&mut self, server: FileServer) {
+        let id = server.id();
+        let prev = self.servers.insert(id, Arc::new(server));
+        assert!(prev.is_none(), "duplicate server {id}");
+    }
+
+    /// Look up a server.
+    pub fn server(&self, id: ServerId) -> Option<&Arc<FileServer>> {
+        self.servers.get(&id)
+    }
+
+    /// All server ids, ascending.
+    pub fn ids(&self) -> Vec<ServerId> {
+        self.servers.keys().copied().collect()
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the farm has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Reserve on a specific server.
+    pub fn try_reserve(
+        &self,
+        id: ServerId,
+        req: StreamRequirement,
+    ) -> Result<ReservationId, FarmError> {
+        let server = self.servers.get(&id).ok_or(FarmError::NoSuchServer(id))?;
+        server.try_reserve(req).map_err(FarmError::Admission)
+    }
+
+    /// Release a reservation on a specific server (idempotent).
+    pub fn release(&self, id: ServerId, reservation: ReservationId) {
+        if let Some(server) = self.servers.get(&id) {
+            server.release(reservation);
+        }
+    }
+
+    /// Servers currently reporting violated reservations, with the victims.
+    pub fn violations(&self) -> Vec<(ServerId, Vec<ReservationId>)> {
+        self.servers
+            .iter()
+            .filter_map(|(&id, s)| {
+                let v = s.violated_reservations();
+                (!v.is_empty()).then_some((id, v))
+            })
+            .collect()
+    }
+
+    /// Mean disk utilization across the farm.
+    pub fn mean_disk_utilization(&self) -> f64 {
+        if self.servers.is_empty() {
+            return 0.0;
+        }
+        self.servers.values().map(|s| s.disk_utilization()).sum::<f64>()
+            / self.servers.len() as f64
+    }
+}
+
+/// Farm-level reservation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FarmError {
+    /// The requested server is not in the farm.
+    NoSuchServer(ServerId),
+    /// The server refused admission.
+    Admission(AdmissionError),
+}
+
+impl std::fmt::Display for FarmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FarmError::NoSuchServer(id) => write!(f, "no such server {id}"),
+            FarmError::Admission(e) => write!(f, "admission refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::Guarantee;
+    use nod_mmdoc::VariantId;
+
+    fn req(id: u64) -> StreamRequirement {
+        StreamRequirement {
+            variant: VariantId(id),
+            max_bit_rate: 3_000_000,
+            avg_bit_rate: 1_200_000,
+            max_block_bytes: 15_000,
+            avg_block_bytes: 6_000,
+            blocks_per_second: 25,
+            guarantee: Guarantee::Guaranteed,
+        }
+    }
+
+    #[test]
+    fn uniform_farm() {
+        let farm = ServerFarm::uniform(3, ServerConfig::era_default());
+        assert_eq!(farm.len(), 3);
+        assert_eq!(
+            farm.ids(),
+            vec![ServerId(0), ServerId(1), ServerId(2)]
+        );
+        assert!(farm.server(ServerId(2)).is_some());
+        assert!(farm.server(ServerId(9)).is_none());
+    }
+
+    #[test]
+    fn reserve_and_release_via_farm() {
+        let farm = ServerFarm::uniform(2, ServerConfig::era_default());
+        let r = farm.try_reserve(ServerId(0), req(1)).unwrap();
+        assert_eq!(farm.server(ServerId(0)).unwrap().active_streams(), 1);
+        assert_eq!(farm.server(ServerId(1)).unwrap().active_streams(), 0);
+        farm.release(ServerId(0), r);
+        assert_eq!(farm.server(ServerId(0)).unwrap().active_streams(), 0);
+        // Releasing on an unknown server is a no-op.
+        farm.release(ServerId(7), r);
+    }
+
+    #[test]
+    fn unknown_server_error() {
+        let farm = ServerFarm::uniform(1, ServerConfig::era_default());
+        assert_eq!(
+            farm.try_reserve(ServerId(5), req(1)).unwrap_err(),
+            FarmError::NoSuchServer(ServerId(5))
+        );
+    }
+
+    #[test]
+    fn violations_surface_per_server() {
+        let farm = ServerFarm::uniform(2, ServerConfig::era_default());
+        for i in 0..10 {
+            farm.try_reserve(ServerId(0), req(i)).unwrap();
+        }
+        assert!(farm.violations().is_empty());
+        farm.server(ServerId(0)).unwrap().set_health(0.2);
+        let v = farm.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, ServerId(0));
+        assert!(!v[0].1.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate server")]
+    fn duplicate_server_rejected() {
+        let mut farm = ServerFarm::new();
+        farm.add(FileServer::new(ServerId(1), ServerConfig::era_default()));
+        farm.add(FileServer::new(ServerId(1), ServerConfig::era_default()));
+    }
+}

@@ -1,0 +1,32 @@
+//! Continuous-media file server (CMFS) simulator.
+//!
+//! Stands in for the University of British Columbia variable-bit-rate
+//! continuous media file server [Neu 96] used by the CITR news-on-demand
+//! prototype. The QoS negotiation procedure only interacts with the CMFS
+//! through its **admission-control / reservation** interface — "ask the
+//! media file servers to reserve resources to support the QoS associated
+//! with the system offer" (paper §4, step 5) — so the simulator exposes
+//! exactly that surface:
+//!
+//! * a calibrated disk model (seek + rotation + transfer) served in fixed
+//!   **rounds**, the classic continuous-media scheduling discipline;
+//! * per-round admission control over the currently reserved streams, with
+//!   guaranteed streams admitted against their *peak* block size and
+//!   best-effort streams against their *average*;
+//! * a network-interface capacity check;
+//! * two-phase reserve/commit/release so the negotiation's step 5 can roll
+//!   back a partially reserved system offer;
+//! * a degradation hook that models server congestion for the adaptation
+//!   experiments (paper §4, last paragraph).
+
+pub mod admission;
+pub mod disk;
+pub mod farm;
+pub mod rounds;
+pub mod server;
+
+pub use admission::{AdmissionError, Guarantee, StreamRequirement};
+pub use disk::DiskModel;
+pub use farm::ServerFarm;
+pub use rounds::{admit_greedily, simulate_rounds, RoundReport, SimStream};
+pub use server::{FileServer, ReservationId, ServerConfig};

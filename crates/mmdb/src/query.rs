@@ -1,0 +1,210 @@
+//! Catalog queries — the metadata-lookup surface of the [Vit 95] DBMS.
+//!
+//! The QoS manager's steps 2–3 need targeted variant lookups ("all MPEG-1
+//! video variants of this monomedia under 2 Mb/s on servers 0–2"). The
+//! [`VariantQuery`] builder expresses those predicates; `Catalog::find`
+//! evaluates them in deterministic id order.
+
+use nod_mmdoc::{Format, MediaKind, MediaQos, MonomediaId, ServerId, Variant};
+
+use crate::catalog::Catalog;
+
+/// A composable variant predicate.
+#[derive(Debug, Clone, Default)]
+pub struct VariantQuery {
+    monomedia: Option<MonomediaId>,
+    kind: Option<MediaKind>,
+    formats: Option<Vec<Format>>,
+    servers: Option<Vec<ServerId>>,
+    max_avg_bit_rate: Option<u64>,
+    min_qos: Option<MediaQos>,
+}
+
+impl VariantQuery {
+    /// Match everything.
+    pub fn any() -> Self {
+        VariantQuery::default()
+    }
+
+    /// Restrict to variants of one monomedia.
+    pub fn of_monomedia(mut self, id: MonomediaId) -> Self {
+        self.monomedia = Some(id);
+        self
+    }
+
+    /// Restrict to one medium.
+    pub fn of_kind(mut self, kind: MediaKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Restrict to a set of coding formats.
+    pub fn with_formats(mut self, formats: impl IntoIterator<Item = Format>) -> Self {
+        self.formats = Some(formats.into_iter().collect());
+        self
+    }
+
+    /// Restrict to variants stored on the given servers.
+    pub fn on_servers(mut self, servers: impl IntoIterator<Item = ServerId>) -> Self {
+        self.servers = Some(servers.into_iter().collect());
+        self
+    }
+
+    /// Keep only variants whose sustained bit rate is at most `bps`.
+    pub fn max_avg_bit_rate(mut self, bps: u64) -> Self {
+        self.max_avg_bit_rate = Some(bps);
+        self
+    }
+
+    /// Keep only variants whose QoS meets `floor` (componentwise ≥).
+    pub fn qos_at_least(mut self, floor: MediaQos) -> Self {
+        self.min_qos = Some(floor);
+        self
+    }
+
+    /// Does a variant satisfy every predicate?
+    pub fn matches(&self, v: &Variant) -> bool {
+        if let Some(id) = self.monomedia {
+            if v.monomedia != id {
+                return false;
+            }
+        }
+        if let Some(kind) = self.kind {
+            if v.qos.kind() != kind {
+                return false;
+            }
+        }
+        if let Some(formats) = &self.formats {
+            if !formats.contains(&v.format) {
+                return false;
+            }
+        }
+        if let Some(servers) = &self.servers {
+            if !servers.contains(&v.server) {
+                return false;
+            }
+        }
+        if let Some(bps) = self.max_avg_bit_rate {
+            if v.avg_bit_rate() > bps {
+                return false;
+            }
+        }
+        if let Some(floor) = &self.min_qos {
+            if !v.qos.meets(floor) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Catalog {
+    /// Evaluate a query over every stored variant, in id order.
+    pub fn find(&self, query: &VariantQuery) -> Vec<&Variant> {
+        self.variants().filter(|v| query.matches(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusBuilder, CorpusParams};
+    use nod_mmdoc::prelude::*;
+    use nod_simcore::StreamRng;
+
+    fn catalog() -> Catalog {
+        let mut rng = StreamRng::new(5);
+        CorpusBuilder::new(CorpusParams {
+            documents: 10,
+            ..CorpusParams::default()
+        })
+        .build(&mut rng)
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let c = catalog();
+        assert_eq!(c.find(&VariantQuery::any()).len(), c.variant_count());
+    }
+
+    #[test]
+    fn kind_filter_partitions() {
+        let c = catalog();
+        let total: usize = MediaKind::ALL
+            .iter()
+            .map(|&k| c.find(&VariantQuery::any().of_kind(k)).len())
+            .sum();
+        assert_eq!(total, c.variant_count());
+        for v in c.find(&VariantQuery::any().of_kind(MediaKind::Video)) {
+            assert_eq!(v.qos.kind(), MediaKind::Video);
+        }
+    }
+
+    #[test]
+    fn format_and_server_filters() {
+        let c = catalog();
+        let mpeg = c.find(
+            &VariantQuery::any()
+                .of_kind(MediaKind::Video)
+                .with_formats([Format::Mpeg1, Format::Mpeg2]),
+        );
+        assert!(!mpeg.is_empty());
+        for v in &mpeg {
+            assert!(matches!(v.format, Format::Mpeg1 | Format::Mpeg2));
+        }
+        let on0 = c.find(&VariantQuery::any().on_servers([ServerId(0)]));
+        assert!(on0.iter().all(|v| v.server == ServerId(0)));
+        assert!(!on0.is_empty());
+    }
+
+    #[test]
+    fn bit_rate_ceiling() {
+        let c = catalog();
+        let slow = c.find(
+            &VariantQuery::any()
+                .of_kind(MediaKind::Video)
+                .max_avg_bit_rate(1_000_000),
+        );
+        let all = c.find(&VariantQuery::any().of_kind(MediaKind::Video));
+        assert!(slow.len() < all.len(), "ceiling should exclude fast variants");
+        assert!(slow.iter().all(|v| v.avg_bit_rate() <= 1_000_000));
+    }
+
+    #[test]
+    fn qos_floor() {
+        let c = catalog();
+        let floor = MediaQos::Video(VideoQos {
+            color: ColorDepth::Color,
+            resolution: Resolution::new(352),
+            frame_rate: FrameRate::new(25),
+        });
+        let good = c.find(&VariantQuery::any().qos_at_least(floor));
+        assert!(good.iter().all(|v| v.qos.meets(&floor)));
+        // The floor excludes at least the H.261 thumbnail rungs.
+        let all_video = c.find(&VariantQuery::any().of_kind(MediaKind::Video));
+        assert!(good.len() < all_video.len());
+    }
+
+    #[test]
+    fn monomedia_filter_agrees_with_index() {
+        let c = catalog();
+        let doc = c.documents().next().unwrap();
+        let mono = doc.monomedia()[0].id;
+        let via_query = c.find(&VariantQuery::any().of_monomedia(mono));
+        let via_index = c.variants_of(mono);
+        assert_eq!(via_query.len(), via_index.len());
+    }
+
+    #[test]
+    fn combined_predicates_conjoin() {
+        let c = catalog();
+        let q = VariantQuery::any()
+            .of_kind(MediaKind::Audio)
+            .with_formats([Format::PcmMulaw])
+            .max_avg_bit_rate(100_000);
+        for v in c.find(&q) {
+            assert_eq!(v.format, Format::PcmMulaw);
+            assert!(v.avg_bit_rate() <= 100_000);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Typed identifiers shared across the workspace.
+//!
+//! Newtype wrappers over `u64`/`u32` prevent the classic "passed a server id
+//! where a variant id was expected" class of bug across crate boundaries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a document in the multimedia database.
+    DocumentId,
+    "doc"
+);
+id_type!(
+    /// Identifies one monomedia component of a document.
+    MonomediaId,
+    "mono"
+);
+id_type!(
+    /// Identifies a physical variant (one stored representation) of a monomedia.
+    VariantId,
+    "var"
+);
+id_type!(
+    /// Identifies a continuous-media file server machine.
+    ServerId,
+    "srv"
+);
+id_type!(
+    /// Identifies a client machine.
+    ClientId,
+    "cli"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(DocumentId(3).to_string(), "doc3");
+        assert_eq!(MonomediaId(1).to_string(), "mono1");
+        assert_eq!(VariantId(9).to_string(), "var9");
+        assert_eq!(ServerId(2).to_string(), "srv2");
+        assert_eq!(ClientId(0).to_string(), "cli0");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(VariantId(1));
+        set.insert(VariantId(1));
+        set.insert(VariantId(2));
+        assert_eq!(set.len(), 2);
+        assert!(VariantId(1) < VariantId(2));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let id = ServerId(42);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "42");
+        let back: ServerId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn from_u64() {
+        let id: DocumentId = 5u64.into();
+        assert_eq!(id, DocumentId(5));
+    }
+}

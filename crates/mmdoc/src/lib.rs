@@ -1,0 +1,63 @@
+//! The multimedia document model of the paper's Section 2 (Figure 1).
+//!
+//! A *document* is either a single **monomedia** object (a text, still
+//! image, audio sequence, graphic, or video sequence) or a **multimedia**
+//! aggregation of monomedia with spatial and temporal synchronization
+//! constraints. Each monomedia exists in one or more physical
+//! representations called **variants**, which differ in static parameters:
+//! coding format, file size, QoS parameters (video color and resolution,
+//! frame rate, audio quality, …) and storage location. Copies of the same
+//! file on different servers are also variants.
+//!
+//! This crate is the shared vocabulary of the whole workspace: the metadata
+//! database (`nod-mmdb`), the file-server and network simulators, and the
+//! QoS manager all speak these types.
+//!
+//! ```
+//! use nod_mmdoc::prelude::*;
+//!
+//! let video = Monomedia::new(MonomediaId(1), MediaKind::Video, "headline clip")
+//!     .with_duration_secs(120);
+//! let audio = Monomedia::new(MonomediaId(2), MediaKind::Audio, "narration")
+//!     .with_duration_secs(120);
+//! let doc = Document::multimedia(
+//!     DocumentId(7),
+//!     "evening news lead story",
+//!     vec![video, audio],
+//!     vec![TemporalConstraint::simultaneous(MonomediaId(1), MonomediaId(2))],
+//!     vec![],
+//! );
+//! assert_eq!(doc.monomedia().len(), 2);
+//! ```
+
+pub mod document;
+pub mod ids;
+pub mod media;
+pub mod qos;
+pub mod temporal;
+pub mod variant;
+
+pub use document::{Document, DocumentContent, Monomedia, Multimedia};
+pub use ids::{ClientId, DocumentId, MonomediaId, ServerId, VariantId};
+pub use media::{Format, MediaKind};
+pub use qos::{
+    AudioQos, AudioQuality, ColorDepth, FrameRate, ImageQos, Language, MediaQos, Resolution,
+    SampleRate, TextQos, VideoQos,
+};
+pub use temporal::{
+    resolve_schedule, ScheduleError, SpatialRegion, TemporalConstraint, TemporalRelation,
+};
+pub use variant::{BlockStats, Variant};
+
+/// Convenience glob-import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::document::{Document, DocumentContent, Monomedia, Multimedia};
+    pub use crate::ids::{ClientId, DocumentId, MonomediaId, ServerId, VariantId};
+    pub use crate::media::{Format, MediaKind};
+    pub use crate::qos::{
+        AudioQos, AudioQuality, ColorDepth, FrameRate, ImageQos, Language, MediaQos, Resolution,
+        SampleRate, TextQos, VideoQos,
+    };
+    pub use crate::temporal::{SpatialRegion, TemporalConstraint, TemporalRelation};
+    pub use crate::variant::{BlockStats, Variant};
+}

@@ -1,0 +1,228 @@
+//! Media kinds and coding formats.
+//!
+//! The paper's step 2 ("static compatibility checking") discards variants
+//! whose coding format the client machine cannot decode — e.g. an MJPEG
+//! variant is infeasible on a client that only carries an MPEG decoder. The
+//! [`Format`] enum enumerates the codings that appear in the 1996 CITR
+//! news-on-demand prototype era, each tagged with the [`MediaKind`] it
+//! encodes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The medium of a monomedia object (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MediaKind {
+    /// Moving pictures (continuous medium).
+    Video,
+    /// Sound (continuous medium).
+    Audio,
+    /// Character text (discrete medium).
+    Text,
+    /// Still image (discrete medium).
+    Image,
+    /// Vector graphic (discrete medium).
+    Graphic,
+}
+
+impl MediaKind {
+    /// All media kinds, in the paper's enumeration order.
+    pub const ALL: [MediaKind; 5] = [
+        MediaKind::Video,
+        MediaKind::Audio,
+        MediaKind::Text,
+        MediaKind::Image,
+        MediaKind::Graphic,
+    ];
+
+    /// Continuous media require ongoing throughput reservations; discrete
+    /// media are delivered once and only contribute transfer cost.
+    pub fn is_continuous(self) -> bool {
+        matches!(self, MediaKind::Video | MediaKind::Audio)
+    }
+}
+
+impl fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MediaKind::Video => "video",
+            MediaKind::Audio => "audio",
+            MediaKind::Text => "text",
+            MediaKind::Image => "image",
+            MediaKind::Graphic => "graphic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Coding formats available in the prototype's era.
+///
+/// The set is deliberately mid-1990s: MPEG-1/MJPEG/H.261 video (the paper's
+/// §4 example contrasts MPEG and MJPEG clients), PCM/ADPCM/MPEG-audio sound,
+/// and the image/text codings a news article carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Format {
+    // Video codings.
+    /// MPEG-1 video.
+    Mpeg1,
+    /// MPEG-2 video (scalable profiles; the INRS scalable decoder).
+    Mpeg2,
+    /// Motion-JPEG.
+    Mjpeg,
+    /// H.261 (p×64) conferencing video.
+    H261,
+    /// Uncompressed/raw video (studio exchange).
+    RawVideo,
+    // Audio codings.
+    /// 16-bit linear PCM (CD quality carrier).
+    PcmLinear,
+    /// 8-bit µ-law PCM (telephone quality carrier).
+    PcmMulaw,
+    /// ADPCM compressed audio.
+    Adpcm,
+    /// MPEG-1 layer II audio.
+    MpegAudio,
+    // Still-image codings.
+    /// JPEG still image.
+    Jpeg,
+    /// GIF image.
+    Gif,
+    /// Uncompressed TIFF.
+    Tiff,
+    // Text codings.
+    /// Plain ASCII text.
+    PlainText,
+    /// HTML-tagged text.
+    Html,
+    // Graphic codings.
+    /// CGM vector graphics.
+    Cgm,
+    /// PostScript graphics.
+    PostScript,
+}
+
+impl Format {
+    /// Every format, for exhaustive iteration in tests and corpus builders.
+    pub const ALL: [Format; 16] = [
+        Format::Mpeg1,
+        Format::Mpeg2,
+        Format::Mjpeg,
+        Format::H261,
+        Format::RawVideo,
+        Format::PcmLinear,
+        Format::PcmMulaw,
+        Format::Adpcm,
+        Format::MpegAudio,
+        Format::Jpeg,
+        Format::Gif,
+        Format::Tiff,
+        Format::PlainText,
+        Format::Html,
+        Format::Cgm,
+        Format::PostScript,
+    ];
+
+    /// The medium this format encodes.
+    pub fn media_kind(self) -> MediaKind {
+        match self {
+            Format::Mpeg1 | Format::Mpeg2 | Format::Mjpeg | Format::H261 | Format::RawVideo => {
+                MediaKind::Video
+            }
+            Format::PcmLinear | Format::PcmMulaw | Format::Adpcm | Format::MpegAudio => {
+                MediaKind::Audio
+            }
+            Format::Jpeg | Format::Gif | Format::Tiff => MediaKind::Image,
+            Format::PlainText | Format::Html => MediaKind::Text,
+            Format::Cgm | Format::PostScript => MediaKind::Graphic,
+        }
+    }
+
+    /// Formats encoding a given medium.
+    pub fn for_kind(kind: MediaKind) -> Vec<Format> {
+        Format::ALL
+            .iter()
+            .copied()
+            .filter(|f| f.media_kind() == kind)
+            .collect()
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Format::Mpeg1 => "MPEG-1",
+            Format::Mpeg2 => "MPEG-2",
+            Format::Mjpeg => "MJPEG",
+            Format::H261 => "H.261",
+            Format::RawVideo => "RAW-VIDEO",
+            Format::PcmLinear => "PCM-16",
+            Format::PcmMulaw => "PCM-ulaw",
+            Format::Adpcm => "ADPCM",
+            Format::MpegAudio => "MPEG-AUDIO",
+            Format::Jpeg => "JPEG",
+            Format::Gif => "GIF",
+            Format::Tiff => "TIFF",
+            Format::PlainText => "TEXT",
+            Format::Html => "HTML",
+            Format::Cgm => "CGM",
+            Format::PostScript => "PS",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuity_classification() {
+        assert!(MediaKind::Video.is_continuous());
+        assert!(MediaKind::Audio.is_continuous());
+        assert!(!MediaKind::Text.is_continuous());
+        assert!(!MediaKind::Image.is_continuous());
+        assert!(!MediaKind::Graphic.is_continuous());
+    }
+
+    #[test]
+    fn every_format_has_a_kind_and_all_is_exhaustive() {
+        // `ALL` must cover every kind.
+        for kind in MediaKind::ALL {
+            assert!(
+                !Format::for_kind(kind).is_empty(),
+                "no format for {kind:?}"
+            );
+        }
+        // `for_kind` partitions `ALL`.
+        let total: usize = MediaKind::ALL
+            .iter()
+            .map(|&k| Format::for_kind(k).len())
+            .sum();
+        assert_eq!(total, Format::ALL.len());
+    }
+
+    #[test]
+    fn video_formats() {
+        let v = Format::for_kind(MediaKind::Video);
+        assert!(v.contains(&Format::Mpeg1));
+        assert!(v.contains(&Format::Mjpeg));
+        assert!(!v.contains(&Format::Jpeg));
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let mut names: Vec<String> = Format::ALL.iter().map(|f| f.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Format::ALL.len());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for f in Format::ALL {
+            let json = serde_json::to_string(&f).unwrap();
+            let back: Format = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+}

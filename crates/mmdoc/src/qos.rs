@@ -1,0 +1,549 @@
+//! User-perceived QoS value types (paper §3, Figure 2).
+//!
+//! The QoS GUI hides internal parameters (throughput, jitter) and exposes
+//! human-perceptible quantities. The paper fixes the scales:
+//!
+//! * **frame rate** — any integer between HDTV rate (60 frames/s) and
+//!   frozen rate (1 frame/s); anchor values *HDTV*, *TV* (25 fps in the
+//!   paper's examples) and *frozen*.
+//! * **resolution** — any integer between HDTV resolution (1920
+//!   pixels/line) and minimal resolution (10 pixels/line); anchors *HDTV*,
+//!   *TV* and *minimum*.
+//! * **color** — super-color, color, gray, black&white.
+//! * **audio quality** — CD or telephone.
+//! * **language** — the importance example (4) ranks french over english.
+//!
+//! Values are ordered so that "offer meets requirement" is a componentwise
+//! `>=` (language is an equality-style preference with an `Any` wildcard).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::media::MediaKind;
+
+/// Video/image color quality, ordered worst → best.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ColorDepth {
+    /// 1-bit black & white.
+    BlackWhite,
+    /// Grey scale.
+    Grey,
+    /// Standard color.
+    Color,
+    /// Studio "super-color" (deep color).
+    SuperColor,
+}
+
+impl ColorDepth {
+    /// All depths, worst to best — the anchor set of Figure 2.
+    pub const ALL: [ColorDepth; 4] = [
+        ColorDepth::BlackWhite,
+        ColorDepth::Grey,
+        ColorDepth::Color,
+        ColorDepth::SuperColor,
+    ];
+
+    /// Position on the 0..=3 ordinal axis (used for interpolation display).
+    pub fn level(self) -> u8 {
+        match self {
+            ColorDepth::BlackWhite => 0,
+            ColorDepth::Grey => 1,
+            ColorDepth::Color => 2,
+            ColorDepth::SuperColor => 3,
+        }
+    }
+
+    /// Bits per pixel contributed by this depth (for size modelling).
+    pub fn bits_per_pixel(self) -> u32 {
+        match self {
+            ColorDepth::BlackWhite => 1,
+            ColorDepth::Grey => 8,
+            ColorDepth::Color => 16,
+            ColorDepth::SuperColor => 24,
+        }
+    }
+}
+
+impl fmt::Display for ColorDepth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColorDepth::BlackWhite => "black&white",
+            ColorDepth::Grey => "grey",
+            ColorDepth::Color => "color",
+            ColorDepth::SuperColor => "super-color",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Frames per second, constrained to the paper's `1..=60` scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FrameRate(u32);
+
+impl FrameRate {
+    /// 1 frame/s — the paper's "frozen rate" lower anchor.
+    pub const FROZEN: FrameRate = FrameRate(1);
+    /// 25 frames/s — the TV-rate anchor used throughout the paper's examples.
+    pub const TV: FrameRate = FrameRate(25);
+    /// 60 frames/s — the HDTV-rate upper anchor.
+    pub const HDTV: FrameRate = FrameRate(60);
+
+    /// A validated frame rate.
+    ///
+    /// # Panics
+    /// Panics outside `1..=60` (the GUI only offers that scale).
+    pub fn new(fps: u32) -> Self {
+        assert!(
+            (1..=60).contains(&fps),
+            "frame rate {fps} outside the paper's 1..=60 fps scale"
+        );
+        FrameRate(fps)
+    }
+
+    /// Frames per second.
+    pub fn fps(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FrameRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} frames/s", self.0)
+    }
+}
+
+/// Horizontal resolution in pixels per line, constrained to `10..=1920`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Resolution(u32);
+
+impl Resolution {
+    /// 10 pixels/line — the paper's minimal resolution anchor.
+    pub const MIN: Resolution = Resolution(10);
+    /// 640 pixels/line — the TV-resolution anchor (NTSC-class display).
+    ///
+    /// The paper names "TV resolution" without a number; 640 px/line is the
+    /// conventional NTSC/VGA figure of the prototype's era and only the
+    /// anchor's *position* matters for the interpolation scheme.
+    pub const TV: Resolution = Resolution(640);
+    /// 1920 pixels/line — the HDTV anchor.
+    pub const HDTV: Resolution = Resolution(1920);
+
+    /// A validated resolution.
+    ///
+    /// # Panics
+    /// Panics outside `10..=1920`.
+    pub fn new(pixels_per_line: u32) -> Self {
+        assert!(
+            (10..=1920).contains(&pixels_per_line),
+            "resolution {pixels_per_line} outside the paper's 10..=1920 px/line scale"
+        );
+        Resolution(pixels_per_line)
+    }
+
+    /// Pixels per line.
+    pub fn pixels_per_line(self) -> u32 {
+        self.0
+    }
+
+    /// Approximate lines for a 4:3 raster at this horizontal resolution.
+    pub fn lines(self) -> u32 {
+        (self.0 * 3) / 4
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} px/line", self.0)
+    }
+}
+
+/// Audio quality anchors of Figure 2, ordered worst → best.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AudioQuality {
+    /// Telephone quality: 8 kHz, 8-bit, mono.
+    Telephone,
+    /// Intermediate "FM radio" quality: 22.05 kHz, 16-bit, mono.
+    Radio,
+    /// CD quality: 44.1 kHz, 16-bit, stereo.
+    Cd,
+}
+
+impl AudioQuality {
+    /// All qualities worst → best.
+    pub const ALL: [AudioQuality; 3] = [
+        AudioQuality::Telephone,
+        AudioQuality::Radio,
+        AudioQuality::Cd,
+    ];
+
+    /// The sampling rate this quality implies.
+    pub fn sample_rate(self) -> SampleRate {
+        match self {
+            AudioQuality::Telephone => SampleRate(8_000),
+            AudioQuality::Radio => SampleRate(22_050),
+            AudioQuality::Cd => SampleRate(44_100),
+        }
+    }
+
+    /// Bits per sample.
+    pub fn sample_bits(self) -> u32 {
+        match self {
+            AudioQuality::Telephone => 8,
+            AudioQuality::Radio => 16,
+            AudioQuality::Cd => 16,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(self) -> u32 {
+        match self {
+            AudioQuality::Telephone | AudioQuality::Radio => 1,
+            AudioQuality::Cd => 2,
+        }
+    }
+}
+
+impl fmt::Display for AudioQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AudioQuality::Telephone => "telephone",
+            AudioQuality::Radio => "radio",
+            AudioQuality::Cd => "CD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Audio samples per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SampleRate(pub u32);
+
+impl SampleRate {
+    /// Samples per second.
+    pub fn hz(self) -> u32 {
+        self.0
+    }
+}
+
+/// Natural language of a text or audio track.
+///
+/// The paper's importance example (4) — "french is more important than
+/// english" — makes language a negotiable characteristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Language {
+    /// English track.
+    English,
+    /// French track.
+    French,
+    /// No preference / language-neutral content.
+    Any,
+}
+
+impl Language {
+    /// Does an offered language satisfy a required one?
+    /// `Any` on either side matches everything.
+    pub fn matches(self, required: Language) -> bool {
+        self == required || self == Language::Any || required == Language::Any
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Language::English => "english",
+            Language::French => "french",
+            Language::Any => "any",
+        };
+        f.write_str(s)
+    }
+}
+
+/// QoS of a video stream: the triple of the paper's §5 examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VideoQos {
+    /// Color quality.
+    pub color: ColorDepth,
+    /// Horizontal resolution.
+    pub resolution: Resolution,
+    /// Frame rate.
+    pub frame_rate: FrameRate,
+}
+
+impl VideoQos {
+    /// Componentwise "offer is at least as good as `required`".
+    pub fn meets(&self, required: &VideoQos) -> bool {
+        self.color >= required.color
+            && self.resolution >= required.resolution
+            && self.frame_rate >= required.frame_rate
+    }
+}
+
+impl fmt::Display for VideoQos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.color, self.frame_rate, self.resolution)
+    }
+}
+
+/// QoS of an audio stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AudioQos {
+    /// Quality anchor (implies sampling parameters).
+    pub quality: AudioQuality,
+    /// Track language.
+    pub language: Language,
+}
+
+impl AudioQos {
+    /// Offer meets requirement: quality at least as good, language matches.
+    pub fn meets(&self, required: &AudioQos) -> bool {
+        self.quality >= required.quality && self.language.matches(required.language)
+    }
+}
+
+impl fmt::Display for AudioQos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} audio, {})", self.quality, self.language)
+    }
+}
+
+/// QoS of a text component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TextQos {
+    /// Text language.
+    pub language: Language,
+}
+
+impl TextQos {
+    /// Offer meets requirement when the language matches.
+    pub fn meets(&self, required: &TextQos) -> bool {
+        self.language.matches(required.language)
+    }
+}
+
+/// QoS of a still image or graphic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ImageQos {
+    /// Color quality.
+    pub color: ColorDepth,
+    /// Horizontal resolution.
+    pub resolution: Resolution,
+}
+
+impl ImageQos {
+    /// Componentwise comparison.
+    pub fn meets(&self, required: &ImageQos) -> bool {
+        self.color >= required.color && self.resolution >= required.resolution
+    }
+}
+
+/// Per-medium QoS value, tagged by medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MediaQos {
+    /// Video QoS triple.
+    Video(VideoQos),
+    /// Audio QoS pair.
+    Audio(AudioQos),
+    /// Text QoS.
+    Text(TextQos),
+    /// Image QoS pair.
+    Image(ImageQos),
+    /// Graphic QoS (same axes as an image).
+    Graphic(ImageQos),
+}
+
+impl MediaQos {
+    /// The medium this QoS value describes.
+    pub fn kind(&self) -> MediaKind {
+        match self {
+            MediaQos::Video(_) => MediaKind::Video,
+            MediaQos::Audio(_) => MediaKind::Audio,
+            MediaQos::Text(_) => MediaKind::Text,
+            MediaQos::Image(_) => MediaKind::Image,
+            MediaQos::Graphic(_) => MediaKind::Graphic,
+        }
+    }
+
+    /// Offer meets requirement. Requirements for a *different medium* are
+    /// vacuously unmet (callers compare like with like; this keeps the
+    /// mismatch observable instead of panicking inside classification).
+    pub fn meets(&self, required: &MediaQos) -> bool {
+        match (self, required) {
+            (MediaQos::Video(a), MediaQos::Video(b)) => a.meets(b),
+            (MediaQos::Audio(a), MediaQos::Audio(b)) => a.meets(b),
+            (MediaQos::Text(a), MediaQos::Text(b)) => a.meets(b),
+            (MediaQos::Image(a), MediaQos::Image(b)) => a.meets(b),
+            (MediaQos::Graphic(a), MediaQos::Graphic(b)) => a.meets(b),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for MediaQos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediaQos::Video(v) => write!(f, "{v}"),
+            MediaQos::Audio(a) => write!(f, "{a}"),
+            MediaQos::Text(t) => write!(f, "(text, {})", t.language),
+            MediaQos::Image(i) => write!(f, "(image {}, {})", i.color, i.resolution),
+            MediaQos::Graphic(g) => write!(f, "(graphic {}, {})", g.color, g.resolution),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv_color_video() -> VideoQos {
+        VideoQos {
+            color: ColorDepth::Color,
+            resolution: Resolution::TV,
+            frame_rate: FrameRate::TV,
+        }
+    }
+
+    #[test]
+    fn color_ordering_matches_paper() {
+        assert!(ColorDepth::BlackWhite < ColorDepth::Grey);
+        assert!(ColorDepth::Grey < ColorDepth::Color);
+        assert!(ColorDepth::Color < ColorDepth::SuperColor);
+        assert_eq!(ColorDepth::SuperColor.level(), 3);
+    }
+
+    #[test]
+    fn frame_rate_anchors() {
+        assert_eq!(FrameRate::FROZEN.fps(), 1);
+        assert_eq!(FrameRate::TV.fps(), 25);
+        assert_eq!(FrameRate::HDTV.fps(), 60);
+        assert_eq!(FrameRate::new(30).fps(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=60")]
+    fn frame_rate_rejects_out_of_scale() {
+        FrameRate::new(61);
+    }
+
+    #[test]
+    fn resolution_anchors_and_bounds() {
+        assert_eq!(Resolution::MIN.pixels_per_line(), 10);
+        assert_eq!(Resolution::HDTV.pixels_per_line(), 1920);
+        assert!(Resolution::MIN < Resolution::TV && Resolution::TV < Resolution::HDTV);
+        assert_eq!(Resolution::new(640).lines(), 480);
+    }
+
+    #[test]
+    #[should_panic(expected = "10..=1920")]
+    fn resolution_rejects_out_of_scale() {
+        Resolution::new(9);
+    }
+
+    #[test]
+    fn audio_quality_parameters() {
+        assert_eq!(AudioQuality::Cd.sample_rate().hz(), 44_100);
+        assert_eq!(AudioQuality::Cd.channels(), 2);
+        assert_eq!(AudioQuality::Telephone.sample_rate().hz(), 8_000);
+        assert!(AudioQuality::Telephone < AudioQuality::Cd);
+    }
+
+    #[test]
+    fn language_matching() {
+        assert!(Language::French.matches(Language::French));
+        assert!(!Language::French.matches(Language::English));
+        assert!(Language::French.matches(Language::Any));
+        assert!(Language::Any.matches(Language::English));
+    }
+
+    #[test]
+    fn video_meets_is_componentwise() {
+        let req = tv_color_video();
+        let better = VideoQos {
+            color: ColorDepth::SuperColor,
+            ..req
+        };
+        let worse_rate = VideoQos {
+            frame_rate: FrameRate::new(15),
+            ..req
+        };
+        assert!(req.meets(&req));
+        assert!(better.meets(&req));
+        assert!(!worse_rate.meets(&req));
+        assert!(!req.meets(&better));
+    }
+
+    #[test]
+    fn paper_521_offer_comparisons() {
+        // §5.2.1: request (color, TV resolution, 25 fps); offers 1-3 fail at
+        // least one component, offer 4 meets all.
+        let req = tv_color_video();
+        let offer1 = VideoQos {
+            color: ColorDepth::BlackWhite,
+            ..req
+        };
+        let offer2 = VideoQos {
+            frame_rate: FrameRate::new(15),
+            ..req
+        };
+        let offer3 = VideoQos {
+            color: ColorDepth::Grey,
+            ..req
+        };
+        let offer4 = req;
+        assert!(!offer1.meets(&req));
+        assert!(!offer2.meets(&req));
+        assert!(!offer3.meets(&req));
+        assert!(offer4.meets(&req));
+    }
+
+    #[test]
+    fn audio_meets() {
+        let req = AudioQos {
+            quality: AudioQuality::Telephone,
+            language: Language::French,
+        };
+        let cd_fr = AudioQos {
+            quality: AudioQuality::Cd,
+            language: Language::French,
+        };
+        let cd_en = AudioQos {
+            quality: AudioQuality::Cd,
+            language: Language::English,
+        };
+        assert!(cd_fr.meets(&req));
+        assert!(!cd_en.meets(&req));
+    }
+
+    #[test]
+    fn media_qos_kind_and_cross_media_mismatch() {
+        let v = MediaQos::Video(tv_color_video());
+        let a = MediaQos::Audio(AudioQos {
+            quality: AudioQuality::Cd,
+            language: Language::Any,
+        });
+        assert_eq!(v.kind(), MediaKind::Video);
+        assert_eq!(a.kind(), MediaKind::Audio);
+        assert!(!v.meets(&a));
+        assert!(v.meets(&v));
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = tv_color_video();
+        assert_eq!(v.to_string(), "(color, 25 frames/s, 640 px/line)");
+        assert_eq!(
+            MediaQos::Text(TextQos {
+                language: Language::French
+            })
+            .to_string(),
+            "(text, french)"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = MediaQos::Video(tv_color_video());
+        let json = serde_json::to_string(&q).unwrap();
+        let back: MediaQos = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, q);
+    }
+}

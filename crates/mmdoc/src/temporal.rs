@@ -1,0 +1,347 @@
+//! Temporal and spatial synchronization constraints (paper §2, Figure 1).
+//!
+//! A multimedia document's attributes "consist of spatial and temporal
+//! synchronization constraints". We model the temporal side as pairwise
+//! relations between monomedia (a pragmatic subset of Allen's interval
+//! algebra sufficient for presentational documents: simultaneous start,
+//! sequencing with a gap, and offset overlap) and resolve them into absolute
+//! start offsets by constraint propagation. The spatial side is a set of
+//! screen regions.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+use crate::ids::MonomediaId;
+
+/// A pairwise temporal relation between two monomedia.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemporalRelation {
+    /// `b` starts at the same instant as `a` (lip-sync audio/video).
+    StartsWith,
+    /// `b` starts `gap_ms` after `a` **ends**.
+    After {
+        /// Silence/blank gap between the two presentations.
+        gap_ms: u64,
+    },
+    /// `b` starts `offset_ms` after `a` **starts** (caption fade-in).
+    OffsetFromStart {
+        /// Offset from `a`'s start instant.
+        offset_ms: u64,
+    },
+}
+
+/// A temporal synchronization constraint: `b` is positioned relative to `a`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TemporalConstraint {
+    /// Reference monomedia.
+    pub a: MonomediaId,
+    /// Dependent monomedia.
+    pub b: MonomediaId,
+    /// How `b` relates to `a`.
+    pub relation: TemporalRelation,
+}
+
+impl TemporalConstraint {
+    /// `b` starts together with `a`.
+    pub fn simultaneous(a: MonomediaId, b: MonomediaId) -> Self {
+        TemporalConstraint {
+            a,
+            b,
+            relation: TemporalRelation::StartsWith,
+        }
+    }
+
+    /// `b` follows `a` after `gap_ms` of silence.
+    pub fn sequence(a: MonomediaId, b: MonomediaId, gap_ms: u64) -> Self {
+        TemporalConstraint {
+            a,
+            b,
+            relation: TemporalRelation::After { gap_ms },
+        }
+    }
+
+    /// `b` starts `offset_ms` into `a`.
+    pub fn offset(a: MonomediaId, b: MonomediaId, offset_ms: u64) -> Self {
+        TemporalConstraint {
+            a,
+            b,
+            relation: TemporalRelation::OffsetFromStart { offset_ms },
+        }
+    }
+}
+
+/// Errors from temporal schedule resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A constraint references a monomedia that is not in the document.
+    UnknownMonomedia(MonomediaId),
+    /// Two constraint chains assign the same monomedia different starts.
+    Inconsistent {
+        /// The over-constrained monomedia.
+        id: MonomediaId,
+        /// First derived start (ms).
+        first_ms: u64,
+        /// Conflicting derived start (ms).
+        second_ms: u64,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::UnknownMonomedia(id) => {
+                write!(f, "temporal constraint references unknown monomedia {id}")
+            }
+            ScheduleError::Inconsistent {
+                id,
+                first_ms,
+                second_ms,
+            } => write!(
+                f,
+                "inconsistent schedule for {id}: derived both {first_ms} ms and {second_ms} ms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Resolve pairwise constraints into absolute start offsets (ms).
+///
+/// `durations_ms` supplies each monomedia's playout duration (needed by
+/// [`TemporalRelation::After`]). Monomedia not reachable from any constraint
+/// start at 0 — the presentational default of the prototype (everything
+/// begins with the article unless stated otherwise).
+pub fn resolve_schedule(
+    durations_ms: &HashMap<MonomediaId, u64>,
+    constraints: &[TemporalConstraint],
+) -> Result<HashMap<MonomediaId, u64>, ScheduleError> {
+    for c in constraints {
+        for id in [c.a, c.b] {
+            if !durations_ms.contains_key(&id) {
+                return Err(ScheduleError::UnknownMonomedia(id));
+            }
+        }
+    }
+
+    let mut starts: HashMap<MonomediaId, u64> =
+        durations_ms.keys().map(|&id| (id, 0)).collect();
+    // Anything that is the dependent (`b`) of a constraint gets its start
+    // derived; other monomedia anchor at 0.
+    let derived: std::collections::HashSet<MonomediaId> =
+        constraints.iter().map(|c| c.b).collect();
+
+    // Propagate: process constraints whose reference is already fixed. We
+    // iterate worklist-style; with at most one dependency per constraint the
+    // loop terminates in O(|constraints|^2) worst case, trivial at document
+    // scale (a news article has a handful of components).
+    let mut pending: VecDeque<&TemporalConstraint> = constraints.iter().collect();
+    let mut settled: std::collections::HashSet<MonomediaId> = durations_ms
+        .keys()
+        .filter(|id| !derived.contains(id))
+        .copied()
+        .collect();
+    let mut assigned: HashMap<MonomediaId, u64> = HashMap::new();
+    let mut stall_count = 0usize;
+
+    while let Some(c) = pending.pop_front() {
+        if !settled.contains(&c.a) {
+            stall_count += 1;
+            if stall_count > pending.len() + 1 {
+                // A cycle: every remaining constraint waits on a derived id.
+                // Break it by anchoring the first reference at 0.
+                settled.insert(c.a);
+                stall_count = 0;
+            }
+            pending.push_back(c);
+            continue;
+        }
+        stall_count = 0;
+        let a_start = starts[&c.a];
+        let b_start = match c.relation {
+            TemporalRelation::StartsWith => a_start,
+            TemporalRelation::After { gap_ms } => a_start + durations_ms[&c.a] + gap_ms,
+            TemporalRelation::OffsetFromStart { offset_ms } => a_start + offset_ms,
+        };
+        if let Some(&prev) = assigned.get(&c.b) {
+            if prev != b_start {
+                return Err(ScheduleError::Inconsistent {
+                    id: c.b,
+                    first_ms: prev,
+                    second_ms: b_start,
+                });
+            }
+        } else {
+            assigned.insert(c.b, b_start);
+            starts.insert(c.b, b_start);
+            settled.insert(c.b);
+        }
+    }
+    Ok(starts)
+}
+
+/// A rectangular screen region assigned to one monomedia (spatial layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpatialRegion {
+    /// The monomedia rendered in this region.
+    pub monomedia: MonomediaId,
+    /// Left edge (pixels).
+    pub x: u32,
+    /// Top edge (pixels).
+    pub y: u32,
+    /// Width (pixels).
+    pub width: u32,
+    /// Height (pixels).
+    pub height: u32,
+}
+
+impl SpatialRegion {
+    /// Do two regions overlap (nonzero intersection area)?
+    pub fn overlaps(&self, other: &SpatialRegion) -> bool {
+        self.x < other.x + other.width
+            && other.x < self.x + self.width
+            && self.y < other.y + other.height
+            && other.y < self.y + self.height
+    }
+
+    /// Does the region fit on a `w × h` screen?
+    pub fn fits(&self, w: u32, h: u32) -> bool {
+        self.x + self.width <= w && self.y + self.height <= h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn durs(pairs: &[(u64, u64)]) -> HashMap<MonomediaId, u64> {
+        pairs
+            .iter()
+            .map(|&(id, d)| (MonomediaId(id), d))
+            .collect()
+    }
+
+    #[test]
+    fn simultaneous_streams_start_together() {
+        let d = durs(&[(1, 120_000), (2, 120_000)]);
+        let s = resolve_schedule(
+            &d,
+            &[TemporalConstraint::simultaneous(MonomediaId(1), MonomediaId(2))],
+        )
+        .unwrap();
+        assert_eq!(s[&MonomediaId(1)], 0);
+        assert_eq!(s[&MonomediaId(2)], 0);
+    }
+
+    #[test]
+    fn sequence_accounts_for_duration_and_gap() {
+        let d = durs(&[(1, 30_000), (2, 60_000)]);
+        let s = resolve_schedule(
+            &d,
+            &[TemporalConstraint::sequence(MonomediaId(1), MonomediaId(2), 2_000)],
+        )
+        .unwrap();
+        assert_eq!(s[&MonomediaId(2)], 32_000);
+    }
+
+    #[test]
+    fn offset_chains_propagate() {
+        // 1 at 0; 2 at 1+5s; 3 at 2+1s.
+        let d = durs(&[(1, 10_000), (2, 10_000), (3, 10_000)]);
+        let s = resolve_schedule(
+            &d,
+            &[
+                TemporalConstraint::offset(MonomediaId(2), MonomediaId(3), 1_000),
+                TemporalConstraint::offset(MonomediaId(1), MonomediaId(2), 5_000),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s[&MonomediaId(2)], 5_000);
+        assert_eq!(s[&MonomediaId(3)], 6_000);
+    }
+
+    #[test]
+    fn unknown_monomedia_rejected() {
+        let d = durs(&[(1, 10_000)]);
+        let err = resolve_schedule(
+            &d,
+            &[TemporalConstraint::simultaneous(MonomediaId(1), MonomediaId(9))],
+        )
+        .unwrap_err();
+        assert_eq!(err, ScheduleError::UnknownMonomedia(MonomediaId(9)));
+    }
+
+    #[test]
+    fn conflicting_constraints_detected() {
+        let d = durs(&[(1, 10_000), (2, 10_000), (3, 10_000)]);
+        let err = resolve_schedule(
+            &d,
+            &[
+                TemporalConstraint::offset(MonomediaId(1), MonomediaId(3), 1_000),
+                TemporalConstraint::offset(MonomediaId(2), MonomediaId(3), 2_000),
+            ],
+        )
+        .unwrap_err();
+        match err {
+            ScheduleError::Inconsistent { id, .. } => assert_eq!(id, MonomediaId(3)),
+            other => panic!("expected inconsistency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_consistent_constraints_ok() {
+        let d = durs(&[(1, 10_000), (2, 10_000)]);
+        let c = TemporalConstraint::offset(MonomediaId(1), MonomediaId(2), 1_000);
+        let s = resolve_schedule(&d, &[c, c]).unwrap();
+        assert_eq!(s[&MonomediaId(2)], 1_000);
+    }
+
+    #[test]
+    fn cyclic_constraints_terminate() {
+        // 1 -> 2 and 2 -> 1: the resolver breaks the cycle by anchoring.
+        let d = durs(&[(1, 10_000), (2, 10_000)]);
+        let s = resolve_schedule(
+            &d,
+            &[
+                TemporalConstraint::offset(MonomediaId(1), MonomediaId(2), 1_000),
+                TemporalConstraint::offset(MonomediaId(2), MonomediaId(1), 1_000),
+            ],
+        );
+        // Either resolves (anchored) or reports inconsistency; must not hang.
+        match s {
+            Ok(m) => assert_eq!(m.len(), 2),
+            Err(ScheduleError::Inconsistent { .. }) => {}
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn spatial_overlap() {
+        let a = SpatialRegion {
+            monomedia: MonomediaId(1),
+            x: 0,
+            y: 0,
+            width: 100,
+            height: 100,
+        };
+        let b = SpatialRegion {
+            monomedia: MonomediaId(2),
+            x: 50,
+            y: 50,
+            width: 100,
+            height: 100,
+        };
+        let c = SpatialRegion {
+            monomedia: MonomediaId(3),
+            x: 100,
+            y: 0,
+            width: 50,
+            height: 50,
+        };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c)); // edge-adjacent, zero-area intersection
+        assert!(a.fits(100, 100));
+        assert!(!a.fits(99, 100));
+    }
+}

@@ -1,0 +1,260 @@
+//! Physical variants of a monomedia object (paper §2).
+//!
+//! A variant is one stored representation: a coding format, a file, a QoS
+//! level, and a storage location. Two copies of the same file on different
+//! servers are two variants. The negotiation procedure chooses exactly one
+//! variant per monomedia of the requested document.
+//!
+//! The variant also carries the **block statistics** the paper's §6 QoS
+//! mapping needs: data is stored as a suite of blocks (video frames, audio
+//! samples) whose length varies between a minimum and maximum depending on
+//! the compression scheme, and the maximum/average block length of each
+//! monomedia is stored in the MM database [Vit 95].
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{MonomediaId, ServerId, VariantId};
+use crate::media::Format;
+use crate::qos::MediaQos;
+
+/// Block-length statistics stored in the MM database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockStats {
+    /// Length of the largest block (bytes).
+    pub max_block_bytes: u64,
+    /// Average block length (bytes).
+    pub avg_block_bytes: u64,
+}
+
+impl BlockStats {
+    /// Validated construction.
+    ///
+    /// # Panics
+    /// Panics if the average exceeds the maximum or either is zero.
+    pub fn new(max_block_bytes: u64, avg_block_bytes: u64) -> Self {
+        assert!(
+            avg_block_bytes > 0 && max_block_bytes >= avg_block_bytes,
+            "BlockStats: need 0 < avg ({avg_block_bytes}) <= max ({max_block_bytes})"
+        );
+        BlockStats {
+            max_block_bytes,
+            avg_block_bytes,
+        }
+    }
+
+    /// Peak-to-mean ratio — the burstiness the VBR admission control sees.
+    pub fn burstiness(&self) -> f64 {
+        self.max_block_bytes as f64 / self.avg_block_bytes as f64
+    }
+}
+
+/// One physical representation of a monomedia object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Variant {
+    /// Unique id of this variant.
+    pub id: VariantId,
+    /// The monomedia this variant represents.
+    pub monomedia: MonomediaId,
+    /// Coding format of the stored file.
+    pub format: Format,
+    /// The QoS this variant delivers when played as stored.
+    pub qos: MediaQos,
+    /// Block-length statistics (frames for video, samples for audio,
+    /// the whole object as a single block for discrete media).
+    pub blocks: BlockStats,
+    /// Blocks consumed per second during playout. For video this is the
+    /// frame rate; for audio the sampling rate; for discrete media it is 0
+    /// (delivered once, ahead of their presentation instant).
+    pub blocks_per_second: u32,
+    /// Total stored size (bytes).
+    pub file_bytes: u64,
+    /// The server machine holding the file.
+    pub server: ServerId,
+}
+
+impl Variant {
+    /// Validate internal consistency: the format must encode the same medium
+    /// the QoS value describes, and continuous media must have a nonzero
+    /// block rate.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.format.media_kind() != self.qos.kind() {
+            return Err(format!(
+                "{}: format {} encodes {} but QoS describes {}",
+                self.id,
+                self.format,
+                self.format.media_kind(),
+                self.qos.kind()
+            ));
+        }
+        let continuous = self.qos.kind().is_continuous();
+        if continuous && self.blocks_per_second == 0 {
+            return Err(format!(
+                "{}: continuous medium with zero block rate",
+                self.id
+            ));
+        }
+        if !continuous && self.blocks_per_second != 0 {
+            return Err(format!(
+                "{}: discrete medium with nonzero block rate",
+                self.id
+            ));
+        }
+        if self.file_bytes == 0 {
+            return Err(format!("{}: empty file", self.id));
+        }
+        Ok(())
+    }
+
+    /// Peak bit rate when the data is sent without transformation
+    /// (paper §6): `maxBitRate = max block length × block rate` for
+    /// continuous media. Discrete media have no sustained rate; their peak
+    /// equals the one-shot transfer of the whole object in one second
+    /// (a conservative bound used for link sizing).
+    pub fn max_bit_rate(&self) -> u64 {
+        if self.blocks_per_second > 0 {
+            self.blocks.max_block_bytes * 8 * self.blocks_per_second as u64
+        } else {
+            self.file_bytes * 8
+        }
+    }
+
+    /// Average bit rate (paper §6): `avgBitRate = avg block length × block
+    /// rate`. Zero for discrete media (no sustained stream).
+    pub fn avg_bit_rate(&self) -> u64 {
+        if self.blocks_per_second > 0 {
+            self.blocks.avg_block_bytes * 8 * self.blocks_per_second as u64
+        } else {
+            0
+        }
+    }
+
+    /// Playout duration in milliseconds implied by the file size and the
+    /// average block consumption rate (continuous media only).
+    pub fn duration_ms(&self) -> u64 {
+        if self.blocks_per_second == 0 || self.blocks.avg_block_bytes == 0 {
+            return 0;
+        }
+        let blocks = self.file_bytes / self.blocks.avg_block_bytes;
+        blocks * 1_000 / self.blocks_per_second as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::{AudioQos, AudioQuality, ColorDepth, FrameRate, Language, Resolution, VideoQos};
+
+    fn video_variant() -> Variant {
+        Variant {
+            id: VariantId(1),
+            monomedia: MonomediaId(1),
+            format: Format::Mpeg1,
+            qos: MediaQos::Video(VideoQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::TV,
+                frame_rate: FrameRate::TV,
+            }),
+            blocks: BlockStats::new(16_000, 6_000),
+            blocks_per_second: 25,
+            file_bytes: 6_000 * 25 * 120, // two minutes at the average rate
+            server: ServerId(0),
+        }
+    }
+
+    #[test]
+    fn block_stats_validation() {
+        let b = BlockStats::new(100, 50);
+        assert_eq!(b.burstiness(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "avg")]
+    fn block_stats_rejects_avg_above_max() {
+        BlockStats::new(10, 20);
+    }
+
+    #[test]
+    fn paper_section6_bitrate_formulae() {
+        let v = video_variant();
+        // maxBitRate = max frame length * frame rate.
+        assert_eq!(v.max_bit_rate(), 16_000 * 8 * 25);
+        // avgBitRate = avg frame length * frame rate.
+        assert_eq!(v.avg_bit_rate(), 6_000 * 8 * 25);
+        assert!(v.max_bit_rate() > v.avg_bit_rate());
+    }
+
+    #[test]
+    fn audio_bitrate_formulae() {
+        // CD audio: 4-byte samples (16-bit stereo) at 44.1 kHz.
+        let v = Variant {
+            id: VariantId(2),
+            monomedia: MonomediaId(2),
+            format: Format::PcmLinear,
+            qos: MediaQos::Audio(AudioQos {
+                quality: AudioQuality::Cd,
+                language: Language::English,
+            }),
+            blocks: BlockStats::new(4, 4),
+            blocks_per_second: 44_100,
+            file_bytes: 4 * 44_100 * 60,
+            server: ServerId(1),
+        };
+        assert_eq!(v.avg_bit_rate(), 4 * 8 * 44_100); // 1.4112 Mb/s
+        assert_eq!(v.duration_ms(), 60_000);
+        assert!(v.validate().is_ok());
+    }
+
+    #[test]
+    fn duration_from_file_size() {
+        let v = video_variant();
+        assert_eq!(v.duration_ms(), 120_000);
+    }
+
+    #[test]
+    fn validate_catches_format_qos_mismatch() {
+        let mut v = video_variant();
+        v.format = Format::Jpeg;
+        let err = v.validate().unwrap_err();
+        assert!(err.contains("JPEG"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_zero_rate_continuous() {
+        let mut v = video_variant();
+        v.blocks_per_second = 0;
+        assert!(v.validate().unwrap_err().contains("zero block rate"));
+    }
+
+    #[test]
+    fn discrete_media_rules() {
+        use crate::qos::ImageQos;
+        let img = Variant {
+            id: VariantId(3),
+            monomedia: MonomediaId(3),
+            format: Format::Jpeg,
+            qos: MediaQos::Image(ImageQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::TV,
+            }),
+            blocks: BlockStats::new(80_000, 80_000),
+            blocks_per_second: 0,
+            file_bytes: 80_000,
+            server: ServerId(0),
+        };
+        assert!(img.validate().is_ok());
+        assert_eq!(img.avg_bit_rate(), 0);
+        assert_eq!(img.max_bit_rate(), 80_000 * 8);
+        assert_eq!(img.duration_ms(), 0);
+        let mut bad = img.clone();
+        bad.blocks_per_second = 10;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = video_variant();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Variant = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+}

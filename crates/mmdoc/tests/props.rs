@@ -1,0 +1,160 @@
+//! Property tests for the document model's public API.
+
+use proptest::prelude::*;
+
+use nod_mmdoc::prelude::*;
+use std::collections::HashMap;
+
+fn arb_color() -> impl Strategy<Value = ColorDepth> {
+    prop_oneof![
+        Just(ColorDepth::BlackWhite),
+        Just(ColorDepth::Grey),
+        Just(ColorDepth::Color),
+        Just(ColorDepth::SuperColor),
+    ]
+}
+
+fn arb_video() -> impl Strategy<Value = VideoQos> {
+    (arb_color(), 10u32..=1920, 1u32..=60).prop_map(|(color, px, fps)| VideoQos {
+        color,
+        resolution: Resolution::new(px),
+        frame_rate: FrameRate::new(fps),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `meets` is a partial order: reflexive, antisymmetric (up to
+    /// equality), transitive.
+    #[test]
+    fn video_meets_is_a_partial_order(a in arb_video(), b in arb_video(), c in arb_video()) {
+        prop_assert!(a.meets(&a), "reflexivity");
+        if a.meets(&b) && b.meets(&a) {
+            prop_assert_eq!(a, b, "antisymmetry");
+        }
+        if a.meets(&b) && b.meets(&c) {
+            prop_assert!(a.meets(&c), "transitivity");
+        }
+    }
+
+    /// Variant bit-rate identities: max ≥ avg, duration consistent with
+    /// size and rate.
+    #[test]
+    fn variant_rate_identities(
+        avg in 100u64..100_000,
+        burst_x10 in 10u64..40,
+        fps in 1u32..60,
+        secs in 1u64..600
+    ) {
+        let max = avg * burst_x10 / 10;
+        let v = Variant {
+            id: VariantId(1),
+            monomedia: MonomediaId(1),
+            format: Format::Mpeg1,
+            qos: MediaQos::Video(VideoQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::TV,
+                frame_rate: FrameRate::new(fps),
+            }),
+            blocks: BlockStats::new(max, avg),
+            blocks_per_second: fps,
+            file_bytes: avg * fps as u64 * secs,
+            server: ServerId(0),
+        };
+        prop_assert!(v.validate().is_ok());
+        prop_assert!(v.max_bit_rate() >= v.avg_bit_rate());
+        prop_assert_eq!(v.avg_bit_rate(), avg * 8 * fps as u64);
+        prop_assert_eq!(v.duration_ms(), secs * 1_000);
+        prop_assert!(v.blocks.burstiness() >= 1.0);
+    }
+
+    /// Temporal schedules: every start is consistent with its constraint
+    /// and resolution is deterministic.
+    #[test]
+    fn schedule_respects_offsets(offsets in prop::collection::vec(0u64..60_000, 1..8)) {
+        // A chain: mono 0 anchors at 0; mono i starts offsets[i-1] after
+        // mono i-1 starts.
+        let n = offsets.len() + 1;
+        let monos: Vec<Monomedia> = (0..n)
+            .map(|i| {
+                Monomedia::new(MonomediaId(i as u64 + 1), MediaKind::Video, format!("m{i}"))
+                    .with_duration_secs(30)
+            })
+            .collect();
+        let constraints: Vec<TemporalConstraint> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, &off)| {
+                TemporalConstraint::offset(
+                    MonomediaId(i as u64 + 1),
+                    MonomediaId(i as u64 + 2),
+                    off,
+                )
+            })
+            .collect();
+        let doc = Document::multimedia(DocumentId(1), "chain", monos, constraints, vec![]);
+        let s1 = doc.schedule().unwrap();
+        let s2 = doc.schedule().unwrap();
+        prop_assert_eq!(&s1, &s2, "determinism");
+        let mut expected = 0u64;
+        prop_assert_eq!(s1[&MonomediaId(1)], 0);
+        for (i, &off) in offsets.iter().enumerate() {
+            expected += off;
+            prop_assert_eq!(s1[&MonomediaId(i as u64 + 2)], expected);
+        }
+        let total = doc.total_duration_ms().unwrap();
+        prop_assert_eq!(total, expected + 30_000);
+    }
+
+    /// Spatial overlap is symmetric and zero-area intersections don't
+    /// count.
+    #[test]
+    fn spatial_overlap_symmetry(
+        ax in 0u32..500, ay in 0u32..500, aw in 1u32..200, ah in 1u32..200,
+        bx in 0u32..500, by in 0u32..500, bw in 1u32..200, bh in 1u32..200
+    ) {
+        let a = SpatialRegion { monomedia: MonomediaId(1), x: ax, y: ay, width: aw, height: ah };
+        let b = SpatialRegion { monomedia: MonomediaId(2), x: bx, y: by, width: bw, height: bh };
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        // Agreement with the closed-form intersection area.
+        let ix = (ax + aw).min(bx + bw).saturating_sub(ax.max(bx));
+        let iy = (ay + ah).min(by + bh).saturating_sub(ay.max(by));
+        prop_assert_eq!(a.overlaps(&b), ix > 0 && iy > 0);
+    }
+
+    /// Documents survive serde round trips.
+    #[test]
+    fn document_serde_round_trip(n in 1usize..5, secs in 1u64..300) {
+        let monos: Vec<Monomedia> = (0..n)
+            .map(|i| {
+                Monomedia::new(
+                    MonomediaId(i as u64 + 1),
+                    MediaKind::ALL[i % 5],
+                    format!("m{i}"),
+                )
+                .with_duration_secs(secs)
+            })
+            .collect();
+        let doc = Document::multimedia(DocumentId(7), "doc", monos, vec![], vec![]);
+        let json = serde_json::to_string(&doc).unwrap();
+        let back: Document = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+}
+
+/// A plain test kept alongside the properties: resolve_schedule over a
+/// random DAG of `After` constraints always yields starts at or after the
+/// reference's end.
+#[test]
+fn after_constraints_never_overlap_reference() {
+    let durations: HashMap<MonomediaId, u64> =
+        (1..=6u64).map(|i| (MonomediaId(i), i * 7_000)).collect();
+    let constraints: Vec<TemporalConstraint> = (1..6u64)
+        .map(|i| TemporalConstraint::sequence(MonomediaId(i), MonomediaId(i + 1), 500))
+        .collect();
+    let starts = nod_mmdoc::resolve_schedule(&durations, &constraints).unwrap();
+    for c in &constraints {
+        assert!(starts[&c.b] >= starts[&c.a] + durations[&c.a]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Shortest-path routing over the topology.
+//!
+//! Dijkstra on propagation delay; ties broken by hop count then link id so
+//! routes are deterministic. Route computation ignores current load — like
+//! the prototype's static ATM VP layout, path selection is topological and
+//! admission happens per link afterwards.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::topology::{LinkId, NodeId, Topology};
+
+/// Routing failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No path between the endpoints.
+    Unreachable {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Unreachable { from, to } => {
+                write!(f, "no route from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+#[derive(PartialEq, Eq)]
+struct QueueEntry {
+    delay_us: u64,
+    hops: u32,
+    node: NodeId,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (delay, hops, node).
+        (other.delay_us, other.hops, other.node).cmp(&(self.delay_us, self.hops, self.node))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The lowest-delay path from `from` to `to` as a list of links in
+/// traversal order. A zero-length route (`from == to`) is the empty list.
+pub fn route(topo: &Topology, from: NodeId, to: NodeId) -> Result<Vec<LinkId>, RouteError> {
+    if from == to {
+        return Ok(Vec::new());
+    }
+    let mut best: HashMap<NodeId, (u64, u32)> = HashMap::new();
+    let mut prev: HashMap<NodeId, (NodeId, LinkId)> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    best.insert(from, (0, 0));
+    heap.push(QueueEntry {
+        delay_us: 0,
+        hops: 0,
+        node: from,
+    });
+
+    while let Some(QueueEntry {
+        delay_us,
+        hops,
+        node,
+    }) = heap.pop()
+    {
+        if node == to {
+            break;
+        }
+        if best.get(&node).is_some_and(|&(d, h)| (d, h) < (delay_us, hops)) {
+            continue;
+        }
+        let mut incident = topo.incident(node).to_vec();
+        incident.sort_unstable(); // deterministic neighbor order
+        for link in incident {
+            let l = topo.link(link).expect("incident links exist");
+            let next = topo.other_end(link, node);
+            let cand = (delay_us + l.delay_us, hops + 1);
+            if best.get(&next).is_none_or(|&cur| cand < cur) {
+                best.insert(next, cand);
+                prev.insert(next, (node, link));
+                heap.push(QueueEntry {
+                    delay_us: cand.0,
+                    hops: cand.1,
+                    node: next,
+                });
+            }
+        }
+    }
+
+    if !prev.contains_key(&to) {
+        return Err(RouteError::Unreachable { from, to });
+    }
+    let mut links = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let (p, l) = prev[&cur];
+        links.push(l);
+        cur = p;
+    }
+    links.reverse();
+    Ok(links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-node ring with one shortcut:
+    /// 0 -10ms- 1 -10ms- 2 -10ms- 3 -10ms- 0, plus 0 -25ms- 2.
+    fn ring() -> (Topology, Vec<LinkId>) {
+        let mut t = Topology::new();
+        let l01 = t.add_link(NodeId(0), NodeId(1), 1_000_000, 10_000);
+        let l12 = t.add_link(NodeId(1), NodeId(2), 1_000_000, 10_000);
+        let l23 = t.add_link(NodeId(2), NodeId(3), 1_000_000, 10_000);
+        let l30 = t.add_link(NodeId(3), NodeId(0), 1_000_000, 10_000);
+        let l02 = t.add_link(NodeId(0), NodeId(2), 1_000_000, 25_000);
+        (t, vec![l01, l12, l23, l30, l02])
+    }
+
+    #[test]
+    fn trivial_route_is_empty() {
+        let (t, _) = ring();
+        assert_eq!(route(&t, NodeId(1), NodeId(1)).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn picks_lowest_delay_path() {
+        let (t, l) = ring();
+        // 0→2: two hops of 10 ms (20 ms) beat the 25 ms shortcut.
+        assert_eq!(route(&t, NodeId(0), NodeId(2)).unwrap(), vec![l[0], l[1]]);
+    }
+
+    #[test]
+    fn shortcut_wins_when_cheaper() {
+        let mut t = Topology::new();
+        t.add_link(NodeId(0), NodeId(1), 1_000_000, 10_000);
+        t.add_link(NodeId(1), NodeId(2), 1_000_000, 10_000);
+        let fast = t.add_link(NodeId(0), NodeId(2), 1_000_000, 15_000);
+        assert_eq!(route(&t, NodeId(0), NodeId(2)).unwrap(), vec![fast]);
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        let mut t = Topology::new();
+        t.add_link(NodeId(0), NodeId(1), 1_000, 0);
+        t.add_node(NodeId(9));
+        assert_eq!(
+            route(&t, NodeId(0), NodeId(9)).unwrap_err(),
+            RouteError::Unreachable {
+                from: NodeId(0),
+                to: NodeId(9)
+            }
+        );
+    }
+
+    #[test]
+    fn route_is_a_connected_path() {
+        let (t, _) = ring();
+        let links = route(&t, NodeId(1), NodeId(3)).unwrap();
+        let mut cur = NodeId(1);
+        for l in &links {
+            cur = t.other_end(*l, cur);
+        }
+        assert_eq!(cur, NodeId(3));
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        // Two equal-delay parallel 2-hop paths; the same one must win every time.
+        let mut t = Topology::new();
+        t.add_link(NodeId(0), NodeId(1), 1_000, 5_000);
+        t.add_link(NodeId(1), NodeId(3), 1_000, 5_000);
+        t.add_link(NodeId(0), NodeId(2), 1_000, 5_000);
+        t.add_link(NodeId(2), NodeId(3), 1_000, 5_000);
+        let first = route(&t, NodeId(0), NodeId(3)).unwrap();
+        for _ in 0..10 {
+            assert_eq!(route(&t, NodeId(0), NodeId(3)).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn dumbbell_routes_cross_backbone() {
+        let t = Topology::dumbbell(2, 2, 10_000_000, 155_000_000);
+        let c = t.client_node(nod_mmdoc::ClientId(0)).unwrap();
+        let s = t.server_node(nod_mmdoc::ServerId(1)).unwrap();
+        let r = route(&t, c, s).unwrap();
+        assert_eq!(r.len(), 3); // access + backbone + trunk
+    }
+}

@@ -1,0 +1,249 @@
+//! Automatic adaptation (paper §4, last paragraph).
+//!
+//! "During the playout of the document, if the network or/and the server
+//! machine become congested thus leading to lower presentation quality, the
+//! QoS manager makes use of the adaptation procedure. In this case, the QoS
+//! manager considers the ordered set of system offers, **except the current
+//! one** (which is in difficulty), and executes Step 5. If an alternate
+//! system offer is selected and the required resources are reserved, the
+//! QoS manager automatically performs a transition from the current system
+//! offer to the new one" — all without intervention by the user.
+
+use nod_client::ClientMachine;
+
+use crate::classify::{reservation_order, ScoredOffer};
+use crate::negotiate::{try_commit, NegotiationContext, SessionReservation};
+
+/// Why adaptation was triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptationReason {
+    /// A file server serving this session reported violated reservations.
+    ServerCongestion,
+    /// A network link on a session path reported violated reservations.
+    NetworkCongestion,
+    /// The user asked for different QoS mid-session (renegotiation).
+    UserRequest,
+}
+
+/// The result of one adaptation attempt.
+#[derive(Debug)]
+pub struct AdaptationOutcome {
+    /// The newly reserved offer's index into the ordered offer list, if an
+    /// alternate was found.
+    pub new_index: Option<usize>,
+    /// The new resources (present iff `new_index` is).
+    pub reservation: Option<SessionReservation>,
+    /// How many alternates were tried.
+    pub attempts: usize,
+    /// What triggered the adaptation.
+    pub reason: AdaptationReason,
+}
+
+impl AdaptationOutcome {
+    /// Did the adaptation find and reserve an alternate offer?
+    pub fn switched(&self) -> bool {
+        self.new_index.is_some()
+    }
+}
+
+/// Run the adaptation procedure: re-execute step 5 over the remaining
+/// ordered offers and, if an alternate commits, release the current
+/// offer's resources — **make-before-break**.
+///
+/// Holding the current reservation while shopping means a failed
+/// adaptation leaves the session exactly where it was (playing, degraded)
+/// instead of stranded without resources; the price is that an alternate
+/// must fit *alongside* the current reservation for the overlap instant
+/// (on shared healthy components such as the client's access link). The
+/// current offer's own resources sit mostly on the degraded components,
+/// so in practice they rarely block the alternates.
+pub fn adapt(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    ordered_offers: &[ScoredOffer],
+    current_index: usize,
+    current_reservation: &SessionReservation,
+    reason: AdaptationReason,
+) -> AdaptationOutcome {
+    let order = reservation_order(ordered_offers);
+    let mut attempts = 0usize;
+    for idx in order {
+        if idx == current_index {
+            continue; // "except the current one (which is in difficulty)"
+        }
+        attempts += 1;
+        // Mid-session transitions are not bound by the startup deadline —
+        // the user is already watching; the switch is best-effort fast.
+        if let Some(reservation) = try_commit(ctx, client, &ordered_offers[idx].offer, u64::MAX) {
+            // Break the old offer only after the new one is committed.
+            current_reservation.release(ctx.farm, ctx.network);
+            return AdaptationOutcome {
+                new_index: Some(idx),
+                reservation: Some(reservation),
+                attempts,
+                reason,
+            };
+        }
+    }
+    AdaptationOutcome {
+        new_index: None,
+        reservation: None,
+        attempts,
+        reason,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::ClassificationStrategy;
+    use crate::cost::CostModel;
+    use crate::negotiate::{negotiate, NegotiationStatus};
+    use crate::profile::tv_news_profile;
+    use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
+    use nod_mmdb::{CorpusBuilder, CorpusParams};
+    use nod_mmdoc::{ClientId, DocumentId, ServerId};
+    use nod_netsim::{Network, Topology};
+    use nod_simcore::StreamRng;
+
+    struct World {
+        catalog: nod_mmdb::Catalog,
+        farm: ServerFarm,
+        network: Network,
+        cost: CostModel,
+    }
+
+    fn world(seed: u64) -> World {
+        let mut rng = StreamRng::new(seed);
+        let catalog = CorpusBuilder::new(CorpusParams {
+            documents: 6,
+            servers: (0..3).map(ServerId).collect(),
+            video_variants: (4, 6),
+            replicas: (1, 2),
+            ..CorpusParams::default()
+        })
+        .build(&mut rng);
+        World {
+            catalog,
+            farm: ServerFarm::uniform(3, ServerConfig::era_default()),
+            network: Network::new(Topology::dumbbell(4, 3, 25_000_000, 155_000_000)),
+            cost: CostModel::era_default(),
+        }
+    }
+
+    fn ctx<'a>(w: &'a World) -> NegotiationContext<'a> {
+        NegotiationContext {
+            catalog: &w.catalog,
+            farm: &w.farm,
+            network: &w.network,
+            cost_model: &w.cost,
+            strategy: ClassificationStrategy::SnsThenOif,
+            guarantee: Guarantee::Guaranteed,
+            enumeration_cap: 200_000,
+            jitter_buffer_ms: 2_000,
+            prune_dominated: false,
+        }
+    }
+
+    #[test]
+    fn adaptation_switches_to_an_alternate_offer() {
+        let w = world(11);
+        let client = nod_client::ClientMachine::era_workstation(ClientId(0));
+        let out = negotiate(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
+        assert!(matches!(
+            out.status,
+            NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer
+        ));
+        let idx = out.reserved_index.unwrap();
+        let res = out.reservation.as_ref().unwrap();
+
+        // Kill the server carrying the current first stream outright.
+        let victim_server = res.servers[0].0;
+        w.farm.server(victim_server).unwrap().set_health(0.0);
+
+        let adapted = adapt(
+            &ctx(&w),
+            &client,
+            &out.ordered_offers,
+            idx,
+            res,
+            AdaptationReason::ServerCongestion,
+        );
+        // A dead server admits nothing: a switch can only land on an offer
+        // avoiding the victim everywhere; and if no such offer exists the
+        // adaptation must fail.
+        let avoiding_exists = out.ordered_offers.iter().enumerate().any(|(i, s)| {
+            i != idx && s.offer.variants.iter().all(|v| v.server != victim_server)
+        });
+        if !avoiding_exists {
+            assert!(!adapted.switched());
+        }
+        if let Some(new_idx) = adapted.new_index {
+            assert_ne!(new_idx, idx, "must not re-select the offer in difficulty");
+            let new_offer = &out.ordered_offers[new_idx].offer;
+            for v in &new_offer.variants {
+                assert_ne!(v.server, victim_server);
+            }
+        }
+        if let Some(r) = adapted.reservation {
+            r.release(&w.farm, &w.network);
+        } else {
+            // Failed adaptation kept the original resources.
+            res.release(&w.farm, &w.network);
+        }
+        assert_eq!(w.network.active_reservations(), 0);
+    }
+
+    #[test]
+    fn adaptation_fails_when_everything_is_congested() {
+        let w = world(12);
+        let client = nod_client::ClientMachine::era_workstation(ClientId(0));
+        let out = negotiate(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
+        let idx = out.reserved_index.unwrap();
+        let res = out.reservation.as_ref().unwrap();
+        for s in w.farm.ids() {
+            w.farm.server(s).unwrap().set_health(0.0);
+        }
+        let adapted = adapt(
+            &ctx(&w),
+            &client,
+            &out.ordered_offers,
+            idx,
+            res,
+            AdaptationReason::ServerCongestion,
+        );
+        assert!(!adapted.switched());
+        assert!(adapted.attempts >= out.ordered_offers.len() - 1);
+        // Make-before-break: the failed adaptation keeps the current
+        // reservation so the session can keep limping.
+        assert!(w.network.active_reservations() > 0);
+        res.release(&w.farm, &w.network);
+        assert_eq!(w.network.active_reservations(), 0);
+    }
+
+    #[test]
+    fn user_renegotiation_reuses_the_same_machinery() {
+        let w = world(13);
+        let client = nod_client::ClientMachine::era_workstation(ClientId(0));
+        let out = negotiate(&ctx(&w), &client, DocumentId(2), &tv_news_profile()).unwrap();
+        let idx = out.reserved_index.unwrap();
+        let res = out.reservation.as_ref().unwrap();
+        // No congestion at all: a user-driven renegotiation still finds an
+        // alternate (the next offer in the order).
+        let adapted = adapt(
+            &ctx(&w),
+            &client,
+            &out.ordered_offers,
+            idx,
+            res,
+            AdaptationReason::UserRequest,
+        );
+        assert_eq!(adapted.reason, AdaptationReason::UserRequest);
+        if out.ordered_offers.len() > 1 {
+            assert!(adapted.switched());
+        }
+        if let Some(r) = adapted.reservation {
+            r.release(&w.farm, &w.network);
+        }
+    }
+}

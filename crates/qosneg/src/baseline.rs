@@ -1,0 +1,437 @@
+//! Baseline negotiators — the "existing approaches" the paper contrasts.
+//!
+//! The introduction positions the contribution against systems whose "QoS
+//! negotiation mechanisms … are used in a rather static manner, that is,
+//! these mechanisms are restricted to the evaluation of the capacity of
+//! certain system components … a priori known", and notes that existing
+//! approaches "concentrate on the negotiation of a single monomedia
+//! object". Two baselines capture those behaviours for the experiments:
+//!
+//! * [`negotiate_static_first_fit`] — one a-priori configuration (the first
+//!   compatible variant per component, catalog order), a single capacity
+//!   check, no classification, no alternate offers;
+//! * [`negotiate_per_monomedia`] — each monomedia negotiated and optimized
+//!   *independently*, so the document-level cost ceiling and cross-media
+//!   trade-offs are invisible to the optimizer.
+
+use nod_client::ClientMachine;
+use nod_mmdoc::{DocumentId, MonomediaId, Variant};
+
+use crate::classify::{classify, ClassificationStrategy, ScoredOffer};
+use crate::money::Money;
+use crate::negotiate::{
+    try_commit, NegotiationContext, NegotiationError, NegotiationOutcome, NegotiationStatus,
+    NegotiationTrace, SessionReservation,
+};
+use crate::offer::SystemOffer;
+use crate::profile::UserProfile;
+use crate::sns::satisfies_request;
+
+fn feasible_variants<'a>(
+    ctx: &NegotiationContext<'a>,
+    client: &ClientMachine,
+    document: DocumentId,
+) -> Result<Vec<(MonomediaId, Vec<&'a Variant>)>, NegotiationError> {
+    let per_mono = ctx
+        .catalog
+        .variants_of_document(document)
+        .map_err(|_| NegotiationError::UnknownDocument(document))?;
+    Ok(per_mono
+        .into_iter()
+        .map(|(mono, variants)| {
+            let feasible: Vec<&Variant> = variants
+                .into_iter()
+                .filter(|v| client.feasible(v))
+                .filter(|v| ctx.network.path(client.id, v.server).is_ok())
+                .collect();
+            (mono, feasible)
+        })
+        .collect())
+}
+
+fn durations(
+    ctx: &NegotiationContext<'_>,
+    document: DocumentId,
+) -> std::collections::HashMap<MonomediaId, u64> {
+    ctx.catalog
+        .document(document)
+        .expect("checked")
+        .monomedia()
+        .iter()
+        .map(|m| (m.id, m.duration_ms))
+        .collect()
+}
+
+fn outcome_for_offer(
+    profile: &UserProfile,
+    offer: SystemOffer,
+    reservation: Option<SessionReservation>,
+    trace: NegotiationTrace,
+) -> NegotiationOutcome {
+    let scored = classify(vec![offer], profile, ClassificationStrategy::SnsThenOif);
+    let reserved = reservation.is_some();
+    let satisfies = scored[0].satisfies_request;
+    NegotiationOutcome {
+        status: match (reserved, satisfies) {
+            (true, true) => NegotiationStatus::Succeeded,
+            (true, false) => NegotiationStatus::FailedWithOffer,
+            (false, _) => NegotiationStatus::FailedTryLater,
+        },
+        user_offer: reserved.then(|| scored[0].offer.to_user_offer()),
+        reserved_index: reserved.then_some(0),
+        reservation,
+        ordered_offers: scored,
+        local_offer: None,
+        commit_failures: Vec::new(),
+        trace,
+    }
+}
+
+/// Static first-fit negotiation: evaluate the capacity of the single
+/// a-priori configuration and accept or reject.
+pub fn negotiate_static_first_fit(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    document: DocumentId,
+    profile: &UserProfile,
+) -> Result<NegotiationOutcome, NegotiationError> {
+    profile
+        .validate()
+        .map_err(NegotiationError::InvalidProfile)?;
+    let per_mono = feasible_variants(ctx, client, document)?;
+    let mut trace = NegotiationTrace {
+        feasible_variants: per_mono.iter().map(|(_, v)| v.len()).sum(),
+        ..NegotiationTrace::default()
+    };
+
+    let mut chosen: Vec<&Variant> = Vec::with_capacity(per_mono.len());
+    for (_, variants) in &per_mono {
+        match variants.first() {
+            Some(v) => chosen.push(v),
+            None => {
+                return Ok(NegotiationOutcome {
+                    status: NegotiationStatus::FailedWithoutOffer,
+                    user_offer: None,
+                    reserved_index: None,
+                    reservation: None,
+                    ordered_offers: Vec::new(),
+                    local_offer: None,
+                    commit_failures: Vec::new(),
+                    trace,
+                })
+            }
+        }
+    }
+    trace.offers_enumerated = 1;
+    trace.reservation_attempts = 1;
+    let durs = durations(ctx, document);
+    let cost = ctx.cost_model.document_cost(
+        chosen.iter().map(|v| (*v, durs[&v.monomedia])),
+        ctx.guarantee,
+    );
+    let offer = SystemOffer {
+        variants: chosen.into_iter().cloned().collect(),
+        cost,
+    };
+    let reservation = try_commit(ctx, client, &offer, profile.time.max_startup_ms);
+    Ok(outcome_for_offer(profile, offer, reservation, trace))
+}
+
+/// Per-monomedia negotiation: optimize and commit each component in
+/// isolation (the paper's "single monomedia object" negotiation style).
+///
+/// Each component's variants are scored as one-variant offers (carrying
+/// only that component's cost) and reserved greedily in classified order.
+/// The document-level cost ceiling is never consulted during optimization —
+/// exactly the blind spot the paper's atomic whole-document negotiation
+/// fixes.
+pub fn negotiate_per_monomedia(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    document: DocumentId,
+    profile: &UserProfile,
+) -> Result<NegotiationOutcome, NegotiationError> {
+    profile
+        .validate()
+        .map_err(NegotiationError::InvalidProfile)?;
+    let per_mono = feasible_variants(ctx, client, document)?;
+    let durs = durations(ctx, document);
+    let mut trace = NegotiationTrace {
+        feasible_variants: per_mono.iter().map(|(_, v)| v.len()).sum(),
+        ..NegotiationTrace::default()
+    };
+
+    let mut committed: Vec<(ScoredOffer, SessionReservation)> = Vec::new();
+    let release_all = |committed: &[(ScoredOffer, SessionReservation)]| {
+        for (_, r) in committed {
+            r.release(ctx.farm, ctx.network);
+        }
+    };
+
+    for (mono, variants) in &per_mono {
+        if variants.is_empty() {
+            release_all(&committed);
+            return Ok(NegotiationOutcome {
+                status: NegotiationStatus::FailedWithoutOffer,
+                user_offer: None,
+                reserved_index: None,
+                reservation: None,
+                ordered_offers: Vec::new(),
+                local_offer: None,
+                commit_failures: Vec::new(),
+                trace,
+            });
+        }
+        let offers: Vec<SystemOffer> = variants
+            .iter()
+            .map(|v| {
+                let (net, ser) = ctx
+                    .cost_model
+                    .monomedia_cost(v, durs[mono], ctx.guarantee);
+                SystemOffer {
+                    variants: vec![(*v).clone()],
+                    cost: net + ser,
+                }
+            })
+            .collect();
+        trace.offers_enumerated += offers.len();
+        let scored = classify(offers, profile, ctx.strategy);
+        let mut reserved = None;
+        for s in scored {
+            trace.reservation_attempts += 1;
+            if let Some(r) = try_commit(ctx, client, &s.offer, profile.time.max_startup_ms) {
+                reserved = Some((s, r));
+                break;
+            }
+        }
+        match reserved {
+            Some(pair) => committed.push(pair),
+            None => {
+                release_all(&committed);
+                return Ok(NegotiationOutcome {
+                    status: NegotiationStatus::FailedTryLater,
+                    user_offer: None,
+                    reserved_index: None,
+                    reservation: None,
+                    ordered_offers: Vec::new(),
+                    local_offer: None,
+                    commit_failures: Vec::new(),
+                    trace,
+                });
+            }
+        }
+    }
+
+    // Assemble the document-level result from the independent commitments.
+    let variants: Vec<Variant> = committed
+        .iter()
+        .flat_map(|(s, _)| s.offer.variants.clone())
+        .collect();
+    let cost: Money = ctx.cost_model.copyright
+        + committed.iter().map(|(s, _)| s.offer.cost).sum::<Money>();
+    let reservation = SessionReservation {
+        servers: committed
+            .iter()
+            .flat_map(|(_, r)| r.servers.clone())
+            .collect(),
+        network: committed
+            .iter()
+            .flat_map(|(_, r)| r.network.clone())
+            .collect(),
+    };
+    let offer = SystemOffer { variants, cost };
+    let qos: Vec<&nod_mmdoc::MediaQos> = offer.qos_values().collect();
+    let satisfies = satisfies_request(profile, qos, offer.cost);
+    let scored = classify(vec![offer], profile, ClassificationStrategy::SnsThenOif);
+    Ok(NegotiationOutcome {
+        status: if satisfies {
+            NegotiationStatus::Succeeded
+        } else {
+            NegotiationStatus::FailedWithOffer
+        },
+        user_offer: Some(scored[0].offer.to_user_offer()),
+        reserved_index: Some(0),
+        reservation: Some(reservation),
+        ordered_offers: scored,
+        local_offer: None,
+        commit_failures: Vec::new(),
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::negotiate::negotiate;
+    use crate::profile::tv_news_profile;
+    use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
+    use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
+    use nod_mmdoc::{ClientId, ServerId};
+    use nod_netsim::{Network, Topology};
+    use nod_simcore::StreamRng;
+
+    struct World {
+        catalog: Catalog,
+        farm: ServerFarm,
+        network: Network,
+        cost: CostModel,
+    }
+
+    fn world(seed: u64) -> World {
+        let mut rng = StreamRng::new(seed);
+        let catalog = CorpusBuilder::new(CorpusParams {
+            documents: 6,
+            servers: (0..3).map(ServerId).collect(),
+            video_variants: (3, 6),
+            ..CorpusParams::default()
+        })
+        .build(&mut rng);
+        World {
+            catalog,
+            farm: ServerFarm::uniform(3, ServerConfig::era_default()),
+            network: Network::new(Topology::dumbbell(4, 3, 25_000_000, 155_000_000)),
+            cost: CostModel::era_default(),
+        }
+    }
+
+    fn ctx<'a>(w: &'a World) -> NegotiationContext<'a> {
+        NegotiationContext {
+            catalog: &w.catalog,
+            farm: &w.farm,
+            network: &w.network,
+            cost_model: &w.cost,
+            strategy: ClassificationStrategy::SnsThenOif,
+            guarantee: Guarantee::Guaranteed,
+            enumeration_cap: 200_000,
+            jitter_buffer_ms: 2_000,
+            prune_dominated: false,
+        }
+    }
+
+    #[test]
+    fn first_fit_commits_a_single_offer() {
+        let w = world(31);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out =
+            negotiate_static_first_fit(&ctx(&w), &client, DocumentId(1), &tv_news_profile())
+                .unwrap();
+        assert_eq!(out.trace.offers_enumerated, 1);
+        assert_eq!(out.trace.reservation_attempts, 1);
+        assert_eq!(out.ordered_offers.len(), 1);
+        if let Some(r) = &out.reservation {
+            r.release(&w.farm, &w.network);
+        }
+    }
+
+    #[test]
+    fn smart_beats_first_fit_on_offer_quality() {
+        // Over several corpora the smart negotiator's accepted offer must
+        // be at least as good (by the user's own OIF) as first-fit's.
+        let mut smart_better = 0;
+        let mut comparisons = 0;
+        for seed in 40..48 {
+            let w = world(seed);
+            let client = ClientMachine::era_workstation(ClientId(0));
+            let profile = tv_news_profile();
+            let smart = negotiate(&ctx(&w), &client, DocumentId(1), &profile).unwrap();
+            if let Some(r) = &smart.reservation {
+                r.release(&w.farm, &w.network);
+            }
+            let naive =
+                negotiate_static_first_fit(&ctx(&w), &client, DocumentId(1), &profile).unwrap();
+            if let Some(r) = &naive.reservation {
+                r.release(&w.farm, &w.network);
+            }
+            if let (Some(si), Some(_)) = (smart.reserved_index, naive.reserved_index) {
+                comparisons += 1;
+                let s_oif = smart.ordered_offers[si].oif;
+                let n_oif = naive.ordered_offers[0].oif;
+                assert!(
+                    s_oif >= n_oif - 1e-9,
+                    "seed {seed}: smart OIF {s_oif} < first-fit OIF {n_oif}"
+                );
+                if s_oif > n_oif + 1e-9 {
+                    smart_better += 1;
+                }
+            }
+        }
+        assert!(comparisons > 0);
+        assert!(
+            smart_better > 0,
+            "smart negotiation never strictly improved on first-fit"
+        );
+    }
+
+    #[test]
+    fn per_monomedia_commits_every_component() {
+        let w = world(32);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out =
+            negotiate_per_monomedia(&ctx(&w), &client, DocumentId(1), &tv_news_profile())
+                .unwrap();
+        assert!(matches!(
+            out.status,
+            NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer
+        ));
+        let doc = w.catalog.document(DocumentId(1)).unwrap();
+        let offer = &out.ordered_offers[0].offer;
+        assert_eq!(offer.variants.len(), doc.monomedia().len());
+        out.reservation.unwrap().release(&w.farm, &w.network);
+        assert_eq!(w.network.active_reservations(), 0);
+    }
+
+    #[test]
+    fn per_monomedia_failure_releases_partial_commitments() {
+        let w = world(33);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        // Choke everything: the first monomedia may commit, later ones fail.
+        for s in w.farm.ids() {
+            w.farm.server(s).unwrap().set_health(0.0);
+        }
+        let out =
+            negotiate_per_monomedia(&ctx(&w), &client, DocumentId(1), &tv_news_profile())
+                .unwrap();
+        assert_eq!(out.status, NegotiationStatus::FailedTryLater);
+        assert_eq!(w.network.active_reservations(), 0, "leaked reservations");
+    }
+
+    #[test]
+    fn per_monomedia_can_overshoot_the_budget_where_atomic_respects_it() {
+        // The structural claim (paper §1/§8): optimizing each monomedia in
+        // isolation ignores the document-level cost ceiling, so across
+        // corpora the per-monomedia baseline must sometimes deliver an
+        // offer above max_cost while atomic negotiation, when it succeeds,
+        // never does.
+        let mut overshoots = 0;
+        for seed in 60..75 {
+            let w = world(seed);
+            let client = ClientMachine::era_workstation(ClientId(0));
+            let mut profile = tv_news_profile();
+            profile.max_cost = Money::from_dollars(5);
+            let atomic = negotiate(&ctx(&w), &client, DocumentId(1), &profile).unwrap();
+            if atomic.status == NegotiationStatus::Succeeded {
+                let idx = atomic.reserved_index.unwrap();
+                assert!(atomic.ordered_offers[idx].offer.cost <= profile.max_cost);
+            }
+            if let Some(r) = &atomic.reservation {
+                r.release(&w.farm, &w.network);
+            }
+            let per =
+                negotiate_per_monomedia(&ctx(&w), &client, DocumentId(1), &profile).unwrap();
+            if let Some(offer) = per.user_offer {
+                if offer.cost > profile.max_cost {
+                    overshoots += 1;
+                }
+            }
+            if let Some(r) = &per.reservation {
+                r.release(&w.farm, &w.network);
+            }
+        }
+        assert!(
+            overshoots > 0,
+            "per-monomedia baseline never overshot the budget — the \
+             experiment would be vacuous"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! User confirmation (paper §4 step 6, §8).
+//!
+//! "Once the resources are reserved for a system offer, a notification is
+//! sent to the user … The user must confirm the user offer (rejection or
+//! acceptance) within a limited amount of time since the resources are
+//! reserved." The GUI arms a timer initialized to `choicePeriod`; "if a
+//! time-out is reached before pressing OK, the session is simply aborted".
+
+use nod_simcore::{SimDuration, SimTime};
+
+/// What became of a pending confirmation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfirmationDecision {
+    /// The user pressed OK inside the choice period: start playing.
+    Accepted,
+    /// The user pressed CANCEL inside the choice period: release resources.
+    Rejected,
+    /// The choice period elapsed: abort and release resources.
+    TimedOut,
+}
+
+/// The `choicePeriod` timer armed when the offer window is displayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfirmationTimer {
+    armed_at: SimTime,
+    choice_period: SimDuration,
+}
+
+impl ConfirmationTimer {
+    /// Arm the timer at `now` for `choice_period_ms`.
+    pub fn arm(now: SimTime, choice_period_ms: u64) -> Self {
+        ConfirmationTimer {
+            armed_at: now,
+            choice_period: SimDuration::from_millis(choice_period_ms),
+        }
+    }
+
+    /// The instant the offer expires.
+    pub fn deadline(&self) -> SimTime {
+        self.armed_at + self.choice_period
+    }
+
+    /// Has the timer expired at `now`?
+    pub fn expired_at(&self, now: SimTime) -> bool {
+        now > self.deadline()
+    }
+
+    /// Resolve a user action arriving at `at`. `None` models the user never
+    /// responding (only meaningful once the deadline passed).
+    ///
+    /// Returns `None` when no decision can be made yet (no user action and
+    /// the deadline has not passed).
+    pub fn resolve(&self, at: SimTime, action: Option<bool>) -> Option<ConfirmationDecision> {
+        if self.expired_at(at) {
+            return Some(ConfirmationDecision::TimedOut);
+        }
+        match action {
+            Some(true) => Some(ConfirmationDecision::Accepted),
+            Some(false) => Some(ConfirmationDecision::Rejected),
+            None => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_within_period() {
+        let t = ConfirmationTimer::arm(SimTime::from_secs(10), 30_000);
+        assert_eq!(t.deadline(), SimTime::from_secs(40));
+        assert_eq!(
+            t.resolve(SimTime::from_secs(20), Some(true)),
+            Some(ConfirmationDecision::Accepted)
+        );
+        assert_eq!(
+            t.resolve(SimTime::from_secs(20), Some(false)),
+            Some(ConfirmationDecision::Rejected)
+        );
+    }
+
+    #[test]
+    fn timeout_wins_over_late_action() {
+        let t = ConfirmationTimer::arm(SimTime::ZERO, 30_000);
+        // A click arriving after the deadline is a timeout: the resources
+        // were already released.
+        assert_eq!(
+            t.resolve(SimTime::from_secs(31), Some(true)),
+            Some(ConfirmationDecision::TimedOut)
+        );
+        assert_eq!(
+            t.resolve(SimTime::from_secs(31), None),
+            Some(ConfirmationDecision::TimedOut)
+        );
+    }
+
+    #[test]
+    fn pending_when_no_action_before_deadline() {
+        let t = ConfirmationTimer::arm(SimTime::ZERO, 30_000);
+        assert_eq!(t.resolve(SimTime::from_secs(10), None), None);
+        // Boundary: exactly at the deadline the user can still confirm.
+        assert!(!t.expired_at(SimTime::from_secs(30)));
+        assert_eq!(
+            t.resolve(SimTime::from_secs(30), Some(true)),
+            Some(ConfirmationDecision::Accepted)
+        );
+    }
+}

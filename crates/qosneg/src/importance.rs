@@ -1,0 +1,368 @@
+//! Importance factors and the overall importance factor (paper §3, §5.2.2).
+//!
+//! The user assigns importance values to *specific anchor values* of each
+//! QoS parameter (e.g. frame rate at frozen/TV/HDTV rate); between anchors
+//! the importance is interpolated linearly. The importance of a set of QoS
+//! parameter values is the **sum** of the per-value importances; the cost
+//! importance is the product of the per-dollar importance and the offer's
+//! cost; and the overall importance factor of an offer is
+//!
+//! ```text
+//! overall_importance = QoS_importance − cost_importance
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use nod_mmdoc::prelude::*;
+
+use crate::money::Money;
+
+/// A piecewise-linear importance curve over a numeric QoS axis.
+///
+/// Implements the paper's rule: the user specifies importance for a small
+/// set of parameter values; intermediate values interpolate linearly;
+/// values outside the anchored range clamp to the end anchors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseLinear {
+    points: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// A curve through the given `(value, importance)` anchors.
+    ///
+    /// # Panics
+    /// Panics on fewer than one anchor, non-finite coordinates, or
+    /// non-increasing x values.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "importance curve needs an anchor");
+        for &(x, y) in &points {
+            assert!(x.is_finite() && y.is_finite(), "non-finite anchor ({x},{y})");
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate anchor x values"
+        );
+        PiecewiseLinear { points }
+    }
+
+    /// Interpolated importance at `x`.
+    pub fn value_at(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if x <= x1 {
+                return y0 + (x - x0) / (x1 - x0) * (y1 - y0);
+            }
+        }
+        unreachable!("x within anchored range")
+    }
+
+    /// The anchors.
+    pub fn anchors(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// The user's importance profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImportanceProfile {
+    /// Importance per color depth, indexed by [`ColorDepth::level`].
+    pub color: [f64; 4],
+    /// Importance curve over frames per second.
+    pub frame_rate: PiecewiseLinear,
+    /// Importance curve over pixels per line.
+    pub resolution: PiecewiseLinear,
+    /// Importance per audio quality, indexed worst→best
+    /// (telephone, radio, CD).
+    pub audio_quality: [f64; 3],
+    /// Importance of an English track.
+    pub english: f64,
+    /// Importance of a French track (the paper's example (4): "french is
+    /// more important than english").
+    pub french: f64,
+    /// Importance of one dollar of cost (paper §5.2.2 (b)).
+    pub cost_per_dollar: f64,
+}
+
+impl Default for ImportanceProfile {
+    /// Defaults anchored on the paper's running example: color 9 / grey 6 /
+    /// black&white 2, TV-rate importance 9, TV-resolution importance 9,
+    /// cost importance 4.
+    fn default() -> Self {
+        ImportanceProfile {
+            color: [2.0, 6.0, 9.0, 12.0],
+            frame_rate: PiecewiseLinear::new(vec![(1.0, 1.0), (25.0, 9.0), (60.0, 12.0)]),
+            resolution: PiecewiseLinear::new(vec![(10.0, 1.0), (640.0, 9.0), (1920.0, 12.0)]),
+            audio_quality: [3.0, 6.0, 9.0],
+            english: 0.0,
+            french: 0.0,
+            cost_per_dollar: 4.0,
+        }
+    }
+}
+
+impl ImportanceProfile {
+    /// Importance of a color depth.
+    pub fn color_importance(&self, c: ColorDepth) -> f64 {
+        self.color[c.level() as usize]
+    }
+
+    /// Importance of a frame rate (interpolated).
+    pub fn frame_rate_importance(&self, fr: FrameRate) -> f64 {
+        self.frame_rate.value_at(fr.fps() as f64)
+    }
+
+    /// Importance of a resolution (interpolated).
+    pub fn resolution_importance(&self, r: Resolution) -> f64 {
+        self.resolution.value_at(r.pixels_per_line() as f64)
+    }
+
+    /// Importance of an audio quality.
+    pub fn audio_quality_importance(&self, q: AudioQuality) -> f64 {
+        match q {
+            AudioQuality::Telephone => self.audio_quality[0],
+            AudioQuality::Radio => self.audio_quality[1],
+            AudioQuality::Cd => self.audio_quality[2],
+        }
+    }
+
+    /// Importance of a track language (`Any` carries the better of the two
+    /// — a language-neutral track satisfies either preference).
+    pub fn language_importance(&self, l: Language) -> f64 {
+        match l {
+            Language::English => self.english,
+            Language::French => self.french,
+            Language::Any => self.english.max(self.french),
+        }
+    }
+
+    /// QoS importance of one per-media QoS value: the sum of its parameter
+    /// importances (paper §5.2.2 (a)).
+    pub fn media_importance(&self, qos: &MediaQos) -> f64 {
+        match qos {
+            MediaQos::Video(v) => {
+                self.color_importance(v.color)
+                    + self.resolution_importance(v.resolution)
+                    + self.frame_rate_importance(v.frame_rate)
+            }
+            MediaQos::Audio(a) => {
+                self.audio_quality_importance(a.quality)
+                    + self.language_importance(a.language)
+            }
+            MediaQos::Text(t) => self.language_importance(t.language),
+            MediaQos::Image(i) | MediaQos::Graphic(i) => {
+                self.color_importance(i.color) + self.resolution_importance(i.resolution)
+            }
+        }
+    }
+
+    /// QoS importance of a whole offer (sum over its monomedia QoS values).
+    pub fn qos_importance<'a>(&self, qos: impl IntoIterator<Item = &'a MediaQos>) -> f64 {
+        qos.into_iter().map(|q| self.media_importance(q)).sum()
+    }
+
+    /// Cost importance: per-dollar importance × cost (paper §5.2.2 (b)).
+    pub fn cost_importance(&self, cost: Money) -> f64 {
+        self.cost_per_dollar * cost.dollars()
+    }
+
+    /// Overall importance factor (paper §5.2.2 (c)):
+    /// `QoS_importance − cost_importance`.
+    pub fn overall<'a>(
+        &self,
+        qos: impl IntoIterator<Item = &'a MediaQos>,
+        cost: Money,
+    ) -> f64 {
+        self.qos_importance(qos) - self.cost_importance(cost)
+    }
+
+    /// The importance profile of the paper's §5.2.2 example setting (1):
+    /// color 9, grey 6, black&white 2, TV resolution 9, 25 fps 9,
+    /// 15 fps 5, cost importance 4. (Super-color and HDTV anchors keep the
+    /// default scale; they do not appear in the example.)
+    pub fn paper_example(cost_per_dollar: f64) -> Self {
+        ImportanceProfile {
+            color: [2.0, 6.0, 9.0, 12.0],
+            frame_rate: PiecewiseLinear::new(vec![
+                (1.0, 1.0),
+                (15.0, 5.0),
+                (25.0, 9.0),
+                (60.0, 12.0),
+            ]),
+            resolution: PiecewiseLinear::new(vec![(10.0, 1.0), (640.0, 9.0), (1920.0, 12.0)]),
+            audio_quality: [3.0, 6.0, 9.0],
+            english: 0.0,
+            french: 0.0,
+            cost_per_dollar,
+        }
+    }
+
+    /// The §5.2.2 setting (3): all QoS importances zero, cost importance 4 —
+    /// "the QoS is not an important constraint; the cost is the main
+    /// constraint".
+    pub fn cost_only(cost_per_dollar: f64) -> Self {
+        ImportanceProfile {
+            color: [0.0; 4],
+            frame_rate: PiecewiseLinear::new(vec![(1.0, 0.0)]),
+            resolution: PiecewiseLinear::new(vec![(10.0, 0.0)]),
+            audio_quality: [0.0; 3],
+            english: 0.0,
+            french: 0.0,
+            cost_per_dollar,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn video(color: ColorDepth, px: u32, fps: u32) -> MediaQos {
+        MediaQos::Video(VideoQos {
+            color,
+            resolution: Resolution::new(px),
+            frame_rate: FrameRate::new(fps),
+        })
+    }
+
+    #[test]
+    fn piecewise_linear_interpolates_and_clamps() {
+        let c = PiecewiseLinear::new(vec![(1.0, 1.0), (25.0, 9.0), (60.0, 12.0)]);
+        assert_eq!(c.value_at(1.0), 1.0);
+        assert_eq!(c.value_at(25.0), 9.0);
+        assert_eq!(c.value_at(60.0), 12.0);
+        // Midpoint of the first segment.
+        assert!((c.value_at(13.0) - 5.0).abs() < 1e-12);
+        // Clamped outside range.
+        assert_eq!(c.value_at(0.0), 1.0);
+        assert_eq!(c.value_at(100.0), 12.0);
+        // Single anchor = constant.
+        let flat = PiecewiseLinear::new(vec![(5.0, 7.0)]);
+        assert_eq!(flat.value_at(0.0), 7.0);
+        assert_eq!(flat.value_at(50.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate anchor")]
+    fn duplicate_anchors_rejected() {
+        PiecewiseLinear::new(vec![(1.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    fn paper_example_setting1_oifs() {
+        // §5.2.2 (1): OIFs must be offer1:10, offer2:7, offer3:12, offer4:7.
+        let imp = ImportanceProfile::paper_example(4.0);
+        let offers = [
+            (video(ColorDepth::BlackWhite, 640, 25), Money::from_dollars_f64(2.5)),
+            (video(ColorDepth::Color, 640, 15), Money::from_dollars(4)),
+            (video(ColorDepth::Grey, 640, 25), Money::from_dollars(3)),
+            (video(ColorDepth::Color, 640, 25), Money::from_dollars(5)),
+        ];
+        let oifs: Vec<f64> = offers
+            .iter()
+            .map(|(q, c)| imp.overall([q], *c))
+            .collect();
+        assert_eq!(oifs, vec![10.0, 7.0, 12.0, 7.0]);
+    }
+
+    #[test]
+    fn paper_example_setting2_oifs() {
+        // §5.2.2 (2): cost importance 0 → OIFs 20, 23, 24, 27.
+        let imp = ImportanceProfile::paper_example(0.0);
+        let offers = [
+            (video(ColorDepth::BlackWhite, 640, 25), Money::from_dollars_f64(2.5)),
+            (video(ColorDepth::Color, 640, 15), Money::from_dollars(4)),
+            (video(ColorDepth::Grey, 640, 25), Money::from_dollars(3)),
+            (video(ColorDepth::Color, 640, 25), Money::from_dollars(5)),
+        ];
+        let oifs: Vec<f64> = offers
+            .iter()
+            .map(|(q, c)| imp.overall([q], *c))
+            .collect();
+        assert_eq!(oifs, vec![20.0, 23.0, 24.0, 27.0]);
+    }
+
+    #[test]
+    fn paper_example_setting3_oifs() {
+        // §5.2.2 (3): QoS importances 0, cost 4 → OIFs −10, −16, −12, −20.
+        let imp = ImportanceProfile::cost_only(4.0);
+        let offers = [
+            (video(ColorDepth::BlackWhite, 640, 25), Money::from_dollars_f64(2.5)),
+            (video(ColorDepth::Color, 640, 15), Money::from_dollars(4)),
+            (video(ColorDepth::Grey, 640, 25), Money::from_dollars(3)),
+            (video(ColorDepth::Color, 640, 25), Money::from_dollars(5)),
+        ];
+        let oifs: Vec<f64> = offers
+            .iter()
+            .map(|(q, c)| imp.overall([q], *c))
+            .collect();
+        assert_eq!(oifs, vec![-10.0, -16.0, -12.0, -20.0]);
+    }
+
+    #[test]
+    fn multimedia_importance_sums_components() {
+        let imp = ImportanceProfile::default();
+        let v = video(ColorDepth::Color, 640, 25);
+        let a = MediaQos::Audio(AudioQos {
+            quality: AudioQuality::Cd,
+            language: Language::English,
+        });
+        let together = imp.qos_importance([&v, &a]);
+        assert!(
+            (together - (imp.media_importance(&v) + imp.media_importance(&a))).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn french_preference() {
+        let imp = ImportanceProfile {
+            french: 5.0,
+            english: 2.0,
+            ..ImportanceProfile::default()
+        };
+        let fr = MediaQos::Text(TextQos {
+            language: Language::French,
+        });
+        let en = MediaQos::Text(TextQos {
+            language: Language::English,
+        });
+        assert!(imp.media_importance(&fr) > imp.media_importance(&en));
+        let any = MediaQos::Text(TextQos {
+            language: Language::Any,
+        });
+        assert_eq!(imp.media_importance(&any), 5.0);
+    }
+
+    #[test]
+    fn cost_importance_is_linear_in_dollars() {
+        let imp = ImportanceProfile::default();
+        assert_eq!(imp.cost_importance(Money::from_dollars(1)), 4.0);
+        assert_eq!(imp.cost_importance(Money::from_dollars_f64(2.5)), 10.0);
+        assert_eq!(imp.cost_importance(Money::ZERO), 0.0);
+    }
+
+    #[test]
+    fn image_importance_uses_color_and_resolution() {
+        let imp = ImportanceProfile::default();
+        let i = MediaQos::Image(ImageQos {
+            color: ColorDepth::Color,
+            resolution: Resolution::TV,
+        });
+        assert_eq!(imp.media_importance(&i), 9.0 + 9.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let imp = ImportanceProfile::paper_example(4.0);
+        let json = serde_json::to_string(&imp).unwrap();
+        let back: ImportanceProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, imp);
+    }
+}

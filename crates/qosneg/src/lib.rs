@@ -1,0 +1,59 @@
+//! The QoS negotiation procedure for distributed multimedia presentational
+//! applications — the paper's primary contribution.
+//!
+//! Given a document (whose monomedia each exist in several stored
+//! [`Variant`](nod_mmdoc::Variant)s) and a [`profile::UserProfile`], the
+//! [`manager::QosManager`] runs the paper's six steps:
+//!
+//! 1. **Static local negotiation** ([`negotiate`]) — client capability check
+//!    against the [`nod_client::ClientMachine`] model;
+//! 2. **Static compatibility checking** — decoder/format filtering;
+//! 3. **Computation of classification parameters** ([`sns`],
+//!    [`importance`]) — static negotiation status and overall importance
+//!    factor per system offer;
+//! 4. **Classification of system offers** ([`mod@classify`]) — SNS primary,
+//!    OIF secondary;
+//! 5. **Resource commitment** — two-phase reservation against the
+//!    [`nod_cmfs::ServerFarm`] and [`nod_netsim::Network`], walking the
+//!    ordered offers;
+//! 6. **User confirmation** ([`confirm`]) — the `choicePeriod` timer.
+//!
+//! Supporting models: [`mapping`] (§6 user-QoS → network-QoS),
+//! [`cost`] (§7 throughput-class cost tables and formula (1)),
+//! [`offer`] (Definitions 1 and 2), [`adapt`] (the automatic adaptation
+//! procedure), and [`baseline`] (the "existing approaches" the paper argues
+//! against, used as experimental baselines).
+
+pub mod adapt;
+pub mod baseline;
+pub mod classify;
+pub mod confirm;
+pub mod cost;
+pub mod future;
+pub mod hierarchy;
+pub mod importance;
+pub mod manager;
+pub mod mapping;
+pub mod money;
+pub mod negotiate;
+pub mod offer;
+pub mod profile;
+pub mod prune;
+pub mod sns;
+pub mod startup;
+
+pub use adapt::{AdaptationOutcome, AdaptationReason};
+pub use classify::{classify, ClassificationStrategy, ScoredOffer};
+pub use confirm::{ConfirmationDecision, ConfirmationTimer};
+pub use cost::{CostModel, CostTable};
+pub use future::{AdvanceBook, AdvanceBookingId, FutureOutcome};
+pub use hierarchy::{negotiate_multidomain, Domain, MultiDomainConfig, MultiDomainOutcome};
+pub use importance::ImportanceProfile;
+pub use manager::{ManagerConfig, QosManager};
+pub use mapping::{map_requirements, NetworkQosSpec};
+pub use money::Money;
+pub use negotiate::{CommitFailure, NegotiationOutcome, NegotiationStatus, SessionReservation};
+pub use offer::{violated_components, SystemOffer, UserOffer};
+pub use profile::{MmQosSpec, TimeProfile, UserProfile};
+pub use prune::{dominates, importance_is_monotone, prune_dominated};
+pub use sns::StaticNegotiationStatus;

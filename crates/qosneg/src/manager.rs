@@ -1,0 +1,491 @@
+//! The QoS manager: negotiation, confirmation, playout and adaptation in
+//! one component (paper §4: "the component which implements the QoS
+//! management functions, namely QoS negotiation and adaptation, is called
+//! the QoS manager").
+
+use nod_client::ClientMachine;
+use nod_cmfs::{Guarantee, ServerFarm};
+use nod_mmdb::Catalog;
+use nod_mmdoc::{DocumentId, MonomediaId, Variant};
+use nod_netsim::Network;
+use nod_syncplay::{PlayoutSession, SessionState, Timeline};
+
+use crate::adapt::{adapt, AdaptationReason};
+use crate::classify::{ClassificationStrategy, ScoredOffer};
+use crate::cost::CostModel;
+use crate::negotiate::{
+    negotiate, NegotiationContext, NegotiationError, NegotiationOutcome, SessionReservation,
+};
+use crate::profile::UserProfile;
+
+/// Tunables of the manager.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Offer-ordering rule.
+    pub strategy: ClassificationStrategy,
+    /// Guarantee class requested from servers and network.
+    pub guarantee: Guarantee,
+    /// Offer-enumeration budget.
+    pub enumeration_cap: usize,
+    /// Client jitter-buffer size handed to playout sessions (ms of media).
+    pub jitter_buffer_ms: u64,
+    /// Delivery ratio a session experiences while its resources are
+    /// violated (fraction of real-time; models congested components).
+    pub degraded_delivery_ratio: f64,
+    /// Prune dominated offers before classification (optimization knob;
+    /// see `nod_qosneg::prune`). Off by default to keep the paper's exact
+    /// fallback semantics.
+    pub prune_dominated: bool,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            strategy: ClassificationStrategy::SnsThenOif,
+            guarantee: Guarantee::Guaranteed,
+            enumeration_cap: 250_000,
+            jitter_buffer_ms: 2_000,
+            prune_dominated: false,
+            degraded_delivery_ratio: 0.3,
+        }
+    }
+}
+
+/// A negotiated document being played.
+#[derive(Debug)]
+pub struct ActiveSession {
+    /// The client machine playing the document.
+    pub client: ClientMachine,
+    /// The document.
+    pub document: DocumentId,
+    /// The playout engine.
+    pub playout: PlayoutSession,
+    /// Committed resources.
+    pub reservation: SessionReservation,
+    /// Index of the active offer in `ordered_offers`.
+    pub offer_index: usize,
+    /// The classified offers captured at negotiation time (the adaptation
+    /// candidate set).
+    pub ordered_offers: Vec<ScoredOffer>,
+}
+
+/// The QoS manager.
+#[derive(Debug)]
+pub struct QosManager {
+    catalog: Catalog,
+    farm: ServerFarm,
+    network: Network,
+    cost_model: CostModel,
+    config: ManagerConfig,
+}
+
+impl QosManager {
+    /// Assemble a manager over the system components.
+    pub fn new(
+        catalog: Catalog,
+        farm: ServerFarm,
+        network: Network,
+        cost_model: CostModel,
+        config: ManagerConfig,
+    ) -> Self {
+        QosManager {
+            catalog,
+            farm,
+            network,
+            cost_model,
+            config,
+        }
+    }
+
+    /// The metadata catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The server farm.
+    pub fn farm(&self) -> &ServerFarm {
+        &self.farm
+    }
+
+    /// The network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The pricing model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ManagerConfig {
+        &self.config
+    }
+
+    /// The negotiation context view of this manager.
+    pub fn context(&self) -> NegotiationContext<'_> {
+        NegotiationContext {
+            catalog: &self.catalog,
+            farm: &self.farm,
+            network: &self.network,
+            cost_model: &self.cost_model,
+            strategy: self.config.strategy,
+            guarantee: self.config.guarantee,
+            enumeration_cap: self.config.enumeration_cap,
+            jitter_buffer_ms: self.config.jitter_buffer_ms,
+            prune_dominated: self.config.prune_dominated,
+        }
+    }
+
+    /// Run the negotiation procedure (steps 1–5).
+    pub fn negotiate(
+        &self,
+        client: &ClientMachine,
+        document: DocumentId,
+        profile: &UserProfile,
+    ) -> Result<NegotiationOutcome, NegotiationError> {
+        negotiate(&self.context(), client, document, profile)
+    }
+
+    /// Release a reservation (user rejected the offer or the
+    /// `choicePeriod` expired).
+    pub fn release(&self, reservation: &SessionReservation) {
+        reservation.release(&self.farm, &self.network);
+    }
+
+    /// Step 6 accepted: turn a successful negotiation outcome into an
+    /// active playout session.
+    ///
+    /// # Panics
+    /// Panics if the outcome carries no reservation (negotiation failed) —
+    /// a misuse, not a runtime condition.
+    pub fn start_session(
+        &self,
+        client: &ClientMachine,
+        outcome: NegotiationOutcome,
+        document: DocumentId,
+    ) -> ActiveSession {
+        let reservation = outcome
+            .reservation
+            .expect("start_session requires a reserved offer");
+        let offer_index = outcome.reserved_index.expect("reserved index present");
+        let timeline = self
+            .timeline_for(document, &outcome.ordered_offers[offer_index])
+            .expect("negotiated offer must produce a valid timeline");
+        ActiveSession {
+            client: client.clone(),
+            document,
+            playout: PlayoutSession::new(timeline, self.config.jitter_buffer_ms),
+            reservation,
+            offer_index,
+            ordered_offers: outcome.ordered_offers,
+        }
+    }
+
+    fn timeline_for(
+        &self,
+        document: DocumentId,
+        offer: &ScoredOffer,
+    ) -> Result<Timeline, String> {
+        let doc = self
+            .catalog
+            .document(document)
+            .ok_or_else(|| format!("unknown document {document}"))?;
+        let selected: std::collections::HashMap<MonomediaId, &Variant> = offer
+            .offer
+            .variants
+            .iter()
+            .map(|v| (v.monomedia, v))
+            .collect();
+        Timeline::build(doc, &selected).map_err(|e| e.to_string())
+    }
+
+    /// Is any of this session's committed resources currently violated by
+    /// server or network congestion?
+    pub fn session_violated(&self, session: &ActiveSession) -> bool {
+        let farm_violations = self.farm.violations();
+        for (server, victims) in &farm_violations {
+            for &(s, id) in &session.reservation.servers {
+                if s == *server && victims.contains(&id) {
+                    return true;
+                }
+            }
+        }
+        let net_violations = self.network.violated_reservations();
+        session
+            .reservation
+            .network
+            .iter()
+            .any(|id| net_violations.contains(id))
+    }
+
+    /// The delivery ratio the session currently experiences.
+    pub fn delivery_ratio(&self, session: &ActiveSession) -> f64 {
+        if self.session_violated(session) {
+            self.config.degraded_delivery_ratio
+        } else {
+            1.0
+        }
+    }
+
+    /// Run the adaptation procedure on a degraded session
+    /// (make-before-break). On success the session transitions (stop →
+    /// capture position → restart on the alternate offer) and `true` is
+    /// returned; if no alternate offer can be reserved the session keeps
+    /// playing its current (degraded) offer and `false` is returned.
+    pub fn adapt_session(&self, session: &mut ActiveSession, reason: AdaptationReason) -> bool {
+        let outcome = adapt(
+            &self.context(),
+            &session.client,
+            &session.ordered_offers,
+            session.offer_index,
+            &session.reservation,
+            reason,
+        );
+        match (outcome.new_index, outcome.reservation) {
+            (Some(idx), Some(reservation)) => {
+                session.playout.interrupt_for_transition();
+                session.offer_index = idx;
+                session.reservation = reservation;
+                let timeline = self
+                    .timeline_for(session.document, &session.ordered_offers[idx])
+                    .expect("alternate offer must produce a valid timeline");
+                session.playout.resume_with(timeline);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// User-driven renegotiation (paper §8: the user edits the offer and
+    /// "initiates a renegotiation"; §8 conclusion: "the procedure can be
+    /// used for negotiation, renegotiation, and adaptation with almost no
+    /// modifications"). Runs a full negotiation under `new_profile`; when
+    /// an offer commits, the session transitions to it exactly like an
+    /// adaptation (position preserved) and the old resources are released.
+    /// When nothing commits, the session keeps playing on its current
+    /// offer and the failure status is returned.
+    pub fn renegotiate_session(
+        &self,
+        session: &mut ActiveSession,
+        new_profile: &UserProfile,
+    ) -> Result<crate::negotiate::NegotiationStatus, NegotiationError> {
+        let outcome = self.negotiate(&session.client, session.document, new_profile)?;
+        match (outcome.reserved_index, outcome.reservation) {
+            (Some(idx), Some(reservation)) => {
+                session.playout.interrupt_for_transition();
+                self.release(&session.reservation);
+                session.reservation = reservation;
+                session.ordered_offers = outcome.ordered_offers;
+                session.offer_index = idx;
+                let timeline = self
+                    .timeline_for(session.document, &session.ordered_offers[idx])
+                    .expect("renegotiated offer must produce a valid timeline");
+                session.playout.resume_with(timeline);
+                Ok(outcome.status)
+            }
+            _ => Ok(outcome.status),
+        }
+    }
+
+    /// Drive a session forward by `dt_ms` of wall time. When the session is
+    /// degraded and `adaptation_enabled`, the adaptation procedure runs
+    /// first. Terminal sessions release their resources and return `false`
+    /// (nothing left to drive).
+    pub fn drive_session(
+        &self,
+        session: &mut ActiveSession,
+        dt_ms: u64,
+        adaptation_enabled: bool,
+    ) -> bool {
+        match session.playout.state() {
+            SessionState::Completed | SessionState::Aborted => return false,
+            _ => {}
+        }
+        if adaptation_enabled && self.session_violated(session) {
+            // Make-before-break: a failed attempt leaves the session
+            // limping on its current offer; it retries on later ticks.
+            self.adapt_session(session, AdaptationReason::ServerCongestion);
+        }
+        let ratio = self.delivery_ratio(session);
+        session.playout.advance(dt_ms, ratio);
+        match session.playout.state() {
+            SessionState::Completed | SessionState::Aborted => {
+                self.release(&session.reservation);
+                false
+            }
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::negotiate::NegotiationStatus;
+    use crate::profile::tv_news_profile;
+    use nod_cmfs::ServerConfig;
+    use nod_mmdb::{CorpusBuilder, CorpusParams};
+    use nod_mmdoc::{ClientId, ServerId};
+    use nod_netsim::Topology;
+    use nod_simcore::StreamRng;
+
+    fn manager(seed: u64) -> QosManager {
+        let mut rng = StreamRng::new(seed);
+        let catalog = CorpusBuilder::new(CorpusParams {
+            documents: 6,
+            servers: (0..3).map(ServerId).collect(),
+            video_variants: (3, 6),
+            replicas: (1, 2),
+            duration_secs: (30, 60),
+            ..CorpusParams::default()
+        })
+        .build(&mut rng);
+        QosManager::new(
+            catalog,
+            ServerFarm::uniform(3, ServerConfig::era_default()),
+            Network::new(Topology::dumbbell(4, 3, 25_000_000, 155_000_000)),
+            CostModel::era_default(),
+            ManagerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_negotiate_play_complete() {
+        let m = manager(21);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out = m
+            .negotiate(&client, DocumentId(1), &tv_news_profile())
+            .unwrap();
+        assert!(matches!(
+            out.status,
+            NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer
+        ));
+        let mut session = m.start_session(&client, out, DocumentId(1));
+        let mut steps = 0;
+        while m.drive_session(&mut session, 500, true) {
+            steps += 1;
+            assert!(steps < 1_000, "session never completed");
+        }
+        assert_eq!(session.playout.state(), SessionState::Completed);
+        assert_eq!(session.playout.stats().transitions, 0);
+        // Resources were returned at completion.
+        assert_eq!(m.network().active_reservations(), 0);
+    }
+
+    #[test]
+    fn congestion_triggers_adaptation_and_session_survives() {
+        let m = manager(22);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out = m
+            .negotiate(&client, DocumentId(1), &tv_news_profile())
+            .unwrap();
+        let mut session = m.start_session(&client, out, DocumentId(1));
+        // Warm up.
+        for _ in 0..10 {
+            m.drive_session(&mut session, 500, true);
+        }
+        // Congest the serving server.
+        let victim = session.reservation.servers[0].0;
+        m.farm().server(victim).unwrap().set_health(0.0);
+        let mut steps = 0;
+        while m.drive_session(&mut session, 500, true) {
+            steps += 1;
+            if steps > 500 {
+                break;
+            }
+        }
+        assert_eq!(session.playout.state(), SessionState::Completed);
+        assert!(
+            session.playout.stats().transitions >= 1,
+            "adaptation should have transitioned"
+        );
+    }
+
+    #[test]
+    fn without_adaptation_congestion_means_stalls() {
+        let m = manager(23);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out = m
+            .negotiate(&client, DocumentId(1), &tv_news_profile())
+            .unwrap();
+        let mut session = m.start_session(&client, out, DocumentId(1));
+        for _ in 0..10 {
+            m.drive_session(&mut session, 500, false);
+        }
+        let victim = session.reservation.servers[0].0;
+        m.farm().server(victim).unwrap().set_health(0.0);
+        let mut steps = 0;
+        while m.drive_session(&mut session, 500, false) && steps < 2_000 {
+            steps += 1;
+        }
+        let stats = session.playout.stats();
+        assert_eq!(stats.transitions, 0);
+        assert!(stats.stall_ms > 0.0, "no adaptation → visible stalls");
+        assert!(stats.continuity() < 1.0);
+    }
+
+    #[test]
+    fn renegotiation_transitions_to_the_new_profile() {
+        let m = manager(25);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out = m
+            .negotiate(&client, DocumentId(1), &tv_news_profile())
+            .unwrap();
+        let mut session = m.start_session(&client, out, DocumentId(1));
+        for _ in 0..10 {
+            m.drive_session(&mut session, 500, true);
+        }
+        let position = session.playout.position_ms();
+        // The user decides cost no longer matters: renegotiate upward.
+        let mut premium = tv_news_profile();
+        premium.max_cost = crate::money::Money::from_dollars(30);
+        premium.importance.cost_per_dollar = 0.1;
+        let status = m.renegotiate_session(&mut session, &premium).unwrap();
+        assert!(matches!(
+            status,
+            NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer
+        ));
+        assert_eq!(session.playout.stats().transitions, 1);
+        assert!(session.playout.position_ms() >= position);
+        // Play to the end on the new offer.
+        while m.drive_session(&mut session, 500, true) {}
+        assert_eq!(session.playout.state(), SessionState::Completed);
+        assert_eq!(m.network().active_reservations(), 0);
+    }
+
+    #[test]
+    fn failed_renegotiation_keeps_the_session_running() {
+        let m = manager(26);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out = m
+            .negotiate(&client, DocumentId(2), &tv_news_profile())
+            .unwrap();
+        let mut session = m.start_session(&client, out, DocumentId(2));
+        for _ in 0..5 {
+            m.drive_session(&mut session, 500, true);
+        }
+        // An impossible renegotiation: zero budget and an impossible deadline.
+        let mut impossible = tv_news_profile();
+        impossible.max_cost = crate::money::Money::ZERO;
+        impossible.time.max_startup_ms = 0;
+        let status = m.renegotiate_session(&mut session, &impossible).unwrap();
+        assert_eq!(status, NegotiationStatus::FailedTryLater);
+        assert_eq!(session.playout.stats().transitions, 0);
+        // The original session still plays.
+        assert!(m.drive_session(&mut session, 500, true));
+    }
+
+    #[test]
+    fn rejected_offer_releases_resources() {
+        let m = manager(24);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out = m
+            .negotiate(&client, DocumentId(2), &tv_news_profile())
+            .unwrap();
+        let res = out.reservation.as_ref().unwrap();
+        assert!(m.network().active_reservations() > 0);
+        m.release(res);
+        assert_eq!(m.network().active_reservations(), 0);
+    }
+}

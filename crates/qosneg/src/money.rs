@@ -1,0 +1,149 @@
+//! Money as integer milli-dollars.
+//!
+//! The cost model multiplies per-second class rates by durations; floating
+//! dollars would accumulate drift across thousands of simulated sessions,
+//! so amounts are `i64` milli-dollars (signed: the OIF subtracts cost terms
+//! and experiment deltas can be negative).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// An amount of money in milli-dollars.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(i64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// From milli-dollars.
+    pub const fn from_millis(m: i64) -> Money {
+        Money(m)
+    }
+
+    /// From whole cents.
+    pub const fn from_cents(c: i64) -> Money {
+        Money(c * 10)
+    }
+
+    /// From whole dollars.
+    pub const fn from_dollars(d: i64) -> Money {
+        Money(d * 1_000)
+    }
+
+    /// From fractional dollars, rounded to the nearest milli-dollar.
+    ///
+    /// # Panics
+    /// Panics on non-finite input.
+    pub fn from_dollars_f64(d: f64) -> Money {
+        assert!(d.is_finite(), "Money::from_dollars_f64: non-finite {d}");
+        Money((d * 1_000.0).round() as i64)
+    }
+
+    /// Milli-dollars.
+    pub const fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Dollars as a float (reporting / importance weighting).
+    pub fn dollars(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Is the amount negative?
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0.checked_add(rhs.0).expect("Money overflow"))
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0.checked_sub(rhs.0).expect("Money overflow"))
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<i64> for Money {
+    type Output = Money;
+    fn mul(self, k: i64) -> Money {
+        Money(self.0.checked_mul(k).expect("Money overflow"))
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(f, "{sign}${}.{:02}", abs / 1_000, (abs % 1_000) / 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Money::from_dollars(4).millis(), 4_000);
+        assert_eq!(Money::from_cents(250).millis(), 2_500);
+        assert_eq!(Money::from_dollars_f64(2.5).millis(), 2_500);
+        assert_eq!(Money::from_dollars_f64(0.0015).millis(), 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Money::from_dollars(5);
+        let b = Money::from_cents(150);
+        assert_eq!((a + b).dollars(), 6.5);
+        assert_eq!((a - b).dollars(), 3.5);
+        assert_eq!((b * 4).dollars(), 6.0);
+        assert_eq!((-b).millis(), -1_500);
+        assert!((b - a).is_negative());
+        let total: Money = [a, b, b].into_iter().sum();
+        assert_eq!(total.dollars(), 8.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Money::from_dollars(4) < Money::from_dollars(5));
+        assert!(Money::from_cents(399) < Money::from_dollars(4));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Money::from_dollars_f64(2.5).to_string(), "$2.50");
+        assert_eq!(Money::from_dollars(6).to_string(), "$6.00");
+        assert_eq!(Money::from_millis(-1_250).to_string(), "-$1.25");
+        assert_eq!(Money::from_cents(5).to_string(), "$0.05");
+    }
+}

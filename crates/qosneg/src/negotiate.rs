@@ -1,0 +1,738 @@
+//! The negotiation procedure (paper §4, steps 1–5).
+//!
+//! Step 6 (user confirmation) lives in [`crate::confirm`] because it is
+//! driven by wall-clock interaction; everything up to resource commitment
+//! is a pure function of the shared system state and runs here.
+
+use nod_client::ClientMachine;
+use nod_cmfs::{Guarantee, ReservationId, ServerFarm, StreamRequirement};
+use nod_mmdb::Catalog;
+use nod_mmdoc::{DocumentId, MediaKind, MonomediaId, ServerId, Variant};
+use nod_netsim::{NetReservationId, Network};
+
+use crate::classify::{classify, reservation_order, ClassificationStrategy, ScoredOffer};
+use crate::cost::CostModel;
+use crate::mapping::{charged_bit_rate, map_requirements, path_supports};
+use crate::money::Money;
+use crate::offer::{enumerate_combinations, EnumerationError, SystemOffer, UserOffer};
+use crate::profile::{MmQosSpec, UserProfile};
+
+/// The five negotiation statuses of paper §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NegotiationStatus {
+    /// Requested QoS and cost ceiling satisfied; resources reserved.
+    Succeeded,
+    /// Negotiation failed, but a supportable offer (below the request) is
+    /// returned with resources reserved.
+    FailedWithOffer,
+    /// Resource shortage: no feasible offer could be reserved; try later.
+    FailedTryLater,
+    /// No physical instantiation exists (e.g. no compatible decoder).
+    FailedWithoutOffer,
+    /// The client machine itself cannot render the requested QoS.
+    FailedWithLocalOffer,
+}
+
+impl std::fmt::Display for NegotiationStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NegotiationStatus::Succeeded => "SUCCEEDED",
+            NegotiationStatus::FailedWithOffer => "FAILEDWITHOFFER",
+            NegotiationStatus::FailedTryLater => "FAILEDTRYLATER",
+            NegotiationStatus::FailedWithoutOffer => "FAILEDWITHOUTOFFER",
+            NegotiationStatus::FailedWithLocalOffer => "FAILEDWITHLOCALOFFER",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The resources committed for one accepted system offer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReservation {
+    /// Per-stream server reservations.
+    pub servers: Vec<(ServerId, ReservationId)>,
+    /// Per-stream network path reservations.
+    pub network: Vec<NetReservationId>,
+}
+
+impl SessionReservation {
+    /// Release every committed resource (idempotent at the resource level).
+    pub fn release(&self, farm: &ServerFarm, network: &Network) {
+        for &(server, id) in &self.servers {
+            farm.release(server, id);
+        }
+        for &id in &self.network {
+            network.release(id);
+        }
+    }
+}
+
+/// Counters describing how hard the negotiation worked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NegotiationTrace {
+    /// Variants surviving step-2 compatibility filtering.
+    pub feasible_variants: usize,
+    /// System offers enumerated.
+    pub offers_enumerated: usize,
+    /// Offers whose reservation was attempted in step 5.
+    pub reservation_attempts: usize,
+    /// Offers removed by dominance pruning (0 unless enabled).
+    pub offers_pruned: usize,
+}
+
+/// The negotiation result (the "negotiation results" of §4: a status and
+/// possibly a user offer), plus everything adaptation needs later.
+#[derive(Debug)]
+pub struct NegotiationOutcome {
+    /// The negotiation status.
+    pub status: NegotiationStatus,
+    /// The user offer derived from the reserved system offer (present for
+    /// `Succeeded` and `FailedWithOffer`).
+    pub user_offer: Option<UserOffer>,
+    /// Index into `ordered_offers` of the reserved offer.
+    pub reserved_index: Option<usize>,
+    /// The committed resources (present when `user_offer` is).
+    pub reservation: Option<SessionReservation>,
+    /// The full classified offer list — kept because "during the active
+    /// phase, if QoS violations occur the adaptation procedure makes use of
+    /// the whole set of feasible system offers" (§4).
+    pub ordered_offers: Vec<ScoredOffer>,
+    /// The clamped QoS returned on `FailedWithLocalOffer`.
+    pub local_offer: Option<MmQosSpec>,
+    /// Per-offer refusal reasons collected during step 5 (offer index into
+    /// `ordered_offers`, reason) — the "why" behind a FAILEDTRYLATER.
+    pub commit_failures: Vec<(usize, CommitFailure)>,
+    /// Work counters.
+    pub trace: NegotiationTrace,
+}
+
+/// Hard errors (misuse rather than negotiation failure).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NegotiationError {
+    /// The requested document is not in the catalog.
+    UnknownDocument(DocumentId),
+    /// The user profile fails validation.
+    InvalidProfile(String),
+}
+
+impl std::fmt::Display for NegotiationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NegotiationError::UnknownDocument(id) => write!(f, "unknown document {id}"),
+            NegotiationError::InvalidProfile(msg) => write!(f, "invalid profile: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NegotiationError {}
+
+/// Shared system state the negotiation runs against.
+#[derive(Clone, Copy)]
+pub struct NegotiationContext<'a> {
+    /// The MM metadata database.
+    pub catalog: &'a Catalog,
+    /// The file-server farm.
+    pub farm: &'a ServerFarm,
+    /// The network.
+    pub network: &'a Network,
+    /// The pricing model.
+    pub cost_model: &'a CostModel,
+    /// Offer-ordering rule (the paper's SnsThenOif, or a baseline).
+    pub strategy: ClassificationStrategy,
+    /// Service-guarantee class requested.
+    pub guarantee: Guarantee,
+    /// Enumeration budget (see [`enumerate_combinations`]).
+    pub enumeration_cap: usize,
+    /// Client jitter-buffer size (ms of media) — its preroll enters the
+    /// startup-latency check of the time profile.
+    pub jitter_buffer_ms: u64,
+    /// Prune dominated offers before classification (see
+    /// [`crate::prune`]). Only applied when the profile's importance is
+    /// monotone (the safety precondition). Pruning thins the step-5
+    /// fallback list: a dominated offer can occasionally be reservable when
+    /// its dominator is not, so the paper's exact fallback semantics keep
+    /// this off; it is an optimization knob for large catalogs.
+    pub prune_dominated: bool,
+}
+
+/// Output of negotiation steps 1–4 (before resource commitment): either
+/// the classified offer list, or an early outcome (local failure /
+/// no-feasible-offer).
+pub enum Prepared {
+    /// Steps 1–4 completed: the classified offers plus the trace so far.
+    Offers(Vec<ScoredOffer>, NegotiationTrace),
+    /// Negotiation ended before step 5.
+    Early(Box<NegotiationOutcome>),
+}
+
+/// Run steps 1–4 (local check, compatibility filter, costing,
+/// classification) without committing resources. Both the immediate
+/// negotiation ([`negotiate`]) and advance negotiation
+/// ([`crate::future::negotiate_future`]) build on this.
+pub fn prepare(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    document: DocumentId,
+    profile: &UserProfile,
+) -> Result<Prepared, NegotiationError> {
+    profile
+        .validate()
+        .map_err(NegotiationError::InvalidProfile)?;
+    let doc = ctx
+        .catalog
+        .document(document)
+        .ok_or(NegotiationError::UnknownDocument(document))?;
+
+    let mut trace = NegotiationTrace::default();
+
+    // ---- Step 1: static local negotiation -------------------------------
+    // The machine must at least render the *worst acceptable* values — if it
+    // cannot, no offer the user would accept is renderable and the clamped
+    // local capabilities are returned.
+    for kind in profile.requested_kinds() {
+        if let Some(req) = profile.worst.for_kind(kind) {
+            if client.check_local(&req).is_err() {
+                let local = clamp_spec(client, &profile.desired);
+                return Ok(Prepared::Early(Box::new(NegotiationOutcome {
+                    status: NegotiationStatus::FailedWithLocalOffer,
+                    user_offer: None,
+                    reserved_index: None,
+                    reservation: None,
+                    ordered_offers: Vec::new(),
+                    local_offer: Some(local),
+                    commit_failures: Vec::new(),
+                    trace,
+                })));
+            }
+        }
+    }
+
+    // ---- Step 2: static compatibility checking --------------------------
+    let per_mono_all = ctx
+        .catalog
+        .variants_of_document(document)
+        .expect("document presence checked above");
+    let per_mono: Vec<(MonomediaId, Vec<&Variant>)> = per_mono_all
+        .into_iter()
+        .map(|(mono, variants)| {
+            let feasible: Vec<&Variant> = variants
+                .into_iter()
+                .filter(|v| client.feasible(v))
+                .filter(|v| ctx.network.path(client.id, v.server).is_ok())
+                .collect();
+            (mono, feasible)
+        })
+        .collect();
+    trace.feasible_variants = per_mono.iter().map(|(_, v)| v.len()).sum();
+
+    // ---- Step 3/4: enumerate, cost, classify ----------------------------
+    let combos = match enumerate_combinations(&per_mono, ctx.enumeration_cap) {
+        Ok(c) => c,
+        Err(EnumerationError::NoFeasibleVariant(_)) => {
+            return Ok(Prepared::Early(Box::new(NegotiationOutcome {
+                status: NegotiationStatus::FailedWithoutOffer,
+                user_offer: None,
+                reserved_index: None,
+                reservation: None,
+                ordered_offers: Vec::new(),
+                local_offer: None,
+                commit_failures: Vec::new(),
+                trace,
+            })));
+        }
+        Err(e @ EnumerationError::TooManyOffers { .. }) => {
+            // An enumeration blow-up is a deployment configuration problem,
+            // not a user-visible negotiation status.
+            return Err(NegotiationError::InvalidProfile(e.to_string()));
+        }
+    };
+    trace.offers_enumerated = combos.len();
+
+    let durations: std::collections::HashMap<MonomediaId, u64> = doc
+        .monomedia()
+        .iter()
+        .map(|m| (m.id, m.duration_ms))
+        .collect();
+    let mut offers: Vec<SystemOffer> = combos
+        .into_iter()
+        .map(|combo| {
+            let cost: Money = ctx.cost_model.document_cost(
+                combo.iter().map(|v| (*v, durations[&v.monomedia])),
+                ctx.guarantee,
+            );
+            SystemOffer {
+                variants: combo.into_iter().cloned().collect(),
+                cost,
+            }
+        })
+        .collect();
+    if ctx.prune_dominated && crate::prune::importance_is_monotone(&profile.importance) {
+        let (survivors, pruned) = crate::prune::prune_dominated(offers);
+        offers = survivors;
+        trace.offers_pruned = pruned;
+    }
+    let ordered = classify(offers, profile, ctx.strategy);
+    Ok(Prepared::Offers(ordered, trace))
+}
+
+/// Run steps 1–5 for `client` requesting `document` under `profile`.
+pub fn negotiate(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    document: DocumentId,
+    profile: &UserProfile,
+) -> Result<NegotiationOutcome, NegotiationError> {
+    let (ordered, mut trace) = match prepare(ctx, client, document, profile)? {
+        Prepared::Early(outcome) => return Ok(*outcome),
+        Prepared::Offers(ordered, trace) => (ordered, trace),
+    };
+
+    // ---- Step 5: resource commitment -------------------------------------
+    let order = reservation_order(&ordered);
+    let mut failures: Vec<(usize, CommitFailure)> = Vec::new();
+    for idx in order {
+        trace.reservation_attempts += 1;
+        match try_commit_diagnosed(ctx, client, &ordered[idx].offer, profile.time.max_startup_ms)
+        {
+            Err(reason) => {
+                failures.push((idx, reason));
+                continue;
+            }
+            Ok(reservation) => {
+                let status = if ordered[idx].satisfies_request {
+                    NegotiationStatus::Succeeded
+                } else {
+                    NegotiationStatus::FailedWithOffer
+                };
+                let user_offer = ordered[idx].offer.to_user_offer();
+                return Ok(NegotiationOutcome {
+                    status,
+                    user_offer: Some(user_offer),
+                    reserved_index: Some(idx),
+                    reservation: Some(reservation),
+                    ordered_offers: ordered,
+                    local_offer: None,
+                    commit_failures: failures,
+                    trace,
+                });
+            }
+        }
+    }
+
+    Ok(NegotiationOutcome {
+        status: NegotiationStatus::FailedTryLater,
+        user_offer: None,
+        reserved_index: None,
+        reservation: None,
+        ordered_offers: ordered,
+        local_offer: None,
+        commit_failures: failures,
+        trace,
+    })
+}
+
+/// Why step 5 refused to commit an offer — the diagnostic surface behind
+/// the `FAILEDTRYLATER` status (which resource said no, for which stream).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommitFailure {
+    /// The client cannot decode the offer's streams concurrently.
+    DecodeBudget,
+    /// The path to `server` violates the §6 jitter/loss/delay constants at
+    /// current load (or no path exists).
+    PathQos {
+        /// The unreachable / out-of-spec server.
+        server: ServerId,
+    },
+    /// Estimated startup exceeds the time profile's bound.
+    Startup {
+        /// The estimate, ms.
+        estimated_ms: u64,
+        /// The bound, ms.
+        limit_ms: u64,
+    },
+    /// The file server refused admission for a stream.
+    Server {
+        /// The refusing server.
+        server: ServerId,
+    },
+    /// A link on the path could not carry the stream's bandwidth.
+    Network {
+        /// The server whose path failed.
+        server: ServerId,
+    },
+}
+
+impl std::fmt::Display for CommitFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitFailure::DecodeBudget => write!(f, "client decode budget exceeded"),
+            CommitFailure::PathQos { server } => {
+                write!(f, "path to {server} violates jitter/loss/delay bounds")
+            }
+            CommitFailure::Startup {
+                estimated_ms,
+                limit_ms,
+            } => write!(f, "startup {estimated_ms} ms exceeds the {limit_ms} ms bound"),
+            CommitFailure::Server { server } => write!(f, "{server} refused admission"),
+            CommitFailure::Network { server } => {
+                write!(f, "no bandwidth left on the path to {server}")
+            }
+        }
+    }
+}
+
+/// Two-phase commit of one system offer: reserve every stream on its server
+/// and its network path, rolling back everything on the first refusal.
+/// Offers whose estimated startup latency exceeds `max_startup_ms` (the
+/// time profile's delivery bound) are refused like any other failed
+/// reservation.
+pub fn try_commit(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    offer: &SystemOffer,
+    max_startup_ms: u64,
+) -> Option<SessionReservation> {
+    try_commit_diagnosed(ctx, client, offer, max_startup_ms).ok()
+}
+
+/// [`try_commit`] with the refusal reason on failure.
+pub fn try_commit_diagnosed(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    offer: &SystemOffer,
+    max_startup_ms: u64,
+) -> Result<SessionReservation, CommitFailure> {
+    // Combination-level client check: the offer's streams must fit the
+    // machine's concurrent decode budget (per-variant decodability was
+    // step 2; this guards the whole configuration).
+    if !client.can_decode_concurrently(offer.variants.iter()) {
+        return Err(CommitFailure::DecodeBudget);
+    }
+    let mut servers: Vec<(ServerId, ReservationId)> = Vec::new();
+    let mut nets: Vec<NetReservationId> = Vec::new();
+    let rollback = |servers: &[(ServerId, ReservationId)], nets: &[NetReservationId]| {
+        for &(s, id) in servers {
+            ctx.farm.release(s, id);
+        }
+        for &id in nets {
+            ctx.network.release(id);
+        }
+    };
+
+    for variant in &offer.variants {
+        let spec = map_requirements(variant);
+        // Load-dependent path QoS check (§6 constants vs. current metrics).
+        let metrics = match ctx.network.path_metrics(client.id, variant.server) {
+            Ok(m) if path_supports(&spec, &m) => m,
+            _ => {
+                rollback(&servers, &nets);
+                return Err(CommitFailure::PathQos {
+                    server: variant.server,
+                });
+            }
+        };
+        // Time-profile check: the stream must be able to start in time.
+        if variant.blocks_per_second > 0 {
+            let round_us = ctx
+                .farm
+                .server(variant.server)
+                .map(|s| s.config().round_us)
+                .unwrap_or(0);
+            let startup = crate::startup::estimate_startup_ms(
+                round_us,
+                metrics.delay_us,
+                crate::startup::preroll_ms(ctx.jitter_buffer_ms),
+            );
+            if startup > max_startup_ms {
+                rollback(&servers, &nets);
+                return Err(CommitFailure::Startup {
+                    estimated_ms: startup,
+                    limit_ms: max_startup_ms,
+                });
+            }
+        }
+        // Server admission (continuous media only occupy disk rounds, but
+        // discrete media still count against stream slots).
+        let req = StreamRequirement::for_variant(variant, ctx.guarantee);
+        match ctx.farm.try_reserve(variant.server, req) {
+            Ok(id) => servers.push((variant.server, id)),
+            Err(_) => {
+                rollback(&servers, &nets);
+                return Err(CommitFailure::Server {
+                    server: variant.server,
+                });
+            }
+        }
+        // Network bandwidth along the path (continuous media only; discrete
+        // transfers ride the residual capacity ahead of playout).
+        if variant.blocks_per_second > 0 {
+            let bps = charged_bit_rate(variant, ctx.guarantee);
+            match ctx.network.try_reserve(client.id, variant.server, bps) {
+                Ok(id) => nets.push(id),
+                Err(_) => {
+                    rollback(&servers, &nets);
+                    return Err(CommitFailure::Network {
+                        server: variant.server,
+                    });
+                }
+            }
+        }
+    }
+    Ok(SessionReservation {
+        servers,
+        network: nets,
+    })
+}
+
+fn clamp_spec(client: &ClientMachine, desired: &MmQosSpec) -> MmQosSpec {
+    let mut out = MmQosSpec::default();
+    for kind in MediaKind::ALL {
+        if let Some(q) = desired.for_kind(kind) {
+            match client.clamp_to_local(&q) {
+                nod_mmdoc::MediaQos::Video(v) => out.video = Some(v),
+                nod_mmdoc::MediaQos::Audio(a) => out.audio = Some(a),
+                nod_mmdoc::MediaQos::Text(t) => out.text = Some(t),
+                nod_mmdoc::MediaQos::Image(i) => out.image = Some(i),
+                nod_mmdoc::MediaQos::Graphic(g) => out.graphic = Some(g),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::tv_news_profile;
+    use nod_cmfs::ServerConfig;
+    use nod_mmdb::{CorpusBuilder, CorpusParams};
+    use nod_mmdoc::ClientId;
+    use nod_netsim::Topology;
+    use nod_simcore::StreamRng;
+
+    struct World {
+        catalog: Catalog,
+        farm: ServerFarm,
+        network: Network,
+        cost: CostModel,
+    }
+
+    fn world(seed: u64) -> World {
+        let mut rng = StreamRng::new(seed);
+        let servers = 3usize;
+        let catalog = CorpusBuilder::new(CorpusParams {
+            documents: 8,
+            servers: (0..servers as u64).map(nod_mmdoc::ServerId).collect(),
+            ..CorpusParams::default()
+        })
+        .build(&mut rng);
+        World {
+            catalog,
+            farm: ServerFarm::uniform(servers, ServerConfig::era_default()),
+            network: Network::new(Topology::dumbbell(4, servers, 25_000_000, 155_000_000)),
+            cost: CostModel::era_default(),
+        }
+    }
+
+    fn ctx<'a>(w: &'a World) -> NegotiationContext<'a> {
+        NegotiationContext {
+            catalog: &w.catalog,
+            farm: &w.farm,
+            network: &w.network,
+            cost_model: &w.cost,
+            strategy: ClassificationStrategy::SnsThenOif,
+            guarantee: Guarantee::Guaranteed,
+            enumeration_cap: 200_000,
+            jitter_buffer_ms: 2_000,
+            prune_dominated: false,
+        }
+    }
+
+    #[test]
+    fn successful_negotiation_reserves_resources() {
+        let w = world(1);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out = negotiate(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
+        assert!(
+            matches!(
+                out.status,
+                NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer
+            ),
+            "status={:?}",
+            out.status
+        );
+        let res = out.reservation.as_ref().expect("resources reserved");
+        assert!(!res.servers.is_empty());
+        assert!(!res.network.is_empty());
+        assert!(out.user_offer.is_some());
+        assert!(out.trace.offers_enumerated > 0);
+        // Cleanup restores the idle state.
+        res.release(&w.farm, &w.network);
+        assert_eq!(w.network.active_reservations(), 0);
+        assert!(w.farm.mean_disk_utilization() < 1e-9);
+    }
+
+    #[test]
+    fn succeeded_offer_satisfies_the_request() {
+        let w = world(2);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out = negotiate(&ctx(&w), &client, DocumentId(2), &tv_news_profile()).unwrap();
+        if out.status == NegotiationStatus::Succeeded {
+            let idx = out.reserved_index.unwrap();
+            assert!(out.ordered_offers[idx].satisfies_request);
+            let offer = &out.ordered_offers[idx].offer;
+            assert!(offer.cost <= tv_news_profile().max_cost);
+        }
+    }
+
+    #[test]
+    fn local_failure_on_incapable_client() {
+        let w = world(3);
+        // Budget PC with a black&white screen: the tv-news worst-acceptable
+        // grey video cannot render.
+        let mut client = ClientMachine::era_budget_pc(ClientId(0));
+        client.display.color = nod_mmdoc::ColorDepth::BlackWhite;
+        let out = negotiate(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
+        assert_eq!(out.status, NegotiationStatus::FailedWithLocalOffer);
+        let local = out.local_offer.expect("clamped local offer");
+        assert_eq!(local.video.unwrap().color, nod_mmdoc::ColorDepth::BlackWhite);
+        assert!(out.reservation.is_none());
+    }
+
+    #[test]
+    fn no_decoder_means_failed_without_offer() {
+        let w = world(4);
+        // A client that renders anything but decodes nothing.
+        let mut client = ClientMachine::era_workstation(ClientId(0));
+        client.decoders = nod_client::DecoderRegistry::new();
+        let out = negotiate(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
+        assert_eq!(out.status, NegotiationStatus::FailedWithoutOffer);
+        assert!(out.ordered_offers.is_empty());
+    }
+
+    #[test]
+    fn resource_exhaustion_gives_try_later() {
+        let w = world(5);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        // Choke every server.
+        for id in w.farm.ids() {
+            w.farm.server(id).unwrap().set_health(0.0);
+        }
+        let out = negotiate(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
+        assert_eq!(out.status, NegotiationStatus::FailedTryLater);
+        assert!(!out.ordered_offers.is_empty(), "offers existed but none reservable");
+        assert!(out.trace.reservation_attempts >= out.ordered_offers.len());
+        assert_eq!(w.network.active_reservations(), 0, "no leaked reservations");
+    }
+
+    #[test]
+    fn try_later_carries_refusal_diagnostics() {
+        let w = world(14);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        for s in w.farm.ids() {
+            w.farm.server(s).unwrap().set_health(0.0);
+        }
+        let out = negotiate(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
+        assert_eq!(out.status, NegotiationStatus::FailedTryLater);
+        assert_eq!(out.commit_failures.len(), out.ordered_offers.len());
+        // Every refusal names the server that said no.
+        for (idx, reason) in &out.commit_failures {
+            assert!(*idx < out.ordered_offers.len());
+            assert!(
+                matches!(reason, crate::negotiate::CommitFailure::Server { .. }),
+                "unexpected reason {reason:?}"
+            );
+            assert!(!reason.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_decode_budget_blocks_every_video_offer() {
+        let w = world(10);
+        let mut client = ClientMachine::era_workstation(ClientId(0));
+        client.decode_budget = 0.0;
+        let out = negotiate(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
+        // Offers exist (per-variant decoding is fine) but no combination
+        // fits the concurrent budget: resource-style failure.
+        assert_eq!(out.status, NegotiationStatus::FailedTryLater);
+        assert!(!out.ordered_offers.is_empty());
+        assert_eq!(w.network.active_reservations(), 0);
+    }
+
+    #[test]
+    fn impossible_startup_deadline_blocks_commitment() {
+        let w = world(9);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let mut profile = tv_news_profile();
+        // 1 ms startup budget: no round-based server can deliver that.
+        profile.time.max_startup_ms = 1;
+        let out = negotiate(&ctx(&w), &client, DocumentId(1), &profile).unwrap();
+        assert_eq!(out.status, NegotiationStatus::FailedTryLater);
+        assert_eq!(w.network.active_reservations(), 0);
+        // Relaxing the deadline restores service.
+        profile.time.max_startup_ms = 10_000;
+        let out = negotiate(&ctx(&w), &client, DocumentId(1), &profile).unwrap();
+        assert!(out.reservation.is_some());
+        out.reservation.unwrap().release(&w.farm, &w.network);
+    }
+
+    #[test]
+    fn unknown_document_is_an_error() {
+        let w = world(6);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        assert_eq!(
+            negotiate(&ctx(&w), &client, DocumentId(999), &tv_news_profile()).unwrap_err(),
+            NegotiationError::UnknownDocument(DocumentId(999))
+        );
+    }
+
+    #[test]
+    fn repeated_negotiations_fill_then_exhaust() {
+        let w = world(7);
+        let c = ctx(&w);
+        let mut succeeded = 0usize;
+        let mut try_later = 0usize;
+        // Many clients pull the same document until resources run out.
+        for i in 0..64 {
+            let client = ClientMachine::era_workstation(ClientId(i % 4));
+            let out = negotiate(&c, &client, DocumentId(1), &tv_news_profile()).unwrap();
+            match out.status {
+                NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer => {
+                    succeeded += 1;
+                }
+                NegotiationStatus::FailedTryLater => {
+                    try_later += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(succeeded > 0, "some sessions must be admitted");
+        assert!(try_later > 0, "the system must eventually saturate");
+    }
+
+    #[test]
+    fn failed_commit_leaves_no_partial_reservations() {
+        let w = world(8);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        // Saturate only the *network* so server reservations succeed first
+        // and must be rolled back when the path reservation fails.
+        let hog = w.network.try_reserve(ClientId(0), nod_mmdoc::ServerId(0), 24_900_000);
+        assert!(hog.is_ok());
+        let baseline_streams: usize = w
+            .farm
+            .ids()
+            .iter()
+            .map(|&s| w.farm.server(s).unwrap().active_streams())
+            .sum();
+        let out = negotiate(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
+        if out.status == NegotiationStatus::FailedTryLater {
+            let after: usize = w
+                .farm
+                .ids()
+                .iter()
+                .map(|&s| w.farm.server(s).unwrap().active_streams())
+                .sum();
+            assert_eq!(after, baseline_streams, "partial server reservations leaked");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The static negotiation status (paper §5.2.1).
+//!
+//! For each feasible offer the QoS manager computes a **static negotiation
+//! status** indicating the degree of satisfaction of the user profile:
+//!
+//! * `DESIRABLE` — the offer satisfies the QoS *desired* by the user (and
+//!   the cost ceiling: the §5.2.1 example classifies an offer that matches
+//!   the desired QoS but exceeds the maximum cost as merely ACCEPTABLE);
+//! * `ACCEPTABLE` — the QoS is at least as good as the *worst acceptable*
+//!   values;
+//! * `CONSTRAINT` — the offer misses the worst-acceptable values for at
+//!   least one monomedia and some of its characteristics.
+
+use nod_mmdoc::MediaQos;
+
+use crate::money::Money;
+use crate::profile::UserProfile;
+
+/// Degree of satisfaction of the user profile by a system offer, ordered
+/// best → worst so it can serve directly as the primary sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StaticNegotiationStatus {
+    /// Satisfies the desired QoS and the cost ceiling.
+    Desirable,
+    /// Satisfies the worst-acceptable QoS.
+    Acceptable,
+    /// Violates the worst-acceptable QoS somewhere.
+    Constraint,
+}
+
+impl std::fmt::Display for StaticNegotiationStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StaticNegotiationStatus::Desirable => "DESIRABLE",
+            StaticNegotiationStatus::Acceptable => "ACCEPTABLE",
+            StaticNegotiationStatus::Constraint => "CONSTRAINT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Compute the SNS of an offer delivering `qos_values` at `cost` against a
+/// profile — "a simple comparison between the QoS associated with the offer
+/// and the user profile".
+pub fn compute_sns<'a>(
+    profile: &UserProfile,
+    qos_values: impl IntoIterator<Item = &'a MediaQos> + Clone,
+    cost: Money,
+) -> StaticNegotiationStatus {
+    let meets_desired = qos_values
+        .clone()
+        .into_iter()
+        .all(|q| profile.desired.met_by(q));
+    if meets_desired && cost <= profile.max_cost {
+        return StaticNegotiationStatus::Desirable;
+    }
+    let meets_worst = qos_values.into_iter().all(|q| profile.worst.met_by(q));
+    if meets_worst {
+        StaticNegotiationStatus::Acceptable
+    } else {
+        StaticNegotiationStatus::Constraint
+    }
+}
+
+/// Is the offer one the user actually asked for — worst-acceptable QoS met
+/// *and* within the cost ceiling? Step 5 reserves among these first; only
+/// when none can be supported does it fall back to the remaining feasible
+/// offers ("we consider the other offers, however always in the order
+/// defined above").
+pub fn satisfies_request<'a>(
+    profile: &UserProfile,
+    qos_values: impl IntoIterator<Item = &'a MediaQos>,
+    cost: Money,
+) -> bool {
+    cost <= profile.max_cost && qos_values.into_iter().all(|q| profile.worst.met_by(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::MmQosSpec;
+    use nod_mmdoc::prelude::*;
+
+    fn video(color: ColorDepth, px: u32, fps: u32) -> MediaQos {
+        MediaQos::Video(VideoQos {
+            color,
+            resolution: Resolution::new(px),
+            frame_rate: FrameRate::new(fps),
+        })
+    }
+
+    /// The §5.2.1 profile: desired = worst = (color, TV, 25 fps), max $4.
+    fn paper_profile() -> UserProfile {
+        let spec = MmQosSpec {
+            video: Some(VideoQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::TV,
+                frame_rate: FrameRate::TV,
+            }),
+            ..MmQosSpec::default()
+        };
+        UserProfile::strict("paper-521", spec, Money::from_dollars(4))
+    }
+
+    #[test]
+    fn paper_521_sns_values() {
+        let p = paper_profile();
+        let cases = [
+            // offer1: (black&white, TV resolution, 25 fps) at $2.50
+            (video(ColorDepth::BlackWhite, 640, 25), 2.5, StaticNegotiationStatus::Constraint),
+            // offer2: (color, TV resolution, 15 fps) at $4
+            (video(ColorDepth::Color, 640, 15), 4.0, StaticNegotiationStatus::Constraint),
+            // offer3: (grey, TV resolution, 25 fps) at $3
+            (video(ColorDepth::Grey, 640, 25), 3.0, StaticNegotiationStatus::Constraint),
+            // offer4: (color, TV resolution, 25 fps) at $5
+            (video(ColorDepth::Color, 640, 25), 5.0, StaticNegotiationStatus::Acceptable),
+        ];
+        for (i, (qos, dollars, expected)) in cases.iter().enumerate() {
+            let sns = compute_sns(&p, [qos], Money::from_dollars_f64(*dollars));
+            assert_eq!(sns, *expected, "offer{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn desirable_requires_cost_within_ceiling() {
+        let p = paper_profile();
+        let exact = video(ColorDepth::Color, 640, 25);
+        assert_eq!(
+            compute_sns(&p, [&exact], Money::from_dollars(4)),
+            StaticNegotiationStatus::Desirable
+        );
+        assert_eq!(
+            compute_sns(&p, [&exact], Money::from_dollars(5)),
+            StaticNegotiationStatus::Acceptable
+        );
+    }
+
+    #[test]
+    fn acceptable_band_between_worst_and_desired() {
+        let mut p = paper_profile();
+        p.worst.video = Some(VideoQos {
+            color: ColorDepth::Grey,
+            resolution: Resolution::new(320),
+            frame_rate: FrameRate::new(15),
+        });
+        // Between worst and desired: acceptable.
+        let mid = video(ColorDepth::Grey, 640, 25);
+        assert_eq!(
+            compute_sns(&p, [&mid], Money::from_dollars(3)),
+            StaticNegotiationStatus::Acceptable
+        );
+        // Below worst: constraint.
+        let low = video(ColorDepth::BlackWhite, 320, 15);
+        assert_eq!(
+            compute_sns(&p, [&low], Money::from_dollars(1)),
+            StaticNegotiationStatus::Constraint
+        );
+    }
+
+    #[test]
+    fn multimedia_constraint_if_any_component_fails() {
+        let mut p = paper_profile();
+        p.desired.audio = Some(AudioQos {
+            quality: AudioQuality::Cd,
+            language: Language::Any,
+        });
+        p.worst.audio = p.desired.audio;
+        let good_video = video(ColorDepth::Color, 640, 25);
+        let bad_audio = MediaQos::Audio(AudioQos {
+            quality: AudioQuality::Telephone,
+            language: Language::English,
+        });
+        assert_eq!(
+            compute_sns(&p, [&good_video, &bad_audio], Money::from_dollars(2)),
+            StaticNegotiationStatus::Constraint
+        );
+    }
+
+    #[test]
+    fn ordering_is_best_first() {
+        assert!(StaticNegotiationStatus::Desirable < StaticNegotiationStatus::Acceptable);
+        assert!(StaticNegotiationStatus::Acceptable < StaticNegotiationStatus::Constraint);
+    }
+
+    #[test]
+    fn satisfies_request_combines_qos_and_cost() {
+        let p = paper_profile();
+        let exact = video(ColorDepth::Color, 640, 25);
+        assert!(satisfies_request(&p, [&exact], Money::from_dollars(4)));
+        assert!(!satisfies_request(&p, [&exact], Money::from_dollars(5)));
+        let low = video(ColorDepth::Grey, 640, 25);
+        assert!(!satisfies_request(&p, [&low], Money::from_dollars(1)));
+    }
+
+    #[test]
+    fn display_matches_paper_spelling() {
+        assert_eq!(StaticNegotiationStatus::Desirable.to_string(), "DESIRABLE");
+        assert_eq!(StaticNegotiationStatus::Acceptable.to_string(), "ACCEPTABLE");
+        assert_eq!(StaticNegotiationStatus::Constraint.to_string(), "CONSTRAINT");
+    }
+}

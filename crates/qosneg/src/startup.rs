@@ -1,0 +1,61 @@
+//! Startup-latency estimation — the time-profile check.
+//!
+//! The user profile's time profile (paper §3: "time constraints, such as
+//! the delivery time") bounds how long the user will wait between
+//! confirming an offer and the first frame. Delivery cannot begin before:
+//!
+//! * the server's round scheduler picks the stream up — worst case one
+//!   full round plus the service round itself (1.5 rounds on average is
+//!   the classic figure; we charge the conservative 2);
+//! * the network propagates the first blocks (path delay);
+//! * the client's jitter buffer pre-rolls to its playout threshold
+//!   (half the buffer, at real-time delivery).
+//!
+//! Offers whose startup estimate exceeds `max_startup_ms` are not
+//! committed in step 5 — the same treatment as a failed reservation.
+
+/// Estimated startup latency (ms) for a stream.
+pub fn estimate_startup_ms(server_round_us: u64, path_delay_us: u64, preroll_ms: u64) -> u64 {
+    let server_ms = server_round_us * 2 / 1_000;
+    let path_ms = path_delay_us.div_ceil(1_000);
+    server_ms + path_ms + preroll_ms
+}
+
+/// The preroll the playout engine needs before it leaves the buffering
+/// state: half the jitter buffer (see `nod_syncplay::JitterBuffer`).
+pub fn preroll_ms(jitter_buffer_ms: u64) -> u64 {
+    jitter_buffer_ms / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_add_up() {
+        // 500 ms rounds → 1000 ms server share; 3 ms path; 1000 ms preroll.
+        assert_eq!(estimate_startup_ms(500_000, 3_000, 1_000), 2_003);
+    }
+
+    #[test]
+    fn path_delay_rounds_up() {
+        assert_eq!(estimate_startup_ms(0, 1, 0), 1);
+        assert_eq!(estimate_startup_ms(0, 999, 0), 1);
+        assert_eq!(estimate_startup_ms(0, 1_001, 0), 2);
+    }
+
+    #[test]
+    fn preroll_is_half_the_buffer() {
+        assert_eq!(preroll_ms(2_000), 1_000);
+        assert_eq!(preroll_ms(0), 0);
+    }
+
+    #[test]
+    fn typical_deployment_starts_in_seconds() {
+        // Era server (500 ms rounds), dumbbell path (~3 ms), 2 s buffer:
+        // the default 10 s time profile passes comfortably.
+        let startup = estimate_startup_ms(500_000, 3_000, preroll_ms(2_000));
+        assert!(startup <= 10_000, "startup {startup} ms");
+        assert!(startup >= 1_500, "suspiciously instant startup");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the QoS negotiation crate's public API.
+
+use proptest::prelude::*;
+
+use nod_cmfs::Guarantee;
+use nod_mmdoc::prelude::*;
+use nod_qosneg::cost::CostModel;
+use nod_qosneg::importance::{ImportanceProfile, PiecewiseLinear};
+use nod_qosneg::money::Money;
+
+fn variant_with(avg: u64, max: u64, fps: u32, secs: u64) -> Variant {
+    Variant {
+        id: VariantId(1),
+        monomedia: MonomediaId(1),
+        format: Format::Mpeg1,
+        qos: MediaQos::Video(VideoQos {
+            color: ColorDepth::Color,
+            resolution: Resolution::TV,
+            frame_rate: FrameRate::new(fps),
+        }),
+        blocks: BlockStats::new(max, avg),
+        blocks_per_second: fps,
+        file_bytes: avg * fps as u64 * secs,
+        server: ServerId(0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Money arithmetic is exact and round-trips through dollars.
+    #[test]
+    fn money_arithmetic(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let ma = Money::from_millis(a);
+        let mb = Money::from_millis(b);
+        prop_assert_eq!((ma + mb).millis(), a + b);
+        prop_assert_eq!((ma - mb).millis(), a - b);
+        prop_assert_eq!((-ma).millis(), -a);
+        prop_assert_eq!(Money::from_dollars_f64(ma.dollars()), ma);
+        prop_assert_eq!(ma < mb, a < b);
+    }
+
+    /// Streaming cost is monotone in duration and never below the
+    /// copyright floor.
+    #[test]
+    fn cost_monotone_in_duration(
+        avg in 500u64..60_000,
+        d1 in 1_000u64..300_000,
+        extra in 1_000u64..300_000
+    ) {
+        let m = CostModel::era_default();
+        let v = variant_with(avg, avg * 2, 25, 300);
+        let c1 = m.document_cost([(&v, d1)], Guarantee::Guaranteed);
+        let c2 = m.document_cost([(&v, d1 + extra)], Guarantee::Guaranteed);
+        prop_assert!(c2 >= c1, "longer playout got cheaper");
+        prop_assert!(c1 >= m.copyright);
+    }
+
+    /// Cost is monotone in the stream's sustained rate (class prices
+    /// ascend with throughput).
+    #[test]
+    fn cost_monotone_in_rate(avg in 100u64..50_000, bump in 1u64..50_000) {
+        let m = CostModel::era_default();
+        let lo = variant_with(avg, avg * 2, 25, 60);
+        let hi = variant_with(avg + bump, (avg + bump) * 2, 25, 60);
+        let c_lo = m.document_cost([(&lo, 60_000u64)], Guarantee::Guaranteed);
+        let c_hi = m.document_cost([(&hi, 60_000u64)], Guarantee::Guaranteed);
+        prop_assert!(c_hi >= c_lo, "higher rate got cheaper");
+    }
+
+    /// Best effort never costs more than guaranteed for the same stream.
+    #[test]
+    fn best_effort_never_dearer(avg in 100u64..80_000, secs in 1u64..600) {
+        let m = CostModel::era_default();
+        let v = variant_with(avg, avg * 2, 25, secs);
+        let g = m.document_cost([(&v, secs * 1_000)], Guarantee::Guaranteed);
+        let b = m.document_cost([(&v, secs * 1_000)], Guarantee::BestEffort);
+        prop_assert!(b <= g);
+    }
+
+    /// Importance curves are monotone between monotone anchors: with
+    /// increasing anchor values, a higher parameter value never has lower
+    /// importance.
+    #[test]
+    fn monotone_anchors_give_monotone_importance(
+        ys in prop::collection::vec(0.0f64..20.0, 2..5),
+        x1 in 0f64..100.0,
+        x2 in 0f64..100.0
+    ) {
+        let mut sorted = ys.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let pts: Vec<(f64, f64)> = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, y)| (100.0 * i as f64 / (n - 1) as f64, y))
+            .collect();
+        let curve = PiecewiseLinear::new(pts);
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(curve.value_at(hi) >= curve.value_at(lo) - 1e-12);
+    }
+
+    /// The default importance profile ranks strictly better video at least
+    /// as high (monotonicity of the QoS term).
+    #[test]
+    fn importance_monotone_in_quality(px in 10u32..1920, fps in 1u32..60) {
+        let imp = ImportanceProfile::default();
+        let lo = MediaQos::Video(VideoQos {
+            color: ColorDepth::Grey,
+            resolution: Resolution::new(px),
+            frame_rate: FrameRate::new(fps),
+        });
+        let hi = MediaQos::Video(VideoQos {
+            color: ColorDepth::Color,
+            resolution: Resolution::new(px.clamp(11, 1920)),
+            frame_rate: FrameRate::new(fps.min(60)),
+        });
+        prop_assert!(imp.media_importance(&hi) >= imp.media_importance(&lo));
+    }
+}

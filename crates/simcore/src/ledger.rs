@@ -1,0 +1,203 @@
+//! Interval capacity ledger for advance reservations.
+//!
+//! The paper's conclusion points to negotiation "with future reservations"
+//! ([Haf 96]). The primitive that makes that work is a ledger that answers
+//! "can `amount` of capacity be held over `[start, end)` given everything
+//! already booked?" — a max-over-window test on a piecewise-constant usage
+//! function, maintained as a delta map (classic sweep structure).
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+
+/// Handle to a booked interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BookingId(pub u64);
+
+/// A capacity ledger over time.
+#[derive(Debug, Clone)]
+pub struct IntervalLedger {
+    capacity: u64,
+    /// Usage deltas at instant boundaries.
+    deltas: BTreeMap<SimTime, i64>,
+    bookings: BTreeMap<BookingId, (SimTime, SimTime, u64)>,
+    next_id: u64,
+}
+
+impl IntervalLedger {
+    /// A ledger with constant `capacity`.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "ledger needs positive capacity");
+        IntervalLedger {
+            capacity,
+            deltas: BTreeMap::new(),
+            bookings: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The constant capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Peak usage inside `[start, end)`.
+    pub fn peak_usage(&self, start: SimTime, end: SimTime) -> u64 {
+        assert!(start < end, "empty or inverted window");
+        // Usage entering the window.
+        let mut usage: i64 = self
+            .deltas
+            .range(..=start)
+            .map(|(_, &d)| d)
+            .sum();
+        let mut peak = usage;
+        for (_, &d) in self.deltas.range((
+            std::ops::Bound::Excluded(start),
+            std::ops::Bound::Excluded(end),
+        )) {
+            usage += d;
+            peak = peak.max(usage);
+        }
+        peak.max(0) as u64
+    }
+
+    /// Remaining capacity over the window (its minimum headroom).
+    pub fn available(&self, start: SimTime, end: SimTime) -> u64 {
+        self.capacity.saturating_sub(self.peak_usage(start, end))
+    }
+
+    /// Book `amount` over `[start, end)` if it fits everywhere in the
+    /// window.
+    ///
+    /// # Panics
+    /// Panics on an empty/inverted window or zero amount.
+    pub fn try_book(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        amount: u64,
+    ) -> Result<BookingId, u64> {
+        assert!(start < end, "empty or inverted window");
+        assert!(amount > 0, "zero-amount booking");
+        let available = self.available(start, end);
+        if amount > available {
+            return Err(available);
+        }
+        *self.deltas.entry(start).or_insert(0) += amount as i64;
+        *self.deltas.entry(end).or_insert(0) -= amount as i64;
+        let id = BookingId(self.next_id);
+        self.next_id += 1;
+        self.bookings.insert(id, (start, end, amount));
+        Ok(id)
+    }
+
+    /// Cancel a booking (idempotent).
+    pub fn cancel(&mut self, id: BookingId) {
+        if let Some((start, end, amount)) = self.bookings.remove(&id) {
+            self.apply_delta(start, -(amount as i64));
+            self.apply_delta(end, amount as i64);
+        }
+    }
+
+    fn apply_delta(&mut self, at: SimTime, d: i64) {
+        let e = self.deltas.entry(at).or_insert(0);
+        *e += d;
+        if *e == 0 {
+            self.deltas.remove(&at);
+        }
+    }
+
+    /// Number of live bookings.
+    pub fn bookings(&self) -> usize {
+        self.bookings.len()
+    }
+
+    /// The booked interval and amount for a handle.
+    pub fn booking(&self, id: BookingId) -> Option<(SimTime, SimTime, u64)> {
+        self.bookings.get(&id).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn booking_and_peak() {
+        let mut l = IntervalLedger::new(100);
+        l.try_book(t(0), t(10), 60).unwrap();
+        l.try_book(t(5), t(15), 30).unwrap();
+        assert_eq!(l.peak_usage(t(0), t(20)), 90);
+        assert_eq!(l.peak_usage(t(10), t(20)), 30);
+        assert_eq!(l.available(t(0), t(10)), 10);
+        assert_eq!(l.available(t(15), t(20)), 100);
+    }
+
+    #[test]
+    fn overlap_rejection_reports_headroom() {
+        let mut l = IntervalLedger::new(100);
+        l.try_book(t(0), t(10), 80).unwrap();
+        // A 30-unit booking overlapping the busy region fails with the
+        // window's true headroom.
+        assert_eq!(l.try_book(t(5), t(8), 30), Err(20));
+        // The same amount after the busy region fits.
+        assert!(l.try_book(t(10), t(20), 30).is_ok());
+    }
+
+    #[test]
+    fn adjacent_intervals_do_not_collide() {
+        let mut l = IntervalLedger::new(50);
+        l.try_book(t(0), t(10), 50).unwrap();
+        // [10, 20) touches but does not overlap [0, 10).
+        assert!(l.try_book(t(10), t(20), 50).is_ok());
+    }
+
+    #[test]
+    fn cancel_restores_capacity_exactly() {
+        let mut l = IntervalLedger::new(100);
+        let a = l.try_book(t(0), t(10), 70).unwrap();
+        let b = l.try_book(t(2), t(6), 30).unwrap();
+        assert_eq!(l.bookings(), 2);
+        l.cancel(a);
+        l.cancel(b);
+        l.cancel(b); // idempotent
+        assert_eq!(l.bookings(), 0);
+        assert_eq!(l.peak_usage(t(0), t(20)), 0);
+        // The delta map is fully cleaned (no residue entries).
+        assert!(l.try_book(t(0), t(20), 100).is_ok());
+    }
+
+    #[test]
+    fn booking_lookup() {
+        let mut l = IntervalLedger::new(10);
+        let id = l.try_book(t(1), t(3), 4).unwrap();
+        assert_eq!(l.booking(id), Some((t(1), t(3), 4)));
+        l.cancel(id);
+        assert_eq!(l.booking(id), None);
+    }
+
+    #[test]
+    fn many_bookings_sweep_correctly() {
+        let mut l = IntervalLedger::new(1_000);
+        // 100 staggered 10-unit bookings, each [i, i+5).
+        for i in 0..100u64 {
+            l.try_book(t(i), t(i + 5), 10).unwrap();
+        }
+        // At any instant at most 5 overlap → peak 50.
+        assert_eq!(l.peak_usage(t(0), t(200)), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_window_rejected() {
+        let mut l = IntervalLedger::new(10);
+        let _ = l.try_book(t(5), t(5), 1);
+    }
+}

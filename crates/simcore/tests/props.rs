@@ -1,0 +1,128 @@
+//! Property tests for the simulation kernel's public API.
+
+use proptest::prelude::*;
+
+use nod_simcore::{EventQueue, IntervalLedger, OnlineStats, SimTime, SplitMix64, StreamRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The event queue is a stable priority queue: pops are sorted by time,
+    /// and equal times preserve insertion order.
+    #[test]
+    fn event_queue_is_stable_and_sorted(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(item) = q.pop() {
+            popped.push(item);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO among simultaneous events violated");
+            }
+        }
+    }
+
+    /// Ledger safety: for any booking sequence, peak usage never exceeds
+    /// capacity, and cancelling everything restores an empty ledger.
+    #[test]
+    fn ledger_never_oversubscribes(
+        ops in prop::collection::vec((0u64..100, 1u64..50, 1u64..80), 1..100),
+        capacity in 50u64..200
+    ) {
+        let mut ledger = IntervalLedger::new(capacity);
+        let mut held = Vec::new();
+        for (start, len, amount) in ops {
+            let s = SimTime::from_secs(start);
+            let e = SimTime::from_secs(start + len);
+            if let Ok(id) = ledger.try_book(s, e, amount) {
+                held.push(id);
+            }
+            prop_assert!(
+                ledger.peak_usage(SimTime::ZERO, SimTime::from_secs(200)) <= capacity,
+                "capacity exceeded"
+            );
+        }
+        for id in held {
+            ledger.cancel(id);
+        }
+        prop_assert_eq!(ledger.peak_usage(SimTime::ZERO, SimTime::from_secs(200)), 0);
+        prop_assert_eq!(ledger.bookings(), 0);
+    }
+
+    /// A booking that fits reported headroom always succeeds; one that
+    /// exceeds it always fails.
+    #[test]
+    fn ledger_headroom_is_truthful(
+        prefill in prop::collection::vec((0u64..50, 1u64..30, 1u64..40), 0..30),
+        start in 0u64..50, len in 1u64..30
+    ) {
+        let mut ledger = IntervalLedger::new(100);
+        for (s, l, a) in prefill {
+            let _ = ledger.try_book(SimTime::from_secs(s), SimTime::from_secs(s + l), a);
+        }
+        let s = SimTime::from_secs(start);
+        let e = SimTime::from_secs(start + len);
+        let headroom = ledger.available(s, e);
+        if headroom > 0 {
+            prop_assert!(ledger.try_book(s, e, headroom).is_ok());
+        }
+        prop_assert!(ledger.try_book(s, e, 1).is_err() || headroom > 0);
+    }
+
+    /// OnlineStats::merge is associative-equivalent to streaming pushes,
+    /// regardless of the split point.
+    #[test]
+    fn stats_merge_split_invariance(
+        xs in prop::collection::vec(-1_000.0f64..1_000.0, 2..100),
+        cut in 1usize..99
+    ) {
+        let cut = cut.min(xs.len() - 1);
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..cut] {
+            a.push(x);
+        }
+        for &x in &xs[cut..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4);
+    }
+
+    /// SplitMix64 streams are reproducible and splitting is deterministic.
+    #[test]
+    fn rng_reproducibility(seed in any::<u64>(), n in 1usize..100) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        let ca = a.split();
+        let cb = b.split();
+        prop_assert_eq!(ca, cb);
+        for _ in 0..n {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Uniform helpers respect their bounds.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), lo in 0u64..100, span in 1u64..100) {
+        let mut r = StreamRng::new(seed);
+        for _ in 0..50 {
+            let x = r.range_u64(lo, lo + span);
+            prop_assert!((lo..=lo + span).contains(&x));
+            let z = r.zipf(span as usize, 1.2);
+            prop_assert!(z < span as usize);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Client-side jitter buffer.
+//!
+//! The synchronization protocols of [Lam 94] compensate network jitter by
+//! buffering ahead of the playout point. We model the buffer as a fluid
+//! reservoir measured in milliseconds of media: arrivals fill it at the
+//! delivered rate, the decoder drains it in real time, and an underrun
+//! (buffer empties while the stream should be playing) is a visible stall.
+
+/// A fluid-model jitter buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitterBuffer {
+    capacity_ms: u64,
+    level_ms: f64,
+    underruns: u64,
+    stalled: bool,
+}
+
+impl JitterBuffer {
+    /// A buffer holding at most `capacity_ms` of media.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity_ms: u64) -> Self {
+        assert!(capacity_ms > 0, "jitter buffer needs nonzero capacity");
+        JitterBuffer {
+            capacity_ms,
+            level_ms: 0.0,
+            underruns: 0,
+            stalled: true, // starts empty: pre-roll before playing
+        }
+    }
+
+    /// Capacity, ms of media.
+    pub fn capacity_ms(&self) -> u64 {
+        self.capacity_ms
+    }
+
+    /// Current fill level, ms of media.
+    pub fn level_ms(&self) -> f64 {
+        self.level_ms
+    }
+
+    /// Total underrun events so far.
+    pub fn underruns(&self) -> u64 {
+        self.underruns
+    }
+
+    /// Is playout currently stalled (pre-rolling or recovering)?
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Advance the model by `dt_ms` of wall-clock time during which the
+    /// network delivered media at `delivery_ratio` × real time (1.0 = keeps
+    /// up exactly; 0.5 = half rate under congestion; >1.0 = catch-up).
+    ///
+    /// Returns the milliseconds of media actually *played* during the step
+    /// (less than `dt_ms` when stalled).
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite ratio.
+    pub fn advance(&mut self, dt_ms: u64, delivery_ratio: f64) -> f64 {
+        assert!(
+            delivery_ratio.is_finite() && delivery_ratio >= 0.0,
+            "invalid delivery ratio {delivery_ratio}"
+        );
+        let dt = dt_ms as f64;
+        let arrived = dt * delivery_ratio;
+
+        if self.stalled {
+            // Pre-roll / recovery: fill without draining until half full.
+            self.level_ms = (self.level_ms + arrived).min(self.capacity_ms as f64);
+            if self.level_ms >= self.capacity_ms as f64 * 0.5 {
+                self.stalled = false;
+            }
+            return 0.0;
+        }
+
+        // Playing: drain in real time while arrivals refill.
+        let net = self.level_ms + arrived - dt;
+        if net < 0.0 {
+            // Buffer ran dry partway through the step.
+            let played = self.level_ms + arrived; // everything we had
+            self.level_ms = 0.0;
+            self.underruns += 1;
+            self.stalled = true;
+            played.max(0.0)
+        } else {
+            self.level_ms = net.min(self.capacity_ms as f64);
+            dt
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preroll_then_smooth_playout() {
+        let mut b = JitterBuffer::new(2_000);
+        assert!(b.is_stalled());
+        // Pre-roll at real-time delivery: needs 1000 ms to half-fill.
+        let played = b.advance(1_000, 1.0);
+        assert_eq!(played, 0.0);
+        assert!(!b.is_stalled());
+        // Steady state: plays everything.
+        let played = b.advance(5_000, 1.0);
+        assert_eq!(played, 5_000.0);
+        assert_eq!(b.underruns(), 0);
+    }
+
+    #[test]
+    fn congestion_causes_underrun_and_recovery() {
+        let mut b = JitterBuffer::new(2_000);
+        b.advance(1_000, 1.0); // pre-roll
+        // Delivery collapses to 20%: the 1000 ms cushion drains in 1250 ms.
+        let played = b.advance(2_000, 0.2);
+        assert!(played < 2_000.0);
+        assert_eq!(b.underruns(), 1);
+        assert!(b.is_stalled());
+        // Recovery at full rate: refills and resumes.
+        b.advance(1_000, 1.0);
+        assert!(!b.is_stalled());
+        assert_eq!(b.advance(1_000, 1.0), 1_000.0);
+    }
+
+    #[test]
+    fn buffer_never_exceeds_capacity() {
+        let mut b = JitterBuffer::new(1_000);
+        b.advance(10_000, 5.0);
+        assert!(b.level_ms() <= 1_000.0);
+        b.advance(10_000, 5.0);
+        assert!(b.level_ms() <= 1_000.0);
+    }
+
+    #[test]
+    fn sustained_undersupply_stalls_repeatedly() {
+        let mut b = JitterBuffer::new(1_000);
+        let mut played = 0.0;
+        for _ in 0..100 {
+            played += b.advance(500, 0.5);
+        }
+        // At 50% delivery only ~50% of wall time can play.
+        let total = 100.0 * 500.0;
+        assert!(played < 0.6 * total, "played {played} of {total}");
+        assert!(b.underruns() >= 2);
+    }
+
+    #[test]
+    fn zero_delivery_plays_nothing_after_cushion() {
+        let mut b = JitterBuffer::new(1_000);
+        b.advance(500, 1.0); // pre-roll to half
+        let p1 = b.advance(400, 0.0); // drains the 500 ms cushion
+        assert_eq!(p1, 400.0);
+        let p2 = b.advance(400, 0.0);
+        assert!(p2 <= 100.0 + 1e-9);
+        assert!(b.is_stalled());
+        assert_eq!(b.advance(10_000, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero capacity")]
+    fn zero_capacity_rejected() {
+        JitterBuffer::new(0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Synchronization and playout engine.
+//!
+//! Stands in for the University of Ottawa synchronization component
+//! [Lam 94] of the CITR prototype. It turns a document plus the variants
+//! selected by negotiation into a **playout timeline**, models the client's
+//! **jitter buffer** (the paper's §6 notes jitter "is compensated by
+//! synchronization protocols"), and runs a **playout session** state
+//! machine with the exact transition discipline of the paper's adaptation
+//! procedure: *stop the presentation after having obtained the current
+//! position of the document, and restart the presentation (using the
+//! alternate components) from the position parameter determined earlier.*
+
+pub mod buffer;
+pub mod session;
+pub mod sync;
+pub mod timeline;
+
+pub use buffer::JitterBuffer;
+pub use session::{PlayoutSession, SessionState, SessionStats};
+pub use sync::{skew_tolerance_ms, SyncState, SyncViolation};
+pub use timeline::{Timeline, TimelineEntry, TimelineError};

@@ -1,0 +1,310 @@
+//! The playout session state machine.
+//!
+//! Implements the paper's transition discipline for adaptation: the QoS
+//! manager "stops the presentation of the document after having obtained
+//! the current position of the document, and restarts the presentation
+//! (using the alternate components) from the position parameter determined
+//! earlier".
+
+use crate::buffer::JitterBuffer;
+use crate::timeline::Timeline;
+
+/// Session lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Buffering before (or after a stall during) playout.
+    Buffering,
+    /// Media is advancing.
+    Playing,
+    /// Stopped for an adaptation transition; position captured.
+    Transitioning,
+    /// The document played to the end.
+    Completed,
+    /// The user or the system gave up.
+    Aborted,
+}
+
+/// Accumulated quality-of-experience statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SessionStats {
+    /// Media milliseconds actually presented.
+    pub played_ms: f64,
+    /// Wall milliseconds spent buffering/stalled after initial pre-roll.
+    pub stall_ms: f64,
+    /// Wall milliseconds of initial pre-roll.
+    pub preroll_ms: f64,
+    /// Buffer underrun events.
+    pub underruns: u64,
+    /// Adaptation transitions performed.
+    pub transitions: u64,
+}
+
+impl SessionStats {
+    /// Fraction of post-pre-roll wall time that was spent playing —
+    /// the playout-continuity metric of experiment E9.
+    pub fn continuity(&self) -> f64 {
+        let denom = self.played_ms + self.stall_ms;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.played_ms / denom
+        }
+    }
+}
+
+/// A playout session for one negotiated document.
+#[derive(Debug, Clone)]
+pub struct PlayoutSession {
+    timeline: Timeline,
+    buffer: JitterBuffer,
+    buffer_capacity_ms: u64,
+    position_ms: f64,
+    state: SessionState,
+    stats: SessionStats,
+}
+
+impl PlayoutSession {
+    /// Start a session on a timeline with a jitter buffer of
+    /// `buffer_capacity_ms` of media.
+    pub fn new(timeline: Timeline, buffer_capacity_ms: u64) -> Self {
+        PlayoutSession {
+            timeline,
+            buffer: JitterBuffer::new(buffer_capacity_ms),
+            buffer_capacity_ms,
+            position_ms: 0.0,
+            state: SessionState::Buffering,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Current document position, ms of media presented.
+    pub fn position_ms(&self) -> f64 {
+        self.position_ms
+    }
+
+    /// The active timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Advance wall time by `dt_ms` with the network delivering at
+    /// `delivery_ratio` × real time. No-op in terminal or transitioning
+    /// states.
+    pub fn advance(&mut self, dt_ms: u64, delivery_ratio: f64) {
+        match self.state {
+            SessionState::Buffering | SessionState::Playing => {}
+            _ => return,
+        }
+        let was_stalled = self.buffer.is_stalled();
+        let played = self.buffer.advance(dt_ms, delivery_ratio);
+        self.position_ms += played;
+        self.stats.played_ms += played;
+        let wasted = dt_ms as f64 - played;
+        if wasted > 0.0 {
+            if self.stats.played_ms == 0.0 && was_stalled {
+                self.stats.preroll_ms += wasted;
+            } else {
+                self.stats.stall_ms += wasted;
+            }
+        }
+        self.stats.underruns = self.buffer.underruns();
+        self.state = if self.position_ms >= self.timeline.total_ms() as f64 {
+            SessionState::Completed
+        } else if self.buffer.is_stalled() {
+            SessionState::Buffering
+        } else {
+            SessionState::Playing
+        };
+    }
+
+    /// The paper's transition step 1: stop and capture the position.
+    ///
+    /// Returns the position (ms) to restart from. No-op (returning the
+    /// current position) if the session is already terminal.
+    pub fn interrupt_for_transition(&mut self) -> u64 {
+        if matches!(
+            self.state,
+            SessionState::Completed | SessionState::Aborted
+        ) {
+            return self.position_ms as u64;
+        }
+        self.state = SessionState::Transitioning;
+        self.position_ms as u64
+    }
+
+    /// The paper's transition step 2: restart from the captured position
+    /// using the alternate components (a new timeline). The buffer re-rolls.
+    ///
+    /// # Panics
+    /// Panics unless the session is in [`SessionState::Transitioning`].
+    pub fn resume_with(&mut self, timeline: Timeline) {
+        assert_eq!(
+            self.state,
+            SessionState::Transitioning,
+            "resume_with outside a transition"
+        );
+        self.timeline = timeline;
+        self.buffer = JitterBuffer::new(self.buffer_capacity_ms);
+        self.stats.transitions += 1;
+        self.state = SessionState::Buffering;
+    }
+
+    /// Abort the session (user walked away, confirmation timed out, or no
+    /// alternate offer existed).
+    pub fn abort(&mut self) {
+        if !matches!(self.state, SessionState::Completed) {
+            self.state = SessionState::Aborted;
+        }
+    }
+
+    /// Fraction of the document presented so far.
+    pub fn progress(&self) -> f64 {
+        let total = self.timeline.total_ms() as f64;
+        if total <= 0.0 {
+            1.0
+        } else {
+            (self.position_ms / total).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nod_mmdoc::prelude::*;
+    use std::collections::HashMap;
+
+    fn simple_timeline(total_secs: u64) -> Timeline {
+        let mono = Monomedia::new(MonomediaId(1), MediaKind::Video, "clip")
+            .with_duration_secs(total_secs);
+        let doc = Document::multimedia(
+            DocumentId(1),
+            "doc",
+            vec![mono],
+            vec![],
+            vec![],
+        );
+        let v = Variant {
+            id: VariantId(1),
+            monomedia: MonomediaId(1),
+            format: Format::Mpeg1,
+            qos: MediaQos::Video(VideoQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::TV,
+                frame_rate: FrameRate::TV,
+            }),
+            blocks: BlockStats::new(12_000, 6_000),
+            blocks_per_second: 25,
+            file_bytes: 6_000 * 25 * total_secs,
+            server: ServerId(0),
+        };
+        let map: HashMap<MonomediaId, &Variant> = [(MonomediaId(1), &v)].into();
+        Timeline::build(&doc, &map).unwrap()
+    }
+
+    #[test]
+    fn healthy_session_completes() {
+        let mut s = PlayoutSession::new(simple_timeline(10), 2_000);
+        assert_eq!(s.state(), SessionState::Buffering);
+        for _ in 0..60 {
+            s.advance(500, 1.0);
+        }
+        assert_eq!(s.state(), SessionState::Completed);
+        let st = s.stats();
+        assert!(st.played_ms >= 10_000.0);
+        assert_eq!(st.underruns, 0);
+        assert_eq!(st.stall_ms, 0.0);
+        assert!(st.preroll_ms > 0.0);
+        assert_eq!(st.continuity(), 1.0);
+        assert_eq!(s.progress(), 1.0);
+    }
+
+    #[test]
+    fn congestion_degrades_continuity() {
+        let mut s = PlayoutSession::new(simple_timeline(60), 2_000);
+        for step in 0..200 {
+            // Congestion between steps 20 and 120: 30% delivery.
+            let ratio = if (20..120).contains(&step) { 0.3 } else { 1.0 };
+            s.advance(500, ratio);
+            if s.state() == SessionState::Completed {
+                break;
+            }
+        }
+        let st = s.stats();
+        assert!(st.underruns > 0);
+        assert!(st.stall_ms > 0.0);
+        assert!(st.continuity() < 0.95, "continuity={}", st.continuity());
+    }
+
+    #[test]
+    fn transition_preserves_position() {
+        let mut s = PlayoutSession::new(simple_timeline(60), 2_000);
+        for _ in 0..20 {
+            s.advance(500, 1.0);
+        }
+        let before = s.position_ms();
+        assert!(before > 0.0);
+        let pos = s.interrupt_for_transition();
+        assert_eq!(s.state(), SessionState::Transitioning);
+        assert_eq!(pos, before as u64);
+        // Advancing while transitioning does nothing.
+        s.advance(5_000, 1.0);
+        assert_eq!(s.position_ms(), before);
+        s.resume_with(simple_timeline(60));
+        assert_eq!(s.state(), SessionState::Buffering);
+        assert_eq!(s.stats().transitions, 1);
+        assert_eq!(s.position_ms(), before); // restart from saved position
+        for _ in 0..300 {
+            s.advance(500, 1.0);
+            if s.state() == SessionState::Completed {
+                break;
+            }
+        }
+        assert_eq!(s.state(), SessionState::Completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a transition")]
+    fn resume_requires_transition() {
+        let mut s = PlayoutSession::new(simple_timeline(10), 1_000);
+        s.resume_with(simple_timeline(10));
+    }
+
+    #[test]
+    fn abort_is_terminal() {
+        let mut s = PlayoutSession::new(simple_timeline(10), 1_000);
+        s.abort();
+        assert_eq!(s.state(), SessionState::Aborted);
+        s.advance(10_000, 1.0);
+        assert_eq!(s.position_ms(), 0.0);
+        // Completed sessions cannot be aborted into a different state.
+        let mut done = PlayoutSession::new(simple_timeline(1), 1_000);
+        for _ in 0..20 {
+            done.advance(500, 1.0);
+        }
+        assert_eq!(done.state(), SessionState::Completed);
+        done.abort();
+        assert_eq!(done.state(), SessionState::Completed);
+    }
+
+    #[test]
+    fn interrupt_after_completion_is_noop() {
+        let mut s = PlayoutSession::new(simple_timeline(1), 1_000);
+        for _ in 0..20 {
+            s.advance(500, 1.0);
+        }
+        let pos = s.interrupt_for_transition();
+        assert_eq!(s.state(), SessionState::Completed);
+        assert!(pos >= 1_000);
+    }
+}

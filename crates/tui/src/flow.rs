@@ -1,0 +1,353 @@
+//! The profile-manager window flow (paper §8).
+//!
+//! A state machine over the window set: the main window appears on "Play
+//! with QoS"; `OK` starts negotiation; the information window displays the
+//! result and arms the `choicePeriod` timer; on failure the profile
+//! component window highlights violated profiles and the user can edit and
+//! renegotiate.
+
+use nod_qosneg::{NegotiationStatus, UserOffer, UserProfile};
+
+use crate::windows;
+
+/// Which window is on screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UiState {
+    /// Fig. 3 — profile selection.
+    Main,
+    /// Fig. 4 — the profile component list (after a failure, with
+    /// constraint markers).
+    ProfileComponents,
+    /// Fig. 5 — editing the video profile.
+    VideoProfile,
+    /// Fig. 6/7 — negotiation result awaiting confirmation.
+    Information,
+    /// The GUI was exited.
+    Exited,
+}
+
+/// User interactions the flow reacts to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UiEvent {
+    /// Select a profile row in the main window.
+    SelectProfile(usize),
+    /// Press `OK` (context-dependent: negotiate / confirm offer).
+    Ok,
+    /// Press `CANCEL` (reject offer / back out of a window).
+    Cancel,
+    /// Double-click the selected profile (open components).
+    OpenComponents,
+    /// Open the video profile window from the components window.
+    OpenVideoProfile,
+    /// Press `EXIT` in the main window.
+    Exit,
+    /// The `choicePeriod` expired.
+    ChoiceTimeout,
+    /// A negotiation result arrived from the QoS manager.
+    NegotiationResult {
+        /// The status returned by the manager.
+        status: NegotiationStatus,
+        /// The user offer, if one was reserved.
+        offer: Option<UserOffer>,
+        /// Profile components the offer falls short of (drives the
+        /// component window's red constraint buttons; compute with
+        /// `nod_qosneg::violated_components`).
+        violated: Vec<&'static str>,
+    },
+}
+
+/// Outputs the embedding application must act on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UiAction {
+    /// Run the negotiation procedure for the selected profile.
+    StartNegotiation {
+        /// Index of the selected profile.
+        profile: usize,
+    },
+    /// The user accepted the reserved offer: start the presentation.
+    AcceptOffer,
+    /// The user rejected the offer (or it timed out): release resources.
+    ReleaseOffer {
+        /// True when the release was caused by the timer, not the user.
+        timed_out: bool,
+    },
+    /// Nothing to do.
+    None,
+}
+
+/// The profile manager's window flow.
+#[derive(Debug)]
+pub struct ProfileManagerApp {
+    profiles: Vec<UserProfile>,
+    selected: usize,
+    state: UiState,
+    last_status: Option<NegotiationStatus>,
+    last_offer: Option<UserOffer>,
+    last_violated: Vec<&'static str>,
+}
+
+impl ProfileManagerApp {
+    /// Start at the main window with a set of stored profiles.
+    ///
+    /// # Panics
+    /// Panics on an empty profile list (the GUI always ships defaults).
+    pub fn new(profiles: Vec<UserProfile>) -> Self {
+        assert!(!profiles.is_empty(), "the profile manager needs profiles");
+        ProfileManagerApp {
+            profiles,
+            selected: 0,
+            state: UiState::Main,
+            last_status: None,
+            last_offer: None,
+            last_violated: Vec::new(),
+        }
+    }
+
+    /// The window currently displayed.
+    pub fn state(&self) -> UiState {
+        self.state
+    }
+
+    /// The selected profile.
+    pub fn selected_profile(&self) -> &UserProfile {
+        &self.profiles[self.selected]
+    }
+
+    /// The last negotiation status shown, if any.
+    pub fn last_status(&self) -> Option<NegotiationStatus> {
+        self.last_status
+    }
+
+    /// Feed one event; returns the action the embedder must perform.
+    pub fn handle(&mut self, event: UiEvent) -> UiAction {
+        use UiEvent as E;
+        use UiState as S;
+        match (self.state, event) {
+            (S::Main, E::SelectProfile(i)) => {
+                if i < self.profiles.len() {
+                    self.selected = i;
+                }
+                UiAction::None
+            }
+            (S::Main, E::Ok) => UiAction::StartNegotiation {
+                profile: self.selected,
+            },
+            (S::Main, E::OpenComponents) => {
+                self.state = S::ProfileComponents;
+                UiAction::None
+            }
+            (S::Main, E::Exit) => {
+                self.state = S::Exited;
+                UiAction::None
+            }
+            (
+                _,
+                E::NegotiationResult {
+                    status,
+                    offer,
+                    violated,
+                },
+            ) => {
+                self.last_status = Some(status);
+                self.last_offer = offer;
+                self.last_violated = violated;
+                self.state = match status {
+                    NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer => {
+                        S::Information
+                    }
+                    // Failures without a held offer show the component
+                    // window with constraint markers (paper: "the profile
+                    // component window appears also when the negotiation
+                    // fails").
+                    _ => S::ProfileComponents,
+                };
+                UiAction::None
+            }
+            (S::Information, E::Ok) => {
+                self.state = S::Main;
+                UiAction::AcceptOffer
+            }
+            (S::Information, E::Cancel) => {
+                self.state = S::ProfileComponents;
+                UiAction::ReleaseOffer { timed_out: false }
+            }
+            (S::Information, E::ChoiceTimeout) => {
+                self.state = S::Main;
+                UiAction::ReleaseOffer { timed_out: true }
+            }
+            (S::ProfileComponents, E::OpenVideoProfile) => {
+                self.state = S::VideoProfile;
+                UiAction::None
+            }
+            (S::ProfileComponents, E::Cancel) => {
+                self.state = S::Main;
+                UiAction::None
+            }
+            (S::VideoProfile, E::Ok) => {
+                // Modified profile saved: renegotiate from the main window.
+                self.state = S::Main;
+                UiAction::StartNegotiation {
+                    profile: self.selected,
+                }
+            }
+            (S::VideoProfile, E::Cancel) => {
+                self.state = S::ProfileComponents;
+                UiAction::None
+            }
+            _ => UiAction::None,
+        }
+    }
+
+    /// Render the current window.
+    pub fn render(&self, choice_remaining_ms: Option<u64>) -> String {
+        match self.state {
+            UiState::Main => {
+                let names: Vec<&str> =
+                    self.profiles.iter().map(|p| p.name.as_str()).collect();
+                windows::main_window(&names, self.selected)
+            }
+            UiState::ProfileComponents => {
+                // The red constraint buttons: exactly the components the
+                // last offer fell short of.
+                windows::profile_component_window(self.selected_profile(), &self.last_violated)
+            }
+            UiState::VideoProfile => windows::video_profile_window(
+                self.selected_profile(),
+                self.last_offer.as_ref().and_then(|o| o.qos.video.as_ref()),
+            ),
+            UiState::Information => windows::information_window(
+                self.last_status.unwrap_or(NegotiationStatus::FailedTryLater),
+                self.last_offer.as_ref(),
+                choice_remaining_ms,
+            ),
+            UiState::Exited => String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nod_qosneg::profile::tv_news_profile;
+    use nod_qosneg::Money;
+
+    fn app() -> ProfileManagerApp {
+        let mut economy = tv_news_profile();
+        economy.name = "economy".into();
+        economy.max_cost = Money::from_dollars(2);
+        ProfileManagerApp::new(vec![tv_news_profile(), economy])
+    }
+
+    fn some_offer() -> UserOffer {
+        UserOffer {
+            qos: tv_news_profile().desired,
+            cost: Money::from_dollars(4),
+        }
+    }
+
+    #[test]
+    fn select_then_negotiate() {
+        let mut a = app();
+        assert_eq!(a.state(), UiState::Main);
+        a.handle(UiEvent::SelectProfile(1));
+        assert_eq!(a.selected_profile().name, "economy");
+        let action = a.handle(UiEvent::Ok);
+        assert_eq!(action, UiAction::StartNegotiation { profile: 1 });
+    }
+
+    #[test]
+    fn successful_result_shows_information_then_accept() {
+        let mut a = app();
+        a.handle(UiEvent::Ok);
+        a.handle(UiEvent::NegotiationResult {
+            status: NegotiationStatus::Succeeded,
+            offer: Some(some_offer()),
+            violated: vec![],
+        });
+        assert_eq!(a.state(), UiState::Information);
+        let rendered = a.render(Some(25_000));
+        assert!(rendered.contains("SUCCEEDED"));
+        assert!(rendered.contains("confirm within 25 s"));
+        assert_eq!(a.handle(UiEvent::Ok), UiAction::AcceptOffer);
+        assert_eq!(a.state(), UiState::Main);
+    }
+
+    #[test]
+    fn rejection_releases_and_opens_components() {
+        let mut a = app();
+        a.handle(UiEvent::NegotiationResult {
+            status: NegotiationStatus::FailedWithOffer,
+            offer: Some(some_offer()),
+            violated: vec!["video", "cost"],
+        });
+        assert_eq!(a.state(), UiState::Information);
+        assert_eq!(
+            a.handle(UiEvent::Cancel),
+            UiAction::ReleaseOffer { timed_out: false }
+        );
+        assert_eq!(a.state(), UiState::ProfileComponents);
+        // Constraint markers appear after the failure.
+        assert!(a.render(None).contains("[!]"));
+    }
+
+    #[test]
+    fn timeout_aborts_the_session() {
+        let mut a = app();
+        a.handle(UiEvent::NegotiationResult {
+            status: NegotiationStatus::Succeeded,
+            offer: Some(some_offer()),
+            violated: vec![],
+        });
+        assert_eq!(
+            a.handle(UiEvent::ChoiceTimeout),
+            UiAction::ReleaseOffer { timed_out: true }
+        );
+        assert_eq!(a.state(), UiState::Main);
+    }
+
+    #[test]
+    fn hard_failures_open_components_without_offer() {
+        let mut a = app();
+        a.handle(UiEvent::NegotiationResult {
+            status: NegotiationStatus::FailedTryLater,
+            offer: None,
+            violated: vec![],
+        });
+        assert_eq!(a.state(), UiState::ProfileComponents);
+    }
+
+    #[test]
+    fn edit_and_renegotiate_loop() {
+        let mut a = app();
+        a.handle(UiEvent::NegotiationResult {
+            status: NegotiationStatus::FailedWithOffer,
+            offer: Some(some_offer()),
+            violated: vec!["video", "cost"],
+        });
+        a.handle(UiEvent::Cancel); // to components
+        a.handle(UiEvent::OpenVideoProfile);
+        assert_eq!(a.state(), UiState::VideoProfile);
+        // The offer's video values appear on the bars.
+        assert!(a.render(None).contains("system offer"));
+        let action = a.handle(UiEvent::Ok);
+        assert_eq!(action, UiAction::StartNegotiation { profile: 0 });
+        assert_eq!(a.state(), UiState::Main);
+    }
+
+    #[test]
+    fn exit_terminates() {
+        let mut a = app();
+        a.handle(UiEvent::Exit);
+        assert_eq!(a.state(), UiState::Exited);
+        assert_eq!(a.render(None), "");
+        // Events after exit are ignored.
+        assert_eq!(a.handle(UiEvent::Ok), UiAction::None);
+    }
+
+    #[test]
+    fn out_of_range_selection_ignored() {
+        let mut a = app();
+        a.handle(UiEvent::SelectProfile(99));
+        assert_eq!(a.selected_profile().name, "tv-news");
+    }
+}

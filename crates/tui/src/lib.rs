@@ -1,0 +1,26 @@
+//! The QoS GUI, rendered for terminals (paper §8, Figures 3–7).
+//!
+//! The prototype's profile manager displayed AIC/Motif windows; figure
+//! content, not measured results. This crate reproduces the same window set
+//! as deterministic text renderings — the *workflow* (select profile →
+//! negotiate → offer display with constraint highlighting → confirm /
+//! cancel / renegotiate) is what matters, and it is fully exercised by the
+//! [`flow::ProfileManagerApp`] state machine:
+//!
+//! * **main window** (Fig. 3) — profile list, `OK` to negotiate, `EXIT`;
+//! * **profile component window** (Fig. 4) — monomedia/time/cost profile
+//!   list with the violated profiles' constraint buttons "activated with
+//!   red color" (here: `[!]` markers);
+//! * **per-media profile windows** (Fig. 5) — scaling bars with desired,
+//!   minimum-acceptable and offered positions;
+//! * **information window** (Fig. 6/7) — negotiation status, offered QoS
+//!   parameter values, cost, and the `choicePeriod` countdown.
+
+pub mod flow;
+pub mod windows;
+
+pub use flow::{ProfileManagerApp, UiAction, UiEvent, UiState};
+pub use windows::{
+    audio_profile_window, bar, cost_profile_window, information_window, main_window,
+    profile_component_window, show_example, time_profile_window, video_profile_window,
+};

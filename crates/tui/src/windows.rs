@@ -1,0 +1,442 @@
+//! Deterministic text renderings of the QoS GUI windows.
+
+use nod_mmdoc::prelude::*;
+use nod_qosneg::{Money, NegotiationStatus, UserOffer, UserProfile};
+
+const WIDTH: usize = 62;
+
+fn frame(title: &str, body_lines: &[String]) -> String {
+    let mut out = String::new();
+    out.push('┌');
+    out.push_str(&"─".repeat(WIDTH - 2));
+    out.push_str("┐\n");
+    out.push_str(&center_line(title));
+    out.push_str(&rule());
+    for l in body_lines {
+        out.push_str(&pad_line(l));
+    }
+    out.push('└');
+    out.push_str(&"─".repeat(WIDTH - 2));
+    out.push_str("┘\n");
+    out
+}
+
+fn rule() -> String {
+    format!("├{}┤\n", "─".repeat(WIDTH - 2))
+}
+
+fn visible_len(s: &str) -> usize {
+    s.chars().count()
+}
+
+fn pad_line(s: &str) -> String {
+    let len = visible_len(s);
+    let pad = (WIDTH - 2).saturating_sub(len + 1);
+    format!("│ {}{}│\n", s, " ".repeat(pad))
+}
+
+fn center_line(s: &str) -> String {
+    let len = visible_len(s);
+    let total = (WIDTH - 2).saturating_sub(len);
+    let left = total / 2;
+    format!(
+        "│{}{}{}│\n",
+        " ".repeat(left),
+        s,
+        " ".repeat(total - left)
+    )
+}
+
+/// A horizontal scaling bar of `width` cells over `[lo, hi]` with markers:
+/// `D` desired, `m` minimum acceptable, `o` system offer. Markers may
+/// coincide; the later marker in that list wins the cell.
+pub fn bar(lo: f64, hi: f64, width: usize, desired: f64, min: f64, offer: Option<f64>) -> String {
+    assert!(hi > lo && width >= 2, "bar: bad scale");
+    let mut cells: Vec<char> = vec!['─'; width];
+    let place = |v: f64| -> usize {
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((t * (width - 1) as f64).round()) as usize
+    };
+    cells[place(min)] = 'm';
+    cells[place(desired)] = 'D';
+    if let Some(o) = offer {
+        cells[place(o)] = 'o';
+    }
+    cells.into_iter().collect()
+}
+
+/// Figure 3: the main window — the profile list and its buttons.
+pub fn main_window(profiles: &[&str], selected: usize) -> String {
+    let mut body = vec!["User profiles:".to_string()];
+    for (i, p) in profiles.iter().enumerate() {
+        let marker = if i == selected { '▶' } else { ' ' };
+        body.push(format!(" {marker} {p}"));
+    }
+    body.push(String::new());
+    body.push("[ OK ]  [ Edit ]  [ Delete ]  [ Set default ]  [ EXIT ]".to_string());
+    frame("QoS negotiation — main window", &body)
+}
+
+/// Figure 4: the profile component window. `violated` lists the profile
+/// components whose constraint buttons light up after a failed negotiation.
+pub fn profile_component_window(profile: &UserProfile, violated: &[&str]) -> String {
+    let mark = |name: &str| {
+        if violated.contains(&name) {
+            "[!]"
+        } else {
+            "[ ]"
+        }
+    };
+    let mut body = vec![format!("Profile: {}", profile.name), String::new()];
+    for name in ["video", "audio", "text", "image", "time", "cost"] {
+        let present = match name {
+            "video" => profile.desired.video.is_some(),
+            "audio" => profile.desired.audio.is_some(),
+            "text" => profile.desired.text.is_some(),
+            "image" => profile.desired.image.is_some(),
+            _ => true,
+        };
+        if present {
+            body.push(format!("  {} {name} profile", mark(name)));
+        }
+    }
+    body.push(String::new());
+    body.push("[ Save ]  [ Save as ]  [ CANCEL ]".to_string());
+    frame("Profile components", &body)
+}
+
+/// Figure 5: the video profile window with its scaling bars.
+pub fn video_profile_window(profile: &UserProfile, offer: Option<&VideoQos>) -> String {
+    let desired = profile.desired.video;
+    let worst = profile.worst.video;
+    let mut body = Vec::new();
+    match (desired, worst) {
+        (Some(d), Some(w)) => {
+            body.push(format!(
+                "frame rate   [{}] {} fps",
+                bar(
+                    1.0,
+                    60.0,
+                    30,
+                    d.frame_rate.fps() as f64,
+                    w.frame_rate.fps() as f64,
+                    offer.map(|o| o.frame_rate.fps() as f64),
+                ),
+                d.frame_rate.fps()
+            ));
+            body.push(format!(
+                "resolution   [{}] {} px",
+                bar(
+                    10.0,
+                    1920.0,
+                    30,
+                    d.resolution.pixels_per_line() as f64,
+                    w.resolution.pixels_per_line() as f64,
+                    offer.map(|o| o.resolution.pixels_per_line() as f64),
+                ),
+                d.resolution.pixels_per_line()
+            ));
+            body.push(format!(
+                "color        [{}] {}",
+                bar(
+                    0.0,
+                    3.0,
+                    30,
+                    d.color.level() as f64,
+                    w.color.level() as f64,
+                    offer.map(|o| o.color.level() as f64),
+                ),
+                d.color
+            ));
+            if let Some(o) = offer {
+                body.push(String::new());
+                body.push(format!("system offer: {o}"));
+            }
+        }
+        _ => body.push("no video requirement in this profile".to_string()),
+    }
+    body.push(String::new());
+    body.push("D desired   m minimum acceptable   o offer".to_string());
+    body.push("[ OK ]  [ Save ]  [ Save as ]  [ show example ]  [ CANCEL ]".to_string());
+    frame("Video profile", &body)
+}
+
+/// Figure 5 family: the audio profile window.
+pub fn audio_profile_window(profile: &UserProfile, offer: Option<&AudioQos>) -> String {
+    let mut body = Vec::new();
+    match (profile.desired.audio, profile.worst.audio) {
+        (Some(d), Some(w)) => {
+            let level = |q: AudioQuality| match q {
+                AudioQuality::Telephone => 0.0,
+                AudioQuality::Radio => 1.0,
+                AudioQuality::Cd => 2.0,
+            };
+            body.push(format!(
+                "quality      [{}] {}",
+                bar(0.0, 2.0, 30, level(d.quality), level(w.quality), offer.map(|o| level(o.quality))),
+                d.quality
+            ));
+            body.push(format!("language     desired {}  (min {})", d.language, w.language));
+            if let Some(o) = offer {
+                body.push(String::new());
+                body.push(format!("system offer: {o}"));
+            }
+        }
+        _ => body.push("no audio requirement in this profile".to_string()),
+    }
+    body.push(String::new());
+    body.push("D desired   m minimum acceptable   o offer".to_string());
+    body.push("[ OK ]  [ Save ]  [ Save as ]  [ show example ]  [ CANCEL ]".to_string());
+    frame("Audio profile", &body)
+}
+
+/// The cost profile window: ceiling plus the per-dollar importance knob.
+pub fn cost_profile_window(profile: &UserProfile, offered: Option<Money>) -> String {
+    let max = profile.max_cost.dollars();
+    let scale_hi = (max * 2.0).max(1.0);
+    let mut body = vec![format!(
+        "maximum cost [{}] {}",
+        bar(0.0, scale_hi, 30, max, 0.0, offered.map(|m| m.dollars())),
+        profile.max_cost
+    )];
+    body.push(format!(
+        "cost importance: {:.1} per $ (0 = cost does not matter)",
+        profile.importance.cost_per_dollar
+    ));
+    if let Some(o) = offered {
+        body.push(String::new());
+        body.push(cost_line(o, profile.max_cost));
+    }
+    body.push(String::new());
+    body.push("[ OK ]  [ Save ]  [ Save as ]  [ CANCEL ]".to_string());
+    frame("Cost profile", &body)
+}
+
+/// The time profile window: startup deadline and `choicePeriod`.
+pub fn time_profile_window(profile: &UserProfile) -> String {
+    let body = vec![
+        format!(
+            "delivery must start within {:>5.1} s",
+            profile.time.max_startup_ms as f64 / 1e3
+        ),
+        format!(
+            "offer confirmation window  {:>5.1} s (choicePeriod)",
+            profile.time.choice_period_ms as f64 / 1e3
+        ),
+        String::new(),
+        "[ OK ]  [ Save ]  [ Save as ]  [ CANCEL ]".to_string(),
+    ];
+    frame("Time profile", &body)
+}
+
+/// "show example" (paper §8): a textual stand-in for the MPEG player's
+/// preview of "a monomedia example which satisfies the current profile" —
+/// renders the desired video parameters as a preview card.
+pub fn show_example(profile: &UserProfile) -> String {
+    let body = match profile.desired.video {
+        Some(v) => vec![
+            format!("previewing a clip at {v}"),
+            format!(
+                "≈ {} lines, {} colors, frame every {} ms",
+                v.resolution.lines(),
+                1u64 << v.color.bits_per_pixel().min(24),
+                1_000 / v.frame_rate.fps().max(1)
+            ),
+        ],
+        None => vec!["this profile requests no video".to_string()],
+    };
+    frame("Example player", &body)
+}
+
+/// Figures 6/7: the information window displaying the negotiation result.
+/// `remaining_ms` is the `choicePeriod` countdown while the offer is held.
+pub fn information_window(
+    status: NegotiationStatus,
+    offer: Option<&UserOffer>,
+    remaining_ms: Option<u64>,
+) -> String {
+    let mut body = vec![format!("negotiation status: {status}")];
+    match offer {
+        Some(o) => {
+            if let Some(v) = o.qos.video {
+                body.push(format!("  video : {v}"));
+            }
+            if let Some(a) = o.qos.audio {
+                body.push(format!("  audio : {a}"));
+            }
+            if let Some(t) = o.qos.text {
+                body.push(format!("  text  : ({})", t.language));
+            }
+            if let Some(i) = o.qos.image {
+                body.push(format!("  image : ({}, {})", i.color, i.resolution));
+            }
+            body.push(format!("  cost  : {}", o.cost));
+        }
+        None => body.push("  no offer available".to_string()),
+    }
+    if let Some(ms) = remaining_ms {
+        body.push(String::new());
+        body.push(format!("confirm within {:.0} s  [ OK ]  [ CANCEL ]", ms as f64 / 1e3));
+    }
+    frame("Information", &body)
+}
+
+/// Render the cost line of an offer (used by the walkthrough binary).
+pub fn cost_line(cost: Money, max: Money) -> String {
+    let status = if cost <= max { "within" } else { "ABOVE" };
+    format!("cost {cost} ({status} the {max} ceiling)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nod_qosneg::profile::tv_news_profile;
+
+    fn assert_framed(s: &str) {
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 4);
+        assert!(lines[0].starts_with('┌'));
+        assert!(lines.last().unwrap().starts_with('└'));
+        for l in &lines {
+            assert_eq!(
+                l.chars().count(),
+                WIDTH,
+                "ragged line: {l:?} ({} cells)",
+                l.chars().count()
+            );
+        }
+    }
+
+    #[test]
+    fn main_window_lists_profiles() {
+        let w = main_window(&["tv-news", "economy", "premium"], 1);
+        assert_framed(&w);
+        assert!(w.contains("▶ economy"));
+        assert!(w.contains("  tv-news"));
+        assert!(w.contains("[ OK ]"));
+        assert!(w.contains("[ EXIT ]"));
+    }
+
+    #[test]
+    fn component_window_marks_violations() {
+        let p = tv_news_profile();
+        let w = profile_component_window(&p, &["video", "cost"]);
+        assert_framed(&w);
+        assert!(w.contains("[!] video profile"));
+        assert!(w.contains("[ ] audio profile"));
+        assert!(w.contains("[!] cost profile"));
+        // No image requirement in tv-news: the row is absent.
+        assert!(!w.contains("image profile"));
+    }
+
+    #[test]
+    fn bar_places_markers() {
+        let b = bar(0.0, 10.0, 11, 10.0, 0.0, Some(5.0));
+        assert_eq!(b.chars().count(), 11);
+        assert_eq!(b.chars().next(), Some('m'));
+        assert_eq!(b.chars().last(), Some('D'));
+        assert_eq!(b.chars().nth(5), Some('o'));
+    }
+
+    #[test]
+    fn bar_clamps_out_of_scale_values() {
+        let b = bar(0.0, 10.0, 11, 20.0, -5.0, None);
+        assert_eq!(b.chars().next(), Some('m'));
+        assert_eq!(b.chars().last(), Some('D'));
+    }
+
+    #[test]
+    fn video_window_shows_bars_and_offer() {
+        let p = tv_news_profile();
+        let offer = VideoQos {
+            color: ColorDepth::Grey,
+            resolution: Resolution::new(320),
+            frame_rate: FrameRate::new(15),
+        };
+        let w = video_profile_window(&p, Some(&offer));
+        assert_framed(&w);
+        assert!(w.contains("frame rate"));
+        assert!(w.contains("system offer: (grey, 15 frames/s, 320 px/line)"));
+        assert!(w.contains("show example"));
+    }
+
+    #[test]
+    fn video_window_without_requirement() {
+        let mut p = tv_news_profile();
+        p.desired.video = None;
+        p.worst.video = None;
+        let w = video_profile_window(&p, None);
+        assert!(w.contains("no video requirement"));
+    }
+
+    #[test]
+    fn information_window_success_and_failure() {
+        let p = tv_news_profile();
+        let offer = UserOffer {
+            qos: p.desired,
+            cost: Money::from_dollars_f64(4.2),
+        };
+        let ok = information_window(NegotiationStatus::Succeeded, Some(&offer), Some(30_000));
+        assert_framed(&ok);
+        assert!(ok.contains("SUCCEEDED"));
+        assert!(ok.contains("$4.20"));
+        assert!(ok.contains("confirm within 30 s"));
+
+        let fail = information_window(NegotiationStatus::FailedTryLater, None, None);
+        assert!(fail.contains("FAILEDTRYLATER"));
+        assert!(fail.contains("no offer available"));
+    }
+
+    #[test]
+    fn audio_window_shows_quality_bar() {
+        let p = tv_news_profile();
+        let offer = AudioQos {
+            quality: AudioQuality::Radio,
+            language: Language::English,
+        };
+        let w = audio_profile_window(&p, Some(&offer));
+        assert_framed(&w);
+        assert!(w.contains("quality"));
+        assert!(w.contains("system offer: (radio audio, english)"));
+        let mut no_audio = tv_news_profile();
+        no_audio.desired.audio = None;
+        no_audio.worst.audio = None;
+        assert!(audio_profile_window(&no_audio, None).contains("no audio requirement"));
+    }
+
+    #[test]
+    fn cost_window_marks_offer_position() {
+        let p = tv_news_profile();
+        let w = cost_profile_window(&p, Some(Money::from_dollars(8)));
+        assert_framed(&w);
+        assert!(w.contains("maximum cost"));
+        assert!(w.contains("ABOVE"));
+        let ok = cost_profile_window(&p, Some(Money::from_dollars(3)));
+        assert!(ok.contains("within"));
+    }
+
+    #[test]
+    fn time_window_shows_deadlines() {
+        let w = time_profile_window(&tv_news_profile());
+        assert_framed(&w);
+        assert!(w.contains("10.0 s"));
+        assert!(w.contains("choicePeriod"));
+    }
+
+    #[test]
+    fn show_example_previews_desired_video() {
+        let w = show_example(&tv_news_profile());
+        assert_framed(&w);
+        assert!(w.contains("(color, 25 frames/s, 640 px/line)"));
+        let mut p = tv_news_profile();
+        p.desired.video = None;
+        p.worst.video = None;
+        assert!(show_example(&p).contains("no video"));
+    }
+
+    #[test]
+    fn cost_line_marks_overruns() {
+        assert!(cost_line(Money::from_dollars(3), Money::from_dollars(4)).contains("within"));
+        assert!(cost_line(Money::from_dollars(5), Money::from_dollars(4)).contains("ABOVE"));
+    }
+}

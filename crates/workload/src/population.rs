@@ -1,0 +1,233 @@
+//! User populations: who watches the news, on what machine, with what
+//! profile.
+
+use nod_client::ClientMachine;
+use nod_mmdoc::prelude::*;
+use nod_qosneg::profile::{tv_news_profile, MmQosSpec, UserProfile};
+use nod_qosneg::{ImportanceProfile, Money};
+use nod_simcore::StreamRng;
+
+/// One class of users: a named profile/machine template with a mix weight.
+#[derive(Debug, Clone)]
+pub struct UserClass {
+    /// Class label ("premium", "economy", …).
+    pub name: &'static str,
+    /// Relative frequency in the population.
+    pub weight: f64,
+    /// The user profile members of this class submit.
+    pub profile: UserProfile,
+    /// The machine kind members run (constructed per client id).
+    pub machine: fn(ClientId) -> ClientMachine,
+}
+
+/// A weighted mix of user classes.
+#[derive(Debug, Clone)]
+pub struct UserPopulation {
+    classes: Vec<UserClass>,
+}
+
+impl UserPopulation {
+    /// A population from explicit classes.
+    ///
+    /// # Panics
+    /// Panics on an empty class list or non-positive total weight.
+    pub fn new(classes: Vec<UserClass>) -> Self {
+        assert!(!classes.is_empty(), "population needs classes");
+        assert!(
+            classes.iter().map(|c| c.weight).sum::<f64>() > 0.0,
+            "population weights must sum positive"
+        );
+        UserPopulation { classes }
+    }
+
+    /// The canonical four-class news-on-demand population:
+    ///
+    /// * **premium** (20%) — high-end machine, super-color desires, a deep
+    ///   ($30) budget, QoS-dominant importance;
+    /// * **standard** (50%) — workstation, TV-quality desires, $6 ceiling;
+    /// * **economy** (20%) — workstation, degradable desires, $3 ceiling,
+    ///   cost-dominant importance;
+    /// * **francophone** (10%) — standard quality, French strongly
+    ///   preferred.
+    pub fn era_default() -> Self {
+        let premium = {
+            let desired = MmQosSpec {
+                video: Some(VideoQos {
+                    color: ColorDepth::SuperColor,
+                    resolution: Resolution::new(960),
+                    frame_rate: FrameRate::new(30),
+                }),
+                audio: Some(AudioQos {
+                    quality: AudioQuality::Cd,
+                    language: Language::Any,
+                }),
+                text: Some(TextQos {
+                    language: Language::Any,
+                }),
+                ..MmQosSpec::default()
+            };
+            let worst = MmQosSpec {
+                video: Some(VideoQos {
+                    color: ColorDepth::Color,
+                    resolution: Resolution::TV,
+                    frame_rate: FrameRate::TV,
+                }),
+                audio: Some(AudioQos {
+                    quality: AudioQuality::Radio,
+                    language: Language::Any,
+                }),
+                text: Some(TextQos {
+                    language: Language::Any,
+                }),
+                ..MmQosSpec::default()
+            };
+            let importance = ImportanceProfile {
+                cost_per_dollar: 0.5, // money is no object
+                ..ImportanceProfile::default()
+            };
+            UserProfile {
+                name: "premium".into(),
+                desired,
+                worst,
+                max_cost: Money::from_dollars(30),
+                time: Default::default(),
+                importance,
+            }
+        };
+
+        let standard = {
+            let mut p = tv_news_profile();
+            p.name = "standard".into();
+            p
+        };
+
+        let economy = {
+            let mut p = tv_news_profile();
+            p.name = "economy".into();
+            p.max_cost = Money::from_dollars(3);
+            p.desired.video = Some(VideoQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::new(352),
+                frame_rate: FrameRate::new(15),
+            });
+            p.worst.video = Some(VideoQos {
+                color: ColorDepth::BlackWhite,
+                resolution: Resolution::new(176),
+                frame_rate: FrameRate::new(5),
+            });
+            p.worst.audio = Some(AudioQos {
+                quality: AudioQuality::Telephone,
+                language: Language::Any,
+            });
+            p.importance.cost_per_dollar = 10.0; // cost-dominant
+            p
+        };
+
+        let francophone = {
+            let mut p = tv_news_profile();
+            p.name = "francophone".into();
+            p.desired.audio = Some(AudioQos {
+                quality: AudioQuality::Cd,
+                language: Language::French,
+            });
+            p.worst.audio = Some(AudioQos {
+                quality: AudioQuality::Telephone,
+                language: Language::Any,
+            });
+            p.importance.french = 6.0;
+            p.importance.english = 1.0;
+            p
+        };
+
+        UserPopulation::new(vec![
+            UserClass {
+                name: "premium",
+                weight: 0.2,
+                profile: premium,
+                machine: ClientMachine::era_highend,
+            },
+            UserClass {
+                name: "standard",
+                weight: 0.5,
+                profile: standard,
+                machine: ClientMachine::era_workstation,
+            },
+            UserClass {
+                name: "economy",
+                weight: 0.2,
+                profile: economy,
+                machine: ClientMachine::era_workstation,
+            },
+            UserClass {
+                name: "francophone",
+                weight: 0.1,
+                profile: francophone,
+                machine: ClientMachine::era_workstation,
+            },
+        ])
+    }
+
+    /// The classes.
+    pub fn classes(&self) -> &[UserClass] {
+        &self.classes
+    }
+
+    /// Sample a user: `(class name, profile, machine)` for a client id.
+    pub fn sample(&self, rng: &mut StreamRng, client: ClientId) -> (&'static str, UserProfile, ClientMachine) {
+        let weights: Vec<f64> = self.classes.iter().map(|c| c.weight).collect();
+        let class = &self.classes[rng.choose_weighted(&weights)];
+        (class.name, class.profile.clone(), (class.machine)(client))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_population_profiles_validate() {
+        let pop = UserPopulation::era_default();
+        assert_eq!(pop.classes().len(), 4);
+        for c in pop.classes() {
+            c.profile.validate().unwrap_or_else(|e| {
+                panic!("class {} has invalid profile: {e}", c.name)
+            });
+        }
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let pop = UserPopulation::era_default();
+        let mut rng = StreamRng::new(42);
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..10_000 {
+            let (name, _, _) = pop.sample(&mut rng, ClientId(i % 8));
+            *counts.entry(name).or_insert(0u32) += 1;
+        }
+        // Standard is half the traffic, francophone a tenth.
+        assert!((4_500..5_500).contains(&counts["standard"]));
+        assert!((700..1_300).contains(&counts["francophone"]));
+    }
+
+    #[test]
+    fn premium_runs_highend_hardware() {
+        let pop = UserPopulation::era_default();
+        let premium = &pop.classes()[0];
+        assert_eq!(premium.name, "premium");
+        let machine = (premium.machine)(ClientId(3));
+        assert_eq!(machine.id, ClientId(3));
+        assert_eq!(machine.display.color, ColorDepth::SuperColor);
+    }
+
+    #[test]
+    fn economy_is_cost_dominant() {
+        let pop = UserPopulation::era_default();
+        let economy = pop
+            .classes()
+            .iter()
+            .find(|c| c.name == "economy")
+            .unwrap();
+        assert!(economy.profile.importance.cost_per_dollar > 5.0);
+        assert!(economy.profile.max_cost < Money::from_dollars(4));
+    }
+}

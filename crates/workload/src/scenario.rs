@@ -1,0 +1,191 @@
+//! Named, persistable experiment scenarios.
+//!
+//! Experiment configurations are plain serde values, so a study can be
+//! defined once, saved next to its results, and replayed bit-for-bit.
+//! [`Scenario`] bundles a blocking sweep and an adaptation episode under a
+//! name; [`presets`] ships the configurations the repository's own
+//! experiments use.
+
+use serde::{Deserialize, Serialize};
+
+use crate::adaptation::AdaptationConfig;
+use crate::blocking::{BlockingConfig, NegotiatorKind};
+use nod_qosneg::ClassificationStrategy;
+
+/// A named experiment bundle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name ("prime-time", "light-load", …).
+    pub name: String,
+    /// Free-text description for the study log.
+    pub description: String,
+    /// Blocking/availability sweep points (one run per entry).
+    pub blocking: Vec<BlockingConfig>,
+    /// Adaptation episodes (one run per entry).
+    pub adaptation: Vec<AdaptationConfig>,
+}
+
+impl Scenario {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serializes")
+    }
+
+    /// Restore from JSON.
+    pub fn from_json(json: &str) -> Result<Scenario, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Persist to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load from a file.
+    pub fn load(path: &std::path::Path) -> Result<Scenario, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Scenario::from_json(&text)
+    }
+}
+
+/// The stock scenarios.
+pub mod presets {
+    use super::*;
+
+    /// A quiet weekday afternoon: light load, smart negotiation.
+    pub fn light_load() -> Scenario {
+        Scenario {
+            name: "light-load".into(),
+            description: "near-idle service; every refusal is structural".into(),
+            blocking: vec![BlockingConfig {
+                arrivals_per_minute: 1.0,
+                horizon_minutes: 60.0,
+                ..BlockingConfig::default()
+            }],
+            adaptation: vec![],
+        }
+    }
+
+    /// The evening rush: rising load, smart vs first-fit head to head.
+    pub fn prime_time() -> Scenario {
+        let mut blocking = Vec::new();
+        for &load in &[8.0, 16.0, 32.0] {
+            for negotiator in [
+                NegotiatorKind::Smart(ClassificationStrategy::SnsThenOif),
+                NegotiatorKind::FirstFit,
+            ] {
+                blocking.push(BlockingConfig {
+                    arrivals_per_minute: load,
+                    horizon_minutes: 60.0,
+                    negotiator,
+                    ..BlockingConfig::default()
+                });
+            }
+        }
+        Scenario {
+            name: "prime-time".into(),
+            description: "evening peak; availability claim head-to-head".into(),
+            blocking,
+            adaptation: vec![],
+        }
+    }
+
+    /// A server outage mid-broadcast: the adaptation claim.
+    pub fn outage_drill() -> Scenario {
+        Scenario {
+            name: "outage-drill".into(),
+            description: "total server outage mid-playout, adaptation on/off".into(),
+            blocking: vec![],
+            adaptation: vec![
+                AdaptationConfig {
+                    adaptation_enabled: true,
+                    congestion_health: 0.0,
+                    ..AdaptationConfig::default()
+                },
+                AdaptationConfig {
+                    adaptation_enabled: false,
+                    congestion_health: 0.0,
+                    ..AdaptationConfig::default()
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_adaptation, run_blocking};
+
+    #[test]
+    fn presets_are_well_formed() {
+        for s in [
+            presets::light_load(),
+            presets::prime_time(),
+            presets::outage_drill(),
+        ] {
+            assert!(!s.name.is_empty());
+            assert!(
+                !s.blocking.is_empty() || !s.adaptation.is_empty(),
+                "{}: empty scenario",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_configs() {
+        let s = presets::prime_time();
+        let json = s.to_json();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back.name, s.name);
+        assert_eq!(back.blocking.len(), s.blocking.len());
+        assert_eq!(
+            back.blocking[0].arrivals_per_minute,
+            s.blocking[0].arrivals_per_minute
+        );
+        assert_eq!(back.blocking[1].negotiator, s.blocking[1].negotiator);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let s = presets::outage_drill();
+        let dir = std::env::temp_dir().join("nod_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("outage.json");
+        s.save(&path).unwrap();
+        let back = Scenario::load(&path).unwrap();
+        assert_eq!(back.adaptation.len(), 2);
+        assert!(back.adaptation[0].adaptation_enabled);
+        assert!(!back.adaptation[1].adaptation_enabled);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replayed_scenario_reproduces_results() {
+        // Persist, reload, run twice: identical outputs (the point of
+        // serializable configs).
+        let mut s = presets::light_load();
+        s.blocking[0].horizon_minutes = 10.0;
+        let json = s.to_json();
+        let replay = Scenario::from_json(&json).unwrap();
+        let a = run_blocking(&s.blocking[0]);
+        let b = run_blocking(&replay.blocking[0]);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.carried, b.carried);
+        assert_eq!(a.mean_satisfaction, b.mean_satisfaction);
+    }
+
+    #[test]
+    fn outage_drill_runs() {
+        let mut s = presets::outage_drill();
+        for cfg in &mut s.adaptation {
+            cfg.sessions = 3;
+            cfg.congestion_steps = 40;
+        }
+        let on = run_adaptation(&s.adaptation[0]);
+        let off = run_adaptation(&s.adaptation[1]);
+        assert_eq!(on.started, off.started);
+        assert!(on.mean_continuity >= off.mean_continuity);
+    }
+}

@@ -1,0 +1,67 @@
+//! Capacity planning with the blocking-experiment driver.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+//!
+//! How many file servers does a news service need to keep resource
+//! blocking under 5% at a given load? Sweeps the farm size at fixed
+//! arrivals and reports blocking probability, satisfaction and the revenue
+//! proxy — the kind of provisioning question the negotiation procedure's
+//! admission behaviour answers.
+
+use news_on_demand::qosneg::ClassificationStrategy;
+use news_on_demand::workload::{run_blocking, BlockingConfig, NegotiatorKind};
+
+fn main() {
+    println!("capacity planning: servers needed at 10 arrivals/min (seeded, 45 sim-minutes)\n");
+    println!(
+        "{:<8} {:>8} {:>8} {:>10} {:>13} {:>10}",
+        "servers", "offered", "carried", "P(block)", "satisfaction", "try-later"
+    );
+
+    let mut recommended = None;
+    for servers in 1..=6 {
+        let mut offered = 0;
+        let mut carried = 0;
+        let mut try_later = 0;
+        let mut sat = 0.0;
+        let seeds = [1u64, 2, 3];
+        for &seed in &seeds {
+            let r = run_blocking(&BlockingConfig {
+                seed,
+                servers,
+                clients: 8,
+                documents: 20,
+                arrivals_per_minute: 10.0,
+                horizon_minutes: 45.0,
+                negotiator: NegotiatorKind::Smart(ClassificationStrategy::SnsThenOif),
+                ..BlockingConfig::default()
+            });
+            offered += r.offered;
+            carried += r.carried;
+            try_later += r.try_later;
+            sat += r.mean_satisfaction;
+        }
+        let p_resource_block = try_later as f64 / offered as f64;
+        println!(
+            "{:<8} {:>8} {:>8} {:>10.3} {:>13.3} {:>10}",
+            servers,
+            offered,
+            carried,
+            p_resource_block,
+            sat / seeds.len() as f64,
+            try_later
+        );
+        if recommended.is_none() && p_resource_block < 0.05 {
+            recommended = Some(servers);
+        }
+    }
+
+    match recommended {
+        Some(n) => println!(
+            "\nrecommendation: {n} server(s) keep resource blocking under 5% at this load."
+        ),
+        None => println!("\nno farm size in the sweep met the 5% target — raise the range."),
+    }
+}

@@ -1,0 +1,88 @@
+//! Hierarchical negotiation across two administrative domains.
+//!
+//! ```text
+//! cargo run --example multidomain
+//! ```
+//!
+//! A campus domain serves its own users until its farm fails; the
+//! multi-domain negotiator then places sessions in the metro peer domain,
+//! surcharging transit — the [Haf 95b] hierarchy the paper's related work
+//! builds on.
+
+use news_on_demand::client::ClientMachine;
+use news_on_demand::cmfs::{Guarantee, ServerConfig, ServerFarm};
+use news_on_demand::mmdb::{CorpusBuilder, CorpusParams};
+use news_on_demand::mmdoc::{ClientId, DocumentId, ServerId};
+use news_on_demand::netsim::{Network, Topology};
+use news_on_demand::qosneg::hierarchy::{negotiate_multidomain, Domain, MultiDomainConfig};
+use news_on_demand::qosneg::profile::tv_news_profile;
+use news_on_demand::qosneg::{ClassificationStrategy, CostModel};
+use news_on_demand::simcore::StreamRng;
+
+fn domain(name: &str, seed: u64, surcharge: u32) -> Domain {
+    let mut rng = StreamRng::new(seed);
+    let catalog = CorpusBuilder::new(CorpusParams {
+        documents: 6,
+        servers: (0..2).map(ServerId).collect(),
+        ..CorpusParams::default()
+    })
+    .build(&mut rng);
+    Domain {
+        name: name.into(),
+        catalog,
+        farm: ServerFarm::uniform(2, ServerConfig::era_default()),
+        network: Network::new(Topology::star(5, 2, 25_000_000, 155_000_000)),
+        gateway: ClientId(4),
+        transit_surcharge_percent: surcharge,
+    }
+}
+
+fn main() {
+    let model = CostModel::era_default();
+    let config = MultiDomainConfig {
+        cost_model: &model,
+        strategy: ClassificationStrategy::SnsThenOif,
+        guarantee: Guarantee::Guaranteed,
+        enumeration_cap: 500_000,
+        jitter_buffer_ms: 2_000,
+    };
+    // Same replica set in both domains; the peer charges 25% transit.
+    let domains = vec![domain("campus", 3, 0), domain("metro", 3, 25)];
+    let client = ClientMachine::era_workstation(ClientId(0));
+    let profile = tv_news_profile();
+
+    println!("== phase 1: healthy campus domain");
+    let out = negotiate_multidomain(&domains, 0, &client, DocumentId(1), &profile, &config)
+        .expect("valid request");
+    println!(
+        "   served by {} ({}) — status {}, user pays {}",
+        domains[out.domain_index].name,
+        if out.remote { "remote" } else { "home" },
+        out.outcome.status,
+        out.user_cost.map(|c| c.to_string()).unwrap_or_default()
+    );
+    if let Some(r) = out.outcome.reservation {
+        r.release(&domains[out.domain_index].farm, &domains[out.domain_index].network);
+    }
+
+    println!("== phase 2: campus farm fails");
+    for s in domains[0].farm.ids() {
+        domains[0].farm.server(s).unwrap().set_health(0.0);
+    }
+    let out = negotiate_multidomain(&domains, 0, &client, DocumentId(1), &profile, &config)
+        .expect("valid request");
+    println!(
+        "   served by {} ({}) — status {}, user pays {} (25% transit included)",
+        domains[out.domain_index].name,
+        if out.remote { "remote" } else { "home" },
+        out.outcome.status,
+        out.user_cost.map(|c| c.to_string()).unwrap_or_default()
+    );
+    assert!(out.remote, "the metro peer should take over");
+    if let Some(r) = out.outcome.reservation {
+        r.release(&domains[out.domain_index].farm, &domains[out.domain_index].network);
+    }
+    println!("\nboth domains idle again: {} + {} active reservations",
+        domains[0].network.active_reservations(),
+        domains[1].network.active_reservations());
+}

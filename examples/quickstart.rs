@@ -1,0 +1,77 @@
+//! Quickstart: negotiate one document end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a small news-on-demand deployment (catalog + server farm +
+//! network), submits the default "tv-news" user profile for an article,
+//! prints the negotiation result, confirms the offer, and plays the
+//! document to completion.
+
+use news_on_demand::client::ClientMachine;
+use news_on_demand::cmfs::{ServerConfig, ServerFarm};
+use news_on_demand::mmdb::{CorpusBuilder, CorpusParams};
+use news_on_demand::mmdoc::{ClientId, DocumentId, ServerId};
+use news_on_demand::netsim::{Network, Topology};
+use news_on_demand::qosneg::manager::{ManagerConfig, QosManager};
+use news_on_demand::qosneg::profile::tv_news_profile;
+use news_on_demand::qosneg::CostModel;
+use news_on_demand::simcore::StreamRng;
+use news_on_demand::syncplay::SessionState;
+
+fn main() {
+    // 1. A deployment: 12 articles over 3 servers, 4 client seats.
+    let mut rng = StreamRng::new(2026);
+    let catalog = CorpusBuilder::new(CorpusParams {
+        documents: 12,
+        servers: (0..3).map(ServerId).collect(),
+        ..CorpusParams::default()
+    })
+    .build(&mut rng);
+    let manager = QosManager::new(
+        catalog,
+        ServerFarm::uniform(3, ServerConfig::era_default()),
+        Network::new(Topology::dumbbell(4, 3, 25_000_000, 155_000_000)),
+        CostModel::era_default(),
+        ManagerConfig::default(),
+    );
+
+    // 2. A user on a workstation asks for an article with the default
+    //    TV-news profile (color TV video desired, $6 ceiling).
+    let client = ClientMachine::era_workstation(ClientId(0));
+    let profile = tv_news_profile();
+    let document = DocumentId(1);
+    let outcome = manager
+        .negotiate(&client, document, &profile)
+        .expect("valid request");
+
+    println!("negotiation status : {}", outcome.status);
+    if let Some(offer) = &outcome.user_offer {
+        println!("user offer         : {offer}");
+    }
+    println!(
+        "offers considered  : {} ({} reservation attempts)",
+        outcome.trace.offers_enumerated, outcome.trace.reservation_attempts
+    );
+
+    // 3. Accept the offer and play the document.
+    if outcome.reservation.is_some() {
+        let mut session = manager.start_session(&client, outcome, document);
+        let mut steps = 0u32;
+        while manager.drive_session(&mut session, 500, true) {
+            steps += 1;
+            assert!(steps < 10_000, "runaway session");
+        }
+        let stats = session.playout.stats();
+        println!(
+            "playout            : {:?}, {:.1} s presented, continuity {:.3}",
+            session.playout.state(),
+            stats.played_ms / 1e3,
+            stats.continuity()
+        );
+        assert_eq!(session.playout.state(), SessionState::Completed);
+    } else {
+        println!("no resources were reserved — nothing to play");
+    }
+}

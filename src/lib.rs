@@ -1,0 +1,16 @@
+//! Umbrella crate re-exporting the news-on-demand QoS negotiation stack.
+//!
+//! This crate exists so that `examples/` and the cross-crate integration
+//! tests in `tests/` have a single dependency surface. Library users should
+//! depend on the individual `nod-*` crates directly.
+
+pub use nod_client as client;
+pub use nod_cmfs as cmfs;
+pub use nod_mmdb as mmdb;
+pub use nod_mmdoc as mmdoc;
+pub use nod_netsim as netsim;
+pub use nod_qosneg as qosneg;
+pub use nod_simcore as simcore;
+pub use nod_syncplay as syncplay;
+pub use nod_tui as tui;
+pub use nod_workload as workload;

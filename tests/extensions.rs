@@ -1,0 +1,189 @@
+//! Integration tests for the extension features (advance reservations,
+//! multi-domain negotiation, scenarios, pruning) through the public API.
+
+use news_on_demand::client::ClientMachine;
+use news_on_demand::cmfs::{Guarantee, ServerConfig, ServerFarm};
+use news_on_demand::mmdb::{Catalog, CorpusBuilder, CorpusParams};
+use news_on_demand::mmdoc::{ClientId, DocumentId, ServerId};
+use news_on_demand::netsim::{Network, Topology};
+use news_on_demand::qosneg::future::{negotiate_future, AdvanceBook};
+use news_on_demand::qosneg::hierarchy::{negotiate_multidomain, Domain, MultiDomainConfig};
+use news_on_demand::qosneg::negotiate::{negotiate, NegotiationContext};
+use news_on_demand::qosneg::profile::tv_news_profile;
+use news_on_demand::qosneg::{ClassificationStrategy, CostModel, NegotiationStatus};
+use news_on_demand::simcore::{SimTime, StreamRng};
+use news_on_demand::workload::scenario::presets;
+
+struct World {
+    catalog: Catalog,
+    farm: ServerFarm,
+    network: Network,
+    cost: CostModel,
+}
+
+fn world(seed: u64) -> World {
+    let mut rng = StreamRng::new(seed);
+    let catalog = CorpusBuilder::new(CorpusParams {
+        documents: 6,
+        servers: (0..3).map(ServerId).collect(),
+        ..CorpusParams::default()
+    })
+    .build(&mut rng);
+    World {
+        catalog,
+        farm: ServerFarm::uniform(3, ServerConfig::era_default()),
+        network: Network::new(Topology::dumbbell(4, 3, 25_000_000, 155_000_000)),
+        cost: CostModel::era_default(),
+    }
+}
+
+fn ctx(w: &World, prune: bool) -> NegotiationContext<'_> {
+    NegotiationContext {
+        catalog: &w.catalog,
+        farm: &w.farm,
+        network: &w.network,
+        cost_model: &w.cost,
+        strategy: ClassificationStrategy::SnsThenOif,
+        guarantee: Guarantee::Guaranteed,
+        enumeration_cap: 500_000,
+        jitter_buffer_ms: 2_000,
+        prune_dominated: prune,
+    }
+}
+
+#[test]
+fn advance_and_live_reservations_coexist() {
+    let w = world(200);
+    let c = ctx(&w, false);
+    let client = ClientMachine::era_workstation(ClientId(0));
+    let profile = tv_news_profile();
+
+    // Book tomorrow's session.
+    let mut book = AdvanceBook::new(&c);
+    let future = negotiate_future(
+        &c,
+        &mut book,
+        &client,
+        DocumentId(1),
+        &profile,
+        SimTime::from_secs(86_400),
+    )
+    .unwrap();
+    assert!(future.booking.is_some());
+
+    // A live session negotiates right now, unaffected by the booking.
+    let live = negotiate(&c, &client, DocumentId(1), &profile).unwrap();
+    assert!(matches!(
+        live.status,
+        NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer
+    ));
+    live.reservation.unwrap().release(&w.farm, &w.network);
+    book.cancel(future.booking.unwrap());
+    assert_eq!(book.bookings(), 0);
+    assert_eq!(w.network.active_reservations(), 0);
+}
+
+#[test]
+fn pruning_option_preserves_the_served_offer_on_an_idle_system() {
+    // On an idle system the first offer in classification order commits,
+    // and pruning never removes that offer — so results agree.
+    let mut total_pruned = 0usize;
+    for seed in 210..220 {
+        let w = world(seed);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let profile = tv_news_profile();
+        let full = negotiate(&ctx(&w, false), &client, DocumentId(1), &profile).unwrap();
+        if let Some(r) = &full.reservation {
+            r.release(&w.farm, &w.network);
+        }
+        let pruned = negotiate(&ctx(&w, true), &client, DocumentId(1), &profile).unwrap();
+        if let Some(r) = &pruned.reservation {
+            r.release(&w.farm, &w.network);
+        }
+        assert_eq!(full.status, pruned.status, "seed {seed}");
+        assert_eq!(
+            full.user_offer.map(|o| o.cost),
+            pruned.user_offer.map(|o| o.cost),
+            "seed {seed}"
+        );
+        assert_eq!(
+            pruned.ordered_offers.len() + pruned.trace.offers_pruned,
+            full.ordered_offers.len(),
+            "seed {seed}: pruning must account for every offer"
+        );
+        total_pruned += pruned.trace.offers_pruned;
+    }
+    assert!(
+        total_pruned > 0,
+        "across ten corpora pruning should find dominated offers"
+    );
+}
+
+#[test]
+fn multidomain_over_the_umbrella_api() {
+    let mk_domain = |seed: u64, surcharge: u32| {
+        let mut rng = StreamRng::new(seed);
+        Domain {
+            name: format!("d{seed}"),
+            catalog: CorpusBuilder::new(CorpusParams {
+                documents: 4,
+                servers: (0..2).map(ServerId).collect(),
+                ..CorpusParams::default()
+            })
+            .build(&mut rng),
+            farm: ServerFarm::uniform(2, ServerConfig::era_default()),
+            network: Network::new(Topology::dumbbell(4, 2, 25_000_000, 155_000_000)),
+            gateway: ClientId(3),
+            transit_surcharge_percent: surcharge,
+        }
+    };
+    let domains = vec![mk_domain(1, 0), mk_domain(1, 30)];
+    let model = CostModel::era_default();
+    let config = MultiDomainConfig {
+        cost_model: &model,
+        strategy: ClassificationStrategy::SnsThenOif,
+        guarantee: Guarantee::Guaranteed,
+        enumeration_cap: 500_000,
+        jitter_buffer_ms: 2_000,
+    };
+    let client = ClientMachine::era_workstation(ClientId(0));
+    let out = negotiate_multidomain(
+        &domains,
+        0,
+        &client,
+        DocumentId(2),
+        &tv_news_profile(),
+        &config,
+    )
+    .unwrap();
+    assert!(out.outcome.reservation.is_some());
+    out.outcome
+        .reservation
+        .unwrap()
+        .release(&domains[out.domain_index].farm, &domains[out.domain_index].network);
+}
+
+#[test]
+fn scenario_presets_run_end_to_end() {
+    let mut s = presets::light_load();
+    s.blocking[0].horizon_minutes = 5.0;
+    let r = news_on_demand::workload::run_blocking(&s.blocking[0]);
+    assert!(r.offered > 0);
+    assert_eq!(r.try_later, 0, "light load never hits resource limits");
+}
+
+#[test]
+fn commit_diagnostics_surface_through_the_stack() {
+    let w = world(220);
+    let client = ClientMachine::era_workstation(ClientId(0));
+    for s in w.farm.ids() {
+        w.farm.server(s).unwrap().set_health(0.0);
+    }
+    let out = negotiate(&ctx(&w, false), &client, DocumentId(1), &tv_news_profile()).unwrap();
+    assert_eq!(out.status, NegotiationStatus::FailedTryLater);
+    assert!(!out.commit_failures.is_empty());
+    // Every diagnostic renders a human-readable reason.
+    for (_, reason) in &out.commit_failures {
+        assert!(reason.to_string().contains("srv"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use news_on_demand::client::ClientMachine;
+use news_on_demand::cmfs::{Guarantee, ServerConfig, ServerFarm, StreamRequirement};
+use news_on_demand::mmdb::{CorpusBuilder, CorpusParams};
+use news_on_demand::mmdoc::prelude::*;
+use news_on_demand::netsim::{Network, Topology};
+use news_on_demand::qosneg::classify::{classify, ClassificationStrategy};
+use news_on_demand::qosneg::importance::PiecewiseLinear;
+use news_on_demand::qosneg::negotiate::{negotiate, NegotiationContext};
+use news_on_demand::qosneg::offer::SystemOffer;
+use news_on_demand::qosneg::profile::{tv_news_profile, MmQosSpec};
+use news_on_demand::qosneg::sns::{compute_sns, StaticNegotiationStatus};
+use news_on_demand::qosneg::{CostModel, ImportanceProfile, Money, UserProfile};
+use news_on_demand::simcore::StreamRng;
+use news_on_demand::syncplay::JitterBuffer;
+
+fn arb_color() -> impl Strategy<Value = ColorDepth> {
+    prop_oneof![
+        Just(ColorDepth::BlackWhite),
+        Just(ColorDepth::Grey),
+        Just(ColorDepth::Color),
+        Just(ColorDepth::SuperColor),
+    ]
+}
+
+fn arb_video() -> impl Strategy<Value = VideoQos> {
+    (arb_color(), 10u32..=1920, 1u32..=60).prop_map(|(color, px, fps)| VideoQos {
+        color,
+        resolution: Resolution::new(px),
+        frame_rate: FrameRate::new(fps),
+    })
+}
+
+fn video_offer(id: u64, qos: VideoQos, cost_millis: i64) -> SystemOffer {
+    SystemOffer {
+        variants: vec![Variant {
+            id: VariantId(id),
+            monomedia: MonomediaId(1),
+            format: Format::Mpeg1,
+            qos: MediaQos::Video(qos),
+            blocks: BlockStats::new(12_000, 5_000),
+            blocks_per_second: qos.frame_rate.fps(),
+            file_bytes: 1_000_000,
+            server: ServerId(0),
+        }],
+        cost: Money::from_millis(cost_millis),
+    }
+}
+
+fn strict_video_profile(required: VideoQos, max_cost_millis: i64) -> UserProfile {
+    UserProfile::strict(
+        "prop",
+        MmQosSpec {
+            video: Some(required),
+            ..MmQosSpec::default()
+        },
+        Money::from_millis(max_cost_millis),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Improving any QoS component (or cutting cost) never worsens the SNS.
+    #[test]
+    fn sns_is_monotone(req in arb_video(), offered in arb_video(), cost in 0i64..10_000) {
+        let p = strict_video_profile(req, 4_000);
+        let base = compute_sns(&p, [&MediaQos::Video(offered)], Money::from_millis(cost));
+        // Upgrade color to the max and drop the price.
+        let better = VideoQos { color: ColorDepth::SuperColor, ..offered };
+        let upgraded = compute_sns(&p, [&MediaQos::Video(better)], Money::from_millis(0));
+        prop_assert!(upgraded <= base, "upgrade worsened SNS: {base:?} -> {upgraded:?}");
+    }
+
+    /// An offer meeting the request exactly is DESIRABLE iff within budget.
+    #[test]
+    fn exact_match_desirability(req in arb_video(), cost in 0i64..10_000, max in 0i64..10_000) {
+        let p = strict_video_profile(req, max);
+        let sns = compute_sns(&p, [&MediaQos::Video(req)], Money::from_millis(cost));
+        if cost <= max {
+            prop_assert_eq!(sns, StaticNegotiationStatus::Desirable);
+        } else {
+            prop_assert_eq!(sns, StaticNegotiationStatus::Acceptable);
+        }
+    }
+
+    /// Classification output: a permutation of the input, SNS groups in
+    /// order, OIF descending inside each group.
+    #[test]
+    fn classification_sort_invariants(
+        offers in prop::collection::vec((arb_video(), 0i64..9_000), 1..40)
+    ) {
+        let p = strict_video_profile(
+            VideoQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::TV,
+                frame_rate: FrameRate::TV,
+            },
+            4_000,
+        );
+        let input: Vec<SystemOffer> = offers
+            .iter()
+            .enumerate()
+            .map(|(i, (q, c))| video_offer(i as u64, *q, *c))
+            .collect();
+        let n = input.len();
+        let scored = classify(input, &p, ClassificationStrategy::SnsThenOif);
+        prop_assert_eq!(scored.len(), n);
+        let mut ids: Vec<u64> = scored.iter().map(|s| s.offer.variants[0].id.0).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n as u64).collect::<Vec<_>>());
+        for w in scored.windows(2) {
+            prop_assert!(w[0].sns <= w[1].sns, "SNS groups out of order");
+            if w[0].sns == w[1].sns {
+                prop_assert!(w[0].oif >= w[1].oif, "OIF not descending in group");
+            }
+        }
+    }
+
+    /// Piecewise-linear importance stays within the hull of its anchors.
+    #[test]
+    fn interpolation_bounded(
+        anchors in prop::collection::btree_map(0u32..2_000, -50.0f64..50.0, 1..6),
+        x in 0f64..2_000.0
+    ) {
+        let pts: Vec<(f64, f64)> = anchors.iter().map(|(&k, &v)| (k as f64, v)).collect();
+        let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let curve = PiecewiseLinear::new(pts);
+        let y = curve.value_at(x);
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "{y} outside [{lo}, {hi}]");
+    }
+
+    /// OIF decomposes exactly: overall = qos_importance − cost_importance.
+    #[test]
+    fn oif_decomposition(q in arb_video(), cost in 0i64..20_000) {
+        let imp = ImportanceProfile::default();
+        let money = Money::from_millis(cost);
+        let qos = MediaQos::Video(q);
+        let overall = imp.overall([&qos], money);
+        prop_assert!(
+            (overall - (imp.media_importance(&qos) - imp.cost_importance(money))).abs() < 1e-9
+        );
+    }
+
+    /// Server reserve/release sequences conserve capacity exactly.
+    #[test]
+    fn server_reservation_conservation(ops in prop::collection::vec(any::<bool>(), 1..120)) {
+        let farm = ServerFarm::uniform(1, ServerConfig::era_default());
+        let server = farm.server(ServerId(0)).unwrap();
+        let req = StreamRequirement {
+            variant: VariantId(1),
+            max_bit_rate: 2_000_000,
+            avg_bit_rate: 900_000,
+            max_block_bytes: 10_000,
+            avg_block_bytes: 4_500,
+            blocks_per_second: 25,
+            guarantee: Guarantee::Guaranteed,
+        };
+        let mut held = Vec::new();
+        for op in ops {
+            if op {
+                if let Ok(id) = server.try_reserve(req) {
+                    held.push(id);
+                }
+            } else if let Some(id) = held.pop() {
+                server.release(id);
+            }
+        }
+        for id in held.drain(..) {
+            server.release(id);
+        }
+        prop_assert!(server.disk_utilization() < 1e-12);
+        prop_assert!(server.interface_utilization() < 1e-12);
+        prop_assert_eq!(server.active_streams(), 0);
+    }
+
+    /// Network path reservations roll back exactly.
+    #[test]
+    fn network_reservation_conservation(
+        ops in prop::collection::vec((0u64..4, 0u64..3, 1u64..12_000_000), 1..60)
+    ) {
+        let net = Network::new(Topology::dumbbell(4, 3, 10_000_000, 155_000_000));
+        let mut held = Vec::new();
+        for (client, server, bps) in ops {
+            if let Ok(id) = net.try_reserve(ClientId(client), ServerId(server), bps) {
+                held.push(id);
+            }
+        }
+        for id in held {
+            net.release(id);
+        }
+        prop_assert_eq!(net.active_reservations(), 0);
+        for link in net.topology().link_ids() {
+            prop_assert!(net.link_utilization(link) < 1e-12);
+        }
+    }
+
+    /// The jitter buffer never plays more media than wall time and never
+    /// exceeds capacity.
+    #[test]
+    fn buffer_conservation(
+        steps in prop::collection::vec((1u64..2_000, 0f64..3.0), 1..80),
+        capacity in 100u64..5_000
+    ) {
+        let mut b = JitterBuffer::new(capacity);
+        for (dt, ratio) in steps {
+            let played = b.advance(dt, ratio);
+            prop_assert!(played <= dt as f64 + 1e-9);
+            prop_assert!(b.level_ms() <= capacity as f64 + 1e-9);
+            prop_assert!(b.level_ms() >= 0.0);
+        }
+    }
+}
+
+/// Whole-pipeline property: after any negotiation outcome is released, the
+/// shared system is exactly idle (no leaked reservations anywhere).
+#[test]
+fn negotiation_never_leaks_resources() {
+    for seed in 0..12u64 {
+        let mut rng = StreamRng::new(seed);
+        let catalog = CorpusBuilder::new(CorpusParams {
+            documents: 4,
+            servers: (0..2).map(ServerId).collect(),
+            ..CorpusParams::default()
+        })
+        .build(&mut rng);
+        let farm = ServerFarm::uniform(2, ServerConfig::era_default());
+        let network = Network::new(Topology::dumbbell(3, 2, 25_000_000, 155_000_000));
+        let cost = CostModel::era_default();
+        let ctx = NegotiationContext {
+            catalog: &catalog,
+            farm: &farm,
+            network: &network,
+            cost_model: &cost,
+            strategy: ClassificationStrategy::SnsThenOif,
+            guarantee: Guarantee::Guaranteed,
+            enumeration_cap: 500_000,
+        jitter_buffer_ms: 2_000,
+        prune_dominated: false,
+        };
+        let client = ClientMachine::era_workstation(ClientId(0));
+        for doc in 1..=4u64 {
+            let out = negotiate(&ctx, &client, DocumentId(doc), &tv_news_profile()).unwrap();
+            if let Some(r) = &out.reservation {
+                r.release(&farm, &network);
+            }
+        }
+        assert_eq!(network.active_reservations(), 0, "seed {seed}");
+        assert!(farm.mean_disk_utilization() < 1e-12, "seed {seed}");
+    }
+}

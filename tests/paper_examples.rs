@@ -1,0 +1,214 @@
+//! Integration-level reproduction of every worked example in the paper,
+//! exercised through the public API exactly as EXPERIMENTS.md records them.
+
+use news_on_demand::mmdoc::prelude::*;
+use news_on_demand::qosneg::classify::{classify, ClassificationStrategy};
+use news_on_demand::qosneg::offer::SystemOffer;
+use news_on_demand::qosneg::profile::MmQosSpec;
+use news_on_demand::qosneg::sns::compute_sns;
+use news_on_demand::qosneg::{ImportanceProfile, Money, StaticNegotiationStatus, UserProfile};
+
+fn video(color: ColorDepth, fps: u32) -> MediaQos {
+    MediaQos::Video(VideoQos {
+        color,
+        resolution: Resolution::TV,
+        frame_rate: FrameRate::new(fps),
+    })
+}
+
+/// The §5 request: desired = worst = (color, TV resolution, 25 fps), $4.
+fn paper_profile() -> UserProfile {
+    UserProfile::strict(
+        "paper",
+        MmQosSpec {
+            video: Some(VideoQos {
+                color: ColorDepth::Color,
+                resolution: Resolution::TV,
+                frame_rate: FrameRate::TV,
+            }),
+            ..MmQosSpec::default()
+        },
+        Money::from_dollars(4),
+    )
+}
+
+fn paper_offers() -> Vec<SystemOffer> {
+    let mk = |id: u64, color: ColorDepth, fps: u32, dollars: f64| SystemOffer {
+        variants: vec![Variant {
+            id: VariantId(id),
+            monomedia: MonomediaId(1),
+            format: Format::Mpeg1,
+            qos: video(color, fps),
+            blocks: BlockStats::new(12_000, 5_000),
+            blocks_per_second: fps,
+            file_bytes: 1_000_000,
+            server: ServerId(0),
+        }],
+        cost: Money::from_dollars_f64(dollars),
+    };
+    vec![
+        mk(1, ColorDepth::BlackWhite, 25, 2.5),
+        mk(2, ColorDepth::Color, 15, 4.0),
+        mk(3, ColorDepth::Grey, 25, 3.0),
+        mk(4, ColorDepth::Color, 25, 5.0),
+    ]
+}
+
+#[test]
+fn section_521_sns_table() {
+    let p = paper_profile();
+    let expected = [
+        StaticNegotiationStatus::Constraint,
+        StaticNegotiationStatus::Constraint,
+        StaticNegotiationStatus::Constraint,
+        StaticNegotiationStatus::Acceptable,
+    ];
+    for (offer, want) in paper_offers().iter().zip(expected) {
+        let qos: Vec<&MediaQos> = offer.qos_values().collect();
+        assert_eq!(compute_sns(&p, qos, offer.cost), want);
+    }
+}
+
+#[test]
+fn section_522_setting_1() {
+    let mut p = paper_profile();
+    p.importance = ImportanceProfile::paper_example(4.0);
+    let scored = classify(paper_offers(), &p, ClassificationStrategy::SnsThenOif);
+    let ids: Vec<u64> = scored.iter().map(|s| s.offer.variants[0].id.0).collect();
+    assert_eq!(ids, vec![4, 3, 1, 2], "paper order: offer4, offer3, offer1, offer2");
+    // OIF values in offer-id order: 10, 7, 12, 7.
+    for (id, oif) in [(1u64, 10.0), (2, 7.0), (3, 12.0), (4, 7.0)] {
+        let s = scored
+            .iter()
+            .find(|s| s.offer.variants[0].id.0 == id)
+            .unwrap();
+        assert_eq!(s.oif, oif, "offer{id}");
+    }
+}
+
+#[test]
+fn section_522_setting_2() {
+    let mut p = paper_profile();
+    p.importance = ImportanceProfile::paper_example(0.0);
+    let scored = classify(paper_offers(), &p, ClassificationStrategy::SnsThenOif);
+    let ids: Vec<u64> = scored.iter().map(|s| s.offer.variants[0].id.0).collect();
+    assert_eq!(ids, vec![4, 3, 2, 1]);
+    for (id, oif) in [(1u64, 20.0), (2, 23.0), (3, 24.0), (4, 27.0)] {
+        let s = scored
+            .iter()
+            .find(|s| s.offer.variants[0].id.0 == id)
+            .unwrap();
+        assert_eq!(s.oif, oif, "offer{id}");
+    }
+}
+
+#[test]
+fn section_522_setting_3_published_order_is_pure_oif() {
+    let mut p = paper_profile();
+    p.importance = ImportanceProfile::cost_only(4.0);
+    // The paper prints offer1, offer3, offer2, offer4 — the pure-OIF order.
+    let printed = classify(paper_offers(), &p, ClassificationStrategy::OifOnly);
+    let ids: Vec<u64> = printed.iter().map(|s| s.offer.variants[0].id.0).collect();
+    assert_eq!(ids, vec![1, 3, 2, 4]);
+    for (id, oif) in [(1u64, -10.0), (2, -16.0), (3, -12.0), (4, -20.0)] {
+        let s = printed
+            .iter()
+            .find(|s| s.offer.variants[0].id.0 == id)
+            .unwrap();
+        assert_eq!(s.oif, oif, "offer{id}");
+    }
+    // The stated SNS-primary rule instead leads with the ACCEPTABLE offer4
+    // (documented discrepancy, EXPERIMENTS.md E4).
+    let stated = classify(paper_offers(), &p, ClassificationStrategy::SnsThenOif);
+    assert_eq!(stated[0].offer.variants[0].id.0, 4);
+}
+
+#[test]
+fn section_6_mapping_formulae_and_constants() {
+    use news_on_demand::qosneg::mapping::map_requirements;
+    let v = Variant {
+        id: VariantId(1),
+        monomedia: MonomediaId(1),
+        format: Format::Mpeg1,
+        qos: video(ColorDepth::Color, 25),
+        blocks: BlockStats::new(16_000, 6_000),
+        blocks_per_second: 25,
+        file_bytes: 6_000 * 25 * 120,
+        server: ServerId(0),
+    };
+    let spec = map_requirements(&v);
+    assert_eq!(spec.max_bit_rate, 16_000 * 8 * 25, "maxBitRate = max frame × rate");
+    assert_eq!(spec.avg_bit_rate, 6_000 * 8 * 25, "avgBitRate = avg frame × rate");
+    assert_eq!(spec.max_jitter_us, 10_000, "paper: jitter = 10 ms");
+    assert_eq!(spec.max_loss_rate, 0.003, "paper: loss rate = 0.003");
+}
+
+#[test]
+fn section_7_formula_1_identity() {
+    use news_on_demand::cmfs::Guarantee;
+    use news_on_demand::qosneg::CostModel;
+    let m = CostModel::era_default();
+    let variants: Vec<Variant> = (0..3)
+        .map(|i| Variant {
+            id: VariantId(i + 1),
+            monomedia: MonomediaId(i + 1),
+            format: Format::Mpeg1,
+            qos: video(ColorDepth::Color, 25),
+            blocks: BlockStats::new(10_000 + i * 1_000, 4_000 + i * 500),
+            blocks_per_second: 25,
+            file_bytes: 1_000_000,
+            server: ServerId(0),
+        })
+        .collect();
+    let durations = [90_000u64, 120_000, 45_000];
+    // CostDoc = CostCop + Σ (CostNet_i + CostSer_i)
+    let by_formula = m.document_cost(
+        variants.iter().zip(durations),
+        Guarantee::Guaranteed,
+    );
+    let by_hand: Money = m.copyright
+        + variants
+            .iter()
+            .zip(durations)
+            .map(|(v, d)| {
+                let (net, ser) = m.monomedia_cost(v, d, Guarantee::Guaranteed);
+                net + ser
+            })
+            .sum::<Money>();
+    assert_eq!(by_formula, by_hand);
+}
+
+#[test]
+fn importance_example_4_french_over_english() {
+    // Paper §3 example (4): "the user specifies that french is more
+    // important than english" — a French text variant must then outrank an
+    // otherwise identical English one.
+    let mut p = paper_profile();
+    p.desired.text = Some(TextQos {
+        language: Language::Any,
+    });
+    p.worst.text = p.desired.text;
+    p.desired.video = None;
+    p.worst.video = None;
+    p.importance.french = 6.0;
+    p.importance.english = 1.0;
+    let mk = |id: u64, lang: Language| SystemOffer {
+        variants: vec![Variant {
+            id: VariantId(id),
+            monomedia: MonomediaId(1),
+            format: Format::PlainText,
+            qos: MediaQos::Text(TextQos { language: lang }),
+            blocks: BlockStats::new(5_000, 5_000),
+            blocks_per_second: 0,
+            file_bytes: 5_000,
+            server: ServerId(0),
+        }],
+        cost: Money::from_dollars(1),
+    };
+    let scored = classify(
+        vec![mk(1, Language::English), mk(2, Language::French)],
+        &p,
+        ClassificationStrategy::SnsThenOif,
+    );
+    assert_eq!(scored[0].offer.variants[0].id.0, 2, "french first");
+}
