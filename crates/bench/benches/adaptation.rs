@@ -2,9 +2,9 @@
 //! re-running step 5 over the remaining ordered offers, and committing an
 //! alternate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use nod_bench::micro::Micro;
 use nod_client::ClientMachine;
 use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
 use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
@@ -50,21 +50,24 @@ fn ctx(w: &World) -> NegotiationContext<'_> {
         strategy: ClassificationStrategy::SnsThenOif,
         guarantee: Guarantee::Guaranteed,
         enumeration_cap: 2_000_000,
-    jitter_buffer_ms: 2_000,
-    prune_dominated: false,
+        jitter_buffer_ms: 2_000,
+        prune_dominated: false,
+        recorder: None,
     }
 }
 
-fn bench_adaptation_switch(c: &mut Criterion) {
-    let w = world();
-    let client = ClientMachine::era_workstation(ClientId(0));
-    let cx = ctx(&w);
-    let out = negotiate(&cx, &client, DocumentId(1), &tv_news_profile()).unwrap();
-    let idx = out.reserved_index.expect("negotiation reserves");
-    let mut current = out.reservation.clone().unwrap();
+fn main() {
+    let mut m = Micro::new().sample_size(15);
 
-    c.bench_function("b6_adaptation_switch", |b| {
-        b.iter(|| {
+    // Make-before-break adaptation switch.
+    {
+        let w = world();
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let cx = ctx(&w);
+        let out = negotiate(&cx, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        let idx = out.reserved_index.expect("negotiation reserves");
+        let mut current = out.reservation.clone().unwrap();
+        m.bench("b6_adaptation_switch", || {
             // Make-before-break: adapt() commits an alternate, then
             // releases `current`.
             let adapted = adapt(
@@ -84,35 +87,28 @@ fn bench_adaptation_switch(c: &mut Criterion) {
                 .expect("original offer recommits on an idle system");
             alternate.release(&w.farm, &w.network);
             current = back;
-        })
-    });
-    current.release(&w.farm, &w.network);
-}
+        });
+        current.release(&w.farm, &w.network);
+    }
 
-fn bench_reservation_walk_depth(c: &mut Criterion) {
     // The cost of walking the ordered offers when every attempt fails —
     // step 5's worst case (FAILEDTRYLATER).
-    let w = world();
-    let client = ClientMachine::era_workstation(ClientId(0));
-    let cx = ctx(&w);
-    let out = negotiate(&cx, &client, DocumentId(1), &tv_news_profile()).unwrap();
-    if let Some(r) = &out.reservation {
-        r.release(&w.farm, &w.network);
-    }
-    for s in w.farm.ids() {
-        w.farm.server(s).unwrap().set_health(0.0);
-    }
-    c.bench_function("b6_failed_walk_full_offer_list", |b| {
-        b.iter(|| {
+    {
+        let w = world();
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let cx = ctx(&w);
+        let out = negotiate(&cx, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        if let Some(r) = &out.reservation {
+            r.release(&w.farm, &w.network);
+        }
+        for s in w.farm.ids() {
+            w.farm.server(s).unwrap().set_health(0.0);
+        }
+        m.bench("b6_failed_walk_full_offer_list", || {
             let again = negotiate(&cx, &client, DocumentId(1), &tv_news_profile()).unwrap();
             black_box(again.trace.reservation_attempts)
-        })
-    });
-}
+        });
+    }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_adaptation_switch, bench_reservation_walk_depth
-);
-criterion_main!(benches);
+    m.report();
+}

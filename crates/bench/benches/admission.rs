@@ -1,8 +1,8 @@
 //! B3 — CMFS admission control and network path reservation throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use nod_bench::micro::Micro;
 use nod_cmfs::{FileServer, Guarantee, ServerConfig, StreamRequirement};
 use nod_mmdoc::{ClientId, ServerId, VariantId};
 use nod_netsim::{Network, Topology};
@@ -19,70 +19,53 @@ fn requirement(id: u64) -> StreamRequirement {
     }
 }
 
-fn bench_server_reserve_release(c: &mut Criterion) {
+fn main() {
+    let mut m = Micro::new().sample_size(30);
+
+    // Reserve/release cycle on an idle server.
     let server = FileServer::new(ServerId(0), ServerConfig::era_default());
-    c.bench_function("b3_server_reserve_release_cycle", |b| {
-        b.iter(|| {
-            let id = server
-                .try_reserve(black_box(requirement(1)))
-                .expect("idle server admits");
-            server.release(id);
-        })
+    m.bench("b3_server_reserve_release_cycle", || {
+        let id = server
+            .try_reserve(black_box(requirement(1)))
+            .expect("idle server admits");
+        server.release(id);
     });
-}
 
-fn bench_admission_to_saturation(c: &mut Criterion) {
-    c.bench_function("b3_admit_to_saturation", |b| {
-        b.iter(|| {
-            let server = FileServer::new(ServerId(0), ServerConfig::era_default());
-            let mut n = 0u64;
-            while server.try_reserve(requirement(n)).is_ok() {
-                n += 1;
-            }
-            black_box(n)
-        })
+    // Fill an empty server to saturation.
+    m.bench("b3_admit_to_saturation", || {
+        let server = FileServer::new(ServerId(0), ServerConfig::era_default());
+        let mut n = 0u64;
+        while server.try_reserve(requirement(n)).is_ok() {
+            n += 1;
+        }
+        n
     });
-}
 
-fn bench_rejection_path(c: &mut Criterion) {
     // A saturated server: measure the cost of a refusal (the hot path of
     // step 5 under load).
-    let server = FileServer::new(ServerId(0), ServerConfig::era_default());
+    let full = FileServer::new(ServerId(0), ServerConfig::era_default());
     let mut n = 0;
-    while server.try_reserve(requirement(n)).is_ok() {
+    while full.try_reserve(requirement(n)).is_ok() {
         n += 1;
     }
-    c.bench_function("b3_admission_rejection", |b| {
-        b.iter(|| black_box(server.try_reserve(requirement(9_999))).is_err())
+    m.bench("b3_admission_rejection", || {
+        black_box(full.try_reserve(requirement(9_999))).is_err()
     });
-}
 
-fn bench_network_path_reservation(c: &mut Criterion) {
+    // Network path reserve/release cycle.
     let net = Network::new(Topology::dumbbell(8, 4, 25_000_000, 155_000_000));
-    c.bench_function("b3_network_reserve_release_cycle", |b| {
-        b.iter(|| {
-            let id = net
-                .try_reserve(ClientId(3), ServerId(2), black_box(1_200_000))
-                .expect("idle network admits");
-            net.release(id);
-        })
+    m.bench("b3_network_reserve_release_cycle", || {
+        let id = net
+            .try_reserve(ClientId(3), ServerId(2), black_box(1_200_000))
+            .expect("idle network admits");
+        net.release(id);
     });
-}
 
-fn bench_path_metrics(c: &mut Criterion) {
-    let net = Network::new(Topology::dumbbell(8, 4, 25_000_000, 155_000_000));
-    c.bench_function("b3_path_metrics", |b| {
-        b.iter(|| black_box(net.path_metrics(ClientId(1), ServerId(1))).unwrap())
+    // Path metric lookup.
+    let net2 = Network::new(Topology::dumbbell(8, 4, 25_000_000, 155_000_000));
+    m.bench("b3_path_metrics", || {
+        black_box(net2.path_metrics(ClientId(1), ServerId(1))).unwrap()
     });
-}
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_server_reserve_release,
-        bench_admission_to_saturation,
-        bench_rejection_path,
-        bench_network_path_reservation,
-        bench_path_metrics
-);
-criterion_main!(benches);
+    m.report();
+}

@@ -1,18 +1,22 @@
-//! B1/B2/B5 — classification kernels and scaling.
+//! B1/B2/B5/B7 — classification kernels and scaling.
 //!
 //! * B1: the SNS + OIF scoring kernel for a single offer;
-//! * B2: full classification (score + stable sort) over growing offer sets;
+//! * B2: full classification (score + stable sort) over growing offer sets,
+//!   plus the four ordering strategies head-to-head;
 //! * B5: ablation — sequential vs. thread-fan-out scoring at the sizes
-//!   where the parallel path engages.
+//!   where the parallel path engages;
+//! * B7: dominated-offer pruning as a pre-pass vs. classifying everything.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use nod_bench::micro::Micro;
 use nod_mmdoc::prelude::*;
-use nod_qosneg::classify::{classify, score_all, score_all_parallel, ClassificationStrategy, ScoredOffer};
-use nod_qosneg::prune::prune_dominated;
+use nod_qosneg::classify::{
+    classify, score_all, score_all_parallel, ClassificationStrategy, ScoredOffer,
+};
 use nod_qosneg::offer::SystemOffer;
 use nod_qosneg::profile::{tv_news_profile, UserProfile};
+use nod_qosneg::prune::prune_dominated;
 use nod_qosneg::Money;
 
 fn offers(n: usize) -> Vec<SystemOffer> {
@@ -44,97 +48,68 @@ fn profile() -> UserProfile {
     tv_news_profile()
 }
 
-fn bench_scoring_kernel(c: &mut Criterion) {
+fn main() {
     let p = profile();
-    let offer = offers(1).pop().unwrap();
-    c.bench_function("b1_score_single_offer", |b| {
-        b.iter(|| ScoredOffer::score(black_box(offer.clone()), black_box(&p)))
-    });
-}
+    let mut m = Micro::new().sample_size(20);
 
-fn bench_classification_scaling(c: &mut Criterion) {
-    let p = profile();
-    let mut group = c.benchmark_group("b2_classify_scaling");
+    // B1: the per-offer scoring kernel.
+    let offer = offers(1).pop().unwrap();
+    m.bench("b1_score_single_offer", || {
+        ScoredOffer::score(black_box(offer.clone()), black_box(&p))
+    });
+
+    // B2: classification scaling with offer-set size.
     for n in [16usize, 128, 1_024, 8_192] {
         let set = offers(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
-            b.iter(|| {
-                classify(
-                    black_box(set.clone()),
-                    black_box(&p),
-                    ClassificationStrategy::SnsThenOif,
-                )
-            })
+        m.bench(&format!("b2_classify_scaling/{n}"), || {
+            classify(
+                black_box(set.clone()),
+                black_box(&p),
+                ClassificationStrategy::SnsThenOif,
+            )
         });
     }
-    group.finish();
-}
 
-fn bench_parallel_ablation(c: &mut Criterion) {
-    let p = profile();
-    let mut group = c.benchmark_group("b5_parallel_vs_sequential_scoring");
-    for n in [2_048usize, 16_384] {
-        let set = offers(n);
-        group.bench_with_input(BenchmarkId::new("parallel", n), &set, |b, set| {
-            b.iter(|| score_all_parallel(black_box(set.clone()), black_box(&p)))
-        });
-        group.bench_with_input(BenchmarkId::new("sequential", n), &set, |b, set| {
-            b.iter(|| score_all(black_box(set.clone()), black_box(&p)))
-        });
-    }
-    group.finish();
-}
-
-fn bench_strategies(c: &mut Criterion) {
-    let p = profile();
+    // B2: the four ordering strategies at a fixed size.
     let set = offers(1_024);
-    let mut group = c.benchmark_group("b2_strategy_comparison");
     for (label, strategy) in [
         ("sns_then_oif", ClassificationStrategy::SnsThenOif),
         ("oif_only", ClassificationStrategy::OifOnly),
         ("cost_only", ClassificationStrategy::CostOnly),
         ("qos_only", ClassificationStrategy::QosOnly),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| classify(black_box(set.clone()), black_box(&p), strategy))
+        m.bench(&format!("b2_strategy/{label}"), || {
+            classify(black_box(set.clone()), black_box(&p), strategy)
         });
     }
-    group.finish();
-}
 
-fn bench_pruning_ablation(c: &mut Criterion) {
+    // B5: sequential vs. parallel scoring ablation.
+    for n in [2_048usize, 16_384] {
+        let set = offers(n);
+        m.bench(&format!("b5_parallel_scoring/{n}"), || {
+            score_all_parallel(black_box(set.clone()), black_box(&p))
+        });
+        m.bench(&format!("b5_sequential_scoring/{n}"), || {
+            score_all(black_box(set.clone()), black_box(&p))
+        });
+    }
+
     // B7: dominated-offer pruning as a pre-pass — prune cost vs the
     // classification work it saves.
-    let p = profile();
-    let mut group = c.benchmark_group("b7_pruning_ablation");
     for n in [256usize, 1_024] {
         let set = offers(n);
-        group.bench_with_input(BenchmarkId::new("classify_full", n), &set, |b, set| {
-            b.iter(|| {
-                classify(
-                    black_box(set.clone()),
-                    black_box(&p),
-                    ClassificationStrategy::SnsThenOif,
-                )
-            })
+        m.bench(&format!("b7_classify_full/{n}"), || {
+            classify(
+                black_box(set.clone()),
+                black_box(&p),
+                ClassificationStrategy::SnsThenOif,
+            )
         });
-        group.bench_with_input(BenchmarkId::new("prune_then_classify", n), &set, |b, set| {
-            b.iter(|| {
-                let (survivors, _) = prune_dominated(black_box(set.clone()));
-                classify(survivors, black_box(&p), ClassificationStrategy::SnsThenOif)
-            })
+        m.bench(&format!("b7_prune_then_classify/{n}"), || {
+            let (survivors, _) = prune_dominated(black_box(set.clone()));
+            classify(survivors, black_box(&p), ClassificationStrategy::SnsThenOif)
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_scoring_kernel,
-        bench_classification_scaling,
-        bench_parallel_ablation,
-        bench_strategies,
-        bench_pruning_ablation
-);
-criterion_main!(benches);
+    m.report();
+}

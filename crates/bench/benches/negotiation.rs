@@ -1,14 +1,18 @@
 //! B4 — end-to-end negotiation latency and its scaling with catalog
-//! richness (variants per monomedia drive the offer-enumeration size).
+//! richness (variants per monomedia drive the offer-enumeration size),
+//! plus the observability overhead check: the same negotiation with the
+//! recorder disabled, enabled, and enabled with a sink attached.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
+use nod_bench::micro::Micro;
 use nod_client::ClientMachine;
 use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
 use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
 use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
+use nod_obs::{MemorySink, Recorder};
 use nod_qosneg::baseline::negotiate_static_first_fit;
 use nod_qosneg::negotiate::{negotiate, NegotiationContext};
 use nod_qosneg::profile::tv_news_profile;
@@ -50,70 +54,87 @@ fn ctx(w: &World) -> NegotiationContext<'_> {
         strategy: ClassificationStrategy::SnsThenOif,
         guarantee: Guarantee::Guaranteed,
         enumeration_cap: 2_000_000,
-    jitter_buffer_ms: 2_000,
-    prune_dominated: false,
+        jitter_buffer_ms: 2_000,
+        prune_dominated: false,
+        recorder: None,
     }
 }
 
-fn bench_negotiation_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("b4_negotiate_by_catalog_richness");
+fn main() {
+    let mut m = Micro::new().sample_size(20);
+
+    // B4: negotiation latency vs. catalog richness.
     for variants in [2usize, 4, 8] {
         let w = world((variants, variants));
         let client = ClientMachine::era_workstation(ClientId(0));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(variants),
-            &w,
-            |b, w| {
-                let c = ctx(w);
-                b.iter(|| {
-                    let out = negotiate(
-                        &c,
-                        black_box(&client),
-                        DocumentId(1),
-                        black_box(&tv_news_profile()),
-                    )
-                    .unwrap();
-                    if let Some(r) = &out.reservation {
-                        r.release(&w.farm, &w.network);
-                    }
-                    out.trace.offers_enumerated
-                })
+        let c = ctx(&w);
+        m.bench(
+            &format!("b4_negotiate_by_catalog_richness/{variants}"),
+            || {
+                let out = negotiate(
+                    &c,
+                    black_box(&client),
+                    DocumentId(1),
+                    black_box(&tv_news_profile()),
+                )
+                .unwrap();
+                if let Some(r) = &out.reservation {
+                    r.release(&w.farm, &w.network);
+                }
+                out.trace.offers_enumerated
             },
         );
     }
-    group.finish();
-}
 
-fn bench_smart_vs_first_fit(c: &mut Criterion) {
+    // B4: smart negotiation vs. first-fit baseline.
     let w = world((4, 6));
     let client = ClientMachine::era_workstation(ClientId(0));
-    let mut group = c.benchmark_group("b4_smart_vs_first_fit");
-    group.bench_function("smart", |b| {
-        let c = ctx(&w);
-        b.iter(|| {
-            let out = negotiate(&c, &client, DocumentId(1), &tv_news_profile()).unwrap();
-            if let Some(r) = &out.reservation {
-                r.release(&w.farm, &w.network);
-            }
-        })
+    let c = ctx(&w);
+    m.bench("b4_smart_vs_first_fit/smart", || {
+        let out = negotiate(&c, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        if let Some(r) = &out.reservation {
+            r.release(&w.farm, &w.network);
+        }
     });
-    group.bench_function("first_fit", |b| {
-        let c = ctx(&w);
-        b.iter(|| {
-            let out =
-                negotiate_static_first_fit(&c, &client, DocumentId(1), &tv_news_profile())
-                    .unwrap();
-            if let Some(r) = &out.reservation {
-                r.release(&w.farm, &w.network);
-            }
-        })
+    m.bench("b4_smart_vs_first_fit/first_fit", || {
+        let out =
+            negotiate_static_first_fit(&c, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        if let Some(r) = &out.reservation {
+            r.release(&w.farm, &w.network);
+        }
     });
-    group.finish();
-}
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_negotiation_scaling, bench_smart_vs_first_fit
-);
-criterion_main!(benches);
+    // B4-obs: recorder overhead on the same negotiation — off (the None
+    // fast path), on without a sink (counters/histograms only), and on
+    // with an in-memory event sink.
+    let recorder = Recorder::new();
+    let ctx_on = NegotiationContext {
+        recorder: Some(&recorder),
+        ..ctx(&w)
+    };
+    let sinked = Recorder::with_sink(Arc::new(MemorySink::new()));
+    let ctx_sink = NegotiationContext {
+        recorder: Some(&sinked),
+        ..ctx(&w)
+    };
+    m.bench("b4_obs_overhead/recorder_off", || {
+        let out = negotiate(&c, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        if let Some(r) = &out.reservation {
+            r.release(&w.farm, &w.network);
+        }
+    });
+    m.bench("b4_obs_overhead/recorder_on", || {
+        let out = negotiate(&ctx_on, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        if let Some(r) = &out.reservation {
+            r.release(&w.farm, &w.network);
+        }
+    });
+    m.bench("b4_obs_overhead/recorder_on_memory_sink", || {
+        let out = negotiate(&ctx_sink, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        if let Some(r) = &out.reservation {
+            r.release(&w.farm, &w.network);
+        }
+    });
+
+    m.report();
+}

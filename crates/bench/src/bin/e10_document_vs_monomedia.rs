@@ -56,12 +56,16 @@ fn main() {
             strategy: ClassificationStrategy::SnsThenOif,
             guarantee: Guarantee::Guaranteed,
             enumeration_cap: 500_000,
-        jitter_buffer_ms: 2_000,
-        prune_dominated: false,
+            jitter_buffer_ms: 2_000,
+            prune_dominated: false,
+            recorder: None,
         };
 
         for (tally, outcome) in [
-            (&mut atomic, negotiate(&ctx, &client, DocumentId(1), &profile)),
+            (
+                &mut atomic,
+                negotiate(&ctx, &client, DocumentId(1), &profile),
+            ),
             (
                 &mut per_mono,
                 negotiate_per_monomedia(&ctx, &client, DocumentId(1), &profile),
@@ -88,15 +92,24 @@ fn main() {
     }
 
     let mut t = Table::new(&[
-        "negotiator", "runs", "delivered", "satisfied request", "over budget",
-        "mean cost", "mean OIF",
+        "negotiator",
+        "runs",
+        "delivered",
+        "satisfied request",
+        "over budget",
+        "mean cost",
+        "mean OIF",
     ]);
     for (label, tl) in [("atomic (paper)", &atomic), ("per-monomedia", &per_mono)] {
         t.row(&[
             label.to_string(),
             tl.runs.to_string(),
             tl.delivered.to_string(),
-            format!("{} ({})", tl.satisfied, f3(tl.satisfied as f64 / tl.runs as f64)),
+            format!(
+                "{} ({})",
+                tl.satisfied,
+                f3(tl.satisfied as f64 / tl.runs as f64)
+            ),
             format!(
                 "{} ({})",
                 tl.over_budget,

@@ -28,8 +28,9 @@ fn main() {
         strategy: ClassificationStrategy::SnsThenOif,
         guarantee: Guarantee::Guaranteed,
         enumeration_cap: 500_000,
-    jitter_buffer_ms: 2_000,
-    prune_dominated: false,
+        jitter_buffer_ms: 2_000,
+        prune_dominated: false,
+        recorder: None,
     };
 
     let mut economy = tv_news_profile();
@@ -42,8 +43,7 @@ fn main() {
 
     // The user presses OK on the default profile.
     app.handle(UiEvent::Ok);
-    let out = negotiate(&ctx, &client, DocumentId(1), &tv_news_profile())
-        .expect("valid request");
+    let out = negotiate(&ctx, &client, DocumentId(1), &tv_news_profile()).expect("valid request");
     app.handle(UiEvent::NegotiationResult {
         status: out.status,
         violated: out

@@ -25,12 +25,16 @@ fn main() {
         );
         let schedule = doc.schedule().expect("corpus schedules resolve");
         let mut t = Table::new(&[
-            "monomedia", "medium", "start", "duration", "variants", "formats",
+            "monomedia",
+            "medium",
+            "start",
+            "duration",
+            "variants",
+            "formats",
         ]);
         for m in doc.monomedia() {
             let variants = world.catalog.variants_of(m.id);
-            let formats: Vec<String> =
-                variants.iter().map(|v| v.format.to_string()).collect();
+            let formats: Vec<String> = variants.iter().map(|v| v.format.to_string()).collect();
             t.row(&[
                 m.title.clone(),
                 m.kind.to_string(),
@@ -55,6 +59,9 @@ fn main() {
     for (kind, (count, bytes)) in kinds {
         t.row(&[kind.to_string(), count.to_string(), bytes.to_string()]);
     }
-    println!("Catalog inventory across {} documents:", world.catalog.document_count());
+    println!(
+        "Catalog inventory across {} documents:",
+        world.catalog.document_count()
+    );
     println!("{}", t.render());
 }

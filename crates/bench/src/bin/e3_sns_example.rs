@@ -35,13 +35,25 @@ fn main() {
     );
 
     let offers = [
-        ("offer1", video(ColorDepth::BlackWhite, 25), 2.5, "CONSTRAINT"),
+        (
+            "offer1",
+            video(ColorDepth::BlackWhite, 25),
+            2.5,
+            "CONSTRAINT",
+        ),
         ("offer2", video(ColorDepth::Color, 15), 4.0, "CONSTRAINT"),
         ("offer3", video(ColorDepth::Grey, 25), 3.0, "CONSTRAINT"),
         ("offer4", video(ColorDepth::Color, 25), 5.0, "ACCEPTABLE"),
     ];
 
-    let mut t = Table::new(&["offer", "QoS", "cost", "SNS (measured)", "SNS (paper)", "match"]);
+    let mut t = Table::new(&[
+        "offer",
+        "QoS",
+        "cost",
+        "SNS (measured)",
+        "SNS (paper)",
+        "match",
+    ]);
     let mut all_match = true;
     for (name, qos, dollars, expected) in &offers {
         let cost = Money::from_dollars_f64(*dollars);

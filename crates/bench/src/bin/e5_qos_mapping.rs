@@ -17,8 +17,14 @@ fn main() {
     println!("E5 — QoS mapping (paper §6)\n");
 
     let mut t = Table::new(&[
-        "video variant", "fps", "avg frame B", "max frame B", "avgBitRate", "maxBitRate",
-        "jitter", "loss",
+        "video variant",
+        "fps",
+        "avg frame B",
+        "max frame B",
+        "avgBitRate",
+        "maxBitRate",
+        "jitter",
+        "loss",
     ]);
     for rung in standard_video_ladder() {
         let avg = video_frame_bytes(&rung.qos, rung.compression);
@@ -48,7 +54,12 @@ fn main() {
     println!("{}", t.render());
 
     let mut t = Table::new(&[
-        "audio variant", "sample rate", "sample B", "avgBitRate", "jitter", "loss",
+        "audio variant",
+        "sample rate",
+        "sample B",
+        "avgBitRate",
+        "jitter",
+        "loss",
     ]);
     for rung in standard_audio_ladder() {
         let bytes = audio_sample_bytes(&rung);

@@ -30,7 +30,11 @@ fn main() {
     println!("{}", t.render());
 
     let world = standard_world(7, 3, 2, 2);
-    let doc = world.catalog.documents().next().expect("corpus has documents");
+    let doc = world
+        .catalog
+        .documents()
+        .next()
+        .expect("corpus has documents");
     println!(
         "document {} \"{}\" — {} components, {:.0} s",
         doc.id,
@@ -41,7 +45,11 @@ fn main() {
 
     for guarantee in [Guarantee::Guaranteed, Guarantee::BestEffort] {
         let mut t = Table::new(&[
-            "monomedia", "variant", "sustained rate", "CostNet_i", "CostSer_i",
+            "monomedia",
+            "variant",
+            "sustained rate",
+            "CostNet_i",
+            "CostSer_i",
         ]);
         let mut total = model.copyright;
         let mut selections = Vec::new();
@@ -60,12 +68,12 @@ fn main() {
                 ser.to_string(),
             ]);
         }
-        println!("guarantee class: {guarantee:?}   CostCop = {}", model.copyright);
-        println!("{}", t.render());
-        let formula = model.document_cost(
-            selections.iter().map(|&(v, d)| (v, d)),
-            guarantee,
+        println!(
+            "guarantee class: {guarantee:?}   CostCop = {}",
+            model.copyright
         );
+        println!("{}", t.render());
+        let formula = model.document_cost(selections.iter().map(|&(v, d)| (v, d)), guarantee);
         println!(
             "  CostDoc by formula (1): {formula}   hand sum: {total}   identity {}\n",
             if formula == total { "✓" } else { "✗" }

@@ -19,44 +19,51 @@ use nod_qosneg::{ClassificationStrategy, Money};
 
 fn main() {
     println!("E7 — negotiation status coverage matrix (paper §4)\n");
-    let mut t = Table::new(&["scenario", "status (measured)", "status (expected)", "offer?"]);
+    let mut t = Table::new(&[
+        "scenario",
+        "status (measured)",
+        "status (expected)",
+        "offer?",
+    ]);
     let mut all_ok = true;
 
-    let mut run = |label: &str,
-                   expected: NegotiationStatus,
-                   setup: &dyn Fn(&nod_bench::World) -> (ClientMachine, nod_qosneg::UserProfile)| {
-        let world = standard_world(99, 8, 3, 4);
-        let (client, profile) = setup(&world);
-        let ctx = NegotiationContext {
-            catalog: &world.catalog,
-            farm: &world.farm,
-            network: &world.network,
-            cost_model: &world.cost,
-            strategy: ClassificationStrategy::SnsThenOif,
-            guarantee: Guarantee::Guaranteed,
-            enumeration_cap: 500_000,
-        jitter_buffer_ms: 2_000,
-        prune_dominated: false,
+    let mut run =
+        |label: &str,
+         expected: NegotiationStatus,
+         setup: &dyn Fn(&nod_bench::World) -> (ClientMachine, nod_qosneg::UserProfile)| {
+            let world = standard_world(99, 8, 3, 4);
+            let (client, profile) = setup(&world);
+            let ctx = NegotiationContext {
+                catalog: &world.catalog,
+                farm: &world.farm,
+                network: &world.network,
+                cost_model: &world.cost,
+                strategy: ClassificationStrategy::SnsThenOif,
+                guarantee: Guarantee::Guaranteed,
+                enumeration_cap: 500_000,
+                jitter_buffer_ms: 2_000,
+                prune_dominated: false,
+                recorder: None,
+            };
+            let out = negotiate(&ctx, &client, DocumentId(1), &profile).expect("valid request");
+            let ok = out.status == expected;
+            all_ok &= ok;
+            t.row(&[
+                label.to_string(),
+                out.status.to_string(),
+                expected.to_string(),
+                if let Some(offer) = out.user_offer {
+                    format!("{offer}")
+                } else if out.local_offer.is_some() {
+                    "local capabilities returned".into()
+                } else {
+                    "—".into()
+                },
+            ]);
+            if let Some(r) = out.reservation {
+                r.release(&world.farm, &world.network);
+            }
         };
-        let out = negotiate(&ctx, &client, DocumentId(1), &profile).expect("valid request");
-        let ok = out.status == expected;
-        all_ok &= ok;
-        t.row(&[
-            label.to_string(),
-            out.status.to_string(),
-            expected.to_string(),
-            if let Some(offer) = out.user_offer {
-                format!("{offer}")
-            } else if out.local_offer.is_some() {
-                "local capabilities returned".into()
-            } else {
-                "—".into()
-            },
-        ]);
-        if let Some(r) = out.reservation {
-            r.release(&world.farm, &world.network);
-        }
-    };
 
     run(
         "idle system, satisfiable profile",

@@ -29,8 +29,15 @@ fn main() {
     ];
 
     let mut t = Table::new(&[
-        "arrivals/min", "negotiator", "offered", "carried", "blocked", "P(block)",
-        "satisfaction", "mean cost", "mean OIF",
+        "arrivals/min",
+        "negotiator",
+        "offered",
+        "carried",
+        "blocked",
+        "P(block)",
+        "satisfaction",
+        "mean cost",
+        "mean OIF",
     ]);
     let mut smart_sat = Vec::new();
     let mut ff_sat = Vec::new();

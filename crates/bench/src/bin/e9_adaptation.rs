@@ -21,8 +21,14 @@ fn main() {
     let seeds: &[u64] = if quick { &[1] } else { &[1, 2, 3, 4] };
 
     let mut t = Table::new(&[
-        "episode (health × servers)", "adaptation", "started", "completed", "aborted",
-        "continuity", "transitions", "underruns",
+        "episode (health × servers)",
+        "adaptation",
+        "started",
+        "completed",
+        "aborted",
+        "continuity",
+        "transitions",
+        "underruns",
     ]);
     for &(health, servers_hit) in severities {
         for adaptation in [true, false] {
@@ -64,8 +70,14 @@ fn main() {
     // Network-side episode: the paper's trigger is "the network or/and the
     // server machine become congested" — degrade one server's trunk link.
     let mut t = Table::new(&[
-        "episode", "adaptation", "started", "completed", "aborted", "continuity",
-        "transitions", "underruns",
+        "episode",
+        "adaptation",
+        "started",
+        "completed",
+        "aborted",
+        "continuity",
+        "transitions",
+        "underruns",
     ]);
     for adaptation in [true, false] {
         let mut agg = nod_workload::AdaptationResult::default();

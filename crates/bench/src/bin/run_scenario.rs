@@ -4,15 +4,21 @@
 //! cargo run --release -p nod-bench --bin run_scenario -- light-load
 //! cargo run --release -p nod-bench --bin run_scenario -- path/to/scenario.json
 //! cargo run --release -p nod-bench --bin run_scenario -- --dump prime-time > pt.json
+//! cargo run --release -p nod-bench --bin run_scenario -- --metrics-out m.json light-load
 //! ```
 //!
 //! Accepts a preset name (`light-load`, `prime-time`, `outage-drill`) or a
 //! JSON file produced by `Scenario::save`; `--dump` prints a preset's JSON
-//! so it can be edited and replayed.
+//! so it can be edited and replayed. With `--metrics-out <path>` every run
+//! in the scenario reports into one shared [`nod_obs::Recorder`] and the
+//! final metrics snapshot (outcome counters, per-stage span latency
+//! histograms, admission/reservation counters) is written to `<path>` as
+//! pretty-printed JSON for diffing across runs.
 
 use nod_bench::{f3, Table};
+use nod_obs::Recorder;
 use nod_workload::scenario::{presets, Scenario};
-use nod_workload::{run_adaptation, run_blocking};
+use nod_workload::{run_adaptation_with, run_blocking_with};
 
 fn resolve(name: &str) -> Result<Scenario, String> {
     match name {
@@ -24,17 +30,30 @@ fn resolve(name: &str) -> Result<Scenario, String> {
     }
 }
 
+fn usage() -> ! {
+    eprintln!("usage: run_scenario [--dump] [--metrics-out <path>] <preset|file.json>");
+    eprintln!("presets: light-load, prime-time, outage-drill");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (dump, name) = match args.as_slice() {
-        [flag, name] if flag == "--dump" => (true, name.clone()),
-        [name] => (false, name.clone()),
-        _ => {
-            eprintln!("usage: run_scenario [--dump] <preset|file.json>");
-            eprintln!("presets: light-load, prime-time, outage-drill");
-            std::process::exit(2);
+    let mut dump = false;
+    let mut metrics_out: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dump" => dump = true,
+            "--metrics-out" => match it.next() {
+                Some(path) => metrics_out = Some(path),
+                None => usage(),
+            },
+            _ if name.is_none() => name = Some(arg),
+            _ => usage(),
         }
-    };
+    }
+    let Some(name) = name else { usage() };
     let scenario = match resolve(&name) {
         Ok(s) => s,
         Err(e) => {
@@ -46,16 +65,26 @@ fn main() {
         println!("{}", scenario.to_json());
         return;
     }
+    let recorder = metrics_out.as_ref().map(|_| Recorder::new());
 
-    println!("scenario \"{}\" — {}\n", scenario.name, scenario.description);
+    println!(
+        "scenario \"{}\" — {}\n",
+        scenario.name, scenario.description
+    );
 
     if !scenario.blocking.is_empty() {
         let mut t = Table::new(&[
-            "arrivals/min", "negotiator", "offered", "carried", "P(block)", "satisfaction",
-            "p50 cost", "p95 cost",
+            "arrivals/min",
+            "negotiator",
+            "offered",
+            "carried",
+            "P(block)",
+            "satisfaction",
+            "p50 cost",
+            "p95 cost",
         ]);
         for cfg in &scenario.blocking {
-            let r = run_blocking(cfg);
+            let r = run_blocking_with(cfg, recorder.as_ref());
             t.row(&[
                 format!("{:.0}", cfg.arrivals_per_minute),
                 cfg.negotiator.label().to_string(),
@@ -72,11 +101,17 @@ fn main() {
 
     if !scenario.adaptation.is_empty() {
         let mut t = Table::new(&[
-            "adaptation", "health", "started", "completed", "aborted", "continuity",
-            "transitions", "underruns",
+            "adaptation",
+            "health",
+            "started",
+            "completed",
+            "aborted",
+            "continuity",
+            "transitions",
+            "underruns",
         ]);
         for cfg in &scenario.adaptation {
-            let r = run_adaptation(cfg);
+            let r = run_adaptation_with(cfg, recorder.as_ref());
             t.row(&[
                 if cfg.adaptation_enabled { "ON" } else { "off" }.to_string(),
                 format!("{:.2}", cfg.congestion_health),
@@ -89,5 +124,14 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
+    }
+
+    if let (Some(path), Some(rec)) = (metrics_out, recorder) {
+        let snapshot = rec.snapshot();
+        if let Err(e) = std::fs::write(&path, snapshot.to_json_pretty()) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics snapshot written to {path}");
     }
 }

@@ -15,7 +15,11 @@ fn main() {
     let buffers_ms = [500u64, 1_000, 2_000, 4_000, 8_000];
 
     let mut t = Table::new(&[
-        "round (ms)", "buffer (ms)", "startup (ms)", "≤2s deadline", "≤10s deadline",
+        "round (ms)",
+        "buffer (ms)",
+        "startup (ms)",
+        "≤2s deadline",
+        "≤10s deadline",
     ]);
     for &round in &rounds_ms {
         for &buffer in &buffers_ms {

@@ -30,6 +30,7 @@ fn main() {
         enumeration_cap: 500_000,
         jitter_buffer_ms: 2_000,
         prune_dominated: false,
+        recorder: None,
     };
     let mut book = AdvanceBook::new(&ctx);
     let profile = tv_news_profile();
@@ -93,7 +94,11 @@ fn main() {
         .unwrap();
         println!(
             "cancellation check: freed one 19:00 seat → rebooking {}",
-            if retry.booking.is_some() { "succeeds ✓" } else { "FAILS ✗" }
+            if retry.booking.is_some() {
+                "succeeds ✓"
+            } else {
+                "FAILS ✗"
+            }
         );
     }
 }

@@ -13,10 +13,19 @@ use nod_workload::{run_blocking, BlockingConfig, NegotiatorKind};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     println!("X3 — guarantee-class ablation (paper §7 cost/guarantee coupling)\n");
-    let loads: &[f64] = if quick { &[8.0] } else { &[4.0, 8.0, 16.0, 32.0] };
+    let loads: &[f64] = if quick {
+        &[8.0]
+    } else {
+        &[4.0, 8.0, 16.0, 32.0]
+    };
 
     let mut t = Table::new(&[
-        "arrivals/min", "guarantee", "offered", "carried", "P(block)", "satisfaction",
+        "arrivals/min",
+        "guarantee",
+        "offered",
+        "carried",
+        "P(block)",
+        "satisfaction",
         "mean cost",
     ]);
     for &load in loads {

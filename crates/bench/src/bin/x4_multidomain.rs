@@ -45,8 +45,13 @@ fn main() {
     };
 
     let mut t = Table::new(&[
-        "home health", "sessions", "served home", "served peer", "blocked",
-        "mean user cost", "succeeded rate",
+        "home health",
+        "sessions",
+        "served home",
+        "served peer",
+        "blocked",
+        "mean user cost",
+        "succeeded rate",
     ]);
     for &health in &[1.0f64, 0.5, 0.2, 0.0] {
         // Same replica set both domains (seed 1) so failover is apples to

@@ -31,7 +31,12 @@ fn main() {
     let util = 0.9;
 
     let mut t = Table::new(&[
-        "burstiness", "class", "admitted", "mean util", "peak util", "overrun rate",
+        "burstiness",
+        "class",
+        "admitted",
+        "mean util",
+        "peak util",
+        "overrun rate",
     ]);
     for &burst in &[2u64, 3, 4] {
         for (label, guarantee) in [

@@ -40,8 +40,13 @@ fn manager(seed: u64) -> QosManager {
 fn main() {
     println!("X6 — renegotiation churn (paper §8 renegotiation path)\n");
     let mut t = Table::new(&[
-        "renegotiating users", "sessions", "completed", "transitions",
-        "renego ok", "renego refused", "mean continuity",
+        "renegotiating users",
+        "sessions",
+        "completed",
+        "transitions",
+        "renego ok",
+        "renego refused",
+        "mean continuity",
     ]);
     for &churners in &[0usize, 2, 4, 6] {
         let m = manager(31);
@@ -80,9 +85,9 @@ fn main() {
                         p.importance.cost_per_dollar = 12.0;
                     }
                     match m.renegotiate_session(session, &p) {
-                        Ok(
-                            NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer,
-                        ) => renego_ok += 1,
+                        Ok(NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer) => {
+                            renego_ok += 1
+                        }
                         Ok(_) => renego_refused += 1,
                         Err(e) => panic!("renegotiation error: {e}"),
                     }

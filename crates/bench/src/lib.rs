@@ -5,6 +5,8 @@
 //! paper-vs-measured record). The binaries print plain-text tables through
 //! [`Table`] so their output is diffable run-to-run.
 
+pub mod micro;
+
 use nod_cmfs::{ServerConfig, ServerFarm};
 use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
 use nod_mmdoc::ServerId;
@@ -93,7 +95,12 @@ pub fn standard_world(seed: u64, documents: usize, servers: usize, clients: usiz
     World {
         catalog,
         farm: ServerFarm::uniform(servers, ServerConfig::era_default()),
-        network: Network::new(Topology::dumbbell(clients, servers, 25_000_000, 155_000_000)),
+        network: Network::new(Topology::dumbbell(
+            clients,
+            servers,
+            25_000_000,
+            155_000_000,
+        )),
         cost: CostModel::era_default(),
     }
 }

@@ -155,7 +155,11 @@ mod tests {
     #[test]
     fn install_keeps_best_envelope() {
         let mut reg = DecoderRegistry::new();
-        reg.install(Decoder::video(Format::Mpeg1, Resolution::new(352), FrameRate::new(15)));
+        reg.install(Decoder::video(
+            Format::Mpeg1,
+            Resolution::new(352),
+            FrameRate::new(15),
+        ));
         reg.install(Decoder::video(Format::Mpeg1, Resolution::TV, FrameRate::TV));
         assert_eq!(reg.decoders().len(), 1);
         assert!(reg.can_decode(&mpeg1_variant(640, 25)));

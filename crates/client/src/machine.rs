@@ -97,9 +97,21 @@ impl ClientMachine {
     /// audio, MPEG-1 + MJPEG + H.261 video and the full audio/still suite.
     pub fn era_workstation(id: ClientId) -> Self {
         let decoders = DecoderRegistry::new()
-            .with(Decoder::video(Format::Mpeg1, Resolution::new(1024), FrameRate::new(30)))
-            .with(Decoder::video(Format::Mjpeg, Resolution::new(640), FrameRate::new(25)))
-            .with(Decoder::video(Format::H261, Resolution::new(352), FrameRate::new(30)))
+            .with(Decoder::video(
+                Format::Mpeg1,
+                Resolution::new(1024),
+                FrameRate::new(30),
+            ))
+            .with(Decoder::video(
+                Format::Mjpeg,
+                Resolution::new(640),
+                FrameRate::new(25),
+            ))
+            .with(Decoder::video(
+                Format::H261,
+                Resolution::new(352),
+                FrameRate::new(30),
+            ))
             .with(Decoder::unlimited(Format::PcmLinear))
             .with(Decoder::unlimited(Format::PcmMulaw))
             .with(Decoder::unlimited(Format::Adpcm))
@@ -150,7 +162,11 @@ impl ClientMachine {
     /// H.261-only video.
     pub fn era_budget_pc(id: ClientId) -> Self {
         let decoders = DecoderRegistry::new()
-            .with(Decoder::video(Format::H261, Resolution::new(352), FrameRate::new(15)))
+            .with(Decoder::video(
+                Format::H261,
+                Resolution::new(352),
+                FrameRate::new(15),
+            ))
             .with(Decoder::unlimited(Format::PcmMulaw))
             .with(Decoder::unlimited(Format::Gif))
             .with(Decoder::unlimited(Format::PlainText));
@@ -345,7 +361,10 @@ mod tests {
         });
         assert!(matches!(
             m.check_local(&hd).unwrap_err(),
-            LocalLimitation::ScreenSize { supported_px: 640, requested_px: 1280 }
+            LocalLimitation::ScreenSize {
+                supported_px: 640,
+                requested_px: 1280
+            }
         ));
     }
 
@@ -358,13 +377,19 @@ mod tests {
         });
         assert!(matches!(
             m.check_local(&cd).unwrap_err(),
-            LocalLimitation::AudioDevice { supported: Some(AudioQuality::Telephone), .. }
+            LocalLimitation::AudioDevice {
+                supported: Some(AudioQuality::Telephone),
+                ..
+            }
         ));
         let mut deaf = m.clone();
         deaf.audio = None;
         assert!(matches!(
             deaf.check_local(&cd).unwrap_err(),
-            LocalLimitation::AudioDevice { supported: None, .. }
+            LocalLimitation::AudioDevice {
+                supported: None,
+                ..
+            }
         ));
     }
 

@@ -1,11 +1,10 @@
 //! Stream requirements and admission errors.
 
 use nod_mmdoc::{Variant, VariantId};
-use serde::{Deserialize, Serialize};
 
 /// Service-guarantee class (paper §7: "the type of guarantees, e.g.
 /// best-effort or guaranteed service" enters the cost computation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Guarantee {
     /// Resources sized for the peak (max block length) — never violated by
     /// admission-controlled load.
@@ -13,6 +12,11 @@ pub enum Guarantee {
     /// Resources sized for the average — cheaper, but degradable.
     BestEffort,
 }
+
+nod_simcore::json_unit_enum!(Guarantee {
+    Guaranteed,
+    BestEffort
+});
 
 /// What a stream asks of a server: the output of the §6 QoS mapping for one
 /// variant.

@@ -125,7 +125,10 @@ mod tests {
         let one = d.stream_round_cost_us(8_000, 10.0);
         let two = d.stream_round_cost_us(8_000, 20.0);
         let positioning = d.avg_seek_us + d.rotation_us / 2;
-        assert_eq!(two - one, 10 * (8_000 * 1_000_000 / d.transfer_bytes_per_sec));
+        assert_eq!(
+            two - one,
+            10 * (8_000 * 1_000_000 / d.transfer_bytes_per_sec)
+        );
         assert!(two < 2 * one, "positioning {positioning} µs charged twice");
     }
 

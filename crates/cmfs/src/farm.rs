@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use nod_mmdoc::ServerId;
+use nod_obs::Recorder;
 
 use crate::admission::{AdmissionError, StreamRequirement};
 use crate::server::{FileServer, ReservationId, ServerConfig};
@@ -45,6 +46,14 @@ impl ServerFarm {
     /// Look up a server.
     pub fn server(&self, id: ServerId) -> Option<&Arc<FileServer>> {
         self.servers.get(&id)
+    }
+
+    /// Attach an observability recorder to every server in the farm (see
+    /// [`FileServer::set_recorder`]).
+    pub fn set_recorder(&self, recorder: &Recorder) {
+        for server in self.servers.values() {
+            server.set_recorder(recorder.clone());
+        }
     }
 
     /// All server ids, ascending.
@@ -95,7 +104,10 @@ impl ServerFarm {
         if self.servers.is_empty() {
             return 0.0;
         }
-        self.servers.values().map(|s| s.disk_utilization()).sum::<f64>()
+        self.servers
+            .values()
+            .map(|s| s.disk_utilization())
+            .sum::<f64>()
             / self.servers.len() as f64
     }
 }
@@ -142,10 +154,7 @@ mod tests {
     fn uniform_farm() {
         let farm = ServerFarm::uniform(3, ServerConfig::era_default());
         assert_eq!(farm.len(), 3);
-        assert_eq!(
-            farm.ids(),
-            vec![ServerId(0), ServerId(1), ServerId(2)]
-        );
+        assert_eq!(farm.ids(), vec![ServerId(0), ServerId(1), ServerId(2)]);
         assert!(farm.server(ServerId(2)).is_some());
         assert!(farm.server(ServerId(9)).is_none());
     }

@@ -89,8 +89,8 @@ pub fn simulate_rounds(
             for _ in 0..blocks_per_round {
                 bytes += if rng.chance(p_peak) { max } else { base };
             }
-            service_us += positioning
-                + bytes.saturating_mul(1_000_000) / disk.transfer_bytes_per_sec.max(1);
+            service_us +=
+                positioning + bytes.saturating_mul(1_000_000) / disk.transfer_bytes_per_sec.max(1);
         }
         let util = service_us as f64 / budget_us.max(1) as f64;
         util_sum += util;
@@ -162,7 +162,10 @@ mod tests {
         let report = simulate_rounds(&disk, 500_000, 0.9, &streams, 500, &mut rng);
         assert_eq!(report.overruns, 0, "guaranteed schedule overran");
         assert!(report.peak_utilization <= 1.0 + 1e-9);
-        assert!(report.mean_utilization > 0.4, "saturation test not meaningful");
+        assert!(
+            report.mean_utilization > 0.4,
+            "saturation test not meaningful"
+        );
     }
 
     #[test]

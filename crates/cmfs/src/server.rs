@@ -1,10 +1,12 @@
 //! A single file server with round-based admission control.
 
-use parking_lot::Mutex;
+use nod_simcore::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use nod_mmdoc::ServerId;
+use nod_obs::Recorder;
 
 use crate::admission::{AdmissionError, StreamRequirement};
 use crate::disk::DiskModel;
@@ -57,7 +59,7 @@ struct ServerState {
 /// A continuous-media file server.
 ///
 /// Thread-safe: negotiations for different clients may race on the same
-/// server; the reservation table is guarded by a [`parking_lot::Mutex`] and
+/// server; the reservation table is guarded by a [`nod_simcore::sync::Mutex`] and
 /// each `try_reserve` is an atomic admission-test-and-commit.
 #[derive(Debug)]
 pub struct FileServer {
@@ -65,6 +67,10 @@ pub struct FileServer {
     config: ServerConfig,
     state: Mutex<ServerState>,
     next_reservation: AtomicU64,
+    /// Set-once observability hook; `None` keeps admission allocation-free.
+    recorder: OnceLock<Recorder>,
+    /// Cached `s<id>` string for the `server` metric label.
+    server_label: String,
 }
 
 impl FileServer {
@@ -88,7 +94,18 @@ impl FileServer {
                 health: 1.0,
             }),
             next_reservation: AtomicU64::new(1),
+            recorder: OnceLock::new(),
+            server_label: format!("s{}", id.0),
         }
+    }
+
+    /// Attach an observability recorder (set-once; later calls are
+    /// ignored). Admissions then count
+    /// `cmfs.admission{server=…,result=…}` — rejections carry a `reason`
+    /// label — and each accept records the remaining disk-round slack in
+    /// the `cmfs.admit.disk_slack{server=…}` histogram.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        let _ = self.recorder.set(recorder);
     }
 
     /// This server's id.
@@ -106,8 +123,7 @@ impl FileServer {
         if !req.is_continuous() {
             return 0;
         }
-        let blocks_per_round =
-            req.blocks_per_second as f64 * self.config.round_us as f64 / 1e6;
+        let blocks_per_round = req.blocks_per_second as f64 * self.config.round_us as f64 / 1e6;
         self.config
             .disk
             .stream_round_cost_us(req.charged_block_bytes(), blocks_per_round)
@@ -127,12 +143,10 @@ impl FileServer {
     /// Admission runs the round-schedule test against the *charged* block
     /// size (peak for guaranteed, average for best-effort) plus the
     /// interface bandwidth test against the charged bit rate.
-    pub fn try_reserve(
-        &self,
-        req: StreamRequirement,
-    ) -> Result<ReservationId, AdmissionError> {
+    pub fn try_reserve(&self, req: StreamRequirement) -> Result<ReservationId, AdmissionError> {
         let mut st = self.state.lock();
         if st.reservations.len() >= self.config.max_streams {
+            self.count_rejection("stream_limit");
             return Err(AdmissionError::StreamLimit {
                 limit: self.config.max_streams,
             });
@@ -140,6 +154,7 @@ impl FileServer {
         let cost_us = self.round_cost_us(&req);
         let cap_us = self.capacity_round_us(st.health);
         if st.used_round_us + cost_us > cap_us {
+            self.count_rejection("disk");
             return Err(AdmissionError::DiskSaturated {
                 used_us: st.used_round_us,
                 requested_us: cost_us,
@@ -149,6 +164,7 @@ impl FileServer {
         let bps = req.charged_bit_rate();
         let cap_bps = self.capacity_bps(st.health);
         if st.used_bps + bps > cap_bps {
+            self.count_rejection("interface");
             return Err(AdmissionError::InterfaceSaturated {
                 used_bps: st.used_bps,
                 requested_bps: bps,
@@ -159,7 +175,34 @@ impl FileServer {
         st.used_round_us += cost_us;
         st.used_bps += bps;
         st.reservations.insert(id, req);
+        if let Some(rec) = self.recorder.get() {
+            rec.counter_with(
+                "cmfs.admission",
+                &[("server", &self.server_label), ("result", "accepted")],
+                1,
+            );
+            let slack = cap_us.saturating_sub(st.used_round_us) as f64 / cap_us.max(1) as f64;
+            rec.observe_with(
+                "cmfs.admit.disk_slack",
+                &[("server", &self.server_label)],
+                slack,
+            );
+        }
         Ok(id)
+    }
+
+    fn count_rejection(&self, reason: &str) {
+        if let Some(rec) = self.recorder.get() {
+            rec.counter_with(
+                "cmfs.admission",
+                &[
+                    ("server", &self.server_label),
+                    ("result", "rejected"),
+                    ("reason", reason),
+                ],
+                1,
+            );
+        }
     }
 
     /// Release a reservation. Unknown ids are ignored (release is
@@ -282,10 +325,7 @@ mod tests {
         };
         let g = count(Guarantee::Guaranteed);
         let b = count(Guarantee::BestEffort);
-        assert!(
-            b > g,
-            "best-effort ({b}) should out-admit guaranteed ({g})"
-        );
+        assert!(b > g, "best-effort ({b}) should out-admit guaranteed ({g})");
     }
 
     #[test]
@@ -385,7 +425,9 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut ok = 0u32;
                     for i in 0..50 {
-                        if s.try_reserve(mpeg1_req(t * 100 + i, Guarantee::Guaranteed)).is_ok() {
+                        if s.try_reserve(mpeg1_req(t * 100 + i, Guarantee::Guaranteed))
+                            .is_ok()
+                        {
                             ok += 1;
                         }
                     }

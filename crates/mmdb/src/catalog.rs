@@ -1,6 +1,5 @@
 //! The variant catalog: documents, variants, locations and block stats.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 use nod_mmdoc::prelude::*;
@@ -60,7 +59,7 @@ impl std::error::Error for CatalogError {}
 ///
 /// `BTreeMap`s keep iteration deterministic, which keeps every experiment
 /// that enumerates the catalog reproducible.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     documents: BTreeMap<DocumentId, Document>,
     variants: BTreeMap<VariantId, Variant>,
@@ -165,7 +164,10 @@ impl Catalog {
 
     /// Variants stored on a given server (the server's content inventory).
     pub fn variants_on(&self, server: ServerId) -> Vec<&Variant> {
-        self.variants.values().filter(|v| v.server == server).collect()
+        self.variants
+            .values()
+            .filter(|v| v.server == server)
+            .collect()
     }
 
     /// Number of stored documents.
@@ -178,14 +180,35 @@ impl Catalog {
         self.variants.len()
     }
 
-    /// Serialize to a JSON string.
+    /// Serialize to a JSON string. Only the documents and variants are
+    /// persisted; the indexes are derived data and are rebuilt on load.
     pub fn to_json(&self) -> Result<String, CatalogError> {
-        serde_json::to_string_pretty(self).map_err(|e| CatalogError::Io(e.to_string()))
+        use nod_simcore::json::{Json, ToJson};
+        let docs: Vec<Json> = self.documents.values().map(|d| d.to_json()).collect();
+        let vars: Vec<Json> = self.variants.values().map(|v| v.to_json()).collect();
+        let obj = Json::Obj(vec![
+            ("documents".to_string(), Json::Arr(docs)),
+            ("variants".to_string(), Json::Arr(vars)),
+        ]);
+        Ok(obj.to_string_pretty())
     }
 
-    /// Restore from a JSON string produced by [`Catalog::to_json`].
+    /// Restore from a JSON string produced by [`Catalog::to_json`],
+    /// rebuilding the monomedia and ownership indexes.
     pub fn from_json(json: &str) -> Result<Catalog, CatalogError> {
-        serde_json::from_str(json).map_err(|e| CatalogError::Io(e.to_string()))
+        use nod_simcore::json::FromJson;
+        let root = nod_simcore::json::parse(json).map_err(|e| CatalogError::Io(e.to_string()))?;
+        let io = |e: nod_simcore::json::JsonError| CatalogError::Io(e.to_string());
+        let docs = Vec::<Document>::from_json(root.field("documents").map_err(io)?).map_err(io)?;
+        let vars = Vec::<Variant>::from_json(root.field("variants").map_err(io)?).map_err(io)?;
+        let mut catalog = Catalog::new();
+        for doc in docs {
+            catalog.add_document(doc)?;
+        }
+        for v in vars {
+            catalog.add_variant(v)?;
+        }
+        Ok(catalog)
     }
 
     /// Persist to a file.
@@ -195,8 +218,7 @@ impl Catalog {
 
     /// Load from a file.
     pub fn load(path: &std::path::Path) -> Result<Catalog, CatalogError> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| CatalogError::Io(e.to_string()))?;
+        let text = std::fs::read_to_string(path).map_err(|e| CatalogError::Io(e.to_string()))?;
         Catalog::from_json(&text)
     }
 

@@ -85,9 +85,9 @@ pub fn standard_video_ladder() -> Vec<VideoRung> {
 
 /// Average frame size (bytes) for a rung at a given model.
 pub fn video_frame_bytes(qos: &VideoQos, compression: f64) -> u64 {
-    let raw_bits =
-        qos.resolution.pixels_per_line() as u64 * qos.resolution.lines() as u64
-            * qos.color.bits_per_pixel() as u64;
+    let raw_bits = qos.resolution.pixels_per_line() as u64
+        * qos.resolution.lines() as u64
+        * qos.color.bits_per_pixel() as u64;
     ((raw_bits as f64 / 8.0 / compression).max(64.0)) as u64
 }
 
@@ -185,7 +185,10 @@ impl CorpusBuilder {
     /// # Panics
     /// Panics if the server list is empty or any range is inverted.
     pub fn new(params: CorpusParams) -> Self {
-        assert!(!params.servers.is_empty(), "corpus needs at least one server");
+        assert!(
+            !params.servers.is_empty(),
+            "corpus needs at least one server"
+        );
         assert!(params.video_variants.0 >= 1 && params.video_variants.0 <= params.video_variants.1);
         assert!(params.audio_variants.0 >= 1 && params.audio_variants.0 <= params.audio_variants.1);
         assert!(params.duration_secs.0 >= 1 && params.duration_secs.0 <= params.duration_secs.1);
@@ -219,9 +222,8 @@ impl CorpusBuilder {
             let secs = rng.range_u64(p.duration_secs.0, p.duration_secs.1);
             let video = Monomedia::new(self.mono_id(), MediaKind::Video, format!("clip {d}"))
                 .with_duration_secs(secs);
-            let audio =
-                Monomedia::new(self.mono_id(), MediaKind::Audio, format!("narration {d}"))
-                    .with_duration_secs(secs);
+            let audio = Monomedia::new(self.mono_id(), MediaKind::Audio, format!("narration {d}"))
+                .with_duration_secs(secs);
             let caption = Monomedia::new(self.mono_id(), MediaKind::Text, format!("caption {d}"))
                 .with_duration_secs(secs.min(30));
             let mut comps = vec![video.clone(), audio.clone(), caption.clone()];
@@ -230,9 +232,8 @@ impl CorpusBuilder {
                 TemporalConstraint::offset(video.id, caption.id, 0),
             ];
             let image = if rng.chance(p.image_probability) {
-                let img =
-                    Monomedia::new(self.mono_id(), MediaKind::Image, format!("photo {d}"))
-                        .with_duration_secs(secs.min(20));
+                let img = Monomedia::new(self.mono_id(), MediaKind::Image, format!("photo {d}"))
+                    .with_duration_secs(secs.min(20));
                 temporal.push(TemporalConstraint::offset(video.id, img.id, 2_000));
                 comps.push(img.clone());
                 Some(img)
@@ -249,8 +250,8 @@ impl CorpusBuilder {
             catalog.add_document(doc).expect("fresh ids");
 
             // Video variants: a random subset of ladder rungs, replicated.
-            let n_rungs = rng.range_u64(p.video_variants.0 as u64, p.video_variants.1 as u64)
-                as usize;
+            let n_rungs =
+                rng.range_u64(p.video_variants.0 as u64, p.video_variants.1 as u64) as usize;
             let mut rungs: Vec<usize> = (0..video_ladder.len()).collect();
             rng.shuffle(&mut rungs);
             for &r in rungs.iter().take(n_rungs) {
@@ -278,8 +279,10 @@ impl CorpusBuilder {
                 }
             }
             // Caption: plain text + HTML, one server each.
-            for (fmt, lang) in [(Format::PlainText, Language::English), (Format::Html, Language::English)]
-            {
+            for (fmt, lang) in [
+                (Format::PlainText, Language::English),
+                (Format::Html, Language::English),
+            ] {
                 let bytes = rng.range_u64(2_000, 12_000);
                 let v = Variant {
                     id: self.variant_id(),
@@ -297,9 +300,8 @@ impl CorpusBuilder {
             if let Some(img) = image {
                 for (px, color) in [(640u32, ColorDepth::Color), (320, ColorDepth::Grey)] {
                     let res = Resolution::new(px);
-                    let bytes = (px as u64 * res.lines() as u64 * color.bits_per_pixel() as u64
-                        / 8)
-                        / 10; // ~10:1 JPEG
+                    let bytes =
+                        (px as u64 * res.lines() as u64 * color.bits_per_pixel() as u64 / 8) / 10; // ~10:1 JPEG
                     let v = Variant {
                         id: self.variant_id(),
                         monomedia: img.id,
@@ -334,8 +336,8 @@ impl CorpusBuilder {
         let max = (avg as f64 * burst) as u64;
         let fps = rung.qos.frame_rate.fps();
         // Copies land on distinct servers where possible.
-        let server = p.servers[(rng.below(p.servers.len() as u64) as usize + copy)
-            % p.servers.len()];
+        let server =
+            p.servers[(rng.below(p.servers.len() as u64) as usize + copy) % p.servers.len()];
         Variant {
             id: self.variant_id(),
             monomedia: mono,
@@ -465,8 +467,7 @@ mod tests {
     #[test]
     fn variants_spread_across_servers() {
         let c = small_corpus(3);
-        let servers: std::collections::HashSet<_> =
-            c.variants().map(|v| v.server).collect();
+        let servers: std::collections::HashSet<_> = c.variants().map(|v| v.server).collect();
         assert!(servers.len() >= 2, "corpus should use several servers");
     }
 }

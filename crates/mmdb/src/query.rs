@@ -166,7 +166,10 @@ mod tests {
                 .max_avg_bit_rate(1_000_000),
         );
         let all = c.find(&VariantQuery::any().of_kind(MediaKind::Video));
-        assert!(slow.len() < all.len(), "ceiling should exclude fast variants");
+        assert!(
+            slow.len() < all.len(),
+            "ceiling should exclude fast variants"
+        );
         assert!(slow.iter().all(|v| v.avg_bit_rate() <= 1_000_000));
     }
 

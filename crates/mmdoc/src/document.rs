@@ -4,7 +4,6 @@
 //! multimedia; a multimedia aggregates one or more monomedia and carries
 //! spatial and temporal synchronization constraints as attributes.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::ids::{DocumentId, MonomediaId};
@@ -13,7 +12,7 @@ use crate::temporal::{resolve_schedule, ScheduleError, SpatialRegion, TemporalCo
 
 /// One monomedia object: a logical media element independent of its stored
 /// variants (which live in the MM database).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Monomedia {
     /// Unique id.
     pub id: MonomediaId,
@@ -25,6 +24,13 @@ pub struct Monomedia {
     /// graphic) use their on-screen display period.
     pub duration_ms: u64,
 }
+
+nod_simcore::json_struct!(Monomedia {
+    id,
+    kind,
+    title,
+    duration_ms
+});
 
 impl Monomedia {
     /// A monomedia with zero duration (set it with
@@ -52,7 +58,7 @@ impl Monomedia {
 }
 
 /// A multimedia aggregation with its synchronization attributes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Multimedia {
     /// Component monomedia (aggregation links of Figure 1).
     pub components: Vec<Monomedia>,
@@ -62,9 +68,15 @@ pub struct Multimedia {
     pub spatial: Vec<SpatialRegion>,
 }
 
+nod_simcore::json_struct!(Multimedia {
+    components,
+    temporal,
+    spatial
+});
+
 /// A document: the unit the user selects and the negotiation procedure
 /// treats atomically.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Document {
     /// Unique id.
     pub id: DocumentId,
@@ -75,12 +87,38 @@ pub struct Document {
 }
 
 /// The two document forms of Figure 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DocumentContent {
     /// A document that is a single monomedia object.
     Mono(Monomedia),
     /// A composed multimedia document.
     Multi(Multimedia),
+}
+
+nod_simcore::json_struct!(Document { id, title, content });
+
+impl nod_simcore::json::ToJson for DocumentContent {
+    fn to_json(&self) -> nod_simcore::Json {
+        use nod_simcore::json::Json;
+        match self {
+            DocumentContent::Mono(m) => Json::tagged("Mono", m.to_json()),
+            DocumentContent::Multi(mm) => Json::tagged("Multi", mm.to_json()),
+        }
+    }
+}
+
+impl nod_simcore::json::FromJson for DocumentContent {
+    fn from_json(v: &nod_simcore::Json) -> Result<Self, nod_simcore::JsonError> {
+        use nod_simcore::json::FromJson;
+        let (tag, inner) = v.as_tagged()?;
+        match tag {
+            "Mono" => Ok(DocumentContent::Mono(FromJson::from_json(inner)?)),
+            "Multi" => Ok(DocumentContent::Multi(FromJson::from_json(inner)?)),
+            other => Err(nod_simcore::JsonError(format!(
+                "unknown DocumentContent variant `{other}`"
+            ))),
+        }
+    }
 }
 
 impl Document {
@@ -194,10 +232,10 @@ mod tests {
     fn news_article() -> Document {
         // The canonical fixture: a news article with a video clip, a
         // synchronized narration, and a caption shown 5 s in.
-        let video = Monomedia::new(MonomediaId(1), MediaKind::Video, "anchor shot")
-            .with_duration_secs(120);
-        let audio = Monomedia::new(MonomediaId(2), MediaKind::Audio, "narration")
-            .with_duration_secs(120);
+        let video =
+            Monomedia::new(MonomediaId(1), MediaKind::Video, "anchor shot").with_duration_secs(120);
+        let audio =
+            Monomedia::new(MonomediaId(2), MediaKind::Audio, "narration").with_duration_secs(120);
         let caption =
             Monomedia::new(MonomediaId(3), MediaKind::Text, "caption").with_duration_secs(20);
         Document::multimedia(
@@ -267,16 +305,15 @@ mod tests {
 
     #[test]
     fn builder_durations() {
-        let m = Monomedia::new(MonomediaId(4), MediaKind::Audio, "jingle")
-            .with_duration_ms(1_500);
+        let m = Monomedia::new(MonomediaId(4), MediaKind::Audio, "jingle").with_duration_ms(1_500);
         assert_eq!(m.duration_ms, 1_500);
     }
 
     #[test]
     fn serde_round_trip() {
         let doc = news_article();
-        let json = serde_json::to_string(&doc).unwrap();
-        let back: Document = serde_json::from_str(&json).unwrap();
+        let json = nod_simcore::json::to_string(&doc);
+        let back: Document = nod_simcore::json::from_str(&json).unwrap();
         assert_eq!(back, doc);
     }
 }

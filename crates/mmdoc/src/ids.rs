@@ -3,16 +3,15 @@
 //! Newtype wrappers over `u64`/`u32` prevent the classic "passed a server id
 //! where a variant id was expected" class of bug across crate boundaries.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u64);
+
+        nod_simcore::json_newtype!($name(u64));
 
         impl fmt::Display for $name {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -81,9 +80,9 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let id = ServerId(42);
-        let json = serde_json::to_string(&id).unwrap();
+        let json = nod_simcore::json::to_string(&id);
         assert_eq!(json, "42");
-        let back: ServerId = serde_json::from_str(&json).unwrap();
+        let back: ServerId = nod_simcore::json::from_str(&json).unwrap();
         assert_eq!(back, id);
     }
 

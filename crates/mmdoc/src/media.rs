@@ -7,11 +7,10 @@
 //! news-on-demand prototype era, each tagged with the [`MediaKind`] it
 //! encodes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The medium of a monomedia object (paper §2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MediaKind {
     /// Moving pictures (continuous medium).
     Video,
@@ -24,6 +23,14 @@ pub enum MediaKind {
     /// Vector graphic (discrete medium).
     Graphic,
 }
+
+nod_simcore::json_unit_enum!(MediaKind {
+    Video,
+    Audio,
+    Text,
+    Image,
+    Graphic
+});
 
 impl MediaKind {
     /// All media kinds, in the paper's enumeration order.
@@ -60,7 +67,7 @@ impl fmt::Display for MediaKind {
 /// The set is deliberately mid-1990s: MPEG-1/MJPEG/H.261 video (the paper's
 /// §4 example contrasts MPEG and MJPEG clients), PCM/ADPCM/MPEG-audio sound,
 /// and the image/text codings a news article carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Format {
     // Video codings.
     /// MPEG-1 video.
@@ -100,6 +107,25 @@ pub enum Format {
     /// PostScript graphics.
     PostScript,
 }
+
+nod_simcore::json_unit_enum!(Format {
+    Mpeg1,
+    Mpeg2,
+    Mjpeg,
+    H261,
+    RawVideo,
+    PcmLinear,
+    PcmMulaw,
+    Adpcm,
+    MpegAudio,
+    Jpeg,
+    Gif,
+    Tiff,
+    PlainText,
+    Html,
+    Cgm,
+    PostScript,
+});
 
 impl Format {
     /// Every format, for exhaustive iteration in tests and corpus builders.
@@ -188,10 +214,7 @@ mod tests {
     fn every_format_has_a_kind_and_all_is_exhaustive() {
         // `ALL` must cover every kind.
         for kind in MediaKind::ALL {
-            assert!(
-                !Format::for_kind(kind).is_empty(),
-                "no format for {kind:?}"
-            );
+            assert!(!Format::for_kind(kind).is_empty(), "no format for {kind:?}");
         }
         // `for_kind` partitions `ALL`.
         let total: usize = MediaKind::ALL
@@ -220,8 +243,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         for f in Format::ALL {
-            let json = serde_json::to_string(&f).unwrap();
-            let back: Format = serde_json::from_str(&json).unwrap();
+            let json = nod_simcore::json::to_string(&f);
+            let back: Format = nod_simcore::json::from_str(&json).unwrap();
             assert_eq!(back, f);
         }
     }

@@ -16,13 +16,12 @@
 //! Values are ordered so that "offer meets requirement" is a componentwise
 //! `>=` (language is an equality-style preference with an `Any` wildcard).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::media::MediaKind;
 
 /// Video/image color quality, ordered worst → best.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ColorDepth {
     /// 1-bit black & white.
     BlackWhite,
@@ -33,6 +32,13 @@ pub enum ColorDepth {
     /// Studio "super-color" (deep color).
     SuperColor,
 }
+
+nod_simcore::json_unit_enum!(ColorDepth {
+    BlackWhite,
+    Grey,
+    Color,
+    SuperColor
+});
 
 impl ColorDepth {
     /// All depths, worst to best — the anchor set of Figure 2.
@@ -77,8 +83,10 @@ impl fmt::Display for ColorDepth {
 }
 
 /// Frames per second, constrained to the paper's `1..=60` scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameRate(u32);
+
+nod_simcore::json_newtype!(FrameRate(u32));
 
 impl FrameRate {
     /// 1 frame/s — the paper's "frozen rate" lower anchor.
@@ -113,8 +121,10 @@ impl fmt::Display for FrameRate {
 }
 
 /// Horizontal resolution in pixels per line, constrained to `10..=1920`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Resolution(u32);
+
+nod_simcore::json_newtype!(Resolution(u32));
 
 impl Resolution {
     /// 10 pixels/line — the paper's minimal resolution anchor.
@@ -158,7 +168,7 @@ impl fmt::Display for Resolution {
 }
 
 /// Audio quality anchors of Figure 2, ordered worst → best.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AudioQuality {
     /// Telephone quality: 8 kHz, 8-bit, mono.
     Telephone,
@@ -167,6 +177,12 @@ pub enum AudioQuality {
     /// CD quality: 44.1 kHz, 16-bit, stereo.
     Cd,
 }
+
+nod_simcore::json_unit_enum!(AudioQuality {
+    Telephone,
+    Radio,
+    Cd
+});
 
 impl AudioQuality {
     /// All qualities worst → best.
@@ -215,8 +231,10 @@ impl fmt::Display for AudioQuality {
 }
 
 /// Audio samples per second.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SampleRate(pub u32);
+
+nod_simcore::json_newtype!(SampleRate(u32));
 
 impl SampleRate {
     /// Samples per second.
@@ -229,7 +247,7 @@ impl SampleRate {
 ///
 /// The paper's importance example (4) — "french is more important than
 /// english" — makes language a negotiable characteristic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Language {
     /// English track.
     English,
@@ -238,6 +256,12 @@ pub enum Language {
     /// No preference / language-neutral content.
     Any,
 }
+
+nod_simcore::json_unit_enum!(Language {
+    English,
+    French,
+    Any
+});
 
 impl Language {
     /// Does an offered language satisfy a required one?
@@ -259,7 +283,7 @@ impl fmt::Display for Language {
 }
 
 /// QoS of a video stream: the triple of the paper's §5 examples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VideoQos {
     /// Color quality.
     pub color: ColorDepth,
@@ -268,6 +292,12 @@ pub struct VideoQos {
     /// Frame rate.
     pub frame_rate: FrameRate,
 }
+
+nod_simcore::json_struct!(VideoQos {
+    color,
+    resolution,
+    frame_rate
+});
 
 impl VideoQos {
     /// Componentwise "offer is at least as good as `required`".
@@ -280,18 +310,24 @@ impl VideoQos {
 
 impl fmt::Display for VideoQos {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {}, {})", self.color, self.frame_rate, self.resolution)
+        write!(
+            f,
+            "({}, {}, {})",
+            self.color, self.frame_rate, self.resolution
+        )
     }
 }
 
 /// QoS of an audio stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AudioQos {
     /// Quality anchor (implies sampling parameters).
     pub quality: AudioQuality,
     /// Track language.
     pub language: Language,
 }
+
+nod_simcore::json_struct!(AudioQos { quality, language });
 
 impl AudioQos {
     /// Offer meets requirement: quality at least as good, language matches.
@@ -307,11 +343,13 @@ impl fmt::Display for AudioQos {
 }
 
 /// QoS of a text component.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TextQos {
     /// Text language.
     pub language: Language,
 }
+
+nod_simcore::json_struct!(TextQos { language });
 
 impl TextQos {
     /// Offer meets requirement when the language matches.
@@ -321,13 +359,15 @@ impl TextQos {
 }
 
 /// QoS of a still image or graphic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ImageQos {
     /// Color quality.
     pub color: ColorDepth,
     /// Horizontal resolution.
     pub resolution: Resolution,
 }
+
+nod_simcore::json_struct!(ImageQos { color, resolution });
 
 impl ImageQos {
     /// Componentwise comparison.
@@ -337,7 +377,7 @@ impl ImageQos {
 }
 
 /// Per-medium QoS value, tagged by medium.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MediaQos {
     /// Video QoS triple.
     Video(VideoQos),
@@ -349,6 +389,36 @@ pub enum MediaQos {
     Image(ImageQos),
     /// Graphic QoS (same axes as an image).
     Graphic(ImageQos),
+}
+
+impl nod_simcore::json::ToJson for MediaQos {
+    fn to_json(&self) -> nod_simcore::Json {
+        use nod_simcore::json::Json;
+        match self {
+            MediaQos::Video(v) => Json::tagged("Video", v.to_json()),
+            MediaQos::Audio(a) => Json::tagged("Audio", a.to_json()),
+            MediaQos::Text(t) => Json::tagged("Text", t.to_json()),
+            MediaQos::Image(i) => Json::tagged("Image", i.to_json()),
+            MediaQos::Graphic(g) => Json::tagged("Graphic", g.to_json()),
+        }
+    }
+}
+
+impl nod_simcore::json::FromJson for MediaQos {
+    fn from_json(v: &nod_simcore::Json) -> Result<Self, nod_simcore::JsonError> {
+        use nod_simcore::json::FromJson;
+        let (tag, inner) = v.as_tagged()?;
+        match tag {
+            "Video" => Ok(MediaQos::Video(FromJson::from_json(inner)?)),
+            "Audio" => Ok(MediaQos::Audio(FromJson::from_json(inner)?)),
+            "Text" => Ok(MediaQos::Text(FromJson::from_json(inner)?)),
+            "Image" => Ok(MediaQos::Image(FromJson::from_json(inner)?)),
+            "Graphic" => Ok(MediaQos::Graphic(FromJson::from_json(inner)?)),
+            other => Err(nod_simcore::JsonError(format!(
+                "unknown MediaQos variant `{other}`"
+            ))),
+        }
+    }
 }
 
 impl MediaQos {
@@ -542,8 +612,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let q = MediaQos::Video(tv_color_video());
-        let json = serde_json::to_string(&q).unwrap();
-        let back: MediaQos = serde_json::from_str(&json).unwrap();
+        let json = nod_simcore::json::to_string(&q);
+        let back: MediaQos = nod_simcore::json::from_str(&json).unwrap();
         assert_eq!(back, q);
     }
 }

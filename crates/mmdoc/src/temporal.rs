@@ -8,13 +8,12 @@
 //! start offsets by constraint propagation. The spatial side is a set of
 //! screen regions.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 use crate::ids::MonomediaId;
 
 /// A pairwise temporal relation between two monomedia.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TemporalRelation {
     /// `b` starts at the same instant as `a` (lip-sync audio/video).
     StartsWith,
@@ -30,8 +29,44 @@ pub enum TemporalRelation {
     },
 }
 
+impl nod_simcore::json::ToJson for TemporalRelation {
+    fn to_json(&self) -> nod_simcore::Json {
+        use nod_simcore::json::Json;
+        match self {
+            TemporalRelation::StartsWith => Json::Str("StartsWith".to_string()),
+            TemporalRelation::After { gap_ms } => Json::tagged(
+                "After",
+                Json::Obj(vec![("gap_ms".to_string(), gap_ms.to_json())]),
+            ),
+            TemporalRelation::OffsetFromStart { offset_ms } => Json::tagged(
+                "OffsetFromStart",
+                Json::Obj(vec![("offset_ms".to_string(), offset_ms.to_json())]),
+            ),
+        }
+    }
+}
+
+impl nod_simcore::json::FromJson for TemporalRelation {
+    fn from_json(v: &nod_simcore::Json) -> Result<Self, nod_simcore::JsonError> {
+        use nod_simcore::json::FromJson;
+        let (tag, inner) = v.as_tagged()?;
+        match tag {
+            "StartsWith" => Ok(TemporalRelation::StartsWith),
+            "After" => Ok(TemporalRelation::After {
+                gap_ms: FromJson::from_json(inner.field("gap_ms")?)?,
+            }),
+            "OffsetFromStart" => Ok(TemporalRelation::OffsetFromStart {
+                offset_ms: FromJson::from_json(inner.field("offset_ms")?)?,
+            }),
+            other => Err(nod_simcore::JsonError(format!(
+                "unknown TemporalRelation variant `{other}`"
+            ))),
+        }
+    }
+}
+
 /// A temporal synchronization constraint: `b` is positioned relative to `a`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TemporalConstraint {
     /// Reference monomedia.
     pub a: MonomediaId,
@@ -40,6 +75,8 @@ pub struct TemporalConstraint {
     /// How `b` relates to `a`.
     pub relation: TemporalRelation,
 }
+
+nod_simcore::json_struct!(TemporalConstraint { a, b, relation });
 
 impl TemporalConstraint {
     /// `b` starts together with `a`.
@@ -124,12 +161,10 @@ pub fn resolve_schedule(
         }
     }
 
-    let mut starts: HashMap<MonomediaId, u64> =
-        durations_ms.keys().map(|&id| (id, 0)).collect();
+    let mut starts: HashMap<MonomediaId, u64> = durations_ms.keys().map(|&id| (id, 0)).collect();
     // Anything that is the dependent (`b`) of a constraint gets its start
     // derived; other monomedia anchor at 0.
-    let derived: std::collections::HashSet<MonomediaId> =
-        constraints.iter().map(|c| c.b).collect();
+    let derived: std::collections::HashSet<MonomediaId> = constraints.iter().map(|c| c.b).collect();
 
     // Propagate: process constraints whose reference is already fixed. We
     // iterate worklist-style; with at most one dependency per constraint the
@@ -181,7 +216,7 @@ pub fn resolve_schedule(
 }
 
 /// A rectangular screen region assigned to one monomedia (spatial layout).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SpatialRegion {
     /// The monomedia rendered in this region.
     pub monomedia: MonomediaId,
@@ -194,6 +229,14 @@ pub struct SpatialRegion {
     /// Height (pixels).
     pub height: u32,
 }
+
+nod_simcore::json_struct!(SpatialRegion {
+    monomedia,
+    x,
+    y,
+    width,
+    height
+});
 
 impl SpatialRegion {
     /// Do two regions overlap (nonzero intersection area)?
@@ -215,10 +258,7 @@ mod tests {
     use super::*;
 
     fn durs(pairs: &[(u64, u64)]) -> HashMap<MonomediaId, u64> {
-        pairs
-            .iter()
-            .map(|&(id, d)| (MonomediaId(id), d))
-            .collect()
+        pairs.iter().map(|&(id, d)| (MonomediaId(id), d)).collect()
     }
 
     #[test]
@@ -226,7 +266,10 @@ mod tests {
         let d = durs(&[(1, 120_000), (2, 120_000)]);
         let s = resolve_schedule(
             &d,
-            &[TemporalConstraint::simultaneous(MonomediaId(1), MonomediaId(2))],
+            &[TemporalConstraint::simultaneous(
+                MonomediaId(1),
+                MonomediaId(2),
+            )],
         )
         .unwrap();
         assert_eq!(s[&MonomediaId(1)], 0);
@@ -238,7 +281,11 @@ mod tests {
         let d = durs(&[(1, 30_000), (2, 60_000)]);
         let s = resolve_schedule(
             &d,
-            &[TemporalConstraint::sequence(MonomediaId(1), MonomediaId(2), 2_000)],
+            &[TemporalConstraint::sequence(
+                MonomediaId(1),
+                MonomediaId(2),
+                2_000,
+            )],
         )
         .unwrap();
         assert_eq!(s[&MonomediaId(2)], 32_000);
@@ -265,7 +312,10 @@ mod tests {
         let d = durs(&[(1, 10_000)]);
         let err = resolve_schedule(
             &d,
-            &[TemporalConstraint::simultaneous(MonomediaId(1), MonomediaId(9))],
+            &[TemporalConstraint::simultaneous(
+                MonomediaId(1),
+                MonomediaId(9),
+            )],
         )
         .unwrap_err();
         assert_eq!(err, ScheduleError::UnknownMonomedia(MonomediaId(9)));

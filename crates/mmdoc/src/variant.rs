@@ -11,20 +11,23 @@
 //! the compression scheme, and the maximum/average block length of each
 //! monomedia is stored in the MM database [Vit 95].
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{MonomediaId, ServerId, VariantId};
 use crate::media::Format;
 use crate::qos::MediaQos;
 
 /// Block-length statistics stored in the MM database.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BlockStats {
     /// Length of the largest block (bytes).
     pub max_block_bytes: u64,
     /// Average block length (bytes).
     pub avg_block_bytes: u64,
 }
+
+nod_simcore::json_struct!(BlockStats {
+    max_block_bytes,
+    avg_block_bytes
+});
 
 impl BlockStats {
     /// Validated construction.
@@ -49,7 +52,7 @@ impl BlockStats {
 }
 
 /// One physical representation of a monomedia object.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Variant {
     /// Unique id of this variant.
     pub id: VariantId,
@@ -71,6 +74,17 @@ pub struct Variant {
     /// The server machine holding the file.
     pub server: ServerId,
 }
+
+nod_simcore::json_struct!(Variant {
+    id,
+    monomedia,
+    format,
+    qos,
+    blocks,
+    blocks_per_second,
+    file_bytes,
+    server,
+});
 
 impl Variant {
     /// Validate internal consistency: the format must encode the same medium
@@ -142,7 +156,9 @@ impl Variant {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::qos::{AudioQos, AudioQuality, ColorDepth, FrameRate, Language, Resolution, VideoQos};
+    use crate::qos::{
+        AudioQos, AudioQuality, ColorDepth, FrameRate, Language, Resolution, VideoQos,
+    };
 
     fn video_variant() -> Variant {
         Variant {
@@ -253,8 +269,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let v = video_variant();
-        let json = serde_json::to_string(&v).unwrap();
-        let back: Variant = serde_json::from_str(&json).unwrap();
+        let json = nod_simcore::json::to_string(&v);
+        let back: Variant = nod_simcore::json::from_str(&json).unwrap();
         assert_eq!(back, v);
     }
 }

@@ -1,52 +1,61 @@
-//! Property tests for the document model's public API.
-
-use proptest::prelude::*;
+//! Randomized property tests for the document model's public API.
+//!
+//! Originally `proptest` properties; now driven by the workspace's seeded
+//! `StreamRng` so the suite stays dependency-free and reproducible. Each
+//! property runs `CASES` independently seeded trials.
 
 use nod_mmdoc::prelude::*;
+use nod_simcore::StreamRng;
 use std::collections::HashMap;
 
-fn arb_color() -> impl Strategy<Value = ColorDepth> {
-    prop_oneof![
-        Just(ColorDepth::BlackWhite),
-        Just(ColorDepth::Grey),
-        Just(ColorDepth::Color),
-        Just(ColorDepth::SuperColor),
-    ]
-}
+const CASES: u64 = 128;
 
-fn arb_video() -> impl Strategy<Value = VideoQos> {
-    (arb_color(), 10u32..=1920, 1u32..=60).prop_map(|(color, px, fps)| VideoQos {
-        color,
-        resolution: Resolution::new(px),
-        frame_rate: FrameRate::new(fps),
+fn case_rngs(test_seed: u64) -> impl Iterator<Item = (u64, StreamRng)> {
+    (0..CASES).map(move |case| {
+        let seed = test_seed ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (seed, StreamRng::new(seed))
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_color(rng: &mut StreamRng) -> ColorDepth {
+    ColorDepth::ALL[rng.below(4) as usize]
+}
 
-    /// `meets` is a partial order: reflexive, antisymmetric (up to
-    /// equality), transitive.
-    #[test]
-    fn video_meets_is_a_partial_order(a in arb_video(), b in arb_video(), c in arb_video()) {
-        prop_assert!(a.meets(&a), "reflexivity");
+fn arb_video(rng: &mut StreamRng) -> VideoQos {
+    VideoQos {
+        color: arb_color(rng),
+        resolution: Resolution::new(rng.range_u64(10, 1920) as u32),
+        frame_rate: FrameRate::new(rng.range_u64(1, 60) as u32),
+    }
+}
+
+/// `meets` is a partial order: reflexive, antisymmetric (up to equality),
+/// transitive.
+#[test]
+fn video_meets_is_a_partial_order() {
+    for (seed, mut rng) in case_rngs(0x0A11) {
+        let a = arb_video(&mut rng);
+        let b = arb_video(&mut rng);
+        let c = arb_video(&mut rng);
+        assert!(a.meets(&a), "reflexivity (seed {seed})");
         if a.meets(&b) && b.meets(&a) {
-            prop_assert_eq!(a, b, "antisymmetry");
+            assert_eq!(a, b, "antisymmetry (seed {seed})");
         }
         if a.meets(&b) && b.meets(&c) {
-            prop_assert!(a.meets(&c), "transitivity");
+            assert!(a.meets(&c), "transitivity (seed {seed})");
         }
     }
+}
 
-    /// Variant bit-rate identities: max ≥ avg, duration consistent with
-    /// size and rate.
-    #[test]
-    fn variant_rate_identities(
-        avg in 100u64..100_000,
-        burst_x10 in 10u64..40,
-        fps in 1u32..60,
-        secs in 1u64..600
-    ) {
+/// Variant bit-rate identities: max ≥ avg, duration consistent with size
+/// and rate.
+#[test]
+fn variant_rate_identities() {
+    for (seed, mut rng) in case_rngs(0x0B17) {
+        let avg = rng.range_u64(100, 100_000);
+        let burst_x10 = rng.range_u64(10, 40);
+        let fps = rng.range_u64(1, 60) as u32;
+        let secs = rng.range_u64(1, 600);
         let max = avg * burst_x10 / 10;
         let v = Variant {
             id: VariantId(1),
@@ -62,17 +71,22 @@ proptest! {
             file_bytes: avg * fps as u64 * secs,
             server: ServerId(0),
         };
-        prop_assert!(v.validate().is_ok());
-        prop_assert!(v.max_bit_rate() >= v.avg_bit_rate());
-        prop_assert_eq!(v.avg_bit_rate(), avg * 8 * fps as u64);
-        prop_assert_eq!(v.duration_ms(), secs * 1_000);
-        prop_assert!(v.blocks.burstiness() >= 1.0);
+        assert!(v.validate().is_ok(), "seed {seed}");
+        assert!(v.max_bit_rate() >= v.avg_bit_rate(), "seed {seed}");
+        assert_eq!(v.avg_bit_rate(), avg * 8 * fps as u64, "seed {seed}");
+        assert_eq!(v.duration_ms(), secs * 1_000, "seed {seed}");
+        assert!(v.blocks.burstiness() >= 1.0, "seed {seed}");
     }
+}
 
-    /// Temporal schedules: every start is consistent with its constraint
-    /// and resolution is deterministic.
-    #[test]
-    fn schedule_respects_offsets(offsets in prop::collection::vec(0u64..60_000, 1..8)) {
+/// Temporal schedules: every start is consistent with its constraint and
+/// resolution is deterministic.
+#[test]
+fn schedule_respects_offsets() {
+    for (seed, mut rng) in case_rngs(0x5C8E) {
+        let offsets: Vec<u64> = (0..rng.range_u64(1, 7))
+            .map(|_| rng.below(60_000))
+            .collect();
         // A chain: mono 0 anchors at 0; mono i starts offsets[i-1] after
         // mono i-1 starts.
         let n = offsets.len() + 1;
@@ -96,36 +110,54 @@ proptest! {
         let doc = Document::multimedia(DocumentId(1), "chain", monos, constraints, vec![]);
         let s1 = doc.schedule().unwrap();
         let s2 = doc.schedule().unwrap();
-        prop_assert_eq!(&s1, &s2, "determinism");
+        assert_eq!(&s1, &s2, "determinism (seed {seed})");
         let mut expected = 0u64;
-        prop_assert_eq!(s1[&MonomediaId(1)], 0);
+        assert_eq!(s1[&MonomediaId(1)], 0, "seed {seed}");
         for (i, &off) in offsets.iter().enumerate() {
             expected += off;
-            prop_assert_eq!(s1[&MonomediaId(i as u64 + 2)], expected);
+            assert_eq!(s1[&MonomediaId(i as u64 + 2)], expected, "seed {seed}");
         }
         let total = doc.total_duration_ms().unwrap();
-        prop_assert_eq!(total, expected + 30_000);
+        assert_eq!(total, expected + 30_000, "seed {seed}");
     }
+}
 
-    /// Spatial overlap is symmetric and zero-area intersections don't
-    /// count.
-    #[test]
-    fn spatial_overlap_symmetry(
-        ax in 0u32..500, ay in 0u32..500, aw in 1u32..200, ah in 1u32..200,
-        bx in 0u32..500, by in 0u32..500, bw in 1u32..200, bh in 1u32..200
-    ) {
-        let a = SpatialRegion { monomedia: MonomediaId(1), x: ax, y: ay, width: aw, height: ah };
-        let b = SpatialRegion { monomedia: MonomediaId(2), x: bx, y: by, width: bw, height: bh };
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+/// Spatial overlap is symmetric and zero-area intersections don't count.
+#[test]
+fn spatial_overlap_symmetry() {
+    for (seed, mut rng) in case_rngs(0x0F1A) {
+        let (ax, ay) = (rng.below(500) as u32, rng.below(500) as u32);
+        let (aw, ah) = (rng.range_u64(1, 200) as u32, rng.range_u64(1, 200) as u32);
+        let (bx, by) = (rng.below(500) as u32, rng.below(500) as u32);
+        let (bw, bh) = (rng.range_u64(1, 200) as u32, rng.range_u64(1, 200) as u32);
+        let a = SpatialRegion {
+            monomedia: MonomediaId(1),
+            x: ax,
+            y: ay,
+            width: aw,
+            height: ah,
+        };
+        let b = SpatialRegion {
+            monomedia: MonomediaId(2),
+            x: bx,
+            y: by,
+            width: bw,
+            height: bh,
+        };
+        assert_eq!(a.overlaps(&b), b.overlaps(&a), "seed {seed}");
         // Agreement with the closed-form intersection area.
         let ix = (ax + aw).min(bx + bw).saturating_sub(ax.max(bx));
         let iy = (ay + ah).min(by + bh).saturating_sub(ay.max(by));
-        prop_assert_eq!(a.overlaps(&b), ix > 0 && iy > 0);
+        assert_eq!(a.overlaps(&b), ix > 0 && iy > 0, "seed {seed}");
     }
+}
 
-    /// Documents survive serde round trips.
-    #[test]
-    fn document_serde_round_trip(n in 1usize..5, secs in 1u64..300) {
+/// Documents survive JSON round trips.
+#[test]
+fn document_serde_round_trip() {
+    for (seed, mut rng) in case_rngs(0xD0C5) {
+        let n = rng.range_u64(1, 4) as usize;
+        let secs = rng.range_u64(1, 300);
         let monos: Vec<Monomedia> = (0..n)
             .map(|i| {
                 Monomedia::new(
@@ -137,9 +169,9 @@ proptest! {
             })
             .collect();
         let doc = Document::multimedia(DocumentId(7), "doc", monos, vec![], vec![]);
-        let json = serde_json::to_string(&doc).unwrap();
-        let back: Document = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(back, doc);
+        let json = nod_simcore::json::to_string(&doc);
+        let back: Document = nod_simcore::json::from_str(&json).unwrap();
+        assert_eq!(back, doc, "seed {seed}");
     }
 }
 

@@ -1,10 +1,12 @@
 //! The network service: reservation, metrics, congestion injection.
 
-use parking_lot::Mutex;
+use nod_simcore::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use nod_mmdoc::{ClientId, ServerId};
+use nod_obs::Recorder;
 
 use crate::routing::{route, RouteError};
 use crate::topology::{LinkId, NodeId, Topology};
@@ -86,6 +88,8 @@ pub struct Network {
     topo: Topology,
     state: Mutex<NetState>,
     next_id: AtomicU64,
+    /// Set-once observability hook; `None` keeps reservation allocation-free.
+    recorder: OnceLock<Recorder>,
 }
 
 impl Network {
@@ -95,7 +99,16 @@ impl Network {
             topo,
             state: Mutex::new(NetState::default()),
             next_id: AtomicU64::new(1),
+            recorder: OnceLock::new(),
         }
+    }
+
+    /// Attach an observability recorder (set-once; later calls are
+    /// ignored). Path reservations then count
+    /// `net.reservation{result=…}` — rejections carry a `reason` label —
+    /// and unroutable path lookups count `net.path.rejections`.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        let _ = self.recorder.set(recorder);
     }
 
     /// The underlying topology.
@@ -117,8 +130,15 @@ impl Network {
 
     /// The route a client↔server stream would take.
     pub fn path(&self, client: ClientId, server: ServerId) -> Result<Vec<LinkId>, NetError> {
-        let (c, s) = self.endpoints(client, server)?;
-        route(&self.topo, s, c).map_err(NetError::Unreachable)
+        let result = self
+            .endpoints(client, server)
+            .and_then(|(c, s)| route(&self.topo, s, c).map_err(NetError::Unreachable));
+        if result.is_err() {
+            if let Some(rec) = self.recorder.get() {
+                rec.counter("net.path.rejections", 1);
+            }
+        }
+        result
     }
 
     fn link_capacity(&self, st: &NetState, link: LinkId) -> u64 {
@@ -127,7 +147,11 @@ impl Network {
     }
 
     /// Metrics along the current route at current load.
-    pub fn path_metrics(&self, client: ClientId, server: ServerId) -> Result<PathMetrics, NetError> {
+    pub fn path_metrics(
+        &self,
+        client: ClientId,
+        server: ServerId,
+    ) -> Result<PathMetrics, NetError> {
         let links = self.path(client, server)?;
         let st = self.state.lock();
         let mut delay = 0u64;
@@ -180,17 +204,29 @@ impl Network {
         server: ServerId,
         bps: u64,
     ) -> Result<NetReservationId, NetError> {
-        let links = self.path(client, server)?;
+        if let Some(rec) = self.recorder.get() {
+            rec.counter("net.reservation.attempts", 1);
+        }
+        let links = match self.path(client, server) {
+            Ok(links) => links,
+            Err(e) => {
+                self.count_rejection(&e);
+                return Err(e);
+            }
+        };
         let mut st = self.state.lock();
         for &l in &links {
             let cap = self.link_capacity(&st, l);
             let used = st.reserved_bps.get(&l).copied().unwrap_or(0);
             if used + bps > cap {
-                return Err(NetError::InsufficientBandwidth {
+                let err = NetError::InsufficientBandwidth {
                     link: l,
                     available_bps: cap.saturating_sub(used),
                     requested_bps: bps,
-                });
+                };
+                drop(st);
+                self.count_rejection(&err);
+                return Err(err);
             }
         }
         for &l in &links {
@@ -198,7 +234,26 @@ impl Network {
         }
         let id = NetReservationId(self.next_id.fetch_add(1, Ordering::Relaxed));
         st.reservations.insert(id, (links, bps));
+        if let Some(rec) = self.recorder.get() {
+            rec.counter_with("net.reservation", &[("result", "accepted")], 1);
+        }
         Ok(id)
+    }
+
+    fn count_rejection(&self, err: &NetError) {
+        if let Some(rec) = self.recorder.get() {
+            let reason = match err {
+                NetError::UnknownClient(_) => "unknown_client",
+                NetError::UnknownServer(_) => "unknown_server",
+                NetError::Unreachable(_) => "unreachable",
+                NetError::InsufficientBandwidth { .. } => "bandwidth",
+            };
+            rec.counter_with(
+                "net.reservation",
+                &[("result", "rejected"), ("reason", reason)],
+                1,
+            );
+        }
     }
 
     /// Release a reservation (idempotent).
@@ -279,7 +334,9 @@ mod tests {
     #[test]
     fn reserve_release_cycle() {
         let net = dumbbell();
-        let r = net.try_reserve(ClientId(0), ServerId(0), 4_000_000).unwrap();
+        let r = net
+            .try_reserve(ClientId(0), ServerId(0), 4_000_000)
+            .unwrap();
         let m = net.path_metrics(ClientId(0), ServerId(0)).unwrap();
         assert_eq!(m.bottleneck_available_bps, 6_000_000);
         assert!(m.max_utilization > 0.35);
@@ -293,7 +350,8 @@ mod tests {
     #[test]
     fn access_link_saturates_first() {
         let net = dumbbell();
-        net.try_reserve(ClientId(0), ServerId(0), 8_000_000).unwrap();
+        net.try_reserve(ClientId(0), ServerId(0), 8_000_000)
+            .unwrap();
         let err = net
             .try_reserve(ClientId(0), ServerId(0), 4_000_000)
             .unwrap_err();
@@ -317,14 +375,17 @@ mod tests {
         let net = dumbbell();
         // Fill the backbone-but-not-access case: impossible here, so instead
         // verify a failed reservation does not partially reserve.
-        net.try_reserve(ClientId(0), ServerId(0), 9_000_000).unwrap();
+        net.try_reserve(ClientId(0), ServerId(0), 9_000_000)
+            .unwrap();
         let before: Vec<f64> = net
             .topology()
             .link_ids()
             .iter()
             .map(|&l| net.link_utilization(l))
             .collect();
-        assert!(net.try_reserve(ClientId(0), ServerId(0), 5_000_000).is_err());
+        assert!(net
+            .try_reserve(ClientId(0), ServerId(0), 5_000_000)
+            .is_err());
         let after: Vec<f64> = net
             .topology()
             .link_ids()
@@ -350,8 +411,12 @@ mod tests {
     #[test]
     fn congestion_violates_crossing_flows() {
         let net = dumbbell();
-        let r0 = net.try_reserve(ClientId(0), ServerId(0), 6_000_000).unwrap();
-        let _r1 = net.try_reserve(ClientId(1), ServerId(0), 6_000_000).unwrap();
+        let r0 = net
+            .try_reserve(ClientId(0), ServerId(0), 6_000_000)
+            .unwrap();
+        let _r1 = net
+            .try_reserve(ClientId(1), ServerId(0), 6_000_000)
+            .unwrap();
         assert!(net.violated_reservations().is_empty());
         // Degrade client 0's access link (the first client access link).
         let access0 = net.path(ClientId(0), ServerId(0)).unwrap()[2];
@@ -366,7 +431,8 @@ mod tests {
     fn jitter_and_loss_grow_with_load() {
         let net = dumbbell();
         let idle = net.path_metrics(ClientId(0), ServerId(0)).unwrap();
-        net.try_reserve(ClientId(0), ServerId(0), 9_500_000).unwrap();
+        net.try_reserve(ClientId(0), ServerId(0), 9_500_000)
+            .unwrap();
         let busy = net.path_metrics(ClientId(0), ServerId(0)).unwrap();
         assert!(busy.jitter_us > idle.jitter_us);
         assert!(busy.loss_rate > idle.loss_rate);

@@ -78,7 +78,10 @@ pub fn route(topo: &Topology, from: NodeId, to: NodeId) -> Result<Vec<LinkId>, R
         if node == to {
             break;
         }
-        if best.get(&node).is_some_and(|&(d, h)| (d, h) < (delay_us, hops)) {
+        if best
+            .get(&node)
+            .is_some_and(|&(d, h)| (d, h) < (delay_us, hops))
+        {
             continue;
         }
         let mut incident = topo.incident(node).to_vec();

@@ -314,10 +314,8 @@ mod tests {
             }
         }
         // Upstream links are fatter than access links.
-        let access = t
-            .incident(t.client_node(ClientId(0)).unwrap())[0];
-        let trunk = t
-            .incident(t.server_node(ServerId(0)).unwrap())[0];
+        let access = t.incident(t.client_node(ClientId(0)).unwrap())[0];
+        let trunk = t.incident(t.server_node(ServerId(0)).unwrap())[0];
         assert!(t.link(trunk).unwrap().capacity_bps > t.link(access).unwrap().capacity_bps);
     }
 

@@ -1,0 +1,95 @@
+//! Observability for the negotiation pipeline.
+//!
+//! The paper's negotiation procedure is a six-stage pipeline (local
+//! negotiation → compatibility pruning → classification-parameter
+//! computation → offer ordering → resource commitment → user confirmation).
+//! This crate makes that pipeline visible: a [`Recorder`] accumulates named
+//! counters, gauges and value histograms (with labels, e.g.
+//! `negotiation.outcome{status=FAILEDWITHOFFER}`), times pipeline stages
+//! with lightweight [`Span`]s, streams structured events to an [`ObsSink`]
+//! as JSON lines, and exports the whole state as a diffable [`Snapshot`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero dependencies** — built on `nod-simcore`'s stats and JSON
+//!    layers only, so every crate in the workspace can afford to link it.
+//! 2. **Free when absent** — instrumented code holds an
+//!    `Option<&Recorder>` / `Option<Recorder>`; the disabled path is a
+//!    `None` check, no allocation, no locking.
+//! 3. **Panic-free boundary** — the underlying
+//!    [`OnlineStats::push`](nod_simcore::OnlineStats::push) asserts finite
+//!    input; the recorder instead *drops* non-finite samples and counts
+//!    them under `obs.dropped_samples` so a NaN produced mid-negotiation
+//!    degrades a metric rather than aborting the session.
+//! 4. **Deterministic** — histogram reservoirs are seeded from the metric
+//!    key, and spans can be timed by the simulation clock
+//!    ([`Recorder::set_sim_time_us`]) so traces from a seeded experiment
+//!    are reproducible bit-for-bit.
+//!
+//! # Quick example
+//!
+//! ```
+//! use nod_obs::{MemorySink, Recorder};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! let rec = Recorder::with_sink(sink.clone());
+//! rec.counter_with("negotiation.outcome", &[("status", "SUCCEEDED")], 1);
+//! {
+//!     let span = rec.span("negotiate");
+//!     let _child = span.child("enumerate");
+//! } // spans record `span.<name>.ms` histograms as they end
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counter("negotiation.outcome{status=SUCCEEDED}"), 1);
+//! assert!(snap.histograms.contains_key("span.enumerate.ms"));
+//! assert_eq!(sink.events().len(), 7); // counter + 2×(start, end, observe)
+//! ```
+
+mod recorder;
+mod sink;
+mod snapshot;
+
+pub use recorder::{Recorder, Span};
+pub use sink::{FileSink, MemorySink, ObsEvent, ObsSink, StderrSink};
+pub use snapshot::{HistogramSnapshot, Snapshot};
+
+/// Counter incremented (with a `metric` label) whenever a non-finite sample
+/// is dropped at the recorder boundary.
+pub const DROPPED_SAMPLES: &str = "obs.dropped_samples";
+
+/// Flatten a metric name and label set into the canonical storage key.
+///
+/// Labels are sorted by key so call-site order never splits a metric:
+/// `negotiation.outcome{status=SUCCEEDED}`.
+pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort();
+    let mut out = String::with_capacity(name.len() + 16);
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_key_sorts_labels() {
+        assert_eq!(metric_key("a.b", &[]), "a.b");
+        assert_eq!(metric_key("a.b", &[("z", "1"), ("a", "2")]), "a.b{a=2,z=1}");
+        assert_eq!(metric_key("a.b", &[("a", "2"), ("z", "1")]), "a.b{a=2,z=1}");
+    }
+}

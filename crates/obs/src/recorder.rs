@@ -1,0 +1,447 @@
+//! The metric recorder and its span handles.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use nod_simcore::rng::SplitMix64;
+use nod_simcore::sync::Mutex;
+use nod_simcore::OnlineStats;
+
+use crate::sink::{ObsEvent, ObsSink};
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use crate::{metric_key, DROPPED_SAMPLES};
+
+/// Cap on retained samples per histogram; beyond it a deterministic
+/// reservoir (algorithm R, seeded from the metric key) keeps a uniform
+/// subsample for percentile estimation while the Welford moments stay
+/// exact over the full stream.
+const RESERVOIR_CAP: usize = 4096;
+
+#[derive(Debug)]
+pub(crate) struct HistState {
+    pub(crate) stats: OnlineStats,
+    pub(crate) samples: Vec<f64>,
+    seen: u64,
+    rng: SplitMix64,
+}
+
+impl HistState {
+    fn new(key: &str) -> Self {
+        // FNV-1a over the key: any fixed, stable seed works; keying it to
+        // the metric name decorrelates reservoirs across metrics.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        HistState {
+            stats: OnlineStats::new(),
+            samples: Vec::new(),
+            seen: 0,
+            rng: SplitMix64::new(h),
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.stats.push(x);
+        self.seen += 1;
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(x);
+        } else {
+            let j = self.rng.next_below(self.seen);
+            if (j as usize) < RESERVOIR_CAP {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: std::collections::BTreeMap<String, u64>,
+    gauges: std::collections::BTreeMap<String, f64>,
+    hists: std::collections::BTreeMap<String, HistState>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    sink: Option<Arc<dyn ObsSink>>,
+    span_ids: AtomicU64,
+    epoch: Instant,
+    sim_time_us: AtomicU64,
+    use_sim_clock: AtomicBool,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("state", &self.state)
+            .field("sink", &self.sink.as_ref().map(|_| "<sink>"))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A shared handle to a metric store plus an optional event sink.
+///
+/// `Recorder` is an `Arc` internally: clone it freely, hand clones to every
+/// subsystem, and read one merged [`Snapshot`] at the end. All methods take
+/// `&self` and are thread-safe.
+///
+/// Instrumented code should hold an `Option<Recorder>` (or
+/// `Option<&Recorder>` in `Copy` contexts) so that the disabled
+/// configuration costs a branch and nothing else.
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    shared: Arc<Shared>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder with no event sink (metrics only).
+    pub fn new() -> Self {
+        Recorder::build(None)
+    }
+
+    /// A recorder that also streams every event to `sink`.
+    pub fn with_sink(sink: Arc<dyn ObsSink>) -> Self {
+        Recorder::build(Some(sink))
+    }
+
+    fn build(sink: Option<Arc<dyn ObsSink>>) -> Self {
+        Recorder {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State::default()),
+                sink,
+                span_ids: AtomicU64::new(1),
+                epoch: Instant::now(),
+                sim_time_us: AtomicU64::new(0),
+                use_sim_clock: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Drive span timing from the simulation clock instead of wall time.
+    ///
+    /// Harnesses call this as their event loop advances; once called, all
+    /// subsequent timestamps come from the most recent value, making traces
+    /// of seeded experiments reproducible.
+    pub fn set_sim_time_us(&self, t_us: u64) {
+        self.shared.sim_time_us.store(t_us, Ordering::Relaxed);
+        self.shared.use_sim_clock.store(true, Ordering::Relaxed);
+    }
+
+    /// Current timestamp in microseconds (sim clock if set, else wall time
+    /// since the recorder was created).
+    pub fn now_us(&self) -> u64 {
+        if self.shared.use_sim_clock.load(Ordering::Relaxed) {
+            self.shared.sim_time_us.load(Ordering::Relaxed)
+        } else {
+            self.shared.epoch.elapsed().as_micros() as u64
+        }
+    }
+
+    fn emit(&self, event: ObsEvent) {
+        if let Some(sink) = &self.shared.sink {
+            sink.emit(&event);
+        }
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn counter(&self, name: &str, delta: u64) {
+        self.counter_with(name, &[], delta);
+    }
+
+    /// Add `delta` to the counter `name` with labels.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let key = metric_key(name, labels);
+        *self
+            .shared
+            .state
+            .lock()
+            .counters
+            .entry(key.clone())
+            .or_insert(0) += delta;
+        self.emit(ObsEvent::counter(self.now_us(), key, delta));
+    }
+
+    /// Set the gauge `name` to `value`. Non-finite values are dropped and
+    /// counted under `obs.dropped_samples`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.gauge_with(name, &[], value);
+    }
+
+    /// Set a labelled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if self.drop_non_finite(name, value) {
+            return;
+        }
+        let key = metric_key(name, labels);
+        self.shared.state.lock().gauges.insert(key.clone(), value);
+        self.emit(ObsEvent::gauge(self.now_us(), key, value));
+    }
+
+    /// Record `value` into the histogram `name`. Non-finite values are
+    /// dropped and counted under `obs.dropped_samples`.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_with(name, &[], value);
+    }
+
+    /// Record a labelled histogram sample.
+    pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if self.drop_non_finite(name, value) {
+            return;
+        }
+        let key = metric_key(name, labels);
+        self.shared
+            .state
+            .lock()
+            .hists
+            .entry(key.clone())
+            .or_insert_with(|| HistState::new(&key))
+            .push(value);
+        self.emit(ObsEvent::observe(self.now_us(), key, value));
+    }
+
+    /// True (and counted) when `value` cannot enter the stats layer.
+    fn drop_non_finite(&self, name: &str, value: f64) -> bool {
+        if value.is_finite() {
+            return false;
+        }
+        let key = metric_key(DROPPED_SAMPLES, &[("metric", name)]);
+        *self
+            .shared
+            .state
+            .lock()
+            .counters
+            .entry(key.clone())
+            .or_insert(0) += 1;
+        self.emit(ObsEvent::counter(self.now_us(), key, 1));
+        true
+    }
+
+    /// Open a root span. The span records `span.<name>.ms` when it ends
+    /// (on drop or [`Span::end`]) and emits start/end events to the sink.
+    pub fn span(&self, name: &str) -> Span {
+        self.span_with_parent(name, 0)
+    }
+
+    fn span_with_parent(&self, name: &str, parent: u64) -> Span {
+        let id = self.shared.span_ids.fetch_add(1, Ordering::Relaxed);
+        let start_us = self.now_us();
+        self.emit(ObsEvent::span_start(start_us, name.to_string(), id, parent));
+        Span {
+            rec: self.clone(),
+            name: name.to_string(),
+            id,
+            parent,
+            start_us,
+            ended: false,
+        }
+    }
+
+    /// Snapshot the full metric state (counters, gauges, histogram
+    /// summaries). Cheap enough to call between experiment phases.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut state = self.shared.state.lock();
+        let counters = state.counters.clone();
+        let gauges = state.gauges.clone();
+        let histograms = state
+            .hists
+            .iter_mut()
+            .map(|(k, h)| (k.clone(), HistogramSnapshot::from_state(h)))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Flush the sink, if any (no-op for in-memory and stderr sinks).
+    pub fn flush(&self) {
+        if let Some(sink) = &self.shared.sink {
+            sink.flush();
+        }
+    }
+}
+
+/// A timed region of the pipeline.
+///
+/// Spans nest by explicit parenting — [`Span::child`] — rather than
+/// thread-local ambient context, so traces stay deterministic when stages
+/// fan out across worker threads. Ending is idempotent: `end()` consumes
+/// the span, and dropping an un-ended span ends it.
+#[derive(Debug)]
+pub struct Span {
+    rec: Recorder,
+    name: String,
+    id: u64,
+    parent: u64,
+    start_us: u64,
+    ended: bool,
+}
+
+impl Span {
+    /// This span's id (appears in sink events as `span`).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The parent span id (0 for root spans).
+    pub fn parent(&self) -> u64 {
+        self.parent
+    }
+
+    /// Open a child span.
+    pub fn child(&self, name: &str) -> Span {
+        self.rec.span_with_parent(name, self.id)
+    }
+
+    /// End the span now (otherwise it ends on drop).
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        let end_us = self.rec.now_us();
+        let elapsed_ms = end_us.saturating_sub(self.start_us) as f64 / 1_000.0;
+        self.rec
+            .observe(&format!("span.{}.ms", self.name), elapsed_ms);
+        self.rec.emit(ObsEvent::span_end(
+            end_us,
+            self.name.clone(),
+            self.id,
+            self.parent,
+            elapsed_ms,
+        ));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySink;
+
+    #[test]
+    fn counters_accumulate_per_label() {
+        let rec = Recorder::new();
+        rec.counter("req", 1);
+        rec.counter("req", 2);
+        rec.counter_with("req", &[("status", "ok")], 5);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("req"), 3);
+        assert_eq!(snap.counter("req{status=ok}"), 5);
+        assert_eq!(snap.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let rec = Recorder::new();
+        rec.gauge("depth", 3.0);
+        rec.gauge("depth", 7.5);
+        assert_eq!(rec.snapshot().gauges.get("depth"), Some(&7.5));
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let rec = Recorder::new();
+        for x in 1..=100 {
+            rec.observe("lat", x as f64);
+        }
+        let snap = rec.snapshot();
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.count, 100);
+        assert!((h.mean - 50.5).abs() < 1e-9);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert!((h.p50 - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_and_counted() {
+        let rec = Recorder::new();
+        rec.observe("lat", f64::NAN);
+        rec.observe("lat", f64::INFINITY);
+        rec.observe("lat", 1.0);
+        rec.gauge("g", f64::NEG_INFINITY);
+        let snap = rec.snapshot();
+        assert_eq!(snap.histograms["lat"].count, 1);
+        assert_eq!(snap.counter("obs.dropped_samples{metric=lat}"), 2);
+        assert_eq!(snap.counter("obs.dropped_samples{metric=g}"), 1);
+        assert!(!snap.gauges.contains_key("g"));
+    }
+
+    #[test]
+    fn reservoir_caps_retained_samples() {
+        let rec = Recorder::new();
+        for x in 0..20_000 {
+            rec.observe("big", x as f64);
+        }
+        let snap = rec.snapshot();
+        let h = &snap.histograms["big"];
+        assert_eq!(h.count, 20_000);
+        // Percentiles come from the reservoir: still roughly uniform.
+        assert!(h.p50 > 5_000.0 && h.p50 < 15_000.0, "p50={}", h.p50);
+    }
+
+    #[test]
+    fn span_nesting_and_timing() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = Recorder::with_sink(sink.clone());
+        rec.set_sim_time_us(1_000);
+        let root = rec.span("negotiate");
+        rec.set_sim_time_us(2_000);
+        let child = root.child("enumerate");
+        assert_eq!(child.parent(), root.id());
+        rec.set_sim_time_us(5_000);
+        child.end();
+        rec.set_sim_time_us(9_000);
+        root.end();
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.histograms["span.enumerate.ms"].mean, 3.0);
+        assert_eq!(snap.histograms["span.negotiate.ms"].mean, 8.0);
+
+        let kinds: Vec<(String, String)> = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind.starts_with("span"))
+            .map(|e| (e.kind.clone(), e.name.clone()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("span_start".into(), "negotiate".into()),
+                ("span_start".into(), "enumerate".into()),
+                ("span_end".into(), "enumerate".into()),
+                ("span_end".into(), "negotiate".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn dropped_span_still_records() {
+        let rec = Recorder::new();
+        rec.set_sim_time_us(0);
+        {
+            let _span = rec.span("scope");
+            rec.set_sim_time_us(500);
+        }
+        assert_eq!(rec.snapshot().histograms["span.scope.ms"].count, 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Point-in-time export of the recorder state.
+
+use std::collections::BTreeMap;
+
+use nod_simcore::json::{from_str, to_string_pretty, JsonError};
+use nod_simcore::json_struct;
+
+use crate::recorder::HistState;
+
+/// Summary of one value/latency histogram.
+///
+/// Moments (`count`, `mean`, `m2`, `min`, `max`) are exact over the full
+/// sample stream; percentiles are exact up to the reservoir cap and a
+/// uniform-subsample estimate beyond it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Welford second central moment (Σ(x−mean)²); kept so snapshots merge
+    /// exactly.
+    pub m2: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+json_struct!(HistogramSnapshot {
+    count,
+    mean,
+    m2,
+    min,
+    max,
+    p50,
+    p90,
+    p99
+});
+
+impl HistogramSnapshot {
+    pub(crate) fn from_state(h: &mut HistState) -> Self {
+        let n = h.stats.count();
+        let m2 = if n < 2 {
+            0.0
+        } else {
+            h.stats.variance() * (n - 1) as f64
+        };
+        let mut sorted = h.samples.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("recorder drops NaN"));
+        let q = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        };
+        HistogramSnapshot {
+            count: n,
+            mean: h.stats.mean(),
+            m2,
+            min: h.stats.min().unwrap_or(0.0),
+            max: h.stats.max().unwrap_or(0.0),
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+        }
+    }
+
+    /// Sample standard deviation (unbiased).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Merge `other` into `self` (Chan's parallel moment update).
+    ///
+    /// Moments merge exactly; percentiles are approximated by the
+    /// count-weighted average of the two sides (a snapshot does not retain
+    /// raw samples).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let total = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.p50 = (self.p50 * n1 + other.p50 * n2) / total;
+        self.p90 = (self.p90 * n1 + other.p90 * n2) / total;
+        self.p99 = (self.p99 * n1 + other.p99 * n2) / total;
+    }
+}
+
+/// The full state of a [`crate::Recorder`] at one instant, as plain data.
+///
+/// Snapshots serialize to JSON ([`Snapshot::to_json_pretty`]) so experiment
+/// runs can persist their metrics next to their tables, and two snapshots
+/// can be diffed ([`Snapshot::counter_deltas`]) or merged
+/// ([`Snapshot::merge`], e.g. across parallel shards).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotone counters keyed by flattened metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+json_struct!(Snapshot {
+    counters,
+    gauges,
+    histograms
+});
+
+impl Snapshot {
+    /// Value of a counter, 0 when absent.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose key starts with `prefix` — e.g.
+    /// `negotiation.outcome{` sums over every status label.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Serialize with indentation.
+    pub fn to_json_pretty(&self) -> String {
+        to_string_pretty(self)
+    }
+
+    /// Parse a snapshot serialized by [`Snapshot::to_json_pretty`].
+    pub fn from_json_str(s: &str) -> Result<Self, JsonError> {
+        from_str(s)
+    }
+
+    /// Merge `other` into `self`: counters add, gauges take `other`'s
+    /// value, histograms merge by [`HistogramSnapshot::merge`].
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .and_modify(|mine| mine.merge(h))
+                .or_insert_with(|| h.clone());
+        }
+    }
+
+    /// Per-counter difference `self - other` (signed), for run-to-run
+    /// comparisons. Keys present in either side appear in the result.
+    pub fn counter_deltas(&self, other: &Snapshot) -> BTreeMap<String, i64> {
+        let mut keys: Vec<&String> = self.counters.keys().collect();
+        keys.extend(other.counters.keys());
+        keys.sort();
+        keys.dedup();
+        keys.into_iter()
+            .map(|k| {
+                let d = self.counter(k) as i64 - other.counter(k) as i64;
+                (k.clone(), d)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use nod_simcore::{Json, StreamRng};
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let rec = Recorder::new();
+        rec.counter_with("negotiation.outcome", &[("status", "SUCCEEDED")], 4);
+        rec.gauge("load", 0.75);
+        for x in [1.0, 2.0, 3.0] {
+            rec.observe("span.enumerate.ms", x);
+        }
+        let snap = rec.snapshot();
+        let text = snap.to_json_pretty();
+        let back = Snapshot::from_json_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let rec = Recorder::new();
+        rec.counter("c", 1);
+        rec.observe("h", 2.0);
+        let json: Json = nod_simcore::json::parse(&rec.snapshot().to_json_pretty()).unwrap();
+        assert_eq!(
+            json.field("counters").unwrap().field("c").unwrap(),
+            &Json::Num(nod_simcore::json::Num::U(1))
+        );
+        let h = json.field("histograms").unwrap().field("h").unwrap();
+        for key in ["count", "mean", "min", "max", "p50", "p90", "p99"] {
+            assert!(h.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn counter_sum_over_labels() {
+        let rec = Recorder::new();
+        rec.counter_with("o", &[("status", "A")], 2);
+        rec.counter_with("o", &[("status", "B")], 3);
+        rec.counter("other", 9);
+        assert_eq!(rec.snapshot().counter_sum("o{"), 5);
+    }
+
+    #[test]
+    fn counter_deltas_signed() {
+        let rec_a = Recorder::new();
+        rec_a.counter("x", 5);
+        rec_a.counter("only_a", 1);
+        let rec_b = Recorder::new();
+        rec_b.counter("x", 2);
+        rec_b.counter("only_b", 4);
+        let d = rec_a.snapshot().counter_deltas(&rec_b.snapshot());
+        assert_eq!(d["x"], 3);
+        assert_eq!(d["only_a"], 1);
+        assert_eq!(d["only_b"], -4);
+    }
+
+    /// Randomized merge property: merging two snapshots matches recording
+    /// the union of samples (counters exactly; histogram moments to float
+    /// tolerance). Originally a proptest; now driven by seeded StreamRng.
+    #[test]
+    fn merge_equals_union() {
+        for case in 0..64u64 {
+            let mut rng = StreamRng::new(0xD1FF ^ case);
+            let rec_a = Recorder::new();
+            let rec_b = Recorder::new();
+            let rec_union = Recorder::new();
+            let names = ["lat", "sns", "slack"];
+            for _ in 0..rng.range_u64(1, 200) {
+                let name = names[rng.below(names.len() as u64) as usize];
+                let to_a = rng.chance(0.5);
+                let x = rng.range_f64(-100.0, 100.0);
+                if rng.chance(0.3) {
+                    let side = if to_a { &rec_a } else { &rec_b };
+                    side.counter(name, 1);
+                    rec_union.counter(name, 1);
+                } else {
+                    let side = if to_a { &rec_a } else { &rec_b };
+                    side.observe(name, x);
+                    rec_union.observe(name, x);
+                }
+            }
+            let mut merged = rec_a.snapshot();
+            merged.merge(&rec_b.snapshot());
+            let union = rec_union.snapshot();
+            assert_eq!(merged.counters, union.counters, "case {case}");
+            assert_eq!(
+                merged.histograms.keys().collect::<Vec<_>>(),
+                union.histograms.keys().collect::<Vec<_>>(),
+                "case {case}"
+            );
+            for (k, m) in &merged.histograms {
+                let u = &union.histograms[k];
+                assert_eq!(m.count, u.count, "case {case} {k}");
+                assert!((m.mean - u.mean).abs() < 1e-9, "case {case} {k}");
+                assert!((m.m2 - u.m2).abs() < 1e-6, "case {case} {k}");
+                assert_eq!(m.min, u.min, "case {case} {k}");
+                assert_eq!(m.max, u.max, "case {case} {k}");
+            }
+        }
+    }
+}

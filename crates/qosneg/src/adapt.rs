@@ -142,6 +142,7 @@ mod tests {
             enumeration_cap: 200_000,
             jitter_buffer_ms: 2_000,
             prune_dominated: false,
+            recorder: None,
         }
     }
 
@@ -172,9 +173,10 @@ mod tests {
         // A dead server admits nothing: a switch can only land on an offer
         // avoiding the victim everywhere; and if no such offer exists the
         // adaptation must fail.
-        let avoiding_exists = out.ordered_offers.iter().enumerate().any(|(i, s)| {
-            i != idx && s.offer.variants.iter().all(|v| v.server != victim_server)
-        });
+        let avoiding_exists =
+            out.ordered_offers.iter().enumerate().any(|(i, s)| {
+                i != idx && s.offer.variants.iter().all(|v| v.server != victim_server)
+            });
         if !avoiding_exists {
             assert!(!adapted.switched());
         }

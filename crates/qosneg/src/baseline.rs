@@ -185,9 +185,7 @@ pub fn negotiate_per_monomedia(
         let offers: Vec<SystemOffer> = variants
             .iter()
             .map(|v| {
-                let (net, ser) = ctx
-                    .cost_model
-                    .monomedia_cost(v, durs[mono], ctx.guarantee);
+                let (net, ser) = ctx.cost_model.monomedia_cost(v, durs[mono], ctx.guarantee);
                 SystemOffer {
                     variants: vec![(*v).clone()],
                     cost: net + ser,
@@ -227,8 +225,8 @@ pub fn negotiate_per_monomedia(
         .iter()
         .flat_map(|(s, _)| s.offer.variants.clone())
         .collect();
-    let cost: Money = ctx.cost_model.copyright
-        + committed.iter().map(|(s, _)| s.offer.cost).sum::<Money>();
+    let cost: Money =
+        ctx.cost_model.copyright + committed.iter().map(|(s, _)| s.offer.cost).sum::<Money>();
     let reservation = SessionReservation {
         servers: committed
             .iter()
@@ -306,6 +304,7 @@ mod tests {
             enumeration_cap: 200_000,
             jitter_buffer_ms: 2_000,
             prune_dominated: false,
+            recorder: None,
         }
     }
 
@@ -313,9 +312,8 @@ mod tests {
     fn first_fit_commits_a_single_offer() {
         let w = world(31);
         let client = ClientMachine::era_workstation(ClientId(0));
-        let out =
-            negotiate_static_first_fit(&ctx(&w), &client, DocumentId(1), &tv_news_profile())
-                .unwrap();
+        let out = negotiate_static_first_fit(&ctx(&w), &client, DocumentId(1), &tv_news_profile())
+            .unwrap();
         assert_eq!(out.trace.offers_enumerated, 1);
         assert_eq!(out.trace.reservation_attempts, 1);
         assert_eq!(out.ordered_offers.len(), 1);
@@ -368,8 +366,7 @@ mod tests {
         let w = world(32);
         let client = ClientMachine::era_workstation(ClientId(0));
         let out =
-            negotiate_per_monomedia(&ctx(&w), &client, DocumentId(1), &tv_news_profile())
-                .unwrap();
+            negotiate_per_monomedia(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
         assert!(matches!(
             out.status,
             NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer
@@ -390,8 +387,7 @@ mod tests {
             w.farm.server(s).unwrap().set_health(0.0);
         }
         let out =
-            negotiate_per_monomedia(&ctx(&w), &client, DocumentId(1), &tv_news_profile())
-                .unwrap();
+            negotiate_per_monomedia(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
         assert_eq!(out.status, NegotiationStatus::FailedTryLater);
         assert_eq!(w.network.active_reservations(), 0, "leaked reservations");
     }
@@ -417,8 +413,7 @@ mod tests {
             if let Some(r) = &atomic.reservation {
                 r.release(&w.farm, &w.network);
             }
-            let per =
-                negotiate_per_monomedia(&ctx(&w), &client, DocumentId(1), &profile).unwrap();
+            let per = negotiate_per_monomedia(&ctx(&w), &client, DocumentId(1), &profile).unwrap();
             if let Some(offer) = per.user_offer {
                 if offer.cost > profile.max_cost {
                     overshoots += 1;

@@ -14,7 +14,7 @@
 //! setting (3) example implicitly uses (see EXPERIMENTS.md, E4).
 //!
 //! Classification of large offer sets is embarrassingly parallel in
-//! principle; [`score_all_parallel`] fans out over [`crossbeam::scope`]
+//! principle; [`score_all_parallel`] fans out over [`std::thread::scope`]
 //! worker chunks. In practice the per-offer scoring kernel is ~50 ns
 //! (bench B1) — far too cheap to amortize thread spawn at any realistic
 //! offer count (bench B5 measures the sequential path 2–3× faster at
@@ -23,14 +23,13 @@
 //! genuinely expensive (custom importance models).
 
 use nod_mmdoc::MediaQos;
-use serde::{Deserialize, Serialize};
 
 use crate::offer::SystemOffer;
 use crate::profile::UserProfile;
 use crate::sns::{compute_sns, satisfies_request, StaticNegotiationStatus};
 
 /// How to order the feasible offers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClassificationStrategy {
     /// The paper's rule: SNS primary, OIF secondary (descending).
     SnsThenOif,
@@ -42,6 +41,13 @@ pub enum ClassificationStrategy {
     /// Highest QoS importance first — the "only QoS" strawman of §5.
     QosOnly,
 }
+
+nod_simcore::json_unit_enum!(ClassificationStrategy {
+    SnsThenOif,
+    OifOnly,
+    CostOnly,
+    QosOnly
+});
 
 /// A system offer with its classification parameters (step 3 output).
 #[derive(Debug, Clone, PartialEq)]
@@ -83,9 +89,8 @@ fn sort_key_cmp(
     b: &ScoredOffer,
 ) -> std::cmp::Ordering {
     use std::cmp::Ordering;
-    let by_oif = |x: &ScoredOffer, y: &ScoredOffer| {
-        y.oif.partial_cmp(&x.oif).unwrap_or(Ordering::Equal)
-    };
+    let by_oif =
+        |x: &ScoredOffer, y: &ScoredOffer| y.oif.partial_cmp(&x.oif).unwrap_or(Ordering::Equal);
     match strategy {
         ClassificationStrategy::SnsThenOif => a.sns.cmp(&b.sns).then_with(|| by_oif(a, b)),
         ClassificationStrategy::OifOnly => by_oif(a, b),
@@ -118,7 +123,7 @@ pub fn score_all(offers: Vec<SystemOffer>, profile: &UserProfile) -> Vec<ScoredO
         .collect()
 }
 
-/// Score offers across worker threads (chunked [`crossbeam::scope`]
+/// Score offers across worker threads (chunked [`std::thread::scope`]
 /// fan-out). Produces exactly the same result as [`score_all`]; only worth
 /// it when per-offer scoring is much more expensive than the built-in
 /// kernel — measure before switching (bench B5).
@@ -132,17 +137,18 @@ pub fn score_all_parallel(offers: Vec<SystemOffer>, profile: &UserProfile) -> Ve
         .min(16);
     let chunk = offers.len().div_ceil(workers);
     let mut out: Vec<Option<ScoredOffer>> = vec![None; offers.len()];
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (offers_chunk, out_chunk) in offers.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (o, slot) in offers_chunk.iter().zip(out_chunk.iter_mut()) {
                     *slot = Some(ScoredOffer::score(o.clone(), profile));
                 }
             });
         }
-    })
-    .expect("classification worker panicked");
-    out.into_iter().map(|s| s.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
 }
 
 /// Convenience for reservation (step 5): indices of offers that satisfy the
@@ -275,7 +281,10 @@ mod tests {
         let mut offers = paper_offers();
         offers[3].cost = Money::from_dollars(4);
         let scored = classify(offers, &p, ClassificationStrategy::SnsThenOif);
-        let o4 = scored.iter().find(|s| s.offer.variants[0].id.0 == 4).unwrap();
+        let o4 = scored
+            .iter()
+            .find(|s| s.offer.variants[0].id.0 == 4)
+            .unwrap();
         assert!(o4.satisfies_request);
         assert_eq!(o4.sns, StaticNegotiationStatus::Desirable);
     }

@@ -221,10 +221,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "ascend")]
     fn unsorted_classes_rejected() {
-        CostTable::new(
-            vec![(100, Money::ZERO), (100, Money::ZERO)],
-            Money::ZERO,
-        );
+        CostTable::new(vec![(100, Money::ZERO), (100, Money::ZERO)], Money::ZERO);
     }
 
     #[test]

@@ -24,8 +24,7 @@ use nod_simcore::{BookingId, IntervalLedger, SimDuration, SimTime};
 use crate::classify::{reservation_order, ScoredOffer};
 use crate::mapping::charged_bit_rate;
 use crate::negotiate::{
-    prepare, NegotiationContext, NegotiationError, NegotiationStatus, NegotiationTrace,
-    Prepared,
+    prepare, NegotiationContext, NegotiationError, NegotiationStatus, NegotiationTrace, Prepared,
 };
 use crate::offer::UserOffer;
 
@@ -55,8 +54,8 @@ impl AdvanceBook {
         for id in ctx.farm.ids() {
             let server = ctx.farm.server(id).expect("listed server exists");
             let cfg = server.config();
-            let capacity = (cfg.disk.round_capacity_us(cfg.round_us) as f64
-                * cfg.utilization_limit) as u64;
+            let capacity =
+                (cfg.disk.round_capacity_us(cfg.round_us) as f64 * cfg.utilization_limit) as u64;
             servers.insert(id, IntervalLedger::new(capacity.max(1)));
         }
         let mut links = BTreeMap::new();
@@ -103,9 +102,7 @@ impl AdvanceBook {
                     LedgerRef::Server(s) => {
                         book.servers.get_mut(&s).expect("held ledger").cancel(id)
                     }
-                    LedgerRef::Link(l) => {
-                        book.links.get_mut(&l).expect("held ledger").cancel(id)
-                    }
+                    LedgerRef::Link(l) => book.links.get_mut(&l).expect("held ledger").cancel(id),
                 }
             }
         };
@@ -167,9 +164,7 @@ impl AdvanceBook {
                     LedgerRef::Server(s) => {
                         self.servers.get_mut(&s).expect("held ledger").cancel(bid)
                     }
-                    LedgerRef::Link(l) => {
-                        self.links.get_mut(&l).expect("held ledger").cancel(bid)
-                    }
+                    LedgerRef::Link(l) => self.links.get_mut(&l).expect("held ledger").cancel(bid),
                 }
             }
         }
@@ -300,6 +295,7 @@ mod tests {
             enumeration_cap: 200_000,
             jitter_buffer_ms: 2_000,
             prune_dominated: false,
+            recorder: None,
         }
     }
 
@@ -385,8 +381,7 @@ mod tests {
             let client_id = ClientId(i % 3);
             let client = ClientMachine::era_workstation(client_id);
             let out =
-                negotiate_future(&c, &mut book, &client, DocumentId(1), &profile, start)
-                    .unwrap();
+                negotiate_future(&c, &mut book, &client, DocumentId(1), &profile, start).unwrap();
             match out.booking {
                 Some(id) => ids.push((client_id, id)),
                 None => break,
@@ -399,8 +394,7 @@ mod tests {
         let (client_id, last) = ids.pop().unwrap();
         book.cancel(last);
         let client = ClientMachine::era_workstation(client_id);
-        let out = negotiate_future(&c, &mut book, &client, DocumentId(1), &profile, start)
-            .unwrap();
+        let out = negotiate_future(&c, &mut book, &client, DocumentId(1), &profile, start).unwrap();
         assert!(out.booking.is_some(), "freed capacity should readmit");
     }
 
@@ -435,16 +429,29 @@ mod tests {
             .farm
             .ids()
             .iter()
-            .map(|&s| book.server_headroom(s, start, start + SimDuration::from_secs(10)).unwrap())
+            .map(|&s| {
+                book.server_headroom(s, start, start + SimDuration::from_secs(10))
+                    .unwrap()
+            })
             .sum();
-        let out = negotiate_future(&c, &mut book, &client, DocumentId(1), &tv_news_profile(), start)
-            .unwrap();
+        let out = negotiate_future(
+            &c,
+            &mut book,
+            &client,
+            DocumentId(1),
+            &tv_news_profile(),
+            start,
+        )
+        .unwrap();
         assert!(out.booking.is_some());
         let after: u64 = w
             .farm
             .ids()
             .iter()
-            .map(|&s| book.server_headroom(s, start, start + SimDuration::from_secs(10)).unwrap())
+            .map(|&s| {
+                book.server_headroom(s, start, start + SimDuration::from_secs(10))
+                    .unwrap()
+            })
             .sum();
         assert!(after < before, "booking must consume window headroom");
     }

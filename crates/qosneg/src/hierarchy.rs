@@ -86,6 +86,7 @@ fn ctx<'a>(domain: &'a Domain, config: &MultiDomainConfig<'a>) -> NegotiationCon
         enumeration_cap: config.enumeration_cap,
         jitter_buffer_ms: config.jitter_buffer_ms,
         prune_dominated: false,
+        recorder: None,
     }
 }
 

@@ -11,8 +11,6 @@
 //! overall_importance = QoS_importance − cost_importance
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use nod_mmdoc::prelude::*;
 
 use crate::money::Money;
@@ -22,10 +20,12 @@ use crate::money::Money;
 /// Implements the paper's rule: the user specifies importance for a small
 /// set of parameter values; intermediate values interpolate linearly;
 /// values outside the anchored range clamp to the end anchors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PiecewiseLinear {
     points: Vec<(f64, f64)>,
 }
+
+nod_simcore::json_struct!(PiecewiseLinear { points });
 
 impl PiecewiseLinear {
     /// A curve through the given `(value, importance)` anchors.
@@ -36,7 +36,10 @@ impl PiecewiseLinear {
     pub fn new(mut points: Vec<(f64, f64)>) -> Self {
         assert!(!points.is_empty(), "importance curve needs an anchor");
         for &(x, y) in &points {
-            assert!(x.is_finite() && y.is_finite(), "non-finite anchor ({x},{y})");
+            assert!(
+                x.is_finite() && y.is_finite(),
+                "non-finite anchor ({x},{y})"
+            );
         }
         points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         assert!(
@@ -71,7 +74,7 @@ impl PiecewiseLinear {
 }
 
 /// The user's importance profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImportanceProfile {
     /// Importance per color depth, indexed by [`ColorDepth::level`].
     pub color: [f64; 4],
@@ -90,6 +93,16 @@ pub struct ImportanceProfile {
     /// Importance of one dollar of cost (paper §5.2.2 (b)).
     pub cost_per_dollar: f64,
 }
+
+nod_simcore::json_struct!(ImportanceProfile {
+    color,
+    frame_rate,
+    resolution,
+    audio_quality,
+    english,
+    french,
+    cost_per_dollar
+});
 
 impl Default for ImportanceProfile {
     /// Defaults anchored on the paper's running example: color 9 / grey 6 /
@@ -153,8 +166,7 @@ impl ImportanceProfile {
                     + self.frame_rate_importance(v.frame_rate)
             }
             MediaQos::Audio(a) => {
-                self.audio_quality_importance(a.quality)
-                    + self.language_importance(a.language)
+                self.audio_quality_importance(a.quality) + self.language_importance(a.language)
             }
             MediaQos::Text(t) => self.language_importance(t.language),
             MediaQos::Image(i) | MediaQos::Graphic(i) => {
@@ -175,11 +187,7 @@ impl ImportanceProfile {
 
     /// Overall importance factor (paper §5.2.2 (c)):
     /// `QoS_importance − cost_importance`.
-    pub fn overall<'a>(
-        &self,
-        qos: impl IntoIterator<Item = &'a MediaQos>,
-        cost: Money,
-    ) -> f64 {
+    pub fn overall<'a>(&self, qos: impl IntoIterator<Item = &'a MediaQos>, cost: Money) -> f64 {
         self.qos_importance(qos) - self.cost_importance(cost)
     }
 
@@ -260,15 +268,15 @@ mod tests {
         // §5.2.2 (1): OIFs must be offer1:10, offer2:7, offer3:12, offer4:7.
         let imp = ImportanceProfile::paper_example(4.0);
         let offers = [
-            (video(ColorDepth::BlackWhite, 640, 25), Money::from_dollars_f64(2.5)),
+            (
+                video(ColorDepth::BlackWhite, 640, 25),
+                Money::from_dollars_f64(2.5),
+            ),
             (video(ColorDepth::Color, 640, 15), Money::from_dollars(4)),
             (video(ColorDepth::Grey, 640, 25), Money::from_dollars(3)),
             (video(ColorDepth::Color, 640, 25), Money::from_dollars(5)),
         ];
-        let oifs: Vec<f64> = offers
-            .iter()
-            .map(|(q, c)| imp.overall([q], *c))
-            .collect();
+        let oifs: Vec<f64> = offers.iter().map(|(q, c)| imp.overall([q], *c)).collect();
         assert_eq!(oifs, vec![10.0, 7.0, 12.0, 7.0]);
     }
 
@@ -277,15 +285,15 @@ mod tests {
         // §5.2.2 (2): cost importance 0 → OIFs 20, 23, 24, 27.
         let imp = ImportanceProfile::paper_example(0.0);
         let offers = [
-            (video(ColorDepth::BlackWhite, 640, 25), Money::from_dollars_f64(2.5)),
+            (
+                video(ColorDepth::BlackWhite, 640, 25),
+                Money::from_dollars_f64(2.5),
+            ),
             (video(ColorDepth::Color, 640, 15), Money::from_dollars(4)),
             (video(ColorDepth::Grey, 640, 25), Money::from_dollars(3)),
             (video(ColorDepth::Color, 640, 25), Money::from_dollars(5)),
         ];
-        let oifs: Vec<f64> = offers
-            .iter()
-            .map(|(q, c)| imp.overall([q], *c))
-            .collect();
+        let oifs: Vec<f64> = offers.iter().map(|(q, c)| imp.overall([q], *c)).collect();
         assert_eq!(oifs, vec![20.0, 23.0, 24.0, 27.0]);
     }
 
@@ -294,15 +302,15 @@ mod tests {
         // §5.2.2 (3): QoS importances 0, cost 4 → OIFs −10, −16, −12, −20.
         let imp = ImportanceProfile::cost_only(4.0);
         let offers = [
-            (video(ColorDepth::BlackWhite, 640, 25), Money::from_dollars_f64(2.5)),
+            (
+                video(ColorDepth::BlackWhite, 640, 25),
+                Money::from_dollars_f64(2.5),
+            ),
             (video(ColorDepth::Color, 640, 15), Money::from_dollars(4)),
             (video(ColorDepth::Grey, 640, 25), Money::from_dollars(3)),
             (video(ColorDepth::Color, 640, 25), Money::from_dollars(5)),
         ];
-        let oifs: Vec<f64> = offers
-            .iter()
-            .map(|(q, c)| imp.overall([q], *c))
-            .collect();
+        let oifs: Vec<f64> = offers.iter().map(|(q, c)| imp.overall([q], *c)).collect();
         assert_eq!(oifs, vec![-10.0, -16.0, -12.0, -20.0]);
     }
 
@@ -315,9 +323,7 @@ mod tests {
             language: Language::English,
         });
         let together = imp.qos_importance([&v, &a]);
-        assert!(
-            (together - (imp.media_importance(&v) + imp.media_importance(&a))).abs() < 1e-12
-        );
+        assert!((together - (imp.media_importance(&v) + imp.media_importance(&a))).abs() < 1e-12);
     }
 
     #[test]
@@ -361,8 +367,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let imp = ImportanceProfile::paper_example(4.0);
-        let json = serde_json::to_string(&imp).unwrap();
-        let back: ImportanceProfile = serde_json::from_str(&json).unwrap();
+        let json = nod_simcore::json::to_string(&imp);
+        let back: ImportanceProfile = nod_simcore::json::from_str(&json).unwrap();
         assert_eq!(back, imp);
     }
 }

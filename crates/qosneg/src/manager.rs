@@ -8,10 +8,13 @@ use nod_cmfs::{Guarantee, ServerFarm};
 use nod_mmdb::Catalog;
 use nod_mmdoc::{DocumentId, MonomediaId, Variant};
 use nod_netsim::Network;
+use nod_obs::Recorder;
+use nod_simcore::SimTime;
 use nod_syncplay::{PlayoutSession, SessionState, Timeline};
 
 use crate::adapt::{adapt, AdaptationReason};
 use crate::classify::{ClassificationStrategy, ScoredOffer};
+use crate::confirm::{ConfirmationDecision, ConfirmationTimer};
 use crate::cost::CostModel;
 use crate::negotiate::{
     negotiate, NegotiationContext, NegotiationError, NegotiationOutcome, SessionReservation,
@@ -36,6 +39,10 @@ pub struct ManagerConfig {
     /// see `nod_qosneg::prune`). Off by default to keep the paper's exact
     /// fallback semantics.
     pub prune_dominated: bool,
+    /// Observability hook shared by every negotiation, playout session and
+    /// confirmation this manager drives. `None` (the default) makes all
+    /// instrumentation a dead branch.
+    pub recorder: Option<Recorder>,
 }
 
 impl Default for ManagerConfig {
@@ -47,6 +54,7 @@ impl Default for ManagerConfig {
             jitter_buffer_ms: 2_000,
             prune_dominated: false,
             degraded_delivery_ratio: 0.3,
+            recorder: None,
         }
     }
 }
@@ -134,6 +142,7 @@ impl QosManager {
             enumeration_cap: self.config.enumeration_cap,
             jitter_buffer_ms: self.config.jitter_buffer_ms,
             prune_dominated: self.config.prune_dominated,
+            recorder: self.config.recorder.as_ref(),
         }
     }
 
@@ -172,21 +181,46 @@ impl QosManager {
         let timeline = self
             .timeline_for(document, &outcome.ordered_offers[offer_index])
             .expect("negotiated offer must produce a valid timeline");
+        let mut playout = PlayoutSession::new(timeline, self.config.jitter_buffer_ms);
+        if let Some(rec) = &self.config.recorder {
+            playout.set_recorder(rec.clone());
+        }
         ActiveSession {
             client: client.clone(),
             document,
-            playout: PlayoutSession::new(timeline, self.config.jitter_buffer_ms),
+            playout,
             reservation,
             offer_index,
             ordered_offers: outcome.ordered_offers,
         }
     }
 
-    fn timeline_for(
+    /// Resolve a step-6 confirmation ([`ConfirmationTimer::resolve`]) and
+    /// account for it: each decision increments
+    /// `negotiation.confirmation{decision=…}` and a choice-period expiry
+    /// additionally increments `negotiation.choice_timeout`.
+    pub fn resolve_confirmation(
         &self,
-        document: DocumentId,
-        offer: &ScoredOffer,
-    ) -> Result<Timeline, String> {
+        timer: &ConfirmationTimer,
+        at: SimTime,
+        action: Option<bool>,
+    ) -> Option<ConfirmationDecision> {
+        let decision = timer.resolve(at, action);
+        if let (Some(rec), Some(d)) = (self.config.recorder.as_ref(), decision) {
+            let label = match d {
+                ConfirmationDecision::Accepted => "accepted",
+                ConfirmationDecision::Rejected => "rejected",
+                ConfirmationDecision::TimedOut => "timed_out",
+            };
+            rec.counter_with("negotiation.confirmation", &[("decision", label)], 1);
+            if d == ConfirmationDecision::TimedOut {
+                rec.counter("negotiation.choice_timeout", 1);
+            }
+        }
+        decision
+    }
+
+    fn timeline_for(&self, document: DocumentId, offer: &ScoredOffer) -> Result<Timeline, String> {
         let doc = self
             .catalog
             .document(document)
@@ -331,6 +365,10 @@ mod tests {
     use nod_simcore::StreamRng;
 
     fn manager(seed: u64) -> QosManager {
+        manager_with(seed, ManagerConfig::default())
+    }
+
+    fn manager_with(seed: u64, config: ManagerConfig) -> QosManager {
         let mut rng = StreamRng::new(seed);
         let catalog = CorpusBuilder::new(CorpusParams {
             documents: 6,
@@ -346,8 +384,49 @@ mod tests {
             ServerFarm::uniform(3, ServerConfig::era_default()),
             Network::new(Topology::dumbbell(4, 3, 25_000_000, 155_000_000)),
             CostModel::era_default(),
-            ManagerConfig::default(),
+            config,
         )
+    }
+
+    #[test]
+    fn recorder_counts_confirmations_and_choice_timeouts() {
+        let rec = Recorder::new();
+        let m = manager_with(
+            27,
+            ManagerConfig {
+                recorder: Some(rec.clone()),
+                ..ManagerConfig::default()
+            },
+        );
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out = m
+            .negotiate(&client, DocumentId(1), &tv_news_profile())
+            .unwrap();
+        let reservation = out.reservation.as_ref().unwrap().clone();
+
+        // User confirms one offer in time, lets a second one expire.
+        let timer = ConfirmationTimer::arm(SimTime::ZERO, 30_000);
+        assert_eq!(
+            m.resolve_confirmation(&timer, SimTime::from_secs(5), Some(true)),
+            Some(ConfirmationDecision::Accepted)
+        );
+        assert_eq!(
+            m.resolve_confirmation(&timer, SimTime::from_secs(31), None),
+            Some(ConfirmationDecision::TimedOut)
+        );
+        m.release(&reservation);
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter_sum("negotiation.outcome"), 1);
+        assert_eq!(
+            snap.counter("negotiation.confirmation{decision=accepted}"),
+            1
+        );
+        assert_eq!(
+            snap.counter("negotiation.confirmation{decision=timed_out}"),
+            1
+        );
+        assert_eq!(snap.counter("negotiation.choice_timeout"), 1);
     }
 
     #[test]

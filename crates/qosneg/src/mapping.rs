@@ -136,8 +136,14 @@ mod tests {
     #[test]
     fn charged_rate_by_guarantee() {
         let v = video_variant();
-        assert_eq!(charged_bit_rate(&v, Guarantee::Guaranteed), v.max_bit_rate());
-        assert_eq!(charged_bit_rate(&v, Guarantee::BestEffort), v.avg_bit_rate());
+        assert_eq!(
+            charged_bit_rate(&v, Guarantee::Guaranteed),
+            v.max_bit_rate()
+        );
+        assert_eq!(
+            charged_bit_rate(&v, Guarantee::BestEffort),
+            v.avg_bit_rate()
+        );
     }
 
     #[test]

@@ -5,16 +5,15 @@
 //! so amounts are `i64` milli-dollars (signed: the OIF subtracts cost terms
 //! and experiment deltas can be negative).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
 /// An amount of money in milli-dollars.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Money(i64);
+
+nod_simcore::json_newtype!(Money(i64));
 
 impl Money {
     /// Zero dollars.

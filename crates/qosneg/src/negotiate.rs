@@ -9,6 +9,7 @@ use nod_cmfs::{Guarantee, ReservationId, ServerFarm, StreamRequirement};
 use nod_mmdb::Catalog;
 use nod_mmdoc::{DocumentId, MediaKind, MonomediaId, ServerId, Variant};
 use nod_netsim::{NetReservationId, Network};
+use nod_obs::{Recorder, Span};
 
 use crate::classify::{classify, reservation_order, ClassificationStrategy, ScoredOffer};
 use crate::cost::CostModel;
@@ -16,6 +17,7 @@ use crate::mapping::{charged_bit_rate, map_requirements, path_supports};
 use crate::money::Money;
 use crate::offer::{enumerate_combinations, EnumerationError, SystemOffer, UserOffer};
 use crate::profile::{MmQosSpec, UserProfile};
+use crate::sns::StaticNegotiationStatus;
 
 /// The five negotiation statuses of paper §4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -153,6 +155,20 @@ pub struct NegotiationContext<'a> {
     /// its dominator is not, so the paper's exact fallback semantics keep
     /// this off; it is an optimization knob for large catalogs.
     pub prune_dominated: bool,
+    /// Observability hook. `None` (the default everywhere) costs a branch
+    /// per stage and nothing else; `Some` times each pipeline stage as a
+    /// span and counts offers, reservation attempts and outcomes.
+    pub recorder: Option<&'a Recorder>,
+}
+
+/// Open a stage span: a child of `parent` when a trace is active, a fresh
+/// root span when only the recorder is, `None` when observability is off.
+fn stage_span(ctx: &NegotiationContext<'_>, parent: Option<&Span>, name: &str) -> Option<Span> {
+    match (parent, ctx.recorder) {
+        (Some(p), _) => Some(p.child(name)),
+        (None, Some(rec)) => Some(rec.span(name)),
+        (None, None) => None,
+    }
 }
 
 /// Output of negotiation steps 1–4 (before resource commitment): either
@@ -174,6 +190,18 @@ pub fn prepare(
     client: &ClientMachine,
     document: DocumentId,
     profile: &UserProfile,
+) -> Result<Prepared, NegotiationError> {
+    prepare_traced(ctx, client, document, profile, None)
+}
+
+/// [`prepare`] with stage spans parented under `parent` (the `negotiate`
+/// span) when tracing is active.
+fn prepare_traced(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    document: DocumentId,
+    profile: &UserProfile,
+    parent: Option<&Span>,
 ) -> Result<Prepared, NegotiationError> {
     profile
         .validate()
@@ -208,6 +236,7 @@ pub fn prepare(
     }
 
     // ---- Step 2: static compatibility checking --------------------------
+    let span_enumerate = stage_span(ctx, parent, "enumerate");
     let per_mono_all = ctx
         .catalog
         .variants_of_document(document)
@@ -266,23 +295,99 @@ pub fn prepare(
             }
         })
         .collect();
+    if let Some(span) = span_enumerate {
+        span.end();
+    }
+    if let Some(rec) = ctx.recorder {
+        rec.counter(
+            "negotiation.offers.enumerated",
+            trace.offers_enumerated as u64,
+        );
+        rec.observe(
+            "negotiation.feasible_variants",
+            trace.feasible_variants as f64,
+        );
+    }
+
+    // The prune span is opened even when pruning is disabled so that every
+    // instrumented negotiation contributes to `span.prune.ms` (a near-zero
+    // sample documents that the stage was skipped).
+    let span_prune = stage_span(ctx, parent, "prune");
     if ctx.prune_dominated && crate::prune::importance_is_monotone(&profile.importance) {
         let (survivors, pruned) = crate::prune::prune_dominated(offers);
         offers = survivors;
         trace.offers_pruned = pruned;
     }
+    if let Some(span) = span_prune {
+        span.end();
+    }
+    if let Some(rec) = ctx.recorder {
+        rec.counter("negotiation.offers.pruned", trace.offers_pruned as u64);
+    }
+
+    let span_classify = stage_span(ctx, parent, "classify");
     let ordered = classify(offers, profile, ctx.strategy);
+    if let Some(span) = span_classify {
+        span.end();
+    }
+    if let Some(rec) = ctx.recorder {
+        rec.counter("negotiation.offers.classified", ordered.len() as u64);
+        let (mut desirable, mut acceptable, mut constraint) = (0u64, 0u64, 0u64);
+        for scored in &ordered {
+            match scored.sns {
+                StaticNegotiationStatus::Desirable => desirable += 1,
+                StaticNegotiationStatus::Acceptable => acceptable += 1,
+                StaticNegotiationStatus::Constraint => constraint += 1,
+            }
+        }
+        for (class, n) in [
+            ("DESIRABLE", desirable),
+            ("ACCEPTABLE", acceptable),
+            ("CONSTRAINT", constraint),
+        ] {
+            if n > 0 {
+                rec.counter_with("negotiation.sns", &[("class", class)], n);
+            }
+        }
+    }
     Ok(Prepared::Offers(ordered, trace))
 }
 
 /// Run steps 1–5 for `client` requesting `document` under `profile`.
+///
+/// With a [`NegotiationContext::recorder`] attached, the whole call is
+/// timed as a `negotiate` span with `enumerate`/`prune`/`classify` and
+/// per-attempt `commit` children, and the final status increments
+/// `negotiation.outcome{status=…}`.
 pub fn negotiate(
     ctx: &NegotiationContext<'_>,
     client: &ClientMachine,
     document: DocumentId,
     profile: &UserProfile,
 ) -> Result<NegotiationOutcome, NegotiationError> {
-    let (ordered, mut trace) = match prepare(ctx, client, document, profile)? {
+    let root = ctx.recorder.map(|rec| rec.span("negotiate"));
+    let result = negotiate_steps(ctx, client, document, profile, root.as_ref());
+    if let Some(span) = root {
+        span.end();
+    }
+    if let (Some(rec), Ok(outcome)) = (ctx.recorder, &result) {
+        rec.counter_with(
+            "negotiation.outcome",
+            &[("status", &outcome.status.to_string())],
+            1,
+        );
+    }
+    result
+}
+
+fn negotiate_steps(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    document: DocumentId,
+    profile: &UserProfile,
+    root: Option<&Span>,
+) -> Result<NegotiationOutcome, NegotiationError> {
+    let (ordered, mut trace) = match prepare_traced(ctx, client, document, profile, root)? {
         Prepared::Early(outcome) => return Ok(*outcome),
         Prepared::Offers(ordered, trace) => (ordered, trace),
     };
@@ -292,8 +397,27 @@ pub fn negotiate(
     let mut failures: Vec<(usize, CommitFailure)> = Vec::new();
     for idx in order {
         trace.reservation_attempts += 1;
-        match try_commit_diagnosed(ctx, client, &ordered[idx].offer, profile.time.max_startup_ms)
-        {
+        let span_commit = stage_span(ctx, root, "commit");
+        let attempt = try_commit_diagnosed(
+            ctx,
+            client,
+            &ordered[idx].offer,
+            profile.time.max_startup_ms,
+        );
+        if let Some(span) = span_commit {
+            span.end();
+        }
+        if let Some(rec) = ctx.recorder {
+            rec.counter("negotiation.reservation.attempts", 1);
+            if let Err(reason) = &attempt {
+                rec.counter_with(
+                    "negotiation.commit.refused",
+                    &[("reason", reason.kind())],
+                    1,
+                );
+            }
+        }
+        match attempt {
             Err(reason) => {
                 failures.push((idx, reason));
                 continue;
@@ -362,6 +486,20 @@ pub enum CommitFailure {
     },
 }
 
+impl CommitFailure {
+    /// Stable label for the `reason` label of
+    /// `negotiation.commit.refused`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CommitFailure::DecodeBudget => "decode_budget",
+            CommitFailure::PathQos { .. } => "path_qos",
+            CommitFailure::Startup { .. } => "startup",
+            CommitFailure::Server { .. } => "server",
+            CommitFailure::Network { .. } => "network",
+        }
+    }
+}
+
 impl std::fmt::Display for CommitFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -372,7 +510,10 @@ impl std::fmt::Display for CommitFailure {
             CommitFailure::Startup {
                 estimated_ms,
                 limit_ms,
-            } => write!(f, "startup {estimated_ms} ms exceeds the {limit_ms} ms bound"),
+            } => write!(
+                f,
+                "startup {estimated_ms} ms exceeds the {limit_ms} ms bound"
+            ),
             CommitFailure::Server { server } => write!(f, "{server} refused admission"),
             CommitFailure::Network { server } => {
                 write!(f, "no bandwidth left on the path to {server}")
@@ -545,6 +686,7 @@ mod tests {
             enumeration_cap: 200_000,
             jitter_buffer_ms: 2_000,
             prune_dominated: false,
+            recorder: None,
         }
     }
 
@@ -595,7 +737,10 @@ mod tests {
         let out = negotiate(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
         assert_eq!(out.status, NegotiationStatus::FailedWithLocalOffer);
         let local = out.local_offer.expect("clamped local offer");
-        assert_eq!(local.video.unwrap().color, nod_mmdoc::ColorDepth::BlackWhite);
+        assert_eq!(
+            local.video.unwrap().color,
+            nod_mmdoc::ColorDepth::BlackWhite
+        );
         assert!(out.reservation.is_none());
     }
 
@@ -620,7 +765,10 @@ mod tests {
         }
         let out = negotiate(&ctx(&w), &client, DocumentId(1), &tv_news_profile()).unwrap();
         assert_eq!(out.status, NegotiationStatus::FailedTryLater);
-        assert!(!out.ordered_offers.is_empty(), "offers existed but none reservable");
+        assert!(
+            !out.ordered_offers.is_empty(),
+            "offers existed but none reservable"
+        );
         assert!(out.trace.reservation_attempts >= out.ordered_offers.len());
         assert_eq!(w.network.active_reservations(), 0, "no leaked reservations");
     }
@@ -677,6 +825,39 @@ mod tests {
     }
 
     #[test]
+    fn recorder_counts_stages_and_outcomes() {
+        let w = world(12);
+        let rec = Recorder::new();
+        let mut c = ctx(&w);
+        c.recorder = Some(&rec);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let out = negotiate(&c, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        if let Some(r) = &out.reservation {
+            r.release(&w.farm, &w.network);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter_sum("negotiation.outcome"), 1);
+        assert_eq!(
+            snap.counter("negotiation.offers.enumerated"),
+            out.trace.offers_enumerated as u64
+        );
+        assert_eq!(
+            snap.counter("negotiation.reservation.attempts"),
+            out.trace.reservation_attempts as u64
+        );
+        assert_eq!(
+            snap.counter_sum("negotiation.sns"),
+            out.ordered_offers.len() as u64
+        );
+        for stage in ["negotiate", "enumerate", "prune", "classify", "commit"] {
+            assert!(
+                snap.histograms.contains_key(&format!("span.{stage}.ms")),
+                "missing span histogram for {stage}"
+            );
+        }
+    }
+
+    #[test]
     fn unknown_document_is_an_error() {
         let w = world(6);
         let client = ClientMachine::era_workstation(ClientId(0));
@@ -716,7 +897,9 @@ mod tests {
         let client = ClientMachine::era_workstation(ClientId(0));
         // Saturate only the *network* so server reservations succeed first
         // and must be rolled back when the path reservation fails.
-        let hog = w.network.try_reserve(ClientId(0), nod_mmdoc::ServerId(0), 24_900_000);
+        let hog = w
+            .network
+            .try_reserve(ClientId(0), nod_mmdoc::ServerId(0), 24_900_000);
         assert!(hog.is_ok());
         let baseline_streams: usize = w
             .farm
@@ -732,7 +915,10 @@ mod tests {
                 .iter()
                 .map(|&s| w.farm.server(s).unwrap().active_streams())
                 .sum();
-            assert_eq!(after, baseline_streams, "partial server reservations leaked");
+            assert_eq!(
+                after, baseline_streams,
+                "partial server reservations leaked"
+            );
         }
     }
 }

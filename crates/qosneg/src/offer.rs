@@ -237,10 +237,7 @@ mod tests {
         assert!(user.qos.audio.is_some());
         assert!(user.qos.text.is_none());
         assert!(user.to_string().contains("$5.00"));
-        assert_eq!(
-            offer.variant_for(MonomediaId(2)).unwrap().id,
-            VariantId(2)
-        );
+        assert_eq!(offer.variant_for(MonomediaId(2)).unwrap().id, VariantId(2));
         assert!(offer.variant_for(MonomediaId(9)).is_none());
     }
 

@@ -7,8 +7,6 @@
 //! set both the desired value and the minimum acceptable value of every
 //! QoS parameter.
 
-use serde::{Deserialize, Serialize};
-
 use nod_mmdoc::prelude::*;
 
 use crate::importance::ImportanceProfile;
@@ -18,7 +16,7 @@ use crate::money::Money;
 ///
 /// `None` for a medium means the user expressed no requirement; any variant
 /// of that medium satisfies both desired and worst-acceptable levels.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MmQosSpec {
     /// Requested video QoS.
     pub video: Option<VideoQos>,
@@ -31,6 +29,14 @@ pub struct MmQosSpec {
     /// Requested graphic QoS.
     pub graphic: Option<ImageQos>,
 }
+
+nod_simcore::json_struct!(MmQosSpec {
+    video,
+    audio,
+    text,
+    image,
+    graphic
+});
 
 impl MmQosSpec {
     /// Does an offered per-media QoS meet this spec for its medium?
@@ -59,7 +65,7 @@ impl MmQosSpec {
 
 /// The time profile: delivery and confirmation deadlines (seconds in the
 /// GUI; milliseconds here).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeProfile {
     /// How long the user will wait for delivery to begin.
     pub max_startup_ms: u64,
@@ -67,6 +73,11 @@ pub struct TimeProfile {
     /// user's confirmation (paper §8).
     pub choice_period_ms: u64,
 }
+
+nod_simcore::json_struct!(TimeProfile {
+    max_startup_ms,
+    choice_period_ms
+});
 
 impl Default for TimeProfile {
     fn default() -> Self {
@@ -78,7 +89,7 @@ impl Default for TimeProfile {
 }
 
 /// A complete user profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UserProfile {
     /// Profile name shown in the GUI's profile list.
     pub name: String,
@@ -93,6 +104,15 @@ pub struct UserProfile {
     /// Importance profile.
     pub importance: ImportanceProfile,
 }
+
+nod_simcore::json_struct!(UserProfile {
+    name,
+    desired,
+    worst,
+    max_cost,
+    time,
+    importance
+});
 
 impl UserProfile {
     /// A profile where desired and worst coincide (the paper's §5 examples).
@@ -145,9 +165,12 @@ impl UserProfile {
         check("image", self.desired.image, self.worst.image, |d, w| {
             d.meets(&w)
         })?;
-        check("graphic", self.desired.graphic, self.worst.graphic, |d, w| {
-            d.meets(&w)
-        })?;
+        check(
+            "graphic",
+            self.desired.graphic,
+            self.worst.graphic,
+            |d, w| d.meets(&w),
+        )?;
         if self.max_cost.is_negative() {
             return Err("cost profile: negative maximum cost".into());
         }
@@ -305,8 +328,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let p = tv_news_profile();
-        let json = serde_json::to_string(&p).unwrap();
-        let back: UserProfile = serde_json::from_str(&json).unwrap();
+        let json = nod_simcore::json::to_string(&p);
+        let back: UserProfile = nod_simcore::json::from_str(&json).unwrap();
         assert_eq!(back, p);
     }
 }

@@ -27,11 +27,9 @@ use crate::offer::SystemOffer;
 /// Is the profile monotone — do better parameter values never carry lower
 /// importance? (The precondition for dominance pruning.)
 pub fn importance_is_monotone(imp: &ImportanceProfile) -> bool {
-    let non_decreasing =
-        |xs: &[f64]| xs.windows(2).all(|w| w[0] <= w[1] + 1e-12);
-    let curve_monotone = |anchors: &[(f64, f64)]| {
-        anchors.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12)
-    };
+    let non_decreasing = |xs: &[f64]| xs.windows(2).all(|w| w[0] <= w[1] + 1e-12);
+    let curve_monotone =
+        |anchors: &[(f64, f64)]| anchors.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12);
     non_decreasing(&imp.color)
         && non_decreasing(&imp.audio_quality)
         && curve_monotone(imp.frame_rate.anchors())
@@ -129,7 +127,9 @@ mod tests {
     #[test]
     fn default_importance_is_monotone() {
         assert!(importance_is_monotone(&ImportanceProfile::default()));
-        assert!(importance_is_monotone(&ImportanceProfile::paper_example(4.0)));
+        assert!(importance_is_monotone(&ImportanceProfile::paper_example(
+            4.0
+        )));
         // A perverse profile (prefers frozen rate) is not.
         let perverse = ImportanceProfile {
             frame_rate: crate::importance::PiecewiseLinear::new(vec![(1.0, 9.0), (60.0, 1.0)]),
@@ -156,9 +156,9 @@ mod tests {
     #[test]
     fn pruning_keeps_the_pareto_front() {
         let offers = vec![
-            offer(1, ColorDepth::Color, 640, 25, 3_000),     // front
-            offer(2, ColorDepth::Grey, 640, 25, 3_500),      // dominated by 1
-            offer(3, ColorDepth::Grey, 640, 25, 2_000),      // front (cheaper)
+            offer(1, ColorDepth::Color, 640, 25, 3_000),      // front
+            offer(2, ColorDepth::Grey, 640, 25, 3_500),       // dominated by 1
+            offer(3, ColorDepth::Grey, 640, 25, 2_000),       // front (cheaper)
             offer(4, ColorDepth::BlackWhite, 320, 10, 3_200), // dominated by 1 and 3
             offer(5, ColorDepth::SuperColor, 960, 30, 8_000), // front (better)
         ];

@@ -107,13 +107,29 @@ mod tests {
         let p = paper_profile();
         let cases = [
             // offer1: (black&white, TV resolution, 25 fps) at $2.50
-            (video(ColorDepth::BlackWhite, 640, 25), 2.5, StaticNegotiationStatus::Constraint),
+            (
+                video(ColorDepth::BlackWhite, 640, 25),
+                2.5,
+                StaticNegotiationStatus::Constraint,
+            ),
             // offer2: (color, TV resolution, 15 fps) at $4
-            (video(ColorDepth::Color, 640, 15), 4.0, StaticNegotiationStatus::Constraint),
+            (
+                video(ColorDepth::Color, 640, 15),
+                4.0,
+                StaticNegotiationStatus::Constraint,
+            ),
             // offer3: (grey, TV resolution, 25 fps) at $3
-            (video(ColorDepth::Grey, 640, 25), 3.0, StaticNegotiationStatus::Constraint),
+            (
+                video(ColorDepth::Grey, 640, 25),
+                3.0,
+                StaticNegotiationStatus::Constraint,
+            ),
             // offer4: (color, TV resolution, 25 fps) at $5
-            (video(ColorDepth::Color, 640, 25), 5.0, StaticNegotiationStatus::Acceptable),
+            (
+                video(ColorDepth::Color, 640, 25),
+                5.0,
+                StaticNegotiationStatus::Acceptable,
+            ),
         ];
         for (i, (qos, dollars, expected)) in cases.iter().enumerate() {
             let sns = compute_sns(&p, [qos], Money::from_dollars_f64(*dollars));
@@ -195,7 +211,13 @@ mod tests {
     #[test]
     fn display_matches_paper_spelling() {
         assert_eq!(StaticNegotiationStatus::Desirable.to_string(), "DESIRABLE");
-        assert_eq!(StaticNegotiationStatus::Acceptable.to_string(), "ACCEPTABLE");
-        assert_eq!(StaticNegotiationStatus::Constraint.to_string(), "CONSTRAINT");
+        assert_eq!(
+            StaticNegotiationStatus::Acceptable.to_string(),
+            "ACCEPTABLE"
+        );
+        assert_eq!(
+            StaticNegotiationStatus::Constraint.to_string(),
+            "CONSTRAINT"
+        );
     }
 }

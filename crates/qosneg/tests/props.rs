@@ -1,12 +1,23 @@
 //! Property tests for the QoS negotiation crate's public API.
-
-use proptest::prelude::*;
+//!
+//! Originally `proptest` properties; now driven by the workspace's seeded
+//! `StreamRng` so the suite stays dependency-free and reproducible.
 
 use nod_cmfs::Guarantee;
 use nod_mmdoc::prelude::*;
 use nod_qosneg::cost::CostModel;
 use nod_qosneg::importance::{ImportanceProfile, PiecewiseLinear};
 use nod_qosneg::money::Money;
+use nod_simcore::StreamRng;
+
+const CASES: u64 = 128;
+
+fn case_rngs(test_seed: u64) -> impl Iterator<Item = (u64, StreamRng)> {
+    (0..CASES).map(move |case| {
+        let seed = test_seed ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (seed, StreamRng::new(seed))
+    })
+}
 
 fn variant_with(avg: u64, max: u64, fps: u32, secs: u64) -> Variant {
     Variant {
@@ -25,85 +36,100 @@ fn variant_with(avg: u64, max: u64, fps: u32, secs: u64) -> Variant {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Money arithmetic is exact and round-trips through dollars.
-    #[test]
-    fn money_arithmetic(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+/// Money arithmetic is exact and round-trips through dollars.
+#[test]
+fn money_arithmetic() {
+    for (seed, mut rng) in case_rngs(0x40E1) {
+        let a = rng.range_u64(0, 2_000_000) as i64 - 1_000_000;
+        let b = rng.range_u64(0, 2_000_000) as i64 - 1_000_000;
         let ma = Money::from_millis(a);
         let mb = Money::from_millis(b);
-        prop_assert_eq!((ma + mb).millis(), a + b);
-        prop_assert_eq!((ma - mb).millis(), a - b);
-        prop_assert_eq!((-ma).millis(), -a);
-        prop_assert_eq!(Money::from_dollars_f64(ma.dollars()), ma);
-        prop_assert_eq!(ma < mb, a < b);
+        assert_eq!((ma + mb).millis(), a + b, "seed {seed}");
+        assert_eq!((ma - mb).millis(), a - b, "seed {seed}");
+        assert_eq!((-ma).millis(), -a, "seed {seed}");
+        assert_eq!(Money::from_dollars_f64(ma.dollars()), ma, "seed {seed}");
+        assert_eq!(ma < mb, a < b, "seed {seed}");
     }
+}
 
-    /// Streaming cost is monotone in duration and never below the
-    /// copyright floor.
-    #[test]
-    fn cost_monotone_in_duration(
-        avg in 500u64..60_000,
-        d1 in 1_000u64..300_000,
-        extra in 1_000u64..300_000
-    ) {
+/// Streaming cost is monotone in duration and never below the copyright
+/// floor.
+#[test]
+fn cost_monotone_in_duration() {
+    for (seed, mut rng) in case_rngs(0xC057) {
+        let avg = rng.range_u64(500, 60_000);
+        let d1 = rng.range_u64(1_000, 300_000);
+        let extra = rng.range_u64(1_000, 300_000);
         let m = CostModel::era_default();
         let v = variant_with(avg, avg * 2, 25, 300);
         let c1 = m.document_cost([(&v, d1)], Guarantee::Guaranteed);
         let c2 = m.document_cost([(&v, d1 + extra)], Guarantee::Guaranteed);
-        prop_assert!(c2 >= c1, "longer playout got cheaper");
-        prop_assert!(c1 >= m.copyright);
+        assert!(c2 >= c1, "longer playout got cheaper (seed {seed})");
+        assert!(c1 >= m.copyright, "seed {seed}");
     }
+}
 
-    /// Cost is monotone in the stream's sustained rate (class prices
-    /// ascend with throughput).
-    #[test]
-    fn cost_monotone_in_rate(avg in 100u64..50_000, bump in 1u64..50_000) {
+/// Cost is monotone in the stream's sustained rate (class prices ascend
+/// with throughput).
+#[test]
+fn cost_monotone_in_rate() {
+    for (seed, mut rng) in case_rngs(0x4A7E) {
+        let avg = rng.range_u64(100, 50_000);
+        let bump = rng.range_u64(1, 50_000);
         let m = CostModel::era_default();
         let lo = variant_with(avg, avg * 2, 25, 60);
         let hi = variant_with(avg + bump, (avg + bump) * 2, 25, 60);
         let c_lo = m.document_cost([(&lo, 60_000u64)], Guarantee::Guaranteed);
         let c_hi = m.document_cost([(&hi, 60_000u64)], Guarantee::Guaranteed);
-        prop_assert!(c_hi >= c_lo, "higher rate got cheaper");
+        assert!(c_hi >= c_lo, "higher rate got cheaper (seed {seed})");
     }
+}
 
-    /// Best effort never costs more than guaranteed for the same stream.
-    #[test]
-    fn best_effort_never_dearer(avg in 100u64..80_000, secs in 1u64..600) {
+/// Best effort never costs more than guaranteed for the same stream.
+#[test]
+fn best_effort_never_dearer() {
+    for (seed, mut rng) in case_rngs(0xBE57) {
+        let avg = rng.range_u64(100, 80_000);
+        let secs = rng.range_u64(1, 600);
         let m = CostModel::era_default();
         let v = variant_with(avg, avg * 2, 25, secs);
         let g = m.document_cost([(&v, secs * 1_000)], Guarantee::Guaranteed);
         let b = m.document_cost([(&v, secs * 1_000)], Guarantee::BestEffort);
-        prop_assert!(b <= g);
+        assert!(b <= g, "seed {seed}");
     }
+}
 
-    /// Importance curves are monotone between monotone anchors: with
-    /// increasing anchor values, a higher parameter value never has lower
-    /// importance.
-    #[test]
-    fn monotone_anchors_give_monotone_importance(
-        ys in prop::collection::vec(0.0f64..20.0, 2..5),
-        x1 in 0f64..100.0,
-        x2 in 0f64..100.0
-    ) {
-        let mut sorted = ys.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let n = sorted.len();
-        let pts: Vec<(f64, f64)> = sorted
+/// Importance curves are monotone between monotone anchors: with increasing
+/// anchor values, a higher parameter value never has lower importance.
+#[test]
+fn monotone_anchors_give_monotone_importance() {
+    for (seed, mut rng) in case_rngs(0x10F0) {
+        let n = rng.range_u64(2, 4) as usize;
+        let mut ys: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 20.0)).collect();
+        let x1 = rng.range_f64(0.0, 100.0);
+        let x2 = rng.range_f64(0.0, 100.0);
+        ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pts: Vec<(f64, f64)> = ys
             .into_iter()
             .enumerate()
             .map(|(i, y)| (100.0 * i as f64 / (n - 1) as f64, y))
             .collect();
         let curve = PiecewiseLinear::new(pts);
         let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
-        prop_assert!(curve.value_at(hi) >= curve.value_at(lo) - 1e-12);
+        assert!(
+            curve.value_at(hi) >= curve.value_at(lo) - 1e-12,
+            "seed {seed}"
+        );
     }
+}
 
-    /// The default importance profile ranks strictly better video at least
-    /// as high (monotonicity of the QoS term).
-    #[test]
-    fn importance_monotone_in_quality(px in 10u32..1920, fps in 1u32..60) {
+/// The default importance profile ranks strictly better video at least as
+/// high (monotonicity of the QoS term).
+#[test]
+fn importance_monotone_in_quality() {
+    for (seed, mut rng) in case_rngs(0x1337) {
+        let px = rng.range_u64(10, 1919) as u32;
+        let fps = rng.range_u64(1, 59) as u32;
         let imp = ImportanceProfile::default();
         let lo = MediaQos::Video(VideoQos {
             color: ColorDepth::Grey,
@@ -115,6 +141,9 @@ proptest! {
             resolution: Resolution::new(px.clamp(11, 1920)),
             frame_rate: FrameRate::new(fps.min(60)),
         });
-        prop_assert!(imp.media_importance(&hi) >= imp.media_importance(&lo));
+        assert!(
+            imp.media_importance(&hi) >= imp.media_importance(&lo),
+            "seed {seed}"
+        );
     }
 }

@@ -48,11 +48,7 @@ impl IntervalLedger {
     pub fn peak_usage(&self, start: SimTime, end: SimTime) -> u64 {
         assert!(start < end, "empty or inverted window");
         // Usage entering the window.
-        let mut usage: i64 = self
-            .deltas
-            .range(..=start)
-            .map(|(_, &d)| d)
-            .sum();
+        let mut usage: i64 = self.deltas.range(..=start).map(|(_, &d)| d).sum();
         let mut peak = usage;
         for (_, &d) in self.deltas.range((
             std::ops::Bound::Excluded(start),

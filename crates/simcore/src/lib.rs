@@ -26,12 +26,15 @@
 //! ```
 
 pub mod event;
+pub mod json;
 pub mod ledger;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 
 pub use event::{EventQueue, Scheduled};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use ledger::{BookingId, IntervalLedger};
 pub use rng::{SplitMix64, StreamRng};
 pub use stats::{Histogram, OnlineStats, Percentiles};

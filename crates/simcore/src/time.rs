@@ -149,11 +149,7 @@ impl Sub<SimDuration> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, other: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_add(other.0)
-                .expect("SimDuration overflow"),
-        )
+        SimDuration(self.0.checked_add(other.0).expect("SimDuration overflow"))
     }
 }
 
@@ -221,10 +217,7 @@ mod tests {
             t.since(SimTime::from_secs(10)),
             SimDuration::from_millis(500)
         );
-        assert_eq!(
-            (t - SimDuration::from_millis(500)).as_micros(),
-            10_000_000
-        );
+        assert_eq!((t - SimDuration::from_millis(500)).as_micros(), 10_000_000);
         assert_eq!((SimDuration::from_secs(3) * 4).as_micros(), 12_000_000);
         assert_eq!((SimDuration::from_secs(3) / 2).as_millis(), 1_500);
     }

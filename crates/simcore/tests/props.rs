@@ -1,16 +1,28 @@
-//! Property tests for the simulation kernel's public API.
-
-use proptest::prelude::*;
+//! Randomized property tests for the simulation kernel's public API.
+//!
+//! These were originally `proptest` properties; they are now driven by the
+//! kernel's own seeded [`StreamRng`] so the test suite stays dependency-free
+//! and bit-for-bit reproducible. Each property runs `CASES` independently
+//! seeded trials; a failure message carries the case seed for replay.
 
 use nod_simcore::{EventQueue, IntervalLedger, OnlineStats, SimTime, SplitMix64, StreamRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// The event queue is a stable priority queue: pops are sorted by time,
-    /// and equal times preserve insertion order.
-    #[test]
-    fn event_queue_is_stable_and_sorted(times in prop::collection::vec(0u64..1_000, 1..200)) {
+fn case_rngs(test_seed: u64) -> impl Iterator<Item = (u64, StreamRng)> {
+    (0..CASES).map(move |case| {
+        let seed = test_seed ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (seed, StreamRng::new(seed))
+    })
+}
+
+/// The event queue is a stable priority queue: pops are sorted by time, and
+/// equal times preserve insertion order.
+#[test]
+fn event_queue_is_stable_and_sorted() {
+    for (seed, mut rng) in case_rngs(0xE7E7) {
+        let n = rng.range_u64(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_millis(t), i);
@@ -19,70 +31,86 @@ proptest! {
         while let Some(item) = q.pop() {
             popped.push(item);
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len(), "seed {seed}");
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated (seed {seed})");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO among simultaneous events violated");
+                assert!(
+                    w[0].1 < w[1].1,
+                    "FIFO among simultaneous events violated (seed {seed})"
+                );
             }
         }
     }
+}
 
-    /// Ledger safety: for any booking sequence, peak usage never exceeds
-    /// capacity, and cancelling everything restores an empty ledger.
-    #[test]
-    fn ledger_never_oversubscribes(
-        ops in prop::collection::vec((0u64..100, 1u64..50, 1u64..80), 1..100),
-        capacity in 50u64..200
-    ) {
+/// Ledger safety: for any booking sequence, peak usage never exceeds
+/// capacity, and cancelling everything restores an empty ledger.
+#[test]
+fn ledger_never_oversubscribes() {
+    for (seed, mut rng) in case_rngs(0x1ED6) {
+        let capacity = rng.range_u64(50, 200);
         let mut ledger = IntervalLedger::new(capacity);
         let mut held = Vec::new();
-        for (start, len, amount) in ops {
+        for _ in 0..rng.range_u64(1, 100) {
+            let start = rng.below(100);
+            let len = rng.range_u64(1, 50);
+            let amount = rng.range_u64(1, 80);
             let s = SimTime::from_secs(start);
             let e = SimTime::from_secs(start + len);
             if let Ok(id) = ledger.try_book(s, e, amount) {
                 held.push(id);
             }
-            prop_assert!(
+            assert!(
                 ledger.peak_usage(SimTime::ZERO, SimTime::from_secs(200)) <= capacity,
-                "capacity exceeded"
+                "capacity exceeded (seed {seed})"
             );
         }
         for id in held {
             ledger.cancel(id);
         }
-        prop_assert_eq!(ledger.peak_usage(SimTime::ZERO, SimTime::from_secs(200)), 0);
-        prop_assert_eq!(ledger.bookings(), 0);
+        assert_eq!(
+            ledger.peak_usage(SimTime::ZERO, SimTime::from_secs(200)),
+            0,
+            "seed {seed}"
+        );
+        assert_eq!(ledger.bookings(), 0, "seed {seed}");
     }
+}
 
-    /// A booking that fits reported headroom always succeeds; one that
-    /// exceeds it always fails.
-    #[test]
-    fn ledger_headroom_is_truthful(
-        prefill in prop::collection::vec((0u64..50, 1u64..30, 1u64..40), 0..30),
-        start in 0u64..50, len in 1u64..30
-    ) {
+/// A booking that fits reported headroom always succeeds; one that exceeds
+/// it always fails.
+#[test]
+fn ledger_headroom_is_truthful() {
+    for (seed, mut rng) in case_rngs(0x4EAD) {
         let mut ledger = IntervalLedger::new(100);
-        for (s, l, a) in prefill {
+        for _ in 0..rng.below(30) {
+            let s = rng.below(50);
+            let l = rng.range_u64(1, 30);
+            let a = rng.range_u64(1, 40);
             let _ = ledger.try_book(SimTime::from_secs(s), SimTime::from_secs(s + l), a);
         }
+        let start = rng.below(50);
+        let len = rng.range_u64(1, 30);
         let s = SimTime::from_secs(start);
         let e = SimTime::from_secs(start + len);
         let headroom = ledger.available(s, e);
         if headroom > 0 {
-            prop_assert!(ledger.try_book(s, e, headroom).is_ok());
+            assert!(ledger.try_book(s, e, headroom).is_ok(), "seed {seed}");
+        } else {
+            assert!(ledger.try_book(s, e, 1).is_err(), "seed {seed}");
         }
-        prop_assert!(ledger.try_book(s, e, 1).is_err() || headroom > 0);
     }
+}
 
-    /// OnlineStats::merge is associative-equivalent to streaming pushes,
-    /// regardless of the split point.
-    #[test]
-    fn stats_merge_split_invariance(
-        xs in prop::collection::vec(-1_000.0f64..1_000.0, 2..100),
-        cut in 1usize..99
-    ) {
-        let cut = cut.min(xs.len() - 1);
+/// OnlineStats::merge is associative-equivalent to streaming pushes,
+/// regardless of the split point.
+#[test]
+fn stats_merge_split_invariance() {
+    for (seed, mut rng) in case_rngs(0x57A7) {
+        let n = rng.range_u64(2, 100) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1_000.0, 1_000.0)).collect();
+        let cut = rng.range_u64(1, n as u64 - 1) as usize;
         let mut whole = OnlineStats::new();
         for &x in &xs {
             whole.push(x);
@@ -96,33 +124,45 @@ proptest! {
             b.push(x);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4);
+        assert_eq!(a.count(), whole.count(), "seed {seed}");
+        assert!((a.mean() - whole.mean()).abs() < 1e-6, "seed {seed}");
+        assert!(
+            (a.variance() - whole.variance()).abs() < 1e-4,
+            "seed {seed}"
+        );
     }
+}
 
-    /// SplitMix64 streams are reproducible and splitting is deterministic.
-    #[test]
-    fn rng_reproducibility(seed in any::<u64>(), n in 1usize..100) {
-        let mut a = SplitMix64::new(seed);
-        let mut b = SplitMix64::new(seed);
+/// SplitMix64 streams are reproducible and splitting is deterministic.
+#[test]
+fn rng_reproducibility() {
+    for (seed, mut rng) in case_rngs(0x5EED) {
+        let stream_seed = rng.below(u64::MAX);
+        let n = rng.range_u64(1, 100);
+        let mut a = SplitMix64::new(stream_seed);
+        let mut b = SplitMix64::new(stream_seed);
         let ca = a.split();
         let cb = b.split();
-        prop_assert_eq!(ca, cb);
+        assert_eq!(ca, cb, "seed {seed}");
         for _ in 0..n {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64(), "seed {seed}");
         }
     }
+}
 
-    /// Uniform helpers respect their bounds.
-    #[test]
-    fn rng_bounds(seed in any::<u64>(), lo in 0u64..100, span in 1u64..100) {
-        let mut r = StreamRng::new(seed);
+/// Uniform helpers respect their bounds.
+#[test]
+fn rng_bounds() {
+    for (seed, mut rng) in case_rngs(0xB0B0) {
+        let stream_seed = rng.below(u64::MAX);
+        let lo = rng.below(100);
+        let span = rng.range_u64(1, 100);
+        let mut r = StreamRng::new(stream_seed);
         for _ in 0..50 {
             let x = r.range_u64(lo, lo + span);
-            prop_assert!((lo..=lo + span).contains(&x));
+            assert!((lo..=lo + span).contains(&x), "seed {seed}");
             let z = r.zipf(span as usize, 1.2);
-            prop_assert!(z < span as usize);
+            assert!(z < span as usize, "seed {seed}");
         }
     }
 }

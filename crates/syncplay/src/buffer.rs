@@ -114,7 +114,7 @@ mod tests {
     fn congestion_causes_underrun_and_recovery() {
         let mut b = JitterBuffer::new(2_000);
         b.advance(1_000, 1.0); // pre-roll
-        // Delivery collapses to 20%: the 1000 ms cushion drains in 1250 ms.
+                               // Delivery collapses to 20%: the 1000 ms cushion drains in 1250 ms.
         let played = b.advance(2_000, 0.2);
         assert!(played < 2_000.0);
         assert_eq!(b.underruns(), 1);

@@ -6,6 +6,8 @@
 //! (using the alternate components) from the position parameter determined
 //! earlier".
 
+use nod_obs::Recorder;
+
 use crate::buffer::JitterBuffer;
 use crate::timeline::Timeline;
 
@@ -61,6 +63,7 @@ pub struct PlayoutSession {
     position_ms: f64,
     state: SessionState,
     stats: SessionStats,
+    recorder: Option<Recorder>,
 }
 
 impl PlayoutSession {
@@ -74,7 +77,15 @@ impl PlayoutSession {
             position_ms: 0.0,
             state: SessionState::Buffering,
             stats: SessionStats::default(),
+            recorder: None,
         }
+    }
+
+    /// Attach an observability recorder: underruns, degraded playout time
+    /// and adaptation transitions are counted as they happen
+    /// (`playout.underruns`, `playout.degraded_ms`, `playout.transitions`).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
     }
 
     /// Current state.
@@ -117,7 +128,17 @@ impl PlayoutSession {
                 self.stats.stall_ms += wasted;
             }
         }
+        let prev_underruns = self.stats.underruns;
         self.stats.underruns = self.buffer.underruns();
+        if let Some(rec) = &self.recorder {
+            let new_underruns = self.stats.underruns - prev_underruns;
+            if new_underruns > 0 {
+                rec.counter("playout.underruns", new_underruns);
+            }
+            if delivery_ratio < 1.0 {
+                rec.counter("playout.degraded_ms", dt_ms);
+            }
+        }
         self.state = if self.position_ms >= self.timeline.total_ms() as f64 {
             SessionState::Completed
         } else if self.buffer.is_stalled() {
@@ -132,10 +153,7 @@ impl PlayoutSession {
     /// Returns the position (ms) to restart from. No-op (returning the
     /// current position) if the session is already terminal.
     pub fn interrupt_for_transition(&mut self) -> u64 {
-        if matches!(
-            self.state,
-            SessionState::Completed | SessionState::Aborted
-        ) {
+        if matches!(self.state, SessionState::Completed | SessionState::Aborted) {
             return self.position_ms as u64;
         }
         self.state = SessionState::Transitioning;
@@ -156,6 +174,9 @@ impl PlayoutSession {
         self.timeline = timeline;
         self.buffer = JitterBuffer::new(self.buffer_capacity_ms);
         self.stats.transitions += 1;
+        if let Some(rec) = &self.recorder {
+            rec.counter("playout.transitions", 1);
+        }
         self.state = SessionState::Buffering;
     }
 
@@ -185,15 +206,9 @@ mod tests {
     use std::collections::HashMap;
 
     fn simple_timeline(total_secs: u64) -> Timeline {
-        let mono = Monomedia::new(MonomediaId(1), MediaKind::Video, "clip")
-            .with_duration_secs(total_secs);
-        let doc = Document::multimedia(
-            DocumentId(1),
-            "doc",
-            vec![mono],
-            vec![],
-            vec![],
-        );
+        let mono =
+            Monomedia::new(MonomediaId(1), MediaKind::Video, "clip").with_duration_secs(total_secs);
+        let doc = Document::multimedia(DocumentId(1), "doc", vec![mono], vec![], vec![]);
         let v = Variant {
             id: VariantId(1),
             monomedia: MonomediaId(1),

@@ -57,7 +57,10 @@ impl SyncState {
 
     /// Record a stream's playout position.
     pub fn set_position(&mut self, id: MonomediaId, kind: MediaKind, position_ms: f64) {
-        assert!(position_ms.is_finite() && position_ms >= 0.0, "bad position");
+        assert!(
+            position_ms.is_finite() && position_ms >= 0.0,
+            "bad position"
+        );
         self.positions_ms.insert(id, position_ms);
         self.kinds.insert(id, kind);
     }
@@ -123,10 +126,9 @@ mod tests {
     use std::collections::HashMap as Map;
 
     fn av_timeline() -> Timeline {
-        let video = Monomedia::new(MonomediaId(1), MediaKind::Video, "clip")
-            .with_duration_secs(60);
-        let audio = Monomedia::new(MonomediaId(2), MediaKind::Audio, "sound")
-            .with_duration_secs(60);
+        let video = Monomedia::new(MonomediaId(1), MediaKind::Video, "clip").with_duration_secs(60);
+        let audio =
+            Monomedia::new(MonomediaId(2), MediaKind::Audio, "sound").with_duration_secs(60);
         let text =
             Monomedia::new(MonomediaId(3), MediaKind::Text, "caption").with_duration_secs(60);
         let doc = Document::multimedia(
@@ -173,8 +175,12 @@ mod tests {
         let v1 = mk(1, 1, MediaKind::Video);
         let v2 = mk(2, 2, MediaKind::Audio);
         let v3 = mk(3, 3, MediaKind::Text);
-        let selected: Map<MonomediaId, &Variant> =
-            [(MonomediaId(1), &v1), (MonomediaId(2), &v2), (MonomediaId(3), &v3)].into();
+        let selected: Map<MonomediaId, &Variant> = [
+            (MonomediaId(1), &v1),
+            (MonomediaId(2), &v2),
+            (MonomediaId(3), &v3),
+        ]
+        .into();
         Timeline::build(&doc, &selected).unwrap()
     }
 

@@ -139,10 +139,10 @@ mod tests {
     use nod_mmdoc::prelude::*;
 
     fn doc_and_variants() -> (Document, Vec<Variant>) {
-        let video = Monomedia::new(MonomediaId(1), MediaKind::Video, "clip")
-            .with_duration_secs(100);
-        let audio = Monomedia::new(MonomediaId(2), MediaKind::Audio, "sound")
-            .with_duration_secs(100);
+        let video =
+            Monomedia::new(MonomediaId(1), MediaKind::Video, "clip").with_duration_secs(100);
+        let audio =
+            Monomedia::new(MonomediaId(2), MediaKind::Audio, "sound").with_duration_secs(100);
         let doc = Document::multimedia(
             DocumentId(1),
             "article",
@@ -184,8 +184,7 @@ mod tests {
     }
 
     fn build(doc: &Document, vars: &[Variant]) -> Timeline {
-        let map: HashMap<MonomediaId, &Variant> =
-            vars.iter().map(|v| (v.monomedia, v)).collect();
+        let map: HashMap<MonomediaId, &Variant> = vars.iter().map(|v| (v.monomedia, v)).collect();
         Timeline::build(doc, &map).unwrap()
     }
 
@@ -195,7 +194,10 @@ mod tests {
         let t = build(&doc, &vars);
         assert_eq!(t.entries().len(), 2);
         assert_eq!(t.total_ms(), 100_000);
-        assert!(t.entries().windows(2).all(|w| w[0].start_ms <= w[1].start_ms));
+        assert!(t
+            .entries()
+            .windows(2)
+            .all(|w| w[0].start_ms <= w[1].start_ms));
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl App {
         match action {
             UiAction::StartNegotiation { profile } => {
                 let p = self.gui.selected_profile().clone();
-                println!("negotiating {} under profile #{profile} \"{}\"…", self.document, p.name);
+                println!(
+                    "negotiating {} under profile #{profile} \"{}\"…",
+                    self.document, p.name
+                );
                 match self.manager.negotiate(&self.client, self.document, &p) {
                     Ok(outcome) => {
                         self.release_held();

@@ -202,8 +202,7 @@ impl ProfileManagerApp {
     pub fn render(&self, choice_remaining_ms: Option<u64>) -> String {
         match self.state {
             UiState::Main => {
-                let names: Vec<&str> =
-                    self.profiles.iter().map(|p| p.name.as_str()).collect();
+                let names: Vec<&str> = self.profiles.iter().map(|p| p.name.as_str()).collect();
                 windows::main_window(&names, self.selected)
             }
             UiState::ProfileComponents => {
@@ -216,7 +215,8 @@ impl ProfileManagerApp {
                 self.last_offer.as_ref().and_then(|o| o.qos.video.as_ref()),
             ),
             UiState::Information => windows::information_window(
-                self.last_status.unwrap_or(NegotiationStatus::FailedTryLater),
+                self.last_status
+                    .unwrap_or(NegotiationStatus::FailedTryLater),
                 self.last_offer.as_ref(),
                 choice_remaining_ms,
             ),

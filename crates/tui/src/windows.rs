@@ -39,12 +39,7 @@ fn center_line(s: &str) -> String {
     let len = visible_len(s);
     let total = (WIDTH - 2).saturating_sub(len);
     let left = total / 2;
-    format!(
-        "│{}{}{}│\n",
-        " ".repeat(left),
-        s,
-        " ".repeat(total - left)
-    )
+    format!("│{}{}{}│\n", " ".repeat(left), s, " ".repeat(total - left))
 }
 
 /// A horizontal scaling bar of `width` cells over `[lo, hi]` with markers:
@@ -173,10 +168,20 @@ pub fn audio_profile_window(profile: &UserProfile, offer: Option<&AudioQos>) -> 
             };
             body.push(format!(
                 "quality      [{}] {}",
-                bar(0.0, 2.0, 30, level(d.quality), level(w.quality), offer.map(|o| level(o.quality))),
+                bar(
+                    0.0,
+                    2.0,
+                    30,
+                    level(d.quality),
+                    level(w.quality),
+                    offer.map(|o| level(o.quality))
+                ),
                 d.quality
             ));
-            body.push(format!("language     desired {}  (min {})", d.language, w.language));
+            body.push(format!(
+                "language     desired {}  (min {})",
+                d.language, w.language
+            ));
             if let Some(o) = offer {
                 body.push(String::new());
                 body.push(format!("system offer: {o}"));
@@ -276,7 +281,10 @@ pub fn information_window(
     }
     if let Some(ms) = remaining_ms {
         body.push(String::new());
-        body.push(format!("confirm within {:.0} s  [ OK ]  [ CANCEL ]", ms as f64 / 1e3));
+        body.push(format!(
+            "confirm within {:.0} s  [ OK ]  [ CANCEL ]",
+            ms as f64 / 1e3
+        ));
     }
     frame("Information", &body)
 }

@@ -9,16 +9,16 @@ use nod_cmfs::{ServerConfig, ServerFarm};
 use nod_mmdb::{CorpusBuilder, CorpusParams};
 use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
+use nod_obs::Recorder;
 use nod_qosneg::manager::{ActiveSession, ManagerConfig, QosManager};
 use nod_qosneg::{CostModel, NegotiationStatus};
 use nod_simcore::StreamRng;
-use serde::{Deserialize, Serialize};
 use nod_syncplay::SessionState;
 
 use crate::population::UserPopulation;
 
 /// Experiment configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AdaptationConfig {
     /// Master seed.
     pub seed: u64,
@@ -47,6 +47,21 @@ pub struct AdaptationConfig {
     /// Hard step cap (runaway guard).
     pub max_steps: usize,
 }
+
+nod_simcore::json_struct!(AdaptationConfig {
+    seed,
+    adaptation_enabled,
+    sessions,
+    documents,
+    servers,
+    step_ms,
+    congestion_start_step,
+    congestion_steps,
+    congestion_health,
+    congested_servers,
+    congest_trunk,
+    max_steps
+});
 
 impl Default for AdaptationConfig {
     fn default() -> Self {
@@ -88,6 +103,16 @@ pub struct AdaptationResult {
 
 /// Run the experiment. Deterministic for a given config.
 pub fn run_adaptation(config: &AdaptationConfig) -> AdaptationResult {
+    run_adaptation_with(config, None)
+}
+
+/// [`run_adaptation`] with an observability recorder threaded through the
+/// QoS manager (negotiations, admissions, path reservations and playout
+/// sessions all report into it).
+pub fn run_adaptation_with(
+    config: &AdaptationConfig,
+    recorder: Option<&Recorder>,
+) -> AdaptationResult {
     let mut master = StreamRng::new(config.seed);
     let mut corpus_rng = master.split();
     let mut user_rng = master.split();
@@ -111,8 +136,15 @@ pub fn run_adaptation(config: &AdaptationConfig) -> AdaptationResult {
             155_000_000,
         )),
         CostModel::era_default(),
-        ManagerConfig::default(),
+        ManagerConfig {
+            recorder: recorder.cloned(),
+            ..ManagerConfig::default()
+        },
     );
+    if let Some(rec) = recorder {
+        manager.farm().set_recorder(rec);
+        manager.network().set_recorder(rec.clone());
+    }
     let population = UserPopulation::era_default();
 
     // Negotiate and start the sessions.
@@ -176,8 +208,7 @@ pub fn run_adaptation(config: &AdaptationConfig) -> AdaptationResult {
         let mut any_live = false;
         for (i, session) in sessions.iter_mut().enumerate() {
             if live[i] {
-                live[i] =
-                    manager.drive_session(session, config.step_ms, config.adaptation_enabled);
+                live[i] = manager.drive_session(session, config.step_ms, config.adaptation_enabled);
                 any_live |= live[i];
             }
         }

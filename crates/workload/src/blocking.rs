@@ -12,16 +12,16 @@ use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
 use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
 use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
+use nod_obs::Recorder;
 use nod_qosneg::baseline::{negotiate_per_monomedia, negotiate_static_first_fit};
 use nod_qosneg::negotiate::{negotiate, NegotiationContext, NegotiationStatus};
 use nod_qosneg::{ClassificationStrategy, CostModel};
 use nod_simcore::{EventQueue, Percentiles, SimDuration, SimTime, StreamRng};
-use serde::{Deserialize, Serialize};
 
 use crate::population::UserPopulation;
 
 /// Which negotiation procedure serves the requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NegotiatorKind {
     /// The paper's smart negotiation with an offer-ordering strategy.
     Smart(ClassificationStrategy),
@@ -29,6 +29,33 @@ pub enum NegotiatorKind {
     FirstFit,
     /// Independent per-monomedia negotiation.
     PerMonomedia,
+}
+
+impl nod_simcore::json::ToJson for NegotiatorKind {
+    fn to_json(&self) -> nod_simcore::Json {
+        use nod_simcore::json::Json;
+        match self {
+            NegotiatorKind::Smart(s) => Json::tagged("Smart", s.to_json()),
+            NegotiatorKind::FirstFit => Json::Str("FirstFit".to_string()),
+            NegotiatorKind::PerMonomedia => Json::Str("PerMonomedia".to_string()),
+        }
+    }
+}
+
+impl nod_simcore::json::FromJson for NegotiatorKind {
+    fn from_json(j: &nod_simcore::Json) -> Result<Self, nod_simcore::json::JsonError> {
+        let (tag, inner) = j.as_tagged()?;
+        match tag {
+            "Smart" => Ok(NegotiatorKind::Smart(ClassificationStrategy::from_json(
+                inner,
+            )?)),
+            "FirstFit" => Ok(NegotiatorKind::FirstFit),
+            "PerMonomedia" => Ok(NegotiatorKind::PerMonomedia),
+            other => Err(nod_simcore::json::JsonError(format!(
+                "unknown NegotiatorKind variant `{other}`"
+            ))),
+        }
+    }
 }
 
 impl NegotiatorKind {
@@ -46,7 +73,7 @@ impl NegotiatorKind {
 }
 
 /// Experiment configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockingConfig {
     /// Master seed (corpus, arrivals and user mix all derive from it).
     pub seed: u64,
@@ -67,6 +94,18 @@ pub struct BlockingConfig {
     /// Probability a user accepts a `FAILEDWITHOFFER` degraded offer.
     pub degraded_accept_probability: f64,
 }
+
+nod_simcore::json_struct!(BlockingConfig {
+    seed,
+    documents,
+    servers,
+    clients,
+    arrivals_per_minute,
+    horizon_minutes,
+    negotiator,
+    guarantee,
+    degraded_accept_probability
+});
 
 impl Default for BlockingConfig {
     fn default() -> Self {
@@ -122,9 +161,10 @@ impl BlockingResult {
         if self.offered == 0 {
             return 0.0;
         }
-        let blocked =
-            self.try_later + self.without_offer + self.local_offer
-                + (self.failed_with_offer - self.degraded_accepted);
+        let blocked = self.try_later
+            + self.without_offer
+            + self.local_offer
+            + (self.failed_with_offer - self.degraded_accepted);
         blocked as f64 / self.offered as f64
     }
 }
@@ -153,6 +193,15 @@ enum Event {
 
 /// Run one load point. Deterministic for a given config.
 pub fn run_blocking(config: &BlockingConfig) -> BlockingResult {
+    run_blocking_with(config, None)
+}
+
+/// [`run_blocking`] with an observability recorder attached to the
+/// negotiation context, the server farm and the network. Counters and
+/// histograms accumulate across the whole load point; stage spans are
+/// wall-clock timed (the negotiation runs at a single simulated instant,
+/// so the sim clock would collapse every stage latency to zero).
+pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -> BlockingResult {
     let mut master = StreamRng::new(config.seed);
     let mut corpus_rng = master.split();
     let mut arrival_rng = master.split();
@@ -173,6 +222,10 @@ pub fn run_blocking(config: &BlockingConfig) -> BlockingResult {
     ));
     let cost_model = CostModel::era_default();
     let population = UserPopulation::era_default();
+    if let Some(rec) = recorder {
+        farm.set_recorder(rec);
+        network.set_recorder(rec.clone());
+    }
 
     let strategy = match config.negotiator {
         NegotiatorKind::Smart(s) => s,
@@ -186,8 +239,9 @@ pub fn run_blocking(config: &BlockingConfig) -> BlockingResult {
         strategy,
         guarantee: config.guarantee,
         enumeration_cap: 500_000,
-    jitter_buffer_ms: 2_000,
-    prune_dominated: false,
+        jitter_buffer_ms: 2_000,
+        prune_dominated: false,
+        recorder,
     };
 
     let mut result = BlockingResult::default();
@@ -196,8 +250,7 @@ pub fn run_blocking(config: &BlockingConfig) -> BlockingResult {
     let mut oif_sum = 0.0;
     let mut costs = Percentiles::new();
 
-    let horizon = SimTime::ZERO
-        + SimDuration::from_secs_f64(config.horizon_minutes * 60.0);
+    let horizon = SimTime::ZERO + SimDuration::from_secs_f64(config.horizon_minutes * 60.0);
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mean_gap_secs = 60.0 / config.arrivals_per_minute;
     let first = SimTime::ZERO + SimDuration::from_secs_f64(arrival_rng.exp(mean_gap_secs));
@@ -215,8 +268,7 @@ pub fn run_blocking(config: &BlockingConfig) -> BlockingResult {
                 result.offered += 1;
                 let client_id = ClientId(n % config.clients as u64);
                 let (_, profile, machine) = population.sample(&mut user_rng, client_id);
-                let doc =
-                    DocumentId(user_rng.zipf(config.documents, 0.9) as u64 + 1);
+                let doc = DocumentId(user_rng.zipf(config.documents, 0.9) as u64 + 1);
                 let outcome = match config.negotiator {
                     NegotiatorKind::Smart(_) => negotiate(&ctx, &machine, doc, &profile),
                     NegotiatorKind::FirstFit => {
@@ -240,8 +292,7 @@ pub fn run_blocking(config: &BlockingConfig) -> BlockingResult {
                     }
                     NegotiationStatus::FailedWithOffer => {
                         result.failed_with_offer += 1;
-                        accepted_degraded =
-                            user_rng.chance(config.degraded_accept_probability);
+                        accepted_degraded = user_rng.chance(config.degraded_accept_probability);
                         if accepted_degraded {
                             result.degraded_accepted += 1;
                         }
@@ -253,8 +304,7 @@ pub fn run_blocking(config: &BlockingConfig) -> BlockingResult {
                 satisfaction_sum += satisfaction(outcome.status, accepted_degraded);
 
                 let keep = outcome.status == NegotiationStatus::Succeeded
-                    || (outcome.status == NegotiationStatus::FailedWithOffer
-                        && accepted_degraded);
+                    || (outcome.status == NegotiationStatus::FailedWithOffer && accepted_degraded);
                 if let Some(reservation) = outcome.reservation {
                     if keep {
                         result.carried += 1;
@@ -319,7 +369,11 @@ mod tests {
         // At near-idle load nobody is turned away for lack of resources;
         // any refusals are structural (profile/corpus mismatches).
         assert_eq!(r.try_later, 0, "resource blocking at idle load");
-        assert!(r.mean_satisfaction > 0.55, "satisfaction {:.3}", r.mean_satisfaction);
+        assert!(
+            r.mean_satisfaction > 0.55,
+            "satisfaction {:.3}",
+            r.mean_satisfaction
+        );
         assert!(r.carried > r.offered / 2);
     }
 

@@ -12,7 +12,9 @@ pub mod blocking;
 pub mod population;
 pub mod scenario;
 
-pub use adaptation::{run_adaptation, AdaptationConfig, AdaptationResult};
-pub use blocking::{run_blocking, BlockingConfig, BlockingResult, NegotiatorKind};
+pub use adaptation::{run_adaptation, run_adaptation_with, AdaptationConfig, AdaptationResult};
+pub use blocking::{
+    run_blocking, run_blocking_with, BlockingConfig, BlockingResult, NegotiatorKind,
+};
 pub use population::{UserClass, UserPopulation};
 pub use scenario::Scenario;

@@ -173,7 +173,11 @@ impl UserPopulation {
     }
 
     /// Sample a user: `(class name, profile, machine)` for a client id.
-    pub fn sample(&self, rng: &mut StreamRng, client: ClientId) -> (&'static str, UserProfile, ClientMachine) {
+    pub fn sample(
+        &self,
+        rng: &mut StreamRng,
+        client: ClientId,
+    ) -> (&'static str, UserProfile, ClientMachine) {
         let weights: Vec<f64> = self.classes.iter().map(|c| c.weight).collect();
         let class = &self.classes[rng.choose_weighted(&weights)];
         (class.name, class.profile.clone(), (class.machine)(client))
@@ -189,9 +193,9 @@ mod tests {
         let pop = UserPopulation::era_default();
         assert_eq!(pop.classes().len(), 4);
         for c in pop.classes() {
-            c.profile.validate().unwrap_or_else(|e| {
-                panic!("class {} has invalid profile: {e}", c.name)
-            });
+            c.profile
+                .validate()
+                .unwrap_or_else(|e| panic!("class {} has invalid profile: {e}", c.name));
         }
     }
 
@@ -222,11 +226,7 @@ mod tests {
     #[test]
     fn economy_is_cost_dominant() {
         let pop = UserPopulation::era_default();
-        let economy = pop
-            .classes()
-            .iter()
-            .find(|c| c.name == "economy")
-            .unwrap();
+        let economy = pop.classes().iter().find(|c| c.name == "economy").unwrap();
         assert!(economy.profile.importance.cost_per_dollar > 5.0);
         assert!(economy.profile.max_cost < Money::from_dollars(4));
     }

@@ -1,19 +1,17 @@
 //! Named, persistable experiment scenarios.
 //!
-//! Experiment configurations are plain serde values, so a study can be
+//! Experiment configurations are plain JSON values, so a study can be
 //! defined once, saved next to its results, and replayed bit-for-bit.
 //! [`Scenario`] bundles a blocking sweep and an adaptation episode under a
 //! name; [`presets`] ships the configurations the repository's own
 //! experiments use.
-
-use serde::{Deserialize, Serialize};
 
 use crate::adaptation::AdaptationConfig;
 use crate::blocking::{BlockingConfig, NegotiatorKind};
 use nod_qosneg::ClassificationStrategy;
 
 /// A named experiment bundle.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     /// Scenario name ("prime-time", "light-load", …).
     pub name: String,
@@ -25,15 +23,22 @@ pub struct Scenario {
     pub adaptation: Vec<AdaptationConfig>,
 }
 
+nod_simcore::json_struct!(Scenario {
+    name,
+    description,
+    blocking,
+    adaptation
+});
+
 impl Scenario {
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("scenario serializes")
+        nod_simcore::json::to_string_pretty(self)
     }
 
     /// Restore from JSON.
     pub fn from_json(json: &str) -> Result<Scenario, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        nod_simcore::json::from_str(json).map_err(|e| e.0)
     }
 
     /// Persist to a file.

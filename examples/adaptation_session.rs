@@ -59,7 +59,10 @@ fn run(adaptation: bool) {
     let mut step = 0u32;
     loop {
         if step == 20 {
-            println!("t={:>5.1}s  !! server {victim} fails (health 0)", step as f64 * 0.5);
+            println!(
+                "t={:>5.1}s  !! server {victim} fails (health 0)",
+                step as f64 * 0.5
+            );
             manager.farm().server(victim).unwrap().set_health(0.0);
         }
         if step == 200 {

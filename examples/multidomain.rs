@@ -62,7 +62,10 @@ fn main() {
         out.user_cost.map(|c| c.to_string()).unwrap_or_default()
     );
     if let Some(r) = out.outcome.reservation {
-        r.release(&domains[out.domain_index].farm, &domains[out.domain_index].network);
+        r.release(
+            &domains[out.domain_index].farm,
+            &domains[out.domain_index].network,
+        );
     }
 
     println!("== phase 2: campus farm fails");
@@ -80,9 +83,14 @@ fn main() {
     );
     assert!(out.remote, "the metro peer should take over");
     if let Some(r) = out.outcome.reservation {
-        r.release(&domains[out.domain_index].farm, &domains[out.domain_index].network);
+        r.release(
+            &domains[out.domain_index].farm,
+            &domains[out.domain_index].network,
+        );
     }
-    println!("\nboth domains idle again: {} + {} active reservations",
+    println!(
+        "\nboth domains idle again: {} + {} active reservations",
         domains[0].network.active_reservations(),
-        domains[1].network.active_reservations());
+        domains[1].network.active_reservations()
+    );
 }

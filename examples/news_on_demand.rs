@@ -46,7 +46,10 @@ fn main() {
         let client_id = ClientId(user % 6);
         let (class, profile, machine) = population.sample(&mut rng, client_id);
         let doc = DocumentId(rng.zipf(10, 0.9) as u64 + 1);
-        println!("== user {user} ({class}) requests {doc} with profile \"{}\"", profile.name);
+        println!(
+            "== user {user} ({class}) requests {doc} with profile \"{}\"",
+            profile.name
+        );
 
         // Drive the GUI: select profile, press OK.
         let mut app = ProfileManagerApp::new(vec![profile.clone()]);

@@ -9,6 +9,7 @@ pub use nod_cmfs as cmfs;
 pub use nod_mmdb as mmdb;
 pub use nod_mmdoc as mmdoc;
 pub use nod_netsim as netsim;
+pub use nod_obs as obs;
 pub use nod_qosneg as qosneg;
 pub use nod_simcore as simcore;
 pub use nod_syncplay as syncplay;

@@ -48,6 +48,7 @@ fn ctx(w: &World, prune: bool) -> NegotiationContext<'_> {
         enumeration_cap: 500_000,
         jitter_buffer_ms: 2_000,
         prune_dominated: prune,
+        recorder: None,
     }
 }
 
@@ -157,10 +158,10 @@ fn multidomain_over_the_umbrella_api() {
     )
     .unwrap();
     assert!(out.outcome.reservation.is_some());
-    out.outcome
-        .reservation
-        .unwrap()
-        .release(&domains[out.domain_index].farm, &domains[out.domain_index].network);
+    out.outcome.reservation.unwrap().release(
+        &domains[out.domain_index].farm,
+        &domains[out.domain_index].network,
+    );
 }
 
 #[test]

@@ -1,6 +1,8 @@
 //! Property-based tests over the core invariants, spanning crates.
-
-use proptest::prelude::*;
+//!
+//! Originally `proptest` properties; now driven by the workspace's seeded
+//! `StreamRng` so the suite stays dependency-free and reproducible. Each
+//! property runs `CASES` independently seeded trials.
 
 use news_on_demand::client::ClientMachine;
 use news_on_demand::cmfs::{Guarantee, ServerConfig, ServerFarm, StreamRequirement};
@@ -16,22 +18,27 @@ use news_on_demand::qosneg::sns::{compute_sns, StaticNegotiationStatus};
 use news_on_demand::qosneg::{CostModel, ImportanceProfile, Money, UserProfile};
 use news_on_demand::simcore::StreamRng;
 use news_on_demand::syncplay::JitterBuffer;
+use std::collections::BTreeMap;
 
-fn arb_color() -> impl Strategy<Value = ColorDepth> {
-    prop_oneof![
-        Just(ColorDepth::BlackWhite),
-        Just(ColorDepth::Grey),
-        Just(ColorDepth::Color),
-        Just(ColorDepth::SuperColor),
-    ]
+const CASES: u64 = 64;
+
+fn case_rngs(test_seed: u64) -> impl Iterator<Item = (u64, StreamRng)> {
+    (0..CASES).map(move |case| {
+        let seed = test_seed ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (seed, StreamRng::new(seed))
+    })
 }
 
-fn arb_video() -> impl Strategy<Value = VideoQos> {
-    (arb_color(), 10u32..=1920, 1u32..=60).prop_map(|(color, px, fps)| VideoQos {
-        color,
-        resolution: Resolution::new(px),
-        frame_rate: FrameRate::new(fps),
-    })
+fn arb_color(rng: &mut StreamRng) -> ColorDepth {
+    ColorDepth::ALL[rng.below(4) as usize]
+}
+
+fn arb_video(rng: &mut StreamRng) -> VideoQos {
+    VideoQos {
+        color: arb_color(rng),
+        resolution: Resolution::new(rng.range_u64(10, 1920) as u32),
+        frame_rate: FrameRate::new(rng.range_u64(1, 60) as u32),
+    }
 }
 
 fn video_offer(id: u64, qos: VideoQos, cost_millis: i64) -> SystemOffer {
@@ -61,38 +68,50 @@ fn strict_video_profile(required: VideoQos, max_cost_millis: i64) -> UserProfile
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Improving any QoS component (or cutting cost) never worsens the SNS.
-    #[test]
-    fn sns_is_monotone(req in arb_video(), offered in arb_video(), cost in 0i64..10_000) {
+/// Improving any QoS component (or cutting cost) never worsens the SNS.
+#[test]
+fn sns_is_monotone() {
+    for (seed, mut rng) in case_rngs(0x5A50) {
+        let req = arb_video(&mut rng);
+        let offered = arb_video(&mut rng);
+        let cost = rng.below(10_000) as i64;
         let p = strict_video_profile(req, 4_000);
         let base = compute_sns(&p, [&MediaQos::Video(offered)], Money::from_millis(cost));
         // Upgrade color to the max and drop the price.
-        let better = VideoQos { color: ColorDepth::SuperColor, ..offered };
+        let better = VideoQos {
+            color: ColorDepth::SuperColor,
+            ..offered
+        };
         let upgraded = compute_sns(&p, [&MediaQos::Video(better)], Money::from_millis(0));
-        prop_assert!(upgraded <= base, "upgrade worsened SNS: {base:?} -> {upgraded:?}");
+        assert!(
+            upgraded <= base,
+            "upgrade worsened SNS: {base:?} -> {upgraded:?} (seed {seed})"
+        );
     }
+}
 
-    /// An offer meeting the request exactly is DESIRABLE iff within budget.
-    #[test]
-    fn exact_match_desirability(req in arb_video(), cost in 0i64..10_000, max in 0i64..10_000) {
+/// An offer meeting the request exactly is DESIRABLE iff within budget.
+#[test]
+fn exact_match_desirability() {
+    for (seed, mut rng) in case_rngs(0xE4AC) {
+        let req = arb_video(&mut rng);
+        let cost = rng.below(10_000) as i64;
+        let max = rng.below(10_000) as i64;
         let p = strict_video_profile(req, max);
         let sns = compute_sns(&p, [&MediaQos::Video(req)], Money::from_millis(cost));
         if cost <= max {
-            prop_assert_eq!(sns, StaticNegotiationStatus::Desirable);
+            assert_eq!(sns, StaticNegotiationStatus::Desirable, "seed {seed}");
         } else {
-            prop_assert_eq!(sns, StaticNegotiationStatus::Acceptable);
+            assert_eq!(sns, StaticNegotiationStatus::Acceptable, "seed {seed}");
         }
     }
+}
 
-    /// Classification output: a permutation of the input, SNS groups in
-    /// order, OIF descending inside each group.
-    #[test]
-    fn classification_sort_invariants(
-        offers in prop::collection::vec((arb_video(), 0i64..9_000), 1..40)
-    ) {
+/// Classification output: a permutation of the input, SNS groups in order,
+/// OIF descending inside each group.
+#[test]
+fn classification_sort_invariants() {
+    for (seed, mut rng) in case_rngs(0xC1A5) {
         let p = strict_video_profile(
             VideoQos {
                 color: ColorDepth::Color,
@@ -101,54 +120,76 @@ proptest! {
             },
             4_000,
         );
-        let input: Vec<SystemOffer> = offers
-            .iter()
-            .enumerate()
-            .map(|(i, (q, c))| video_offer(i as u64, *q, *c))
+        let n = rng.range_u64(1, 39) as usize;
+        let input: Vec<SystemOffer> = (0..n)
+            .map(|i| {
+                let q = arb_video(&mut rng);
+                let c = rng.below(9_000) as i64;
+                video_offer(i as u64, q, c)
+            })
             .collect();
-        let n = input.len();
         let scored = classify(input, &p, ClassificationStrategy::SnsThenOif);
-        prop_assert_eq!(scored.len(), n);
+        assert_eq!(scored.len(), n, "seed {seed}");
         let mut ids: Vec<u64> = scored.iter().map(|s| s.offer.variants[0].id.0).collect();
         ids.sort_unstable();
-        prop_assert_eq!(ids, (0..n as u64).collect::<Vec<_>>());
+        assert_eq!(ids, (0..n as u64).collect::<Vec<_>>(), "seed {seed}");
         for w in scored.windows(2) {
-            prop_assert!(w[0].sns <= w[1].sns, "SNS groups out of order");
+            assert!(
+                w[0].sns <= w[1].sns,
+                "SNS groups out of order (seed {seed})"
+            );
             if w[0].sns == w[1].sns {
-                prop_assert!(w[0].oif >= w[1].oif, "OIF not descending in group");
+                assert!(
+                    w[0].oif >= w[1].oif,
+                    "OIF not descending in group (seed {seed})"
+                );
             }
         }
     }
+}
 
-    /// Piecewise-linear importance stays within the hull of its anchors.
-    #[test]
-    fn interpolation_bounded(
-        anchors in prop::collection::btree_map(0u32..2_000, -50.0f64..50.0, 1..6),
-        x in 0f64..2_000.0
-    ) {
+/// Piecewise-linear importance stays within the hull of its anchors.
+#[test]
+fn interpolation_bounded() {
+    for (seed, mut rng) in case_rngs(0x1B0D) {
+        let mut anchors: BTreeMap<u32, f64> = BTreeMap::new();
+        for _ in 0..rng.range_u64(1, 5) {
+            anchors.insert(rng.below(2_000) as u32, rng.range_f64(-50.0, 50.0));
+        }
+        let x = rng.range_f64(0.0, 2_000.0);
         let pts: Vec<(f64, f64)> = anchors.iter().map(|(&k, &v)| (k as f64, v)).collect();
         let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
         let hi = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
         let curve = PiecewiseLinear::new(pts);
         let y = curve.value_at(x);
-        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "{y} outside [{lo}, {hi}]");
+        assert!(
+            y >= lo - 1e-9 && y <= hi + 1e-9,
+            "{y} outside [{lo}, {hi}] (seed {seed})"
+        );
     }
+}
 
-    /// OIF decomposes exactly: overall = qos_importance − cost_importance.
-    #[test]
-    fn oif_decomposition(q in arb_video(), cost in 0i64..20_000) {
+/// OIF decomposes exactly: overall = qos_importance − cost_importance.
+#[test]
+fn oif_decomposition() {
+    for (seed, mut rng) in case_rngs(0x01F0) {
+        let q = arb_video(&mut rng);
+        let cost = rng.below(20_000) as i64;
         let imp = ImportanceProfile::default();
         let money = Money::from_millis(cost);
         let qos = MediaQos::Video(q);
         let overall = imp.overall([&qos], money);
-        prop_assert!(
-            (overall - (imp.media_importance(&qos) - imp.cost_importance(money))).abs() < 1e-9
+        assert!(
+            (overall - (imp.media_importance(&qos) - imp.cost_importance(money))).abs() < 1e-9,
+            "seed {seed}"
         );
     }
+}
 
-    /// Server reserve/release sequences conserve capacity exactly.
-    #[test]
-    fn server_reservation_conservation(ops in prop::collection::vec(any::<bool>(), 1..120)) {
+/// Server reserve/release sequences conserve capacity exactly.
+#[test]
+fn server_reservation_conservation() {
+    for (seed, mut rng) in case_rngs(0x5E4F) {
         let farm = ServerFarm::uniform(1, ServerConfig::era_default());
         let server = farm.server(ServerId(0)).unwrap();
         let req = StreamRequirement {
@@ -161,8 +202,8 @@ proptest! {
             guarantee: Guarantee::Guaranteed,
         };
         let mut held = Vec::new();
-        for op in ops {
-            if op {
+        for _ in 0..rng.range_u64(1, 120) {
+            if rng.chance(0.5) {
                 if let Ok(id) = server.try_reserve(req) {
                     held.push(id);
                 }
@@ -173,19 +214,22 @@ proptest! {
         for id in held.drain(..) {
             server.release(id);
         }
-        prop_assert!(server.disk_utilization() < 1e-12);
-        prop_assert!(server.interface_utilization() < 1e-12);
-        prop_assert_eq!(server.active_streams(), 0);
+        assert!(server.disk_utilization() < 1e-12, "seed {seed}");
+        assert!(server.interface_utilization() < 1e-12, "seed {seed}");
+        assert_eq!(server.active_streams(), 0, "seed {seed}");
     }
+}
 
-    /// Network path reservations roll back exactly.
-    #[test]
-    fn network_reservation_conservation(
-        ops in prop::collection::vec((0u64..4, 0u64..3, 1u64..12_000_000), 1..60)
-    ) {
+/// Network path reservations roll back exactly.
+#[test]
+fn network_reservation_conservation() {
+    for (seed, mut rng) in case_rngs(0x2E75) {
         let net = Network::new(Topology::dumbbell(4, 3, 10_000_000, 155_000_000));
         let mut held = Vec::new();
-        for (client, server, bps) in ops {
+        for _ in 0..rng.range_u64(1, 60) {
+            let client = rng.below(4);
+            let server = rng.below(3);
+            let bps = rng.range_u64(1, 12_000_000);
             if let Ok(id) = net.try_reserve(ClientId(client), ServerId(server), bps) {
                 held.push(id);
             }
@@ -193,25 +237,27 @@ proptest! {
         for id in held {
             net.release(id);
         }
-        prop_assert_eq!(net.active_reservations(), 0);
+        assert_eq!(net.active_reservations(), 0, "seed {seed}");
         for link in net.topology().link_ids() {
-            prop_assert!(net.link_utilization(link) < 1e-12);
+            assert!(net.link_utilization(link) < 1e-12, "seed {seed}");
         }
     }
+}
 
-    /// The jitter buffer never plays more media than wall time and never
-    /// exceeds capacity.
-    #[test]
-    fn buffer_conservation(
-        steps in prop::collection::vec((1u64..2_000, 0f64..3.0), 1..80),
-        capacity in 100u64..5_000
-    ) {
+/// The jitter buffer never plays more media than wall time and never
+/// exceeds capacity.
+#[test]
+fn buffer_conservation() {
+    for (seed, mut rng) in case_rngs(0xB0FF) {
+        let capacity = rng.range_u64(100, 5_000);
         let mut b = JitterBuffer::new(capacity);
-        for (dt, ratio) in steps {
+        for _ in 0..rng.range_u64(1, 80) {
+            let dt = rng.range_u64(1, 2_000);
+            let ratio = rng.range_f64(0.0, 3.0);
             let played = b.advance(dt, ratio);
-            prop_assert!(played <= dt as f64 + 1e-9);
-            prop_assert!(b.level_ms() <= capacity as f64 + 1e-9);
-            prop_assert!(b.level_ms() >= 0.0);
+            assert!(played <= dt as f64 + 1e-9, "seed {seed}");
+            assert!(b.level_ms() <= capacity as f64 + 1e-9, "seed {seed}");
+            assert!(b.level_ms() >= 0.0, "seed {seed}");
         }
     }
 }
@@ -239,8 +285,9 @@ fn negotiation_never_leaks_resources() {
             strategy: ClassificationStrategy::SnsThenOif,
             guarantee: Guarantee::Guaranteed,
             enumeration_cap: 500_000,
-        jitter_buffer_ms: 2_000,
-        prune_dominated: false,
+            jitter_buffer_ms: 2_000,
+            prune_dominated: false,
+            recorder: None,
         };
         let client = ClientMachine::era_workstation(ClientId(0));
         for doc in 1..=4u64 {

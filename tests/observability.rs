@@ -1,0 +1,188 @@
+//! Cross-crate observability integration: a QoS manager wired to a
+//! recorder emits the negotiation pipeline's stage spans in order, outcome
+//! counters account for every request, and the snapshot that `run_scenario
+//! --metrics-out` writes round-trips through JSON.
+
+use std::sync::Arc;
+
+use news_on_demand::client::ClientMachine;
+use news_on_demand::cmfs::{ServerConfig, ServerFarm};
+use news_on_demand::mmdb::{CorpusBuilder, CorpusParams};
+use news_on_demand::mmdoc::{ClientId, DocumentId, ServerId};
+use news_on_demand::netsim::{Network, Topology};
+use news_on_demand::obs::{MemorySink, ObsEvent, Recorder, Snapshot};
+use news_on_demand::qosneg::manager::{ManagerConfig, QosManager};
+use news_on_demand::qosneg::profile::tv_news_profile;
+use news_on_demand::qosneg::{CostModel, NegotiationStatus};
+use news_on_demand::simcore::StreamRng;
+use news_on_demand::workload::{run_blocking_with, BlockingConfig};
+
+fn manager(seed: u64, recorder: Recorder) -> QosManager {
+    let mut rng = StreamRng::new(seed);
+    let catalog = CorpusBuilder::new(CorpusParams {
+        documents: 10,
+        servers: (0..3).map(ServerId).collect(),
+        video_variants: (3, 6),
+        replicas: (1, 2),
+        duration_secs: (60, 120),
+        ..CorpusParams::default()
+    })
+    .build(&mut rng);
+    let m = QosManager::new(
+        catalog,
+        ServerFarm::uniform(3, ServerConfig::era_default()),
+        Network::new(Topology::dumbbell(6, 3, 25_000_000, 155_000_000)),
+        CostModel::era_default(),
+        ManagerConfig {
+            recorder: Some(recorder.clone()),
+            ..ManagerConfig::default()
+        },
+    );
+    m.farm().set_recorder(&recorder);
+    m.network().set_recorder(recorder);
+    m
+}
+
+#[test]
+fn manager_negotiation_emits_stage_spans_in_order() {
+    let sink = Arc::new(MemorySink::new());
+    let recorder = Recorder::with_sink(sink.clone());
+    let m = manager(41, recorder);
+    let client = ClientMachine::era_workstation(ClientId(0));
+    let out = m
+        .negotiate(&client, DocumentId(1), &tv_news_profile())
+        .unwrap();
+    if let Some(r) = &out.reservation {
+        m.release(r);
+    }
+
+    let events: Vec<ObsEvent> = sink.events();
+    let starts: Vec<&ObsEvent> = events.iter().filter(|e| e.kind == "span_start").collect();
+    assert_eq!(starts[0].name, "negotiate", "root span opens first");
+    let root_id = starts[0].span.unwrap();
+    assert_eq!(starts[0].parent, Some(0), "negotiate is a root span");
+
+    // Every stage span is a child of the negotiate span, in pipeline order:
+    // enumerate → prune → classify → commit… (one commit per attempt).
+    let children: Vec<&str> = starts
+        .iter()
+        .skip(1)
+        .map(|e| {
+            assert_eq!(e.parent, Some(root_id), "stage {} parented to root", e.name);
+            e.name.as_str()
+        })
+        .collect();
+    assert!(
+        children.len() >= 4,
+        "expected 4+ stage spans, got {children:?}"
+    );
+    assert_eq!(&children[..3], &["enumerate", "prune", "classify"]);
+    assert!(
+        children[3..].iter().all(|&n| n == "commit"),
+        "after classify only commit attempts remain: {children:?}"
+    );
+
+    // The root span ends last, after every child has ended.
+    let ends: Vec<&ObsEvent> = events.iter().filter(|e| e.kind == "span_end").collect();
+    assert_eq!(ends.last().unwrap().name, "negotiate");
+    assert_eq!(
+        starts.len(),
+        ends.len(),
+        "every opened span ends exactly once"
+    );
+}
+
+#[test]
+fn outcome_counters_sum_to_requests() {
+    let recorder = Recorder::new();
+    let m = manager(42, recorder.clone());
+    let profile = tv_news_profile();
+    let requests = 24u64;
+    for i in 0..requests {
+        let client = ClientMachine::era_workstation(ClientId(i % 6));
+        let doc = DocumentId(i % 10 + 1);
+        // Resources are held, so later requests saturate the system and
+        // exercise the failure statuses too.
+        let _ = m.negotiate(&client, doc, &profile).unwrap();
+    }
+
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counter_sum("negotiation.outcome"), requests);
+    let by_status: u64 = [
+        "SUCCEEDED",
+        "FAILEDWITHOFFER",
+        "FAILEDTRYLATER",
+        "FAILEDWITHOUTOFFER",
+        "FAILEDWITHLOCALOFFER",
+    ]
+    .iter()
+    .map(|s| snap.counter(&format!("negotiation.outcome{{status={s}}}")))
+    .sum();
+    assert_eq!(by_status, requests, "every outcome carries a known status");
+    assert!(
+        snap.counter(&format!(
+            "negotiation.outcome{{status={}}}",
+            NegotiationStatus::Succeeded
+        )) > 0,
+        "an idle system must admit the first sessions"
+    );
+
+    // The subsystems under the manager reported through the same recorder.
+    assert!(
+        snap.counter_sum("cmfs.admission") > 0,
+        "server admissions counted"
+    );
+    assert!(
+        snap.counter("net.reservation.attempts") > 0,
+        "network reservations counted"
+    );
+    assert_eq!(
+        snap.counter("negotiation.reservation.attempts"),
+        snap.counter_sum("negotiation.commit.refused")
+            + snap.counter("negotiation.outcome{status=SUCCEEDED}")
+            + snap.counter("negotiation.outcome{status=FAILEDWITHOFFER}"),
+        "each commit attempt either succeeds or is refused with a reason"
+    );
+}
+
+#[test]
+fn workload_snapshot_has_stage_histograms_and_round_trips() {
+    let recorder = Recorder::new();
+    let result = run_blocking_with(
+        &BlockingConfig {
+            seed: 13,
+            documents: 8,
+            servers: 3,
+            clients: 4,
+            arrivals_per_minute: 4.0,
+            horizon_minutes: 20.0,
+            ..BlockingConfig::default()
+        },
+        Some(&recorder),
+    );
+    assert!(result.offered > 0);
+
+    let snap = recorder.snapshot();
+    assert_eq!(
+        snap.counter_sum("negotiation.outcome"),
+        result.offered,
+        "one outcome per offered session"
+    );
+    for stage in ["negotiate", "enumerate", "prune", "classify", "commit"] {
+        let hist = snap
+            .histograms
+            .get(&format!("span.{stage}.ms"))
+            .unwrap_or_else(|| panic!("missing span.{stage}.ms histogram"));
+        assert!(hist.count > 0, "span.{stage}.ms has samples");
+    }
+
+    // The exact JSON the `--metrics-out` flag writes must round-trip.
+    let json = snap.to_json_pretty();
+    let back = Snapshot::from_json_str(&json).expect("snapshot JSON parses");
+    assert_eq!(back.counters, snap.counters);
+    assert_eq!(
+        back.histograms.len(),
+        snap.histograms.len(),
+        "all histograms survive the round trip"
+    );
+}

@@ -75,7 +75,11 @@ fn section_522_setting_1() {
     p.importance = ImportanceProfile::paper_example(4.0);
     let scored = classify(paper_offers(), &p, ClassificationStrategy::SnsThenOif);
     let ids: Vec<u64> = scored.iter().map(|s| s.offer.variants[0].id.0).collect();
-    assert_eq!(ids, vec![4, 3, 1, 2], "paper order: offer4, offer3, offer1, offer2");
+    assert_eq!(
+        ids,
+        vec![4, 3, 1, 2],
+        "paper order: offer4, offer3, offer1, offer2"
+    );
     // OIF values in offer-id order: 10, 7, 12, 7.
     for (id, oif) in [(1u64, 10.0), (2, 7.0), (3, 12.0), (4, 7.0)] {
         let s = scored
@@ -137,8 +141,16 @@ fn section_6_mapping_formulae_and_constants() {
         server: ServerId(0),
     };
     let spec = map_requirements(&v);
-    assert_eq!(spec.max_bit_rate, 16_000 * 8 * 25, "maxBitRate = max frame × rate");
-    assert_eq!(spec.avg_bit_rate, 6_000 * 8 * 25, "avgBitRate = avg frame × rate");
+    assert_eq!(
+        spec.max_bit_rate,
+        16_000 * 8 * 25,
+        "maxBitRate = max frame × rate"
+    );
+    assert_eq!(
+        spec.avg_bit_rate,
+        6_000 * 8 * 25,
+        "avgBitRate = avg frame × rate"
+    );
     assert_eq!(spec.max_jitter_us, 10_000, "paper: jitter = 10 ms");
     assert_eq!(spec.max_loss_rate, 0.003, "paper: loss rate = 0.003");
 }
@@ -162,10 +174,7 @@ fn section_7_formula_1_identity() {
         .collect();
     let durations = [90_000u64, 120_000, 45_000];
     // CostDoc = CostCop + Σ (CostNet_i + CostSer_i)
-    let by_formula = m.document_cost(
-        variants.iter().zip(durations),
-        Guarantee::Guaranteed,
-    );
+    let by_formula = m.document_cost(variants.iter().zip(durations), Guarantee::Guaranteed);
     let by_hand: Money = m.copyright
         + variants
             .iter()
