@@ -52,6 +52,7 @@ fn ctx(w: &World) -> NegotiationContext<'_> {
         enumeration_cap: 2_000_000,
         jitter_buffer_ms: 2_000,
         prune_dominated: false,
+        streaming: nod_qosneg::negotiate::StreamingMode::Auto,
         recorder: None,
     }
 }

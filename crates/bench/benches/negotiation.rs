@@ -2,22 +2,66 @@
 //! richness (variants per monomedia drive the offer-enumeration size),
 //! plus the observability overhead check: the same negotiation with the
 //! recorder disabled, enabled, and enabled with a sink attached.
+//!
+//! B8 — the streaming offer engine vs. the eager classify-everything
+//! path: end-to-end `negotiate()` latency when the first offer commits
+//! (streaming should only pay for the prefix), the full-sort fallback
+//! when every commit is refused (streaming must stay within ~10% of the
+//! eager path), and heap-allocation counts per negotiation measured by a
+//! counting global allocator.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use std::collections::HashMap;
 
 use nod_bench::micro::Micro;
 use nod_client::ClientMachine;
 use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
 use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
-use nod_mmdoc::{ClientId, DocumentId, ServerId};
+use nod_mmdoc::{ClientId, DocumentId, MonomediaId, ServerId, Variant};
 use nod_netsim::{Network, Topology};
 use nod_obs::{MemorySink, Recorder};
 use nod_qosneg::baseline::negotiate_static_first_fit;
-use nod_qosneg::negotiate::{negotiate, NegotiationContext};
+use nod_qosneg::classify::reservation_order;
+use nod_qosneg::engine::OfferEngine;
+use nod_qosneg::negotiate::{negotiate, NegotiationContext, StreamingMode};
 use nod_qosneg::profile::tv_news_profile;
 use nod_qosneg::{ClassificationStrategy, CostModel};
 use nod_simcore::StreamRng;
+
+/// Counts heap allocations so the b8 metrics can show how many the
+/// streaming engine avoids. Counting is a single relaxed atomic add per
+/// allocation; the timing benches share the overhead equally.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; only bookkeeping is added.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 struct World {
     catalog: Catalog,
@@ -56,8 +100,26 @@ fn ctx(w: &World) -> NegotiationContext<'_> {
         enumeration_cap: 2_000_000,
         jitter_buffer_ms: 2_000,
         prune_dominated: false,
+        streaming: StreamingMode::Auto,
         recorder: None,
     }
+}
+
+/// Allocations per `negotiate()` call, averaged over `rounds` runs.
+fn allocs_per_negotiation(
+    c: &NegotiationContext<'_>,
+    w: &World,
+    client: &ClientMachine,
+    rounds: u64,
+) -> f64 {
+    let before = alloc_count();
+    for _ in 0..rounds {
+        let out = negotiate(c, client, DocumentId(1), &tv_news_profile()).unwrap();
+        if let Some(r) = &out.reservation {
+            r.release(&w.farm, &w.network);
+        }
+    }
+    (alloc_count() - before) as f64 / rounds as f64
 }
 
 fn main() {
@@ -134,6 +196,151 @@ fn main() {
         if let Some(r) = &out.reservation {
             r.release(&w.farm, &w.network);
         }
+    });
+
+    // B8: streaming engine vs. eager classification on a rich catalog
+    // (every document carries video, narration, French narration, and a
+    // still image — four components — with an 8-rung video ladder).
+    let rich = || {
+        let mut rng = StreamRng::new(29);
+        let catalog = CorpusBuilder::new(CorpusParams {
+            documents: 4,
+            servers: (0..4).map(ServerId).collect(),
+            video_variants: (8, 8),
+            audio_variants: (6, 6),
+            replicas: (3, 3),
+            image_probability: 1.0,
+            french_probability: 1.0,
+            ..CorpusParams::default()
+        })
+        .build(&mut rng);
+        World {
+            catalog,
+            farm: ServerFarm::uniform(4, ServerConfig::era_default()),
+            network: Network::new(Topology::dumbbell(4, 4, 25_000_000, 155_000_000)),
+            cost: CostModel::era_default(),
+        }
+    };
+
+    let w8 = rich();
+    let client = ClientMachine::era_highend(ClientId(0));
+    let c_auto = ctx(&w8);
+    let c_off = NegotiationContext {
+        streaming: StreamingMode::Off,
+        ..ctx(&w8)
+    };
+
+    // First-commit path: a healthy farm accepts the best offer on the
+    // first try, so streaming only pays for the enumeration prefix.
+    m.bench("b8_streaming/first_commit/streaming", || {
+        let out = negotiate(&c_auto, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        if let Some(r) = &out.reservation {
+            r.release(&w8.farm, &w8.network);
+        }
+        out.trace.offers_streamed
+    });
+    m.bench("b8_streaming/first_commit/eager", || {
+        let out = negotiate(&c_off, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        if let Some(r) = &out.reservation {
+            r.release(&w8.farm, &w8.network);
+        }
+        out.trace.offers_enumerated
+    });
+
+    // Allocation counts on the enumeration path alone: identical prebuilt
+    // engines, then (a) stream setup + first yielded offer vs. (b) the full
+    // materialize-classify-sort. This isolates exactly what the streaming
+    // engine replaces; the end-to-end numbers below include the shared
+    // negotiation machinery (profile, feasibility, commit) on both sides.
+    let engine = {
+        let document = w8.catalog.document(DocumentId(1)).unwrap();
+        let per_mono: Vec<(MonomediaId, Vec<&Variant>)> = w8
+            .catalog
+            .variants_of_document(DocumentId(1))
+            .unwrap()
+            .into_iter()
+            .map(|(mono, variants)| {
+                let feasible: Vec<&Variant> = variants
+                    .into_iter()
+                    .filter(|v| client.feasible(v))
+                    .filter(|v| w8.network.path(client.id, v.server).is_ok())
+                    .collect();
+                (mono, feasible)
+            })
+            .collect();
+        let durations: HashMap<MonomediaId, u64> = document
+            .monomedia()
+            .iter()
+            .map(|mm| (mm.id, mm.duration_ms))
+            .collect();
+        OfferEngine::build(
+            &per_mono,
+            &durations,
+            &tv_news_profile(),
+            &w8.cost,
+            Guarantee::Guaranteed,
+            ClassificationStrategy::SnsThenOif,
+            2_000_000,
+        )
+        .unwrap()
+    };
+    const ROUNDS: u64 = 32;
+    let before = alloc_count();
+    for _ in 0..ROUNDS {
+        let mut stream = engine.reservation_stream();
+        black_box(stream.next());
+    }
+    let stream_allocs = (alloc_count() - before) as f64 / ROUNDS as f64;
+    let before = alloc_count();
+    for _ in 0..ROUNDS {
+        let ordered = engine.classify_all();
+        black_box(reservation_order(&ordered));
+    }
+    let eager_sort_allocs = (alloc_count() - before) as f64 / ROUNDS as f64;
+    m.metric(
+        "b8_allocs_enumeration_path/streaming_first_offer",
+        stream_allocs,
+    );
+    m.metric(
+        "b8_allocs_enumeration_path/eager_full_sort",
+        eager_sort_allocs,
+    );
+    m.metric(
+        "b8_allocs_enumeration_path/eager_over_streaming",
+        eager_sort_allocs / stream_allocs.max(1.0),
+    );
+
+    // Allocation counts on the same first-commit negotiation.
+    let streaming_allocs = allocs_per_negotiation(&c_auto, &w8, &client, 32);
+    let eager_allocs = allocs_per_negotiation(&c_off, &w8, &client, 32);
+    m.metric("b8_allocs_per_negotiation/streaming", streaming_allocs);
+    m.metric("b8_allocs_per_negotiation/eager", eager_allocs);
+    m.metric(
+        "b8_allocs_per_negotiation/eager_over_streaming",
+        eager_allocs / streaming_allocs.max(1.0),
+    );
+
+    // Fallback path: every server is dead, so every commit is refused and
+    // the streaming path must fall back to the full sort after its
+    // attempt budget. It should stay within ~10% of the eager path.
+    let w_dead = rich();
+    for s in w_dead.farm.ids() {
+        w_dead.farm.server(s).unwrap().set_health(0.0);
+    }
+    let d_auto = ctx(&w_dead);
+    let d_off = NegotiationContext {
+        streaming: StreamingMode::Off,
+        ..ctx(&w_dead)
+    };
+    m.bench("b8_streaming/all_refused_fallback/streaming", || {
+        let out = negotiate(&d_auto, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        debug_assert!(out.reservation.is_none());
+        out.trace.stream_fallbacks
+    });
+    m.bench("b8_streaming/all_refused_fallback/eager", || {
+        let out = negotiate(&d_off, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        debug_assert!(out.reservation.is_none());
+        out.trace.reservation_attempts
     });
 
     m.report();

@@ -30,6 +30,7 @@ fn main() {
         enumeration_cap: 500_000,
         jitter_buffer_ms: 2_000,
         prune_dominated: false,
+        streaming: nod_qosneg::negotiate::StreamingMode::Auto,
         recorder: None,
     };
 

@@ -43,6 +43,7 @@ fn main() {
                 enumeration_cap: 500_000,
                 jitter_buffer_ms: 2_000,
                 prune_dominated: false,
+                streaming: nod_qosneg::negotiate::StreamingMode::Auto,
                 recorder: None,
             };
             let out = negotiate(&ctx, &client, DocumentId(1), &profile).expect("valid request");

@@ -11,8 +11,13 @@
 //!
 //! Respects `NOD_BENCH_FAST=1` to shrink warmup and sample counts — used by
 //! CI smoke runs that only need the benches to execute, not to be precise.
+//! When `NOD_BENCH_JSON_OUT` names a file, [`Micro::report`] additionally
+//! writes the collected results and metrics there as JSON so scripts (see
+//! `scripts/bench_snapshot.sh`) can snapshot the numbers machine-readably.
 
 use std::time::{Duration, Instant};
+
+use nod_simcore::json::{Json, Num};
 
 use crate::Table;
 
@@ -38,6 +43,7 @@ pub struct Micro {
     target_sample: Duration,
     samples: usize,
     results: Vec<(String, MicroResult)>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Default for Micro {
@@ -55,6 +61,7 @@ impl Micro {
             target_sample: Duration::from_millis(if fast { 2 } else { 10 }),
             samples: if fast { 3 } else { 20 },
             results: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -98,9 +105,21 @@ impl Micro {
         result
     }
 
+    /// Record a plain numeric metric (allocation counts, ratios, sizes)
+    /// alongside the timed results; metrics go into the table footer and
+    /// the JSON dump but carry no timing statistics.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), value));
+    }
+
     /// The results collected so far, in bench order.
     pub fn results(&self) -> &[(String, MicroResult)] {
         &self.results
+    }
+
+    /// The plain metrics collected so far, in record order.
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
     }
 
     /// Render all collected results as an aligned table.
@@ -115,12 +134,65 @@ impl Micro {
                 format!("{}x{}", r.samples, r.batch),
             ]);
         }
-        t.render()
+        let mut out = t.render();
+        if !self.metrics.is_empty() {
+            let mut mt = Table::new(&["metric", "value"]);
+            for (name, v) in &self.metrics {
+                mt.row(&[name.clone(), fmt_metric(*v)]);
+            }
+            out.push_str(&mt.render());
+        }
+        out
     }
 
-    /// Print the table to stdout (the benches' final act).
+    /// The collected results and metrics as a JSON object:
+    /// `{"benches": {name: {median_ns, mean_ns, min_ns}}, "metrics": {name: v}}`.
+    pub fn to_json(&self) -> Json {
+        let benches = self
+            .results
+            .iter()
+            .map(|(name, r)| {
+                let stats = Json::Obj(vec![
+                    ("median_ns".into(), Json::Num(Num::F(r.median_ns))),
+                    ("mean_ns".into(), Json::Num(Num::F(r.mean_ns))),
+                    ("min_ns".into(), Json::Num(Num::F(r.min_ns))),
+                ]);
+                (name.clone(), stats)
+            })
+            .collect();
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, v)| (name.clone(), Json::Num(Num::F(*v))))
+            .collect();
+        Json::Obj(vec![
+            ("benches".into(), Json::Obj(benches)),
+            ("metrics".into(), Json::Obj(metrics)),
+        ])
+    }
+
+    /// Print the table to stdout (the benches' final act). When the
+    /// `NOD_BENCH_JSON_OUT` environment variable names a path, also write
+    /// the results there as JSON for scripted snapshots.
     pub fn report(&self) {
         print!("{}", self.render());
+        if let Ok(path) = std::env::var("NOD_BENCH_JSON_OUT") {
+            if !path.is_empty() {
+                let body = self.to_json().to_string_pretty();
+                if let Err(e) = std::fs::write(&path, body + "\n") {
+                    eprintln!("warning: NOD_BENCH_JSON_OUT={path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Metric formatting: integers print bare, fractions keep two decimals.
+fn fmt_metric(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
     }
 }
 
@@ -145,6 +217,7 @@ mod tests {
             target_sample: Duration::from_micros(100),
             samples: 5,
             results: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -173,6 +246,22 @@ mod tests {
         let first = out.find("first").unwrap();
         let second = out.find("second").unwrap();
         assert!(first < second, "{out}");
+    }
+
+    #[test]
+    fn metrics_render_and_serialize() {
+        let mut m = fast_harness();
+        m.bench("timed", || 1u64);
+        m.metric("allocs", 42.0);
+        m.metric("ratio", 2.5);
+        let out = m.render();
+        assert!(out.contains("allocs"), "{out}");
+        assert!(out.contains("42"), "{out}");
+        let json = m.to_json().to_string_compact();
+        assert!(json.contains("\"allocs\":42"), "{json}");
+        assert!(json.contains("\"ratio\":2.5"), "{json}");
+        assert!(json.contains("\"timed\""), "{json}");
+        assert!(json.contains("median_ns"), "{json}");
     }
 
     #[test]

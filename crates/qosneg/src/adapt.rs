@@ -142,6 +142,7 @@ mod tests {
             enumeration_cap: 200_000,
             jitter_buffer_ms: 2_000,
             prune_dominated: false,
+            streaming: crate::negotiate::StreamingMode::Auto,
             recorder: None,
         }
     }

@@ -18,6 +18,7 @@ use nod_client::ClientMachine;
 use nod_mmdoc::{DocumentId, MonomediaId, Variant};
 
 use crate::classify::{classify, ClassificationStrategy, ScoredOffer};
+use crate::engine::OfferList;
 use crate::money::Money;
 use crate::negotiate::{
     try_commit, NegotiationContext, NegotiationError, NegotiationOutcome, NegotiationStatus,
@@ -80,7 +81,8 @@ fn outcome_for_offer(
         user_offer: reserved.then(|| scored[0].offer.to_user_offer()),
         reserved_index: reserved.then_some(0),
         reservation,
-        ordered_offers: scored,
+        reserved_offer: reserved.then(|| scored[0].clone()),
+        ordered_offers: scored.into(),
         local_offer: None,
         commit_failures: Vec::new(),
         trace,
@@ -114,7 +116,8 @@ pub fn negotiate_static_first_fit(
                     user_offer: None,
                     reserved_index: None,
                     reservation: None,
-                    ordered_offers: Vec::new(),
+                    reserved_offer: None,
+                    ordered_offers: OfferList::default(),
                     local_offer: None,
                     commit_failures: Vec::new(),
                     trace,
@@ -176,7 +179,8 @@ pub fn negotiate_per_monomedia(
                 user_offer: None,
                 reserved_index: None,
                 reservation: None,
-                ordered_offers: Vec::new(),
+                reserved_offer: None,
+                ordered_offers: OfferList::default(),
                 local_offer: None,
                 commit_failures: Vec::new(),
                 trace,
@@ -211,7 +215,8 @@ pub fn negotiate_per_monomedia(
                     user_offer: None,
                     reserved_index: None,
                     reservation: None,
-                    ordered_offers: Vec::new(),
+                    reserved_offer: None,
+                    ordered_offers: OfferList::default(),
                     local_offer: None,
                     commit_failures: Vec::new(),
                     trace,
@@ -250,7 +255,8 @@ pub fn negotiate_per_monomedia(
         user_offer: Some(scored[0].offer.to_user_offer()),
         reserved_index: Some(0),
         reservation: Some(reservation),
-        ordered_offers: scored,
+        reserved_offer: Some(scored[0].clone()),
+        ordered_offers: scored.into(),
         local_offer: None,
         commit_failures: Vec::new(),
         trace,
@@ -304,6 +310,7 @@ mod tests {
             enumeration_cap: 200_000,
             jitter_buffer_ms: 2_000,
             prune_dominated: false,
+            streaming: crate::negotiate::StreamingMode::Auto,
             recorder: None,
         }
     }

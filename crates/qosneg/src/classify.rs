@@ -83,22 +83,24 @@ impl ScoredOffer {
     }
 }
 
-fn sort_key_cmp(
+/// The classification sort key. `f64::total_cmp` (not
+/// `partial_cmp(..).unwrap_or(Equal)`): a NaN OIF — reachable through a
+/// custom importance profile — made the old comparator intransitive
+/// (`NaN == x` for every `x`), which violates `sort_by`'s strict-weak-order
+/// contract and can panic in recent `std`. The total order sorts NaNs
+/// deterministically instead. Shared with the streaming engine
+/// ([`crate::engine`]) so both paths rank offers identically.
+pub(crate) fn sort_key_cmp(
     strategy: ClassificationStrategy,
     a: &ScoredOffer,
     b: &ScoredOffer,
 ) -> std::cmp::Ordering {
-    use std::cmp::Ordering;
-    let by_oif =
-        |x: &ScoredOffer, y: &ScoredOffer| y.oif.partial_cmp(&x.oif).unwrap_or(Ordering::Equal);
+    let by_oif = |x: &ScoredOffer, y: &ScoredOffer| y.oif.total_cmp(&x.oif);
     match strategy {
         ClassificationStrategy::SnsThenOif => a.sns.cmp(&b.sns).then_with(|| by_oif(a, b)),
         ClassificationStrategy::OifOnly => by_oif(a, b),
         ClassificationStrategy::CostOnly => a.offer.cost.cmp(&b.offer.cost),
-        ClassificationStrategy::QosOnly => b
-            .qos_importance
-            .partial_cmp(&a.qos_importance)
-            .unwrap_or(Ordering::Equal),
+        ClassificationStrategy::QosOnly => b.qos_importance.total_cmp(&a.qos_importance),
     }
 }
 
@@ -320,6 +322,51 @@ mod tests {
         for (a, b) in par.iter().zip(&seq) {
             assert_eq!(a.sns, b.sns);
             assert_eq!(a.oif, b.oif);
+        }
+    }
+
+    #[test]
+    fn nan_importance_classifies_without_panicking() {
+        // A pathological importance profile can produce NaN OIFs (curves
+        // are validated, but the color/audio arrays are raw fields). The
+        // comparator must stay a strict weak order: no panic, a
+        // deterministic order, and finite offers still sorted correctly
+        // among themselves.
+        let mut p = paper_profile(ImportanceProfile::paper_example(4.0));
+        p.importance.color[0] = f64::NAN; // BlackWhite → NaN importance
+        let mut offers = paper_offers();
+        // Plenty of NaN-scored offers interleaved with finite ones.
+        for i in 0..64 {
+            offers.push(offer(
+                100 + i,
+                if i % 2 == 0 {
+                    ColorDepth::BlackWhite
+                } else {
+                    ColorDepth::Grey
+                },
+                25,
+                (i % 7) as f64,
+            ));
+        }
+        for strategy in [
+            ClassificationStrategy::SnsThenOif,
+            ClassificationStrategy::OifOnly,
+            ClassificationStrategy::QosOnly,
+        ] {
+            let scored = classify(offers.clone(), &p, strategy);
+            assert_eq!(scored.len(), offers.len());
+            // Deterministic: the same input sorts the same way twice.
+            let again = classify(offers.clone(), &p, strategy);
+            assert_eq!(order_ids(&scored), order_ids(&again));
+            // Finite OIFs are still descending among themselves (OifOnly).
+            if strategy == ClassificationStrategy::OifOnly {
+                let finite: Vec<f64> = scored
+                    .iter()
+                    .map(|s| s.oif)
+                    .filter(|o| o.is_finite())
+                    .collect();
+                assert!(finite.windows(2).all(|w| w[0] >= w[1]), "{finite:?}");
+            }
         }
     }
 

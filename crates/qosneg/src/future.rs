@@ -206,7 +206,7 @@ pub fn negotiate_future(
                 user_offer: o.user_offer,
                 booking: None,
                 booked_index: None,
-                ordered_offers: o.ordered_offers,
+                ordered_offers: o.ordered_offers.into_vec(),
                 trace: o.trace,
             });
         }
@@ -295,6 +295,7 @@ mod tests {
             enumeration_cap: 200_000,
             jitter_buffer_ms: 2_000,
             prune_dominated: false,
+            streaming: crate::negotiate::StreamingMode::Auto,
             recorder: None,
         }
     }

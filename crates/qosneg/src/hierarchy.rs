@@ -86,6 +86,7 @@ fn ctx<'a>(domain: &'a Domain, config: &MultiDomainConfig<'a>) -> NegotiationCon
         enumeration_cap: config.enumeration_cap,
         jitter_buffer_ms: config.jitter_buffer_ms,
         prune_dominated: false,
+        streaming: crate::negotiate::StreamingMode::Auto,
         recorder: None,
     }
 }
@@ -195,7 +196,8 @@ pub fn negotiate_multidomain(
             user_offer: None,
             reserved_index: None,
             reservation: None,
-            ordered_offers: Vec::new(),
+            reserved_offer: None,
+            ordered_offers: crate::engine::OfferList::default(),
             local_offer: None,
             commit_failures: Vec::new(),
             trace: Default::default(),

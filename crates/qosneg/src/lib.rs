@@ -29,6 +29,7 @@ pub mod baseline;
 pub mod classify;
 pub mod confirm;
 pub mod cost;
+pub mod engine;
 pub mod future;
 pub mod hierarchy;
 pub mod importance;
@@ -46,14 +47,17 @@ pub use adapt::{AdaptationOutcome, AdaptationReason};
 pub use classify::{classify, ClassificationStrategy, ScoredOffer};
 pub use confirm::{ConfirmationDecision, ConfirmationTimer};
 pub use cost::{CostModel, CostTable};
+pub use engine::{OfferEngine, OfferList, OfferStream, StreamStats};
 pub use future::{AdvanceBook, AdvanceBookingId, FutureOutcome};
 pub use hierarchy::{negotiate_multidomain, Domain, MultiDomainConfig, MultiDomainOutcome};
 pub use importance::ImportanceProfile;
 pub use manager::{ManagerConfig, QosManager};
 pub use mapping::{map_requirements, NetworkQosSpec};
 pub use money::Money;
-pub use negotiate::{CommitFailure, NegotiationOutcome, NegotiationStatus, SessionReservation};
-pub use offer::{violated_components, SystemOffer, UserOffer};
+pub use negotiate::{
+    CommitFailure, NegotiationOutcome, NegotiationStatus, SessionReservation, StreamingMode,
+};
+pub use offer::{violated_components, OfferSet, SystemOffer, UserOffer};
 pub use profile::{MmQosSpec, TimeProfile, UserProfile};
 pub use prune::{dominates, importance_is_monotone, prune_dominated};
 pub use sns::StaticNegotiationStatus;

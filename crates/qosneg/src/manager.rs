@@ -39,6 +39,10 @@ pub struct ManagerConfig {
     /// see `nod_qosneg::prune`). Off by default to keep the paper's exact
     /// fallback semantics.
     pub prune_dominated: bool,
+    /// Step-5 enumeration mode (see
+    /// [`crate::negotiate::StreamingMode`]): `Auto` (the default) streams
+    /// offers lazily, `Off` forces the eager materialize-and-sort path.
+    pub streaming: crate::negotiate::StreamingMode,
     /// Observability hook shared by every negotiation, playout session and
     /// confirmation this manager drives. `None` (the default) makes all
     /// instrumentation a dead branch.
@@ -53,6 +57,7 @@ impl Default for ManagerConfig {
             enumeration_cap: 250_000,
             jitter_buffer_ms: 2_000,
             prune_dominated: false,
+            streaming: crate::negotiate::StreamingMode::Auto,
             degraded_delivery_ratio: 0.3,
             recorder: None,
         }
@@ -142,6 +147,7 @@ impl QosManager {
             enumeration_cap: self.config.enumeration_cap,
             jitter_buffer_ms: self.config.jitter_buffer_ms,
             prune_dominated: self.config.prune_dominated,
+            streaming: self.config.streaming,
             recorder: self.config.recorder.as_ref(),
         }
     }
@@ -191,7 +197,7 @@ impl QosManager {
             playout,
             reservation,
             offer_index,
-            ordered_offers: outcome.ordered_offers,
+            ordered_offers: outcome.ordered_offers.into_vec(),
         }
     }
 
@@ -310,7 +316,7 @@ impl QosManager {
                 session.playout.interrupt_for_transition();
                 self.release(&session.reservation);
                 session.reservation = reservation;
-                session.ordered_offers = outcome.ordered_offers;
+                session.ordered_offers = outcome.ordered_offers.into_vec();
                 session.offer_index = idx;
                 let timeline = self
                     .timeline_for(session.document, &session.ordered_offers[idx])

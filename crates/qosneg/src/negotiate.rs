@@ -13,11 +13,31 @@ use nod_obs::{Recorder, Span};
 
 use crate::classify::{classify, reservation_order, ClassificationStrategy, ScoredOffer};
 use crate::cost::CostModel;
+use crate::engine::{OfferEngine, OfferList, ScoredCombo};
 use crate::mapping::{charged_bit_rate, map_requirements, path_supports};
-use crate::money::Money;
-use crate::offer::{enumerate_combinations, EnumerationError, SystemOffer, UserOffer};
+use crate::offer::{EnumerationError, SystemOffer, UserOffer};
 use crate::profile::{MmQosSpec, UserProfile};
 use crate::sns::StaticNegotiationStatus;
+
+/// How steps 3–5 enumerate and order offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamingMode {
+    /// Stream offers lazily in reservation order when the engine supports
+    /// it (the default), materializing the full classified list only on
+    /// demand; falls back to the eager sort when it does not, or when
+    /// commitment keeps failing (see `STREAM_FALLBACK_ATTEMPTS`).
+    #[default]
+    Auto,
+    /// Always materialize and sort the full offer list up front (the
+    /// pre-engine behavior).
+    Off,
+}
+
+/// After this many refused commits the streaming path stops enumerating
+/// lazily and falls back to the full classified sort: a long refusal
+/// prefix means we will likely walk much of the list anyway, and the
+/// eager sort amortizes better than heap expansion past this depth.
+const STREAM_FALLBACK_ATTEMPTS: usize = 24;
 
 /// The five negotiation statuses of paper §4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,6 +100,13 @@ pub struct NegotiationTrace {
     pub reservation_attempts: usize,
     /// Offers removed by dominance pruning (0 unless enabled).
     pub offers_pruned: usize,
+    /// Offers yielded by the lazy best-first enumerator (0 on the eager
+    /// path). On the streaming path this is the prefix step 5 actually
+    /// paid for, versus `offers_enumerated` — the full product size.
+    pub offers_streamed: usize,
+    /// 1 when the streaming prefix gave up (too many refused commits) and
+    /// fell back to the full classified sort.
+    pub stream_fallbacks: usize,
 }
 
 /// The negotiation result (the "negotiation results" of §4: a status and
@@ -95,10 +122,18 @@ pub struct NegotiationOutcome {
     pub reserved_index: Option<usize>,
     /// The committed resources (present when `user_offer` is).
     pub reservation: Option<SessionReservation>,
+    /// The reserved offer itself (a clone of
+    /// `ordered_offers[reserved_index]`) — present exactly when
+    /// `reserved_index` is. Reading it does *not* force a deferred
+    /// [`OfferList`] to materialize.
+    pub reserved_offer: Option<ScoredOffer>,
     /// The full classified offer list — kept because "during the active
     /// phase, if QoS violations occur the adaptation procedure makes use of
-    /// the whole set of feasible system offers" (§4).
-    pub ordered_offers: Vec<ScoredOffer>,
+    /// the whole set of feasible system offers" (§4). On the streaming
+    /// path this is **deferred**: the list exists logically (its `len()` is
+    /// known) but is only materialized — with the same eager sort as
+    /// before — when first accessed as a slice.
+    pub ordered_offers: OfferList,
     /// The clamped QoS returned on `FailedWithLocalOffer`.
     pub local_offer: Option<MmQosSpec>,
     /// Per-offer refusal reasons collected during step 5 (offer index into
@@ -155,6 +190,11 @@ pub struct NegotiationContext<'a> {
     /// its dominator is not, so the paper's exact fallback semantics keep
     /// this off; it is an optimization knob for large catalogs.
     pub prune_dominated: bool,
+    /// Step-5 enumeration mode (see [`StreamingMode`]). `Auto` streams
+    /// offers lazily in reservation order via [`crate::engine`];
+    /// `Off` forces the eager materialize-and-sort path. Both produce
+    /// identical outcomes; pruning implies the eager path.
+    pub streaming: StreamingMode,
     /// Observability hook. `None` (the default everywhere) costs a branch
     /// per stage and nothing else; `Some` times each pipeline stage as a
     /// span and counts offers, reservation attempts and outcomes.
@@ -181,28 +221,95 @@ pub enum Prepared {
     Early(Box<NegotiationOutcome>),
 }
 
+/// [`prepare`]'s internal shape: like [`Prepared`] but the classification
+/// may still be pending inside the engine, so the streaming step 5 can
+/// avoid paying for it.
+enum PreparedInner {
+    Early(Box<NegotiationOutcome>),
+    /// Eagerly classified (the pruning path).
+    Offers(Vec<ScoredOffer>, NegotiationTrace),
+    /// Scores precomputed; enumeration and ordering still lazy.
+    Engine(Box<OfferEngine>, NegotiationTrace),
+}
+
 /// Run steps 1–4 (local check, compatibility filter, costing,
 /// classification) without committing resources. Both the immediate
 /// negotiation ([`negotiate`]) and advance negotiation
-/// ([`crate::future::negotiate_future`]) build on this.
+/// ([`crate::future::negotiate_future`]) build on this. Always returns
+/// the fully classified list; [`negotiate`] itself goes through the lazy
+/// engine instead.
 pub fn prepare(
     ctx: &NegotiationContext<'_>,
     client: &ClientMachine,
     document: DocumentId,
     profile: &UserProfile,
 ) -> Result<Prepared, NegotiationError> {
-    prepare_traced(ctx, client, document, profile, None)
+    match prepare_inner(ctx, client, document, profile, None)? {
+        PreparedInner::Early(outcome) => Ok(Prepared::Early(outcome)),
+        PreparedInner::Offers(ordered, trace) => Ok(Prepared::Offers(ordered, trace)),
+        PreparedInner::Engine(engine, trace) => {
+            Ok(Prepared::Offers(classify_engine(ctx, None, &engine), trace))
+        }
+    }
+}
+
+/// SNS class populations of a classified list: `(desirable, acceptable,
+/// constraint)`.
+fn census_of(ordered: &[ScoredOffer]) -> (u64, u64, u64) {
+    let (mut d, mut a, mut c) = (0u64, 0u64, 0u64);
+    for scored in ordered {
+        match scored.sns {
+            StaticNegotiationStatus::Desirable => d += 1,
+            StaticNegotiationStatus::Acceptable => a += 1,
+            StaticNegotiationStatus::Constraint => c += 1,
+        }
+    }
+    (d, a, c)
+}
+
+/// Emit the classification counters (`negotiation.offers.classified` and
+/// the per-class `negotiation.sns`) when a recorder is attached.
+fn emit_classified_counters(ctx: &NegotiationContext<'_>, total: usize, census: (u64, u64, u64)) {
+    if let Some(rec) = ctx.recorder {
+        rec.counter("negotiation.offers.classified", total as u64);
+        for (class, n) in [
+            ("DESIRABLE", census.0),
+            ("ACCEPTABLE", census.1),
+            ("CONSTRAINT", census.2),
+        ] {
+            if n > 0 {
+                rec.counter_with("negotiation.sns", &[("class", class)], n);
+            }
+        }
+    }
+}
+
+/// Materialize and sort the engine's full offer list under a `classify`
+/// span, with the usual classification counters.
+fn classify_engine(
+    ctx: &NegotiationContext<'_>,
+    parent: Option<&Span>,
+    engine: &OfferEngine,
+) -> Vec<ScoredOffer> {
+    let span = stage_span(ctx, parent, "classify");
+    let ordered = engine.classify_all();
+    if let Some(span) = span {
+        span.end();
+    }
+    emit_classified_counters(ctx, ordered.len(), census_of(&ordered));
+    ordered
 }
 
 /// [`prepare`] with stage spans parented under `parent` (the `negotiate`
-/// span) when tracing is active.
-fn prepare_traced(
+/// span) when tracing is active, keeping classification lazy when pruning
+/// is off.
+fn prepare_inner(
     ctx: &NegotiationContext<'_>,
     client: &ClientMachine,
     document: DocumentId,
     profile: &UserProfile,
     parent: Option<&Span>,
-) -> Result<Prepared, NegotiationError> {
+) -> Result<PreparedInner, NegotiationError> {
     profile
         .validate()
         .map_err(NegotiationError::InvalidProfile)?;
@@ -221,12 +328,13 @@ fn prepare_traced(
         if let Some(req) = profile.worst.for_kind(kind) {
             if client.check_local(&req).is_err() {
                 let local = clamp_spec(client, &profile.desired);
-                return Ok(Prepared::Early(Box::new(NegotiationOutcome {
+                return Ok(PreparedInner::Early(Box::new(NegotiationOutcome {
                     status: NegotiationStatus::FailedWithLocalOffer,
                     user_offer: None,
                     reserved_index: None,
                     reservation: None,
-                    ordered_offers: Vec::new(),
+                    reserved_offer: None,
+                    ordered_offers: OfferList::default(),
                     local_offer: Some(local),
                     commit_failures: Vec::new(),
                     trace,
@@ -254,16 +362,36 @@ fn prepare_traced(
         .collect();
     trace.feasible_variants = per_mono.iter().map(|(_, v)| v.len()).sum();
 
-    // ---- Step 3/4: enumerate, cost, classify ----------------------------
-    let combos = match enumerate_combinations(&per_mono, ctx.enumeration_cap) {
-        Ok(c) => c,
+    // ---- Step 3/4: precompute scores, enumerate (lazily) ----------------
+    // The engine clones each feasible variant once and precomputes its
+    // partial scores (importance, CostNet + CostSer, SNS flags, mapped
+    // stream spec); per-offer scoring becomes an O(k) combine of those.
+    let durations: std::collections::HashMap<MonomediaId, u64> = doc
+        .monomedia()
+        .iter()
+        .map(|m| (m.id, m.duration_ms))
+        .collect();
+    let engine = match OfferEngine::build(
+        &per_mono,
+        &durations,
+        profile,
+        ctx.cost_model,
+        ctx.guarantee,
+        ctx.strategy,
+        ctx.enumeration_cap,
+    ) {
+        Ok(engine) => engine,
         Err(EnumerationError::NoFeasibleVariant(_)) => {
-            return Ok(Prepared::Early(Box::new(NegotiationOutcome {
+            if let Some(span) = span_enumerate {
+                span.end();
+            }
+            return Ok(PreparedInner::Early(Box::new(NegotiationOutcome {
                 status: NegotiationStatus::FailedWithoutOffer,
                 user_offer: None,
                 reserved_index: None,
                 reservation: None,
-                ordered_offers: Vec::new(),
+                reserved_offer: None,
+                ordered_offers: OfferList::default(),
                 local_offer: None,
                 commit_failures: Vec::new(),
                 trace,
@@ -275,26 +403,7 @@ fn prepare_traced(
             return Err(NegotiationError::InvalidProfile(e.to_string()));
         }
     };
-    trace.offers_enumerated = combos.len();
-
-    let durations: std::collections::HashMap<MonomediaId, u64> = doc
-        .monomedia()
-        .iter()
-        .map(|m| (m.id, m.duration_ms))
-        .collect();
-    let mut offers: Vec<SystemOffer> = combos
-        .into_iter()
-        .map(|combo| {
-            let cost: Money = ctx.cost_model.document_cost(
-                combo.iter().map(|v| (*v, durations[&v.monomedia])),
-                ctx.guarantee,
-            );
-            SystemOffer {
-                variants: combo.into_iter().cloned().collect(),
-                cost,
-            }
-        })
-        .collect();
+    trace.offers_enumerated = engine.total();
     if let Some(span) = span_enumerate {
         span.end();
     }
@@ -311,13 +420,17 @@ fn prepare_traced(
 
     // The prune span is opened even when pruning is disabled so that every
     // instrumented negotiation contributes to `span.prune.ms` (a near-zero
-    // sample documents that the stage was skipped).
+    // sample documents that the stage was skipped). Pruning needs the
+    // materialized offers, so it forces the eager path.
     let span_prune = stage_span(ctx, parent, "prune");
-    if ctx.prune_dominated && crate::prune::importance_is_monotone(&profile.importance) {
-        let (survivors, pruned) = crate::prune::prune_dominated(offers);
-        offers = survivors;
-        trace.offers_pruned = pruned;
-    }
+    let pruned_offers: Option<Vec<SystemOffer>> =
+        if ctx.prune_dominated && crate::prune::importance_is_monotone(&profile.importance) {
+            let (survivors, pruned) = crate::prune::prune_dominated(engine.offers());
+            trace.offers_pruned = pruned;
+            Some(survivors)
+        } else {
+            None
+        };
     if let Some(span) = span_prune {
         span.end();
     }
@@ -325,32 +438,18 @@ fn prepare_traced(
         rec.counter("negotiation.offers.pruned", trace.offers_pruned as u64);
     }
 
-    let span_classify = stage_span(ctx, parent, "classify");
-    let ordered = classify(offers, profile, ctx.strategy);
-    if let Some(span) = span_classify {
-        span.end();
-    }
-    if let Some(rec) = ctx.recorder {
-        rec.counter("negotiation.offers.classified", ordered.len() as u64);
-        let (mut desirable, mut acceptable, mut constraint) = (0u64, 0u64, 0u64);
-        for scored in &ordered {
-            match scored.sns {
-                StaticNegotiationStatus::Desirable => desirable += 1,
-                StaticNegotiationStatus::Acceptable => acceptable += 1,
-                StaticNegotiationStatus::Constraint => constraint += 1,
+    match pruned_offers {
+        Some(offers) => {
+            let span_classify = stage_span(ctx, parent, "classify");
+            let ordered = classify(offers, profile, ctx.strategy);
+            if let Some(span) = span_classify {
+                span.end();
             }
+            emit_classified_counters(ctx, ordered.len(), census_of(&ordered));
+            Ok(PreparedInner::Offers(ordered, trace))
         }
-        for (class, n) in [
-            ("DESIRABLE", desirable),
-            ("ACCEPTABLE", acceptable),
-            ("CONSTRAINT", constraint),
-        ] {
-            if n > 0 {
-                rec.counter_with("negotiation.sns", &[("class", class)], n);
-            }
-        }
+        None => Ok(PreparedInner::Engine(Box::new(engine), trace)),
     }
-    Ok(Prepared::Offers(ordered, trace))
 }
 
 /// Run steps 1–5 for `client` requesting `document` under `profile`.
@@ -387,15 +486,174 @@ fn negotiate_steps(
     profile: &UserProfile,
     root: Option<&Span>,
 ) -> Result<NegotiationOutcome, NegotiationError> {
-    let (ordered, mut trace) = match prepare_traced(ctx, client, document, profile, root)? {
-        Prepared::Early(outcome) => return Ok(*outcome),
-        Prepared::Offers(ordered, trace) => (ordered, trace),
+    let (ordered, trace) = match prepare_inner(ctx, client, document, profile, root)? {
+        PreparedInner::Early(outcome) => return Ok(*outcome),
+        PreparedInner::Offers(ordered, trace) => (ordered, trace),
+        PreparedInner::Engine(engine, trace) => {
+            if ctx.streaming == StreamingMode::Auto && engine.streaming_supported() {
+                return Ok(negotiate_streaming(
+                    ctx, client, profile, root, *engine, trace,
+                ));
+            }
+            (classify_engine(ctx, root, &engine), trace)
+        }
     };
 
-    // ---- Step 5: resource commitment -------------------------------------
+    // ---- Step 5 (eager): walk the full reservation order ----------------
     let order = reservation_order(&ordered);
-    let mut failures: Vec<(usize, CommitFailure)> = Vec::new();
-    for idx in order {
+    Ok(commit_ordered(
+        ctx,
+        client,
+        profile,
+        root,
+        ordered,
+        &order,
+        0,
+        Vec::new(),
+        trace,
+    ))
+}
+
+/// Step 5 over the lazy engine: pull offers from the reservation-order
+/// stream and try to commit each, paying only for the attempted prefix.
+/// On success the classified list stays deferred (the outcome carries the
+/// engine); after [`STREAM_FALLBACK_ATTEMPTS`] refusals — or when the
+/// stream runs dry — the remaining walk happens on the materialized list.
+fn negotiate_streaming(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    profile: &UserProfile,
+    root: Option<&Span>,
+    engine: OfferEngine,
+    mut trace: NegotiationTrace,
+) -> NegotiationOutcome {
+    // The classify stage becomes stream setup; when instrumented, an
+    // allocation-free census keeps the per-class `negotiation.sns`
+    // counters identical to what the eager sort would have emitted.
+    let span_classify = stage_span(ctx, root, "classify");
+    if ctx.recorder.is_some() {
+        emit_classified_counters(ctx, engine.total(), engine.sns_census());
+    }
+    let mut stream = engine.reservation_stream();
+    if let Some(span) = span_classify {
+        span.end();
+    }
+
+    let mut stream_failures: Vec<(ScoredCombo, CommitFailure)> = Vec::new();
+    let mut committed: Option<(ScoredCombo, ScoredOffer, SessionReservation)> = None;
+    let mut exhausted = false;
+    while stream_failures.len() < STREAM_FALLBACK_ATTEMPTS {
+        let Some(combo) = stream.next() else {
+            exhausted = true;
+            break;
+        };
+        trace.reservation_attempts += 1;
+        let scored = engine.materialize(&combo);
+        let span_commit = stage_span(ctx, root, "commit");
+        let attempt = try_commit_diagnosed(ctx, client, &scored.offer, profile.time.max_startup_ms);
+        if let Some(span) = span_commit {
+            span.end();
+        }
+        if let Some(rec) = ctx.recorder {
+            rec.counter("negotiation.reservation.attempts", 1);
+            if let Err(reason) = &attempt {
+                rec.counter_with(
+                    "negotiation.commit.refused",
+                    &[("reason", reason.kind())],
+                    1,
+                );
+            }
+        }
+        match attempt {
+            Err(reason) => stream_failures.push((combo, reason)),
+            Ok(reservation) => {
+                committed = Some((combo, scored, reservation));
+                break;
+            }
+        }
+    }
+    let stats = stream.stats;
+    drop(stream);
+    trace.offers_streamed = stats.yielded;
+    if let Some(rec) = ctx.recorder {
+        rec.counter("negotiation.stream.yielded", stats.yielded as u64);
+        rec.counter("negotiation.stream.heap_pushes", stats.heap_pushes as u64);
+    }
+
+    if let Some((combo, scored, reservation)) = committed {
+        // Recover the classified-list indices of the attempted offers
+        // (diagnostics point into `ordered_offers`) with one counting
+        // sweep — no materialization, no sort.
+        let mut targets: Vec<&ScoredCombo> = stream_failures.iter().map(|(c, _)| c).collect();
+        targets.push(&combo);
+        let indices = engine.classified_indices(&targets);
+        let reserved_index = indices[indices.len() - 1];
+        let failures: Vec<(usize, CommitFailure)> = indices
+            .iter()
+            .zip(stream_failures)
+            .map(|(&idx, (_, reason))| (idx, reason))
+            .collect();
+        let status = if scored.satisfies_request {
+            NegotiationStatus::Succeeded
+        } else {
+            NegotiationStatus::FailedWithOffer
+        };
+        let user_offer = scored.offer.to_user_offer();
+        return NegotiationOutcome {
+            status,
+            user_offer: Some(user_offer),
+            reserved_index: Some(reserved_index),
+            reservation: Some(reservation),
+            reserved_offer: Some(scored),
+            ordered_offers: OfferList::deferred(engine),
+            local_offer: None,
+            commit_failures: failures,
+            trace,
+        };
+    }
+
+    // No commit in the streamed prefix: materialize the full list. The
+    // streamed attempts are exactly the first entries of the reservation
+    // order, so their diagnostics map positionally; the walk resumes where
+    // the stream stopped (or ends immediately when it ran dry).
+    if !exhausted {
+        trace.stream_fallbacks += 1;
+        if let Some(rec) = ctx.recorder {
+            rec.counter("negotiation.stream.fallback", 1);
+        }
+    }
+    let ordered = engine.classify_all();
+    let order = reservation_order(&ordered);
+    let attempted = stream_failures.len();
+    let failures: Vec<(usize, CommitFailure)> = order
+        .iter()
+        .zip(stream_failures)
+        .map(|(&idx, (combo, reason))| {
+            debug_assert_eq!(ordered[idx].offer.cost, combo.cost);
+            debug_assert_eq!(ordered[idx].oif.to_bits(), combo.oif.to_bits());
+            (idx, reason)
+        })
+        .collect();
+    commit_ordered(
+        ctx, client, profile, root, ordered, &order, attempted, failures, trace,
+    )
+}
+
+/// The eager step-5 walk: try to commit `ordered[order[start_at..]]` in
+/// turn, carrying over diagnostics from any attempts already made.
+#[allow(clippy::too_many_arguments)]
+fn commit_ordered(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    profile: &UserProfile,
+    root: Option<&Span>,
+    ordered: Vec<ScoredOffer>,
+    order: &[usize],
+    start_at: usize,
+    mut failures: Vec<(usize, CommitFailure)>,
+    mut trace: NegotiationTrace,
+) -> NegotiationOutcome {
+    for &idx in &order[start_at..] {
         trace.reservation_attempts += 1;
         let span_commit = stage_span(ctx, root, "commit");
         let attempt = try_commit_diagnosed(
@@ -429,30 +687,33 @@ fn negotiate_steps(
                     NegotiationStatus::FailedWithOffer
                 };
                 let user_offer = ordered[idx].offer.to_user_offer();
-                return Ok(NegotiationOutcome {
+                let reserved_offer = Some(ordered[idx].clone());
+                return NegotiationOutcome {
                     status,
                     user_offer: Some(user_offer),
                     reserved_index: Some(idx),
                     reservation: Some(reservation),
-                    ordered_offers: ordered,
+                    reserved_offer,
+                    ordered_offers: OfferList::from_vec(ordered),
                     local_offer: None,
                     commit_failures: failures,
                     trace,
-                });
+                };
             }
         }
     }
 
-    Ok(NegotiationOutcome {
+    NegotiationOutcome {
         status: NegotiationStatus::FailedTryLater,
         user_offer: None,
         reserved_index: None,
         reservation: None,
-        ordered_offers: ordered,
+        reserved_offer: None,
+        ordered_offers: OfferList::from_vec(ordered),
         local_offer: None,
         commit_failures: failures,
         trace,
-    })
+    }
 }
 
 /// Why step 5 refused to commit an offer — the diagnostic surface behind
@@ -686,6 +947,7 @@ mod tests {
             enumeration_cap: 200_000,
             jitter_buffer_ms: 2_000,
             prune_dominated: false,
+            streaming: StreamingMode::Auto,
             recorder: None,
         }
     }

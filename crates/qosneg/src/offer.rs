@@ -149,6 +149,89 @@ impl std::fmt::Display for EnumerationError {
 
 impl std::error::Error for EnumerationError {}
 
+/// The full cartesian product of per-component variant choices, stored as a
+/// flat index arena: one `Vec<u32>` of `len() × stride()` entries in
+/// row-major (lexicographic) order. Combination `i` occupies
+/// `indices[i*k .. (i+1)*k]`; entry `c` of a combination is an index into
+/// component `c`'s feasible-variant list. The flat layout replaces the old
+/// `Vec<Vec<&Variant>>` nested product: a single allocation instead of one
+/// per combination, and no lifetime coupling to the variant refs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OfferSet {
+    dims: Vec<u32>,
+    indices: Vec<u32>,
+    total: usize,
+}
+
+impl OfferSet {
+    /// Enumerate the product of `dims` choices per component, in
+    /// lexicographic order (component 0 most significant, the last
+    /// component varying fastest — the same order the nested enumeration
+    /// produced). Fails with [`EnumerationError::TooManyOffers`] when the
+    /// product exceeds `cap` (or overflows).
+    pub fn enumerate(dims: &[usize], cap: usize) -> Result<OfferSet, EnumerationError> {
+        let total: usize = dims
+            .iter()
+            .try_fold(1usize, |acc, &n| acc.checked_mul(n))
+            .ok_or(EnumerationError::TooManyOffers { cap })?;
+        if total > cap {
+            return Err(EnumerationError::TooManyOffers { cap });
+        }
+        let k = dims.len();
+        let mut indices: Vec<u32> = Vec::with_capacity(total.saturating_mul(k));
+        let mut odo = vec![0u32; k];
+        for row in 0..total {
+            if row > 0 {
+                // Advance the odometer: last component varies fastest.
+                for c in (0..k).rev() {
+                    odo[c] += 1;
+                    if (odo[c] as usize) < dims[c] {
+                        break;
+                    }
+                    odo[c] = 0;
+                }
+            }
+            indices.extend_from_slice(&odo);
+        }
+        Ok(OfferSet {
+            dims: dims.iter().map(|&d| d as u32).collect(),
+            indices,
+            total,
+        })
+    }
+
+    /// Number of combinations.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Is the product empty (some component had zero choices)?
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Entries per combination (the component count).
+    pub fn stride(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The per-component choice counts.
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Combination `i`: one variant index per component.
+    pub fn combo(&self, i: usize) -> &[u32] {
+        let k = self.dims.len();
+        &self.indices[i * k..(i + 1) * k]
+    }
+
+    /// Iterate the combinations in enumeration (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.total).map(move |i| self.combo(i))
+    }
+}
+
 /// Enumerate every combination of one variant per component — the feasible
 /// system offers *before* costing and classification.
 ///
@@ -156,6 +239,10 @@ impl std::error::Error for EnumerationError {}
 /// (the output of step 2). The cartesian product is capped at `cap`
 /// combinations; the cap exists to surface pathological catalogs rather
 /// than silently truncating (the caller can raise it).
+///
+/// This is the ref-vector view kept for API compatibility; the negotiation
+/// pipeline itself runs on the flat [`OfferSet`] arena (via
+/// [`crate::engine::OfferEngine`]) and never builds the nested vectors.
 pub fn enumerate_combinations<'a>(
     per_mono: &[(MonomediaId, Vec<&'a Variant>)],
     cap: usize,
@@ -165,28 +252,18 @@ pub fn enumerate_combinations<'a>(
             return Err(EnumerationError::NoFeasibleVariant(*mono));
         }
     }
-    let total: usize = per_mono
+    let dims: Vec<usize> = per_mono.iter().map(|(_, v)| v.len()).collect();
+    let set = OfferSet::enumerate(&dims, cap)?;
+    Ok(set
         .iter()
-        .map(|(_, v)| v.len())
-        .try_fold(1usize, |acc, n| acc.checked_mul(n))
-        .ok_or(EnumerationError::TooManyOffers { cap })?;
-    if total > cap {
-        return Err(EnumerationError::TooManyOffers { cap });
-    }
-    let mut combos: Vec<Vec<&Variant>> = Vec::with_capacity(total);
-    combos.push(Vec::new());
-    for (_, variants) in per_mono {
-        let mut next = Vec::with_capacity(combos.len() * variants.len());
-        for combo in &combos {
-            for v in variants {
-                let mut c = combo.clone();
-                c.push(*v);
-                next.push(c);
-            }
-        }
-        combos = next;
-    }
-    Ok(combos)
+        .map(|combo| {
+            combo
+                .iter()
+                .zip(per_mono)
+                .map(|(&idx, (_, variants))| variants[idx as usize])
+                .collect()
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -295,6 +372,34 @@ mod tests {
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn offer_set_is_flat_and_lexicographic() {
+        let set = OfferSet::enumerate(&[2, 3], 100).unwrap();
+        assert_eq!(set.len(), 6);
+        assert_eq!(set.stride(), 2);
+        assert_eq!(set.dims(), &[2, 3]);
+        let combos: Vec<Vec<u32>> = set.iter().map(|c| c.to_vec()).collect();
+        assert_eq!(
+            combos,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2],
+            ]
+        );
+        // Degenerate products.
+        let unit = OfferSet::enumerate(&[], 10).unwrap();
+        assert_eq!(unit.len(), 1);
+        assert_eq!(unit.combo(0), &[] as &[u32]);
+        assert_eq!(
+            OfferSet::enumerate(&[50, 50], 100).unwrap_err(),
+            EnumerationError::TooManyOffers { cap: 100 }
+        );
     }
 
     #[test]

@@ -61,23 +61,46 @@ pub fn dominates(a: &SystemOffer, b: &SystemOffer) -> bool {
 /// Remove offers dominated by another offer in the set. Returns the
 /// surviving offers (input order preserved) and the number pruned.
 ///
-/// O(n²) pairwise — enumeration caps keep n modest; the bench measures the
-/// crossover against classification cost.
+/// Sort-by-cost sweep: a dominator never costs more than its victim, so
+/// after ordering by cost each offer only needs checking against the
+/// non-dominated sweep prefix (the running Pareto front) plus its own
+/// equal-cost run, instead of every other offer. Dominance is transitive,
+/// so checking against the front alone removes exactly the offers the
+/// pairwise O(n²) pass removed: every dominated offer has a maximal
+/// dominator, and maximal offers always join the front. Worst case (all
+/// offers incomparable) is still quadratic, but on enumeration output the
+/// front stays small and dominated offers exit at the first hit.
 pub fn prune_dominated(offers: Vec<SystemOffer>) -> (Vec<SystemOffer>, usize) {
     let n = offers.len();
+    if n <= 1 {
+        return (offers, 0);
+    }
+    let mut by_cost: Vec<usize> = (0..n).collect();
+    by_cost.sort_by_key(|&i| offers[i].cost); // stable: ties keep input order
     let mut keep = vec![true; n];
-    for i in 0..n {
-        if !keep[i] {
-            continue;
+    let mut front: Vec<usize> = Vec::new();
+    let mut run_start = 0;
+    while run_start < by_cost.len() {
+        // An equal-cost run: members can dominate each other (equal cost,
+        // strictly better QoS) regardless of sweep position, so the run is
+        // judged as a block — against the cheaper front and run-internally.
+        let cost = offers[by_cost[run_start]].cost;
+        let mut run_end = run_start + 1;
+        while run_end < by_cost.len() && offers[by_cost[run_end]].cost == cost {
+            run_end += 1;
         }
-        for j in 0..n {
-            if i == j || !keep[j] {
-                continue;
-            }
-            if dominates(&offers[i], &offers[j]) {
-                keep[j] = false;
+        let run = &by_cost[run_start..run_end];
+        for &i in run {
+            let dominated = front.iter().any(|&s| dominates(&offers[s], &offers[i]))
+                || run
+                    .iter()
+                    .any(|&j| j != i && dominates(&offers[j], &offers[i]));
+            if dominated {
+                keep[i] = false;
             }
         }
+        front.extend(run.iter().copied().filter(|&i| keep[i]));
+        run_start = run_end;
     }
     let mut survivors = Vec::with_capacity(n);
     let mut pruned = 0;
@@ -221,6 +244,61 @@ mod tests {
         let (s2, p2) = prune_dominated(s1.clone());
         assert_eq!(p2, 0);
         assert_eq!(s1, s2);
+    }
+
+    /// The original pairwise O(n²) pass, kept as the reference the sweep
+    /// must reproduce exactly.
+    fn prune_dominated_reference(offers: Vec<SystemOffer>) -> (Vec<SystemOffer>, usize) {
+        let n = offers.len();
+        let mut keep = vec![true; n];
+        for i in 0..n {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..n {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if dominates(&offers[i], &offers[j]) {
+                    keep[j] = false;
+                }
+            }
+        }
+        let mut survivors = Vec::with_capacity(n);
+        let mut pruned = 0;
+        for (offer, k) in offers.into_iter().zip(keep) {
+            if k {
+                survivors.push(offer);
+            } else {
+                pruned += 1;
+            }
+        }
+        (survivors, pruned)
+    }
+
+    #[test]
+    fn sweep_matches_the_pairwise_reference() {
+        // Pseudorandom grids with deliberate equal-cost ties (costs land on
+        // a handful of buckets) so the run-block logic gets exercised.
+        let mut rng = nod_simcore::StreamRng::new(0xBEEF);
+        for round in 0..40u64 {
+            let n = 5 + (rng.below(90)) as usize;
+            let offers: Vec<SystemOffer> = (0..n)
+                .map(|i| {
+                    offer(
+                        round * 1000 + i as u64,
+                        ColorDepth::ALL[(rng.below(4)) as usize],
+                        [160, 320, 640, 960][(rng.below(4)) as usize],
+                        [5, 10, 15, 25, 30][(rng.below(5)) as usize],
+                        1_000 * (1 + (rng.below(6)) as i64),
+                    )
+                })
+                .collect();
+            let (fast, fast_pruned) = prune_dominated(offers.clone());
+            let (slow, slow_pruned) = prune_dominated_reference(offers);
+            assert_eq!(fast_pruned, slow_pruned, "round {round}");
+            assert_eq!(fast, slow, "round {round}: survivor sets differ");
+        }
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Streaming-vs-eager equivalence: the lazy best-first offer engine must
+//! reproduce the eager classify-everything pipeline *exactly* — same
+//! classified order (stable ties included), same reservation order, same
+//! SNS/OIF values bit for bit, and identical `negotiate()` outcomes —
+//! across randomized catalogs and all four classification strategies.
+
+use std::collections::HashMap;
+
+use nod_client::ClientMachine;
+use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
+use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
+use nod_mmdoc::{ClientId, DocumentId, MonomediaId, ServerId, Variant};
+use nod_netsim::{Network, Topology};
+use nod_qosneg::classify::reservation_order;
+use nod_qosneg::engine::{offer_order_cmp, OfferEngine};
+use nod_qosneg::negotiate::{negotiate, NegotiationContext, StreamingMode};
+use nod_qosneg::profile::{tv_news_profile, UserProfile};
+use nod_qosneg::{ClassificationStrategy, CostModel};
+use nod_simcore::StreamRng;
+
+const STRATEGIES: [ClassificationStrategy; 4] = [
+    ClassificationStrategy::SnsThenOif,
+    ClassificationStrategy::OifOnly,
+    ClassificationStrategy::CostOnly,
+    ClassificationStrategy::QosOnly,
+];
+
+struct World {
+    catalog: Catalog,
+    farm: ServerFarm,
+    network: Network,
+    cost: CostModel,
+}
+
+/// A randomized world: catalog shape varies with the seed so the suite
+/// covers catalogs from trivial (1 variant per component) to rich.
+fn world(seed: u64) -> World {
+    let mut shape = StreamRng::new(seed ^ 0x5EED);
+    let servers = 2 + shape.below(3) as usize;
+    let vmin = 1 + shape.below(3) as usize;
+    let vmax = vmin + shape.below(4) as usize;
+    let mut rng = StreamRng::new(seed);
+    let catalog = CorpusBuilder::new(CorpusParams {
+        documents: 6,
+        servers: (0..servers as u64).map(ServerId).collect(),
+        video_variants: (vmin, vmax),
+        audio_variants: (1 + shape.below(2) as usize, 2 + shape.below(3) as usize),
+        replicas: (1, 1 + shape.below(2) as usize),
+        image_probability: shape.f64(),
+        french_probability: shape.f64(),
+        ..CorpusParams::default()
+    })
+    .build(&mut rng);
+    World {
+        catalog,
+        farm: ServerFarm::uniform(servers, ServerConfig::era_default()),
+        network: Network::new(Topology::dumbbell(4, servers, 25_000_000, 155_000_000)),
+        cost: CostModel::era_default(),
+    }
+}
+
+fn ctx<'a>(
+    w: &'a World,
+    strategy: ClassificationStrategy,
+    mode: StreamingMode,
+) -> NegotiationContext<'a> {
+    NegotiationContext {
+        catalog: &w.catalog,
+        farm: &w.farm,
+        network: &w.network,
+        cost_model: &w.cost,
+        strategy,
+        guarantee: Guarantee::Guaranteed,
+        enumeration_cap: 500_000,
+        jitter_buffer_ms: 2_000,
+        prune_dominated: false,
+        streaming: mode,
+        recorder: None,
+    }
+}
+
+/// Replicate negotiation step 2 (feasibility filter) and build the engine
+/// the same way `prepare` does, so the streams under test see realistic
+/// component lists.
+fn engine_for(
+    w: &World,
+    client: &ClientMachine,
+    doc: DocumentId,
+    profile: &UserProfile,
+    strategy: ClassificationStrategy,
+) -> Option<OfferEngine> {
+    let document = w.catalog.document(doc)?;
+    let per_mono: Vec<(MonomediaId, Vec<&Variant>)> = w
+        .catalog
+        .variants_of_document(doc)
+        .ok()?
+        .into_iter()
+        .map(|(mono, variants)| {
+            let feasible: Vec<&Variant> = variants
+                .into_iter()
+                .filter(|v| client.feasible(v))
+                .filter(|v| w.network.path(client.id, v.server).is_ok())
+                .collect();
+            (mono, feasible)
+        })
+        .collect();
+    let durations: HashMap<MonomediaId, u64> = document
+        .monomedia()
+        .iter()
+        .map(|m| (m.id, m.duration_ms))
+        .collect();
+    OfferEngine::build(
+        &per_mono,
+        &durations,
+        profile,
+        &w.cost,
+        Guarantee::Guaranteed,
+        strategy,
+        500_000,
+    )
+    .ok()
+}
+
+/// The classified stream must replay `classify()`'s exact output: same
+/// offers at every position, SNS equal, OIF and cost bit-identical.
+#[test]
+fn classified_stream_matches_eager_classification() {
+    let client = ClientMachine::era_workstation(ClientId(0));
+    let profile = tv_news_profile();
+    let mut engines = 0usize;
+    let mut offers_checked = 0usize;
+    for seed in 0..40u64 {
+        let w = world(seed);
+        for doc in 1..=6u64 {
+            for strategy in STRATEGIES {
+                let Some(engine) = engine_for(&w, &client, DocumentId(doc), &profile, strategy)
+                else {
+                    continue;
+                };
+                assert!(engine.streaming_supported(), "seed {seed} doc {doc}");
+                let eager = engine.classify_all();
+                // Sanity: eager order is coherent under the public comparator.
+                for pair in eager.windows(2) {
+                    assert_ne!(
+                        offer_order_cmp(strategy, &pair[0], &pair[1]),
+                        std::cmp::Ordering::Greater,
+                        "seed {seed} doc {doc} {strategy:?}: eager order unsorted"
+                    );
+                }
+                let mut stream = engine.classified_stream();
+                for (i, expected) in eager.iter().enumerate() {
+                    let combo = stream.next().unwrap_or_else(|| {
+                        panic!(
+                            "seed {seed} doc {doc} {strategy:?}: stream ended at {i}, expected {}",
+                            eager.len()
+                        )
+                    });
+                    let got = engine.materialize(&combo);
+                    assert_eq!(
+                        got.oif.to_bits(),
+                        expected.oif.to_bits(),
+                        "seed {seed} doc {doc} {strategy:?} position {i}: OIF differs"
+                    );
+                    assert_eq!(
+                        &got, expected,
+                        "seed {seed} doc {doc} {strategy:?} position {i}"
+                    );
+                    offers_checked += 1;
+                }
+                assert!(
+                    stream.next().is_none(),
+                    "seed {seed} doc {doc} {strategy:?}: stream yielded extra offers"
+                );
+                engines += 1;
+            }
+        }
+    }
+    assert!(engines >= 800, "coverage too thin: {engines} engines");
+    assert!(
+        offers_checked > 10_000,
+        "coverage too thin: {offers_checked} offers"
+    );
+}
+
+/// The reservation stream (step 5's attempt order: satisfying offers in
+/// classified order, then the rest) must replay `reservation_order()`.
+#[test]
+fn reservation_stream_matches_eager_reservation_order() {
+    let client = ClientMachine::era_workstation(ClientId(0));
+    let profile = tv_news_profile();
+    for seed in 40..70u64 {
+        let w = world(seed);
+        for doc in 1..=6u64 {
+            for strategy in STRATEGIES {
+                let Some(engine) = engine_for(&w, &client, DocumentId(doc), &profile, strategy)
+                else {
+                    continue;
+                };
+                let eager = engine.classify_all();
+                let order = reservation_order(&eager);
+                let mut stream = engine.reservation_stream();
+                for (i, &idx) in order.iter().enumerate() {
+                    let combo = stream.next().unwrap_or_else(|| {
+                        panic!("seed {seed} doc {doc} {strategy:?}: short at {i}")
+                    });
+                    let got = engine.materialize(&combo);
+                    assert_eq!(
+                        got, eager[idx],
+                        "seed {seed} doc {doc} {strategy:?} attempt {i} (eager index {idx})"
+                    );
+                }
+                assert!(
+                    stream.next().is_none(),
+                    "seed {seed} doc {doc} {strategy:?}: extra reservation attempts"
+                );
+            }
+        }
+    }
+}
+
+/// End to end: `negotiate()` with streaming on and off must produce the
+/// same outcome on identically rebuilt worlds — status, chosen offer,
+/// attempt counts, per-attempt failure diagnostics, and the full ordered
+/// offer list.
+#[test]
+fn negotiate_streaming_equals_negotiate_eager() {
+    let profile = tv_news_profile();
+    for seed in 70..90u64 {
+        for strategy in STRATEGIES {
+            for doc in 1..=6u64 {
+                // Fresh world per mode: negotiation mutates farm/network
+                // state (reservations), so the two runs must not share it.
+                let run = |mode: StreamingMode| {
+                    let w = world(seed);
+                    let client = ClientMachine::era_workstation(ClientId(0));
+                    let c = ctx(&w, strategy, mode);
+                    negotiate(&c, &client, DocumentId(doc), &profile).unwrap()
+                };
+                let auto = run(StreamingMode::Auto);
+                let off = run(StreamingMode::Off);
+                let tag = format!("seed {seed} doc {doc} {strategy:?}");
+                assert_eq!(auto.status, off.status, "{tag}: status");
+                assert_eq!(auto.reserved_index, off.reserved_index, "{tag}: index");
+                assert_eq!(auto.reserved_offer, off.reserved_offer, "{tag}: offer");
+                assert_eq!(auto.commit_failures, off.commit_failures, "{tag}: failures");
+                assert_eq!(
+                    auto.trace.reservation_attempts, off.trace.reservation_attempts,
+                    "{tag}: attempts"
+                );
+                assert_eq!(
+                    auto.trace.offers_enumerated, off.trace.offers_enumerated,
+                    "{tag}: enumerated"
+                );
+                assert_eq!(
+                    auto.ordered_offers.as_slice(),
+                    off.ordered_offers.as_slice(),
+                    "{tag}: ordered offers"
+                );
+            }
+        }
+    }
+}

@@ -14,7 +14,7 @@ use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
 use nod_obs::Recorder;
 use nod_qosneg::baseline::{negotiate_per_monomedia, negotiate_static_first_fit};
-use nod_qosneg::negotiate::{negotiate, NegotiationContext, NegotiationStatus};
+use nod_qosneg::negotiate::{negotiate, NegotiationContext, NegotiationStatus, StreamingMode};
 use nod_qosneg::{ClassificationStrategy, CostModel};
 use nod_simcore::{EventQueue, Percentiles, SimDuration, SimTime, StreamRng};
 
@@ -241,6 +241,7 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
         enumeration_cap: 500_000,
         jitter_buffer_ms: 2_000,
         prune_dominated: false,
+        streaming: StreamingMode::Auto,
         recorder,
     };
 
@@ -308,11 +309,13 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
                 if let Some(reservation) = outcome.reservation {
                     if keep {
                         result.carried += 1;
-                        if let Some(idx) = outcome.reserved_index {
-                            let dollars = outcome.ordered_offers[idx].offer.cost.dollars();
+                        // `reserved_offer` avoids forcing the deferred
+                        // offer list to materialize on the hot path.
+                        if let Some(reserved) = &outcome.reserved_offer {
+                            let dollars = reserved.offer.cost.dollars();
                             cost_sum += dollars;
                             costs.push(dollars);
-                            oif_sum += outcome.ordered_offers[idx].oif;
+                            oif_sum += reserved.oif;
                         }
                         queue.schedule(
                             now + SimDuration::from_millis(duration_ms),

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Snapshot the negotiation-path microbenches into BENCH_negotiation.json.
+#
+# Runs the B4/B8 negotiation bench and the B1-B3 classification bench with
+# NOD_BENCH_JSON_OUT set, then merges the two dumps into a single JSON file
+# at the repo root. Honors NOD_BENCH_FAST=1 for a quick smoke run (CI);
+# leave it unset for publication-quality numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_negotiation.json"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "==> bench: negotiation (NOD_BENCH_FAST=${NOD_BENCH_FAST:-unset})"
+NOD_BENCH_JSON_OUT="$tmpdir/negotiation.json" \
+    cargo bench -q -p nod-bench --bench negotiation 2>&1 | tail -n +1
+
+echo "==> bench: classification"
+NOD_BENCH_JSON_OUT="$tmpdir/classification.json" \
+    cargo bench -q -p nod-bench --bench classification 2>&1 | tail -n +1
+
+{
+    echo '{'
+    echo '  "negotiation":'
+    sed 's/^/    /' "$tmpdir/negotiation.json"
+    echo '  ,'
+    echo '  "classification":'
+    sed 's/^/    /' "$tmpdir/classification.json"
+    echo '}'
+} > "$out"
+
+echo "wrote $out"

@@ -13,4 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Non-gating bench smoke: the fast-mode snapshot only has to *run* (panics
+# and build errors fail the check); the numbers themselves are not gated.
+echo "==> bench smoke (NOD_BENCH_FAST=1 scripts/bench_snapshot.sh)"
+NOD_BENCH_FAST=1 scripts/bench_snapshot.sh
+
 echo "All checks passed."

@@ -48,6 +48,7 @@ fn ctx(w: &World, prune: bool) -> NegotiationContext<'_> {
         enumeration_cap: 500_000,
         jitter_buffer_ms: 2_000,
         prune_dominated: prune,
+        streaming: nod_qosneg::negotiate::StreamingMode::Auto,
         recorder: None,
     }
 }

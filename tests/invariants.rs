@@ -287,6 +287,7 @@ fn negotiation_never_leaks_resources() {
             enumeration_cap: 500_000,
             jitter_buffer_ms: 2_000,
             prune_dominated: false,
+            streaming: nod_qosneg::negotiate::StreamingMode::Auto,
             recorder: None,
         };
         let client = ClientMachine::era_workstation(ClientId(0));
