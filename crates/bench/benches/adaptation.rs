@@ -11,10 +11,22 @@ use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
 use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
 use nod_qosneg::adapt::{adapt, AdaptationReason};
-use nod_qosneg::negotiate::{negotiate, try_commit, NegotiationContext};
+use nod_qosneg::negotiate::{try_commit, NegotiationContext, NegotiationOutcome};
 use nod_qosneg::profile::tv_news_profile;
-use nod_qosneg::{ClassificationStrategy, CostModel};
+use nod_qosneg::{
+    ClassificationStrategy, CostModel, NegotiationRequest, QosError, Session, UserProfile,
+};
 use nod_simcore::StreamRng;
+
+/// One live negotiation through the unified request API.
+fn negotiate(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    doc: DocumentId,
+    profile: &UserProfile,
+) -> Result<NegotiationOutcome, QosError> {
+    Session::new(*ctx).submit(&NegotiationRequest::new(client, doc, profile))
+}
 
 struct World {
     catalog: Catalog,

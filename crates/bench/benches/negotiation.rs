@@ -24,13 +24,37 @@ use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
 use nod_mmdoc::{ClientId, DocumentId, MonomediaId, ServerId, Variant};
 use nod_netsim::{Network, Topology};
 use nod_obs::{MemorySink, Recorder};
-use nod_qosneg::baseline::negotiate_static_first_fit;
 use nod_qosneg::classify::reservation_order;
 use nod_qosneg::engine::OfferEngine;
-use nod_qosneg::negotiate::{negotiate, NegotiationContext, StreamingMode};
+use nod_qosneg::negotiate::{NegotiationContext, NegotiationOutcome, StreamingMode};
 use nod_qosneg::profile::tv_news_profile;
-use nod_qosneg::{ClassificationStrategy, CostModel};
+use nod_qosneg::{
+    ClassificationStrategy, CostModel, NegotiationRequest, Procedure, QosError, Session,
+    UserProfile,
+};
 use nod_simcore::StreamRng;
+
+/// End-to-end negotiation through the unified request API — the public
+/// entry point callers use, so its dispatch cost is part of what B4
+/// measures.
+fn negotiate_via(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    doc: DocumentId,
+    profile: &UserProfile,
+    procedure: Procedure,
+) -> Result<NegotiationOutcome, QosError> {
+    Session::new(*ctx).submit(&NegotiationRequest::new(client, doc, profile).procedure(procedure))
+}
+
+fn negotiate(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    doc: DocumentId,
+    profile: &UserProfile,
+) -> Result<NegotiationOutcome, QosError> {
+    negotiate_via(ctx, client, doc, profile, Procedure::Smart)
+}
 
 /// Counts heap allocations so the b8 metrics can show how many the
 /// streaming engine avoids. Counting is a single relaxed atomic add per
@@ -159,8 +183,14 @@ fn main() {
         }
     });
     m.bench("b4_smart_vs_first_fit/first_fit", || {
-        let out =
-            negotiate_static_first_fit(&c, &client, DocumentId(1), &tv_news_profile()).unwrap();
+        let out = negotiate_via(
+            &c,
+            &client,
+            DocumentId(1),
+            &tv_news_profile(),
+            Procedure::FirstFit,
+        )
+        .unwrap();
         if let Some(r) = &out.reservation {
             r.release(&w.farm, &w.network);
         }

@@ -10,10 +10,9 @@ use nod_bench::{f3, standard_world, Table};
 use nod_client::ClientMachine;
 use nod_cmfs::Guarantee;
 use nod_mmdoc::{ClientId, DocumentId};
-use nod_qosneg::baseline::negotiate_per_monomedia;
-use nod_qosneg::negotiate::{negotiate, NegotiationContext, NegotiationStatus};
+use nod_qosneg::negotiate::{NegotiationContext, NegotiationStatus};
 use nod_qosneg::profile::tv_news_profile;
-use nod_qosneg::{ClassificationStrategy, Money};
+use nod_qosneg::{ClassificationStrategy, Money, NegotiationRequest, Procedure, Session};
 
 struct Tally {
     runs: u64,
@@ -62,14 +61,13 @@ fn main() {
             recorder: None,
         };
 
+        let session = Session::new(ctx);
+        let request = NegotiationRequest::new(&client, DocumentId(1), &profile);
         for (tally, outcome) in [
-            (
-                &mut atomic,
-                negotiate(&ctx, &client, DocumentId(1), &profile),
-            ),
+            (&mut atomic, session.submit(&request)),
             (
                 &mut per_mono,
-                negotiate_per_monomedia(&ctx, &client, DocumentId(1), &profile),
+                session.submit(&request.clone().procedure(Procedure::PerMonomedia)),
             ),
         ] {
             let out = outcome.expect("valid request");

@@ -10,9 +10,9 @@ use nod_bench::standard_world;
 use nod_client::ClientMachine;
 use nod_cmfs::Guarantee;
 use nod_mmdoc::{ClientId, DocumentId};
-use nod_qosneg::negotiate::{negotiate, NegotiationContext};
+use nod_qosneg::negotiate::NegotiationContext;
 use nod_qosneg::profile::tv_news_profile;
-use nod_qosneg::{ClassificationStrategy, ConfirmationTimer, Money};
+use nod_qosneg::{ClassificationStrategy, ConfirmationTimer, Money, NegotiationRequest, Session};
 use nod_simcore::SimTime;
 use nod_tui::{ProfileManagerApp, UiEvent, UiState};
 
@@ -44,7 +44,14 @@ fn main() {
 
     // The user presses OK on the default profile.
     app.handle(UiEvent::Ok);
-    let out = negotiate(&ctx, &client, DocumentId(1), &tv_news_profile()).expect("valid request");
+    let session = Session::new(ctx);
+    let out = session
+        .submit(&NegotiationRequest::new(
+            &client,
+            DocumentId(1),
+            &tv_news_profile(),
+        ))
+        .expect("valid request");
     app.handle(UiEvent::NegotiationResult {
         status: out.status,
         violated: out
@@ -70,7 +77,9 @@ fn main() {
     // Failure path: the economy profile cannot be satisfied at $0.50.
     app.handle(UiEvent::SelectProfile(1));
     app.handle(UiEvent::Ok);
-    let out = negotiate(&ctx, &client, DocumentId(1), &economy).expect("valid request");
+    let out = session
+        .submit(&NegotiationRequest::new(&client, DocumentId(1), &economy))
+        .expect("valid request");
     app.handle(UiEvent::NegotiationResult {
         status: out.status,
         violated: out

@@ -13,9 +13,9 @@ use nod_bench::{standard_world, Table};
 use nod_client::{ClientMachine, DecoderRegistry};
 use nod_cmfs::Guarantee;
 use nod_mmdoc::{ClientId, ColorDepth, DocumentId};
-use nod_qosneg::negotiate::{negotiate, NegotiationContext, NegotiationStatus};
+use nod_qosneg::negotiate::{NegotiationContext, NegotiationStatus};
 use nod_qosneg::profile::tv_news_profile;
-use nod_qosneg::{ClassificationStrategy, Money};
+use nod_qosneg::{ClassificationStrategy, Money, NegotiationRequest, Session};
 
 fn main() {
     println!("E7 — negotiation status coverage matrix (paper §4)\n");
@@ -46,7 +46,9 @@ fn main() {
                 streaming: nod_qosneg::negotiate::StreamingMode::Auto,
                 recorder: None,
             };
-            let out = negotiate(&ctx, &client, DocumentId(1), &profile).expect("valid request");
+            let out = Session::new(ctx)
+                .submit(&NegotiationRequest::new(&client, DocumentId(1), &profile))
+                .expect("valid request");
             let ok = out.status == expected;
             all_ok &= ok;
             t.row(&[

@@ -11,10 +11,10 @@ use nod_bench::{standard_world, Table};
 use nod_client::ClientMachine;
 use nod_cmfs::Guarantee;
 use nod_mmdoc::{ClientId, DocumentId};
-use nod_qosneg::future::{negotiate_future, AdvanceBook};
+use nod_qosneg::future::AdvanceBook;
 use nod_qosneg::negotiate::{NegotiationContext, NegotiationStatus};
 use nod_qosneg::profile::tv_news_profile;
-use nod_qosneg::ClassificationStrategy;
+use nod_qosneg::{ClassificationStrategy, NegotiationRequest, Session};
 use nod_simcore::SimTime;
 
 fn main() {
@@ -33,6 +33,7 @@ fn main() {
         streaming: nod_qosneg::negotiate::StreamingMode::Auto,
         recorder: None,
     };
+    let session = Session::new(ctx);
     let mut book = AdvanceBook::new(&ctx);
     let profile = tv_news_profile();
 
@@ -44,15 +45,13 @@ fn main() {
         let mut refused = 0;
         for i in 0..160u64 {
             let client = ClientMachine::era_workstation(ClientId(i % 4));
-            let out = negotiate_future(
-                &ctx,
-                &mut book,
-                &client,
-                DocumentId(1 + i % 8),
-                &profile,
-                start,
-            )
-            .expect("valid requests");
+            let out = session
+                .submit_future(
+                    &NegotiationRequest::new(&client, DocumentId(1 + i % 8), &profile)
+                        .start_at(start),
+                    &mut book,
+                )
+                .expect("valid requests");
             match out.booking {
                 Some(id) => booked.push((ClientId(i % 4), DocumentId(1 + i % 8), id)),
                 None => {
@@ -84,15 +83,13 @@ fn main() {
     if let Some((client_id, doc, id)) = slot.pop() {
         book.cancel(id);
         let client = ClientMachine::era_workstation(client_id);
-        let retry = negotiate_future(
-            &ctx,
-            &mut book,
-            &client,
-            doc,
-            &profile,
-            SimTime::from_secs(19 * 3_600),
-        )
-        .unwrap();
+        let retry = session
+            .submit_future(
+                &NegotiationRequest::new(&client, doc, &profile)
+                    .start_at(SimTime::from_secs(19 * 3_600)),
+                &mut book,
+            )
+            .unwrap();
         println!(
             "cancellation check: freed one 19:00 seat → rebooking {}",
             if retry.booking.is_some() {

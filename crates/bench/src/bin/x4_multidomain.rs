@@ -10,9 +10,11 @@ use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
 use nod_mmdb::{CorpusBuilder, CorpusParams};
 use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
-use nod_qosneg::hierarchy::{negotiate_multidomain, Domain, MultiDomainConfig};
+use nod_qosneg::hierarchy::{Domain, MultiDomainConfig};
 use nod_qosneg::profile::tv_news_profile;
-use nod_qosneg::{ClassificationStrategy, CostModel, NegotiationStatus};
+use nod_qosneg::{
+    ClassificationStrategy, CostModel, NegotiationRequest, NegotiationStatus, Session,
+};
 use nod_simcore::StreamRng;
 
 fn domain(name: &str, seed: u64, surcharge: u32) -> Domain {
@@ -69,12 +71,10 @@ fn main() {
         let mut reservations = Vec::new();
         for i in 0..sessions {
             let client = ClientMachine::era_workstation(ClientId(i % 4));
-            let out = negotiate_multidomain(
+            let out = Session::submit_multidomain(
                 &domains,
                 0,
-                &client,
-                DocumentId(1 + i % 8),
-                &tv_news_profile(),
+                &NegotiationRequest::new(&client, DocumentId(1 + i % 8), &tv_news_profile()),
                 &config,
             )
             .expect("valid requests");

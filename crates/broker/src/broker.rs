@@ -1,0 +1,590 @@
+//! The concurrent negotiation broker.
+//!
+//! [`Broker::run`] drives N sessions against one shared
+//! [`ServerFarm`](nod_cmfs::ServerFarm) + [`Network`](nod_netsim::Network)
+//! on a deterministic virtual-time event loop
+//! ([`EventQueue`](nod_simcore::EventQueue)): arrivals, jittered retries
+//! of FAILEDTRYLATER refusals, departures that release held resources,
+//! and [`FaultPlan`] window edges. Per-session RNGs are pre-split from
+//! the config seed by session index, so backoff jitter is independent of
+//! processing interleavings — the same seed, specs and fault plan replay
+//! the identical [`OutcomeEvent`] sequence bit for bit.
+//!
+//! [`Broker::run_threaded`] is the complementary *stress* mode: real OS
+//! threads race the same shared farm/network through the full
+//! reserve-server → reserve-network → confirm commit path, with results
+//! folded through a [`Sharded`] lock. Its interleavings are
+//! scheduler-dependent (only per-session backoff draws are seeded), so it
+//! audits invariants — no leaked capacity, no deadlock — rather than
+//! exact outcomes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nod_client::ClientMachine;
+use nod_mmdoc::DocumentId;
+use nod_obs::Recorder;
+use nod_qosneg::negotiate::{NegotiationContext, SessionReservation};
+use nod_qosneg::{NegotiationRequest, NegotiationStatus, RetryPolicy, Session, UserProfile};
+use nod_simcore::sync::Sharded;
+use nod_simcore::{EventQueue, SimTime, StreamRng};
+
+use crate::audit::CapacitySnapshot;
+use crate::fault::FaultPlan;
+
+/// Broker-level policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrokerConfig {
+    /// Retry policy applied to FAILEDTRYLATER refusals.
+    pub retry: RetryPolicy,
+    /// Accept a FAILEDWITHOFFER (degraded but reserved) outcome? When
+    /// `false` the broker releases the degraded reservation and counts
+    /// the session rejected.
+    pub accept_degraded: bool,
+    /// Session hold time when neither the spec nor the document supplies
+    /// one, ms.
+    pub default_hold_ms: u64,
+    /// Seed for the per-session RNG family (backoff jitter).
+    pub seed: u64,
+}
+
+impl BrokerConfig {
+    /// Plausible interactive defaults: era retry policy, degraded offers
+    /// accepted, 30 s default hold.
+    pub fn era_default() -> Self {
+        BrokerConfig {
+            retry: RetryPolicy::era_default(),
+            accept_degraded: true,
+            default_hold_ms: 30_000,
+            seed: 0x6272_6f6b,
+        }
+    }
+}
+
+/// One session the broker must place: who, what, when, for how long.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionSpec<'a> {
+    /// The requesting client machine.
+    pub client: &'a ClientMachine,
+    /// The requested document.
+    pub document: DocumentId,
+    /// The user's profile.
+    pub profile: &'a UserProfile,
+    /// Arrival instant on the broker clock, ms.
+    pub arrival_ms: u64,
+    /// How long an admitted session holds its resources, ms. `None`
+    /// falls back to the document's total duration, then to
+    /// [`BrokerConfig::default_hold_ms`].
+    pub hold_ms: Option<u64>,
+}
+
+/// How a session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionFate {
+    /// Resources committed (possibly below the requested QoS).
+    Admitted {
+        /// `true` when admission came from a FAILEDWITHOFFER outcome.
+        degraded: bool,
+    },
+    /// FAILEDTRYLATER every time until the retry budget or deadline ran
+    /// out — the contention casualty the paper's status is named for.
+    Starved,
+    /// A terminal refusal (FAILEDWITHOUTOFFER, FAILEDWITHLOCALOFFER, a
+    /// non-transient FAILEDTRYLATER, or a declined degraded offer).
+    Rejected,
+    /// The negotiation itself failed (unknown document, invalid request).
+    Errored,
+}
+
+/// Per-session summary, indexed like the input spec slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResult {
+    /// Index into the spec slice.
+    pub session: usize,
+    /// Terminal fate.
+    pub fate: SessionFate,
+    /// Attempts made (1 = admitted or refused on arrival).
+    pub attempts: u32,
+    /// Admission instant, ms — `None` unless admitted.
+    pub admitted_at_ms: Option<u64>,
+}
+
+/// One entry in the chronological outcome log — the replay unit: two
+/// runs with identical seed/specs/faults produce identical event vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeEvent {
+    /// Broker virtual time, ms.
+    pub at_ms: u64,
+    /// Session index (`usize::MAX` for fault edges).
+    pub session: usize,
+    /// What happened.
+    pub kind: OutcomeKind,
+}
+
+/// The event kinds of the outcome log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutcomeKind {
+    /// Session admitted on attempt `attempt`.
+    Admitted {
+        /// `true` for a FAILEDWITHOFFER admission.
+        degraded: bool,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// FAILEDTRYLATER; retry scheduled.
+    RetryScheduled {
+        /// When the retry fires, ms.
+        at_ms: u64,
+        /// The attempt that was just refused.
+        attempt: u32,
+    },
+    /// Retry budget or deadline exhausted.
+    Starved {
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// Terminal refusal.
+    Rejected {
+        /// The status that ended the session.
+        status: NegotiationStatus,
+    },
+    /// Negotiation error (stringified [`nod_qosneg::QosError`]).
+    Errored {
+        /// The error display text.
+        error: String,
+    },
+    /// An admitted session released its resources.
+    Departed,
+    /// A fault window started or ended; target state recomputed.
+    FaultEdge,
+}
+
+/// Aggregate result of a broker run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrokerReport {
+    /// Per-session results, in spec order.
+    pub results: Vec<SessionResult>,
+    /// Chronological outcome log (the replay unit).
+    pub events: Vec<OutcomeEvent>,
+    /// Sessions admitted (degraded included).
+    pub admitted: usize,
+    /// Admitted sessions that took a degraded offer.
+    pub degraded: usize,
+    /// Sessions starved out by contention.
+    pub starved: usize,
+    /// Sessions terminally refused.
+    pub rejected: usize,
+    /// Sessions that errored.
+    pub errored: usize,
+    /// Retries performed.
+    pub retries: u64,
+    /// Total virtual time spent backing off, ms.
+    pub backoff_ms_total: u64,
+    /// Fault windows whose start edge fired.
+    pub faults_injected: u64,
+    /// Streams (server or network side) still held after the run drained
+    /// — must be 0; see [`CapacitySnapshot`].
+    pub leaked_streams: usize,
+    /// `admitted / sessions`.
+    pub admission_ratio: f64,
+}
+
+enum Ev {
+    FaultEdge,
+    Arrival(usize),
+    Retry(usize),
+    Departure(usize),
+}
+
+struct SessState {
+    attempts: u32,
+    rng: StreamRng,
+    reservation: Option<SessionReservation>,
+    result: Option<SessionResult>,
+}
+
+/// The broker: a [`Session`] facade plus contention policy.
+pub struct Broker<'a> {
+    session: Session<'a>,
+    config: BrokerConfig,
+    recorder: Option<&'a Recorder>,
+}
+
+impl<'a> Broker<'a> {
+    /// A broker over shared system state. The context's recorder (when
+    /// present) also receives the broker's own counters and gauges.
+    pub fn new(ctx: NegotiationContext<'a>, config: BrokerConfig) -> Self {
+        Broker {
+            recorder: ctx.recorder,
+            session: Session::new(ctx),
+            config,
+        }
+    }
+
+    /// The underlying negotiation session facade.
+    pub fn session(&self) -> &Session<'a> {
+        &self.session
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        if let Some(rec) = self.recorder {
+            rec.counter(name, delta);
+        }
+    }
+
+    fn hold_ms(&self, spec: &SessionSpec<'_>) -> u64 {
+        spec.hold_ms.unwrap_or_else(|| {
+            self.session
+                .context()
+                .catalog
+                .document(spec.document)
+                .and_then(|d| d.total_duration_ms().ok())
+                .unwrap_or(self.config.default_hold_ms)
+        })
+    }
+
+    /// Drive every spec to a terminal fate on the virtual clock.
+    ///
+    /// Deterministic: the event queue breaks time ties by schedule order,
+    /// and each session draws jitter from its own pre-split RNG, so the
+    /// returned [`BrokerReport::events`] log replays exactly for a given
+    /// (seed, specs, faults) triple.
+    pub fn run(&self, specs: &[SessionSpec<'_>], faults: &FaultPlan) -> BrokerReport {
+        let ctx = self.session.context();
+        let before = CapacitySnapshot::capture(ctx.farm, ctx.network);
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        for &edge in &faults.edges_ms() {
+            queue.schedule(SimTime::from_millis(edge), Ev::FaultEdge);
+        }
+        let mut master = StreamRng::new(self.config.seed);
+        let mut sessions: Vec<SessState> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                queue.schedule(SimTime::from_millis(spec.arrival_ms), Ev::Arrival(i));
+                SessState {
+                    attempts: 0,
+                    rng: master.split(),
+                    reservation: None,
+                    result: None,
+                }
+            })
+            .collect();
+
+        let mut events: Vec<OutcomeEvent> = Vec::new();
+        let mut retries = 0u64;
+        let mut backoff_ms_total = 0u64;
+        let mut faults_injected = 0u64;
+
+        while let Some((at, ev)) = queue.pop() {
+            let now_ms = at.as_millis();
+            if let Some(rec) = self.recorder {
+                rec.set_sim_time_us(at.as_micros());
+            }
+            match ev {
+                Ev::FaultEdge => {
+                    faults.apply_state_at(ctx.farm, ctx.network, now_ms);
+                    let starts = faults
+                        .windows
+                        .iter()
+                        .filter(|w| w.from_ms == now_ms)
+                        .count() as u64;
+                    if starts > 0 {
+                        faults_injected += starts;
+                        self.counter("broker.faults.injected", starts);
+                    }
+                    events.push(OutcomeEvent {
+                        at_ms: now_ms,
+                        session: usize::MAX,
+                        kind: OutcomeKind::FaultEdge,
+                    });
+                }
+                Ev::Arrival(i) | Ev::Retry(i) => {
+                    let spec = &specs[i];
+                    let st = &mut sessions[i];
+                    st.attempts += 1;
+                    let request = NegotiationRequest::new(spec.client, spec.document, spec.profile);
+                    let kind = match self.session.submit(&request) {
+                        Ok(out) => match out.status {
+                            NegotiationStatus::Succeeded => {
+                                st.reservation = out.reservation;
+                                self.admit(i, st, spec, now_ms, false, &mut queue)
+                            }
+                            NegotiationStatus::FailedWithOffer => {
+                                if self.config.accept_degraded {
+                                    st.reservation = out.reservation;
+                                    self.admit(i, st, spec, now_ms, true, &mut queue)
+                                } else {
+                                    if let Some(res) = &out.reservation {
+                                        self.session.release(res);
+                                    }
+                                    self.finish(i, st, SessionFate::Rejected, None);
+                                    OutcomeKind::Rejected { status: out.status }
+                                }
+                            }
+                            NegotiationStatus::FailedTryLater => {
+                                let transient = out.commit_failures.is_empty()
+                                    || out.commit_failures.iter().any(|(_, f)| f.transient());
+                                self.try_later(
+                                    i,
+                                    st,
+                                    spec,
+                                    now_ms,
+                                    transient,
+                                    out.status,
+                                    &mut queue,
+                                    &mut retries,
+                                    &mut backoff_ms_total,
+                                )
+                            }
+                            _ => {
+                                // FailedWithoutOffer, FailedWithLocalOffer
+                                // and any future status: terminal, nothing
+                                // reserved.
+                                self.finish(i, st, SessionFate::Rejected, None);
+                                OutcomeKind::Rejected { status: out.status }
+                            }
+                        },
+                        Err(err) => {
+                            self.finish(i, st, SessionFate::Errored, None);
+                            OutcomeKind::Errored {
+                                error: err.to_string(),
+                            }
+                        }
+                    };
+                    events.push(OutcomeEvent {
+                        at_ms: now_ms,
+                        session: i,
+                        kind,
+                    });
+                }
+                Ev::Departure(i) => {
+                    let st = &mut sessions[i];
+                    if let Some(res) = st.reservation.take() {
+                        self.session.release(&res);
+                    }
+                    events.push(OutcomeEvent {
+                        at_ms: now_ms,
+                        session: i,
+                        kind: OutcomeKind::Departed,
+                    });
+                }
+            }
+        }
+
+        let after = CapacitySnapshot::capture(ctx.farm, ctx.network);
+        let leaked_streams = before.leaked_streams(&after);
+        if before != after {
+            self.counter("broker.leaked_reservations", leaked_streams.max(1) as u64);
+            debug_assert_eq!(
+                before, after,
+                "broker run leaked reservations: {before:?} -> {after:?}"
+            );
+        }
+
+        let results: Vec<SessionResult> = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(i, st)| {
+                st.result
+                    .unwrap_or_else(|| unreachable!("session {i} never reached a terminal fate"))
+            })
+            .collect();
+        let admitted = results
+            .iter()
+            .filter(|r| matches!(r.fate, SessionFate::Admitted { .. }))
+            .count();
+        let degraded = results
+            .iter()
+            .filter(|r| matches!(r.fate, SessionFate::Admitted { degraded: true }))
+            .count();
+        let starved = results
+            .iter()
+            .filter(|r| r.fate == SessionFate::Starved)
+            .count();
+        let rejected = results
+            .iter()
+            .filter(|r| r.fate == SessionFate::Rejected)
+            .count();
+        let errored = results
+            .iter()
+            .filter(|r| r.fate == SessionFate::Errored)
+            .count();
+        let admission_ratio = if specs.is_empty() {
+            0.0
+        } else {
+            admitted as f64 / specs.len() as f64
+        };
+        if let Some(rec) = self.recorder {
+            rec.counter("broker.retries", retries);
+            rec.counter("broker.backoff_ms", backoff_ms_total);
+            rec.counter("broker.sessions.starved", starved as u64);
+            rec.gauge("broker.admission_ratio", admission_ratio);
+        }
+        BrokerReport {
+            results,
+            events,
+            admitted,
+            degraded,
+            starved,
+            rejected,
+            errored,
+            retries,
+            backoff_ms_total,
+            faults_injected,
+            leaked_streams,
+            admission_ratio,
+        }
+    }
+
+    fn admit(
+        &self,
+        i: usize,
+        st: &mut SessState,
+        spec: &SessionSpec<'_>,
+        now_ms: u64,
+        degraded: bool,
+        queue: &mut EventQueue<Ev>,
+    ) -> OutcomeKind {
+        if st.reservation.is_some() {
+            let hold = self.hold_ms(spec).max(1);
+            queue.schedule(SimTime::from_millis(now_ms + hold), Ev::Departure(i));
+        }
+        self.finish(i, st, SessionFate::Admitted { degraded }, Some(now_ms));
+        OutcomeKind::Admitted {
+            degraded,
+            attempt: st.attempts,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_later(
+        &self,
+        i: usize,
+        st: &mut SessState,
+        spec: &SessionSpec<'_>,
+        now_ms: u64,
+        transient: bool,
+        status: NegotiationStatus,
+        queue: &mut EventQueue<Ev>,
+        retries: &mut u64,
+        backoff_ms_total: &mut u64,
+    ) -> OutcomeKind {
+        if !transient {
+            // Every refusal was load-independent (decode budget, startup
+            // bound): waiting cannot help.
+            self.finish(i, st, SessionFate::Rejected, None);
+            return OutcomeKind::Rejected { status };
+        }
+        let policy = &self.config.retry;
+        if st.attempts >= policy.max_attempts {
+            self.finish(i, st, SessionFate::Starved, None);
+            return OutcomeKind::Starved {
+                attempts: st.attempts,
+            };
+        }
+        let backoff = self
+            .config
+            .retry
+            .backoff_ms(st.attempts, &mut st.rng)
+            .max(1);
+        let fire_ms = now_ms + backoff;
+        if let Some(deadline) = policy.deadline_ms {
+            if fire_ms.saturating_sub(spec.arrival_ms) > deadline {
+                self.finish(i, st, SessionFate::Starved, None);
+                return OutcomeKind::Starved {
+                    attempts: st.attempts,
+                };
+            }
+        }
+        *retries += 1;
+        *backoff_ms_total += backoff;
+        queue.schedule(SimTime::from_millis(fire_ms), Ev::Retry(i));
+        OutcomeKind::RetryScheduled {
+            at_ms: fire_ms,
+            attempt: st.attempts,
+        }
+    }
+
+    fn finish(&self, i: usize, st: &mut SessState, fate: SessionFate, admitted_at_ms: Option<u64>) {
+        debug_assert!(st.result.is_none(), "session {i} finished twice");
+        st.result = Some(SessionResult {
+            session: i,
+            fate,
+            attempts: st.attempts,
+            admitted_at_ms,
+        });
+    }
+
+    /// Race the specs across `threads` real OS threads against the shared
+    /// farm/network — the lock-order and leak smoke test. Retries are
+    /// immediate (bounded by the retry policy's `max_attempts`); admitted
+    /// reservations are held until every thread finishes, then released
+    /// and the capacity audit runs. Returns `(admitted, leaked_streams)`.
+    ///
+    /// Outcomes are scheduler-dependent; only invariants (termination, no
+    /// leaked capacity) are stable. Use [`Broker::run`] for replayable
+    /// experiments.
+    pub fn run_threaded(&self, specs: &[SessionSpec<'_>], threads: usize) -> (usize, usize) {
+        assert!(threads >= 1);
+        let ctx = self.session.context();
+        let before = CapacitySnapshot::capture(ctx.farm, ctx.network);
+        let next = AtomicUsize::new(0);
+        let held: Sharded<Vec<SessionReservation>> = Sharded::new(threads.min(8), Vec::new);
+        let admitted = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let mut rng = StreamRng::new(
+                        self.config
+                            .seed
+                            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    );
+                    let request = NegotiationRequest::new(spec.client, spec.document, spec.profile);
+                    for _attempt in 0..self.config.retry.max_attempts.max(1) {
+                        let Ok(out) = self.session.submit(&request) else {
+                            break;
+                        };
+                        match out.status {
+                            NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer => {
+                                if let Some(res) = out.reservation {
+                                    held.lock_key(i as u64).push(res);
+                                }
+                                admitted.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            NegotiationStatus::FailedTryLater => {
+                                let transient = out.commit_failures.is_empty()
+                                    || out.commit_failures.iter().any(|(_, f)| f.transient());
+                                if !transient {
+                                    break;
+                                }
+                                // Draw (and discard) the jitter so the
+                                // per-session RNG stream matches run()'s
+                                // consumption pattern.
+                                let _ = self.config.retry.backoff_ms(1, &mut rng);
+                            }
+                            _ => break,
+                        }
+                    }
+                });
+            }
+        });
+
+        for reservations in held.into_inner() {
+            for res in &reservations {
+                self.session.release(res);
+            }
+        }
+        let after = CapacitySnapshot::capture(ctx.farm, ctx.network);
+        let leaked = before.leaked_streams(&after);
+        if before != after {
+            self.counter("broker.leaked_reservations", leaked.max(1) as u64);
+            debug_assert_eq!(before, after, "threaded broker run leaked reservations");
+        }
+        (admitted.load(Ordering::Relaxed), leaked)
+    }
+}

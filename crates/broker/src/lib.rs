@@ -1,0 +1,39 @@
+//! Concurrent negotiation broker for the news-on-demand reproduction.
+//!
+//! The paper evaluates its negotiation procedure one session at a time;
+//! a real news-on-demand service fields many concurrent requests whose
+//! commitments race for the same servers and links. This crate closes
+//! that gap:
+//!
+//! - [`Broker`] runs N sessions against one shared farm + network on a
+//!   deterministic virtual-time event loop, interpreting each request's
+//!   [`RetryPolicy`](nod_qosneg::RetryPolicy) — FAILEDTRYLATER refusals
+//!   whose commit failures are load-dependent
+//!   ([`CommitFailure::transient`](nod_qosneg::CommitFailure::transient))
+//!   back off exponentially with seeded jitter and try again; admitted
+//!   sessions hold resources for their document's duration and release
+//!   them on departure, which is exactly what lets later retries succeed.
+//! - [`FaultPlan`] injects replayable degradations — server crashes,
+//!   admission brownouts, link blackouts and capacity drops — over timed
+//!   windows.
+//! - [`CapacitySnapshot`] audits release-on-failure end to end: after a
+//!   run drains, farm and network capacity must equal the pristine
+//!   baseline, else `broker.leaked_reservations` fires (and a debug
+//!   assertion trips).
+//!
+//! Observability flows through the context's
+//! [`Recorder`](nod_obs::Recorder): `broker.retries`,
+//! `broker.backoff_ms`, `broker.faults.injected`,
+//! `broker.sessions.starved`, `broker.leaked_reservations` counters and
+//! the `broker.admission_ratio` gauge.
+
+mod audit;
+mod broker;
+mod fault;
+
+pub use audit::CapacitySnapshot;
+pub use broker::{
+    Broker, BrokerConfig, BrokerReport, OutcomeEvent, OutcomeKind, SessionFate, SessionResult,
+    SessionSpec,
+};
+pub use fault::{Fault, FaultPlan, FaultWindow};

@@ -102,6 +102,10 @@ pub enum AdmissionError {
         /// The configured limit.
         limit: usize,
     },
+    /// The server is draining: new admissions are paused (see
+    /// [`crate::FileServer::set_admission_factor`]); existing streams are
+    /// unaffected.
+    AdmissionPaused,
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -126,6 +130,7 @@ impl std::fmt::Display for AdmissionError {
             AdmissionError::StreamLimit { limit } => {
                 write!(f, "stream limit reached ({limit})")
             }
+            AdmissionError::AdmissionPaused => write!(f, "admissions paused (server draining)"),
         }
     }
 }

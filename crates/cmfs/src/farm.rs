@@ -99,6 +99,19 @@ impl ServerFarm {
             .collect()
     }
 
+    /// Aggregate reserved capacity across the farm — the capacity-audit
+    /// snapshot the broker compares before and after a fully-drained run
+    /// to detect leaked reservations.
+    pub fn usage(&self) -> FarmUsage {
+        let mut usage = FarmUsage::default();
+        for server in self.servers.values() {
+            usage.streams += server.active_streams();
+            usage.round_us += server.used_round_us();
+            usage.bps += server.used_bps();
+        }
+        usage
+    }
+
     /// Mean disk utilization across the farm.
     pub fn mean_disk_utilization(&self) -> f64 {
         if self.servers.is_empty() {
@@ -110,6 +123,17 @@ impl ServerFarm {
             .sum::<f64>()
             / self.servers.len() as f64
     }
+}
+
+/// Aggregate reserved capacity across a farm (see [`ServerFarm::usage`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FarmUsage {
+    /// Active reservations, all servers.
+    pub streams: usize,
+    /// Reserved disk round time, µs, all servers.
+    pub round_us: u64,
+    /// Reserved interface bandwidth, bits/s, all servers.
+    pub bps: u64,
 }
 
 /// Farm-level reservation failures.

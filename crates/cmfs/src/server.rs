@@ -54,6 +54,12 @@ struct ServerState {
     /// is congested; reservations that no longer fit are *violated* (the
     /// adaptation trigger), not evicted.
     health: f64,
+    /// Multiplier on the capacity offered to *new* admissions, `0.0..=1.0`.
+    /// Unlike `health` it never violates already-committed streams: it
+    /// models an operator draining a server or a control-plane brownout
+    /// (the broker's slow-admission fault), where existing service is
+    /// honored but new work is throttled or refused.
+    admission_factor: f64,
 }
 
 /// A continuous-media file server.
@@ -92,6 +98,7 @@ impl FileServer {
                 used_round_us: 0,
                 used_bps: 0,
                 health: 1.0,
+                admission_factor: 1.0,
             }),
             next_reservation: AtomicU64::new(1),
             recorder: OnceLock::new(),
@@ -145,14 +152,21 @@ impl FileServer {
     /// interface bandwidth test against the charged bit rate.
     pub fn try_reserve(&self, req: StreamRequirement) -> Result<ReservationId, AdmissionError> {
         let mut st = self.state.lock();
+        if st.admission_factor <= 0.0 {
+            self.count_rejection("paused");
+            return Err(AdmissionError::AdmissionPaused);
+        }
         if st.reservations.len() >= self.config.max_streams {
             self.count_rejection("stream_limit");
             return Err(AdmissionError::StreamLimit {
                 limit: self.config.max_streams,
             });
         }
+        // New admissions see capacity scaled by both congestion (`health`)
+        // and the drain throttle; existing reservations only feel `health`.
+        let effective = st.health * st.admission_factor;
         let cost_us = self.round_cost_us(&req);
-        let cap_us = self.capacity_round_us(st.health);
+        let cap_us = self.capacity_round_us(effective);
         if st.used_round_us + cost_us > cap_us {
             self.count_rejection("disk");
             return Err(AdmissionError::DiskSaturated {
@@ -162,7 +176,7 @@ impl FileServer {
             });
         }
         let bps = req.charged_bit_rate();
-        let cap_bps = self.capacity_bps(st.health);
+        let cap_bps = self.capacity_bps(effective);
         if st.used_bps + bps > cap_bps {
             self.count_rejection("interface");
             return Err(AdmissionError::InterfaceSaturated {
@@ -245,6 +259,37 @@ impl FileServer {
     /// Current health factor.
     pub fn health(&self) -> f64 {
         self.state.lock().health
+    }
+
+    /// Throttle *new* admissions to `factor` ∈ [0, 1] of capacity without
+    /// violating existing reservations (the slow-admission fault hook; 0
+    /// refuses all new work). Contrast [`FileServer::set_health`], which
+    /// also degrades committed streams.
+    ///
+    /// # Panics
+    /// Panics outside [0, 1].
+    pub fn set_admission_factor(&self, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "admission factor must be in [0,1]"
+        );
+        self.state.lock().admission_factor = factor;
+    }
+
+    /// Current admission throttle.
+    pub fn admission_factor(&self) -> f64 {
+        self.state.lock().admission_factor
+    }
+
+    /// Disk round time currently reserved, µs (capacity-audit accessor).
+    pub fn used_round_us(&self) -> u64 {
+        self.state.lock().used_round_us
+    }
+
+    /// Interface bandwidth currently reserved, bits/s (capacity-audit
+    /// accessor).
+    pub fn used_bps(&self) -> u64 {
+        self.state.lock().used_bps
     }
 
     /// Reservations that no longer fit the degraded capacity — the streams
@@ -413,6 +458,56 @@ mod tests {
         let s = FileServer::new(ServerId(0), ServerConfig::era_default());
         s.set_health(0.0);
         assert!(s.try_reserve(mpeg1_req(0, Guarantee::BestEffort)).is_err());
+    }
+
+    #[test]
+    fn admission_pause_refuses_new_work_without_violating_existing() {
+        let s = FileServer::new(ServerId(0), ServerConfig::era_default());
+        let held = s.try_reserve(mpeg1_req(0, Guarantee::Guaranteed)).unwrap();
+        s.set_admission_factor(0.0);
+        assert_eq!(
+            s.try_reserve(mpeg1_req(1, Guarantee::Guaranteed)),
+            Err(AdmissionError::AdmissionPaused)
+        );
+        // Unlike set_health(0.0), the committed stream is not violated.
+        assert!(s.violated_reservations().is_empty());
+        assert_eq!(s.active_streams(), 1);
+        // Recovery restores admissions; audit accessors balance on release.
+        s.set_admission_factor(1.0);
+        assert!(s.try_reserve(mpeg1_req(2, Guarantee::Guaranteed)).is_ok());
+        s.release(held);
+        assert!(s.used_round_us() > 0);
+        assert!(s.used_bps() > 0);
+    }
+
+    #[test]
+    fn partial_admission_throttle_shrinks_new_capacity_only() {
+        let s = FileServer::new(ServerId(0), ServerConfig::era_default());
+        let mut admitted_full = 0u64;
+        while s
+            .try_reserve(mpeg1_req(admitted_full, Guarantee::Guaranteed))
+            .is_ok()
+        {
+            admitted_full += 1;
+            assert!(admitted_full < 500);
+        }
+        let throttled = FileServer::new(ServerId(1), ServerConfig::era_default());
+        throttled.set_admission_factor(0.5);
+        let mut admitted_half = 0u64;
+        while throttled
+            .try_reserve(mpeg1_req(admitted_half, Guarantee::Guaranteed))
+            .is_ok()
+        {
+            admitted_half += 1;
+            assert!(admitted_half < 500);
+        }
+        assert!(
+            admitted_half < admitted_full,
+            "throttle must shrink admissions ({admitted_half} vs {admitted_full})"
+        );
+        // Streams admitted under the throttle are within true capacity, so
+        // none are violated.
+        assert!(throttled.violated_reservations().is_empty());
     }
 
     #[test]

@@ -273,6 +273,18 @@ impl Network {
         self.state.lock().reservations.len()
     }
 
+    /// Total bandwidth reserved across all links, bits/s (counting a flow
+    /// once per link it crosses) — the capacity-audit accessor the broker
+    /// compares before and after a fully-drained run.
+    pub fn total_reserved_bps(&self) -> u64 {
+        self.state.lock().reserved_bps.values().sum()
+    }
+
+    /// Current health factor of a link (1.0 unless degraded).
+    pub fn link_health(&self, link: LinkId) -> f64 {
+        self.state.lock().health.get(&link).copied().unwrap_or(1.0)
+    }
+
     /// Reserved fraction of a link's nominal capacity.
     pub fn link_utilization(&self, link: LinkId) -> f64 {
         let st = self.state.lock();

@@ -98,7 +98,7 @@ mod tests {
     use super::*;
     use crate::classify::ClassificationStrategy;
     use crate::cost::CostModel;
-    use crate::negotiate::{negotiate, NegotiationStatus};
+    use crate::negotiate::{negotiate_impl as negotiate, NegotiationStatus};
     use crate::profile::tv_news_profile;
     use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
     use nod_mmdb::{CorpusBuilder, CorpusParams};

@@ -91,7 +91,20 @@ fn outcome_for_offer(
 
 /// Static first-fit negotiation: evaluate the capacity of the single
 /// a-priori configuration and accept or reject.
+#[deprecated(
+    since = "0.4.0",
+    note = "build a NegotiationRequest with Procedure::FirstFit and call Session::submit"
+)]
 pub fn negotiate_static_first_fit(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    document: DocumentId,
+    profile: &UserProfile,
+) -> Result<NegotiationOutcome, NegotiationError> {
+    negotiate_static_first_fit_impl(ctx, client, document, profile)
+}
+
+pub(crate) fn negotiate_static_first_fit_impl(
     ctx: &NegotiationContext<'_>,
     client: &ClientMachine,
     document: DocumentId,
@@ -148,7 +161,20 @@ pub fn negotiate_static_first_fit(
 /// The document-level cost ceiling is never consulted during optimization —
 /// exactly the blind spot the paper's atomic whole-document negotiation
 /// fixes.
+#[deprecated(
+    since = "0.4.0",
+    note = "build a NegotiationRequest with Procedure::PerMonomedia and call Session::submit"
+)]
 pub fn negotiate_per_monomedia(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    document: DocumentId,
+    profile: &UserProfile,
+) -> Result<NegotiationOutcome, NegotiationError> {
+    negotiate_per_monomedia_impl(ctx, client, document, profile)
+}
+
+pub(crate) fn negotiate_per_monomedia_impl(
     ctx: &NegotiationContext<'_>,
     client: &ClientMachine,
     document: DocumentId,
@@ -266,8 +292,12 @@ pub fn negotiate_per_monomedia(
 #[cfg(test)]
 mod tests {
     use super::*;
+    // The unit tests exercise the implementations directly; the deprecated
+    // shims are one line over them.
+    use super::negotiate_per_monomedia_impl as negotiate_per_monomedia;
+    use super::negotiate_static_first_fit_impl as negotiate_static_first_fit;
     use crate::cost::CostModel;
-    use crate::negotiate::negotiate;
+    use crate::negotiate::negotiate_impl as negotiate;
     use crate::profile::tv_news_profile;
     use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
     use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};

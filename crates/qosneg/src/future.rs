@@ -190,7 +190,22 @@ pub struct FutureOutcome {
 
 /// Negotiate a session starting at `start`: steps 1–4 as in the live
 /// procedure, step 5 against the advance book's window ledgers.
+#[deprecated(
+    since = "0.4.0",
+    note = "build a NegotiationRequest with start_at and call Session::submit_future"
+)]
 pub fn negotiate_future(
+    ctx: &NegotiationContext<'_>,
+    book: &mut AdvanceBook,
+    client: &ClientMachine,
+    document: DocumentId,
+    profile: &crate::profile::UserProfile,
+    start: SimTime,
+) -> Result<FutureOutcome, NegotiationError> {
+    negotiate_future_impl(ctx, book, client, document, profile, start)
+}
+
+pub(crate) fn negotiate_future_impl(
     ctx: &NegotiationContext<'_>,
     book: &mut AdvanceBook,
     client: &ClientMachine,
@@ -251,6 +266,9 @@ pub fn negotiate_future(
 #[cfg(test)]
 mod tests {
     use super::*;
+    // The unit tests exercise the implementation directly; the deprecated
+    // `negotiate_future` shim is one line over it.
+    use super::negotiate_future_impl as negotiate_future;
     use crate::classify::ClassificationStrategy;
     use crate::cost::CostModel;
     use crate::profile::tv_news_profile;

@@ -24,7 +24,7 @@ use crate::classify::ClassificationStrategy;
 use crate::cost::CostModel;
 use crate::money::Money;
 use crate::negotiate::{
-    negotiate, NegotiationContext, NegotiationError, NegotiationOutcome, NegotiationStatus,
+    negotiate_impl, NegotiationContext, NegotiationError, NegotiationOutcome, NegotiationStatus,
 };
 use crate::profile::UserProfile;
 use crate::sns::satisfies_request;
@@ -98,7 +98,22 @@ fn surcharged(price: Money, percent: u32) -> Money {
 
 /// Negotiate at home, then across peers. `home` indexes `domains`; the
 /// client machine must be attached to the home network.
+#[deprecated(
+    since = "0.4.0",
+    note = "build a NegotiationRequest and call Session::submit_multidomain"
+)]
 pub fn negotiate_multidomain(
+    domains: &[Domain],
+    home: usize,
+    client: &ClientMachine,
+    document: DocumentId,
+    profile: &UserProfile,
+    config: &MultiDomainConfig<'_>,
+) -> Result<MultiDomainOutcome, NegotiationError> {
+    negotiate_multidomain_impl(domains, home, client, document, profile, config)
+}
+
+pub(crate) fn negotiate_multidomain_impl(
     domains: &[Domain],
     home: usize,
     client: &ClientMachine,
@@ -111,7 +126,7 @@ pub fn negotiate_multidomain(
     // Home attempt — the ordinary paper procedure.
     let home_domain = &domains[home];
     if home_domain.catalog.document(document).is_some() {
-        let outcome = negotiate(&ctx(home_domain, config), client, document, profile)?;
+        let outcome = negotiate_impl(&ctx(home_domain, config), client, document, profile)?;
         match outcome.status {
             NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer => {
                 let user_cost = outcome.user_offer.map(|o| o.cost);
@@ -151,7 +166,7 @@ pub fn negotiate_multidomain(
             id: domain.gateway,
             ..client.clone()
         };
-        let outcome = negotiate(
+        let outcome = negotiate_impl(
             &ctx(domain, config),
             &gateway_machine,
             document,
@@ -209,6 +224,9 @@ pub fn negotiate_multidomain(
 #[cfg(test)]
 mod tests {
     use super::*;
+    // The unit tests exercise the implementation directly; the deprecated
+    // `negotiate_multidomain` shim is one line over it.
+    use super::negotiate_multidomain_impl as negotiate_multidomain;
     use crate::profile::tv_news_profile;
     use nod_cmfs::{Guarantee, ServerConfig};
     use nod_mmdb::{CorpusBuilder, CorpusParams};

@@ -23,6 +23,36 @@
 //! [`offer`] (Definitions 1 and 2), [`adapt`] (the automatic adaptation
 //! procedure), and [`baseline`] (the "existing approaches" the paper argues
 //! against, used as experimental baselines).
+//!
+//! # The request/session API
+//!
+//! The unified entry point is a [`NegotiationRequest`] — a builder
+//! bundling the document, profile, client, procedure, strategy,
+//! streaming mode, recorder, and retry/deadline policy — submitted
+//! through a [`Session`] facade:
+//!
+//! ```
+//! # use nod_qosneg::{ManagerConfig, NegotiationRequest, Procedure, QosManager};
+//! # use nod_qosneg::profile::UserProfile;
+//! # fn run(manager: &QosManager, client: &nod_client::ClientMachine,
+//! #        doc: nod_mmdoc::DocumentId, profile: &UserProfile) {
+//! let request = NegotiationRequest::new(client, doc, profile)
+//!     .procedure(Procedure::Smart);
+//! let outcome = manager.submit(&request);
+//! # let _ = outcome;
+//! # }
+//! ```
+//!
+//! [`Session::submit`] dispatches on [`Procedure`] (the smart paper
+//! procedure or one of the baselines), [`Session::submit_future`]
+//! handles advance reservations (a `start_at` time plus an
+//! [`AdvanceBook`]), and [`Session::submit_multidomain`] runs the
+//! hierarchical variant. All errors surface as the single
+//! [`QosError`] enum, whose [`QosError::transient`] predicate tells
+//! callers (e.g. the `nod-broker` retry loop) whether trying again
+//! later can help. The old free functions (`negotiate`,
+//! `negotiate_future`, `negotiate_multidomain`, and the baselines)
+//! remain as deprecated shims.
 
 pub mod adapt;
 pub mod baseline;
@@ -30,6 +60,7 @@ pub mod classify;
 pub mod confirm;
 pub mod cost;
 pub mod engine;
+pub mod error;
 pub mod future;
 pub mod hierarchy;
 pub mod importance;
@@ -40,6 +71,7 @@ pub mod negotiate;
 pub mod offer;
 pub mod profile;
 pub mod prune;
+pub mod request;
 pub mod sns;
 pub mod startup;
 
@@ -48,8 +80,11 @@ pub use classify::{classify, ClassificationStrategy, ScoredOffer};
 pub use confirm::{ConfirmationDecision, ConfirmationTimer};
 pub use cost::{CostModel, CostTable};
 pub use engine::{OfferEngine, OfferList, OfferStream, StreamStats};
+pub use error::QosError;
 pub use future::{AdvanceBook, AdvanceBookingId, FutureOutcome};
-pub use hierarchy::{negotiate_multidomain, Domain, MultiDomainConfig, MultiDomainOutcome};
+#[allow(deprecated)]
+pub use hierarchy::negotiate_multidomain;
+pub use hierarchy::{Domain, MultiDomainConfig, MultiDomainOutcome};
 pub use importance::ImportanceProfile;
 pub use manager::{ManagerConfig, QosManager};
 pub use mapping::{map_requirements, NetworkQosSpec};
@@ -60,4 +95,5 @@ pub use negotiate::{
 pub use offer::{violated_components, OfferSet, SystemOffer, UserOffer};
 pub use profile::{MmQosSpec, TimeProfile, UserProfile};
 pub use prune::{dominates, importance_is_monotone, prune_dominated};
+pub use request::{NegotiationRequest, Procedure, RetryPolicy, Session};
 pub use sns::StaticNegotiationStatus;

@@ -16,10 +16,12 @@ use crate::adapt::{adapt, AdaptationReason};
 use crate::classify::{ClassificationStrategy, ScoredOffer};
 use crate::confirm::{ConfirmationDecision, ConfirmationTimer};
 use crate::cost::CostModel;
+use crate::error::QosError;
 use crate::negotiate::{
-    negotiate, NegotiationContext, NegotiationError, NegotiationOutcome, SessionReservation,
+    negotiate_impl, NegotiationContext, NegotiationError, NegotiationOutcome, SessionReservation,
 };
 use crate::profile::UserProfile;
+use crate::request::{NegotiationRequest, Session};
 
 /// Tunables of the manager.
 #[derive(Debug, Clone)]
@@ -152,14 +154,28 @@ impl QosManager {
         }
     }
 
-    /// Run the negotiation procedure (steps 1–5).
+    /// A [`Session`] facade over this manager's context — the unified
+    /// entry point for [`NegotiationRequest`]s.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self.context())
+    }
+
+    /// Submit a [`NegotiationRequest`] (the unified API): dispatches to
+    /// the smart procedure or a baseline per the request's
+    /// [`crate::Procedure`], with the request's overrides applied.
+    pub fn submit(&self, request: &NegotiationRequest<'_>) -> Result<NegotiationOutcome, QosError> {
+        self.session().submit(request)
+    }
+
+    /// Run the negotiation procedure (steps 1–5). Convenience for a
+    /// default [`NegotiationRequest`] via [`QosManager::submit`].
     pub fn negotiate(
         &self,
         client: &ClientMachine,
         document: DocumentId,
         profile: &UserProfile,
     ) -> Result<NegotiationOutcome, NegotiationError> {
-        negotiate(&self.context(), client, document, profile)
+        negotiate_impl(&self.context(), client, document, profile)
     }
 
     /// Release a reservation (user rejected the offer or the

@@ -20,6 +20,7 @@ use crate::profile::{MmQosSpec, UserProfile};
 use crate::sns::StaticNegotiationStatus;
 
 /// How steps 3–5 enumerate and order offers.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StreamingMode {
     /// Stream offers lazily in reservation order when the engine supports
@@ -40,6 +41,11 @@ pub enum StreamingMode {
 const STREAM_FALLBACK_ATTEMPTS: usize = 24;
 
 /// The five negotiation statuses of paper §4.
+///
+/// Non-exhaustive so extensions (e.g. a queued/waitlisted status) can be
+/// added without breaking downstream matches; the five paper statuses are
+/// all terminal.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NegotiationStatus {
     /// Requested QoS and cost ceiling satisfied; resources reserved.
@@ -458,7 +464,22 @@ fn prepare_inner(
 /// timed as a `negotiate` span with `enumerate`/`prune`/`classify` and
 /// per-attempt `commit` children, and the final status increments
 /// `negotiation.outcome{status=…}`.
+#[deprecated(
+    since = "0.4.0",
+    note = "build a NegotiationRequest and call Session::submit"
+)]
 pub fn negotiate(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    document: DocumentId,
+    profile: &UserProfile,
+) -> Result<NegotiationOutcome, NegotiationError> {
+    negotiate_impl(ctx, client, document, profile)
+}
+
+/// The shared implementation behind [`negotiate`] and
+/// [`crate::Session::submit`].
+pub(crate) fn negotiate_impl(
     ctx: &NegotiationContext<'_>,
     client: &ClientMachine,
     document: DocumentId,
@@ -748,6 +769,22 @@ pub enum CommitFailure {
 }
 
 impl CommitFailure {
+    /// Would retrying the same offer later plausibly succeed?
+    ///
+    /// Server, network and path-QoS refusals depend on current load — they
+    /// are what FAILEDTRYLATER's "try later" refers to, and release of
+    /// other sessions' resources can clear them. Decode-budget and startup
+    /// refusals are static properties of the client and the route; waiting
+    /// does not change them.
+    pub fn transient(&self) -> bool {
+        match self {
+            CommitFailure::Server { .. }
+            | CommitFailure::Network { .. }
+            | CommitFailure::PathQos { .. } => true,
+            CommitFailure::DecodeBudget | CommitFailure::Startup { .. } => false,
+        }
+    }
+
     /// Stable label for the `reason` label of
     /// `negotiation.commit.refused`.
     pub fn kind(&self) -> &'static str {
@@ -783,6 +820,53 @@ impl std::fmt::Display for CommitFailure {
     }
 }
 
+/// Holds the partially reserved resources of one in-flight two-phase
+/// commit. Dropping the guard releases everything it still holds, so every
+/// refusal path — and a panic mid-commit — rolls back automatically;
+/// [`PendingCommit::confirm`] is the only way to keep the reservations.
+struct PendingCommit<'a> {
+    farm: &'a ServerFarm,
+    network: &'a Network,
+    servers: Vec<(ServerId, ReservationId)>,
+    nets: Vec<NetReservationId>,
+    confirmed: bool,
+}
+
+impl<'a> PendingCommit<'a> {
+    fn new(farm: &'a ServerFarm, network: &'a Network) -> Self {
+        PendingCommit {
+            farm,
+            network,
+            servers: Vec::new(),
+            nets: Vec::new(),
+            confirmed: false,
+        }
+    }
+
+    /// Atomically turn the held resources into a confirmed reservation.
+    fn confirm(mut self) -> SessionReservation {
+        self.confirmed = true;
+        SessionReservation {
+            servers: std::mem::take(&mut self.servers),
+            network: std::mem::take(&mut self.nets),
+        }
+    }
+}
+
+impl Drop for PendingCommit<'_> {
+    fn drop(&mut self) {
+        if self.confirmed {
+            return;
+        }
+        for &(server, id) in &self.servers {
+            self.farm.release(server, id);
+        }
+        for &id in &self.nets {
+            self.network.release(id);
+        }
+    }
+}
+
 /// Two-phase commit of one system offer: reserve every stream on its server
 /// and its network path, rolling back everything on the first refusal.
 /// Offers whose estimated startup latency exceeds `max_startup_ms` (the
@@ -810,16 +894,9 @@ pub fn try_commit_diagnosed(
     if !client.can_decode_concurrently(offer.variants.iter()) {
         return Err(CommitFailure::DecodeBudget);
     }
-    let mut servers: Vec<(ServerId, ReservationId)> = Vec::new();
-    let mut nets: Vec<NetReservationId> = Vec::new();
-    let rollback = |servers: &[(ServerId, ReservationId)], nets: &[NetReservationId]| {
-        for &(s, id) in servers {
-            ctx.farm.release(s, id);
-        }
-        for &id in nets {
-            ctx.network.release(id);
-        }
-    };
+    // Any early return (or panic) below drops the guard, which releases
+    // every reservation taken so far — no refusal path can leak capacity.
+    let mut pending = PendingCommit::new(ctx.farm, ctx.network);
 
     for variant in &offer.variants {
         let spec = map_requirements(variant);
@@ -827,7 +904,6 @@ pub fn try_commit_diagnosed(
         let metrics = match ctx.network.path_metrics(client.id, variant.server) {
             Ok(m) if path_supports(&spec, &m) => m,
             _ => {
-                rollback(&servers, &nets);
                 return Err(CommitFailure::PathQos {
                     server: variant.server,
                 });
@@ -846,7 +922,6 @@ pub fn try_commit_diagnosed(
                 crate::startup::preroll_ms(ctx.jitter_buffer_ms),
             );
             if startup > max_startup_ms {
-                rollback(&servers, &nets);
                 return Err(CommitFailure::Startup {
                     estimated_ms: startup,
                     limit_ms: max_startup_ms,
@@ -857,9 +932,8 @@ pub fn try_commit_diagnosed(
         // discrete media still count against stream slots).
         let req = StreamRequirement::for_variant(variant, ctx.guarantee);
         match ctx.farm.try_reserve(variant.server, req) {
-            Ok(id) => servers.push((variant.server, id)),
+            Ok(id) => pending.servers.push((variant.server, id)),
             Err(_) => {
-                rollback(&servers, &nets);
                 return Err(CommitFailure::Server {
                     server: variant.server,
                 });
@@ -870,9 +944,8 @@ pub fn try_commit_diagnosed(
         if variant.blocks_per_second > 0 {
             let bps = charged_bit_rate(variant, ctx.guarantee);
             match ctx.network.try_reserve(client.id, variant.server, bps) {
-                Ok(id) => nets.push(id),
+                Ok(id) => pending.nets.push(id),
                 Err(_) => {
-                    rollback(&servers, &nets);
                     return Err(CommitFailure::Network {
                         server: variant.server,
                     });
@@ -880,10 +953,7 @@ pub fn try_commit_diagnosed(
             }
         }
     }
-    Ok(SessionReservation {
-        servers,
-        network: nets,
-    })
+    Ok(pending.confirm())
 }
 
 fn clamp_spec(client: &ClientMachine, desired: &MmQosSpec) -> MmQosSpec {
@@ -905,6 +975,9 @@ fn clamp_spec(client: &ClientMachine, desired: &MmQosSpec) -> MmQosSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    // The unit tests exercise the implementation directly; the deprecated
+    // `negotiate` shim is one line over it.
+    use super::negotiate_impl as negotiate;
     use crate::profile::tv_news_profile;
     use nod_cmfs::ServerConfig;
     use nod_mmdb::{CorpusBuilder, CorpusParams};

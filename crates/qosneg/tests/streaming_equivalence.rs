@@ -13,9 +13,9 @@ use nod_mmdoc::{ClientId, DocumentId, MonomediaId, ServerId, Variant};
 use nod_netsim::{Network, Topology};
 use nod_qosneg::classify::reservation_order;
 use nod_qosneg::engine::{offer_order_cmp, OfferEngine};
-use nod_qosneg::negotiate::{negotiate, NegotiationContext, StreamingMode};
+use nod_qosneg::negotiate::{NegotiationContext, StreamingMode};
 use nod_qosneg::profile::{tv_news_profile, UserProfile};
-use nod_qosneg::{ClassificationStrategy, CostModel};
+use nod_qosneg::{ClassificationStrategy, CostModel, NegotiationRequest, Session};
 use nod_simcore::StreamRng;
 
 const STRATEGIES: [ClassificationStrategy; 4] = [
@@ -218,10 +218,10 @@ fn reservation_stream_matches_eager_reservation_order() {
     }
 }
 
-/// End to end: `negotiate()` with streaming on and off must produce the
-/// same outcome on identically rebuilt worlds — status, chosen offer,
-/// attempt counts, per-attempt failure diagnostics, and the full ordered
-/// offer list.
+/// End to end: submitting a `NegotiationRequest` with streaming on and
+/// off must produce the same outcome on identically rebuilt worlds —
+/// status, chosen offer, attempt counts, per-attempt failure
+/// diagnostics, and the full ordered offer list.
 #[test]
 fn negotiate_streaming_equals_negotiate_eager() {
     let profile = tv_news_profile();
@@ -230,11 +230,15 @@ fn negotiate_streaming_equals_negotiate_eager() {
             for doc in 1..=6u64 {
                 // Fresh world per mode: negotiation mutates farm/network
                 // state (reservations), so the two runs must not share it.
+                // The streaming mode rides on the request, exercising the
+                // per-request override path of the unified API.
                 let run = |mode: StreamingMode| {
                     let w = world(seed);
                     let client = ClientMachine::era_workstation(ClientId(0));
-                    let c = ctx(&w, strategy, mode);
-                    negotiate(&c, &client, DocumentId(doc), &profile).unwrap()
+                    let session = Session::new(ctx(&w, strategy, StreamingMode::Auto));
+                    let request =
+                        NegotiationRequest::new(&client, DocumentId(doc), &profile).streaming(mode);
+                    session.submit(&request).unwrap()
                 };
                 let auto = run(StreamingMode::Auto);
                 let off = run(StreamingMode::Off);

@@ -13,9 +13,8 @@ use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
 use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
 use nod_obs::Recorder;
-use nod_qosneg::baseline::{negotiate_per_monomedia, negotiate_static_first_fit};
-use nod_qosneg::negotiate::{negotiate, NegotiationContext, NegotiationStatus, StreamingMode};
-use nod_qosneg::{ClassificationStrategy, CostModel};
+use nod_qosneg::negotiate::{NegotiationContext, NegotiationStatus, StreamingMode};
+use nod_qosneg::{ClassificationStrategy, CostModel, NegotiationRequest, Procedure, Session};
 use nod_simcore::{EventQueue, Percentiles, SimDuration, SimTime, StreamRng};
 
 use crate::population::UserPopulation;
@@ -244,6 +243,12 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
         streaming: StreamingMode::Auto,
         recorder,
     };
+    let session = Session::new(ctx);
+    let procedure = match config.negotiator {
+        NegotiatorKind::Smart(_) => Procedure::Smart,
+        NegotiatorKind::FirstFit => Procedure::FirstFit,
+        NegotiatorKind::PerMonomedia => Procedure::PerMonomedia,
+    };
 
     let mut result = BlockingResult::default();
     let mut satisfaction_sum = 0.0;
@@ -270,16 +275,9 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
                 let client_id = ClientId(n % config.clients as u64);
                 let (_, profile, machine) = population.sample(&mut user_rng, client_id);
                 let doc = DocumentId(user_rng.zipf(config.documents, 0.9) as u64 + 1);
-                let outcome = match config.negotiator {
-                    NegotiatorKind::Smart(_) => negotiate(&ctx, &machine, doc, &profile),
-                    NegotiatorKind::FirstFit => {
-                        negotiate_static_first_fit(&ctx, &machine, doc, &profile)
-                    }
-                    NegotiatorKind::PerMonomedia => {
-                        negotiate_per_monomedia(&ctx, &machine, doc, &profile)
-                    }
-                }
-                .expect("valid profiles and documents");
+                let outcome = session
+                    .submit(&NegotiationRequest::new(&machine, doc, &profile).procedure(procedure))
+                    .expect("valid profiles and documents");
 
                 let duration_ms = catalog
                     .document(doc)
@@ -301,6 +299,10 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
                     NegotiationStatus::FailedTryLater => result.try_later += 1,
                     NegotiationStatus::FailedWithoutOffer => result.without_offer += 1,
                     NegotiationStatus::FailedWithLocalOffer => result.local_offer += 1,
+                    // `NegotiationStatus` is non-exhaustive; the five paper
+                    // statuses above are all terminal, so anything else
+                    // would be a new status this tally predates.
+                    _ => {}
                 }
                 satisfaction_sum += satisfaction(outcome.status, accepted_degraded);
 

@@ -1,0 +1,265 @@
+//! The contended-broker experiment driver (B9).
+//!
+//! A population of users arrives (Poisson) at a deliberately undersized
+//! news-on-demand system — more concurrent demand than the farm can
+//! carry — and the [`Broker`](nod_broker::Broker) mediates: refused
+//! sessions back off with jittered exponential delays and retry as
+//! earlier sessions depart and release capacity. Optionally a seeded
+//! [`FaultPlan`] churns servers and links underneath the run. The
+//! experiment measures admission ratio, starvation, retry volume and —
+//! always — that the drained system leaks zero capacity.
+
+use nod_broker::{Broker, BrokerConfig, BrokerReport, FaultPlan, SessionSpec};
+use nod_client::ClientMachine;
+use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
+use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
+use nod_mmdoc::{ClientId, DocumentId, ServerId};
+use nod_netsim::{Network, Topology};
+use nod_obs::Recorder;
+use nod_qosneg::negotiate::{NegotiationContext, StreamingMode};
+use nod_qosneg::{ClassificationStrategy, CostModel, RetryPolicy, UserProfile};
+use nod_simcore::StreamRng;
+
+use crate::population::UserPopulation;
+
+/// Configuration of one contended run.
+#[derive(Debug, Clone)]
+pub struct ContendedConfig {
+    /// Master seed (corpus, users, arrivals, backoff jitter, faults).
+    pub seed: u64,
+    /// Articles in the corpus.
+    pub documents: usize,
+    /// File servers — size this *below* the session count's demand to
+    /// create contention.
+    pub servers: usize,
+    /// Client machines (arrivals round-robin over them).
+    pub clients: usize,
+    /// Sessions offered to the broker.
+    pub sessions: usize,
+    /// Mean session arrivals per minute.
+    pub arrivals_per_minute: f64,
+    /// How long an admitted session holds its resources, ms.
+    pub hold_ms: u64,
+    /// Retry policy for FAILEDTRYLATER refusals.
+    pub retry: RetryPolicy,
+    /// Seeded fault windows to inject (0 = fault-free).
+    pub fault_windows: usize,
+    /// Guarantee class requested.
+    pub guarantee: Guarantee,
+}
+
+impl Default for ContendedConfig {
+    fn default() -> Self {
+        ContendedConfig {
+            seed: 1,
+            documents: 16,
+            servers: 2,
+            clients: 8,
+            sessions: 64,
+            arrivals_per_minute: 120.0,
+            hold_ms: 20_000,
+            retry: RetryPolicy::era_default(),
+            fault_windows: 0,
+            guarantee: Guarantee::Guaranteed,
+        }
+    }
+}
+
+/// Aggregates of one contended run (see [`BrokerReport`] for the log).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContendedResult {
+    /// Sessions offered.
+    pub offered: usize,
+    /// Sessions admitted (degraded included).
+    pub admitted: usize,
+    /// Sessions starved out by contention.
+    pub starved: usize,
+    /// Sessions terminally refused or errored.
+    pub rejected: usize,
+    /// Retries performed.
+    pub retries: u64,
+    /// Total virtual backoff, ms.
+    pub backoff_ms_total: u64,
+    /// Fault windows that fired.
+    pub faults_injected: u64,
+    /// `admitted / offered`.
+    pub admission_ratio: f64,
+    /// Streams still held after the drain — must be 0.
+    pub leaked_streams: usize,
+}
+
+/// Run one contended load point. Deterministic for a given config.
+pub fn run_contended(config: &ContendedConfig) -> ContendedResult {
+    run_contended_with(config, None).0
+}
+
+/// [`run_contended`] returning the full [`BrokerReport`] too, with an
+/// optional observability recorder attached to the negotiation context
+/// (and thus to the broker's counters).
+pub fn run_contended_with(
+    config: &ContendedConfig,
+    recorder: Option<&Recorder>,
+) -> (ContendedResult, BrokerReport) {
+    let mut master = StreamRng::new(config.seed);
+    let mut corpus_rng = master.split();
+    let mut arrival_rng = master.split();
+    let mut user_rng = master.split();
+    let mut fault_rng = master.split();
+
+    let catalog: Catalog = CorpusBuilder::new(CorpusParams {
+        documents: config.documents,
+        servers: (0..config.servers as u64).map(ServerId).collect(),
+        ..CorpusParams::default()
+    })
+    .build(&mut corpus_rng);
+    let farm = ServerFarm::uniform(config.servers, ServerConfig::era_default());
+    let network = Network::new(Topology::dumbbell(
+        config.clients,
+        config.servers,
+        25_000_000,
+        155_000_000,
+    ));
+    let cost_model = CostModel::era_default();
+    let population = UserPopulation::era_default();
+    if let Some(rec) = recorder {
+        farm.set_recorder(rec);
+        network.set_recorder(rec.clone());
+    }
+
+    // Arrivals and users are drawn up front so the spec slice can borrow
+    // the machines and profiles.
+    let mean_gap_secs = 60.0 / config.arrivals_per_minute;
+    let mut users: Vec<(ClientMachine, UserProfile, DocumentId, u64)> = Vec::new();
+    let mut at_secs = 0.0;
+    for n in 0..config.sessions {
+        at_secs += arrival_rng.exp(mean_gap_secs);
+        let client_id = ClientId(n as u64 % config.clients as u64);
+        let (_, profile, machine) = population.sample(&mut user_rng, client_id);
+        let doc = DocumentId(user_rng.zipf(config.documents, 0.9) as u64 + 1);
+        users.push((machine, profile, doc, (at_secs * 1_000.0) as u64));
+    }
+    let specs: Vec<SessionSpec<'_>> = users
+        .iter()
+        .map(|(machine, profile, doc, arrival_ms)| SessionSpec {
+            client: machine,
+            document: *doc,
+            profile,
+            arrival_ms: *arrival_ms,
+            hold_ms: Some(config.hold_ms),
+        })
+        .collect();
+
+    let horizon_ms = users.last().map(|u| u.3).unwrap_or(0) + config.hold_ms;
+    let faults = if config.fault_windows == 0 {
+        FaultPlan::none()
+    } else {
+        FaultPlan::seeded(
+            &mut fault_rng,
+            &farm.ids(),
+            &network.topology().link_ids(),
+            horizon_ms.max(1_000),
+            config.fault_windows,
+        )
+    };
+
+    let ctx = NegotiationContext {
+        catalog: &catalog,
+        farm: &farm,
+        network: &network,
+        cost_model: &cost_model,
+        strategy: ClassificationStrategy::SnsThenOif,
+        guarantee: config.guarantee,
+        enumeration_cap: 500_000,
+        jitter_buffer_ms: 2_000,
+        prune_dominated: false,
+        streaming: StreamingMode::Auto,
+        recorder,
+    };
+    let broker = Broker::new(
+        ctx,
+        BrokerConfig {
+            retry: config.retry,
+            seed: config.seed ^ 0xB20_4E2,
+            ..BrokerConfig::era_default()
+        },
+    );
+    let report = broker.run(&specs, &faults);
+    let result = ContendedResult {
+        offered: config.sessions,
+        admitted: report.admitted,
+        starved: report.starved,
+        rejected: report.rejected + report.errored,
+        retries: report.retries,
+        backoff_ms_total: report.backoff_ms_total,
+        faults_injected: report.faults_injected,
+        admission_ratio: report.admission_ratio,
+        leaked_streams: report.leaked_streams,
+    };
+    (result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_forces_retries_that_eventually_succeed() {
+        let r = run_contended(&ContendedConfig {
+            seed: 3,
+            sessions: 24,
+            servers: 1,
+            arrivals_per_minute: 240.0,
+            hold_ms: 8_000,
+            ..ContendedConfig::default()
+        });
+        assert_eq!(r.offered, 24);
+        assert_eq!(r.leaked_streams, 0);
+        assert!(r.retries > 0, "no contention: {r:?}");
+        assert_eq!(r.admitted + r.starved + r.rejected, r.offered);
+    }
+
+    #[test]
+    fn deterministic_for_seed_even_with_faults() {
+        let config = ContendedConfig {
+            seed: 11,
+            sessions: 16,
+            fault_windows: 4,
+            ..ContendedConfig::default()
+        };
+        let (a, ra) = run_contended_with(&config, None);
+        let (b, rb) = run_contended_with(&config, None);
+        assert_eq!(a, b);
+        assert_eq!(ra.events, rb.events);
+        assert!(a.faults_injected > 0);
+    }
+
+    #[test]
+    fn lighter_load_admits_a_larger_fraction() {
+        let contended = run_contended(&ContendedConfig {
+            seed: 5,
+            sessions: 32,
+            servers: 1,
+            arrivals_per_minute: 300.0,
+            hold_ms: 30_000,
+            retry: RetryPolicy::NO_RETRY,
+            ..ContendedConfig::default()
+        });
+        let light = run_contended(&ContendedConfig {
+            seed: 5,
+            sessions: 32,
+            servers: 4,
+            arrivals_per_minute: 30.0,
+            hold_ms: 5_000,
+            retry: RetryPolicy::NO_RETRY,
+            ..ContendedConfig::default()
+        });
+        assert_eq!(contended.leaked_streams, 0);
+        assert_eq!(light.leaked_streams, 0);
+        assert!(
+            light.admission_ratio > contended.admission_ratio,
+            "light {:.2} vs contended {:.2}",
+            light.admission_ratio,
+            contended.admission_ratio
+        );
+    }
+}

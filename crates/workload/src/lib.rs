@@ -9,6 +9,7 @@
 
 pub mod adaptation;
 pub mod blocking;
+pub mod contended;
 pub mod population;
 pub mod scenario;
 
@@ -16,5 +17,6 @@ pub use adaptation::{run_adaptation, run_adaptation_with, AdaptationConfig, Adap
 pub use blocking::{
     run_blocking, run_blocking_with, BlockingConfig, BlockingResult, NegotiatorKind,
 };
+pub use contended::{run_contended, run_contended_with, ContendedConfig, ContendedResult};
 pub use population::{UserClass, UserPopulation};
 pub use scenario::Scenario;

@@ -14,9 +14,9 @@ use news_on_demand::cmfs::{Guarantee, ServerConfig, ServerFarm};
 use news_on_demand::mmdb::{CorpusBuilder, CorpusParams};
 use news_on_demand::mmdoc::{ClientId, DocumentId, ServerId};
 use news_on_demand::netsim::{Network, Topology};
-use news_on_demand::qosneg::hierarchy::{negotiate_multidomain, Domain, MultiDomainConfig};
+use news_on_demand::qosneg::hierarchy::{Domain, MultiDomainConfig};
 use news_on_demand::qosneg::profile::tv_news_profile;
-use news_on_demand::qosneg::{ClassificationStrategy, CostModel};
+use news_on_demand::qosneg::{ClassificationStrategy, CostModel, NegotiationRequest, Session};
 use news_on_demand::simcore::StreamRng;
 
 fn domain(name: &str, seed: u64, surcharge: u32) -> Domain {
@@ -52,8 +52,13 @@ fn main() {
     let profile = tv_news_profile();
 
     println!("== phase 1: healthy campus domain");
-    let out = negotiate_multidomain(&domains, 0, &client, DocumentId(1), &profile, &config)
-        .expect("valid request");
+    let out = Session::submit_multidomain(
+        &domains,
+        0,
+        &NegotiationRequest::new(&client, DocumentId(1), &profile),
+        &config,
+    )
+    .expect("valid request");
     println!(
         "   served by {} ({}) — status {}, user pays {}",
         domains[out.domain_index].name,
@@ -72,8 +77,13 @@ fn main() {
     for s in domains[0].farm.ids() {
         domains[0].farm.server(s).unwrap().set_health(0.0);
     }
-    let out = negotiate_multidomain(&domains, 0, &client, DocumentId(1), &profile, &config)
-        .expect("valid request");
+    let out = Session::submit_multidomain(
+        &domains,
+        0,
+        &NegotiationRequest::new(&client, DocumentId(1), &profile),
+        &config,
+    )
+    .expect("valid request");
     println!(
         "   served by {} ({}) — status {}, user pays {} (25% transit included)",
         domains[out.domain_index].name,

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Snapshot the negotiation-path microbenches into BENCH_negotiation.json.
 #
-# Runs the B4/B8 negotiation bench and the B1-B3 classification bench with
-# NOD_BENCH_JSON_OUT set, then merges the two dumps into a single JSON file
-# at the repo root. Honors NOD_BENCH_FAST=1 for a quick smoke run (CI);
-# leave it unset for publication-quality numbers.
+# Runs the B4/B8 negotiation bench, the B1-B3 classification bench and the
+# B9 contended-broker bench with NOD_BENCH_JSON_OUT set, then merges the
+# dumps into a single JSON file at the repo root. Honors NOD_BENCH_FAST=1
+# for a quick smoke run (CI); leave it unset for publication-quality
+# numbers. The B9 run doubles as the broker stress smoke: it includes a
+# real-thread race against the shared farm and panics on leaked capacity.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +22,10 @@ echo "==> bench: classification"
 NOD_BENCH_JSON_OUT="$tmpdir/classification.json" \
     cargo bench -q -p nod-bench --bench classification 2>&1 | tail -n +1
 
+echo "==> bench: broker (contended + threaded stress smoke)"
+NOD_BENCH_JSON_OUT="$tmpdir/broker.json" \
+    cargo bench -q -p nod-bench --bench broker 2>&1 | tail -n +1
+
 {
     echo '{'
     echo '  "negotiation":'
@@ -27,6 +33,9 @@ NOD_BENCH_JSON_OUT="$tmpdir/classification.json" \
     echo '  ,'
     echo '  "classification":'
     sed 's/^/    /' "$tmpdir/classification.json"
+    echo '  ,'
+    echo '  "broker":'
+    sed 's/^/    /' "$tmpdir/broker.json"
     echo '}'
 } > "$out"
 

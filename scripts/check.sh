@@ -15,6 +15,8 @@ cargo test --workspace -q
 
 # Non-gating bench smoke: the fast-mode snapshot only has to *run* (panics
 # and build errors fail the check); the numbers themselves are not gated.
+# Includes the B9 broker stress smoke — real threads racing the shared
+# farm — which panics on leaked capacity, so leaks do fail the gate.
 echo "==> bench smoke (NOD_BENCH_FAST=1 scripts/bench_snapshot.sh)"
 NOD_BENCH_FAST=1 scripts/bench_snapshot.sh
 

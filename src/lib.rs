@@ -4,6 +4,7 @@
 //! tests in `tests/` have a single dependency surface. Library users should
 //! depend on the individual `nod-*` crates directly.
 
+pub use nod_broker as broker;
 pub use nod_client as client;
 pub use nod_cmfs as cmfs;
 pub use nod_mmdb as mmdb;

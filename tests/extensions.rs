@@ -6,11 +6,13 @@ use news_on_demand::cmfs::{Guarantee, ServerConfig, ServerFarm};
 use news_on_demand::mmdb::{Catalog, CorpusBuilder, CorpusParams};
 use news_on_demand::mmdoc::{ClientId, DocumentId, ServerId};
 use news_on_demand::netsim::{Network, Topology};
-use news_on_demand::qosneg::future::{negotiate_future, AdvanceBook};
-use news_on_demand::qosneg::hierarchy::{negotiate_multidomain, Domain, MultiDomainConfig};
-use news_on_demand::qosneg::negotiate::{negotiate, NegotiationContext};
+use news_on_demand::qosneg::future::AdvanceBook;
+use news_on_demand::qosneg::hierarchy::{Domain, MultiDomainConfig};
+use news_on_demand::qosneg::negotiate::NegotiationContext;
 use news_on_demand::qosneg::profile::tv_news_profile;
-use news_on_demand::qosneg::{ClassificationStrategy, CostModel, NegotiationStatus};
+use news_on_demand::qosneg::{
+    ClassificationStrategy, CostModel, NegotiationRequest, NegotiationStatus, Session,
+};
 use news_on_demand::simcore::{SimTime, StreamRng};
 use news_on_demand::workload::scenario::presets;
 
@@ -61,20 +63,21 @@ fn advance_and_live_reservations_coexist() {
     let profile = tv_news_profile();
 
     // Book tomorrow's session.
+    let session = Session::new(c);
     let mut book = AdvanceBook::new(&c);
-    let future = negotiate_future(
-        &c,
-        &mut book,
-        &client,
-        DocumentId(1),
-        &profile,
-        SimTime::from_secs(86_400),
-    )
-    .unwrap();
+    let future = session
+        .submit_future(
+            &NegotiationRequest::new(&client, DocumentId(1), &profile)
+                .start_at(SimTime::from_secs(86_400)),
+            &mut book,
+        )
+        .unwrap();
     assert!(future.booking.is_some());
 
     // A live session negotiates right now, unaffected by the booking.
-    let live = negotiate(&c, &client, DocumentId(1), &profile).unwrap();
+    let live = session
+        .submit(&NegotiationRequest::new(&client, DocumentId(1), &profile))
+        .unwrap();
     assert!(matches!(
         live.status,
         NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer
@@ -94,11 +97,12 @@ fn pruning_option_preserves_the_served_offer_on_an_idle_system() {
         let w = world(seed);
         let client = ClientMachine::era_workstation(ClientId(0));
         let profile = tv_news_profile();
-        let full = negotiate(&ctx(&w, false), &client, DocumentId(1), &profile).unwrap();
+        let request = NegotiationRequest::new(&client, DocumentId(1), &profile);
+        let full = Session::new(ctx(&w, false)).submit(&request).unwrap();
         if let Some(r) = &full.reservation {
             r.release(&w.farm, &w.network);
         }
-        let pruned = negotiate(&ctx(&w, true), &client, DocumentId(1), &profile).unwrap();
+        let pruned = Session::new(ctx(&w, true)).submit(&request).unwrap();
         if let Some(r) = &pruned.reservation {
             r.release(&w.farm, &w.network);
         }
@@ -149,12 +153,10 @@ fn multidomain_over_the_umbrella_api() {
         jitter_buffer_ms: 2_000,
     };
     let client = ClientMachine::era_workstation(ClientId(0));
-    let out = negotiate_multidomain(
+    let out = Session::submit_multidomain(
         &domains,
         0,
-        &client,
-        DocumentId(2),
-        &tv_news_profile(),
+        &NegotiationRequest::new(&client, DocumentId(2), &tv_news_profile()),
         &config,
     )
     .unwrap();
@@ -181,7 +183,13 @@ fn commit_diagnostics_surface_through_the_stack() {
     for s in w.farm.ids() {
         w.farm.server(s).unwrap().set_health(0.0);
     }
-    let out = negotiate(&ctx(&w, false), &client, DocumentId(1), &tv_news_profile()).unwrap();
+    let out = Session::new(ctx(&w, false))
+        .submit(&NegotiationRequest::new(
+            &client,
+            DocumentId(1),
+            &tv_news_profile(),
+        ))
+        .unwrap();
     assert_eq!(out.status, NegotiationStatus::FailedTryLater);
     assert!(!out.commit_failures.is_empty());
     // Every diagnostic renders a human-readable reason.

@@ -11,11 +11,12 @@ use news_on_demand::mmdoc::prelude::*;
 use news_on_demand::netsim::{Network, Topology};
 use news_on_demand::qosneg::classify::{classify, ClassificationStrategy};
 use news_on_demand::qosneg::importance::PiecewiseLinear;
-use news_on_demand::qosneg::negotiate::{negotiate, NegotiationContext};
+use news_on_demand::qosneg::negotiate::NegotiationContext;
 use news_on_demand::qosneg::offer::SystemOffer;
 use news_on_demand::qosneg::profile::{tv_news_profile, MmQosSpec};
 use news_on_demand::qosneg::sns::{compute_sns, StaticNegotiationStatus};
 use news_on_demand::qosneg::{CostModel, ImportanceProfile, Money, UserProfile};
+use news_on_demand::qosneg::{NegotiationRequest, Session};
 use news_on_demand::simcore::StreamRng;
 use news_on_demand::syncplay::JitterBuffer;
 use std::collections::BTreeMap;
@@ -291,8 +292,15 @@ fn negotiation_never_leaks_resources() {
             recorder: None,
         };
         let client = ClientMachine::era_workstation(ClientId(0));
+        let session = Session::new(ctx);
         for doc in 1..=4u64 {
-            let out = negotiate(&ctx, &client, DocumentId(doc), &tv_news_profile()).unwrap();
+            let out = session
+                .submit(&NegotiationRequest::new(
+                    &client,
+                    DocumentId(doc),
+                    &tv_news_profile(),
+                ))
+                .unwrap();
             if let Some(r) = &out.reservation {
                 r.release(&farm, &network);
             }

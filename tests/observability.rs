@@ -13,9 +13,11 @@ use news_on_demand::netsim::{Network, Topology};
 use news_on_demand::obs::{MemorySink, ObsEvent, Recorder, Snapshot};
 use news_on_demand::qosneg::manager::{ManagerConfig, QosManager};
 use news_on_demand::qosneg::profile::tv_news_profile;
-use news_on_demand::qosneg::{CostModel, NegotiationStatus};
+use news_on_demand::qosneg::{CostModel, NegotiationRequest, NegotiationStatus};
 use news_on_demand::simcore::StreamRng;
-use news_on_demand::workload::{run_blocking_with, BlockingConfig};
+use news_on_demand::workload::{
+    run_blocking_with, run_contended_with, BlockingConfig, ContendedConfig,
+};
 
 fn manager(seed: u64, recorder: Recorder) -> QosManager {
     let mut rng = StreamRng::new(seed);
@@ -50,7 +52,11 @@ fn manager_negotiation_emits_stage_spans_in_order() {
     let m = manager(41, recorder);
     let client = ClientMachine::era_workstation(ClientId(0));
     let out = m
-        .negotiate(&client, DocumentId(1), &tv_news_profile())
+        .submit(&NegotiationRequest::new(
+            &client,
+            DocumentId(1),
+            &tv_news_profile(),
+        ))
         .unwrap();
     if let Some(r) = &out.reservation {
         m.release(r);
@@ -103,7 +109,9 @@ fn outcome_counters_sum_to_requests() {
         let doc = DocumentId(i % 10 + 1);
         // Resources are held, so later requests saturate the system and
         // exercise the failure statuses too.
-        let _ = m.negotiate(&client, doc, &profile).unwrap();
+        let _ = m
+            .submit(&NegotiationRequest::new(&client, doc, &profile))
+            .unwrap();
     }
 
     let snap = recorder.snapshot();
@@ -184,5 +192,47 @@ fn workload_snapshot_has_stage_histograms_and_round_trips() {
         back.histograms.len(),
         snap.histograms.len(),
         "all histograms survive the round trip"
+    );
+}
+
+#[test]
+fn broker_counters_flow_through_the_recorder() {
+    let recorder = Recorder::new();
+    let (result, report) = run_contended_with(
+        &ContendedConfig {
+            seed: 21,
+            sessions: 24,
+            servers: 1,
+            arrivals_per_minute: 240.0,
+            hold_ms: 8_000,
+            fault_windows: 3,
+            ..ContendedConfig::default()
+        },
+        Some(&recorder),
+    );
+    assert_eq!(result.leaked_streams, 0);
+    assert!(result.retries > 0, "the undersized farm must force retries");
+
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counter("broker.retries"), report.retries);
+    assert_eq!(snap.counter("broker.backoff_ms"), report.backoff_ms_total);
+    assert_eq!(
+        snap.counter("broker.faults.injected"),
+        report.faults_injected
+    );
+    assert_eq!(
+        snap.counter("broker.sessions.starved"),
+        report.starved as u64
+    );
+    assert_eq!(snap.counter("broker.leaked_reservations"), 0);
+    assert_eq!(
+        snap.gauges.get("broker.admission_ratio").copied(),
+        Some(report.admission_ratio)
+    );
+    // The negotiations underneath the broker report through the same
+    // recorder: one outcome per attempt (arrivals + retries).
+    assert_eq!(
+        snap.counter_sum("negotiation.outcome"),
+        result.offered as u64 + report.retries
     );
 }
