@@ -1,0 +1,168 @@
+//! B10 — causal-tracing overhead.
+//!
+//! Tracing must be free to leave compiled in: with no tracer attached (or
+//! a tracer attached but no trace resumed on the thread) every
+//! `trace_point` / span hook is an early-return that performs **zero heap
+//! allocations** — asserted here with a counting global allocator. With
+//! tracing live, a full contended broker run (every session traced, every
+//! attempt/backoff/confirm span and point recorded, events drained) must
+//! stay within ~10% of the identical untraced run; the ratio is asserted
+//! outside `NOD_BENCH_FAST` (CI smoke samples are too few to bound noise)
+//! and always emitted as a metric.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nod_bench::micro::Micro;
+use nod_obs::{Recorder, Tracer};
+use nod_workload::{run_contended_with, ContendedConfig};
+
+/// Counts heap allocations so the disabled-path check is exact, not a
+/// timing judgement call. A single relaxed atomic add per allocation;
+/// both timed benches share the overhead equally.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; only bookkeeping is added.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A contended run small enough to iterate in a bench but busy enough to
+/// exercise retries, backoff spans, and commit-refusal points.
+fn config() -> ContendedConfig {
+    ContendedConfig {
+        seed: 9,
+        sessions: 16,
+        servers: 1,
+        arrivals_per_minute: 240.0,
+        hold_ms: 8_000,
+        ..ContendedConfig::default()
+    }
+}
+
+fn main() {
+    let fast = std::env::var("NOD_BENCH_FAST").is_ok_and(|v| v == "1");
+    let mut m = Micro::new();
+
+    // Disabled hot path: no tracer attached. Each call must early-return
+    // before any formatting — zero allocations.
+    const CALLS: u64 = 10_000;
+    let recorder = Recorder::new();
+    let before = alloc_count();
+    for _ in 0..CALLS {
+        recorder.trace_point("negotiation.outcome", &[("status", "SUCCEEDED")]);
+    }
+    let no_tracer_allocs = alloc_count() - before;
+
+    // Suspended hot path: tracer attached but no trace resumed on this
+    // thread — the common state for untraced worker threads.
+    let suspended = Recorder::new();
+    suspended.set_tracer(Tracer::new());
+    let before = alloc_count();
+    for _ in 0..CALLS {
+        suspended.trace_point("negotiation.outcome", &[("status", "SUCCEEDED")]);
+    }
+    let suspended_allocs = alloc_count() - before;
+
+    m.metric(
+        "b10_trace_point/no_tracer_allocs_per_call",
+        no_tracer_allocs as f64 / CALLS as f64,
+    );
+    m.metric(
+        "b10_trace_point/suspended_allocs_per_call",
+        suspended_allocs as f64 / CALLS as f64,
+    );
+    assert_eq!(
+        no_tracer_allocs, 0,
+        "trace_point with no tracer must not allocate"
+    );
+    assert_eq!(
+        suspended_allocs, 0,
+        "trace_point with no active trace must not allocate"
+    );
+
+    // End-to-end overhead: the same contended run with metrics only vs.
+    // metrics plus live per-session tracing. The timed window is the run
+    // itself — the in-run perturbation the budget bounds; draining and
+    // serializing the log afterwards is offline export, and is kept
+    // outside the window (but still performed, so the event count is
+    // asserted against a real log). Samples are *paired* — untraced and
+    // traced alternate — so machine-load drift lands on both sides
+    // equally instead of biasing whichever ran second.
+    let cfg = config();
+    let run_untraced = || {
+        let rec = Recorder::new();
+        let (result, _) = run_contended_with(&cfg, Some(&rec));
+        std::hint::black_box(result.retries);
+    };
+    let mut events_per_run = 0usize;
+    run_untraced(); // warm the untraced path
+    let pairs = if fast { 3 } else { 31 };
+    let mut untraced_ns: Vec<f64> = Vec::with_capacity(pairs);
+    let mut traced_ns: Vec<f64> = Vec::with_capacity(pairs);
+    for i in 0..pairs + 1 {
+        let t0 = std::time::Instant::now();
+        run_untraced();
+        let untraced = t0.elapsed().as_nanos() as f64;
+        let rec = Recorder::new();
+        let tracer = Tracer::new();
+        rec.set_tracer(tracer.clone());
+        let t0 = std::time::Instant::now();
+        let (result, _) = run_contended_with(&cfg, Some(&rec));
+        std::hint::black_box(result.retries);
+        let traced = t0.elapsed().as_nanos() as f64;
+        events_per_run = tracer.drain().len();
+        if i > 0 {
+            // pair 0 warms the traced path (thread-local intern pool,
+            // allocator arenas) and is discarded
+            untraced_ns.push(untraced);
+            traced_ns.push(traced);
+        }
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    let baseline = median(&mut untraced_ns);
+    let traced = median(&mut traced_ns);
+    let ratio = traced / baseline;
+    m.metric("b10_trace_overhead/untraced_median_ns", baseline);
+    m.metric("b10_trace_overhead/traced_median_ns", traced);
+    m.metric("b10_trace_overhead/events_per_run", events_per_run as f64);
+    m.metric("b10_trace_overhead/traced_over_untraced", ratio);
+    assert!(
+        events_per_run > 100,
+        "traced run produced suspiciously few events: {events_per_run}"
+    );
+    if !fast {
+        assert!(
+            ratio <= 1.10,
+            "tracing overhead {:.1}% exceeds the 10% budget \
+             (untraced {baseline:.0} ns, traced {traced:.0} ns)",
+            (ratio - 1.0) * 100.0,
+        );
+    }
+
+    m.report();
+}

@@ -1,0 +1,139 @@
+//! Trace a contended broker run end to end.
+//!
+//! ```text
+//! cargo run --release -p nod-bench --bin run_contended -- \
+//!     --sessions 64 --servers 2 --seed 9 --faults 3 --choice-period 500 \
+//!     --trace-out trace.jsonl --trace-report --chrome-out trace.json
+//! ```
+//!
+//! Drives the B9 contended workload (Poisson arrivals against an
+//! undersized farm, jittered retries, optional fault windows) with a
+//! causal [`Tracer`] attached: the broker assigns one trace per session,
+//! so the JSONL written by `--trace-out` reconstructs into a complete
+//! span tree per session — dispatch, every retry and its backoff reason,
+//! commit, confirmation. `--trace-report` prints per-session retry
+//! waterfalls and wait-time attribution; `--chrome-out` writes Chrome
+//! `trace_event` JSON for chrome://tracing or Perfetto. Runs are
+//! deterministic: the same flags produce a byte-identical trace log.
+
+use nod_obs::{analyze, Recorder, Tracer};
+use nod_workload::{run_contended_with, ContendedConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run_contended [--sessions N] [--servers N] [--clients N] [--seed N] \
+         [--faults N] [--arrivals-per-minute F] [--hold-ms N] [--choice-period MS] \
+         [--trace-out <path>] [--trace-report] [--chrome-out <path>] [--metrics-out <path>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    match it.next().and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("error: {flag} needs a value");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut config = ContendedConfig {
+        seed: 9,
+        sessions: 64,
+        servers: 2,
+        arrivals_per_minute: 180.0,
+        hold_ms: 12_000,
+        ..ContendedConfig::default()
+    };
+    let mut trace_out: Option<String> = None;
+    let mut chrome_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_report = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sessions" => config.sessions = parse(&mut it, "--sessions"),
+            "--servers" => config.servers = parse(&mut it, "--servers"),
+            "--clients" => config.clients = parse(&mut it, "--clients"),
+            "--seed" => config.seed = parse(&mut it, "--seed"),
+            "--faults" => config.fault_windows = parse(&mut it, "--faults"),
+            "--arrivals-per-minute" => {
+                config.arrivals_per_minute = parse(&mut it, "--arrivals-per-minute")
+            }
+            "--hold-ms" => config.hold_ms = parse(&mut it, "--hold-ms"),
+            "--choice-period" => config.choice_period_ms = parse(&mut it, "--choice-period"),
+            "--trace-out" => trace_out = Some(parse(&mut it, "--trace-out")),
+            "--chrome-out" => chrome_out = Some(parse(&mut it, "--chrome-out")),
+            "--metrics-out" => metrics_out = Some(parse(&mut it, "--metrics-out")),
+            "--trace-report" => trace_report = true,
+            _ => usage(),
+        }
+    }
+
+    let recorder = Recorder::new();
+    let tracer = Tracer::new();
+    recorder.set_tracer(tracer.clone());
+    let (result, report) = run_contended_with(&config, Some(&recorder));
+
+    println!(
+        "contended run: seed {} — {} sessions over {} servers, {} fault windows",
+        config.seed, config.sessions, config.servers, config.fault_windows
+    );
+    println!(
+        "admitted {}/{} ({:.0}%)  starved {}  rejected {}  retries {}  backoff {} ms  leaked {}",
+        result.admitted,
+        result.offered,
+        100.0 * result.admission_ratio,
+        result.starved,
+        result.rejected,
+        result.retries,
+        result.backoff_ms_total,
+        result.leaked_streams,
+    );
+    println!(
+        "session latency ms: p50 {:.0}  p95 {:.0}  p99 {:.0}  max {:.0}",
+        report.latency.p50, report.latency.p95, report.latency.p99, report.latency.max
+    );
+
+    let events = tracer.drain();
+    if let Some(path) = &trace_out {
+        let mut text = String::new();
+        for ev in &events {
+            text.push_str(&ev.to_json_line());
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("trace log ({} events) written to {path}", events.len());
+    }
+    if trace_report || chrome_out.is_some() {
+        let trees = match analyze::build_trees(&events) {
+            Ok(trees) => trees,
+            Err(e) => {
+                eprintln!("error: trace integrity check failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if trace_report {
+            print!("{}", analyze::text_report(&trees));
+        }
+        if let Some(path) = &chrome_out {
+            if let Err(e) = std::fs::write(path, analyze::chrome_trace_json(&trees)) {
+                eprintln!("error: cannot write chrome trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("chrome trace written to {path} (open in chrome://tracing)");
+        }
+    }
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, recorder.snapshot().to_json_pretty()) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics snapshot written to {path}");
+    }
+}

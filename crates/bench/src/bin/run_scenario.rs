@@ -5,6 +5,7 @@
 //! cargo run --release -p nod-bench --bin run_scenario -- path/to/scenario.json
 //! cargo run --release -p nod-bench --bin run_scenario -- --dump prime-time > pt.json
 //! cargo run --release -p nod-bench --bin run_scenario -- --metrics-out m.json light-load
+//! cargo run --release -p nod-bench --bin run_scenario -- --trace-out t.jsonl --trace-report light-load
 //! ```
 //!
 //! Accepts a preset name (`light-load`, `prime-time`, `outage-drill`) or a
@@ -14,9 +15,15 @@
 //! final metrics snapshot (outcome counters, per-stage span latency
 //! histograms, admission/reservation counters) is written to `<path>` as
 //! pretty-printed JSON for diffing across runs.
+//!
+//! With `--trace-out <path>` the whole scenario is additionally traced
+//! (one trace, id 0, rooted at a `scenario` span per phase) and the event
+//! log written as JSONL; `--trace-report` prints the reconstructed
+//! span-tree summary to stderr. For per-session traces use the
+//! `run_contended` bin, whose broker assigns one trace per session.
 
 use nod_bench::{f3, Table};
-use nod_obs::Recorder;
+use nod_obs::{analyze, Recorder, Tracer};
 use nod_workload::scenario::{presets, Scenario};
 use nod_workload::{run_adaptation_with, run_blocking_with};
 
@@ -31,7 +38,9 @@ fn resolve(name: &str) -> Result<Scenario, String> {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: run_scenario [--dump] [--metrics-out <path>] <preset|file.json>");
+    eprintln!(
+        "usage: run_scenario [--dump] [--metrics-out <path>] [--trace-out <path>] [--trace-report] <preset|file.json>"
+    );
     eprintln!("presets: light-load, prime-time, outage-drill");
     std::process::exit(2);
 }
@@ -40,6 +49,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dump = false;
     let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut trace_report = false;
     let mut name: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -49,6 +60,11 @@ fn main() {
                 Some(path) => metrics_out = Some(path),
                 None => usage(),
             },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(path),
+                None => usage(),
+            },
+            "--trace-report" => trace_report = true,
             _ if name.is_none() => name = Some(arg),
             _ => usage(),
         }
@@ -65,7 +81,15 @@ fn main() {
         println!("{}", scenario.to_json());
         return;
     }
-    let recorder = metrics_out.as_ref().map(|_| Recorder::new());
+    let tracing = trace_out.is_some() || trace_report;
+    let recorder = (metrics_out.is_some() || tracing).then(Recorder::new);
+    let tracer = tracing.then(Tracer::new);
+    if let (Some(rec), Some(t)) = (recorder.as_ref(), tracer.as_ref()) {
+        rec.set_tracer(t.clone());
+        // The scenario runs as one trace: every phase's spans land under
+        // trace 0, giving a forest of per-run roots.
+        t.resume(0);
+    }
 
     println!(
         "scenario \"{}\" — {}\n",
@@ -84,7 +108,11 @@ fn main() {
             "p95 cost",
         ]);
         for cfg in &scenario.blocking {
+            let span = recorder.as_ref().and_then(|r| r.trace_span("blocking_run"));
             let r = run_blocking_with(cfg, recorder.as_ref());
+            if let Some(span) = span {
+                span.end();
+            }
             t.row(&[
                 format!("{:.0}", cfg.arrivals_per_minute),
                 cfg.negotiator.label().to_string(),
@@ -111,7 +139,13 @@ fn main() {
             "underruns",
         ]);
         for cfg in &scenario.adaptation {
+            let span = recorder
+                .as_ref()
+                .and_then(|r| r.trace_span("adaptation_run"));
             let r = run_adaptation_with(cfg, recorder.as_ref());
+            if let Some(span) = span {
+                span.end();
+            }
             t.row(&[
                 if cfg.adaptation_enabled { "ON" } else { "off" }.to_string(),
                 format!("{:.2}", cfg.congestion_health),
@@ -124,6 +158,32 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
+    }
+
+    if let Some(t) = tracer.as_ref() {
+        t.suspend();
+        let events = t.drain();
+        if let Some(path) = &trace_out {
+            let mut text = String::new();
+            for ev in &events {
+                text.push_str(&ev.to_json_line());
+                text.push('\n');
+            }
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: cannot write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("trace log ({} events) written to {path}", events.len());
+        }
+        if trace_report {
+            match analyze::build_trees(&events) {
+                Ok(trees) => eprint!("{}", analyze::text_report(&trees)),
+                Err(e) => {
+                    eprintln!("error: trace integrity check failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 
     if let (Some(path), Some(rec)) = (metrics_out, recorder) {

@@ -21,9 +21,10 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nod_client::ClientMachine;
-use nod_mmdoc::DocumentId;
-use nod_obs::Recorder;
-use nod_qosneg::negotiate::{NegotiationContext, SessionReservation};
+use nod_cmfs::{Guarantee, StreamRequirement};
+use nod_mmdoc::{DocumentId, VariantId};
+use nod_obs::{HistogramSnapshot, Recorder, Span, Tracer, ValueHistogram};
+use nod_qosneg::negotiate::{CommitFailure, NegotiationContext, SessionReservation};
 use nod_qosneg::{NegotiationRequest, NegotiationStatus, RetryPolicy, Session, UserProfile};
 use nod_simcore::sync::Sharded;
 use nod_simcore::{EventQueue, SimTime, StreamRng};
@@ -45,6 +46,18 @@ pub struct BrokerConfig {
     pub default_hold_ms: u64,
     /// Seed for the per-session RNG family (backoff jitter).
     pub seed: u64,
+    /// Upper bound of the user's decision window (the paper's
+    /// *choicePeriod*), ms. When non-zero, an admitted session keeps its
+    /// reservation pending while the simulated user deliberates for a
+    /// per-session random `1..=choice_period_ms`, then confirms
+    /// ([`OutcomeKind::Confirmed`]) and starts its hold. Zero (the
+    /// default) confirms instantly, preserving the original event logs.
+    pub choice_period_ms: u64,
+    /// Chaos hook: at this instant, deliberately reserve (and never
+    /// release) one stream on the first server, so the end-of-run
+    /// capacity audit must fire. Exercises the flight-recorder dump path;
+    /// never set outside tests.
+    pub inject_leak_at_ms: Option<u64>,
 }
 
 impl BrokerConfig {
@@ -56,6 +69,8 @@ impl BrokerConfig {
             accept_degraded: true,
             default_hold_ms: 30_000,
             seed: 0x6272_6f6b,
+            choice_period_ms: 0,
+            inject_leak_at_ms: None,
         }
     }
 }
@@ -152,6 +167,9 @@ pub enum OutcomeKind {
         /// The error display text.
         error: String,
     },
+    /// The user confirmed a pending admission after the choicePeriod
+    /// window ([`BrokerConfig::choice_period_ms`]).
+    Confirmed,
     /// An admitted session released its resources.
     Departed,
     /// A fault window started or ended; target state recomputed.
@@ -186,13 +204,19 @@ pub struct BrokerReport {
     pub leaked_streams: usize,
     /// `admitted / sessions`.
     pub admission_ratio: f64,
+    /// End-to-end session latency (arrival → terminal event), ms. Exact
+    /// moments; log-bucketed p50/p90/p95/p99 (≤1% relative error at any
+    /// session count, and mergeable across runs).
+    pub latency: HistogramSnapshot,
 }
 
 enum Ev {
     FaultEdge,
     Arrival(usize),
     Retry(usize),
+    Confirm(usize),
     Departure(usize),
+    InjectLeak,
 }
 
 struct SessState {
@@ -200,6 +224,44 @@ struct SessState {
     rng: StreamRng,
     reservation: Option<SessionReservation>,
     result: Option<SessionResult>,
+    /// Degraded flag of an admission awaiting user confirmation.
+    pending_admit: Option<bool>,
+    /// Latency recorded and session span closed.
+    closed: bool,
+    /// Open trace spans (only when a tracer is attached).
+    session_span: Option<Span>,
+    backoff_span: Option<Span>,
+    confirm_span: Option<Span>,
+}
+
+/// Classify a FAILEDTRYLATER's commit failures by what the session will
+/// be waiting *for* — the label wait-time attribution splits backoff by.
+fn refusal_reason(failures: &[(usize, CommitFailure)]) -> &'static str {
+    let mut server = false;
+    let mut network = false;
+    for (_, f) in failures {
+        match f {
+            CommitFailure::Server { .. } => server = true,
+            CommitFailure::Network { .. } | CommitFailure::PathQos { .. } => network = true,
+            CommitFailure::DecodeBudget | CommitFailure::Startup { .. } => {}
+        }
+    }
+    match (server, network) {
+        (true, false) => "admission",
+        (false, true) => "network",
+        (true, true) => "mixed",
+        (false, false) => "other",
+    }
+}
+
+fn fate_label(fate: SessionFate) -> &'static str {
+    match fate {
+        SessionFate::Admitted { degraded: false } => "admitted",
+        SessionFate::Admitted { degraded: true } => "admitted_degraded",
+        SessionFate::Starved => "starved",
+        SessionFate::Rejected => "rejected",
+        SessionFate::Errored => "errored",
+    }
 }
 
 /// The broker: a [`Session`] facade plus contention policy.
@@ -229,6 +291,11 @@ impl<'a> Broker<'a> {
         if let Some(rec) = self.recorder {
             rec.counter(name, delta);
         }
+    }
+
+    /// The attached tracer, if the recorder carries one.
+    fn tracer(&self) -> Option<&'a Tracer> {
+        self.recorder.and_then(|r| r.tracer())
     }
 
     fn hold_ms(&self, spec: &SessionSpec<'_>) -> u64 {
@@ -267,11 +334,21 @@ impl<'a> Broker<'a> {
                     rng: master.split(),
                     reservation: None,
                     result: None,
+                    pending_admit: None,
+                    closed: false,
+                    session_span: None,
+                    backoff_span: None,
+                    confirm_span: None,
                 }
             })
             .collect();
+        if let Some(at_ms) = self.config.inject_leak_at_ms {
+            queue.schedule(SimTime::from_millis(at_ms), Ev::InjectLeak);
+        }
 
+        let tracer = self.tracer();
         let mut events: Vec<OutcomeEvent> = Vec::new();
+        let mut latency = ValueHistogram::new();
         let mut retries = 0u64;
         let mut backoff_ms_total = 0u64;
         let mut faults_injected = 0u64;
@@ -281,7 +358,14 @@ impl<'a> Broker<'a> {
             if let Some(rec) = self.recorder {
                 rec.set_sim_time_us(at.as_micros());
             }
-            match ev {
+            // Per-session events run inside that session's trace window.
+            if let Some(t) = tracer {
+                match ev {
+                    Ev::Arrival(i) | Ev::Retry(i) | Ev::Confirm(i) => t.resume(i as u64),
+                    _ => {}
+                }
+            }
+            let touched: Option<usize> = match ev {
                 Ev::FaultEdge => {
                     faults.apply_state_at(ctx.farm, ctx.network, now_ms);
                     let starts = faults
@@ -298,13 +382,45 @@ impl<'a> Broker<'a> {
                         session: usize::MAX,
                         kind: OutcomeKind::FaultEdge,
                     });
+                    None
+                }
+                Ev::InjectLeak => {
+                    // Deliberately strand one stream so the end-of-run
+                    // audit trips (and, with a tracer, the flight recorder
+                    // dumps). Test-only, gated by the config hook.
+                    if let Some(&id) = ctx.farm.ids().first() {
+                        let req = StreamRequirement {
+                            variant: VariantId(u64::MAX),
+                            max_bit_rate: 8_000,
+                            avg_bit_rate: 8_000,
+                            max_block_bytes: 1_000,
+                            avg_block_bytes: 1_000,
+                            blocks_per_second: 1,
+                            guarantee: Guarantee::BestEffort,
+                        };
+                        if ctx.farm.try_reserve(id, req).is_ok() {
+                            self.counter("broker.chaos.leaks_injected", 1);
+                        }
+                    }
+                    None
                 }
                 Ev::Arrival(i) | Ev::Retry(i) => {
                     let spec = &specs[i];
                     let st = &mut sessions[i];
                     st.attempts += 1;
+                    if st.session_span.is_none() {
+                        st.session_span = self.recorder.and_then(|r| r.trace_span("session"));
+                    }
+                    if let Some(b) = st.backoff_span.take() {
+                        b.end();
+                    }
                     let request = NegotiationRequest::new(spec.client, spec.document, spec.profile);
-                    let kind = match self.session.submit(&request) {
+                    let attempt_span = self.recorder.and_then(|r| r.trace_span("attempt"));
+                    let submitted = self.session.submit(&request);
+                    if let Some(a) = attempt_span {
+                        a.end();
+                    }
+                    let kind = match submitted {
                         Ok(out) => match out.status {
                             NegotiationStatus::Succeeded => {
                                 st.reservation = out.reservation;
@@ -331,6 +447,7 @@ impl<'a> Broker<'a> {
                                     spec,
                                     now_ms,
                                     transient,
+                                    refusal_reason(&out.commit_failures),
                                     out.status,
                                     &mut queue,
                                     &mut retries,
@@ -357,6 +474,32 @@ impl<'a> Broker<'a> {
                         session: i,
                         kind,
                     });
+                    Some(i)
+                }
+                Ev::Confirm(i) => {
+                    let spec = &specs[i];
+                    let st = &mut sessions[i];
+                    let degraded = st
+                        .pending_admit
+                        .take()
+                        .expect("Confirm fired without a pending admission");
+                    if let Some(rec) = self.recorder {
+                        rec.trace_point("confirm.decision", &[("decision", "accepted")]);
+                    }
+                    if let Some(c) = st.confirm_span.take() {
+                        c.end();
+                    }
+                    if st.reservation.is_some() {
+                        let hold = self.hold_ms(spec).max(1);
+                        queue.schedule(SimTime::from_millis(now_ms + hold), Ev::Departure(i));
+                    }
+                    self.finish(i, st, SessionFate::Admitted { degraded }, Some(now_ms));
+                    events.push(OutcomeEvent {
+                        at_ms: now_ms,
+                        session: i,
+                        kind: OutcomeKind::Confirmed,
+                    });
+                    Some(i)
                 }
                 Ev::Departure(i) => {
                     let st = &mut sessions[i];
@@ -368,7 +511,36 @@ impl<'a> Broker<'a> {
                         session: i,
                         kind: OutcomeKind::Departed,
                     });
+                    None
                 }
+            };
+            // Terminal close-out: record latency once and close the
+            // session's trace span (outcome point first, while it is
+            // still the innermost open span).
+            if let Some(i) = touched {
+                let st = &mut sessions[i];
+                if !st.closed {
+                    if let Some(result) = &st.result {
+                        st.closed = true;
+                        let total_ms = now_ms.saturating_sub(specs[i].arrival_ms);
+                        latency.record(total_ms as f64);
+                        if let Some(rec) = self.recorder {
+                            rec.observe("broker.session_ms", total_ms as f64);
+                        }
+                        if let Some(rec) = self.recorder {
+                            rec.trace_point(
+                                "session.outcome",
+                                &[("fate", fate_label(result.fate))],
+                            );
+                        }
+                        if let Some(span) = st.session_span.take() {
+                            span.end();
+                        }
+                    }
+                }
+            }
+            if let Some(t) = tracer {
+                t.suspend();
             }
         }
 
@@ -376,6 +548,11 @@ impl<'a> Broker<'a> {
         let leaked_streams = before.leaked_streams(&after);
         if before != after {
             self.counter("broker.leaked_reservations", leaked_streams.max(1) as u64);
+            // Dump the flight recorder *before* the assert so the last
+            // trace events survive the panic.
+            if let Some(t) = tracer {
+                t.trigger_flight_dump("leaked_reservation_audit");
+            }
             debug_assert_eq!(
                 before, after,
                 "broker run leaked reservations: {before:?} -> {after:?}"
@@ -434,6 +611,7 @@ impl<'a> Broker<'a> {
             faults_injected,
             leaked_streams,
             admission_ratio,
+            latency: latency.snapshot(),
         }
     }
 
@@ -446,6 +624,18 @@ impl<'a> Broker<'a> {
         degraded: bool,
         queue: &mut EventQueue<Ev>,
     ) -> OutcomeKind {
+        if st.reservation.is_some() && self.config.choice_period_ms > 0 {
+            // The paper's choicePeriod: resources stay reserved while the
+            // user deliberates; the session turns terminal at Confirm.
+            st.pending_admit = Some(degraded);
+            st.confirm_span = self.recorder.and_then(|r| r.trace_span("confirm"));
+            let delay = st.rng.range_u64(1, self.config.choice_period_ms);
+            queue.schedule(SimTime::from_millis(now_ms + delay), Ev::Confirm(i));
+            return OutcomeKind::Admitted {
+                degraded,
+                attempt: st.attempts,
+            };
+        }
         if st.reservation.is_some() {
             let hold = self.hold_ms(spec).max(1);
             queue.schedule(SimTime::from_millis(now_ms + hold), Ev::Departure(i));
@@ -465,6 +655,7 @@ impl<'a> Broker<'a> {
         spec: &SessionSpec<'_>,
         now_ms: u64,
         transient: bool,
+        reason: &'static str,
         status: NegotiationStatus,
         queue: &mut EventQueue<Ev>,
         retries: &mut u64,
@@ -499,6 +690,15 @@ impl<'a> Broker<'a> {
         }
         *retries += 1;
         *backoff_ms_total += backoff;
+        if let Some(rec) = self.recorder {
+            // The backoff span stays open until the retry fires; the
+            // reason point (recorded while it is innermost) is what
+            // wait-time attribution splits backoff by.
+            if let Some(span) = rec.trace_span("backoff") {
+                rec.trace_point("backoff.reason", &[("reason", reason)]);
+                st.backoff_span = Some(span);
+            }
+        }
         queue.schedule(SimTime::from_millis(fire_ms), Ev::Retry(i));
         OutcomeKind::RetryScheduled {
             at_ms: fire_ms,
@@ -533,41 +733,64 @@ impl<'a> Broker<'a> {
         let held: Sharded<Vec<SessionReservation>> = Sharded::new(threads.min(8), Vec::new);
         let admitted = AtomicUsize::new(0);
 
+        let tracer = self.tracer();
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(i) else { break };
-                    let mut rng = StreamRng::new(
-                        self.config
-                            .seed
-                            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                    );
-                    let request = NegotiationRequest::new(spec.client, spec.document, spec.profile);
-                    for _attempt in 0..self.config.retry.max_attempts.max(1) {
-                        let Ok(out) = self.session.submit(&request) else {
-                            break;
-                        };
-                        match out.status {
-                            NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer => {
-                                if let Some(res) = out.reservation {
-                                    held.lock_key(i as u64).push(res);
-                                }
-                                admitted.fetch_add(1, Ordering::Relaxed);
-                                break;
+                scope.spawn(|| {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { break };
+                        // A session is owned by exactly one thread, so the
+                        // resume/suspend protocol partitions events into
+                        // per-session traces even under racing threads.
+                        if let Some(t) = tracer {
+                            t.resume(i as u64);
+                        }
+                        let session_span = self.recorder.and_then(|r| r.trace_span("session"));
+                        let mut rng = StreamRng::new(
+                            self.config
+                                .seed
+                                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                        );
+                        let request =
+                            NegotiationRequest::new(spec.client, spec.document, spec.profile);
+                        for _attempt in 0..self.config.retry.max_attempts.max(1) {
+                            let attempt_span = self.recorder.and_then(|r| r.trace_span("attempt"));
+                            let submitted = self.session.submit(&request);
+                            if let Some(a) = attempt_span {
+                                a.end();
                             }
-                            NegotiationStatus::FailedTryLater => {
-                                let transient = out.commit_failures.is_empty()
-                                    || out.commit_failures.iter().any(|(_, f)| f.transient());
-                                if !transient {
+                            let Ok(out) = submitted else {
+                                break;
+                            };
+                            match out.status {
+                                NegotiationStatus::Succeeded
+                                | NegotiationStatus::FailedWithOffer => {
+                                    if let Some(res) = out.reservation {
+                                        held.lock_key(i as u64).push(res);
+                                    }
+                                    admitted.fetch_add(1, Ordering::Relaxed);
                                     break;
                                 }
-                                // Draw (and discard) the jitter so the
-                                // per-session RNG stream matches run()'s
-                                // consumption pattern.
-                                let _ = self.config.retry.backoff_ms(1, &mut rng);
+                                NegotiationStatus::FailedTryLater => {
+                                    let transient = out.commit_failures.is_empty()
+                                        || out.commit_failures.iter().any(|(_, f)| f.transient());
+                                    if !transient {
+                                        break;
+                                    }
+                                    // Draw (and discard) the jitter so the
+                                    // per-session RNG stream matches run()'s
+                                    // consumption pattern.
+                                    let _ = self.config.retry.backoff_ms(1, &mut rng);
+                                }
+                                _ => break,
                             }
-                            _ => break,
+                        }
+                        if let Some(s) = session_span {
+                            s.end();
+                        }
+                        if let Some(t) = tracer {
+                            t.suspend();
                         }
                     }
                 });
@@ -583,6 +806,9 @@ impl<'a> Broker<'a> {
         let leaked = before.leaked_streams(&after);
         if before != after {
             self.counter("broker.leaked_reservations", leaked.max(1) as u64);
+            if let Some(t) = tracer {
+                t.trigger_flight_dump("leaked_reservation_audit_threaded");
+            }
             debug_assert_eq!(before, after, "threaded broker run leaked reservations");
         }
         (admitted.load(Ordering::Relaxed), leaked)

@@ -195,6 +195,10 @@ impl FileServer {
                 &[("server", &self.server_label), ("result", "accepted")],
                 1,
             );
+            rec.trace_point(
+                "cmfs.admission",
+                &[("server", &self.server_label), ("result", "accepted")],
+            );
             let slack = cap_us.saturating_sub(st.used_round_us) as f64 / cap_us.max(1) as f64;
             rec.observe_with(
                 "cmfs.admit.disk_slack",
@@ -207,15 +211,13 @@ impl FileServer {
 
     fn count_rejection(&self, reason: &str) {
         if let Some(rec) = self.recorder.get() {
-            rec.counter_with(
-                "cmfs.admission",
-                &[
-                    ("server", &self.server_label),
-                    ("result", "rejected"),
-                    ("reason", reason),
-                ],
-                1,
-            );
+            let labels = [
+                ("server", self.server_label.as_str()),
+                ("result", "rejected"),
+                ("reason", reason),
+            ];
+            rec.counter_with("cmfs.admission", &labels, 1);
+            rec.trace_point("cmfs.admission", &labels);
         }
     }
 

@@ -236,6 +236,7 @@ impl Network {
         st.reservations.insert(id, (links, bps));
         if let Some(rec) = self.recorder.get() {
             rec.counter_with("net.reservation", &[("result", "accepted")], 1);
+            rec.trace_point("net.reservation", &[("result", "accepted")]);
         }
         Ok(id)
     }
@@ -248,11 +249,9 @@ impl Network {
                 NetError::Unreachable(_) => "unreachable",
                 NetError::InsufficientBandwidth { .. } => "bandwidth",
             };
-            rec.counter_with(
-                "net.reservation",
-                &[("result", "rejected"), ("reason", reason)],
-                1,
-            );
+            let labels = [("result", "rejected"), ("reason", reason)];
+            rec.counter_with("net.reservation", &labels, 1);
+            rec.trace_point("net.reservation", &labels);
         }
     }
 

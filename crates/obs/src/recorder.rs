@@ -1,71 +1,29 @@
 //! The metric recorder and its span handles.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use nod_simcore::rng::SplitMix64;
 use nod_simcore::sync::Mutex;
-use nod_simcore::OnlineStats;
 
+use crate::hist::ValueHistogram;
 use crate::sink::{ObsEvent, ObsSink};
-use crate::snapshot::{HistogramSnapshot, Snapshot};
+use crate::snapshot::Snapshot;
+use crate::trace::{TraceId, Tracer};
 use crate::{metric_key, DROPPED_SAMPLES};
-
-/// Cap on retained samples per histogram; beyond it a deterministic
-/// reservoir (algorithm R, seeded from the metric key) keeps a uniform
-/// subsample for percentile estimation while the Welford moments stay
-/// exact over the full stream.
-const RESERVOIR_CAP: usize = 4096;
-
-#[derive(Debug)]
-pub(crate) struct HistState {
-    pub(crate) stats: OnlineStats,
-    pub(crate) samples: Vec<f64>,
-    seen: u64,
-    rng: SplitMix64,
-}
-
-impl HistState {
-    fn new(key: &str) -> Self {
-        // FNV-1a over the key: any fixed, stable seed works; keying it to
-        // the metric name decorrelates reservoirs across metrics.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in key.bytes() {
-            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        HistState {
-            stats: OnlineStats::new(),
-            samples: Vec::new(),
-            seen: 0,
-            rng: SplitMix64::new(h),
-        }
-    }
-
-    fn push(&mut self, x: f64) {
-        self.stats.push(x);
-        self.seen += 1;
-        if self.samples.len() < RESERVOIR_CAP {
-            self.samples.push(x);
-        } else {
-            let j = self.rng.next_below(self.seen);
-            if (j as usize) < RESERVOIR_CAP {
-                self.samples[j as usize] = x;
-            }
-        }
-    }
-}
 
 #[derive(Debug, Default)]
 struct State {
     counters: std::collections::BTreeMap<String, u64>,
     gauges: std::collections::BTreeMap<String, f64>,
-    hists: std::collections::BTreeMap<String, HistState>,
+    hists: std::collections::BTreeMap<String, ValueHistogram>,
 }
 
 struct Shared {
     state: Mutex<State>,
     sink: Option<Arc<dyn ObsSink>>,
+    /// Set-once causal tracer; absent on the vast majority of recorders.
+    tracer: OnceLock<Tracer>,
     span_ids: AtomicU64,
     epoch: Instant,
     sim_time_us: AtomicU64,
@@ -117,12 +75,55 @@ impl Recorder {
             shared: Arc::new(Shared {
                 state: Mutex::new(State::default()),
                 sink,
+                tracer: OnceLock::new(),
                 span_ids: AtomicU64::new(1),
                 epoch: Instant::now(),
                 sim_time_us: AtomicU64::new(0),
                 use_sim_clock: AtomicBool::new(false),
             }),
         }
+    }
+
+    /// Attach a causal [`Tracer`] (set-once; later calls are ignored).
+    /// Spans opened through this recorder then also record
+    /// [`crate::TraceEvent`]s into whichever trace is resumed on the
+    /// current thread, and [`Recorder::trace_point`] becomes live.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        let _ = self.shared.tracer.set(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.shared.tracer.get()
+    }
+
+    /// Is a trace resumed on the current thread? Callers use this to skip
+    /// building labels for [`Recorder::trace_point`] on untraced runs.
+    pub fn trace_active(&self) -> bool {
+        self.shared
+            .tracer
+            .get()
+            .is_some_and(|t| t.active().is_some())
+    }
+
+    /// Record a point event (a leaf annotation, e.g. an admission verdict)
+    /// under the innermost open span of the active trace. A branch when no
+    /// tracer is attached, a thread-local check when no trace is resumed —
+    /// allocation-free in both cases.
+    pub fn trace_point(&self, name: &str, labels: &[(&str, &str)]) {
+        self.trace_point_value(name, labels, None);
+    }
+
+    /// [`Recorder::trace_point`] carrying a numeric value.
+    pub fn trace_point_value(&self, name: &str, labels: &[(&str, &str)], value: Option<f64>) {
+        let Some(tracer) = self.shared.tracer.get() else {
+            return;
+        };
+        tracer.point(
+            self.now_us(),
+            || crate::intern_metric_key(name, labels),
+            value,
+        );
     }
 
     /// Drive span timing from the simulation clock instead of wall time.
@@ -145,9 +146,11 @@ impl Recorder {
         }
     }
 
-    fn emit(&self, event: ObsEvent) {
+    /// Run `event` and emit the result only when a sink is attached, so
+    /// the no-sink path never pays for building the event.
+    fn emit_with(&self, event: impl FnOnce() -> ObsEvent) {
         if let Some(sink) = &self.shared.sink {
-            sink.emit(&event);
+            sink.emit(&event());
         }
     }
 
@@ -159,14 +162,18 @@ impl Recorder {
     /// Add `delta` to the counter `name` with labels.
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
         let key = metric_key(name, labels);
-        *self
-            .shared
-            .state
-            .lock()
-            .counters
-            .entry(key.clone())
-            .or_insert(0) += delta;
-        self.emit(ObsEvent::counter(self.now_us(), key, delta));
+        if let Some(sink) = &self.shared.sink {
+            *self
+                .shared
+                .state
+                .lock()
+                .counters
+                .entry(key.clone())
+                .or_insert(0) += delta;
+            sink.emit(&ObsEvent::counter(self.now_us(), key, delta));
+        } else {
+            *self.shared.state.lock().counters.entry(key).or_insert(0) += delta;
+        }
     }
 
     /// Set the gauge `name` to `value`. Non-finite values are dropped and
@@ -181,8 +188,12 @@ impl Recorder {
             return;
         }
         let key = metric_key(name, labels);
-        self.shared.state.lock().gauges.insert(key.clone(), value);
-        self.emit(ObsEvent::gauge(self.now_us(), key, value));
+        if let Some(sink) = &self.shared.sink {
+            self.shared.state.lock().gauges.insert(key.clone(), value);
+            sink.emit(&ObsEvent::gauge(self.now_us(), key, value));
+        } else {
+            self.shared.state.lock().gauges.insert(key, value);
+        }
     }
 
     /// Record `value` into the histogram `name`. Non-finite values are
@@ -197,14 +208,24 @@ impl Recorder {
             return;
         }
         let key = metric_key(name, labels);
-        self.shared
-            .state
-            .lock()
-            .hists
-            .entry(key.clone())
-            .or_insert_with(|| HistState::new(&key))
-            .push(value);
-        self.emit(ObsEvent::observe(self.now_us(), key, value));
+        if let Some(sink) = &self.shared.sink {
+            self.shared
+                .state
+                .lock()
+                .hists
+                .entry(key.clone())
+                .or_default()
+                .record(value);
+            sink.emit(&ObsEvent::observe(self.now_us(), key, value));
+        } else {
+            self.shared
+                .state
+                .lock()
+                .hists
+                .entry(key)
+                .or_default()
+                .record(value);
+        }
     }
 
     /// True (and counted) when `value` cannot enter the stats layer.
@@ -213,33 +234,61 @@ impl Recorder {
             return false;
         }
         let key = metric_key(DROPPED_SAMPLES, &[("metric", name)]);
-        *self
-            .shared
-            .state
-            .lock()
-            .counters
-            .entry(key.clone())
-            .or_insert(0) += 1;
-        self.emit(ObsEvent::counter(self.now_us(), key, 1));
+        if let Some(sink) = &self.shared.sink {
+            *self
+                .shared
+                .state
+                .lock()
+                .counters
+                .entry(key.clone())
+                .or_insert(0) += 1;
+            sink.emit(&ObsEvent::counter(self.now_us(), key, 1));
+        } else {
+            *self.shared.state.lock().counters.entry(key).or_insert(0) += 1;
+        }
         true
     }
 
     /// Open a root span. The span records `span.<name>.ms` when it ends
     /// (on drop or [`Span::end`]) and emits start/end events to the sink.
-    pub fn span(&self, name: &str) -> Span {
-        self.span_with_parent(name, 0)
+    /// With a tracer attached and a trace resumed on this thread, the span
+    /// also joins that trace's tree, parented by the ambient span stack.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_with_parent(name, 0, false)
     }
 
-    fn span_with_parent(&self, name: &str, parent: u64) -> Span {
+    /// Open a root span that exists *only* in the active trace: no
+    /// `span.<name>.ms` histogram, no sink events. `None` when no trace is
+    /// resumed on this thread. Drivers use this for spans whose entire
+    /// purpose is trace structure (the broker's per-session `session` /
+    /// `attempt` / `backoff` / `confirm` spans), so enabling tracing does
+    /// not also grow the metric surface — and untraced runs pay nothing.
+    pub fn trace_span(&self, name: &'static str) -> Option<Span> {
+        if !self.trace_active() {
+            return None;
+        }
+        Some(self.span_with_parent(name, 0, true))
+    }
+
+    fn span_with_parent(&self, name: &'static str, parent: u64, quiet: bool) -> Span {
         let id = self.shared.span_ids.fetch_add(1, Ordering::Relaxed);
         let start_us = self.now_us();
-        self.emit(ObsEvent::span_start(start_us, name.to_string(), id, parent));
+        if !quiet {
+            self.emit_with(|| ObsEvent::span_start(start_us, name.to_string(), id, parent));
+        }
+        let trace = self
+            .shared
+            .tracer
+            .get()
+            .and_then(|t| t.span_start(start_us, name, id, parent));
         Span {
             rec: self.clone(),
-            name: name.to_string(),
+            name,
             id,
             parent,
             start_us,
+            trace,
+            quiet,
             ended: false,
         }
     }
@@ -247,13 +296,13 @@ impl Recorder {
     /// Snapshot the full metric state (counters, gauges, histogram
     /// summaries). Cheap enough to call between experiment phases.
     pub fn snapshot(&self) -> Snapshot {
-        let mut state = self.shared.state.lock();
+        let state = self.shared.state.lock();
         let counters = state.counters.clone();
         let gauges = state.gauges.clone();
         let histograms = state
             .hists
-            .iter_mut()
-            .map(|(k, h)| (k.clone(), HistogramSnapshot::from_state(h)))
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
             .collect();
         Snapshot {
             counters,
@@ -274,15 +323,25 @@ impl Recorder {
 ///
 /// Spans nest by explicit parenting — [`Span::child`] — rather than
 /// thread-local ambient context, so traces stay deterministic when stages
-/// fan out across worker threads. Ending is idempotent: `end()` consumes
-/// the span, and dropping an un-ended span ends it.
+/// fan out across worker threads. (With a [`Tracer`] attached, a *root*
+/// span additionally picks up the active trace's innermost span as its
+/// trace-tree parent, which is how broker-level spans enclose negotiation
+/// spans without plumbing.) Ending is idempotent: `end()` consumes the
+/// span; dropping an un-ended span still records its duration, but under
+/// a `dropped="true"` label — a drop without `end()` marks an abandoned
+/// path (early return, error unwind), and those timings must stay visible
+/// without polluting the clean-path histogram.
 #[derive(Debug)]
 pub struct Span {
     rec: Recorder,
-    name: String,
+    name: &'static str,
     id: u64,
     parent: u64,
     start_us: u64,
+    /// The trace this span's start was recorded into, if any.
+    trace: Option<TraceId>,
+    /// Trace-only: skip the metrics/sink half of `finish`.
+    quiet: bool,
     ended: bool,
 }
 
@@ -298,37 +357,58 @@ impl Span {
     }
 
     /// Open a child span.
-    pub fn child(&self, name: &str) -> Span {
-        self.rec.span_with_parent(name, self.id)
+    pub fn child(&self, name: &'static str) -> Span {
+        self.rec.span_with_parent(name, self.id, self.quiet)
     }
 
-    /// End the span now (otherwise it ends on drop).
+    /// End the span now (otherwise it ends on drop, which flags the
+    /// timing with `dropped="true"`).
     pub fn end(mut self) {
-        self.finish();
+        self.finish(false);
     }
 
-    fn finish(&mut self) {
+    fn finish(&mut self, via_drop: bool) {
         if self.ended {
             return;
         }
         self.ended = true;
         let end_us = self.rec.now_us();
         let elapsed_ms = end_us.saturating_sub(self.start_us) as f64 / 1_000.0;
-        self.rec
-            .observe(&format!("span.{}.ms", self.name), elapsed_ms);
-        self.rec.emit(ObsEvent::span_end(
-            end_us,
-            self.name.clone(),
-            self.id,
-            self.parent,
-            elapsed_ms,
-        ));
+        if !self.quiet {
+            let metric = format!("span.{}.ms", self.name);
+            if via_drop {
+                self.rec
+                    .observe_with(&metric, &[("dropped", "true")], elapsed_ms);
+            } else {
+                self.rec.observe(&metric, elapsed_ms);
+            }
+            self.rec.emit_with(|| {
+                ObsEvent::span_end(
+                    end_us,
+                    self.name.to_string(),
+                    self.id,
+                    self.parent,
+                    elapsed_ms,
+                )
+            });
+        }
+        if let (Some(trace), Some(tracer)) = (self.trace, self.rec.shared.tracer.get()) {
+            tracer.span_end(
+                end_us,
+                self.name,
+                self.id,
+                self.parent,
+                elapsed_ms,
+                via_drop,
+                trace,
+            );
+        }
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        self.finish();
+        self.finish(true);
     }
 }
 
@@ -369,7 +449,9 @@ mod tests {
         assert!((h.mean - 50.5).abs() < 1e-9);
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 100.0);
-        assert!((h.p50 - 50.5).abs() < 1e-9);
+        // Quantiles come from the log sketch: within its 1% relative bound.
+        assert!((h.p50 - 50.5).abs() <= 1.6, "p50={}", h.p50);
+        assert!((h.p95 - 95.0).abs() <= 2.0, "p95={}", h.p95);
     }
 
     #[test]
@@ -387,7 +469,7 @@ mod tests {
     }
 
     #[test]
-    fn reservoir_caps_retained_samples() {
+    fn long_streams_keep_accurate_percentiles() {
         let rec = Recorder::new();
         for x in 0..20_000 {
             rec.observe("big", x as f64);
@@ -395,8 +477,10 @@ mod tests {
         let snap = rec.snapshot();
         let h = &snap.histograms["big"];
         assert_eq!(h.count, 20_000);
-        // Percentiles come from the reservoir: still roughly uniform.
-        assert!(h.p50 > 5_000.0 && h.p50 < 15_000.0, "p50={}", h.p50);
+        // Far past the old reservoir cap, the log buckets stay within
+        // their relative-error bound instead of degrading to a subsample.
+        assert!((h.p50 - 10_000.0).abs() <= 250.0, "p50={}", h.p50);
+        assert!((h.p99 - 19_800.0).abs() <= 450.0, "p99={}", h.p99);
     }
 
     #[test]
@@ -435,13 +519,72 @@ mod tests {
     }
 
     #[test]
-    fn dropped_span_still_records() {
+    fn dropped_span_records_under_dropped_label() {
         let rec = Recorder::new();
         rec.set_sim_time_us(0);
         {
             let _span = rec.span("scope");
             rec.set_sim_time_us(500);
         }
-        assert_eq!(rec.snapshot().histograms["span.scope.ms"].count, 1);
+        let snap = rec.snapshot();
+        // The timing is not lost, but it is flagged: the clean-path
+        // histogram stays clean and the anomaly is visible.
+        let h = &snap.histograms["span.scope.ms{dropped=true}"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 0.5);
+        assert!(!snap.histograms.contains_key("span.scope.ms"));
+
+        rec.set_sim_time_us(1_000);
+        let span = rec.span("scope");
+        rec.set_sim_time_us(1_200);
+        span.end();
+        let snap = rec.snapshot();
+        assert_eq!(snap.histograms["span.scope.ms"].count, 1);
+        assert_eq!(snap.histograms["span.scope.ms{dropped=true}"].count, 1);
+    }
+
+    #[test]
+    fn spans_join_the_active_trace() {
+        let rec = Recorder::new();
+        let tracer = Tracer::new();
+        rec.set_tracer(tracer.clone());
+        rec.set_sim_time_us(10);
+
+        // Untraced span: metrics only, no trace events.
+        rec.span("lonely").end();
+        assert!(!rec.trace_active());
+
+        tracer.resume(7);
+        assert!(rec.trace_active());
+        let root = rec.span("session");
+        let attempt = rec.span("attempt"); // ambient-parented under session
+        rec.trace_point("cmfs.admission", &[("result", "accepted")]);
+        attempt.end();
+        root.end();
+        tracer.suspend();
+
+        let events = tracer.drain();
+        assert_eq!(events.len(), 5);
+        assert!(events.iter().all(|e| e.trace == 7));
+        let attempt_start = events
+            .iter()
+            .find(|e| e.kind == "span_start" && e.name == "attempt")
+            .unwrap();
+        let session_start = events
+            .iter()
+            .find(|e| e.kind == "span_start" && e.name == "session")
+            .unwrap();
+        assert_eq!(attempt_start.parent, session_start.span);
+        let point = events.iter().find(|e| e.kind == "point").unwrap();
+        assert_eq!(point.name, "cmfs.admission{result=accepted}");
+        assert_eq!(point.span, attempt_start.span);
+        assert!(events.iter().all(|e| e.name != "lonely"));
+    }
+
+    #[test]
+    fn trace_point_without_tracer_is_free() {
+        let rec = Recorder::new();
+        rec.trace_point("noop", &[("k", "v")]);
+        assert!(!rec.trace_active());
     }
 }

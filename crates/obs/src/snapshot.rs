@@ -5,13 +5,16 @@ use std::collections::BTreeMap;
 use nod_simcore::json::{from_str, to_string_pretty, JsonError};
 use nod_simcore::json_struct;
 
-use crate::recorder::HistState;
+use crate::hist::{LogBuckets, LogHistogram};
 
 /// Summary of one value/latency histogram.
 ///
 /// Moments (`count`, `mean`, `m2`, `min`, `max`) are exact over the full
-/// sample stream; percentiles are exact up to the reservoir cap and a
-/// uniform-subsample estimate beyond it.
+/// sample stream; percentiles come from the log-bucketed sketch
+/// (`buckets`) and carry at most [`crate::hist::RELATIVE_ERROR`] relative
+/// error — at any stream length, unlike the sampled reservoir this
+/// replaced. Because the buckets travel with the snapshot, two snapshots
+/// merge *exactly*: merged percentiles equal those of the union stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Number of samples recorded.
@@ -29,8 +32,12 @@ pub struct HistogramSnapshot {
     pub p50: f64,
     /// 90th percentile.
     pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
+    /// The sparse log buckets the percentiles derive from.
+    pub buckets: LogBuckets,
 }
 
 json_struct!(HistogramSnapshot {
@@ -41,41 +48,12 @@ json_struct!(HistogramSnapshot {
     max,
     p50,
     p90,
-    p99
+    p95,
+    p99,
+    buckets
 });
 
 impl HistogramSnapshot {
-    pub(crate) fn from_state(h: &mut HistState) -> Self {
-        let n = h.stats.count();
-        let m2 = if n < 2 {
-            0.0
-        } else {
-            h.stats.variance() * (n - 1) as f64
-        };
-        let mut sorted = h.samples.clone();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("recorder drops NaN"));
-        let q = |q: f64| -> f64 {
-            if sorted.is_empty() {
-                return 0.0;
-            }
-            let pos = q * (sorted.len() - 1) as f64;
-            let lo = pos.floor() as usize;
-            let hi = pos.ceil() as usize;
-            let frac = pos - lo as f64;
-            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-        };
-        HistogramSnapshot {
-            count: n,
-            mean: h.stats.mean(),
-            m2,
-            min: h.stats.min().unwrap_or(0.0),
-            max: h.stats.max().unwrap_or(0.0),
-            p50: q(0.50),
-            p90: q(0.90),
-            p99: q(0.99),
-        }
-    }
-
     /// Sample standard deviation (unbiased).
     pub fn std_dev(&self) -> f64 {
         if self.count < 2 {
@@ -85,11 +63,10 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Merge `other` into `self` (Chan's parallel moment update).
-    ///
-    /// Moments merge exactly; percentiles are approximated by the
-    /// count-weighted average of the two sides (a snapshot does not retain
-    /// raw samples).
+    /// Merge `other` into `self`: moments by Chan's parallel update,
+    /// buckets by exact addition, percentiles recomputed from the merged
+    /// buckets — so the result is what a single snapshot over the union
+    /// stream would report.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         if other.count == 0 {
             return;
@@ -107,9 +84,13 @@ impl HistogramSnapshot {
         self.count += other.count;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
-        self.p50 = (self.p50 * n1 + other.p50 * n2) / total;
-        self.p90 = (self.p90 * n1 + other.p90 * n2) / total;
-        self.p99 = (self.p99 * n1 + other.p99 * n2) / total;
+        let mut log = LogHistogram::from_buckets(&self.buckets);
+        log.merge(&LogHistogram::from_buckets(&other.buckets));
+        self.p50 = log.quantile(0.50).clamp(self.min, self.max);
+        self.p90 = log.quantile(0.90).clamp(self.min, self.max);
+        self.p95 = log.quantile(0.95).clamp(self.min, self.max);
+        self.p99 = log.quantile(0.99).clamp(self.min, self.max);
+        self.buckets = log.to_buckets();
     }
 }
 
@@ -180,14 +161,18 @@ impl Snapshot {
 
     /// Per-counter difference `self - other` (signed), for run-to-run
     /// comparisons. Keys present in either side appear in the result.
-    pub fn counter_deltas(&self, other: &Snapshot) -> BTreeMap<String, i64> {
+    ///
+    /// Computed in `i128` so the difference is exact for the full `u64`
+    /// counter range — the earlier `as i64` casts silently wrapped once a
+    /// counter crossed `i64::MAX`.
+    pub fn counter_deltas(&self, other: &Snapshot) -> BTreeMap<String, i128> {
         let mut keys: Vec<&String> = self.counters.keys().collect();
         keys.extend(other.counters.keys());
         keys.sort();
         keys.dedup();
         keys.into_iter()
             .map(|k| {
-                let d = self.counter(k) as i64 - other.counter(k) as i64;
+                let d = self.counter(k) as i128 - other.counter(k) as i128;
                 (k.clone(), d)
             })
             .collect()
@@ -225,7 +210,9 @@ mod tests {
             &Json::Num(nod_simcore::json::Num::U(1))
         );
         let h = json.field("histograms").unwrap().field("h").unwrap();
-        for key in ["count", "mean", "min", "max", "p50", "p90", "p99"] {
+        for key in [
+            "count", "mean", "min", "max", "p50", "p90", "p95", "p99", "buckets",
+        ] {
             assert!(h.get(key).is_some(), "missing {key}");
         }
     }
@@ -253,9 +240,27 @@ mod tests {
         assert_eq!(d["only_b"], -4);
     }
 
+    #[test]
+    fn counter_deltas_exact_near_u64_max() {
+        let rec_a = Recorder::new();
+        rec_a.counter("huge", u64::MAX);
+        let rec_b = Recorder::new();
+        rec_b.counter("huge", 1);
+        let a = rec_a.snapshot();
+        let b = rec_b.snapshot();
+        let d = a.counter_deltas(&b);
+        assert_eq!(d["huge"], u64::MAX as i128 - 1, "no silent wrap");
+        let d_rev = b.counter_deltas(&a);
+        assert_eq!(d_rev["huge"], -(u64::MAX as i128 - 1));
+        // The whole u64 range survives against an absent key too.
+        let d_abs = a.counter_deltas(&Snapshot::default());
+        assert_eq!(d_abs["huge"], u64::MAX as i128);
+    }
+
     /// Randomized merge property: merging two snapshots matches recording
-    /// the union of samples (counters exactly; histogram moments to float
-    /// tolerance). Originally a proptest; now driven by seeded StreamRng.
+    /// the union of samples — counters and bucket quantiles exactly,
+    /// histogram moments to float tolerance. Originally a proptest; now
+    /// driven by seeded StreamRng.
     #[test]
     fn merge_equals_union() {
         for case in 0..64u64 {
@@ -294,6 +299,16 @@ mod tests {
                 assert!((m.m2 - u.m2).abs() < 1e-6, "case {case} {k}");
                 assert_eq!(m.min, u.min, "case {case} {k}");
                 assert_eq!(m.max, u.max, "case {case} {k}");
+                // The log buckets make the merge exact, not approximate:
+                assert_eq!(m.buckets, u.buckets, "case {case} {k}");
+                for (p_m, p_u) in [
+                    (m.p50, u.p50),
+                    (m.p90, u.p90),
+                    (m.p95, u.p95),
+                    (m.p99, u.p99),
+                ] {
+                    assert_eq!(p_m, p_u, "case {case} {k}");
+                }
             }
         }
     }

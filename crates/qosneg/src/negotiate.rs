@@ -209,7 +209,11 @@ pub struct NegotiationContext<'a> {
 
 /// Open a stage span: a child of `parent` when a trace is active, a fresh
 /// root span when only the recorder is, `None` when observability is off.
-fn stage_span(ctx: &NegotiationContext<'_>, parent: Option<&Span>, name: &str) -> Option<Span> {
+fn stage_span(
+    ctx: &NegotiationContext<'_>,
+    parent: Option<&Span>,
+    name: &'static str,
+) -> Option<Span> {
     match (parent, ctx.recorder) {
         (Some(p), _) => Some(p.child(name)),
         (None, Some(rec)) => Some(rec.span(name)),
@@ -491,11 +495,9 @@ pub(crate) fn negotiate_impl(
         span.end();
     }
     if let (Some(rec), Ok(outcome)) = (ctx.recorder, &result) {
-        rec.counter_with(
-            "negotiation.outcome",
-            &[("status", &outcome.status.to_string())],
-            1,
-        );
+        let status = outcome.status.to_string();
+        rec.counter_with("negotiation.outcome", &[("status", &status)], 1);
+        rec.trace_point("negotiation.outcome", &[("status", &status)]);
     }
     result
 }
@@ -560,6 +562,10 @@ fn negotiate_streaming(
         span.end();
     }
 
+    // One commit span covers the whole streamed walk (step 5 as a stage);
+    // per-candidate verdicts are carried by the admission / reservation /
+    // refusal points inside it.
+    let span_commit = stage_span(ctx, root, "commit");
     let mut stream_failures: Vec<(ScoredCombo, CommitFailure)> = Vec::new();
     let mut committed: Option<(ScoredCombo, ScoredOffer, SessionReservation)> = None;
     let mut exhausted = false;
@@ -570,11 +576,7 @@ fn negotiate_streaming(
         };
         trace.reservation_attempts += 1;
         let scored = engine.materialize(&combo);
-        let span_commit = stage_span(ctx, root, "commit");
         let attempt = try_commit_diagnosed(ctx, client, &scored.offer, profile.time.max_startup_ms);
-        if let Some(span) = span_commit {
-            span.end();
-        }
         if let Some(rec) = ctx.recorder {
             rec.counter("negotiation.reservation.attempts", 1);
             if let Err(reason) = &attempt {
@@ -583,6 +585,7 @@ fn negotiate_streaming(
                     &[("reason", reason.kind())],
                     1,
                 );
+                rec.trace_point("negotiation.commit.refused", &[("reason", reason.kind())]);
             }
         }
         match attempt {
@@ -592,6 +595,9 @@ fn negotiate_streaming(
                 break;
             }
         }
+    }
+    if let Some(span) = span_commit {
+        span.end();
     }
     let stats = stream.stats;
     drop(stream);
@@ -674,18 +680,18 @@ fn commit_ordered(
     mut failures: Vec<(usize, CommitFailure)>,
     mut trace: NegotiationTrace,
 ) -> NegotiationOutcome {
+    // As in the streamed walk, one commit span per ordered walk; the
+    // per-candidate refusal points inside it carry the verdicts.
+    let span_commit = stage_span(ctx, root, "commit");
+    let mut committed: Option<(usize, SessionReservation)> = None;
     for &idx in &order[start_at..] {
         trace.reservation_attempts += 1;
-        let span_commit = stage_span(ctx, root, "commit");
         let attempt = try_commit_diagnosed(
             ctx,
             client,
             &ordered[idx].offer,
             profile.time.max_startup_ms,
         );
-        if let Some(span) = span_commit {
-            span.end();
-        }
         if let Some(rec) = ctx.recorder {
             rec.counter("negotiation.reservation.attempts", 1);
             if let Err(reason) = &attempt {
@@ -694,6 +700,7 @@ fn commit_ordered(
                     &[("reason", reason.kind())],
                     1,
                 );
+                rec.trace_point("negotiation.commit.refused", &[("reason", reason.kind())]);
             }
         }
         match attempt {
@@ -702,26 +709,34 @@ fn commit_ordered(
                 continue;
             }
             Ok(reservation) => {
-                let status = if ordered[idx].satisfies_request {
-                    NegotiationStatus::Succeeded
-                } else {
-                    NegotiationStatus::FailedWithOffer
-                };
-                let user_offer = ordered[idx].offer.to_user_offer();
-                let reserved_offer = Some(ordered[idx].clone());
-                return NegotiationOutcome {
-                    status,
-                    user_offer: Some(user_offer),
-                    reserved_index: Some(idx),
-                    reservation: Some(reservation),
-                    reserved_offer,
-                    ordered_offers: OfferList::from_vec(ordered),
-                    local_offer: None,
-                    commit_failures: failures,
-                    trace,
-                };
+                committed = Some((idx, reservation));
+                break;
             }
         }
+    }
+    if let Some(span) = span_commit {
+        span.end();
+    }
+
+    if let Some((idx, reservation)) = committed {
+        let status = if ordered[idx].satisfies_request {
+            NegotiationStatus::Succeeded
+        } else {
+            NegotiationStatus::FailedWithOffer
+        };
+        let user_offer = ordered[idx].offer.to_user_offer();
+        let reserved_offer = Some(ordered[idx].clone());
+        return NegotiationOutcome {
+            status,
+            user_offer: Some(user_offer),
+            reserved_index: Some(idx),
+            reservation: Some(reservation),
+            reserved_offer,
+            ordered_offers: OfferList::from_vec(ordered),
+            local_offer: None,
+            commit_failures: failures,
+            trace,
+        };
     }
 
     NegotiationOutcome {

@@ -46,6 +46,10 @@ pub struct ContendedConfig {
     pub fault_windows: usize,
     /// Guarantee class requested.
     pub guarantee: Guarantee,
+    /// Upper bound of the simulated user's confirmation window, ms
+    /// (0 = confirm instantly; see
+    /// [`BrokerConfig::choice_period_ms`](nod_broker::BrokerConfig)).
+    pub choice_period_ms: u64,
 }
 
 impl Default for ContendedConfig {
@@ -61,6 +65,7 @@ impl Default for ContendedConfig {
             retry: RetryPolicy::era_default(),
             fault_windows: 0,
             guarantee: Guarantee::Guaranteed,
+            choice_period_ms: 0,
         }
     }
 }
@@ -180,6 +185,7 @@ pub fn run_contended_with(
         BrokerConfig {
             retry: config.retry,
             seed: config.seed ^ 0xB20_4E2,
+            choice_period_ms: config.choice_period_ms,
             ..BrokerConfig::era_default()
         },
     );

@@ -26,6 +26,10 @@ echo "==> bench: broker (contended + threaded stress smoke)"
 NOD_BENCH_JSON_OUT="$tmpdir/broker.json" \
     cargo bench -q -p nod-bench --bench broker 2>&1 | tail -n +1
 
+echo "==> bench: trace (B10 tracing overhead; asserts the alloc-free disabled path)"
+NOD_BENCH_JSON_OUT="$tmpdir/trace.json" \
+    cargo bench -q -p nod-bench --bench trace 2>&1 | tail -n +1
+
 {
     echo '{'
     echo '  "negotiation":'
@@ -36,6 +40,9 @@ NOD_BENCH_JSON_OUT="$tmpdir/broker.json" \
     echo '  ,'
     echo '  "broker":'
     sed 's/^/    /' "$tmpdir/broker.json"
+    echo '  ,'
+    echo '  "trace":'
+    sed 's/^/    /' "$tmpdir/trace.json"
     echo '}'
 } > "$out"
 

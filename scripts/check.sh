@@ -20,4 +20,15 @@ cargo test --workspace -q
 echo "==> bench smoke (NOD_BENCH_FAST=1 scripts/bench_snapshot.sh)"
 NOD_BENCH_FAST=1 scripts/bench_snapshot.sh
 
+# Trace smoke: a small contended run must emit a parseable JSONL trace log
+# whose span trees pass the analyzer's causal-integrity checks (the
+# --trace-report path exits non-zero on a malformed trace).
+echo "==> trace smoke (run_contended --trace-out)"
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+cargo run -q --release -p nod-bench --bin run_contended -- \
+    --sessions 16 --servers 1 --seed 5 --hold-ms 4000 \
+    --trace-out "$trace_tmp/trace.jsonl" --trace-report > /dev/null
+test -s "$trace_tmp/trace.jsonl"
+
 echo "All checks passed."
