@@ -19,7 +19,7 @@ struct Tally {
     delivered: u64,
     over_budget: u64,
     satisfied: u64,
-    cost_sum: f64,
+    cost_sum: Money,
     oif_sum: f64,
 }
 
@@ -30,7 +30,7 @@ impl Tally {
             delivered: 0,
             over_budget: 0,
             satisfied: 0,
-            cost_sum: 0.0,
+            cost_sum: Money::ZERO,
             oif_sum: 0.0,
         }
     }
@@ -75,7 +75,7 @@ fn main() {
             if let (Some(idx), Some(_)) = (out.reserved_index, &out.reservation) {
                 tally.delivered += 1;
                 let offer = &out.ordered_offers[idx];
-                tally.cost_sum += offer.offer.cost.dollars();
+                tally.cost_sum += offer.offer.cost;
                 tally.oif_sum += offer.oif;
                 if offer.offer.cost > profile.max_cost {
                     tally.over_budget += 1;
@@ -114,7 +114,7 @@ fn main() {
                 tl.over_budget,
                 f3(tl.over_budget as f64 / tl.delivered.max(1) as f64)
             ),
-            format!("${:.2}", tl.cost_sum / tl.delivered.max(1) as f64),
+            format!("${:.2}", tl.cost_sum.dollars() / tl.delivered.max(1) as f64),
             format!("{:.1}", tl.oif_sum / tl.delivered.max(1) as f64),
         ]);
     }

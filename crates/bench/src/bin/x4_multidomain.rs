@@ -13,7 +13,7 @@ use nod_netsim::{Network, Topology};
 use nod_qosneg::hierarchy::{Domain, MultiDomainConfig};
 use nod_qosneg::profile::tv_news_profile;
 use nod_qosneg::{
-    ClassificationStrategy, CostModel, NegotiationRequest, NegotiationStatus, Session,
+    ClassificationStrategy, CostModel, Money, NegotiationRequest, NegotiationStatus, Session,
 };
 use nod_simcore::StreamRng;
 
@@ -66,7 +66,7 @@ fn main() {
         let mut peer = 0u32;
         let mut blocked = 0u32;
         let mut succeeded = 0u32;
-        let mut cost_sum = 0.0;
+        let mut cost_sum = Money::ZERO;
         let sessions = 24u64;
         let mut reservations = Vec::new();
         for i in 0..sessions {
@@ -87,7 +87,7 @@ fn main() {
                 succeeded += 1;
             }
             if let Some(c) = out.user_cost {
-                cost_sum += c.dollars();
+                cost_sum += c;
             }
             if let Some(r) = out.outcome.reservation {
                 reservations.push((out.domain_index, r));
@@ -100,7 +100,7 @@ fn main() {
             home.to_string(),
             peer.to_string(),
             blocked.to_string(),
-            format!("${:.2}", cost_sum / served as f64),
+            format!("${:.2}", cost_sum.dollars() / served as f64),
             f3(succeeded as f64 / sessions as f64),
         ]);
         for (d, r) in reservations {

@@ -1,0 +1,126 @@
+//! Greedy scenario shrinking: reduce a failing scenario to a minimal
+//! repro while a caller-supplied predicate stays true.
+//!
+//! The passes are structural and ordered from coarse to fine — drop whole
+//! components, drop variants, shed servers and background load, neutralize
+//! profile exotica, shorten durations — and loop to a fixpoint. The result
+//! plus [`crate::scenario::Scenario::to_rust_literal`] is a ready-to-paste
+//! regression test.
+
+use crate::scenario::{CostCeiling, ImportanceAnomaly, Scenario};
+
+/// Shrink `scenario` while `interesting` holds (it must hold for the
+/// input). Deterministic: same input + same predicate → same output.
+pub fn shrink(scenario: &Scenario, mut interesting: impl FnMut(&Scenario) -> bool) -> Scenario {
+    let mut best = scenario.clone();
+    debug_assert!(interesting(&best), "shrink input must be interesting");
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            if interesting(&candidate) {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// All single-step reductions of `s`, coarsest first.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // Drop one whole component (never below one).
+    if s.components.len() > 1 {
+        for i in 0..s.components.len() {
+            let mut c = s.clone();
+            c.components.remove(i);
+            out.push(c);
+        }
+    }
+    // Drop one variant from one component.
+    for (i, comp) in s.components.iter().enumerate() {
+        for j in 0..comp.variants.len() {
+            let mut c = s.clone();
+            c.components[i].variants.remove(j);
+            out.push(c);
+        }
+    }
+    // Shed servers (re-homing stranded variants onto server 0).
+    if s.servers > 1 {
+        let mut c = s.clone();
+        c.servers -= 1;
+        for comp in &mut c.components {
+            for v in &mut comp.variants {
+                if v.server >= c.servers {
+                    v.server = 0;
+                }
+            }
+        }
+        out.push(c);
+    }
+    // Drop background load and admission derating.
+    if s.hog_access_pct != 0 {
+        let mut c = s.clone();
+        c.hog_access_pct = 0;
+        out.push(c);
+    }
+    if s.server0_admission_pct != 100 {
+        let mut c = s.clone();
+        c.server0_admission_pct = 100;
+        out.push(c);
+    }
+    // Neutralize profile exotica.
+    if s.anomaly != ImportanceAnomaly::None {
+        let mut c = s.clone();
+        c.anomaly = ImportanceAnomaly::None;
+        out.push(c);
+    }
+    if !matches!(s.max_cost, CostCeiling::Millis(_)) {
+        let mut c = s.clone();
+        c.max_cost = CostCeiling::Millis(6_000);
+        out.push(c);
+    }
+    let req_drops: [fn(&mut Scenario); 3] = [
+        |c| c.video_req = None,
+        |c| c.audio_req = None,
+        |c| c.image_req = None,
+    ];
+    for drop_req in req_drops {
+        let mut c = s.clone();
+        drop_req(&mut c);
+        if c != *s {
+            out.push(c);
+        }
+    }
+    // Shorten durations and simplify variant scalars.
+    for (i, comp) in s.components.iter().enumerate() {
+        if comp.duration_ms > 1_000 {
+            let mut c = s.clone();
+            c.components[i].duration_ms = 1_000;
+            out.push(c);
+        }
+        for (j, v) in comp.variants.iter().enumerate() {
+            if v.max_block != v.avg_block {
+                let mut c = s.clone();
+                c.components[i].variants[j].avg_block = v.max_block;
+                out.push(c);
+            }
+            if v.file_kb > 40 {
+                let mut c = s.clone();
+                c.components[i].variants[j].file_kb = 40;
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Total structural size (components + variants) — the quantity shrinking
+/// minimizes, exposed for tests.
+pub fn size(s: &Scenario) -> usize {
+    s.components.len() + s.components.iter().map(|c| c.variants.len()).sum::<usize>()
+}

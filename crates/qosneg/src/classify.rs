@@ -104,16 +104,30 @@ pub(crate) fn sort_key_cmp(
     }
 }
 
-/// Score and sort offers under a strategy. The sort is stable, so equal
-/// keys keep enumeration order — classification is fully deterministic.
+/// Score and sort offers under a strategy.
+///
+/// Fully deterministic: equal strategy keys (duplicated variants, replica
+/// offers) fall through to an **explicit tertiary key — the enumeration
+/// (arena) index** of the offer, i.e. the order step 3 produced it in.
+/// This is the same rank the streaming engine carries per state
+/// ([`crate::engine`]), so both paths agree on tie order by contract, not
+/// by the accident of a stable sort.
 pub fn classify(
     offers: Vec<SystemOffer>,
     profile: &UserProfile,
     strategy: ClassificationStrategy,
 ) -> Vec<ScoredOffer> {
-    let mut scored = score_all(offers, profile);
-    scored.sort_by(|a, b| sort_key_cmp(strategy, a, b));
-    scored
+    let scored = score_all(offers, profile);
+    let mut indexed: Vec<(u32, ScoredOffer)> = scored
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u32, s))
+        .collect();
+    // With the index in the key the order is total, so the cheaper
+    // unstable sort is safe.
+    indexed
+        .sort_unstable_by(|(ia, a), (ib, b)| sort_key_cmp(strategy, a, b).then_with(|| ia.cmp(ib)));
+    indexed.into_iter().map(|(_, s)| s).collect()
 }
 
 /// Score offers sequentially — the default and, per bench B5, the fastest

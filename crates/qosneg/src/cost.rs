@@ -302,4 +302,59 @@ mod tests {
         let double = m.document_cost([(&v1, 60_000u64), (&v2, 60_000u64)], Guarantee::Guaranteed);
         assert_eq!(double - m.copyright, (single - m.copyright) * 2);
     }
+
+    #[test]
+    fn formula_one_exact_in_millis_for_random_documents() {
+        // Property: CostDoc is the exact i64 milli-dollar sum
+        // Σ(CostNetᵢ + CostSerᵢ) + CostCop for any selection, any size, any
+        // guarantee — no float ever enters the fold.
+        let m = CostModel::era_default();
+        let mut rng = nod_simcore::StreamRng::new(4242);
+        for round in 0..256u64 {
+            let guarantee = if round % 2 == 0 {
+                Guarantee::Guaranteed
+            } else {
+                Guarantee::BestEffort
+            };
+            let n = 1 + (round as usize % 8);
+            let variants: Vec<(Variant, u64)> = (0..n)
+                .map(|i| {
+                    let mut v = mpeg1_tv(i as u64 + 1, 60);
+                    let max = *rng.choose(&[1_500u64, 4_000, 6_000, 15_000, 60_000]);
+                    v.blocks = BlockStats::new(max, max.div_ceil(2));
+                    if i % 4 == 3 {
+                        v.blocks_per_second = 0; // discrete component
+                        v.file_bytes = *rng.choose(&[1u64, 900_000, 2_000_001]);
+                    }
+                    let duration = *rng.choose(&[1u64, 999, 1_000, 90_000, 3_600_000]);
+                    (v, duration)
+                })
+                .collect();
+            let doc = m.document_cost(variants.iter().map(|(v, d)| (v, *d)), guarantee);
+            let mut exact_millis = m.copyright.millis();
+            for (v, d) in &variants {
+                let (net, ser) = m.monomedia_cost(v, *d, guarantee);
+                exact_millis += net.millis() + ser.millis();
+            }
+            assert_eq!(doc.millis(), exact_millis, "round {round}");
+        }
+    }
+
+    #[test]
+    fn millis_accumulation_beats_f64_dollar_accumulation() {
+        // The half-millidollar case the f64 path gets wrong: a component
+        // priced at $0.0015 is exactly 2 milli-dollars after banker-free
+        // rounding (1.5 → 2), so three of them are exactly 6 millis. The
+        // same three parts accumulated as f64 dollars and converted once at
+        // the end land on 0.0045 → 4.5 → 5 millis: off by a milli-dollar —
+        // which is why the workload/bench reporters fold in `Money` and
+        // convert only at the display edge.
+        let part = Money::from_dollars_f64(0.001_5);
+        assert_eq!(part.millis(), 2);
+        let exact: Money = [part, part, part].into_iter().sum();
+        assert_eq!(exact.millis(), 6);
+        let drifted = Money::from_dollars_f64(0.001_5 + 0.001_5 + 0.001_5);
+        assert_eq!(drifted.millis(), 5);
+        assert_ne!(exact, drifted);
+    }
 }

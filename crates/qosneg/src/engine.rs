@@ -221,7 +221,9 @@ struct State {
     /// Exact strategy key, negated-cost for CostOnly so "larger is better"
     /// holds uniformly.
     key: f64,
-    /// Enumeration rank (tie-break: smaller rank first).
+    /// Enumeration (arena) rank — the explicit tertiary tie key. Equal
+    /// strategy keys emit in rank order, matching the tertiary key
+    /// [`crate::classify::classify`] sorts by on the eager path.
     rank: u64,
     /// Document cost (for filters and emission).
     cost: Money,
@@ -684,6 +686,8 @@ struct PhaseEnum {
     filter: Filter,
     heap: BinaryHeap<State>,
     /// Popped states not yet safe to emit (exact-order reorder buffer).
+    /// Ordered by the same `(key, rank)` total order as the frontier, so
+    /// equal-key states — duplicated variants — drain in arena order.
     pending: BinaryHeap<State>,
 }
 
@@ -1072,6 +1076,67 @@ mod tests {
             assert_eq!(&engine.materialize(&combo), expected);
         }
         assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn duplicated_variants_stream_matches_eager_bit_exact() {
+        // Two components, each carrying exact duplicate variants (same QoS,
+        // same blocks, same server — only the id differs): large runs of
+        // fully-equal strategy keys across a multi-component product. The
+        // stream's reorder buffer must drain those runs in enumeration
+        // (arena) order, bit-exactly matching the eager classify — which
+        // now sorts by the same explicit tertiary key.
+        let vars1 = [
+            variant(1, 1, ColorDepth::Color, 25, 0),
+            variant(2, 1, ColorDepth::Color, 25, 0), // dup of 1
+            variant(3, 1, ColorDepth::Grey, 15, 1),
+            variant(4, 1, ColorDepth::Grey, 15, 1), // dup of 3
+        ];
+        let vars2 = [
+            variant(5, 2, ColorDepth::Color, 25, 1),
+            variant(6, 2, ColorDepth::Color, 25, 1), // dup of 5
+            variant(7, 2, ColorDepth::Color, 25, 1), // dup of 5
+        ];
+        let refs1: Vec<&Variant> = vars1.iter().collect();
+        let refs2: Vec<&Variant> = vars2.iter().collect();
+        let per_mono = vec![(MonomediaId(1), refs1), (MonomediaId(2), refs2)];
+        let durations: HashMap<MonomediaId, u64> =
+            [(MonomediaId(1), 60_000), (MonomediaId(2), 60_000)].into();
+        for strategy in [
+            ClassificationStrategy::SnsThenOif,
+            ClassificationStrategy::OifOnly,
+            ClassificationStrategy::CostOnly,
+            ClassificationStrategy::QosOnly,
+        ] {
+            let engine = OfferEngine::build(
+                &per_mono,
+                &durations,
+                &profile(),
+                &CostModel::era_default(),
+                Guarantee::Guaranteed,
+                strategy,
+                10_000,
+            )
+            .expect("engine builds");
+            let eager = engine.classify_all();
+            assert_eq!(eager.len(), 12);
+            let mut stream = engine.classified_stream();
+            for (i, expected) in eager.iter().enumerate() {
+                let combo = stream.next().expect("stream matches eager length");
+                let got = engine.materialize(&combo);
+                let ids =
+                    |o: &ScoredOffer| o.offer.variants.iter().map(|v| v.id).collect::<Vec<_>>();
+                assert_eq!(ids(&got), ids(expected), "{strategy:?} position {i}");
+                assert_eq!(
+                    got.oif.to_bits(),
+                    expected.oif.to_bits(),
+                    "{strategy:?} position {i}"
+                );
+                assert_eq!(got.offer.cost, expected.offer.cost);
+                assert_eq!(got.sns, expected.sns);
+            }
+            assert!(stream.next().is_none());
+        }
     }
 
     #[test]

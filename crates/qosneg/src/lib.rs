@@ -77,7 +77,7 @@ pub mod startup;
 
 pub use adapt::{AdaptationOutcome, AdaptationReason};
 pub use classify::{classify, ClassificationStrategy, ScoredOffer};
-pub use confirm::{ConfirmationDecision, ConfirmationTimer};
+pub use confirm::{ConfirmationDecision, ConfirmationTimer, PendingConfirmation};
 pub use cost::{CostModel, CostTable};
 pub use engine::{OfferEngine, OfferList, OfferStream, StreamStats};
 pub use error::QosError;

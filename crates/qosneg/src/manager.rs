@@ -14,7 +14,7 @@ use nod_syncplay::{PlayoutSession, SessionState, Timeline};
 
 use crate::adapt::{adapt, AdaptationReason};
 use crate::classify::{ClassificationStrategy, ScoredOffer};
-use crate::confirm::{ConfirmationDecision, ConfirmationTimer};
+use crate::confirm::{ConfirmationDecision, ConfirmationTimer, PendingConfirmation};
 use crate::cost::CostModel;
 use crate::error::QosError;
 use crate::negotiate::{
@@ -217,10 +217,70 @@ impl QosManager {
         }
     }
 
+    /// Arm a step-6 confirmation over a successful outcome's reservation:
+    /// the returned [`PendingConfirmation`] owns the reserved resources
+    /// through the choice period. Resolve it with
+    /// [`QosManager::resolve_pending`]; an unconfirmed rejection or timeout
+    /// releases the reservation exactly once.
+    ///
+    /// # Panics
+    /// Panics if the outcome carries no reservation (negotiation failed) —
+    /// a misuse, not a runtime condition.
+    pub fn begin_confirmation(
+        &self,
+        outcome: &mut NegotiationOutcome,
+        now: SimTime,
+        choice_period_ms: u64,
+    ) -> PendingConfirmation {
+        let reservation = outcome
+            .reservation
+            .take()
+            .expect("begin_confirmation requires a reserved offer");
+        PendingConfirmation::arm(now, choice_period_ms, reservation)
+    }
+
+    /// Resolve a step-6 confirmation with exactly-once resource handling
+    /// ([`PendingConfirmation::resolve`]) and account for it: the first
+    /// settlement increments `negotiation.confirmation{decision=…}` (plus
+    /// `negotiation.choice_timeout` on expiry) and, for rejection or
+    /// timeout, releases the held reservation. Replays return the settled
+    /// decision without counting or releasing again.
+    pub fn resolve_pending(
+        &self,
+        pending: &mut PendingConfirmation,
+        at: SimTime,
+        action: Option<bool>,
+    ) -> Option<ConfirmationDecision> {
+        let already_settled = pending.decision().is_some();
+        let decision = pending.resolve(at, action, &self.farm, &self.network);
+        if already_settled {
+            return decision;
+        }
+        if let (Some(rec), Some(d)) = (self.config.recorder.as_ref(), decision) {
+            let label = match d {
+                ConfirmationDecision::Accepted => "accepted",
+                ConfirmationDecision::Rejected => "rejected",
+                ConfirmationDecision::TimedOut => "timed_out",
+            };
+            rec.counter_with("negotiation.confirmation", &[("decision", label)], 1);
+            if d == ConfirmationDecision::TimedOut {
+                rec.counter("negotiation.choice_timeout", 1);
+            }
+        }
+        decision
+    }
+
     /// Resolve a step-6 confirmation ([`ConfirmationTimer::resolve`]) and
     /// account for it: each decision increments
     /// `negotiation.confirmation{decision=…}` and a choice-period expiry
     /// additionally increments `negotiation.choice_timeout`.
+    ///
+    /// Stateless: the caller owns the reservation and must release it on
+    /// rejection/timeout itself — and every call re-counts, so a click
+    /// racing the expiry sweep yields two decisions over one reservation.
+    /// Prefer [`QosManager::begin_confirmation`] +
+    /// [`QosManager::resolve_pending`], which settle once and release
+    /// exactly once.
     pub fn resolve_confirmation(
         &self,
         timer: &ConfirmationTimer,
@@ -449,6 +509,92 @@ mod tests {
             1
         );
         assert_eq!(snap.counter("negotiation.choice_timeout"), 1);
+    }
+
+    #[test]
+    fn pending_confirmation_timeout_releases_once_and_counts_once() {
+        let rec = Recorder::new();
+        let m = manager_with(
+            27,
+            ManagerConfig {
+                recorder: Some(rec.clone()),
+                ..ManagerConfig::default()
+            },
+        );
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let mut out = m
+            .negotiate(&client, DocumentId(1), &tv_news_profile())
+            .unwrap();
+        assert!(out.reservation.is_some());
+        let held_streams = m.farm.usage().streams;
+        let held_net = m.network.active_reservations();
+        assert!(held_streams > 0);
+
+        let mut pending = m.begin_confirmation(&mut out, SimTime::ZERO, 30_000);
+        assert!(out.reservation.is_none(), "pending owns the reservation");
+
+        // Sweep exactly at the deadline: still confirmable, still held.
+        assert_eq!(
+            m.resolve_pending(&mut pending, SimTime::from_secs(30), None),
+            None
+        );
+        assert_eq!(m.farm.usage().streams, held_streams);
+
+        // One tick later the expiry settles it and releases everything.
+        assert_eq!(
+            m.resolve_pending(&mut pending, SimTime::from_millis(30_001), None),
+            Some(ConfirmationDecision::TimedOut)
+        );
+        assert_eq!(m.farm.usage().streams, 0);
+        assert_eq!(m.network.active_reservations(), 0);
+
+        // The user's click lands after the race is lost: the settled
+        // timeout replays, nothing is re-counted, nothing is re-released.
+        assert_eq!(
+            m.resolve_pending(&mut pending, SimTime::from_millis(30_001), Some(true)),
+            Some(ConfirmationDecision::TimedOut)
+        );
+        assert!(pending.take_reservation().is_none());
+        assert_eq!(m.farm.usage().streams, 0);
+        assert_eq!(m.network.active_reservations(), 0);
+        let _ = held_net;
+
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter("negotiation.confirmation{decision=timed_out}"),
+            1
+        );
+        assert_eq!(snap.counter("negotiation.choice_timeout"), 1);
+    }
+
+    #[test]
+    fn pending_confirmation_accept_keeps_resources_for_start() {
+        let m = manager(27);
+        let client = ClientMachine::era_workstation(ClientId(0));
+        let mut out = m
+            .negotiate(&client, DocumentId(1), &tv_news_profile())
+            .unwrap();
+        let held_streams = m.farm.usage().streams;
+
+        let mut pending = m.begin_confirmation(&mut out, SimTime::ZERO, 30_000);
+        // Accept exactly on the boundary tick (still inside the period).
+        assert_eq!(
+            m.resolve_pending(&mut pending, SimTime::from_secs(30), Some(true)),
+            Some(ConfirmationDecision::Accepted)
+        );
+        assert_eq!(m.farm.usage().streams, held_streams);
+        // A late expiry sweep cannot claw the accepted resources back.
+        assert_eq!(
+            m.resolve_pending(&mut pending, SimTime::from_secs(31), None),
+            Some(ConfirmationDecision::Accepted)
+        );
+        assert_eq!(m.farm.usage().streams, held_streams);
+
+        out.reservation = Some(pending.take_reservation().expect("accepted"));
+        let mut session = m.start_session(&client, out, DocumentId(1));
+        while m.drive_session(&mut session, 5_000, false) {}
+        assert_eq!(m.farm.usage().streams, 0);
+        assert_eq!(m.network.active_reservations(), 0);
     }
 
     #[test]

@@ -14,7 +14,9 @@ use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
 use nod_obs::Recorder;
 use nod_qosneg::negotiate::{NegotiationContext, NegotiationStatus, StreamingMode};
-use nod_qosneg::{ClassificationStrategy, CostModel, NegotiationRequest, Procedure, Session};
+use nod_qosneg::{
+    ClassificationStrategy, CostModel, Money, NegotiationRequest, Procedure, Session,
+};
 use nod_simcore::{EventQueue, Percentiles, SimDuration, SimTime, StreamRng};
 
 use crate::population::UserPopulation;
@@ -252,7 +254,7 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
 
     let mut result = BlockingResult::default();
     let mut satisfaction_sum = 0.0;
-    let mut cost_sum = 0.0;
+    let mut cost_sum = Money::ZERO;
     let mut oif_sum = 0.0;
     let mut costs = Percentiles::new();
 
@@ -314,9 +316,10 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
                         // `reserved_offer` avoids forcing the deferred
                         // offer list to materialize on the hot path.
                         if let Some(reserved) = &outcome.reserved_offer {
-                            let dollars = reserved.offer.cost.dollars();
-                            cost_sum += dollars;
-                            costs.push(dollars);
+                            // Accumulate in exact Money millis; convert to
+                            // dollars only at the reporting edge.
+                            cost_sum += reserved.offer.cost;
+                            costs.push(reserved.offer.cost.dollars());
                             oif_sum += reserved.oif;
                         }
                         queue.schedule(
@@ -335,7 +338,7 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
     }
 
     if result.carried > 0 {
-        result.mean_cost_dollars = cost_sum / result.carried as f64;
+        result.mean_cost_dollars = cost_sum.dollars() / result.carried as f64;
         result.mean_oif = oif_sum / result.carried as f64;
     }
     if result.offered > 0 {

@@ -30,6 +30,16 @@ echo "==> bench: trace (B10 tracing overhead; asserts the alloc-free disabled pa
 NOD_BENCH_JSON_OUT="$tmpdir/trace.json" \
     cargo bench -q -p nod-bench --bench trace 2>&1 | tail -n +1
 
+# Nightly-depth oracle sweep (non-gating here — check.sh gates the 256-case
+# run): a wider seeded sweep whose counters (oracle.cases,
+# oracle.divergences) ride along in the snapshot. Divergences don't fail
+# the snapshot, they show up in the JSON for the dashboard to flag.
+oracle_cases="${NOD_ORACLE_SWEEP_CASES:-2048}"
+echo "==> oracle sweep ($oracle_cases cases, non-gating)"
+cargo run -q --release -p nod-oracle --bin run_oracle -- \
+    --cases "$oracle_cases" --seed 7 \
+    --metrics-out "$tmpdir/oracle.json" || true
+
 {
     echo '{'
     echo '  "negotiation":'
@@ -43,6 +53,9 @@ NOD_BENCH_JSON_OUT="$tmpdir/trace.json" \
     echo '  ,'
     echo '  "trace":'
     sed 's/^/    /' "$tmpdir/trace.json"
+    echo '  ,'
+    echo '  "oracle":'
+    sed 's/^/    /' "$tmpdir/oracle.json"
     echo '}'
 } > "$out"
 

@@ -13,6 +13,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Conformance oracle (gating): replay seeded scenarios through the
+# paper-literal reference negotiator and every optimized execution path
+# (streaming / eager / session / manager / broker). Any divergence prints a
+# shrunk, ready-to-paste repro test and fails the gate. Deterministic in
+# the seed; raise NOD_ORACLE_CASES locally for a deeper sweep.
+echo "==> conformance oracle (run_oracle --cases \${NOD_ORACLE_CASES:-256} --seed 7)"
+cargo run -q --release -p nod-oracle --bin run_oracle -- \
+    --cases "${NOD_ORACLE_CASES:-256}" --seed 7
+
 # Non-gating bench smoke: the fast-mode snapshot only has to *run* (panics
 # and build errors fail the check); the numbers themselves are not gated.
 # Includes the B9 broker stress smoke — real threads racing the shared
