@@ -1,19 +1,19 @@
-//! B1/B2/B5/B7 — classification kernels and scaling.
+//! B1/B2/B7 — classification kernels and scaling.
 //!
 //! * B1: the SNS + OIF scoring kernel for a single offer;
 //! * B2: full classification (score + stable sort) over growing offer sets,
 //!   plus the four ordering strategies head-to-head;
-//! * B5: ablation — sequential vs. thread-fan-out scoring at the sizes
-//!   where the parallel path engages;
 //! * B7: dominated-offer pruning as a pre-pass vs. classifying everything.
+//!
+//! B5 (sequential vs. thread-fan-out scoring) is retired: the fan-out was
+//! 2–3× slower than the sequential loop at every size measured, so the
+//! parallel path was deleted from `nod-qosneg` (see EXPERIMENTS.md, B5).
 
 use std::hint::black_box;
 
 use nod_bench::micro::Micro;
 use nod_mmdoc::prelude::*;
-use nod_qosneg::classify::{
-    classify, score_all, score_all_parallel, ClassificationStrategy, ScoredOffer,
-};
+use nod_qosneg::classify::{classify, ClassificationStrategy, ScoredOffer};
 use nod_qosneg::offer::SystemOffer;
 use nod_qosneg::profile::{tv_news_profile, UserProfile};
 use nod_qosneg::prune::prune_dominated;
@@ -80,17 +80,6 @@ fn main() {
     ] {
         m.bench(&format!("b2_strategy/{label}"), || {
             classify(black_box(set.clone()), black_box(&p), strategy)
-        });
-    }
-
-    // B5: sequential vs. parallel scoring ablation.
-    for n in [2_048usize, 16_384] {
-        let set = offers(n);
-        m.bench(&format!("b5_parallel_scoring/{n}"), || {
-            score_all_parallel(black_box(set.clone()), black_box(&p))
-        });
-        m.bench(&format!("b5_sequential_scoring/{n}"), || {
-            score_all(black_box(set.clone()), black_box(&p))
         });
     }
 

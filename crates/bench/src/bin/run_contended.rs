@@ -15,15 +15,28 @@
 //! waterfalls and wait-time attribution; `--chrome-out` writes Chrome
 //! `trace_event` JSON for chrome://tracing or Perfetto. Runs are
 //! deterministic: the same flags produce a byte-identical trace log.
+//!
+//! Fleet telemetry: `--prom-out <path>` writes the final metrics
+//! snapshot in Prometheus text format; `--windows-out <dir>` (with
+//! `--window-ms N`, default 5000) folds the outcome log into tumbling
+//! virtual-time windows and writes one `window_NNNN.prom` file per
+//! window — a scrape directory that replays fleet health at a fixed
+//! cadence. `--slos` attaches the default fleet SLO set (p99 admission
+//! latency, failure ratio, retry budget) and prints any burn alerts.
+//! A [`FlushGuard`] arms as soon as the sinks exist: if the run panics,
+//! the partial trace log and metrics snapshot are still written.
 
-use nod_obs::{analyze, Recorder, Tracer};
+use nod_bench::FlushGuard;
+use nod_broker::fleet_windows;
+use nod_obs::{analyze, default_fleet_slos, to_prometheus_text, Recorder, Tracer};
 use nod_workload::{run_contended_with, ContendedConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: run_contended [--sessions N] [--servers N] [--clients N] [--seed N] \
          [--faults N] [--arrivals-per-minute F] [--hold-ms N] [--choice-period MS] \
-         [--trace-out <path>] [--trace-report] [--chrome-out <path>] [--metrics-out <path>]"
+         [--trace-out <path>] [--trace-report] [--chrome-out <path>] [--metrics-out <path>] \
+         [--prom-out <path>] [--windows-out <dir>] [--window-ms N] [--slos]"
     );
     std::process::exit(2);
 }
@@ -50,6 +63,9 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut chrome_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut prom_out: Option<String> = None;
+    let mut windows_out: Option<String> = None;
+    let mut window_ms: u64 = 5_000;
     let mut trace_report = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -67,6 +83,10 @@ fn main() {
             "--trace-out" => trace_out = Some(parse(&mut it, "--trace-out")),
             "--chrome-out" => chrome_out = Some(parse(&mut it, "--chrome-out")),
             "--metrics-out" => metrics_out = Some(parse(&mut it, "--metrics-out")),
+            "--prom-out" => prom_out = Some(parse(&mut it, "--prom-out")),
+            "--windows-out" => windows_out = Some(parse(&mut it, "--windows-out")),
+            "--window-ms" => window_ms = parse(&mut it, "--window-ms"),
+            "--slos" => config.slos = default_fleet_slos(),
             "--trace-report" => trace_report = true,
             _ => usage(),
         }
@@ -75,7 +95,32 @@ fn main() {
     let recorder = Recorder::new();
     let tracer = Tracer::new();
     recorder.set_tracer(tracer.clone());
+
+    // If the run panics (broker assertion, capacity-audit trip), flush
+    // whatever telemetry exists: that partial record is the evidence.
+    let mut guard = {
+        let rec = recorder.clone();
+        let t = tracer.clone();
+        let trace_out = trace_out.clone();
+        let metrics_out = metrics_out.clone();
+        let prom_out = prom_out.clone();
+        FlushGuard::new(move || {
+            eprintln!("run did not complete; flushing partial telemetry");
+            if let Some(path) = &trace_out {
+                let _ = std::fs::write(path, t.to_jsonl());
+            }
+            let snap = rec.snapshot();
+            if let Some(path) = &metrics_out {
+                let _ = std::fs::write(path, snap.to_json_pretty());
+            }
+            if let Some(path) = &prom_out {
+                let _ = std::fs::write(path, to_prometheus_text(&snap));
+            }
+        })
+    };
+
     let (result, report) = run_contended_with(&config, Some(&recorder));
+    guard.disarm();
 
     println!(
         "contended run: seed {} — {} sessions over {} servers, {} fault windows",
@@ -96,6 +141,12 @@ fn main() {
         "session latency ms: p50 {:.0}  p95 {:.0}  p99 {:.0}  max {:.0}",
         report.latency.p50, report.latency.p95, report.latency.p99, report.latency.max
     );
+    for alert in &report.slo_alerts {
+        println!(
+            "SLO BURN: {} — observed {:.3} vs bound {:.3} for {} windows (ending at {} ms)",
+            alert.slo, alert.observed, alert.threshold, alert.burning_windows, alert.window_end_ms
+        );
+    }
 
     let events = tracer.drain();
     if let Some(path) = &trace_out {
@@ -129,11 +180,39 @@ fn main() {
             eprintln!("chrome trace written to {path} (open in chrome://tracing)");
         }
     }
+    let snapshot = recorder.snapshot();
     if let Some(path) = &metrics_out {
-        if let Err(e) = std::fs::write(path, recorder.snapshot().to_json_pretty()) {
+        if let Err(e) = std::fs::write(path, snapshot.to_json_pretty()) {
             eprintln!("error: cannot write metrics to {path}: {e}");
             std::process::exit(1);
         }
         eprintln!("metrics snapshot written to {path}");
+    }
+    if let Some(path) = &prom_out {
+        if let Err(e) = std::fs::write(path, to_prometheus_text(&snapshot)) {
+            eprintln!("error: cannot write exposition to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("prometheus exposition written to {path}");
+    }
+    if let Some(dir) = &windows_out {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        let windows = fleet_windows(&report.events, window_ms);
+        for (i, w) in windows.iter().enumerate() {
+            let path = dir.join(format!("window_{i:04}.prom"));
+            if let Err(e) = std::fs::write(&path, w.to_prometheus_text()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "{} fleet windows ({window_ms} ms each) written to {}",
+            windows.len(),
+            dir.display()
+        );
     }
 }

@@ -14,7 +14,8 @@
 //! in the scenario reports into one shared [`nod_obs::Recorder`] and the
 //! final metrics snapshot (outcome counters, per-stage span latency
 //! histograms, admission/reservation counters) is written to `<path>` as
-//! pretty-printed JSON for diffing across runs.
+//! pretty-printed JSON for diffing across runs; `--prom-out <path>`
+//! writes the same snapshot in Prometheus text format for scraping.
 //!
 //! With `--trace-out <path>` the whole scenario is additionally traced
 //! (one trace, id 0, rooted at a `scenario` span per phase) and the event
@@ -23,7 +24,7 @@
 //! `run_contended` bin, whose broker assigns one trace per session.
 
 use nod_bench::{f3, Table};
-use nod_obs::{analyze, Recorder, Tracer};
+use nod_obs::{analyze, to_prometheus_text, Recorder, Tracer};
 use nod_workload::scenario::{presets, Scenario};
 use nod_workload::{run_adaptation_with, run_blocking_with};
 
@@ -39,7 +40,7 @@ fn resolve(name: &str) -> Result<Scenario, String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_scenario [--dump] [--metrics-out <path>] [--trace-out <path>] [--trace-report] <preset|file.json>"
+        "usage: run_scenario [--dump] [--metrics-out <path>] [--prom-out <path>] [--trace-out <path>] [--trace-report] <preset|file.json>"
     );
     eprintln!("presets: light-load, prime-time, outage-drill");
     std::process::exit(2);
@@ -49,6 +50,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dump = false;
     let mut metrics_out: Option<String> = None;
+    let mut prom_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut trace_report = false;
     let mut name: Option<String> = None;
@@ -58,6 +60,10 @@ fn main() {
             "--dump" => dump = true,
             "--metrics-out" => match it.next() {
                 Some(path) => metrics_out = Some(path),
+                None => usage(),
+            },
+            "--prom-out" => match it.next() {
+                Some(path) => prom_out = Some(path),
                 None => usage(),
             },
             "--trace-out" => match it.next() {
@@ -82,7 +88,7 @@ fn main() {
         return;
     }
     let tracing = trace_out.is_some() || trace_report;
-    let recorder = (metrics_out.is_some() || tracing).then(Recorder::new);
+    let recorder = (metrics_out.is_some() || prom_out.is_some() || tracing).then(Recorder::new);
     let tracer = tracing.then(Tracer::new);
     if let (Some(rec), Some(t)) = (recorder.as_ref(), tracer.as_ref()) {
         rec.set_tracer(t.clone());
@@ -186,12 +192,21 @@ fn main() {
         }
     }
 
-    if let (Some(path), Some(rec)) = (metrics_out, recorder) {
+    if let Some(rec) = recorder {
         let snapshot = rec.snapshot();
-        if let Err(e) = std::fs::write(&path, snapshot.to_json_pretty()) {
-            eprintln!("error: cannot write metrics to {path}: {e}");
-            std::process::exit(1);
+        if let Some(path) = metrics_out {
+            if let Err(e) = std::fs::write(&path, snapshot.to_json_pretty()) {
+                eprintln!("error: cannot write metrics to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("metrics snapshot written to {path}");
         }
-        eprintln!("metrics snapshot written to {path}");
+        if let Some(path) = prom_out {
+            if let Err(e) = std::fs::write(&path, to_prometheus_text(&snapshot)) {
+                eprintln!("error: cannot write exposition to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("prometheus exposition written to {path}");
+        }
     }
 }

@@ -5,7 +5,10 @@
 //! paper-vs-measured record). The binaries print plain-text tables through
 //! [`Table`] so their output is diffable run-to-run.
 
+pub mod flush;
 pub mod micro;
+
+pub use flush::FlushGuard;
 
 use nod_cmfs::{ServerConfig, ServerFarm};
 use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};

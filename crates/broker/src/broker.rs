@@ -10,21 +10,27 @@
 //! processing interleavings — the same seed, specs and fault plan replay
 //! the identical [`OutcomeEvent`] sequence bit for bit.
 //!
-//! [`Broker::run_threaded`] is the complementary *stress* mode: real OS
-//! threads race the same shared farm/network through the full
-//! reserve-server → reserve-network → confirm commit path, with results
-//! folded through a [`Sharded`] lock. Its interleavings are
-//! scheduler-dependent (only per-session backoff draws are seeded), so it
-//! audits invariants — no leaked capacity, no deadlock — rather than
-//! exact outcomes.
+//! [`Broker::run_threaded`] is the complementary *throughput* mode: real
+//! OS threads race the negotiation pipeline against the same shared
+//! farm/network. Steps 1–4 ([`prepare`]) read only the catalog and static
+//! topology, so they run truly in parallel; the step-5 commit walks — the
+//! only part that touches live capacity — are serialized in session order
+//! behind a ticket, and the recorder clock is pinned, so the same seed
+//! and specs produce the same admissions, counters and merged metric
+//! snapshot at every thread count (see the sharded
+//! [`Recorder`](nod_obs::Recorder) determinism contract).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nod_client::ClientMachine;
 use nod_cmfs::{Guarantee, StreamRequirement};
 use nod_mmdoc::{DocumentId, VariantId};
-use nod_obs::{HistogramSnapshot, Recorder, Span, Tracer, ValueHistogram};
-use nod_qosneg::negotiate::{CommitFailure, NegotiationContext, SessionReservation};
+use nod_obs::{
+    HistogramSnapshot, Recorder, SloAlert, SloMonitor, SloSpec, Span, Tracer, ValueHistogram,
+};
+use nod_qosneg::negotiate::{
+    commit_prepared, prepare, CommitFailure, NegotiationContext, Prepared, SessionReservation,
+};
 use nod_qosneg::{NegotiationRequest, NegotiationStatus, RetryPolicy, Session, UserProfile};
 use nod_simcore::sync::Sharded;
 use nod_simcore::{EventQueue, SimTime, StreamRng};
@@ -208,6 +214,9 @@ pub struct BrokerReport {
     /// moments; log-bucketed p50/p90/p95/p99 (≤1% relative error at any
     /// session count, and mergeable across runs).
     pub latency: HistogramSnapshot,
+    /// SLO burn alerts fired during the run ([`Broker::with_slos`]);
+    /// empty when no objectives were configured.
+    pub slo_alerts: Vec<SloAlert>,
 }
 
 enum Ev {
@@ -269,6 +278,7 @@ pub struct Broker<'a> {
     session: Session<'a>,
     config: BrokerConfig,
     recorder: Option<&'a Recorder>,
+    slos: Vec<SloSpec>,
 }
 
 impl<'a> Broker<'a> {
@@ -279,7 +289,18 @@ impl<'a> Broker<'a> {
             recorder: ctx.recorder,
             session: Session::new(ctx),
             config,
+            slos: Vec::new(),
         }
+    }
+
+    /// Monitor `slos` during [`Broker::run`]: every terminal session
+    /// feeds an [`SloMonitor`] on the virtual clock, burning windows and
+    /// alerts land in the recorder (`slo.window.burning`, `slo.alert`),
+    /// the first alert dumps the flight recorder, and every alert is
+    /// returned in [`BrokerReport::slo_alerts`].
+    pub fn with_slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.slos = slos;
+        self
     }
 
     /// The underlying negotiation session facade.
@@ -349,12 +370,15 @@ impl<'a> Broker<'a> {
         let tracer = self.tracer();
         let mut events: Vec<OutcomeEvent> = Vec::new();
         let mut latency = ValueHistogram::new();
+        let mut slo = SloMonitor::new(self.slos.clone());
         let mut retries = 0u64;
         let mut backoff_ms_total = 0u64;
         let mut faults_injected = 0u64;
+        let mut end_ms = 0u64;
 
         while let Some((at, ev)) = queue.pop() {
             let now_ms = at.as_millis();
+            end_ms = end_ms.max(now_ms);
             if let Some(rec) = self.recorder {
                 rec.set_sim_time_us(at.as_micros());
             }
@@ -536,6 +560,23 @@ impl<'a> Broker<'a> {
                         if let Some(span) = st.session_span.take() {
                             span.end();
                         }
+                        let failed = !matches!(result.fate, SessionFate::Admitted { .. });
+                        let latency_ms = result
+                            .admitted_at_ms
+                            .map(|at| at.saturating_sub(specs[i].arrival_ms) as f64);
+                        slo.on_session(
+                            self.recorder,
+                            now_ms,
+                            latency_ms,
+                            failed,
+                            result.attempts as u64,
+                        );
+                        // Tail sampling: with a retention policy attached
+                        // the tracer keeps failures, the top-k slowest and
+                        // the seeded baseline, and drops the rest now.
+                        if let Some(t) = tracer {
+                            t.finish_session(i as u64, failed, total_ms.saturating_mul(1_000));
+                        }
                     }
                 }
             }
@@ -598,6 +639,7 @@ impl<'a> Broker<'a> {
             rec.counter("broker.sessions.starved", starved as u64);
             rec.gauge("broker.admission_ratio", admission_ratio);
         }
+        let slo_alerts = slo.finish(self.recorder, end_ms).to_vec();
         BrokerReport {
             results,
             events,
@@ -612,6 +654,7 @@ impl<'a> Broker<'a> {
             leaked_streams,
             admission_ratio,
             latency: latency.snapshot(),
+            slo_alerts,
         }
     }
 
@@ -717,23 +760,37 @@ impl<'a> Broker<'a> {
     }
 
     /// Race the specs across `threads` real OS threads against the shared
-    /// farm/network — the lock-order and leak smoke test. Retries are
-    /// immediate (bounded by the retry policy's `max_attempts`); admitted
+    /// farm/network. Steps 1–4 of every session ([`prepare`]) run truly in
+    /// parallel — they read only the catalog and static topology — while
+    /// the step-5 commit walks, the only part that touches live capacity,
+    /// run in strict session order behind a ticket. Retries are immediate
+    /// (bounded by the retry policy's `max_attempts`); admitted
     /// reservations are held until every thread finishes, then released
     /// and the capacity audit runs. Returns `(admitted, leaked_streams)`.
     ///
-    /// Outcomes are scheduler-dependent; only invariants (termination, no
-    /// leaked capacity) are stable. Use [`Broker::run`] for replayable
-    /// experiments.
+    /// **Determinism contract:** with the recorder clock pinned (done here)
+    /// and per-session RNGs pre-split by index, the admissions, every
+    /// counter and the merged metric snapshot are identical at every
+    /// thread count — `run_threaded(specs, 1)` and `run_threaded(specs,
+    /// 8)` over a sharded [`Recorder`] produce byte-identical snapshots.
+    /// Only event *interleaving* (sink line order, flight-recorder order)
+    /// remains scheduler-dependent.
     pub fn run_threaded(&self, specs: &[SessionSpec<'_>], threads: usize) -> (usize, usize) {
         assert!(threads >= 1);
         let ctx = self.session.context();
         let before = CapacitySnapshot::capture(ctx.farm, ctx.network);
+        if let Some(rec) = self.recorder {
+            // Pin the clock: span durations (and the histograms built from
+            // them) must not depend on the scheduler.
+            rec.set_sim_time_us(0);
+        }
         let next = AtomicUsize::new(0);
+        let commit_turn = AtomicUsize::new(0);
         let held: Sharded<Vec<SessionReservation>> = Sharded::new(threads.min(8), Vec::new);
         let admitted = AtomicUsize::new(0);
 
         let tracer = self.tracer();
+        let max_attempts = self.config.retry.max_attempts.max(1);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
@@ -752,44 +809,88 @@ impl<'a> Broker<'a> {
                                 .seed
                                 .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                         );
-                        let request =
-                            NegotiationRequest::new(spec.client, spec.document, spec.profile);
-                        for _attempt in 0..self.config.retry.max_attempts.max(1) {
-                            let attempt_span = self.recorder.and_then(|r| r.trace_span("attempt"));
-                            let submitted = self.session.submit(&request);
-                            if let Some(a) = attempt_span {
-                                a.end();
+                        // Steps 1–4 in parallel: load-independent, so the
+                        // result (and its counters) cannot depend on other
+                        // sessions' in-flight commits.
+                        let prepared = prepare(ctx, spec.client, spec.document, spec.profile);
+
+                        // Step 5 in session order: indices are claimed in
+                        // increasing order and each holder only waits on
+                        // lower turns, so the ticket cannot deadlock.
+                        while commit_turn.load(Ordering::Acquire) != i {
+                            std::thread::yield_now();
+                        }
+                        let mut ok = false;
+                        // Backoff the event-loop broker would have slept,
+                        // accounted as this session's duration for the tail
+                        // sampler's top-k (there is no virtual clock here).
+                        let mut waited_ms = 0u64;
+                        match prepared {
+                            Err(_) => {}
+                            Ok(Prepared::Early(out)) => {
+                                if let Some(rec) = self.recorder {
+                                    let status = out.status.to_string();
+                                    rec.counter_with(
+                                        "negotiation.outcome",
+                                        &[("status", &status)],
+                                        1,
+                                    );
+                                    rec.trace_point("negotiation.outcome", &[("status", &status)]);
+                                }
                             }
-                            let Ok(out) = submitted else {
-                                break;
-                            };
-                            match out.status {
-                                NegotiationStatus::Succeeded
-                                | NegotiationStatus::FailedWithOffer => {
-                                    if let Some(res) = out.reservation {
-                                        held.lock_key(i as u64).push(res);
+                            Ok(Prepared::Offers(mut ordered, trace)) => {
+                                for attempt in 1..=max_attempts {
+                                    let attempt_span =
+                                        self.recorder.and_then(|r| r.trace_span("attempt"));
+                                    let out = commit_prepared(
+                                        ctx,
+                                        spec.client,
+                                        spec.profile,
+                                        ordered,
+                                        trace,
+                                    );
+                                    if let Some(a) = attempt_span {
+                                        a.end();
                                     }
-                                    admitted.fetch_add(1, Ordering::Relaxed);
-                                    break;
-                                }
-                                NegotiationStatus::FailedTryLater => {
-                                    let transient = out.commit_failures.is_empty()
-                                        || out.commit_failures.iter().any(|(_, f)| f.transient());
-                                    if !transient {
-                                        break;
+                                    match out.status {
+                                        NegotiationStatus::Succeeded
+                                        | NegotiationStatus::FailedWithOffer => {
+                                            if let Some(res) = out.reservation {
+                                                held.lock_key(i as u64).push(res);
+                                            }
+                                            admitted.fetch_add(1, Ordering::Relaxed);
+                                            ok = true;
+                                            break;
+                                        }
+                                        NegotiationStatus::FailedTryLater => {
+                                            let transient = out.commit_failures.is_empty()
+                                                || out
+                                                    .commit_failures
+                                                    .iter()
+                                                    .any(|(_, f)| f.transient());
+                                            if !transient || attempt == max_attempts {
+                                                break;
+                                            }
+                                            waited_ms += self
+                                                .config
+                                                .retry
+                                                .backoff_ms(attempt, &mut rng)
+                                                .max(1);
+                                            // Re-walk the same classified
+                                            // list; steps 1–4 are static.
+                                            ordered = out.ordered_offers.into_vec();
+                                        }
+                                        _ => break,
                                     }
-                                    // Draw (and discard) the jitter so the
-                                    // per-session RNG stream matches run()'s
-                                    // consumption pattern.
-                                    let _ = self.config.retry.backoff_ms(1, &mut rng);
                                 }
-                                _ => break,
                             }
                         }
+                        commit_turn.store(i + 1, Ordering::Release);
                         if let Some(s) = session_span {
                             s.end();
                         }
                         if let Some(t) = tracer {
+                            t.finish_session(i as u64, !ok, waited_ms.saturating_mul(1_000));
                             t.suspend();
                         }
                     }

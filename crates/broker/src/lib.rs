@@ -30,6 +30,7 @@
 mod audit;
 mod broker;
 mod fault;
+mod windows;
 
 pub use audit::CapacitySnapshot;
 pub use broker::{
@@ -37,3 +38,4 @@ pub use broker::{
     SessionSpec,
 };
 pub use fault::{Fault, FaultPlan, FaultWindow};
+pub use windows::{fleet_windows, FleetWindow};

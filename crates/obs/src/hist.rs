@@ -137,6 +137,38 @@ impl LogHistogram {
         }
     }
 
+    /// Mean and second central moment computed from the bucket
+    /// representatives, walked in one canonical order (most-negative
+    /// magnitude down, zero, then positives ascending). Both figures carry
+    /// the buckets' ≤ [`RELATIVE_ERROR`] relative error, but — unlike
+    /// Welford moments combined with Chan's update — they depend only on
+    /// the bucket *multiset*, so any partition of a sample stream across
+    /// shards reproduces them bit for bit.
+    pub fn bucket_moments(&self) -> (f64, f64) {
+        let n = self.count();
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let mut sum = 0.0f64;
+        for (&i, &c) in self.neg.iter().rev() {
+            sum += c as f64 * -Self::bucket_value(i);
+        }
+        for (&i, &c) in self.pos.iter() {
+            sum += c as f64 * Self::bucket_value(i);
+        }
+        let mean = sum / n as f64;
+        let mut m2 = self.zero as f64 * mean * mean;
+        for (&i, &c) in self.neg.iter().rev() {
+            let d = -Self::bucket_value(i) - mean;
+            m2 += c as f64 * d * d;
+        }
+        for (&i, &c) in self.pos.iter() {
+            let d = Self::bucket_value(i) - mean;
+            m2 += c as f64 * d * d;
+        }
+        (mean, m2)
+    }
+
     /// Export the sparse buckets (for snapshots).
     pub fn to_buckets(&self) -> LogBuckets {
         LogBuckets {
@@ -193,6 +225,21 @@ impl ValueHistogram {
         self.stats.count()
     }
 
+    /// Smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.stats.min()
+    }
+
+    /// Largest sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.stats.max()
+    }
+
+    /// The log-bucket sketch (for order-independent shard merges).
+    pub fn log(&self) -> &LogHistogram {
+        &self.log
+    }
+
     /// Summarize: exact count/mean/m2/min/max, log-bucketed quantiles
     /// clamped into `[min, max]`.
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -214,6 +261,71 @@ impl ValueHistogram {
         HistogramSnapshot {
             count: n,
             mean: self.stats.mean(),
+            m2,
+            min,
+            max,
+            p50: q(0.50),
+            p90: q(0.90),
+            p95: q(0.95),
+            p99: q(0.99),
+            buckets: self.log.to_buckets(),
+        }
+    }
+}
+
+/// Order-independent accumulator over per-shard [`ValueHistogram`]s.
+///
+/// The sharded recorder cannot use Welford/Chan moment merging: the result
+/// depends on how samples were partitioned across shards, which depends on
+/// thread count. This accumulator keeps only partition-independent pieces —
+/// count (exact sum), min/max (exact fold), and the log buckets (exact
+/// union) — and derives mean/m2 from the merged buckets
+/// ([`LogHistogram::bucket_moments`]), so the finished summary is
+/// bit-identical no matter how the sample stream was split. The price is
+/// that mean/m2 carry the buckets' ≤ [`RELATIVE_ERROR`] relative error
+/// instead of being exact.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramShardAcc {
+    count: u64,
+    min: Option<f64>,
+    max: Option<f64>,
+    log: LogHistogram,
+}
+
+impl HistogramShardAcc {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        HistogramShardAcc::default()
+    }
+
+    /// Fold one shard's histogram in (any order, any grouping).
+    pub fn add(&mut self, h: &ValueHistogram) {
+        self.count += h.count();
+        if let Some(m) = h.min() {
+            self.min = Some(self.min.map_or(m, |cur| cur.min(m)));
+        }
+        if let Some(m) = h.max() {
+            self.max = Some(self.max.map_or(m, |cur| cur.max(m)));
+        }
+        self.log.merge(h.log());
+    }
+
+    /// The merged summary: exact count/min/max, bucket-derived mean/m2,
+    /// quantiles from the merged buckets clamped into `[min, max]`.
+    pub fn finish(&self) -> HistogramSnapshot {
+        let min = self.min.unwrap_or(0.0);
+        let max = self.max.unwrap_or(0.0);
+        let (mean, m2) = self.log.bucket_moments();
+        let q = |p: f64| {
+            if self.count == 0 {
+                0.0
+            } else {
+                self.log.quantile(p).clamp(min, max)
+            }
+        };
+        HistogramSnapshot {
+            count: self.count,
+            mean,
             m2,
             min,
             max,
@@ -284,5 +396,137 @@ mod tests {
         }
         let b = h.to_buckets();
         assert_eq!(LogHistogram::from_buckets(&b), h);
+    }
+
+    use nod_simcore::StreamRng;
+
+    /// A random histogram: signed magnitudes over ~9 decades plus zeros.
+    fn random_hist(rng: &mut StreamRng, samples: u64) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for _ in 0..samples {
+            if rng.chance(0.05) {
+                h.record(0.0);
+            } else {
+                let mag = 10f64.powf(rng.range_f64(-4.0, 5.0));
+                h.record(if rng.chance(0.3) { -mag } else { mag });
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        for case in 0..32u64 {
+            let mut rng = StreamRng::new(0xC0_44 ^ case);
+            let na = rng.range_u64(0, 400);
+            let a = random_hist(&mut rng, na);
+            let nb = rng.range_u64(0, 400);
+            let b = random_hist(&mut rng, nb);
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "case {case}: merge must be commutative");
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        for case in 0..32u64 {
+            let mut rng = StreamRng::new(0xA5_50 ^ case);
+            let na = rng.range_u64(0, 300);
+            let a = random_hist(&mut rng, na);
+            let nb = rng.range_u64(0, 300);
+            let b = random_hist(&mut rng, nb);
+            let nc = rng.range_u64(0, 300);
+            let c = random_hist(&mut rng, nc);
+            // (a ∪ b) ∪ c
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            // a ∪ (b ∪ c)
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_eq!(left, right, "case {case}: merge must be associative");
+        }
+    }
+
+    /// The sharded recorder's correctness keystone: accumulating any
+    /// partition of a sample stream shard-by-shard yields the exact same
+    /// summary — and it matches a single unsharded histogram on every
+    /// partition-independent field.
+    #[test]
+    fn shard_accumulation_equals_single_recorder() {
+        for case in 0..32u64 {
+            let mut rng = StreamRng::new(0x5A_4D ^ case);
+            let n = rng.range_u64(1, 600);
+            let samples: Vec<f64> = (0..n)
+                .map(|_| {
+                    if rng.chance(0.05) {
+                        0.0
+                    } else {
+                        let mag = 10f64.powf(rng.range_f64(-3.0, 4.0));
+                        if rng.chance(0.5) {
+                            -mag
+                        } else {
+                            mag
+                        }
+                    }
+                })
+                .collect();
+
+            let mut single = ValueHistogram::new();
+            for &x in &samples {
+                single.record(x);
+            }
+            let single_snap = single.snapshot();
+
+            // Two different partitions of the same stream (2 and 7 shards,
+            // assigned round-robin vs randomly).
+            let partition = |k: usize, rng: &mut StreamRng, random: bool| {
+                let mut shards = vec![ValueHistogram::new(); k];
+                for (i, &x) in samples.iter().enumerate() {
+                    let s = if random {
+                        rng.below(k as u64) as usize
+                    } else {
+                        i % k
+                    };
+                    shards[s].record(x);
+                }
+                let mut acc = HistogramShardAcc::new();
+                for h in &shards {
+                    acc.add(h);
+                }
+                acc.finish()
+            };
+            let two = partition(2, &mut rng, false);
+            let seven = partition(7, &mut rng, true);
+            assert_eq!(two, seven, "case {case}: partition must not matter");
+
+            // Exact fields agree with the single recorder bit for bit…
+            assert_eq!(two.count, single_snap.count, "case {case}");
+            assert_eq!(two.min, single_snap.min, "case {case}");
+            assert_eq!(two.max, single_snap.max, "case {case}");
+            assert_eq!(two.buckets, single_snap.buckets, "case {case}");
+            for (a, b) in [
+                (two.p50, single_snap.p50),
+                (two.p90, single_snap.p90),
+                (two.p95, single_snap.p95),
+                (two.p99, single_snap.p99),
+            ] {
+                assert_eq!(a, b, "case {case}: quantiles are bucket-exact");
+            }
+            // …and the bucket-derived moments track the exact ones within
+            // the advertised relative error.
+            let tol = 3.0 * RELATIVE_ERROR * single_snap.max.abs().max(single_snap.min.abs());
+            assert!(
+                (two.mean - single_snap.mean).abs() <= tol.max(1e-9),
+                "case {case}: mean {} vs {}",
+                two.mean,
+                single_snap.mean
+            );
+        }
     }
 }

@@ -55,16 +55,22 @@
 
 pub mod analyze;
 pub mod hist;
+pub mod prom;
 mod recorder;
 mod sink;
+pub mod slo;
 mod snapshot;
 pub mod trace;
 
-pub use hist::{LogBuckets, LogHistogram, ValueHistogram, RELATIVE_ERROR};
+pub use hist::{HistogramShardAcc, LogBuckets, LogHistogram, ValueHistogram, RELATIVE_ERROR};
+pub use prom::to_prometheus_text;
 pub use recorder::{Recorder, Span};
 pub use sink::{FileSink, MemorySink, ObsEvent, ObsSink, StderrSink};
+pub use slo::{default_fleet_slos, Objective, SloAlert, SloMonitor, SloSpec};
 pub use snapshot::{HistogramSnapshot, Snapshot};
-pub use trace::{FlightDump, TraceEvent, TraceId, Tracer, FLIGHT_CAPACITY};
+pub use trace::{
+    FlightDump, RetentionPolicy, RetentionStats, TraceEvent, TraceId, Tracer, FLIGHT_CAPACITY,
+};
 
 /// Counter incremented (with a `metric` label) whenever a non-finite sample
 /// is dropped at the recorder boundary.

@@ -1,0 +1,210 @@
+//! Prometheus text exposition of a [`Snapshot`].
+//!
+//! Renders the recorder's flattened keys (`name{k=v,...}`) into the
+//! Prometheus text format: counters and gauges verbatim, histograms as
+//! summaries (quantile series plus `_sum`/`_count`). Metric and label
+//! names are sanitized to the Prometheus charset (`.` and other invalid
+//! characters become `_`); label values are escaped per the format spec.
+//! Output is sorted by metric family then series, so a deterministic
+//! snapshot renders byte-identically.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+
+/// Map a metric or label name into the Prometheus charset.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escape a label value (backslash, quote, newline).
+fn escape_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Split a flattened recorder key into `(family, labels)`.
+fn split_key(key: &str) -> (String, Vec<(String, String)>) {
+    let Some(brace) = key.find('{') else {
+        return (sanitize(key), Vec::new());
+    };
+    let family = sanitize(&key[..brace]);
+    let inner = key[brace + 1..].trim_end_matches('}');
+    let labels = inner
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (sanitize(k), v.to_string()),
+            None => (sanitize(pair), String::new()),
+        })
+        .collect();
+    (family, labels)
+}
+
+/// Render a label set (optionally with an extra label appended).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Format a float the way Prometheus expects (no exponent surprises for
+/// the values we emit; non-finite becomes `NaN`/`+Inf`/`-Inf`).
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        let s = format!("{v}");
+        s
+    }
+}
+
+/// Render `snap` in the Prometheus text exposition format.
+pub fn to_prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+
+    enum Series<'a> {
+        Counter(u64),
+        Gauge(f64),
+        Hist(&'a HistogramSnapshot),
+    }
+
+    let mut all: Vec<(&String, Series)> = Vec::new();
+    all.extend(snap.counters.iter().map(|(k, &v)| (k, Series::Counter(v))));
+    all.extend(snap.gauges.iter().map(|(k, &v)| (k, Series::Gauge(v))));
+    all.extend(snap.histograms.iter().map(|(k, h)| (k, Series::Hist(h))));
+
+    // Group keys by family so each family gets one TYPE line.
+    type Labels = Vec<(String, String)>;
+    let mut fams: BTreeMap<String, Vec<(Labels, Series)>> = BTreeMap::new();
+    for (key, val) in all {
+        let (family, labels) = split_key(key);
+        fams.entry(family).or_default().push((labels, val));
+    }
+
+    for (family, series) in fams {
+        let kind = match series[0].1 {
+            Series::Counter(_) => "counter",
+            Series::Gauge(_) => "gauge",
+            Series::Hist(_) => "summary",
+        };
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+        for (labels, val) in &series {
+            match val {
+                Series::Counter(v) => {
+                    let _ = writeln!(out, "{family}{} {v}", label_block(labels, None));
+                }
+                Series::Gauge(v) => {
+                    let _ = writeln!(out, "{family}{} {}", label_block(labels, None), num(*v));
+                }
+                Series::Hist(h) => {
+                    for (q, v) in [
+                        ("0.5", h.p50),
+                        ("0.9", h.p90),
+                        ("0.95", h.p95),
+                        ("0.99", h.p99),
+                    ] {
+                        let _ = writeln!(
+                            out,
+                            "{family}{} {}",
+                            label_block(labels, Some(("quantile", q))),
+                            num(v)
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{family}_sum{} {}",
+                        label_block(labels, None),
+                        num(h.mean * h.count as f64)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{family}_count{} {}",
+                        label_block(labels, None),
+                        h.count
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn renders_counters_gauges_and_summaries() {
+        let rec = Recorder::new();
+        rec.counter_with("negotiation.outcome", &[("status", "SUCCEEDED")], 4);
+        rec.counter_with("negotiation.outcome", &[("status", "FAILEDTRYLATER")], 2);
+        rec.gauge("broker.admission_ratio", 0.75);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            rec.observe("span.negotiate.ms", x);
+        }
+        let text = to_prometheus_text(&rec.snapshot());
+
+        assert!(text.contains("# TYPE broker_admission_ratio gauge\n"));
+        assert!(text.contains("broker_admission_ratio 0.75\n"));
+        assert!(text.contains("# TYPE negotiation_outcome counter\n"));
+        assert!(text.contains("negotiation_outcome{status=\"SUCCEEDED\"} 4\n"));
+        assert!(text.contains("negotiation_outcome{status=\"FAILEDTRYLATER\"} 2\n"));
+        assert!(text.contains("# TYPE span_negotiate_ms summary\n"));
+        assert!(text.contains("span_negotiate_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("span_negotiate_ms_sum 10\n"));
+        assert!(text.contains("span_negotiate_ms_count 4\n"));
+        // One TYPE line per family, families sorted.
+        let types: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        let mut sorted = types.clone();
+        sorted.sort();
+        assert_eq!(types, sorted);
+    }
+
+    #[test]
+    fn deterministic_rendering() {
+        let build = || {
+            let rec = Recorder::new();
+            rec.counter_with("a.b", &[("x", "1")], 1);
+            rec.observe("h", 2.5);
+            rec.gauge("g", -1.0);
+            to_prometheus_text(&rec.snapshot())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn sanitizes_names_and_escapes_values() {
+        let rec = Recorder::new();
+        rec.counter_with("weird.name-x", &[("label.a", "va\"l")], 1);
+        let text = to_prometheus_text(&rec.snapshot());
+        assert!(text.contains("weird_name_x{label_a=\"va\\\"l\"} 1\n"));
+    }
+}

@@ -1,12 +1,14 @@
 //! The metric recorder and its span handles.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, MutexGuard, OnceLock};
 use std::time::Instant;
 
 use nod_simcore::sync::Mutex;
 
-use crate::hist::ValueHistogram;
+use crate::hist::{HistogramShardAcc, ValueHistogram};
 use crate::sink::{ObsEvent, ObsSink};
 use crate::snapshot::Snapshot;
 use crate::trace::{TraceId, Tracer};
@@ -14,13 +16,59 @@ use crate::{metric_key, DROPPED_SAMPLES};
 
 #[derive(Debug, Default)]
 struct State {
-    counters: std::collections::BTreeMap<String, u64>,
-    gauges: std::collections::BTreeMap<String, f64>,
-    hists: std::collections::BTreeMap<String, ValueHistogram>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, ValueHistogram>,
+}
+
+/// Where metric writes land.
+enum Store {
+    /// One table behind one lock — the default, with exact last-write
+    /// gauges and exact Welford histogram moments.
+    Locked(Mutex<State>),
+    /// Per-worker-thread tables merged at snapshot time, so a threaded
+    /// fleet run never serializes its hot path on one recorder lock.
+    Sharded(Shards),
+}
+
+struct Shards {
+    shards: Box<[Mutex<State>]>,
+    /// Next shard to hand to a thread that has none yet.
+    next: AtomicUsize,
+}
+
+/// Each thread remembers which shard it owns per sharded recorder
+/// (keyed by the recorder's allocation address), so the hot path is one
+/// thread-local scan instead of an atomic claim. Bounded: the cache is
+/// cleared if it ever fills, which only costs a re-claim.
+const SHARD_CACHE_CAP: usize = 64;
+
+thread_local! {
+    static SHARD_OF: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Shards {
+    /// The calling thread's shard for the recorder identified by `token`.
+    fn shard(&self, token: usize) -> &Mutex<State> {
+        let idx = SHARD_OF.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(&(_, i)) = cache.iter().find(|(t, _)| *t == token) {
+                i
+            } else {
+                let i = self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+                if cache.len() >= SHARD_CACHE_CAP {
+                    cache.clear();
+                }
+                cache.push((token, i));
+                i
+            }
+        });
+        &self.shards[idx]
+    }
 }
 
 struct Shared {
-    state: Mutex<State>,
+    store: Store,
     sink: Option<Arc<dyn ObsSink>>,
     /// Set-once causal tracer; absent on the vast majority of recorders.
     tracer: OnceLock<Tracer>,
@@ -32,8 +80,12 @@ struct Shared {
 
 impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let store = match &self.store {
+            Store::Locked(_) => "locked".to_string(),
+            Store::Sharded(s) => format!("sharded({})", s.shards.len()),
+        };
         f.debug_struct("Shared")
-            .field("state", &self.state)
+            .field("store", &store)
             .field("sink", &self.sink.as_ref().map(|_| "<sink>"))
             .finish_non_exhaustive()
     }
@@ -62,18 +114,42 @@ impl Default for Recorder {
 impl Recorder {
     /// A recorder with no event sink (metrics only).
     pub fn new() -> Self {
-        Recorder::build(None)
+        Recorder::build(None, None)
     }
 
     /// A recorder that also streams every event to `sink`.
     pub fn with_sink(sink: Arc<dyn ObsSink>) -> Self {
-        Recorder::build(Some(sink))
+        Recorder::build(Some(sink), None)
     }
 
-    fn build(sink: Option<Arc<dyn ObsSink>>) -> Self {
+    /// A recorder whose metric tables are sharded across worker threads
+    /// (each thread claims a private shard on first write), merged into one
+    /// [`Snapshot`] on read — so threaded fleet runs never contend on a
+    /// recorder lock.
+    ///
+    /// The determinism contract: the merged snapshot depends only on the
+    /// *multiset* of writes, not on which thread made them — counters sum
+    /// exactly, gauges aggregate by running **max** (not last-write, which
+    /// would be scheduler-dependent), and histogram summaries are derived
+    /// from the merged log buckets ([`HistogramShardAcc`]), so the same
+    /// seed yields a byte-identical snapshot at any thread count. Histogram
+    /// `mean`/`m2` therefore carry the buckets' ≤ 1% relative error instead
+    /// of being Welford-exact.
+    pub fn sharded(shards: usize) -> Self {
+        Recorder::build(None, Some(shards.max(1)))
+    }
+
+    fn build(sink: Option<Arc<dyn ObsSink>>, shards: Option<usize>) -> Self {
+        let store = match shards {
+            None => Store::Locked(Mutex::new(State::default())),
+            Some(n) => Store::Sharded(Shards {
+                shards: (0..n).map(|_| Mutex::new(State::default())).collect(),
+                next: AtomicUsize::new(0),
+            }),
+        };
         Recorder {
             shared: Arc::new(Shared {
-                state: Mutex::new(State::default()),
+                store,
                 sink,
                 tracer: OnceLock::new(),
                 span_ids: AtomicU64::new(1),
@@ -81,6 +157,20 @@ impl Recorder {
                 sim_time_us: AtomicU64::new(0),
                 use_sim_clock: AtomicBool::new(false),
             }),
+        }
+    }
+
+    /// Is this a sharded (fleet-mode) recorder?
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.shared.store, Store::Sharded(_))
+    }
+
+    /// Lock the calling thread's metric table (the single table in locked
+    /// mode, this thread's shard in sharded mode).
+    fn state(&self) -> MutexGuard<'_, State> {
+        match &self.shared.store {
+            Store::Locked(m) => m.lock(),
+            Store::Sharded(s) => s.shard(Arc::as_ptr(&self.shared) as usize).lock(),
         }
     }
 
@@ -161,18 +251,21 @@ impl Recorder {
 
     /// Add `delta` to the counter `name` with labels.
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
-        let key = metric_key(name, labels);
         if let Some(sink) = &self.shared.sink {
-            *self
-                .shared
-                .state
-                .lock()
-                .counters
-                .entry(key.clone())
-                .or_insert(0) += delta;
+            let key = metric_key(name, labels);
+            *self.state().counters.entry(key.clone()).or_insert(0) += delta;
             sink.emit(&ObsEvent::counter(self.now_us(), key, delta));
         } else {
-            *self.shared.state.lock().counters.entry(key).or_insert(0) += delta;
+            // Steady state (key already seen on this thread and in this
+            // shard) touches no allocator: interned key, `get_mut` hit.
+            let key = crate::intern_metric_key(name, labels);
+            let mut state = self.state();
+            match state.counters.get_mut(key.as_ref()) {
+                Some(v) => *v += delta,
+                None => {
+                    state.counters.insert(key.into_owned(), delta);
+                }
+            }
         }
     }
 
@@ -182,17 +275,38 @@ impl Recorder {
         self.gauge_with(name, &[], value);
     }
 
-    /// Set a labelled gauge.
+    /// Set a labelled gauge. In sharded mode the gauge aggregates by
+    /// running max instead of last-write, because "last" is
+    /// scheduler-dependent once writers race across shards.
     pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], value: f64) {
         if self.drop_non_finite(name, value) {
             return;
         }
-        let key = metric_key(name, labels);
+        let sharded = self.is_sharded();
+        let set = |state: &mut State, key: &str| {
+            if sharded {
+                match state.gauges.get_mut(key) {
+                    Some(g) => *g = g.max(value),
+                    None => {
+                        state.gauges.insert(key.to_string(), value);
+                    }
+                }
+            } else {
+                match state.gauges.get_mut(key) {
+                    Some(g) => *g = value,
+                    None => {
+                        state.gauges.insert(key.to_string(), value);
+                    }
+                }
+            }
+        };
         if let Some(sink) = &self.shared.sink {
-            self.shared.state.lock().gauges.insert(key.clone(), value);
+            let key = metric_key(name, labels);
+            set(&mut self.state(), &key);
             sink.emit(&ObsEvent::gauge(self.now_us(), key, value));
         } else {
-            self.shared.state.lock().gauges.insert(key, value);
+            let key = crate::intern_metric_key(name, labels);
+            set(&mut self.state(), key.as_ref());
         }
     }
 
@@ -207,24 +321,27 @@ impl Recorder {
         if self.drop_non_finite(name, value) {
             return;
         }
-        let key = metric_key(name, labels);
         if let Some(sink) = &self.shared.sink {
-            self.shared
-                .state
-                .lock()
+            let key = metric_key(name, labels);
+            self.state()
                 .hists
                 .entry(key.clone())
                 .or_default()
                 .record(value);
             sink.emit(&ObsEvent::observe(self.now_us(), key, value));
         } else {
-            self.shared
-                .state
-                .lock()
-                .hists
-                .entry(key)
-                .or_default()
-                .record(value);
+            let key = crate::intern_metric_key(name, labels);
+            let mut state = self.state();
+            match state.hists.get_mut(key.as_ref()) {
+                Some(h) => h.record(value),
+                None => {
+                    state
+                        .hists
+                        .entry(key.into_owned())
+                        .or_default()
+                        .record(value);
+                }
+            }
         }
     }
 
@@ -235,16 +352,10 @@ impl Recorder {
         }
         let key = metric_key(DROPPED_SAMPLES, &[("metric", name)]);
         if let Some(sink) = &self.shared.sink {
-            *self
-                .shared
-                .state
-                .lock()
-                .counters
-                .entry(key.clone())
-                .or_insert(0) += 1;
+            *self.state().counters.entry(key.clone()).or_insert(0) += 1;
             sink.emit(&ObsEvent::counter(self.now_us(), key, 1));
         } else {
-            *self.shared.state.lock().counters.entry(key).or_insert(0) += 1;
+            *self.state().counters.entry(key).or_insert(0) += 1;
         }
         true
     }
@@ -294,20 +405,55 @@ impl Recorder {
     }
 
     /// Snapshot the full metric state (counters, gauges, histogram
-    /// summaries). Cheap enough to call between experiment phases.
+    /// summaries). Cheap enough to call between experiment phases. For a
+    /// sharded recorder this merges every shard with order-independent
+    /// folds (counter sum, gauge max, bucket union), so the result is
+    /// independent of how writes were spread across threads.
     pub fn snapshot(&self) -> Snapshot {
-        let state = self.shared.state.lock();
-        let counters = state.counters.clone();
-        let gauges = state.gauges.clone();
-        let histograms = state
-            .hists
-            .iter()
-            .map(|(k, h)| (k.clone(), h.snapshot()))
-            .collect();
-        Snapshot {
-            counters,
-            gauges,
-            histograms,
+        match &self.shared.store {
+            Store::Locked(m) => {
+                let state = m.lock();
+                let counters = state.counters.clone();
+                let gauges = state.gauges.clone();
+                let histograms = state
+                    .hists
+                    .iter()
+                    .map(|(k, h)| (k.clone(), h.snapshot()))
+                    .collect();
+                Snapshot {
+                    counters,
+                    gauges,
+                    histograms,
+                }
+            }
+            Store::Sharded(s) => {
+                let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+                let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+                let mut accs: BTreeMap<String, HistogramShardAcc> = BTreeMap::new();
+                // One shard lock at a time; writers on other shards keep
+                // running while we walk.
+                for shard in s.shards.iter() {
+                    let state = shard.lock();
+                    for (k, v) in &state.counters {
+                        *counters.entry(k.clone()).or_insert(0) += v;
+                    }
+                    for (k, v) in &state.gauges {
+                        gauges
+                            .entry(k.clone())
+                            .and_modify(|g| *g = g.max(*v))
+                            .or_insert(*v);
+                    }
+                    for (k, h) in &state.hists {
+                        accs.entry(k.clone()).or_default().add(h);
+                    }
+                }
+                let histograms = accs.iter().map(|(k, a)| (k.clone(), a.finish())).collect();
+                Snapshot {
+                    counters,
+                    gauges,
+                    histograms,
+                }
+            }
         }
     }
 
@@ -586,5 +732,64 @@ mod tests {
         let rec = Recorder::new();
         rec.trace_point("noop", &[("k", "v")]);
         assert!(!rec.trace_active());
+    }
+
+    /// Write one fixed multiset of metrics from `threads` workers (the
+    /// split is by index, so the union is thread-count-independent).
+    fn sharded_run(shards: usize, threads: usize) -> Snapshot {
+        let rec = Recorder::sharded(shards);
+        rec.set_sim_time_us(0);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for i in (t..256).step_by(threads) {
+                        rec.counter_with("fleet.sessions", &[("class", "tv")], 1);
+                        rec.observe("fleet.latency_ms", (i % 37 + 1) as f64);
+                        rec.gauge("fleet.load", (i % 11) as f64);
+                    }
+                });
+            }
+        });
+        rec.snapshot()
+    }
+
+    #[test]
+    fn sharded_snapshots_are_identical_across_thread_counts() {
+        let one = sharded_run(8, 1);
+        let two = sharded_run(8, 2);
+        let eight = sharded_run(8, 8);
+        assert_eq!(one.to_json_pretty(), two.to_json_pretty());
+        assert_eq!(one.to_json_pretty(), eight.to_json_pretty());
+        // Shard count must not matter either.
+        let narrow = sharded_run(1, 8);
+        assert_eq!(one.to_json_pretty(), narrow.to_json_pretty());
+        assert_eq!(one.counter("fleet.sessions{class=tv}"), 256);
+        assert_eq!(one.histograms["fleet.latency_ms"].count, 256);
+        // Gauges aggregate by max in sharded mode.
+        assert_eq!(one.gauges["fleet.load"], 10.0);
+    }
+
+    #[test]
+    fn sharded_matches_locked_on_order_independent_fields() {
+        let sharded = sharded_run(8, 8);
+        let rec = Recorder::new();
+        for i in 0..256usize {
+            rec.counter_with("fleet.sessions", &[("class", "tv")], 1);
+            rec.observe("fleet.latency_ms", (i % 37 + 1) as f64);
+            rec.gauge("fleet.load", (i % 11) as f64);
+        }
+        let locked = rec.snapshot();
+        assert_eq!(sharded.counters, locked.counters);
+        let (s, l) = (
+            &sharded.histograms["fleet.latency_ms"],
+            &locked.histograms["fleet.latency_ms"],
+        );
+        assert_eq!(s.count, l.count);
+        assert_eq!(s.min, l.min);
+        assert_eq!(s.max, l.max);
+        assert_eq!(s.buckets, l.buckets);
+        assert_eq!((s.p50, s.p90, s.p95, s.p99), (l.p50, l.p90, l.p95, l.p99));
+        assert!((s.mean - l.mean).abs() <= 0.02 * l.max, "sketched mean");
     }
 }

@@ -193,6 +193,15 @@ impl ObsSink for FileSink {
     }
 }
 
+/// Flush on drop — explicitly, not via `BufWriter`'s best-effort drop —
+/// so a sink torn down by panic unwinding still lands its buffered lines
+/// on disk (the panic-abort harness in `nod-bench` relies on this).
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        let _ = self.writer.get_mut().flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -217,9 +217,93 @@ impl Flight {
     }
 }
 
+/// Which finished sessions keep their traces under tail-based sampling.
+///
+/// The decision is made per session *at session end* (tail-based: the
+/// whole trace was buffered, so retained sessions are complete), and it is
+/// deterministic — a function of the session's outcome, duration, trace id
+/// and the policy seed, never of thread scheduling:
+///
+/// - every **failed** session is retained (100% of the interesting tail);
+/// - the **`top_k` slowest** sessions by duration are retained, with ties
+///   broken by trace id, so the retained set is the k largest elements of
+///   a total order — independent of finish order;
+/// - a seeded **hash sample** keeps ~1/`sample_every` of the remainder as
+///   an unbiased baseline.
+///
+/// Everything else is dropped at session end, making trace memory
+/// O(retained + in-flight), not O(total sessions). In-flight buffering is
+/// bounded too: a trace stops accepting events past
+/// `max_events_per_trace` (the overflow is counted, not kept).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionPolicy {
+    /// How many of the slowest sessions to retain.
+    pub top_k: usize,
+    /// Keep ~1 in `sample_every` sessions as a baseline (0 disables).
+    pub sample_every: u64,
+    /// Seed for the baseline hash sample.
+    pub seed: u64,
+    /// Per-trace buffered-event cap while a session is in flight.
+    pub max_events_per_trace: usize,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy {
+            top_k: 16,
+            sample_every: 64,
+            seed: 0,
+            max_events_per_trace: 4_096,
+        }
+    }
+}
+
+/// Running totals of the tail sampler's decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetentionStats {
+    /// Sessions whose end was reported via [`Tracer::finish_session`].
+    pub finished: u64,
+    /// Sessions retained because they failed.
+    pub kept_failed: u64,
+    /// Sessions retained by the baseline hash sample (and not failed).
+    pub kept_head: u64,
+    /// Sessions currently retained as top-k slowest (≤ `top_k`).
+    pub kept_slow: usize,
+    /// Finished sessions whose traces were dropped.
+    pub dropped: u64,
+    /// Events discarded by the in-flight per-trace buffer cap.
+    pub truncated_events: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Tail-sampling state: which traces are pinned (failed / baseline), the
+/// current top-k slow set, and the decision totals.
+#[derive(Default)]
+struct SamplingState {
+    /// Traces retained unconditionally (failed or baseline-sampled).
+    pinned: std::collections::BTreeSet<u64>,
+    /// `(duration_us, trace)` of the current top-k slowest — a total
+    /// order, so the retained set is finish-order-independent.
+    slow: std::collections::BTreeSet<(u64, u64)>,
+    stats: RetentionStats,
+}
+
+struct Sampling {
+    policy: RetentionPolicy,
+    state: Mutex<SamplingState>,
+}
+
 struct TracerShared {
     traces: Mutex<BTreeMap<u64, TraceState>>,
     flight: Mutex<Flight>,
+    /// Tail-based retention; `None` (the default) retains everything.
+    sampling: Option<Sampling>,
 }
 
 /// The active trace of the current thread: events buffer here lock-free
@@ -271,17 +355,46 @@ impl Tracer {
 
     /// A tracer whose flight recorder keeps the last `capacity` events.
     pub fn with_flight_capacity(capacity: usize) -> Self {
+        Tracer::build(capacity, None)
+    }
+
+    /// A tracer with tail-based sampling: every session is traced into a
+    /// bounded buffer, and [`Tracer::finish_session`] decides per session
+    /// whether the trace is retained or dropped (see [`RetentionPolicy`]).
+    pub fn with_sampling(policy: RetentionPolicy) -> Self {
+        Tracer::build(FLIGHT_CAPACITY, Some(policy))
+    }
+
+    fn build(flight_capacity: usize, sampling: Option<RetentionPolicy>) -> Self {
         Tracer {
             shared: Arc::new(TracerShared {
                 traces: Mutex::new(BTreeMap::new()),
                 flight: Mutex::new(Flight {
                     ring: VecDeque::new(),
                     len: 0,
-                    capacity: capacity.max(1),
+                    capacity: flight_capacity.max(1),
                     dump: None,
+                }),
+                sampling: sampling.map(|policy| Sampling {
+                    policy,
+                    state: Mutex::new(SamplingState::default()),
                 }),
             }),
         }
+    }
+
+    /// The tail-sampling policy, when this tracer samples.
+    pub fn sampling_policy(&self) -> Option<RetentionPolicy> {
+        self.shared.sampling.as_ref().map(|s| s.policy)
+    }
+
+    /// The tail sampler's decision totals (`None` without sampling).
+    pub fn retention_stats(&self) -> Option<RetentionStats> {
+        let s = self.shared.sampling.as_ref()?;
+        let state = s.state.lock();
+        let mut stats = state.stats;
+        stats.kept_slow = state.slow.len();
+        Some(stats)
     }
 
     fn id(&self) -> usize {
@@ -322,6 +435,20 @@ impl Tracer {
             let mut traces = self.shared.traces.lock();
             let st = traces.entry(active.trace).or_default();
             st.stack = active.stack;
+            // Under tail sampling the in-flight buffer is bounded: events
+            // past the per-trace cap are counted and discarded (seqs stay
+            // contiguous because they are assigned only to kept events).
+            if let Some(s) = &self.shared.sampling {
+                let allowed = s
+                    .policy
+                    .max_events_per_trace
+                    .saturating_sub(st.events.len());
+                if buf.len() > allowed {
+                    let overflow = (buf.len() - allowed) as u64;
+                    buf.truncate(allowed);
+                    s.state.lock().stats.truncated_events += overflow;
+                }
+            }
             if !buf.is_empty() {
                 let trace = active.trace;
                 let first_seq = st.next_seq;
@@ -344,6 +471,52 @@ impl Tracer {
                 *spare = buf;
             }
         });
+    }
+
+    /// Report a session's end to the tail sampler: `trace` is retained or
+    /// dropped per the [`RetentionPolicy`] (failed sessions always kept,
+    /// top-k slowest by `duration_us` kept, baseline hash sample kept,
+    /// rest dropped now — possibly evicting a previously slow trace that
+    /// `duration_us` just outranked). A no-op without sampling, so default
+    /// tracers retain every event exactly as before. Flushes the calling
+    /// thread's buffer first, so the decision covers the whole session.
+    pub fn finish_session(&self, trace: TraceId, failed: bool, duration_us: u64) {
+        let Some(s) = &self.shared.sampling else {
+            return;
+        };
+        self.suspend();
+        let mut traces = self.shared.traces.lock();
+        let mut state = s.state.lock();
+        state.stats.finished += 1;
+        let head = s.policy.sample_every > 0
+            && splitmix64(trace ^ s.policy.seed).is_multiple_of(s.policy.sample_every);
+        if failed {
+            state.stats.kept_failed += 1;
+        } else if head {
+            state.stats.kept_head += 1;
+        }
+        if failed || head {
+            state.pinned.insert(trace);
+        }
+        // Top-k candidacy: insert, then evict the smallest past k. The set
+        // is ordered by `(duration, trace)`, so the survivors are the k
+        // largest of a total order regardless of finish order.
+        let evicted = if s.policy.top_k > 0 {
+            state.slow.insert((duration_us, trace));
+            if state.slow.len() > s.policy.top_k {
+                state.slow.pop_first()
+            } else {
+                None
+            }
+        } else {
+            Some((duration_us, trace))
+        };
+        if let Some((_, t)) = evicted {
+            if !state.pinned.contains(&t) {
+                state.stats.dropped += 1;
+                traces.remove(&t);
+            }
+        }
     }
 
     /// The trace active on the current thread, if it belongs to this
@@ -667,6 +840,124 @@ mod tests {
         assert!(dump.to_jsonl().lines().count() == 4);
         assert!(t.take_flight_dump().is_none(), "take drains the dump");
         let _ = ev(0, "unused-helper");
+    }
+
+    /// Run one synthetic session: a root span with `points` points, then
+    /// report its end to the sampler.
+    fn session(t: &Tracer, trace: u64, points: u64, failed: bool, duration_us: u64) {
+        t.resume(trace);
+        t.span_start(0, "session", trace * 100 + 1, 0);
+        for i in 0..points {
+            t.point(i, || format!("p{i}"), None);
+        }
+        t.span_end(
+            duration_us,
+            "session",
+            trace * 100 + 1,
+            0,
+            0.0,
+            false,
+            trace,
+        );
+        t.suspend();
+        t.finish_session(trace, failed, duration_us);
+    }
+
+    #[test]
+    fn tail_sampler_keeps_failures_topk_and_baseline_only() {
+        let policy = RetentionPolicy {
+            top_k: 3,
+            sample_every: 10,
+            seed: 42,
+            max_events_per_trace: 4_096,
+        };
+        let t = Tracer::with_sampling(policy);
+        let failed: Vec<u64> = vec![5, 17];
+        for i in 0..50u64 {
+            // Duration grows with the trace id, so the top-3 slowest are
+            // traces 47, 48, 49.
+            session(&t, i, 2, failed.contains(&i), 1_000 + i * 10);
+        }
+        let stats = t.retention_stats().unwrap();
+        assert_eq!(stats.finished, 50);
+        assert_eq!(stats.kept_failed, 2, "every failed session retained");
+        assert_eq!(stats.kept_slow, 3, "exactly top_k slow sessions");
+        let events = t.drain();
+        let mut retained: Vec<u64> = events.iter().map(|e| e.trace).collect();
+        retained.sort_unstable();
+        retained.dedup();
+        for f in &failed {
+            assert!(retained.contains(f), "failed trace {f} must survive");
+        }
+        for slow in [47, 48, 49] {
+            assert!(retained.contains(&slow), "slow trace {slow} must survive");
+        }
+        // Retention is bounded: failures + top_k + baseline sample.
+        let baseline = stats.kept_head as usize;
+        assert!(
+            retained.len() <= failed.len() + 3 + baseline,
+            "retained {retained:?}"
+        );
+        assert_eq!(
+            stats.dropped as usize + retained.len(),
+            50,
+            "every session either retained or counted dropped"
+        );
+    }
+
+    #[test]
+    fn tail_sampler_retained_set_is_finish_order_independent() {
+        let policy = RetentionPolicy {
+            top_k: 4,
+            sample_every: 8,
+            seed: 7,
+            max_events_per_trace: 4_096,
+        };
+        let run = |order: &[u64]| -> Vec<String> {
+            let t = Tracer::with_sampling(policy);
+            for &i in order {
+                session(&t, i, 1, i % 9 == 0, 500 + (i * 37) % 400);
+            }
+            t.drain().iter().map(|e| e.to_json_line()).collect()
+        };
+        let fwd: Vec<u64> = (0..40).collect();
+        let rev: Vec<u64> = (0..40).rev().collect();
+        let mut a = run(&fwd);
+        let mut b = run(&rev);
+        // Same retained traces and same per-trace bytes; drain order is by
+        // trace id, so after sorting lines the logs are identical.
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "retention must not depend on finish order");
+    }
+
+    #[test]
+    fn in_flight_buffer_is_capped_per_trace() {
+        let policy = RetentionPolicy {
+            top_k: 1,
+            sample_every: 0,
+            seed: 0,
+            max_events_per_trace: 10,
+        };
+        let t = Tracer::with_sampling(policy);
+        session(&t, 0, 100, false, 1_000);
+        let stats = t.retention_stats().unwrap();
+        assert!(stats.truncated_events >= 90, "{stats:?}");
+        let events = t.drain();
+        assert_eq!(events.len(), 10, "cap bounds the buffered trace");
+        // Seqs stay contiguous despite the truncation.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_tracer_retains_everything_and_ignores_finish() {
+        let t = Tracer::new();
+        assert!(t.sampling_policy().is_none());
+        assert!(t.retention_stats().is_none());
+        session(&t, 0, 5, false, 1);
+        session(&t, 1, 5, false, 2);
+        assert_eq!(t.drain().len(), 14, "finish_session must be a no-op");
     }
 
     #[test]

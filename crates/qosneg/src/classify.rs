@@ -14,13 +14,12 @@
 //! setting (3) example implicitly uses (see EXPERIMENTS.md, E4).
 //!
 //! Classification of large offer sets is embarrassingly parallel in
-//! principle; [`score_all_parallel`] fans out over [`std::thread::scope`]
-//! worker chunks. In practice the per-offer scoring kernel is ~50 ns
-//! (bench B1) — far too cheap to amortize thread spawn at any realistic
-//! offer count (bench B5 measures the sequential path 2–3× faster at
-//! 2 048 *and* 16 384 offers) — so [`classify`] scores sequentially and
-//! the parallel path remains available for callers whose scoring is
-//! genuinely expensive (custom importance models).
+//! principle, but the per-offer scoring kernel is ~50 ns (bench B1) —
+//! far too cheap to amortize thread spawn at any realistic offer count.
+//! Bench B5 measured a `std::thread::scope` fan-out 2–3× *slower* than
+//! the sequential loop at 2 048 and 16 384 offers, so the parallel
+//! scoring path was removed (see EXPERIMENTS.md, B5); [`classify`]
+//! scores sequentially.
 
 use nod_mmdoc::MediaQos;
 
@@ -136,34 +135,6 @@ pub fn score_all(offers: Vec<SystemOffer>, profile: &UserProfile) -> Vec<ScoredO
     offers
         .into_iter()
         .map(|o| ScoredOffer::score(o, profile))
-        .collect()
-}
-
-/// Score offers across worker threads (chunked [`std::thread::scope`]
-/// fan-out). Produces exactly the same result as [`score_all`]; only worth
-/// it when per-offer scoring is much more expensive than the built-in
-/// kernel — measure before switching (bench B5).
-pub fn score_all_parallel(offers: Vec<SystemOffer>, profile: &UserProfile) -> Vec<ScoredOffer> {
-    if offers.is_empty() {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16);
-    let chunk = offers.len().div_ceil(workers);
-    let mut out: Vec<Option<ScoredOffer>> = vec![None; offers.len()];
-    std::thread::scope(|s| {
-        for (offers_chunk, out_chunk) in offers.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            s.spawn(move || {
-                for (o, slot) in offers_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(ScoredOffer::score(o.clone(), profile));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|s| s.expect("all slots filled"))
         .collect()
 }
 
@@ -315,28 +286,6 @@ mod tests {
         assert_eq!(order.len(), 4);
         assert!(scored[order[0]].satisfies_request);
         assert!(order[1..].iter().all(|&i| !scored[i].satisfies_request));
-    }
-
-    #[test]
-    fn parallel_and_sequential_scores_agree() {
-        let p = paper_profile(ImportanceProfile::paper_example(4.0));
-        let offers: Vec<SystemOffer> = (0..1_500)
-            .map(|i| {
-                offer(
-                    i,
-                    ColorDepth::ALL[(i % 4) as usize],
-                    (i % 25 + 1) as u32,
-                    (i % 70) as f64 / 10.0,
-                )
-            })
-            .collect();
-        let par = score_all_parallel(offers.clone(), &p);
-        let seq = score_all(offers, &p);
-        assert_eq!(par.len(), seq.len());
-        for (a, b) in par.iter().zip(&seq) {
-            assert_eq!(a.sns, b.sns);
-            assert_eq!(a.oif, b.oif);
-        }
     }
 
     #[test]

@@ -537,6 +537,49 @@ fn negotiate_steps(
     ))
 }
 
+/// Per-walk refusal census. A commit walk refuses dozens of offers for a
+/// handful of distinct reasons, and at fleet scale emitting one counter
+/// increment and one trace point per refused offer made the telemetry the
+/// dominant cost of the walk (B11). The census accumulates counts in a
+/// tiny first-occurrence-ordered vec and emits one
+/// `negotiation.commit.refused{reason=}` counter delta and one trace
+/// point (value = count) per distinct reason at the end of the walk —
+/// identical counter totals, bounded trace volume.
+#[derive(Default)]
+struct RefusalCensus {
+    attempts: u64,
+    by_reason: Vec<(&'static str, u64)>,
+}
+
+impl RefusalCensus {
+    fn attempt(&mut self, refused: Option<&CommitFailure>) {
+        self.attempts += 1;
+        if let Some(reason) = refused {
+            let kind = reason.kind();
+            match self.by_reason.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => self.by_reason.push((kind, 1)),
+            }
+        }
+    }
+
+    /// Emit the walk's totals (call inside the `commit` span so the trace
+    /// points land under it).
+    fn emit(self, rec: &Recorder) {
+        if self.attempts > 0 {
+            rec.counter("negotiation.reservation.attempts", self.attempts);
+        }
+        for (kind, n) in self.by_reason {
+            rec.counter_with("negotiation.commit.refused", &[("reason", kind)], n);
+            rec.trace_point_value(
+                "negotiation.commit.refused",
+                &[("reason", kind)],
+                Some(n as f64),
+            );
+        }
+    }
+}
+
 /// Step 5 over the lazy engine: pull offers from the reservation-order
 /// stream and try to commit each, paying only for the attempted prefix.
 /// On success the classified list stays deferred (the outcome carries the
@@ -566,6 +609,7 @@ fn negotiate_streaming(
     // per-candidate verdicts are carried by the admission / reservation /
     // refusal points inside it.
     let span_commit = stage_span(ctx, root, "commit");
+    let mut census = RefusalCensus::default();
     let mut stream_failures: Vec<(ScoredCombo, CommitFailure)> = Vec::new();
     let mut committed: Option<(ScoredCombo, ScoredOffer, SessionReservation)> = None;
     let mut exhausted = false;
@@ -577,16 +621,8 @@ fn negotiate_streaming(
         trace.reservation_attempts += 1;
         let scored = engine.materialize(&combo);
         let attempt = try_commit_diagnosed(ctx, client, &scored.offer, profile.time.max_startup_ms);
-        if let Some(rec) = ctx.recorder {
-            rec.counter("negotiation.reservation.attempts", 1);
-            if let Err(reason) = &attempt {
-                rec.counter_with(
-                    "negotiation.commit.refused",
-                    &[("reason", reason.kind())],
-                    1,
-                );
-                rec.trace_point("negotiation.commit.refused", &[("reason", reason.kind())]);
-            }
+        if ctx.recorder.is_some() {
+            census.attempt(attempt.as_ref().err());
         }
         match attempt {
             Err(reason) => stream_failures.push((combo, reason)),
@@ -595,6 +631,9 @@ fn negotiate_streaming(
                 break;
             }
         }
+    }
+    if let Some(rec) = ctx.recorder {
+        census.emit(rec);
     }
     if let Some(span) = span_commit {
         span.end();
@@ -683,6 +722,7 @@ fn commit_ordered(
     // As in the streamed walk, one commit span per ordered walk; the
     // per-candidate refusal points inside it carry the verdicts.
     let span_commit = stage_span(ctx, root, "commit");
+    let mut census = RefusalCensus::default();
     let mut committed: Option<(usize, SessionReservation)> = None;
     for &idx in &order[start_at..] {
         trace.reservation_attempts += 1;
@@ -692,16 +732,8 @@ fn commit_ordered(
             &ordered[idx].offer,
             profile.time.max_startup_ms,
         );
-        if let Some(rec) = ctx.recorder {
-            rec.counter("negotiation.reservation.attempts", 1);
-            if let Err(reason) = &attempt {
-                rec.counter_with(
-                    "negotiation.commit.refused",
-                    &[("reason", reason.kind())],
-                    1,
-                );
-                rec.trace_point("negotiation.commit.refused", &[("reason", reason.kind())]);
-            }
+        if ctx.recorder.is_some() {
+            census.attempt(attempt.as_ref().err());
         }
         match attempt {
             Err(reason) => {
@@ -713,6 +745,9 @@ fn commit_ordered(
                 break;
             }
         }
+    }
+    if let Some(rec) = ctx.recorder {
+        census.emit(rec);
     }
     if let Some(span) = span_commit {
         span.end();
@@ -750,6 +785,44 @@ fn commit_ordered(
         commit_failures: failures,
         trace,
     }
+}
+
+/// Step 5 alone: walk `ordered` in reservation order and commit the first
+/// offer that fits, emitting the same per-attempt counters and terminal
+/// `negotiation.outcome{status=…}` as the fused [`negotiate`] path.
+///
+/// This is the commit half of the [`prepare`]/commit split the concurrent
+/// broker's deterministic threaded mode is built on: [`prepare`] reads only
+/// the catalog and static topology, so it can run on many sessions in
+/// parallel, while these walks — the only part that touches live farm and
+/// network capacity — are serialized in session order. A refused walk
+/// returns the classified list in `ordered_offers`
+/// ([`OfferList::into_vec`]), so retries re-walk without re-preparing.
+pub fn commit_prepared(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    profile: &UserProfile,
+    ordered: Vec<ScoredOffer>,
+    trace: NegotiationTrace,
+) -> NegotiationOutcome {
+    let order = reservation_order(&ordered);
+    let outcome = commit_ordered(
+        ctx,
+        client,
+        profile,
+        None,
+        ordered,
+        &order,
+        0,
+        Vec::new(),
+        trace,
+    );
+    if let Some(rec) = ctx.recorder {
+        let status = outcome.status.to_string();
+        rec.counter_with("negotiation.outcome", &[("status", &status)], 1);
+        rec.trace_point("negotiation.outcome", &[("status", &status)]);
+    }
+    outcome
 }
 
 /// Why step 5 refused to commit an offer — the diagnostic surface behind

@@ -16,10 +16,17 @@
 //! * **information window** (Fig. 6/7) — negotiation status, offered QoS
 //!   parameter values, cost, and the `choicePeriod` countdown.
 
+//!
+//! Beyond the per-session GUI, [`top`] renders the *fleet*: tumbling
+//! broker windows as a `top`-style frame (summary block + activity
+//! sparklines), driven live by the `nod_top` binary (feature `top`).
+
 pub mod flow;
+pub mod top;
 pub mod windows;
 
 pub use flow::{ProfileManagerApp, UiAction, UiEvent, UiState};
+pub use top::{render_frame, sparkline, TopRow};
 pub use windows::{
     audio_profile_window, bar, cost_profile_window, information_window, main_window,
     profile_component_window, show_example, time_profile_window, video_profile_window,

@@ -1,0 +1,166 @@
+//! `nod-top`: the live fleet view, rendered for terminals.
+//!
+//! The broker folds its outcome log into tumbling virtual-time windows
+//! (`nod_broker::fleet_windows`); this module renders those rows as a
+//! `top`-style frame — one summary block for the window under the
+//! cursor plus an activity strip over the trailing history — so a
+//! contended run can be replayed frame by frame at a fixed cadence.
+//! Rendering is pure (`&[TopRow]` in, `String` out) and the row type is
+//! local, so the core TUI crate stays dependency-free; the `nod_top`
+//! binary (feature `top`) adapts `FleetWindow` into [`TopRow`] and
+//! drives the frame loop.
+
+/// One fleet window, as the top view consumes it (mirrors
+/// `nod_broker::FleetWindow` without depending on the broker crate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopRow {
+    /// Window start, inclusive, ms.
+    pub start_ms: u64,
+    /// Window end, exclusive, ms.
+    pub end_ms: u64,
+    /// Sessions admitted at full QoS.
+    pub admitted: u64,
+    /// Sessions admitted on a degraded offer.
+    pub degraded: u64,
+    /// Sessions starved out by contention.
+    pub starved: u64,
+    /// Sessions terminally refused.
+    pub rejected: u64,
+    /// Sessions that errored.
+    pub errored: u64,
+    /// Retries scheduled.
+    pub retries: u64,
+    /// Admitted sessions that released their resources.
+    pub departures: u64,
+    /// Fault-window edges that fired.
+    pub fault_edges: u64,
+    /// Sessions holding resources at the window's close.
+    pub active_at_end: u64,
+}
+
+/// The eight-level block ramp used for activity sparklines.
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// A sparkline over `values`, scaled to the series' own maximum; an
+/// all-zero series renders as a flat baseline.
+pub fn sparkline(values: &[u64]) -> String {
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                RAMP[0]
+            } else {
+                RAMP[(v * 7).div_ceil(max).min(7) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Render one frame of the fleet view: the window at `cursor` in focus,
+/// with trailing sparklines over everything up to and including it.
+/// `alerts` (burning SLO names) render as a banner line when non-empty.
+/// Deterministic: same rows, cursor and alerts — same frame.
+pub fn render_frame(rows: &[TopRow], cursor: usize, alerts: &[&str]) -> String {
+    let mut out = String::new();
+    if rows.is_empty() {
+        out.push_str("nod-top — no fleet windows (empty outcome log)\n");
+        return out;
+    }
+    let cursor = cursor.min(rows.len() - 1);
+    let w = &rows[cursor];
+    out.push_str(&format!(
+        "nod-top — fleet window {}/{}  t = [{} ms, {} ms)\n",
+        cursor + 1,
+        rows.len(),
+        w.start_ms,
+        w.end_ms
+    ));
+    if !alerts.is_empty() {
+        out.push_str(&format!("SLO BURNING: {}\n", alerts.join(", ")));
+    }
+    out.push_str(&format!(
+        "admitted {:>5}  degraded {:>5}  starved {:>5}  rejected {:>5}  errored {:>5}\n",
+        w.admitted, w.degraded, w.starved, w.rejected, w.errored
+    ));
+    out.push_str(&format!(
+        "retries  {:>5}  departed {:>5}  faults  {:>5}  active   {:>5}\n",
+        w.retries, w.departures, w.fault_edges, w.active_at_end
+    ));
+    let seen = &rows[..=cursor];
+    let series = |f: fn(&TopRow) -> u64| -> Vec<u64> { seen.iter().map(f).collect() };
+    out.push_str(&format!(
+        "admissions {}\n",
+        sparkline(&series(|r| r.admitted + r.degraded))
+    ));
+    out.push_str(&format!(
+        "refusals   {}\n",
+        sparkline(&series(|r| r.starved + r.rejected + r.errored))
+    ));
+    out.push_str(&format!(
+        "retries    {}\n",
+        sparkline(&series(|r| r.retries))
+    ));
+    out.push_str(&format!(
+        "active     {}\n",
+        sparkline(&series(|r| r.active_at_end))
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<TopRow> {
+        (0..4)
+            .map(|i| TopRow {
+                start_ms: i * 1_000,
+                end_ms: (i + 1) * 1_000,
+                admitted: i,
+                retries: 4 - i,
+                active_at_end: i,
+                ..TopRow::default()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparkline_scales_to_series_max() {
+        assert_eq!(sparkline(&[0, 0, 0]), "▁▁▁");
+        // Ceil scaling: any nonzero value clears the baseline glyph.
+        assert_eq!(sparkline(&[1, 8]), "▂█");
+        assert_eq!(sparkline(&[]), "");
+        let s: Vec<char> = sparkline(&[0, 2, 4, 8]).chars().collect();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[3], '█');
+    }
+
+    #[test]
+    fn frame_is_deterministic_and_windowed() {
+        let rows = rows();
+        let a = render_frame(&rows, 2, &[]);
+        let b = render_frame(&rows, 2, &[]);
+        assert_eq!(a, b);
+        assert!(a.starts_with("nod-top — fleet window 3/4  t = [2000 ms, 3000 ms)\n"));
+        assert!(a.contains("admitted     2"));
+        assert!(!a.contains("SLO BURNING"));
+        // Sparklines cover only the windows seen so far.
+        let admissions = a.lines().find(|l| l.starts_with("admissions")).unwrap();
+        assert_eq!(
+            admissions.chars().count(),
+            "admissions ".chars().count() + 3
+        );
+        // Cursor past the end clamps to the last window.
+        assert!(render_frame(&rows, 99, &[]).starts_with("nod-top — fleet window 4/4"));
+    }
+
+    #[test]
+    fn alerts_render_as_a_banner() {
+        let rows = rows();
+        let frame = render_frame(&rows, 0, &["session-failure-ratio"]);
+        assert!(frame.contains("SLO BURNING: session-failure-ratio\n"));
+        assert!(render_frame(&[], 0, &[]).contains("no fleet windows"));
+    }
+}

@@ -15,7 +15,7 @@ use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
 use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
 use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
-use nod_obs::Recorder;
+use nod_obs::{Recorder, SloSpec};
 use nod_qosneg::negotiate::{NegotiationContext, StreamingMode};
 use nod_qosneg::{ClassificationStrategy, CostModel, RetryPolicy, UserProfile};
 use nod_simcore::StreamRng;
@@ -50,6 +50,11 @@ pub struct ContendedConfig {
     /// (0 = confirm instantly; see
     /// [`BrokerConfig::choice_period_ms`](nod_broker::BrokerConfig)).
     pub choice_period_ms: u64,
+    /// Service-level objectives monitored over the run's virtual clock
+    /// (empty = no monitoring; see
+    /// [`nod_obs::default_fleet_slos`]). Alerts land in
+    /// [`BrokerReport::slo_alerts`].
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for ContendedConfig {
@@ -66,6 +71,7 @@ impl Default for ContendedConfig {
             fault_windows: 0,
             guarantee: Guarantee::Guaranteed,
             choice_period_ms: 0,
+            slos: Vec::new(),
         }
     }
 }
@@ -98,18 +104,25 @@ pub fn run_contended(config: &ContendedConfig) -> ContendedResult {
     run_contended_with(config, None).0
 }
 
-/// [`run_contended`] returning the full [`BrokerReport`] too, with an
-/// optional observability recorder attached to the negotiation context
-/// (and thus to the broker's counters).
-pub fn run_contended_with(
+/// The shared system state of a contended run: everything the spec slice
+/// borrows, built deterministically from the config's seed.
+struct ContendedWorld {
+    catalog: Catalog,
+    farm: ServerFarm,
+    network: Network,
+    cost_model: CostModel,
+    users: Vec<(ClientMachine, UserProfile, DocumentId, u64)>,
+}
+
+fn build_world(
     config: &ContendedConfig,
     recorder: Option<&Recorder>,
-) -> (ContendedResult, BrokerReport) {
+) -> (ContendedWorld, StreamRng) {
     let mut master = StreamRng::new(config.seed);
     let mut corpus_rng = master.split();
     let mut arrival_rng = master.split();
     let mut user_rng = master.split();
-    let mut fault_rng = master.split();
+    let fault_rng = master.split();
 
     let catalog: Catalog = CorpusBuilder::new(CorpusParams {
         documents: config.documents,
@@ -143,52 +156,87 @@ pub fn run_contended_with(
         let doc = DocumentId(user_rng.zipf(config.documents, 0.9) as u64 + 1);
         users.push((machine, profile, doc, (at_secs * 1_000.0) as u64));
     }
-    let specs: Vec<SessionSpec<'_>> = users
-        .iter()
-        .map(|(machine, profile, doc, arrival_ms)| SessionSpec {
-            client: machine,
-            document: *doc,
-            profile,
-            arrival_ms: *arrival_ms,
-            hold_ms: Some(config.hold_ms),
-        })
-        .collect();
+    (
+        ContendedWorld {
+            catalog,
+            farm,
+            network,
+            cost_model,
+            users,
+        },
+        fault_rng,
+    )
+}
 
-    let horizon_ms = users.last().map(|u| u.3).unwrap_or(0) + config.hold_ms;
-    let faults = if config.fault_windows == 0 {
-        FaultPlan::none()
-    } else {
-        FaultPlan::seeded(
-            &mut fault_rng,
-            &farm.ids(),
-            &network.topology().link_ids(),
-            horizon_ms.max(1_000),
-            config.fault_windows,
-        )
-    };
+impl ContendedWorld {
+    fn specs(&self, config: &ContendedConfig) -> Vec<SessionSpec<'_>> {
+        self.users
+            .iter()
+            .map(|(machine, profile, doc, arrival_ms)| SessionSpec {
+                client: machine,
+                document: *doc,
+                profile,
+                arrival_ms: *arrival_ms,
+                hold_ms: Some(config.hold_ms),
+            })
+            .collect()
+    }
 
-    let ctx = NegotiationContext {
-        catalog: &catalog,
-        farm: &farm,
-        network: &network,
-        cost_model: &cost_model,
-        strategy: ClassificationStrategy::SnsThenOif,
-        guarantee: config.guarantee,
-        enumeration_cap: 500_000,
-        jitter_buffer_ms: 2_000,
-        prune_dominated: false,
-        streaming: StreamingMode::Auto,
-        recorder,
-    };
-    let broker = Broker::new(
-        ctx,
+    fn ctx<'w>(
+        &'w self,
+        config: &ContendedConfig,
+        recorder: Option<&'w Recorder>,
+    ) -> NegotiationContext<'w> {
+        NegotiationContext {
+            catalog: &self.catalog,
+            farm: &self.farm,
+            network: &self.network,
+            cost_model: &self.cost_model,
+            strategy: ClassificationStrategy::SnsThenOif,
+            guarantee: config.guarantee,
+            enumeration_cap: 500_000,
+            jitter_buffer_ms: 2_000,
+            prune_dominated: false,
+            streaming: StreamingMode::Auto,
+            recorder,
+        }
+    }
+
+    fn broker_config(&self, config: &ContendedConfig) -> BrokerConfig {
         BrokerConfig {
             retry: config.retry,
             seed: config.seed ^ 0xB20_4E2,
             choice_period_ms: config.choice_period_ms,
             ..BrokerConfig::era_default()
-        },
-    );
+        }
+    }
+}
+
+/// [`run_contended`] returning the full [`BrokerReport`] too, with an
+/// optional observability recorder attached to the negotiation context
+/// (and thus to the broker's counters).
+pub fn run_contended_with(
+    config: &ContendedConfig,
+    recorder: Option<&Recorder>,
+) -> (ContendedResult, BrokerReport) {
+    let (world, mut fault_rng) = build_world(config, recorder);
+    let specs = world.specs(config);
+
+    let horizon_ms = world.users.last().map(|u| u.3).unwrap_or(0) + config.hold_ms;
+    let faults = if config.fault_windows == 0 {
+        FaultPlan::none()
+    } else {
+        FaultPlan::seeded(
+            &mut fault_rng,
+            &world.farm.ids(),
+            &world.network.topology().link_ids(),
+            horizon_ms.max(1_000),
+            config.fault_windows,
+        )
+    };
+
+    let broker = Broker::new(world.ctx(config, recorder), world.broker_config(config))
+        .with_slos(config.slos.clone());
     let report = broker.run(&specs, &faults);
     let result = ContendedResult {
         offered: config.sessions,
@@ -202,6 +250,26 @@ pub fn run_contended_with(
         leaked_streams: report.leaked_streams,
     };
     (result, report)
+}
+
+/// The same contended world driven through
+/// [`Broker::run_threaded`]: steps 1–4 of every session
+/// in parallel across `threads` OS threads, step-5 commits serialized in
+/// session order. Returns `(admitted, leaked_streams)`.
+///
+/// With a sharded recorder attached
+/// ([`Recorder::build`](nod_obs::Recorder)), the merged metric snapshot
+/// is byte-identical for a given config at every `threads` value — the
+/// b11 telemetry bench and the CI retention gate both pin this.
+pub fn run_threaded_contended(
+    config: &ContendedConfig,
+    recorder: Option<&Recorder>,
+    threads: usize,
+) -> (usize, usize) {
+    let (world, _) = build_world(config, recorder);
+    let specs = world.specs(config);
+    let broker = Broker::new(world.ctx(config, recorder), world.broker_config(config));
+    broker.run_threaded(&specs, threads)
 }
 
 #[cfg(test)]
@@ -237,6 +305,64 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(ra.events, rb.events);
         assert!(a.faults_injected > 0);
+    }
+
+    #[test]
+    fn threaded_contended_is_deterministic_across_thread_counts() {
+        let config = ContendedConfig {
+            seed: 9,
+            sessions: 32,
+            servers: 1,
+            arrivals_per_minute: 240.0,
+            hold_ms: 8_000,
+            ..ContendedConfig::default()
+        };
+        let run = |threads: usize| {
+            let rec = Recorder::sharded(8);
+            let (admitted, leaked) = run_threaded_contended(&config, Some(&rec), threads);
+            (admitted, leaked, rec.snapshot().to_json_pretty())
+        };
+        let (a1, l1, s1) = run(1);
+        let (a2, l2, s2) = run(2);
+        let (a8, l8, s8) = run(8);
+        assert!(a1 >= 1);
+        assert_eq!((l1, l2, l8), (0, 0, 0));
+        assert_eq!((a1, a1), (a2, a8), "admissions depend on thread count");
+        assert_eq!(s1, s2, "merged snapshot must not depend on thread count");
+        assert_eq!(s1, s8, "merged snapshot must not depend on thread count");
+    }
+
+    #[test]
+    fn slo_monitoring_flags_a_contended_run() {
+        use nod_obs::{Objective, SloSpec};
+        let tight = SloSpec {
+            name: "failure-ratio-tight",
+            objective: Objective::FailureRatio { max_ratio: 0.01 },
+            window_ms: 10_000,
+            burn_windows: 1,
+        };
+        let config = ContendedConfig {
+            seed: 5,
+            sessions: 32,
+            servers: 1,
+            arrivals_per_minute: 300.0,
+            hold_ms: 30_000,
+            retry: RetryPolicy::NO_RETRY,
+            slos: vec![tight],
+            ..ContendedConfig::default()
+        };
+        let (result, report) = run_contended_with(&config, None);
+        assert!(result.admission_ratio < 0.99, "run must actually contend");
+        assert!(
+            !report.slo_alerts.is_empty(),
+            "a 1% failure budget must burn under heavy contention"
+        );
+        // The same config without objectives reports none.
+        let quiet = ContendedConfig {
+            slos: Vec::new(),
+            ..config
+        };
+        assert!(run_contended_with(&quiet, None).1.slo_alerts.is_empty());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Snapshot the negotiation-path microbenches into BENCH_negotiation.json.
 #
-# Runs the B4/B8 negotiation bench, the B1-B3 classification bench and the
-# B9 contended-broker bench with NOD_BENCH_JSON_OUT set, then merges the
+# Runs the B4/B8 negotiation bench, the B1/B2/B7 classification bench, the
+# B9 contended-broker bench, the B10 trace bench and the B11 fleet-telemetry
+# bench with NOD_BENCH_JSON_OUT set, then merges the
 # dumps into a single JSON file at the repo root. Honors NOD_BENCH_FAST=1
 # for a quick smoke run (CI); leave it unset for publication-quality
 # numbers. The B9 run doubles as the broker stress smoke: it includes a
@@ -30,6 +31,14 @@ echo "==> bench: trace (B10 tracing overhead; asserts the alloc-free disabled pa
 NOD_BENCH_JSON_OUT="$tmpdir/trace.json" \
     cargo bench -q -p nod-bench --bench trace 2>&1 | tail -n +1
 
+# B11 gates in both modes: snapshot determinism across thread counts and
+# the tail sampler's retention ledger are asserted even under
+# NOD_BENCH_FAST=1; the 10% overhead ratio is asserted only in full mode
+# (smoke samples are too few to bound noise) but always lands in the JSON.
+echo "==> bench: telemetry (B11 fleet telemetry: determinism, retention, overhead)"
+NOD_BENCH_JSON_OUT="$tmpdir/telemetry.json" \
+    cargo bench -q -p nod-bench --bench telemetry 2>&1 | tail -n +1
+
 # Nightly-depth oracle sweep (non-gating here — check.sh gates the 256-case
 # run): a wider seeded sweep whose counters (oracle.cases,
 # oracle.divergences) ride along in the snapshot. Divergences don't fail
@@ -53,6 +62,9 @@ cargo run -q --release -p nod-oracle --bin run_oracle -- \
     echo '  ,'
     echo '  "trace":'
     sed 's/^/    /' "$tmpdir/trace.json"
+    echo '  ,'
+    echo '  "telemetry":'
+    sed 's/^/    /' "$tmpdir/telemetry.json"
     echo '  ,'
     echo '  "oracle":'
     sed 's/^/    /' "$tmpdir/oracle.json"

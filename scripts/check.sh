@@ -25,7 +25,9 @@ cargo run -q --release -p nod-oracle --bin run_oracle -- \
 # Non-gating bench smoke: the fast-mode snapshot only has to *run* (panics
 # and build errors fail the check); the numbers themselves are not gated.
 # Includes the B9 broker stress smoke — real threads racing the shared
-# farm — which panics on leaked capacity, so leaks do fail the gate.
+# farm — which panics on leaked capacity, so leaks do fail the gate, and
+# the B11 telemetry smoke, whose snapshot-determinism and tail-retention
+# asserts gate even in fast mode (only the overhead ratio is full-mode).
 echo "==> bench smoke (NOD_BENCH_FAST=1 scripts/bench_snapshot.sh)"
 NOD_BENCH_FAST=1 scripts/bench_snapshot.sh
 
@@ -39,5 +41,21 @@ cargo run -q --release -p nod-bench --bin run_contended -- \
     --sessions 16 --servers 1 --seed 5 --hold-ms 4000 \
     --trace-out "$trace_tmp/trace.jsonl" --trace-report > /dev/null
 test -s "$trace_tmp/trace.jsonl"
+
+# Exposition smoke: the same run must emit a Prometheus text snapshot and
+# per-window scrape files; the feature-gated nod_top live view (not built
+# by --workspace above, so this is its only compile gate) must render a
+# final frame in --once mode.
+echo "==> exposition smoke (run_contended --prom-out --windows-out, nod_top --once)"
+cargo run -q --release -p nod-bench --bin run_contended -- \
+    --sessions 16 --servers 1 --seed 5 --hold-ms 4000 --slos \
+    --prom-out "$trace_tmp/metrics.prom" --windows-out "$trace_tmp/windows" > /dev/null
+test -s "$trace_tmp/metrics.prom"
+test -s "$trace_tmp/windows/window_0000.prom"
+# Capture rather than pipe to grep -q: a closed pipe would make the bin's
+# trailing summary print panic before grep ever fails the check.
+top_frame="$(cargo run -q --release -p nod-tui --features top --bin nod_top -- \
+    --sessions 16 --servers 1 --seed 5 --hold-ms 4000 --slos --once)"
+grep -q "nod-top — fleet window" <<< "$top_frame"
 
 echo "All checks passed."
