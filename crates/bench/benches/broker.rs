@@ -12,7 +12,7 @@ use std::hint::black_box;
 
 use nod_bench::micro::Micro;
 use nod_bench::World;
-use nod_broker::{Broker, BrokerConfig, FaultPlan, SessionSpec};
+use nod_broker::{Broker, BrokerConfig, EventRetention, FleetSpec, SessionSpec};
 use nod_client::ClientMachine;
 use nod_cmfs::Guarantee;
 use nod_mmdoc::{ClientId, DocumentId};
@@ -78,7 +78,7 @@ fn main() {
             hold_ms: Some(1),
         }];
         m.bench("b9_broker_dispatch_idle", || {
-            black_box(broker.run(&specs, &FaultPlan::none()))
+            black_box(broker.drive(&FleetSpec::new(&specs)))
         });
     }
 
@@ -90,8 +90,9 @@ fn main() {
     m.metric("b9_starved", r.starved as f64);
     m.metric("b9_leaked_streams", r.leaked_streams as f64);
 
-    // Real-thread stress smoke: 32 sessions over 4 OS threads racing the
-    // shared farm; records what got through and that nothing leaked.
+    // Real-thread stress smoke: 32 sessions with 4 worker shards
+    // prefetching prepares; records what got through and that nothing
+    // leaked.
     {
         let w = nod_bench::standard_world(10, 8, 2, 4);
         let cx = ctx(&w);
@@ -118,10 +119,17 @@ fn main() {
                 ..BrokerConfig::era_default()
             },
         );
-        let (admitted, leaked) = broker.run_threaded(&specs, 4);
-        assert_eq!(leaked, 0, "threaded broker stress leaked capacity");
-        m.metric("b9_threaded_admitted", admitted as f64);
-        m.metric("b9_threaded_leaked", leaked as f64);
+        let report = broker.drive(
+            &FleetSpec::new(&specs)
+                .workers(4)
+                .retention(EventRetention::CountsOnly),
+        );
+        assert_eq!(
+            report.leaked_streams, 0,
+            "threaded broker stress leaked capacity"
+        );
+        m.metric("b9_threaded_admitted", report.admitted as f64);
+        m.metric("b9_threaded_leaked", report.leaked_streams as f64);
     }
 
     m.report();

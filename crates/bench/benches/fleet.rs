@@ -1,0 +1,141 @@
+//! B12 — city-scale broker sweep.
+//!
+//! Drives the metro fleet (see [`nod_bench::MetroFleet`]) through
+//! `Broker::drive` at 1k/10k/100k/1M sessions and reports sessions/sec
+//! and peak RSS per scale. Two contracts gate the sweep:
+//!
+//! * **Deterministic merge**: at the identity scale (10k fast / 100k
+//!   full) the same fleet is driven at 1, 2 and 8 workers with full
+//!   event retention, and the outcome logs must be byte-identical —
+//!   worker shards may only change wall-clock, never the story.
+//! * **Bounded memory**: every scale must drain with zero leaked
+//!   reservations, and the top scale runs under windowed retention so
+//!   live memory tracks peak *concurrent* sessions (the slab arena),
+//!   not the offered total — that is what lets 1M sessions fit in a few
+//!   hundred MB.
+//!
+//! `NOD_BENCH_FAST=1` caps the sweep at 10k sessions for CI; the full
+//! sweep (about four minutes of driving, single-core) is for
+//! publication numbers. Peak RSS is a process-lifetime high-water mark,
+//! so scales run smallest-first and each scale's reading is attributable
+//! to it.
+//!
+//! On a single-core host the worker axis cannot shorten wall-clock —
+//! the 8-worker rows measure coordination overhead, and the merge
+//! assert is what the axis is for. On multicore, prepare (steps 1–4,
+//! the bulk of per-session CPU) fans out across the shards.
+
+use nod_bench::micro::Micro;
+use nod_bench::{peak_rss_kb, MetroFleet};
+use nod_broker::{Broker, BrokerConfig, BrokerReport, EventRetention, FleetSpec};
+use nod_cmfs::Guarantee;
+use nod_qosneg::negotiate::{NegotiationContext, StreamingMode};
+use nod_qosneg::ClassificationStrategy;
+
+const SEED: u64 = 12;
+const WORKERS: usize = 8;
+
+fn ctx(fleet: &MetroFleet) -> NegotiationContext<'_> {
+    NegotiationContext {
+        catalog: &fleet.catalog,
+        farm: &fleet.farm,
+        network: &fleet.network,
+        cost_model: &fleet.cost,
+        strategy: ClassificationStrategy::SnsThenOif,
+        guarantee: Guarantee::Guaranteed,
+        enumeration_cap: 500_000,
+        jitter_buffer_ms: 2_000,
+        prune_dominated: false,
+        streaming: StreamingMode::Auto,
+        recorder: None,
+    }
+}
+
+/// Drive `sessions` once and fold the throughput row into the metrics.
+fn sweep_scale(m: &mut Micro, sessions: usize, retention: EventRetention) -> BrokerReport {
+    let fleet = MetroFleet::build(SEED, sessions);
+    let specs = fleet.specs();
+    let broker = Broker::new(ctx(&fleet), BrokerConfig::era_default());
+    let t0 = std::time::Instant::now();
+    let report = broker.drive(&FleetSpec::new(&specs).workers(WORKERS).retention(retention));
+    let wall = t0.elapsed();
+    assert_eq!(
+        report.leaked_streams, 0,
+        "B12: {sessions}-session sweep leaked streams"
+    );
+
+    let prefix = format!("b12_fleet/{sessions}");
+    m.metric(
+        &format!("{prefix}/sessions_per_sec"),
+        sessions as f64 / wall.as_secs_f64(),
+    );
+    m.metric(&format!("{prefix}/wall_s"), wall.as_secs_f64());
+    m.metric(&format!("{prefix}/admission_ratio"), report.admission_ratio);
+    m.metric(&format!("{prefix}/retries"), report.retries as f64);
+    m.metric(
+        &format!("{prefix}/peak_live_sessions"),
+        report.peak_live_sessions as f64,
+    );
+    if let Some(kb) = peak_rss_kb() {
+        m.metric(&format!("{prefix}/peak_rss_mb"), kb as f64 / 1024.0);
+    }
+    report
+}
+
+/// Drive the identity scale at 1/2/8 workers with the full event log and
+/// assert the logs are byte-identical.
+fn assert_identity(m: &mut Micro, sessions: usize) {
+    let fleet = MetroFleet::build(SEED, sessions);
+    let specs = fleet.specs();
+    let broker = Broker::new(ctx(&fleet), BrokerConfig::era_default());
+    let mut baseline: Option<BrokerReport> = None;
+    for workers in [1usize, 2, 8] {
+        let report = broker.drive(&FleetSpec::new(&specs).workers(workers));
+        assert_eq!(report.leaked_streams, 0);
+        match &baseline {
+            None => baseline = Some(report),
+            Some(b) => {
+                assert_eq!(
+                    b.events, report.events,
+                    "B12: outcome log diverged at {workers} workers ({sessions} sessions)"
+                );
+                assert_eq!(b.results, report.results);
+            }
+        }
+    }
+    let events = baseline.expect("three runs").events.len();
+    m.metric("b12_identity/sessions", sessions as f64);
+    m.metric("b12_identity/workers_checked", 3.0);
+    m.metric("b12_identity/events", events as f64);
+}
+
+fn main() {
+    let fast = std::env::var("NOD_BENCH_FAST").is_ok_and(|v| v == "1");
+    let mut m = Micro::new();
+
+    // Smallest scale first: peak RSS is a lifetime high-water mark, so
+    // each scale's reading belongs to it (or an earlier, smaller one).
+    let scales: &[(usize, EventRetention)] = if fast {
+        &[
+            (1_000, EventRetention::Full),
+            (10_000, EventRetention::Full),
+        ]
+    } else {
+        &[
+            (1_000, EventRetention::Full),
+            (10_000, EventRetention::Full),
+            (100_000, EventRetention::Full),
+            // The top scale keeps windowed aggregates only: the point is
+            // that 1M offered sessions run in memory proportional to the
+            // ~38k peak-live slab, not the offered total.
+            (1_000_000, EventRetention::WindowsOnly),
+        ]
+    };
+    for &(sessions, retention) in scales {
+        sweep_scale(&mut m, sessions, retention);
+    }
+
+    assert_identity(&mut m, if fast { 10_000 } else { 100_000 });
+
+    m.report();
+}

@@ -1,9 +1,9 @@
 //! B11 — fleet telemetry at scale.
 //!
-//! The throughput broker (`Broker::run_threaded`) carries the full
-//! telemetry stack — per-thread recorder shards, tail-based trace
-//! sampling, SLO-ready counters — and that stack must hold three
-//! promises at fleet size:
+//! The sharded broker engine (`Broker::drive` with worker shards)
+//! carries the full telemetry stack — per-thread recorder shards,
+//! tail-based trace sampling, SLO-ready counters — and that stack must
+//! hold three promises at fleet size:
 //!
 //! * **Determinism**: the same seed yields a byte-identical merged
 //!   metrics snapshot whether the fleet runs on 1, 2 or 8 worker
@@ -23,9 +23,9 @@ use std::collections::BTreeSet;
 
 use nod_bench::micro::Micro;
 use nod_obs::{Recorder, RetentionPolicy, Tracer};
-use nod_workload::{run_threaded_contended, ContendedConfig};
+use nod_workload::{run_contended_with, ContendedConfig};
 
-const THREADS: usize = 4;
+const WORKERS: usize = 4;
 
 /// The determinism/retention fleet: one server, long holds — heavy
 /// retry pressure, so the ticketed commit order and the tail sampler
@@ -81,21 +81,30 @@ fn main() {
     // recorder a replay unit rather than a best-effort aggregate.
     let det_cfg = config(if fast { 128 } else { 1_024 });
     let mut snapshots = Vec::new();
-    for threads in [1usize, 2, 8] {
-        let (rec, _tracer) = instrumented(threads.max(2));
-        let (admitted, leaked) = run_threaded_contended(&det_cfg, Some(&rec), threads);
-        snapshots.push((threads, admitted, leaked, rec.snapshot().to_json_pretty()));
+    for workers in [1usize, 2, 8] {
+        let (rec, _tracer) = instrumented(workers.max(2));
+        let cfg = ContendedConfig {
+            workers,
+            ..det_cfg.clone()
+        };
+        let (result, _) = run_contended_with(&cfg, Some(&rec));
+        snapshots.push((
+            workers,
+            result.admitted,
+            result.leaked_streams,
+            rec.snapshot().to_json_pretty(),
+        ));
     }
     let (_, admitted0, leaked0, snap0) = &snapshots[0];
-    for (threads, admitted, leaked, snap) in &snapshots[1..] {
+    for (workers, admitted, leaked, snap) in &snapshots[1..] {
         assert_eq!(
             (admitted, leaked),
             (admitted0, leaked0),
-            "admission outcome diverged at {threads} threads"
+            "admission outcome diverged at {workers} workers"
         );
         assert_eq!(
             snap, snap0,
-            "merged snapshot diverged from the 1-thread run at {threads} threads"
+            "merged snapshot diverged from the 1-worker run at {workers} workers"
         );
     }
     m.metric("b11_determinism/threads_checked", 3.0);
@@ -103,9 +112,13 @@ fn main() {
 
     // Retention: run the fleet with tail sampling and audit the
     // sampler's ledger against the broker's admission count.
-    let ret_cfg = config(if fast { 256 } else { 2_048 });
-    let (rec, tracer) = instrumented(THREADS);
-    let (admitted, _) = run_threaded_contended(&ret_cfg, Some(&rec), THREADS);
+    let ret_cfg = ContendedConfig {
+        workers: WORKERS,
+        ..config(if fast { 256 } else { 2_048 })
+    };
+    let (rec, tracer) = instrumented(WORKERS);
+    let (ret_result, _) = run_contended_with(&ret_cfg, Some(&rec));
+    let admitted = ret_result.admitted;
     let stats = tracer
         .retention_stats()
         .expect("sampling tracer reports stats");
@@ -143,10 +156,13 @@ fn main() {
     // Each pair yields one disabled/instrumented ratio — machine-load
     // drift cancels within a pair — and the asserted statistic is the
     // median of those ratios, so a single noisy pair cannot fail the run.
-    let cfg = overhead_config(if fast { 512 } else { 10_000 });
+    let cfg = ContendedConfig {
+        workers: WORKERS,
+        ..overhead_config(if fast { 512 } else { 10_000 })
+    };
     let run_disabled = || {
-        let (admitted, leaked) = run_threaded_contended(&cfg, None, THREADS);
-        std::hint::black_box((admitted, leaked));
+        let (result, _) = run_contended_with(&cfg, None);
+        std::hint::black_box((result.admitted, result.leaked_streams));
     };
     run_disabled(); // warm the disabled path
     let pairs = if fast { 3 } else { 15 };
@@ -157,11 +173,11 @@ fn main() {
         let t0 = std::time::Instant::now();
         run_disabled();
         let disabled = t0.elapsed().as_nanos() as f64;
-        let (rec, tracer) = instrumented(THREADS);
+        let (rec, tracer) = instrumented(WORKERS);
         let t0 = std::time::Instant::now();
-        let (admitted, leaked) = run_threaded_contended(&cfg, Some(&rec), THREADS);
+        let (result, _) = run_contended_with(&cfg, Some(&rec));
         let telemetry = t0.elapsed().as_nanos() as f64;
-        std::hint::black_box((admitted, leaked));
+        std::hint::black_box((result.admitted, result.leaked_streams));
         std::hint::black_box(tracer.drain().len());
         if i > 0 {
             // pair 0 warms the instrumented path and is discarded

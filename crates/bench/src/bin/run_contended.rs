@@ -34,7 +34,7 @@ use nod_workload::{run_contended_with, ContendedConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: run_contended [--sessions N] [--servers N] [--clients N] [--seed N] \
-         [--faults N] [--arrivals-per-minute F] [--hold-ms N] [--choice-period MS] \
+         [--workers N] [--faults N] [--arrivals-per-minute F] [--hold-ms N] [--choice-period MS] \
          [--trace-out <path>] [--trace-report] [--chrome-out <path>] [--metrics-out <path>] \
          [--prom-out <path>] [--windows-out <dir>] [--window-ms N] [--slos]"
     );
@@ -74,6 +74,7 @@ fn main() {
             "--servers" => config.servers = parse(&mut it, "--servers"),
             "--clients" => config.clients = parse(&mut it, "--clients"),
             "--seed" => config.seed = parse(&mut it, "--seed"),
+            "--workers" => config.workers = parse(&mut it, "--workers"),
             "--faults" => config.fault_windows = parse(&mut it, "--faults"),
             "--arrivals-per-minute" => {
                 config.arrivals_per_minute = parse(&mut it, "--arrivals-per-minute")

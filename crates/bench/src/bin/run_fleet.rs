@@ -1,0 +1,129 @@
+//! Drive a metro-scale fleet through `Broker::drive` and report
+//! throughput.
+//!
+//! ```text
+//! cargo run --release -p nod-bench --bin run_fleet -- \
+//!     --sessions 10000 --workers 8 --assert-merge
+//! ```
+//!
+//! Builds the B12 metro world (see [`nod_bench::MetroFleet`]), drives
+//! every session to a terminal fate, and prints sessions/sec, admission
+//! ratio, peak live sessions and peak RSS. `--assert-merge` re-runs the
+//! same fleet at 1 worker and asserts the outcome logs are byte-identical
+//! — the deterministic-merge contract the CI smoke gates on. Any leaked
+//! stream is fatal.
+
+use nod_bench::MetroFleet;
+use nod_broker::{Broker, BrokerConfig, EventRetention, FleetSpec};
+use nod_cmfs::Guarantee;
+use nod_qosneg::negotiate::{NegotiationContext, StreamingMode};
+use nod_qosneg::ClassificationStrategy;
+
+fn usage() -> ! {
+    eprintln!("usage: run_fleet [--sessions N] [--workers N] [--seed N] [--assert-merge]");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    match it.next().and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("error: {flag} needs a value");
+            usage()
+        }
+    }
+}
+
+fn ctx(fleet: &MetroFleet) -> NegotiationContext<'_> {
+    NegotiationContext {
+        catalog: &fleet.catalog,
+        farm: &fleet.farm,
+        network: &fleet.network,
+        cost_model: &fleet.cost,
+        strategy: ClassificationStrategy::SnsThenOif,
+        guarantee: Guarantee::Guaranteed,
+        enumeration_cap: 500_000,
+        jitter_buffer_ms: 2_000,
+        prune_dominated: false,
+        streaming: StreamingMode::Auto,
+        recorder: None,
+    }
+}
+
+fn main() {
+    let mut sessions = 10_000usize;
+    let mut workers = 8usize;
+    let mut seed = 12u64;
+    let mut assert_merge = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sessions" => sessions = parse(&mut it, "--sessions"),
+            "--workers" => workers = parse(&mut it, "--workers"),
+            "--seed" => seed = parse(&mut it, "--seed"),
+            "--assert-merge" => assert_merge = true,
+            _ => usage(),
+        }
+    }
+
+    let fleet = MetroFleet::build(seed, sessions);
+    let specs = fleet.specs();
+    println!(
+        "fleet: {} sessions over {} servers, {} workers, seed {}",
+        sessions,
+        fleet.servers(),
+        workers,
+        seed
+    );
+
+    let broker = Broker::new(ctx(&fleet), BrokerConfig::era_default());
+    let retention = if assert_merge {
+        // Keep the raw log: it is what the merge assert compares.
+        EventRetention::Full
+    } else {
+        EventRetention::WindowsOnly
+    };
+    let t0 = std::time::Instant::now();
+    let report = broker.drive(&FleetSpec::new(&specs).workers(workers).retention(retention));
+    let wall = t0.elapsed();
+
+    assert_eq!(report.leaked_streams, 0, "fleet run leaked streams");
+    let rate = sessions as f64 / wall.as_secs_f64();
+    println!(
+        "drained in {:.2?}: {:.0} sessions/sec  admitted {:.1}%  starved {}  retries {}",
+        wall,
+        rate,
+        100.0 * report.admission_ratio,
+        report.starved,
+        report.retries,
+    );
+    println!(
+        "peak live sessions {}  latency p50 {:.0} ms p99 {:.0} ms{}",
+        report.peak_live_sessions,
+        report.latency.p50,
+        report.latency.p99,
+        nod_bench::peak_rss_kb()
+            .map(|kb| format!("  peak RSS {:.0} MB", kb as f64 / 1024.0))
+            .unwrap_or_default(),
+    );
+
+    if assert_merge {
+        let t0 = std::time::Instant::now();
+        let sequential = broker.drive(&FleetSpec::new(&specs).workers(1));
+        let wall1 = t0.elapsed();
+        assert_eq!(
+            sequential.leaked_streams, 0,
+            "sequential run leaked streams"
+        );
+        assert_eq!(
+            report.events, sequential.events,
+            "outcome log diverged between {workers} workers and 1"
+        );
+        assert_eq!(report.results, sequential.results);
+        println!(
+            "merge assert OK: {} events byte-identical at {workers} workers vs 1 (sequential {:.2?})",
+            report.events.len(),
+            wall1,
+        );
+    }
+}

@@ -5,9 +5,11 @@
 //! paper-vs-measured record). The binaries print plain-text tables through
 //! [`Table`] so their output is diffable run-to-run.
 
+pub mod fleet;
 pub mod flush;
 pub mod micro;
 
+pub use fleet::MetroFleet;
 pub use flush::FlushGuard;
 
 use nod_cmfs::{ServerConfig, ServerFarm};
@@ -106,6 +108,19 @@ pub fn standard_world(seed: u64, documents: usize, servers: usize, clients: usiz
         )),
         cost: CostModel::era_default(),
     }
+}
+
+/// The process's peak resident set size (VmHWM), in kilobytes.
+///
+/// Linux-only (`/proc/self/status`); returns `None` elsewhere. The value
+/// is a process-lifetime high-water mark, so in a sweep that runs several
+/// scales in one process only increases are attributable to the scale
+/// that caused them — run the largest scale last or fork per scale when
+/// exact per-scale numbers matter.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// Format a float with three decimals.

@@ -1,26 +1,37 @@
 //! The concurrent negotiation broker.
 //!
-//! [`Broker::run`] drives N sessions against one shared
-//! [`ServerFarm`](nod_cmfs::ServerFarm) + [`Network`](nod_netsim::Network)
-//! on a deterministic virtual-time event loop
-//! ([`EventQueue`](nod_simcore::EventQueue)): arrivals, jittered retries
-//! of FAILEDTRYLATER refusals, departures that release held resources,
-//! and [`FaultPlan`] window edges. Per-session RNGs are pre-split from
-//! the config seed by session index, so backoff jitter is independent of
-//! processing interleavings — the same seed, specs and fault plan replay
-//! the identical [`OutcomeEvent`] sequence bit for bit.
+//! [`Broker::drive`] is the engine: it drives a [`FleetSpec`]'s sessions
+//! against one shared [`ServerFarm`](nod_cmfs::ServerFarm) +
+//! [`Network`](nod_netsim::Network) on a deterministic virtual-time event
+//! loop — arrivals, jittered retries of FAILEDTRYLATER refusals,
+//! departures that release held resources, and [`FaultPlan`] window
+//! edges. Per-session RNGs are pre-split from the config seed by session
+//! index and live session state sits in a recycled [`Slab`](crate::Slab)
+//! arena, so memory tracks the *peak concurrent* session count while the
+//! same seed, specs and fault plan replay the identical [`OutcomeEvent`]
+//! sequence bit for bit.
 //!
-//! [`Broker::run_threaded`] is the complementary *throughput* mode: real
-//! OS threads race the negotiation pipeline against the same shared
-//! farm/network. Steps 1–4 ([`prepare`]) read only the catalog and static
-//! topology, so they run truly in parallel; the step-5 commit walks — the
-//! only part that touches live capacity — are serialized in session order
-//! behind a ticket, and the recorder clock is pinned, so the same seed
-//! and specs produce the same admissions, counters and merged metric
-//! snapshot at every thread count (see the sharded
-//! [`Recorder`](nod_obs::Recorder) determinism contract).
+//! Scale comes from the prepare/commit split: negotiation steps 1–4
+//! ([`prepare`]) read only the catalog and static topology, so with
+//! [`FleetSpec::workers`] > 1 they are prefetched by a pool of worker
+//! shards (arrivals in arrival order ahead of the clock, same-tick
+//! retries as a batch), while the step-5 commit walks — the only part
+//! that touches live farm/network capacity — stay on the coordinator in
+//! exact event order. Worker-side instrumentation is pinned to each
+//! event's virtual time ([`Recorder::pin_sim_time_us`]), so the outcome
+//! log is byte-identical at every worker count and a sharded
+//! [`Recorder`](nod_obs::Recorder)'s merged snapshot doesn't depend on
+//! the thread count either. The cost of uniformity: `drive` always takes
+//! the eagerly-classified prepare path (never the lazy streaming
+//! engine), trading some single-worker throughput for a counter stream
+//! that cannot depend on how many workers ran.
+//!
+//! [`Broker::run`] and [`Broker::run_threaded`] survive as deprecated
+//! shims over `drive`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use nod_client::ClientMachine;
 use nod_cmfs::{Guarantee, StreamRequirement};
@@ -28,15 +39,19 @@ use nod_mmdoc::{DocumentId, VariantId};
 use nod_obs::{
     HistogramSnapshot, Recorder, SloAlert, SloMonitor, SloSpec, Span, Tracer, ValueHistogram,
 };
+use nod_qosneg::classify::ScoredOffer;
 use nod_qosneg::negotiate::{
-    commit_prepared, prepare, CommitFailure, NegotiationContext, Prepared, SessionReservation,
+    commit_prepared, prepare, CommitFailure, NegotiationContext, NegotiationTrace, Prepared,
+    SessionReservation,
 };
-use nod_qosneg::{NegotiationRequest, NegotiationStatus, RetryPolicy, Session, UserProfile};
-use nod_simcore::sync::Sharded;
+use nod_qosneg::{NegotiationStatus, QosError, RetryPolicy, Session, UserProfile};
 use nod_simcore::{EventQueue, SimTime, StreamRng};
 
 use crate::audit::CapacitySnapshot;
 use crate::fault::FaultPlan;
+use crate::fleet::{EventRetention, FleetSpec};
+use crate::slab::Slab;
+use crate::windows::{FleetWindow, WindowAccumulator};
 
 /// Broker-level policy knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -187,8 +202,13 @@ pub enum OutcomeKind {
 pub struct BrokerReport {
     /// Per-session results, in spec order.
     pub results: Vec<SessionResult>,
-    /// Chronological outcome log (the replay unit).
+    /// Chronological outcome log (the replay unit). Empty when the
+    /// [`FleetSpec`]'s retention policy drops it
+    /// ([`EventRetention::WindowsOnly`] / [`EventRetention::CountsOnly`]).
     pub events: Vec<OutcomeEvent>,
+    /// Tumbling fleet-window rows ([`FleetSpec::windows`]); empty when no
+    /// window cadence was configured.
+    pub windows: Vec<FleetWindow>,
     /// Sessions admitted (degraded included).
     pub admitted: usize,
     /// Admitted sessions that took a degraded offer.
@@ -210,29 +230,34 @@ pub struct BrokerReport {
     pub leaked_streams: usize,
     /// `admitted / sessions`.
     pub admission_ratio: f64,
+    /// High-water mark of concurrently in-flight sessions — the slab
+    /// arena's occupancy peak, which is what bounds live memory at fleet
+    /// scale.
+    pub peak_live_sessions: usize,
     /// End-to-end session latency (arrival → terminal event), ms. Exact
     /// moments; log-bucketed p50/p90/p95/p99 (≤1% relative error at any
     /// session count, and mergeable across runs).
     pub latency: HistogramSnapshot,
-    /// SLO burn alerts fired during the run ([`Broker::with_slos`]);
-    /// empty when no objectives were configured.
+    /// SLO burn alerts fired during the run ([`FleetSpec::slos`] /
+    /// [`Broker::with_slos`]); empty when no objectives were configured.
     pub slo_alerts: Vec<SloAlert>,
 }
 
+/// Runtime-scheduled events. Fault edges and arrivals are known up front
+/// and merged in from sorted lists instead of occupying heap slots.
 enum Ev {
-    FaultEdge,
-    Arrival(usize),
     Retry(usize),
     Confirm(usize),
     Departure(usize),
     InjectLeak,
 }
 
-struct SessState {
+/// Live state of an in-flight session — slab-resident from first arrival
+/// until its resources drain.
+struct LiveSession {
     attempts: u32,
     rng: StreamRng,
     reservation: Option<SessionReservation>,
-    result: Option<SessionResult>,
     /// Degraded flag of an admission awaiting user confirmation.
     pending_admit: Option<bool>,
     /// Latency recorded and session span closed.
@@ -241,6 +266,30 @@ struct SessState {
     session_span: Option<Span>,
     backoff_span: Option<Span>,
     confirm_span: Option<Span>,
+}
+
+/// A prepared negotiation, in the thread-portable shape the prefetch
+/// pool hands back to the coordinator.
+enum Prep {
+    /// Steps 1–4 ended before step 5 (local failure / no feasible offer);
+    /// only the terminal status matters to the broker.
+    Early(NegotiationStatus),
+    /// The classified offer list, ready for a step-5 commit walk.
+    Offers(Vec<ScoredOffer>, NegotiationTrace),
+    /// The negotiation itself failed (stringified [`QosError`], matching
+    /// what [`Session::submit`] would have returned).
+    Failed(String),
+}
+
+/// Run steps 1–4 for one spec. Reads only the catalog and static
+/// topology, so the result is independent of in-flight commits — safe to
+/// run on any thread, ahead of the virtual clock.
+fn prepare_session(ctx: &NegotiationContext<'_>, spec: &SessionSpec<'_>) -> Prep {
+    match prepare(ctx, spec.client, spec.document, spec.profile) {
+        Err(err) => Prep::Failed(QosError::from(err).to_string()),
+        Ok(Prepared::Early(out)) => Prep::Early(out.status),
+        Ok(Prepared::Offers(ordered, trace)) => Prep::Offers(ordered, trace),
+    }
 }
 
 /// Classify a FAILEDTRYLATER's commit failures by what the session will
@@ -273,6 +322,147 @@ fn fate_label(fate: SessionFate) -> &'static str {
     }
 }
 
+/// How many arrivals each worker keeps prepared ahead of the clock.
+const ARRIVAL_PREFETCH_PER_WORKER: usize = 32;
+
+struct PrefetchJob {
+    session: u32,
+    /// The event's virtual instant, µs — what worker-side spans and sink
+    /// events are stamped with ([`Recorder::pin_sim_time_us`]).
+    at_us: u64,
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Cursor into the arrival order: jobs issued so far.
+    next_arrival: usize,
+    /// Same-tick retry re-prepares; serviced before arrivals so the
+    /// coordinator never stalls behind the prefetch window.
+    retries: VecDeque<PrefetchJob>,
+    /// Finished prepares, keyed by session (at most one in flight per
+    /// session at any instant).
+    done: HashMap<u32, Prep>,
+    /// Arrival jobs issued but not yet consumed by the coordinator —
+    /// bounds the memory held in `done`.
+    outstanding_arrivals: usize,
+    shutdown: bool,
+}
+
+/// The worker-shard pool: prefetches [`prepare_session`] results while
+/// the coordinator's event loop commits in exact event order.
+///
+/// Arrivals are issued in the same (arrival, index) order the event loop
+/// consumes them, so the coordinator only ever waits on a job that has
+/// already been issued — the handoff cannot deadlock. Workers never
+/// resume traces (prepare-stage trace events are coordinator-only at
+/// workers = 1); their counters and span histograms land in the
+/// recorder with pinned virtual timestamps, keeping the merged snapshot
+/// independent of the worker count.
+struct PrefetchPool<'o> {
+    /// `(session index, arrival_ms)` in consumption order.
+    order: &'o [(u32, u64)],
+    window: usize,
+    state: Mutex<PoolState>,
+    /// Signalled when work appears (retry batch, freed window slot,
+    /// shutdown).
+    work: Condvar,
+    /// Signalled when a prepare finishes.
+    ready: Condvar,
+}
+
+impl<'o> PrefetchPool<'o> {
+    fn new(order: &'o [(u32, u64)], workers: usize) -> Self {
+        PrefetchPool {
+            order,
+            window: (workers * ARRIVAL_PREFETCH_PER_WORKER).clamp(workers, 1_024),
+            state: Mutex::new(PoolState::default()),
+            work: Condvar::new(),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Lock the pool state, shrugging off poisoning: a panicking peer is
+    /// already unwinding the run, and the state itself is always
+    /// consistent between mutations.
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Worker-shard loop: drain retry batches first, then prefetch
+    /// arrivals up to the window, park when neither is available.
+    fn work(&self, broker: &Broker<'_>, specs: &[SessionSpec<'_>]) {
+        loop {
+            let job = {
+                let mut st = self.lock();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if let Some(job) = st.retries.pop_front() {
+                        break job;
+                    }
+                    if st.next_arrival < self.order.len() && st.outstanding_arrivals < self.window {
+                        let (session, at_ms) = self.order[st.next_arrival];
+                        st.next_arrival += 1;
+                        st.outstanding_arrivals += 1;
+                        break PrefetchJob {
+                            session,
+                            at_us: at_ms.saturating_mul(1_000),
+                        };
+                    }
+                    st = self.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let spec = &specs[job.session as usize];
+            let prep = {
+                let _pin = broker.recorder.map(|r| r.pin_sim_time_us(job.at_us));
+                prepare_session(broker.session.context(), spec)
+            };
+            let mut st = self.lock();
+            st.done.insert(job.session, prep);
+            drop(st);
+            self.ready.notify_all();
+        }
+    }
+
+    /// Hand the pool one tick's worth of retry re-prepares.
+    fn enqueue_retries(&self, jobs: &[(u32, u64)]) {
+        if jobs.is_empty() {
+            return;
+        }
+        let mut st = self.lock();
+        for &(session, at_ms) in jobs {
+            st.retries.push_back(PrefetchJob {
+                session,
+                at_us: at_ms.saturating_mul(1_000),
+            });
+        }
+        drop(st);
+        self.work.notify_all();
+    }
+
+    /// Block until `session`'s prepare is done and take it.
+    fn take(&self, session: u32, arrival: bool) -> Prep {
+        let mut st = self.lock();
+        loop {
+            if let Some(prep) = st.done.remove(&session) {
+                if arrival {
+                    st.outstanding_arrivals -= 1;
+                    drop(st);
+                    self.work.notify_all();
+                }
+                return prep;
+            }
+            st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.work.notify_all();
+    }
+}
+
 /// The broker: a [`Session`] facade plus contention policy.
 pub struct Broker<'a> {
     session: Session<'a>,
@@ -293,10 +483,11 @@ impl<'a> Broker<'a> {
         }
     }
 
-    /// Monitor `slos` during [`Broker::run`]: every terminal session
-    /// feeds an [`SloMonitor`] on the virtual clock, burning windows and
-    /// alerts land in the recorder (`slo.window.burning`, `slo.alert`),
-    /// the first alert dumps the flight recorder, and every alert is
+    /// Monitor `slos` during [`Broker::drive`] (unless the
+    /// [`FleetSpec`] carries its own): every terminal session feeds an
+    /// [`SloMonitor`] on the virtual clock, burning windows and alerts
+    /// land in the recorder (`slo.window.burning`, `slo.alert`), the
+    /// first alert dumps the flight recorder, and every alert is
     /// returned in [`BrokerReport::slo_alerts`].
     pub fn with_slos(mut self, slos: Vec<SloSpec>) -> Self {
         self.slos = slos;
@@ -330,258 +521,203 @@ impl<'a> Broker<'a> {
         })
     }
 
-    /// Drive every spec to a terminal fate on the virtual clock.
+    /// Drive every session of `fleet` to a terminal fate on the virtual
+    /// clock and return the full [`BrokerReport`].
     ///
-    /// Deterministic: the event queue breaks time ties by schedule order,
-    /// and each session draws jitter from its own pre-split RNG, so the
-    /// returned [`BrokerReport::events`] log replays exactly for a given
-    /// (seed, specs, faults) triple.
-    pub fn run(&self, specs: &[SessionSpec<'_>], faults: &FaultPlan) -> BrokerReport {
+    /// This is the engine behind both the old sequential `run` and the
+    /// old threaded stress mode. Determinism contract: the outcome log
+    /// replays bit for bit for a given (seed, specs, faults) triple **at
+    /// every worker count** — [`FleetSpec::workers`] shards only the
+    /// load-independent prepare stage, commits happen on the coordinator
+    /// in exact event order, and each session draws jitter from its own
+    /// pre-split RNG. With a sharded [`Recorder`](nod_obs::Recorder)
+    /// attached, the merged metric snapshot is byte-identical at every
+    /// worker count too.
+    pub fn drive(&self, fleet: &FleetSpec<'_>) -> BrokerReport {
+        let specs = fleet.sessions;
+        // Arrival consumption order: (arrival_ms, spec index) — exactly
+        // how the legacy single queue broke ties. Shared with the
+        // prefetch pool so issue order equals consumption order.
+        let mut order: Vec<(u32, u64)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.arrival_ms))
+            .collect();
+        order.sort_unstable_by_key(|&(i, at_ms)| (at_ms, i));
+
+        let workers = fleet.workers.max(1);
+        if workers == 1 || specs.len() < 2 {
+            return self.drive_loop(fleet, &order, None);
+        }
+        let pool = PrefetchPool::new(&order, workers);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let pool = &pool;
+                scope.spawn(move || pool.work(self, specs));
+            }
+            // Wake and stop the workers even if the event loop panics
+            // (the end-of-run audit debug_asserts on leaked capacity) —
+            // otherwise the scope would join forever.
+            struct Shutdown<'p, 'o>(&'p PrefetchPool<'o>);
+            impl Drop for Shutdown<'_, '_> {
+                fn drop(&mut self) {
+                    self.0.shutdown();
+                }
+            }
+            let _guard = Shutdown(&pool);
+            self.drive_loop(fleet, &order, Some(&pool))
+        })
+    }
+
+    /// The coordinator: one virtual-time event loop over three merged,
+    /// individually-sorted event streams — fault edges, arrivals, and
+    /// runtime-scheduled events — processing each tick as a batch.
+    fn drive_loop(
+        &self,
+        fleet: &FleetSpec<'_>,
+        order: &[(u32, u64)],
+        pool: Option<&PrefetchPool<'_>>,
+    ) -> BrokerReport {
+        let specs = fleet.sessions;
         let ctx = self.session.context();
         let before = CapacitySnapshot::capture(ctx.farm, ctx.network);
 
-        let mut queue: EventQueue<Ev> = EventQueue::new();
-        for &edge in &faults.edges_ms() {
-            queue.schedule(SimTime::from_millis(edge), Ev::FaultEdge);
-        }
-        let mut master = StreamRng::new(self.config.seed);
-        let mut sessions: Vec<SessState> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                queue.schedule(SimTime::from_millis(spec.arrival_ms), Ev::Arrival(i));
-                SessState {
-                    attempts: 0,
-                    rng: master.split(),
-                    reservation: None,
-                    result: None,
-                    pending_admit: None,
-                    closed: false,
-                    session_span: None,
-                    backoff_span: None,
-                    confirm_span: None,
-                }
-            })
-            .collect();
+        let none_plan;
+        let faults = match fleet.faults {
+            Some(plan) => plan,
+            None => {
+                none_plan = FaultPlan::none();
+                &none_plan
+            }
+        };
+        let fault_edges = faults.edges_ms();
+
+        let mut dynq: EventQueue<Ev> = EventQueue::new();
         if let Some(at_ms) = self.config.inject_leak_at_ms {
-            queue.schedule(SimTime::from_millis(at_ms), Ev::InjectLeak);
+            // Scheduled first: the lowest sequence number in the dynamic
+            // queue, so at its tick it pops ahead of same-tick retries —
+            // the same order the legacy single queue produced.
+            dynq.schedule(SimTime::from_millis(at_ms), Ev::InjectLeak);
         }
 
-        let tracer = self.tracer();
-        let mut events: Vec<OutcomeEvent> = Vec::new();
-        let mut latency = ValueHistogram::new();
-        let mut slo = SloMonitor::new(self.slos.clone());
-        let mut retries = 0u64;
-        let mut backoff_ms_total = 0u64;
-        let mut faults_injected = 0u64;
-        let mut end_ms = 0u64;
+        let mut master = StreamRng::new(self.config.seed);
+        let rngs: Vec<Option<StreamRng>> = specs.iter().map(|_| Some(master.split())).collect();
 
-        while let Some((at, ev)) = queue.pop() {
-            let now_ms = at.as_millis();
-            end_ms = end_ms.max(now_ms);
+        let slos = if fleet.slos.is_empty() {
+            self.slos.clone()
+        } else {
+            fleet.slos.clone()
+        };
+        let window_ms = fleet.effective_window_ms();
+        let tracer = self.tracer();
+        let mut state = DriveLoop {
+            broker: self,
+            specs,
+            pool,
+            tracer,
+            retention: fleet.retention,
+            dynq,
+            rngs,
+            live: Slab::new(),
+            slots: vec![u32::MAX; specs.len()],
+            results: vec![None; specs.len()],
+            peak_live: 0,
+            events: Vec::new(),
+            win_acc: (window_ms > 0).then(|| WindowAccumulator::new(window_ms)),
+            latency: ValueHistogram::new(),
+            slo: SloMonitor::new(slos),
+            retries: 0,
+            backoff_ms_total: 0,
+            faults_injected: 0,
+            retry_prep: BinaryHeap::new(),
+        };
+
+        let mut fi = 0usize; // next fault edge
+        let mut ai = 0usize; // next arrival (index into `order`)
+        let mut retry_batch: Vec<(u32, u64)> = Vec::new();
+        let mut end_ms = 0u64;
+        loop {
+            // The next tick: the earliest head of the three streams.
+            let mut t = u64::MAX;
+            if let Some(&edge) = fault_edges.get(fi) {
+                t = t.min(edge);
+            }
+            if let Some(&(_, at_ms)) = order.get(ai) {
+                t = t.min(at_ms);
+            }
+            if let Some(at) = state.dynq.peek_time() {
+                t = t.min(at.as_millis());
+            }
+            if t == u64::MAX {
+                break;
+            }
+            end_ms = end_ms.max(t);
             if let Some(rec) = self.recorder {
-                rec.set_sim_time_us(at.as_micros());
+                // One clock store per tick — every event in the batch
+                // shares the instant.
+                rec.set_sim_time_us(t.saturating_mul(1_000));
             }
-            // Per-session events run inside that session's trace window.
-            if let Some(t) = tracer {
+            // Hand this tick's retry re-prepares to the pool as one
+            // batch, so worker shards chew them in parallel while the
+            // coordinator commits in order.
+            if let Some(pool) = pool {
+                retry_batch.clear();
+                while let Some(&Reverse((fire_ms, session))) = state.retry_prep.peek() {
+                    if fire_ms > t {
+                        break;
+                    }
+                    state.retry_prep.pop();
+                    retry_batch.push((session, fire_ms));
+                }
+                pool.enqueue_retries(&retry_batch);
+            }
+            // Tick order replicates the legacy single queue's tie-break:
+            // fault edges (scheduled first), then arrivals in spec order,
+            // then runtime-scheduled events in schedule order. Handlers
+            // only ever schedule strictly-future events, so the batch
+            // bounds are stable.
+            while fault_edges.get(fi) == Some(&t) {
+                fi += 1;
+                state.fault_edge(faults, t);
+            }
+            while let Some(&(i, at_ms)) = order.get(ai) {
+                if at_ms != t {
+                    break;
+                }
+                ai += 1;
+                let i = i as usize;
+                if let Some(tr) = tracer {
+                    tr.resume(i as u64);
+                }
+                state.attempt(i, t, true);
+                if let Some(tr) = tracer {
+                    tr.suspend();
+                }
+            }
+            while state.dynq.peek_time().map(SimTime::as_millis) == Some(t) {
+                let (_, ev) = state.dynq.pop().expect("peeked event");
                 match ev {
-                    Ev::Arrival(i) | Ev::Retry(i) | Ev::Confirm(i) => t.resume(i as u64),
-                    _ => {}
-                }
-            }
-            let touched: Option<usize> = match ev {
-                Ev::FaultEdge => {
-                    faults.apply_state_at(ctx.farm, ctx.network, now_ms);
-                    let starts = faults
-                        .windows
-                        .iter()
-                        .filter(|w| w.from_ms == now_ms)
-                        .count() as u64;
-                    if starts > 0 {
-                        faults_injected += starts;
-                        self.counter("broker.faults.injected", starts);
-                    }
-                    events.push(OutcomeEvent {
-                        at_ms: now_ms,
-                        session: usize::MAX,
-                        kind: OutcomeKind::FaultEdge,
-                    });
-                    None
-                }
-                Ev::InjectLeak => {
-                    // Deliberately strand one stream so the end-of-run
-                    // audit trips (and, with a tracer, the flight recorder
-                    // dumps). Test-only, gated by the config hook.
-                    if let Some(&id) = ctx.farm.ids().first() {
-                        let req = StreamRequirement {
-                            variant: VariantId(u64::MAX),
-                            max_bit_rate: 8_000,
-                            avg_bit_rate: 8_000,
-                            max_block_bytes: 1_000,
-                            avg_block_bytes: 1_000,
-                            blocks_per_second: 1,
-                            guarantee: Guarantee::BestEffort,
-                        };
-                        if ctx.farm.try_reserve(id, req).is_ok() {
-                            self.counter("broker.chaos.leaks_injected", 1);
+                    Ev::Retry(i) => {
+                        if let Some(tr) = tracer {
+                            tr.resume(i as u64);
+                        }
+                        state.attempt(i, t, false);
+                        if let Some(tr) = tracer {
+                            tr.suspend();
                         }
                     }
-                    None
-                }
-                Ev::Arrival(i) | Ev::Retry(i) => {
-                    let spec = &specs[i];
-                    let st = &mut sessions[i];
-                    st.attempts += 1;
-                    if st.session_span.is_none() {
-                        st.session_span = self.recorder.and_then(|r| r.trace_span("session"));
-                    }
-                    if let Some(b) = st.backoff_span.take() {
-                        b.end();
-                    }
-                    let request = NegotiationRequest::new(spec.client, spec.document, spec.profile);
-                    let attempt_span = self.recorder.and_then(|r| r.trace_span("attempt"));
-                    let submitted = self.session.submit(&request);
-                    if let Some(a) = attempt_span {
-                        a.end();
-                    }
-                    let kind = match submitted {
-                        Ok(out) => match out.status {
-                            NegotiationStatus::Succeeded => {
-                                st.reservation = out.reservation;
-                                self.admit(i, st, spec, now_ms, false, &mut queue)
-                            }
-                            NegotiationStatus::FailedWithOffer => {
-                                if self.config.accept_degraded {
-                                    st.reservation = out.reservation;
-                                    self.admit(i, st, spec, now_ms, true, &mut queue)
-                                } else {
-                                    if let Some(res) = &out.reservation {
-                                        self.session.release(res);
-                                    }
-                                    self.finish(i, st, SessionFate::Rejected, None);
-                                    OutcomeKind::Rejected { status: out.status }
-                                }
-                            }
-                            NegotiationStatus::FailedTryLater => {
-                                let transient = out.commit_failures.is_empty()
-                                    || out.commit_failures.iter().any(|(_, f)| f.transient());
-                                self.try_later(
-                                    i,
-                                    st,
-                                    spec,
-                                    now_ms,
-                                    transient,
-                                    refusal_reason(&out.commit_failures),
-                                    out.status,
-                                    &mut queue,
-                                    &mut retries,
-                                    &mut backoff_ms_total,
-                                )
-                            }
-                            _ => {
-                                // FailedWithoutOffer, FailedWithLocalOffer
-                                // and any future status: terminal, nothing
-                                // reserved.
-                                self.finish(i, st, SessionFate::Rejected, None);
-                                OutcomeKind::Rejected { status: out.status }
-                            }
-                        },
-                        Err(err) => {
-                            self.finish(i, st, SessionFate::Errored, None);
-                            OutcomeKind::Errored {
-                                error: err.to_string(),
-                            }
+                    Ev::Confirm(i) => {
+                        if let Some(tr) = tracer {
+                            tr.resume(i as u64);
                         }
-                    };
-                    events.push(OutcomeEvent {
-                        at_ms: now_ms,
-                        session: i,
-                        kind,
-                    });
-                    Some(i)
-                }
-                Ev::Confirm(i) => {
-                    let spec = &specs[i];
-                    let st = &mut sessions[i];
-                    let degraded = st
-                        .pending_admit
-                        .take()
-                        .expect("Confirm fired without a pending admission");
-                    if let Some(rec) = self.recorder {
-                        rec.trace_point("confirm.decision", &[("decision", "accepted")]);
-                    }
-                    if let Some(c) = st.confirm_span.take() {
-                        c.end();
-                    }
-                    if st.reservation.is_some() {
-                        let hold = self.hold_ms(spec).max(1);
-                        queue.schedule(SimTime::from_millis(now_ms + hold), Ev::Departure(i));
-                    }
-                    self.finish(i, st, SessionFate::Admitted { degraded }, Some(now_ms));
-                    events.push(OutcomeEvent {
-                        at_ms: now_ms,
-                        session: i,
-                        kind: OutcomeKind::Confirmed,
-                    });
-                    Some(i)
-                }
-                Ev::Departure(i) => {
-                    let st = &mut sessions[i];
-                    if let Some(res) = st.reservation.take() {
-                        self.session.release(&res);
-                    }
-                    events.push(OutcomeEvent {
-                        at_ms: now_ms,
-                        session: i,
-                        kind: OutcomeKind::Departed,
-                    });
-                    None
-                }
-            };
-            // Terminal close-out: record latency once and close the
-            // session's trace span (outcome point first, while it is
-            // still the innermost open span).
-            if let Some(i) = touched {
-                let st = &mut sessions[i];
-                if !st.closed {
-                    if let Some(result) = &st.result {
-                        st.closed = true;
-                        let total_ms = now_ms.saturating_sub(specs[i].arrival_ms);
-                        latency.record(total_ms as f64);
-                        if let Some(rec) = self.recorder {
-                            rec.observe("broker.session_ms", total_ms as f64);
-                        }
-                        if let Some(rec) = self.recorder {
-                            rec.trace_point(
-                                "session.outcome",
-                                &[("fate", fate_label(result.fate))],
-                            );
-                        }
-                        if let Some(span) = st.session_span.take() {
-                            span.end();
-                        }
-                        let failed = !matches!(result.fate, SessionFate::Admitted { .. });
-                        let latency_ms = result
-                            .admitted_at_ms
-                            .map(|at| at.saturating_sub(specs[i].arrival_ms) as f64);
-                        slo.on_session(
-                            self.recorder,
-                            now_ms,
-                            latency_ms,
-                            failed,
-                            result.attempts as u64,
-                        );
-                        // Tail sampling: with a retention policy attached
-                        // the tracer keeps failures, the top-k slowest and
-                        // the seeded baseline, and drops the rest now.
-                        if let Some(t) = tracer {
-                            t.finish_session(i as u64, failed, total_ms.saturating_mul(1_000));
+                        state.confirm(i, t);
+                        if let Some(tr) = tracer {
+                            tr.suspend();
                         }
                     }
+                    Ev::Departure(i) => state.departure(i, t),
+                    Ev::InjectLeak => state.inject_leak(),
                 }
-            }
-            if let Some(t) = tracer {
-                t.suspend();
             }
         }
 
@@ -600,12 +736,12 @@ impl<'a> Broker<'a> {
             );
         }
 
-        let results: Vec<SessionResult> = sessions
+        let results: Vec<SessionResult> = state
+            .results
             .into_iter()
             .enumerate()
-            .map(|(i, st)| {
-                st.result
-                    .unwrap_or_else(|| unreachable!("session {i} never reached a terminal fate"))
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| unreachable!("session {i} never reached a terminal fate"))
             })
             .collect();
         let admitted = results
@@ -634,284 +770,444 @@ impl<'a> Broker<'a> {
             admitted as f64 / specs.len() as f64
         };
         if let Some(rec) = self.recorder {
-            rec.counter("broker.retries", retries);
-            rec.counter("broker.backoff_ms", backoff_ms_total);
+            rec.counter("broker.retries", state.retries);
+            rec.counter("broker.backoff_ms", state.backoff_ms_total);
             rec.counter("broker.sessions.starved", starved as u64);
             rec.gauge("broker.admission_ratio", admission_ratio);
+            rec.gauge("broker.peak_live_sessions", state.peak_live as f64);
         }
-        let slo_alerts = slo.finish(self.recorder, end_ms).to_vec();
+        let slo_alerts = state.slo.finish(self.recorder, end_ms).to_vec();
         BrokerReport {
             results,
-            events,
+            events: state.events,
+            windows: state
+                .win_acc
+                .map(WindowAccumulator::finish)
+                .unwrap_or_default(),
             admitted,
             degraded,
             starved,
             rejected,
             errored,
-            retries,
-            backoff_ms_total,
-            faults_injected,
+            retries: state.retries,
+            backoff_ms_total: state.backoff_ms_total,
+            faults_injected: state.faults_injected,
             leaked_streams,
             admission_ratio,
-            latency: latency.snapshot(),
+            peak_live_sessions: state.peak_live,
+            latency: latency_snapshot(state.latency),
             slo_alerts,
         }
     }
 
-    fn admit(
-        &self,
-        i: usize,
-        st: &mut SessState,
-        spec: &SessionSpec<'_>,
-        now_ms: u64,
-        degraded: bool,
-        queue: &mut EventQueue<Ev>,
-    ) -> OutcomeKind {
-        if st.reservation.is_some() && self.config.choice_period_ms > 0 {
-            // The paper's choicePeriod: resources stay reserved while the
-            // user deliberates; the session turns terminal at Confirm.
-            st.pending_admit = Some(degraded);
-            st.confirm_span = self.recorder.and_then(|r| r.trace_span("confirm"));
-            let delay = st.rng.range_u64(1, self.config.choice_period_ms);
-            queue.schedule(SimTime::from_millis(now_ms + delay), Ev::Confirm(i));
-            return OutcomeKind::Admitted {
-                degraded,
-                attempt: st.attempts,
-            };
+    /// Drive every spec to a terminal fate on the virtual clock.
+    #[deprecated(note = "use `Broker::drive` with a `FleetSpec`")]
+    pub fn run(&self, specs: &[SessionSpec<'_>], faults: &FaultPlan) -> BrokerReport {
+        self.drive(&FleetSpec::new(specs).faults(faults))
+    }
+
+    /// Drive the specs with `threads` worker shards, returning only
+    /// `(admitted, leaked_streams)`.
+    #[deprecated(note = "use `Broker::drive` with `FleetSpec::workers` for the full report")]
+    pub fn run_threaded(&self, specs: &[SessionSpec<'_>], threads: usize) -> (usize, usize) {
+        assert!(threads >= 1);
+        let report = self.drive(
+            &FleetSpec::new(specs)
+                .workers(threads)
+                .retention(EventRetention::CountsOnly),
+        );
+        (report.admitted, report.leaked_streams)
+    }
+}
+
+fn latency_snapshot(latency: ValueHistogram) -> HistogramSnapshot {
+    latency.snapshot()
+}
+
+/// The event loop's mutable state, split out so handlers can borrow
+/// disjoint fields (the slab entry and the event queue, say) at once.
+struct DriveLoop<'e, 'a> {
+    broker: &'e Broker<'a>,
+    specs: &'e [SessionSpec<'e>],
+    pool: Option<&'e PrefetchPool<'e>>,
+    tracer: Option<&'a Tracer>,
+    retention: EventRetention,
+    dynq: EventQueue<Ev>,
+    /// Pre-split per-session RNGs, taken into the slab at first arrival.
+    rngs: Vec<Option<StreamRng>>,
+    live: Slab<LiveSession>,
+    /// Spec index → slab slot (`u32::MAX` when not in flight).
+    slots: Vec<u32>,
+    results: Vec<Option<SessionResult>>,
+    peak_live: usize,
+    events: Vec<OutcomeEvent>,
+    win_acc: Option<WindowAccumulator>,
+    latency: ValueHistogram,
+    slo: SloMonitor,
+    retries: u64,
+    backoff_ms_total: u64,
+    faults_injected: u64,
+    /// Scheduled retries awaiting hand-off to the prefetch pool at their
+    /// tick, `(fire_ms, session)`.
+    retry_prep: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl DriveLoop<'_, '_> {
+    /// Fold one outcome into the log, the window accumulator and — for a
+    /// scheduled retry — the pool hand-off heap.
+    fn record(&mut self, at_ms: u64, session: usize, kind: OutcomeKind) {
+        if self.pool.is_some() {
+            if let OutcomeKind::RetryScheduled { at_ms: fire_ms, .. } = kind {
+                self.retry_prep.push(Reverse((fire_ms, session as u32)));
+            }
         }
-        if st.reservation.is_some() {
-            let hold = self.hold_ms(spec).max(1);
-            queue.schedule(SimTime::from_millis(now_ms + hold), Ev::Departure(i));
+        if let Some(acc) = &mut self.win_acc {
+            acc.push(at_ms, &kind);
         }
-        self.finish(i, st, SessionFate::Admitted { degraded }, Some(now_ms));
-        OutcomeKind::Admitted {
-            degraded,
-            attempt: st.attempts,
+        if self.retention == EventRetention::Full {
+            self.events.push(OutcomeEvent {
+                at_ms,
+                session,
+                kind,
+            });
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
+    fn finish(&mut self, i: usize, attempts: u32, fate: SessionFate, admitted_at_ms: Option<u64>) {
+        debug_assert!(self.results[i].is_none(), "session {i} finished twice");
+        self.results[i] = Some(SessionResult {
+            session: i,
+            fate,
+            attempts,
+            admitted_at_ms,
+        });
+    }
+
+    /// One negotiation attempt (arrival or retry) for session `i`.
+    fn attempt(&mut self, i: usize, now_ms: u64, arrival: bool) {
+        let broker = self.broker;
+        let specs = self.specs;
+        let slot = if self.slots[i] == u32::MAX {
+            let rng = self.rngs[i].take().expect("arrival consumed its RNG once");
+            let slot = self.live.insert(LiveSession {
+                attempts: 0,
+                rng,
+                reservation: None,
+                pending_admit: None,
+                closed: false,
+                session_span: None,
+                backoff_span: None,
+                confirm_span: None,
+            });
+            self.slots[i] = slot;
+            self.peak_live = self.peak_live.max(self.live.len());
+            slot
+        } else {
+            self.slots[i]
+        };
+        {
+            let st = self.live.get_mut(slot).expect("live session");
+            st.attempts += 1;
+            if st.session_span.is_none() {
+                st.session_span = broker.recorder.and_then(|r| r.trace_span("session"));
+            }
+            if let Some(b) = st.backoff_span.take() {
+                b.end();
+            }
+        }
+        let spec = &specs[i];
+        let attempt_span = broker.recorder.and_then(|r| r.trace_span("attempt"));
+        let prep = match self.pool {
+            Some(pool) => pool.take(i as u32, arrival),
+            None => prepare_session(broker.session.context(), spec),
+        };
+        let outcome = match prep {
+            Prep::Failed(error) => {
+                if let Some(a) = attempt_span {
+                    a.end();
+                }
+                let attempts = self.live.get(slot).expect("live session").attempts;
+                self.finish(i, attempts, SessionFate::Errored, None);
+                self.record(now_ms, i, OutcomeKind::Errored { error });
+                self.close_out(i, now_ms);
+                return;
+            }
+            Prep::Early(status) => {
+                // The fused negotiate path would have emitted the
+                // terminal outcome itself; the split path does it here.
+                if let Some(rec) = broker.recorder {
+                    let s = status.to_string();
+                    rec.counter_with("negotiation.outcome", &[("status", &s)], 1);
+                    rec.trace_point("negotiation.outcome", &[("status", &s)]);
+                }
+                (status, None, false, "other")
+            }
+            Prep::Offers(ordered, trace) => {
+                let out = commit_prepared(
+                    broker.session.context(),
+                    spec.client,
+                    spec.profile,
+                    ordered,
+                    trace,
+                );
+                let transient = out.commit_failures.is_empty()
+                    || out.commit_failures.iter().any(|(_, f)| f.transient());
+                let reason = refusal_reason(&out.commit_failures);
+                (out.status, out.reservation, transient, reason)
+            }
+        };
+        if let Some(a) = attempt_span {
+            a.end();
+        }
+        let (status, reservation, transient, reason) = outcome;
+        let kind = match status {
+            NegotiationStatus::Succeeded => {
+                self.live.get_mut(slot).expect("live session").reservation = reservation;
+                self.admit(i, slot, now_ms, false)
+            }
+            NegotiationStatus::FailedWithOffer => {
+                if broker.config.accept_degraded {
+                    self.live.get_mut(slot).expect("live session").reservation = reservation;
+                    self.admit(i, slot, now_ms, true)
+                } else {
+                    if let Some(res) = &reservation {
+                        broker.session.release(res);
+                    }
+                    let attempts = self.live.get(slot).expect("live session").attempts;
+                    self.finish(i, attempts, SessionFate::Rejected, None);
+                    OutcomeKind::Rejected { status }
+                }
+            }
+            NegotiationStatus::FailedTryLater => {
+                self.try_later(i, slot, now_ms, transient, reason, status)
+            }
+            _ => {
+                // FailedWithoutOffer, FailedWithLocalOffer and any future
+                // status: terminal, nothing reserved.
+                let attempts = self.live.get(slot).expect("live session").attempts;
+                self.finish(i, attempts, SessionFate::Rejected, None);
+                OutcomeKind::Rejected { status }
+            }
+        };
+        self.record(now_ms, i, kind);
+        self.close_out(i, now_ms);
+    }
+
+    fn admit(&mut self, i: usize, slot: u32, now_ms: u64, degraded: bool) -> OutcomeKind {
+        let broker = self.broker;
+        let st = self.live.get_mut(slot).expect("live session");
+        let attempts = st.attempts;
+        if st.reservation.is_some() && broker.config.choice_period_ms > 0 {
+            // The paper's choicePeriod: resources stay reserved while the
+            // user deliberates; the session turns terminal at Confirm.
+            st.pending_admit = Some(degraded);
+            st.confirm_span = broker.recorder.and_then(|r| r.trace_span("confirm"));
+            let delay = st.rng.range_u64(1, broker.config.choice_period_ms);
+            self.dynq
+                .schedule(SimTime::from_millis(now_ms + delay), Ev::Confirm(i));
+            return OutcomeKind::Admitted {
+                degraded,
+                attempt: attempts,
+            };
+        }
+        if st.reservation.is_some() {
+            let hold = broker.hold_ms(&self.specs[i]).max(1);
+            self.dynq
+                .schedule(SimTime::from_millis(now_ms + hold), Ev::Departure(i));
+        }
+        self.finish(
+            i,
+            attempts,
+            SessionFate::Admitted { degraded },
+            Some(now_ms),
+        );
+        OutcomeKind::Admitted {
+            degraded,
+            attempt: attempts,
+        }
+    }
+
     fn try_later(
-        &self,
+        &mut self,
         i: usize,
-        st: &mut SessState,
-        spec: &SessionSpec<'_>,
+        slot: u32,
         now_ms: u64,
         transient: bool,
         reason: &'static str,
         status: NegotiationStatus,
-        queue: &mut EventQueue<Ev>,
-        retries: &mut u64,
-        backoff_ms_total: &mut u64,
     ) -> OutcomeKind {
+        let broker = self.broker;
+        let policy = &broker.config.retry;
         if !transient {
             // Every refusal was load-independent (decode budget, startup
             // bound): waiting cannot help.
-            self.finish(i, st, SessionFate::Rejected, None);
+            let attempts = self.live.get(slot).expect("live session").attempts;
+            self.finish(i, attempts, SessionFate::Rejected, None);
             return OutcomeKind::Rejected { status };
         }
-        let policy = &self.config.retry;
-        if st.attempts >= policy.max_attempts {
-            self.finish(i, st, SessionFate::Starved, None);
-            return OutcomeKind::Starved {
-                attempts: st.attempts,
-            };
+        let attempts = self.live.get(slot).expect("live session").attempts;
+        if attempts >= policy.max_attempts {
+            self.finish(i, attempts, SessionFate::Starved, None);
+            return OutcomeKind::Starved { attempts };
         }
-        let backoff = self
-            .config
-            .retry
-            .backoff_ms(st.attempts, &mut st.rng)
-            .max(1);
+        let backoff = {
+            let st = self.live.get_mut(slot).expect("live session");
+            broker.config.retry.backoff_ms(attempts, &mut st.rng).max(1)
+        };
         let fire_ms = now_ms + backoff;
         if let Some(deadline) = policy.deadline_ms {
-            if fire_ms.saturating_sub(spec.arrival_ms) > deadline {
-                self.finish(i, st, SessionFate::Starved, None);
-                return OutcomeKind::Starved {
-                    attempts: st.attempts,
-                };
+            if fire_ms.saturating_sub(self.specs[i].arrival_ms) > deadline {
+                self.finish(i, attempts, SessionFate::Starved, None);
+                return OutcomeKind::Starved { attempts };
             }
         }
-        *retries += 1;
-        *backoff_ms_total += backoff;
-        if let Some(rec) = self.recorder {
+        self.retries += 1;
+        self.backoff_ms_total += backoff;
+        if let Some(rec) = broker.recorder {
             // The backoff span stays open until the retry fires; the
             // reason point (recorded while it is innermost) is what
             // wait-time attribution splits backoff by.
             if let Some(span) = rec.trace_span("backoff") {
                 rec.trace_point("backoff.reason", &[("reason", reason)]);
-                st.backoff_span = Some(span);
+                self.live.get_mut(slot).expect("live session").backoff_span = Some(span);
             }
         }
-        queue.schedule(SimTime::from_millis(fire_ms), Ev::Retry(i));
+        self.dynq
+            .schedule(SimTime::from_millis(fire_ms), Ev::Retry(i));
         OutcomeKind::RetryScheduled {
             at_ms: fire_ms,
-            attempt: st.attempts,
+            attempt: attempts,
         }
     }
 
-    fn finish(&self, i: usize, st: &mut SessState, fate: SessionFate, admitted_at_ms: Option<u64>) {
-        debug_assert!(st.result.is_none(), "session {i} finished twice");
-        st.result = Some(SessionResult {
-            session: i,
-            fate,
-            attempts: st.attempts,
-            admitted_at_ms,
-        });
+    fn confirm(&mut self, i: usize, now_ms: u64) {
+        let broker = self.broker;
+        let slot = self.slots[i];
+        let st = self.live.get_mut(slot).expect("confirm on a live session");
+        let degraded = st
+            .pending_admit
+            .take()
+            .expect("Confirm fired without a pending admission");
+        if let Some(rec) = broker.recorder {
+            rec.trace_point("confirm.decision", &[("decision", "accepted")]);
+        }
+        if let Some(c) = st.confirm_span.take() {
+            c.end();
+        }
+        let attempts = st.attempts;
+        if st.reservation.is_some() {
+            let hold = broker.hold_ms(&self.specs[i]).max(1);
+            self.dynq
+                .schedule(SimTime::from_millis(now_ms + hold), Ev::Departure(i));
+        }
+        self.finish(
+            i,
+            attempts,
+            SessionFate::Admitted { degraded },
+            Some(now_ms),
+        );
+        self.record(now_ms, i, OutcomeKind::Confirmed);
+        self.close_out(i, now_ms);
     }
 
-    /// Race the specs across `threads` real OS threads against the shared
-    /// farm/network. Steps 1–4 of every session ([`prepare`]) run truly in
-    /// parallel — they read only the catalog and static topology — while
-    /// the step-5 commit walks, the only part that touches live capacity,
-    /// run in strict session order behind a ticket. Retries are immediate
-    /// (bounded by the retry policy's `max_attempts`); admitted
-    /// reservations are held until every thread finishes, then released
-    /// and the capacity audit runs. Returns `(admitted, leaked_streams)`.
-    ///
-    /// **Determinism contract:** with the recorder clock pinned (done here)
-    /// and per-session RNGs pre-split by index, the admissions, every
-    /// counter and the merged metric snapshot are identical at every
-    /// thread count — `run_threaded(specs, 1)` and `run_threaded(specs,
-    /// 8)` over a sharded [`Recorder`] produce byte-identical snapshots.
-    /// Only event *interleaving* (sink line order, flight-recorder order)
-    /// remains scheduler-dependent.
-    pub fn run_threaded(&self, specs: &[SessionSpec<'_>], threads: usize) -> (usize, usize) {
-        assert!(threads >= 1);
-        let ctx = self.session.context();
-        let before = CapacitySnapshot::capture(ctx.farm, ctx.network);
-        if let Some(rec) = self.recorder {
-            // Pin the clock: span durations (and the histograms built from
-            // them) must not depend on the scheduler.
-            rec.set_sim_time_us(0);
+    fn departure(&mut self, i: usize, now_ms: u64) {
+        let slot = self.slots[i];
+        let res = self
+            .live
+            .get_mut(slot)
+            .expect("departure of a live session")
+            .reservation
+            .take();
+        if let Some(res) = res {
+            self.broker.session.release(&res);
         }
-        let next = AtomicUsize::new(0);
-        let commit_turn = AtomicUsize::new(0);
-        let held: Sharded<Vec<SessionReservation>> = Sharded::new(threads.min(8), Vec::new);
-        let admitted = AtomicUsize::new(0);
+        // An admitted session is closed by the time it departs; its slab
+        // slot — the last thing keeping it live — is recycled here.
+        let st = self.live.remove(slot);
+        debug_assert!(st.closed, "session {i} departed before closing");
+        self.slots[i] = u32::MAX;
+        self.record(now_ms, i, OutcomeKind::Departed);
+    }
 
-        let tracer = self.tracer();
-        let max_attempts = self.config.retry.max_attempts.max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(spec) = specs.get(i) else { break };
-                        // A session is owned by exactly one thread, so the
-                        // resume/suspend protocol partitions events into
-                        // per-session traces even under racing threads.
-                        if let Some(t) = tracer {
-                            t.resume(i as u64);
-                        }
-                        let session_span = self.recorder.and_then(|r| r.trace_span("session"));
-                        let mut rng = StreamRng::new(
-                            self.config
-                                .seed
-                                .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                        );
-                        // Steps 1–4 in parallel: load-independent, so the
-                        // result (and its counters) cannot depend on other
-                        // sessions' in-flight commits.
-                        let prepared = prepare(ctx, spec.client, spec.document, spec.profile);
+    fn fault_edge(&mut self, faults: &FaultPlan, now_ms: u64) {
+        let broker = self.broker;
+        let ctx = broker.session.context();
+        faults.apply_state_at(ctx.farm, ctx.network, now_ms);
+        let starts = faults
+            .windows
+            .iter()
+            .filter(|w| w.from_ms == now_ms)
+            .count() as u64;
+        if starts > 0 {
+            self.faults_injected += starts;
+            broker.counter("broker.faults.injected", starts);
+        }
+        self.record(now_ms, usize::MAX, OutcomeKind::FaultEdge);
+    }
 
-                        // Step 5 in session order: indices are claimed in
-                        // increasing order and each holder only waits on
-                        // lower turns, so the ticket cannot deadlock.
-                        while commit_turn.load(Ordering::Acquire) != i {
-                            std::thread::yield_now();
-                        }
-                        let mut ok = false;
-                        // Backoff the event-loop broker would have slept,
-                        // accounted as this session's duration for the tail
-                        // sampler's top-k (there is no virtual clock here).
-                        let mut waited_ms = 0u64;
-                        match prepared {
-                            Err(_) => {}
-                            Ok(Prepared::Early(out)) => {
-                                if let Some(rec) = self.recorder {
-                                    let status = out.status.to_string();
-                                    rec.counter_with(
-                                        "negotiation.outcome",
-                                        &[("status", &status)],
-                                        1,
-                                    );
-                                    rec.trace_point("negotiation.outcome", &[("status", &status)]);
-                                }
-                            }
-                            Ok(Prepared::Offers(mut ordered, trace)) => {
-                                for attempt in 1..=max_attempts {
-                                    let attempt_span =
-                                        self.recorder.and_then(|r| r.trace_span("attempt"));
-                                    let out = commit_prepared(
-                                        ctx,
-                                        spec.client,
-                                        spec.profile,
-                                        ordered,
-                                        trace,
-                                    );
-                                    if let Some(a) = attempt_span {
-                                        a.end();
-                                    }
-                                    match out.status {
-                                        NegotiationStatus::Succeeded
-                                        | NegotiationStatus::FailedWithOffer => {
-                                            if let Some(res) = out.reservation {
-                                                held.lock_key(i as u64).push(res);
-                                            }
-                                            admitted.fetch_add(1, Ordering::Relaxed);
-                                            ok = true;
-                                            break;
-                                        }
-                                        NegotiationStatus::FailedTryLater => {
-                                            let transient = out.commit_failures.is_empty()
-                                                || out
-                                                    .commit_failures
-                                                    .iter()
-                                                    .any(|(_, f)| f.transient());
-                                            if !transient || attempt == max_attempts {
-                                                break;
-                                            }
-                                            waited_ms += self
-                                                .config
-                                                .retry
-                                                .backoff_ms(attempt, &mut rng)
-                                                .max(1);
-                                            // Re-walk the same classified
-                                            // list; steps 1–4 are static.
-                                            ordered = out.ordered_offers.into_vec();
-                                        }
-                                        _ => break,
-                                    }
-                                }
-                            }
-                        }
-                        commit_turn.store(i + 1, Ordering::Release);
-                        if let Some(s) = session_span {
-                            s.end();
-                        }
-                        if let Some(t) = tracer {
-                            t.finish_session(i as u64, !ok, waited_ms.saturating_mul(1_000));
-                            t.suspend();
-                        }
-                    }
-                });
-            }
-        });
-
-        for reservations in held.into_inner() {
-            for res in &reservations {
-                self.session.release(res);
+    fn inject_leak(&mut self) {
+        // Deliberately strand one stream so the end-of-run audit trips
+        // (and, with a tracer, the flight recorder dumps). Test-only,
+        // gated by the config hook.
+        let broker = self.broker;
+        let ctx = broker.session.context();
+        if let Some(&id) = ctx.farm.ids().first() {
+            let req = StreamRequirement {
+                variant: VariantId(u64::MAX),
+                max_bit_rate: 8_000,
+                avg_bit_rate: 8_000,
+                max_block_bytes: 1_000,
+                avg_block_bytes: 1_000,
+                blocks_per_second: 1,
+                guarantee: Guarantee::BestEffort,
+            };
+            if ctx.farm.try_reserve(id, req).is_ok() {
+                broker.counter("broker.chaos.leaks_injected", 1);
             }
         }
-        let after = CapacitySnapshot::capture(ctx.farm, ctx.network);
-        let leaked = before.leaked_streams(&after);
-        if before != after {
-            self.counter("broker.leaked_reservations", leaked.max(1) as u64);
-            if let Some(t) = tracer {
-                t.trigger_flight_dump("leaked_reservation_audit_threaded");
-            }
-            debug_assert_eq!(before, after, "threaded broker run leaked reservations");
+    }
+
+    /// Terminal close-out: record latency once, close the session's
+    /// trace span (outcome point first, while it is still the innermost
+    /// open span), feed the SLO monitor and the tail sampler, and — when
+    /// nothing is held — recycle the slab slot.
+    fn close_out(&mut self, i: usize, now_ms: u64) {
+        let broker = self.broker;
+        let slot = self.slots[i];
+        let Some(st) = self.live.get_mut(slot) else {
+            return;
+        };
+        if st.closed || self.results[i].is_none() {
+            return;
         }
-        (admitted.load(Ordering::Relaxed), leaked)
+        st.closed = true;
+        let result = self.results[i].as_ref().expect("just checked");
+        let total_ms = now_ms.saturating_sub(self.specs[i].arrival_ms);
+        if let Some(rec) = broker.recorder {
+            rec.observe("broker.session_ms", total_ms as f64);
+            rec.trace_point("session.outcome", &[("fate", fate_label(result.fate))]);
+        }
+        if let Some(span) = st.session_span.take() {
+            span.end();
+        }
+        let failed = !matches!(result.fate, SessionFate::Admitted { .. });
+        let latency_ms = result
+            .admitted_at_ms
+            .map(|at| at.saturating_sub(self.specs[i].arrival_ms) as f64);
+        let attempts = result.attempts as u64;
+        let holds = st.reservation.is_some();
+        self.latency.record(total_ms as f64);
+        self.slo
+            .on_session(broker.recorder, now_ms, latency_ms, failed, attempts);
+        // Tail sampling: with a retention policy attached the tracer
+        // keeps failures, the top-k slowest and the seeded baseline, and
+        // drops the rest now.
+        if let Some(t) = self.tracer {
+            t.finish_session(i as u64, failed, total_ms.saturating_mul(1_000));
+        }
+        if !holds {
+            self.live.remove(slot);
+            self.slots[i] = u32::MAX;
+        }
     }
 }

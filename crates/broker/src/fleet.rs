@@ -1,0 +1,115 @@
+//! [`FleetSpec`]: the single description of a broker run.
+//!
+//! `Broker::drive(&FleetSpec)` is the one entry point for driving a
+//! fleet of sessions — it subsumes the old `Broker::run` (sequential,
+//! full report) and `Broker::run_threaded` (parallel, counts only)
+//! split. A `FleetSpec` bundles everything a run needs: the session
+//! specs, an optional [`FaultPlan`], the worker count for the sharded
+//! prepare stage, SLO objectives, the outcome-log retention policy and
+//! an optional fleet-window cadence.
+
+use nod_obs::SloSpec;
+
+use crate::broker::SessionSpec;
+use crate::fault::FaultPlan;
+
+/// How much of the chronological outcome log a run keeps.
+///
+/// The outcome log is the broker's replay unit, but at 10⁶ sessions the
+/// full log is hundreds of MB; most fleet-scale callers only need the
+/// aggregate report or the tumbling [`FleetWindow`](crate::FleetWindow)
+/// rows, both of which fold the log streamingly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventRetention {
+    /// Keep every [`OutcomeEvent`](crate::OutcomeEvent) (the default —
+    /// preserves the byte-for-byte replay log).
+    #[default]
+    Full,
+    /// Fold events into [`FleetWindow`](crate::FleetWindow) rows as they
+    /// happen and drop the raw log
+    /// ([`BrokerReport::events`](crate::BrokerReport) comes back empty).
+    WindowsOnly,
+    /// Keep only the aggregate counts, latency histogram and per-session
+    /// results; no raw log, no windows.
+    CountsOnly,
+}
+
+/// Everything one broker run needs, built fluently:
+///
+/// ```ignore
+/// let report = broker.drive(
+///     &FleetSpec::new(&specs)
+///         .faults(&plan)
+///         .workers(8)
+///         .slos(default_fleet_slos())
+///         .windows(1_000),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetSpec<'a> {
+    pub(crate) sessions: &'a [SessionSpec<'a>],
+    pub(crate) faults: Option<&'a FaultPlan>,
+    pub(crate) workers: usize,
+    pub(crate) slos: Vec<SloSpec>,
+    pub(crate) retention: EventRetention,
+    pub(crate) window_ms: u64,
+}
+
+impl<'a> FleetSpec<'a> {
+    /// A fleet over `sessions` with defaults: no faults, one worker, no
+    /// SLOs, full event retention, no windows.
+    pub fn new(sessions: &'a [SessionSpec<'a>]) -> Self {
+        FleetSpec {
+            sessions,
+            faults: None,
+            workers: 1,
+            slos: Vec::new(),
+            retention: EventRetention::Full,
+            window_ms: 0,
+        }
+    }
+
+    /// Inject `plan`'s fault windows over the run.
+    pub fn faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Shard negotiation steps 1–4 across `workers` OS threads (clamped
+    /// to ≥ 1). The outcome log is identical at every worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Monitor `slos` on the virtual clock; alerts land in
+    /// [`BrokerReport::slo_alerts`](crate::BrokerReport).
+    pub fn slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.slos = slos;
+        self
+    }
+
+    /// Choose how much of the outcome log the report retains.
+    pub fn retention(mut self, retention: EventRetention) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Fold the run into tumbling [`FleetWindow`](crate::FleetWindow)
+    /// rows of `window_ms` (0 disables;
+    /// [`EventRetention::WindowsOnly`] defaults to 1000 ms if unset).
+    pub fn windows(mut self, window_ms: u64) -> Self {
+        self.window_ms = window_ms;
+        self
+    }
+
+    /// The effective window cadence: the explicit one, or 1 s when the
+    /// retention policy keeps nothing but windows.
+    pub(crate) fn effective_window_ms(&self) -> u64 {
+        if self.window_ms == 0 && self.retention == EventRetention::WindowsOnly {
+            1_000
+        } else {
+            self.window_ms
+        }
+    }
+}

@@ -5,14 +5,21 @@
 //! commitments race for the same servers and links. This crate closes
 //! that gap:
 //!
-//! - [`Broker`] runs N sessions against one shared farm + network on a
-//!   deterministic virtual-time event loop, interpreting each request's
+//! - [`Broker::drive`] runs a [`FleetSpec`]'s sessions — from a handful
+//!   to a million — against one shared farm + network on a deterministic
+//!   virtual-time event loop, interpreting each request's
 //!   [`RetryPolicy`](nod_qosneg::RetryPolicy) — FAILEDTRYLATER refusals
 //!   whose commit failures are load-dependent
 //!   ([`CommitFailure::transient`](nod_qosneg::CommitFailure::transient))
 //!   back off exponentially with seeded jitter and try again; admitted
 //!   sessions hold resources for their document's duration and release
 //!   them on departure, which is exactly what lets later retries succeed.
+//!   With [`FleetSpec::workers`] > 1 the load-independent prepare stage
+//!   (negotiation steps 1–4) is sharded across worker threads while
+//!   commits stay in exact event order — same seed, same outcome log, at
+//!   every worker count. Live state sits in a recycled [`Slab`] arena
+//!   sized by *peak concurrency*, not total volume, and
+//!   [`EventRetention`] bounds what the report keeps at fleet scale.
 //! - [`FaultPlan`] injects replayable degradations — server crashes,
 //!   admission brownouts, link blackouts and capacity drops — over timed
 //!   windows.
@@ -25,11 +32,13 @@
 //! [`Recorder`](nod_obs::Recorder): `broker.retries`,
 //! `broker.backoff_ms`, `broker.faults.injected`,
 //! `broker.sessions.starved`, `broker.leaked_reservations` counters and
-//! the `broker.admission_ratio` gauge.
+//! the `broker.admission_ratio` / `broker.peak_live_sessions` gauges.
 
 mod audit;
 mod broker;
 mod fault;
+mod fleet;
+mod slab;
 mod windows;
 
 pub use audit::CapacitySnapshot;
@@ -38,4 +47,6 @@ pub use broker::{
     SessionSpec,
 };
 pub use fault::{Fault, FaultPlan, FaultWindow};
-pub use windows::{fleet_windows, FleetWindow};
+pub use fleet::{EventRetention, FleetSpec};
+pub use slab::Slab;
+pub use windows::{fleet_windows, FleetWindow, WindowAccumulator};

@@ -71,27 +71,57 @@ impl FleetWindow {
     }
 }
 
-/// Fold `events` (a [`BrokerReport`](crate::BrokerReport)'s log) into
-/// tumbling windows of `window_ms`. Windows cover the log's full span
-/// contiguously — quiet windows appear as zero rows so a renderer can
-/// play them back at a fixed cadence. An empty log yields no windows;
-/// `window_ms` is clamped to at least 1.
-pub fn fleet_windows(events: &[OutcomeEvent], window_ms: u64) -> Vec<FleetWindow> {
-    let window_ms = window_ms.max(1);
-    let Some(last) = events.iter().map(|e| e.at_ms).max() else {
-        return Vec::new();
-    };
-    let n = (last / window_ms + 1) as usize;
-    let mut windows: Vec<FleetWindow> = (0..n as u64)
-        .map(|i| FleetWindow {
-            start_ms: i * window_ms,
-            end_ms: (i + 1) * window_ms,
-            ..FleetWindow::default()
-        })
-        .collect();
-    for ev in events {
-        let w = &mut windows[(ev.at_ms / window_ms) as usize];
-        match &ev.kind {
+/// Streaming fold of a chronological outcome log into tumbling
+/// [`FleetWindow`] rows.
+///
+/// At fleet scale the raw log can be hundreds of MB, so the broker's
+/// [`EventRetention::WindowsOnly`](crate::EventRetention) mode feeds
+/// events through this accumulator *as they happen* and never stores
+/// them. A window is finalized (its `active_at_end` fixed) the moment
+/// the clock moves past it; [`WindowAccumulator::finish`] closes the
+/// last one. Events must arrive in chronological order — which the
+/// outcome log, being the replay unit, always is.
+#[derive(Debug)]
+pub struct WindowAccumulator {
+    window_ms: u64,
+    windows: Vec<FleetWindow>,
+    active: u64,
+}
+
+impl WindowAccumulator {
+    /// An empty accumulator with `window_ms` tumbling windows
+    /// (clamped to at least 1 ms).
+    pub fn new(window_ms: u64) -> Self {
+        WindowAccumulator {
+            window_ms: window_ms.max(1),
+            windows: Vec::new(),
+            active: 0,
+        }
+    }
+
+    /// Close the current last window and append zero rows up to `idx`.
+    fn extend_to(&mut self, idx: usize) {
+        while self.windows.len() <= idx {
+            if let Some(last) = self.windows.last_mut() {
+                self.active += last.admitted + last.degraded;
+                self.active = self.active.saturating_sub(last.departures);
+                last.active_at_end = self.active;
+            }
+            let i = self.windows.len() as u64;
+            self.windows.push(FleetWindow {
+                start_ms: i * self.window_ms,
+                end_ms: (i + 1) * self.window_ms,
+                ..FleetWindow::default()
+            });
+        }
+    }
+
+    /// Fold one outcome into its window.
+    pub fn push(&mut self, at_ms: u64, kind: &OutcomeKind) {
+        let idx = (at_ms / self.window_ms) as usize;
+        self.extend_to(idx);
+        let w = &mut self.windows[idx];
+        match kind {
             OutcomeKind::Admitted { degraded: true, .. } => w.degraded += 1,
             OutcomeKind::Admitted { .. } => w.admitted += 1,
             OutcomeKind::RetryScheduled { .. } => w.retries += 1,
@@ -105,13 +135,29 @@ pub fn fleet_windows(events: &[OutcomeEvent], window_ms: u64) -> Vec<FleetWindow
             OutcomeKind::Confirmed => {}
         }
     }
-    let mut active = 0u64;
-    for w in &mut windows {
-        active += w.admitted + w.degraded;
-        active = active.saturating_sub(w.departures);
-        w.active_at_end = active;
+
+    /// Close the final window and return the contiguous rows.
+    pub fn finish(mut self) -> Vec<FleetWindow> {
+        if let Some(last) = self.windows.last_mut() {
+            self.active += last.admitted + last.degraded;
+            self.active = self.active.saturating_sub(last.departures);
+            last.active_at_end = self.active;
+        }
+        self.windows
     }
-    windows
+}
+
+/// Fold `events` (a [`BrokerReport`](crate::BrokerReport)'s log, in
+/// chronological order) into tumbling windows of `window_ms`. Windows
+/// cover the log's full span contiguously — quiet windows appear as zero
+/// rows so a renderer can play them back at a fixed cadence. An empty
+/// log yields no windows; `window_ms` is clamped to at least 1.
+pub fn fleet_windows(events: &[OutcomeEvent], window_ms: u64) -> Vec<FleetWindow> {
+    let mut acc = WindowAccumulator::new(window_ms);
+    for ev in events {
+        acc.push(ev.at_ms, &ev.kind);
+    }
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -204,6 +250,31 @@ mod tests {
         assert!(text.contains("fleet_window_retries{start_ms=\"1000\",end_ms=\"2000\"} 2\n"));
         assert!(text.contains("fleet_window_active_at_end{start_ms=\"1000\",end_ms=\"2000\"} 5\n"));
         assert!(text.lines().count() == 18, "9 gauges, 2 lines each");
+    }
+
+    #[test]
+    fn streaming_accumulator_matches_the_posthoc_fold() {
+        // Same log as `events_land_in_their_windows_and_active_accumulates`,
+        // fed one event at a time: the streaming fold the WindowsOnly
+        // retention mode uses must agree with the batch fold exactly.
+        let events = vec![
+            ev(
+                0,
+                0,
+                OutcomeKind::Admitted {
+                    degraded: false,
+                    attempt: 1,
+                },
+            ),
+            ev(2_500, 0, OutcomeKind::Departed),
+            ev(2_600, 3, OutcomeKind::Starved { attempts: 5 }),
+            ev(9_001, 1, OutcomeKind::FaultEdge),
+        ];
+        let mut acc = WindowAccumulator::new(1_000);
+        for e in &events {
+            acc.push(e.at_ms, &e.kind);
+        }
+        assert_eq!(acc.finish(), fleet_windows(&events, 1_000));
     }
 
     #[test]

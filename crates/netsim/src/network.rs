@@ -1,14 +1,14 @@
 //! The network service: reservation, metrics, congestion injection.
 
-use nod_simcore::sync::Mutex;
-use std::collections::BTreeMap;
+use nod_simcore::sync::{Mutex, Sharded};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use nod_mmdoc::{ClientId, ServerId};
 use nod_obs::Recorder;
 
-use crate::routing::{route, RouteError};
+use crate::routing::{route_tree, RouteError, RouteTree};
 use crate::topology::{LinkId, NodeId, Topology};
 
 /// Handle to a committed path reservation.
@@ -87,6 +87,21 @@ struct NetState {
 pub struct Network {
     topo: Topology,
     state: Mutex<NetState>,
+    /// Memoized client↔server routes. The topology is immutable once the
+    /// network is built (link health scales capacity, never delay), so a
+    /// cached route can't go stale — Dijkstra runs once per pair instead
+    /// of once per reservation attempt. On a metro dumbbell the hub node
+    /// is incident to every link, which makes an uncached lookup
+    /// O(total links); without the memo, per-session cost grows with farm
+    /// size and a city-scale fleet spends most of its time re-routing the
+    /// same three-hop paths. Sharded so concurrent prepare workers don't
+    /// serialize on one cache lock.
+    routes: Sharded<HashMap<(ClientId, ServerId), Vec<LinkId>>>,
+    /// Shortest-path trees by source node, filled on first use. A server
+    /// streams to many clients, so one Dijkstra per server answers every
+    /// client pair — without the tree, warming the pair cache costs one
+    /// Dijkstra per pair, which is quadratic in fleet size.
+    trees: Sharded<HashMap<NodeId, std::sync::Arc<RouteTree>>>,
     next_id: AtomicU64,
     /// Set-once observability hook; `None` keeps reservation allocation-free.
     recorder: OnceLock<Recorder>,
@@ -98,6 +113,8 @@ impl Network {
         Network {
             topo,
             state: Mutex::new(NetState::default()),
+            routes: Sharded::new(16, HashMap::new),
+            trees: Sharded::new(16, HashMap::new),
             next_id: AtomicU64::new(1),
             recorder: OnceLock::new(),
         }
@@ -130,12 +147,31 @@ impl Network {
 
     /// The route a client↔server stream would take.
     pub fn path(&self, client: ClientId, server: ServerId) -> Result<Vec<LinkId>, NetError> {
-        let result = self
-            .endpoints(client, server)
-            .and_then(|(c, s)| route(&self.topo, s, c).map_err(NetError::Unreachable));
-        if result.is_err() {
-            if let Some(rec) = self.recorder.get() {
-                rec.counter("net.path.rejections", 1);
+        let shard_key = client.0.rotate_left(32) ^ server.0;
+        if let Some(links) = self.routes.lock_key(shard_key).get(&(client, server)) {
+            return Ok(links.clone());
+        }
+        let result = self.endpoints(client, server).and_then(|(c, s)| {
+            let tree = self
+                .trees
+                .lock_key(s.0)
+                .entry(s)
+                .or_insert_with(|| std::sync::Arc::new(route_tree(&self.topo, s)))
+                .clone();
+            tree.path_to(s, c).map_err(NetError::Unreachable)
+        });
+        match &result {
+            // Only routable pairs are cached: failures stay cheap to
+            // compute and keep counting below on every lookup.
+            Ok(links) => {
+                self.routes
+                    .lock_key(shard_key)
+                    .insert((client, server), links.clone());
+            }
+            Err(_) => {
+                if let Some(rec) = self.recorder.get() {
+                    rec.counter("net.path.rejections", 1);
+                }
             }
         }
         result

@@ -53,12 +53,45 @@ impl PartialOrd for QueueEntry {
     }
 }
 
-/// The lowest-delay path from `from` to `to` as a list of links in
-/// traversal order. A zero-length route (`from == to`) is the empty list.
-pub fn route(topo: &Topology, from: NodeId, to: NodeId) -> Result<Vec<LinkId>, RouteError> {
-    if from == to {
-        return Ok(Vec::new());
+/// The shortest-path tree rooted at `from`: for every reachable node, the
+/// `(parent, link)` step back toward the root.
+///
+/// One tree answers every `from → *` route, so callers that fan out from
+/// a single source (a server streaming to any client in the fleet) pay
+/// one Dijkstra instead of one per destination — on a city-scale dumbbell,
+/// where the hub is incident to every link, per-destination Dijkstra made
+/// route-cache warm-up quadratic in fleet size.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTree {
+    prev: HashMap<NodeId, (NodeId, LinkId)>,
+}
+
+impl RouteTree {
+    /// The lowest-delay path from the root to `to`, in traversal order.
+    /// The empty list when `to` is the root itself.
+    pub fn path_to(&self, root: NodeId, to: NodeId) -> Result<Vec<LinkId>, RouteError> {
+        if to == root {
+            return Ok(Vec::new());
+        }
+        if !self.prev.contains_key(&to) {
+            return Err(RouteError::Unreachable { from: root, to });
+        }
+        let mut links = Vec::new();
+        let mut cur = to;
+        while cur != root {
+            let (p, l) = self.prev[&cur];
+            links.push(l);
+            cur = p;
+        }
+        links.reverse();
+        Ok(links)
     }
+}
+
+/// Dijkstra from `from` to every reachable node. `stop_at` bounds the
+/// search: `Some(node)` allows an early exit once that node settles,
+/// `None` settles the whole component (for a reusable [`RouteTree`]).
+fn dijkstra(topo: &Topology, from: NodeId, stop_at: Option<NodeId>) -> RouteTree {
     let mut best: HashMap<NodeId, (u64, u32)> = HashMap::new();
     let mut prev: HashMap<NodeId, (NodeId, LinkId)> = HashMap::new();
     let mut heap = BinaryHeap::new();
@@ -75,7 +108,7 @@ pub fn route(topo: &Topology, from: NodeId, to: NodeId) -> Result<Vec<LinkId>, R
         node,
     }) = heap.pop()
     {
-        if node == to {
+        if stop_at == Some(node) {
             break;
         }
         if best
@@ -102,18 +135,21 @@ pub fn route(topo: &Topology, from: NodeId, to: NodeId) -> Result<Vec<LinkId>, R
         }
     }
 
-    if !prev.contains_key(&to) {
-        return Err(RouteError::Unreachable { from, to });
+    RouteTree { prev }
+}
+
+/// The full shortest-path tree rooted at `from`.
+pub fn route_tree(topo: &Topology, from: NodeId) -> RouteTree {
+    dijkstra(topo, from, None)
+}
+
+/// The lowest-delay path from `from` to `to` as a list of links in
+/// traversal order. A zero-length route (`from == to`) is the empty list.
+pub fn route(topo: &Topology, from: NodeId, to: NodeId) -> Result<Vec<LinkId>, RouteError> {
+    if from == to {
+        return Ok(Vec::new());
     }
-    let mut links = Vec::new();
-    let mut cur = to;
-    while cur != from {
-        let (p, l) = prev[&cur];
-        links.push(l);
-        cur = p;
-    }
-    links.reverse();
-    Ok(links)
+    dijkstra(topo, from, Some(to)).path_to(from, to)
 }
 
 #[cfg(test)]

@@ -19,8 +19,8 @@
 //!   thread-local `Vec`), so emission takes no lock. The shared per-trace
 //!   store is only touched at `resume`/`suspend` boundaries — once per
 //!   broker event, not once per trace event. The same protocol works when
-//!   `run_threaded` races sessions across OS threads, because a session is
-//!   owned by exactly one thread at a time.
+//!   `Broker::drive` shards prepare work across OS threads, because a
+//!   session's trace is owned by exactly one thread at a time.
 //! - Sequence numbers are assigned per trace at flush time, so a trace's
 //!   events totally order even though sessions interleave. A deterministic
 //!   run (same seed, specs, faults) therefore serializes to a

@@ -19,7 +19,7 @@
 //! * the capacity ledger — identical while the reservation is held, and
 //!   identical to the pre-negotiation baseline after release.
 
-use nod_broker::{Broker, BrokerConfig, FaultPlan, SessionFate, SessionSpec};
+use nod_broker::{Broker, BrokerConfig, FleetSpec, SessionFate, SessionSpec};
 use nod_cmfs::ServerFarm;
 use nod_mmdoc::ServerId;
 use nod_netsim::Network;
@@ -253,7 +253,7 @@ pub fn run_differential(scenario: &Scenario) -> Result<(), Box<Divergence>> {
             arrival_ms: 0,
             hold_ms: Some(1_000),
         };
-        let report = broker.run(&[spec], &FaultPlan::none());
+        let report = broker.drive(&FleetSpec::new(&[spec]));
         let expected = expected_fate(&reference);
         let got = report.results.first().map(|r| r.fate);
         if got != Some(expected) {

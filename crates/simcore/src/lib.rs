@@ -36,6 +36,6 @@ pub mod time;
 pub use event::{EventQueue, Scheduled};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use ledger::{BookingId, IntervalLedger};
-pub use rng::{SplitMix64, StreamRng};
+pub use rng::{SplitMix64, StreamRng, ZipfSampler};
 pub use stats::{Histogram, OnlineStats, Percentiles};
 pub use time::{SimDuration, SimTime};

@@ -9,7 +9,7 @@
 //! experiment measures admission ratio, starvation, retry volume and —
 //! always — that the drained system leaks zero capacity.
 
-use nod_broker::{Broker, BrokerConfig, BrokerReport, FaultPlan, SessionSpec};
+use nod_broker::{Broker, BrokerConfig, BrokerReport, FaultPlan, FleetSpec, SessionSpec};
 use nod_client::ClientMachine;
 use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
 use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
@@ -55,6 +55,16 @@ pub struct ContendedConfig {
     /// [`nod_obs::default_fleet_slos`]). Alerts land in
     /// [`BrokerReport::slo_alerts`].
     pub slos: Vec<SloSpec>,
+    /// Worker shards for the broker's prepare stage (see
+    /// [`FleetSpec::workers`]); 1 = fully sequential. The outcome log and
+    /// the merged metric snapshot are identical at every value.
+    pub workers: usize,
+    /// Client access-link bandwidth of the dumbbell topology, bit/s.
+    pub access_bps: u64,
+    /// Shared backbone bandwidth of the dumbbell topology, bit/s. Scale
+    /// this up with the farm for metro-sized fleets, or the backbone —
+    /// not the servers — becomes the only bottleneck.
+    pub backbone_bps: u64,
 }
 
 impl Default for ContendedConfig {
@@ -72,6 +82,9 @@ impl Default for ContendedConfig {
             guarantee: Guarantee::Guaranteed,
             choice_period_ms: 0,
             slos: Vec::new(),
+            workers: 1,
+            access_bps: 25_000_000,
+            backbone_bps: 155_000_000,
         }
     }
 }
@@ -134,8 +147,8 @@ fn build_world(
     let network = Network::new(Topology::dumbbell(
         config.clients,
         config.servers,
-        25_000_000,
-        155_000_000,
+        config.access_bps,
+        config.backbone_bps,
     ));
     let cost_model = CostModel::era_default();
     let population = UserPopulation::era_default();
@@ -235,9 +248,13 @@ pub fn run_contended_with(
         )
     };
 
-    let broker = Broker::new(world.ctx(config, recorder), world.broker_config(config))
-        .with_slos(config.slos.clone());
-    let report = broker.run(&specs, &faults);
+    let broker = Broker::new(world.ctx(config, recorder), world.broker_config(config));
+    let report = broker.drive(
+        &FleetSpec::new(&specs)
+            .faults(&faults)
+            .workers(config.workers)
+            .slos(config.slos.clone()),
+    );
     let result = ContendedResult {
         offered: config.sessions,
         admitted: report.admitted,
@@ -252,24 +269,24 @@ pub fn run_contended_with(
     (result, report)
 }
 
-/// The same contended world driven through
-/// [`Broker::run_threaded`]: steps 1–4 of every session
-/// in parallel across `threads` OS threads, step-5 commits serialized in
-/// session order. Returns `(admitted, leaked_streams)`.
+/// The contended world with `threads` worker shards, returning only
+/// `(admitted, leaked_streams)`.
 ///
-/// With a sharded recorder attached
-/// ([`Recorder::build`](nod_obs::Recorder)), the merged metric snapshot
-/// is byte-identical for a given config at every `threads` value — the
-/// b11 telemetry bench and the CI retention gate both pin this.
+/// Superseded: set [`ContendedConfig::workers`] and call
+/// [`run_contended_with`] — the full [`BrokerReport`] comes back at any
+/// worker count now, byte-identical to the sequential one.
+#[deprecated(note = "set `ContendedConfig::workers` and use `run_contended_with`")]
 pub fn run_threaded_contended(
     config: &ContendedConfig,
     recorder: Option<&Recorder>,
     threads: usize,
 ) -> (usize, usize) {
-    let (world, _) = build_world(config, recorder);
-    let specs = world.specs(config);
-    let broker = Broker::new(world.ctx(config, recorder), world.broker_config(config));
-    broker.run_threaded(&specs, threads)
+    let config = ContendedConfig {
+        workers: threads,
+        ..config.clone()
+    };
+    let (result, _) = run_contended_with(&config, recorder);
+    (result.admitted, result.leaked_streams)
 }
 
 #[cfg(test)]
@@ -317,19 +334,32 @@ mod tests {
             hold_ms: 8_000,
             ..ContendedConfig::default()
         };
-        let run = |threads: usize| {
+        let run = |workers: usize| {
             let rec = Recorder::sharded(8);
-            let (admitted, leaked) = run_threaded_contended(&config, Some(&rec), threads);
-            (admitted, leaked, rec.snapshot().to_json_pretty())
+            let cfg = ContendedConfig {
+                workers,
+                ..config.clone()
+            };
+            let (result, report) = run_contended_with(&cfg, Some(&rec));
+            (result, report, rec.snapshot().to_json_pretty())
         };
-        let (a1, l1, s1) = run(1);
-        let (a2, l2, s2) = run(2);
-        let (a8, l8, s8) = run(8);
-        assert!(a1 >= 1);
-        assert_eq!((l1, l2, l8), (0, 0, 0));
-        assert_eq!((a1, a1), (a2, a8), "admissions depend on thread count");
-        assert_eq!(s1, s2, "merged snapshot must not depend on thread count");
-        assert_eq!(s1, s8, "merged snapshot must not depend on thread count");
+        let (r1, rep1, s1) = run(1);
+        let (r2, rep2, s2) = run(2);
+        let (r8, rep8, s8) = run(8);
+        assert!(r1.admitted >= 1);
+        assert_eq!(r1.leaked_streams, 0);
+        assert_eq!(r1, r2, "aggregates depend on worker count");
+        assert_eq!(r1, r8, "aggregates depend on worker count");
+        assert_eq!(
+            rep1.events, rep2.events,
+            "outcome log depends on worker count"
+        );
+        assert_eq!(
+            rep1.events, rep8.events,
+            "outcome log depends on worker count"
+        );
+        assert_eq!(s1, s2, "merged snapshot must not depend on worker count");
+        assert_eq!(s1, s8, "merged snapshot must not depend on worker count");
     }
 
     #[test]

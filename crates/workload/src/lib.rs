@@ -17,8 +17,8 @@ pub use adaptation::{run_adaptation, run_adaptation_with, AdaptationConfig, Adap
 pub use blocking::{
     run_blocking, run_blocking_with, BlockingConfig, BlockingResult, NegotiatorKind,
 };
-pub use contended::{
-    run_contended, run_contended_with, run_threaded_contended, ContendedConfig, ContendedResult,
-};
+#[allow(deprecated)]
+pub use contended::run_threaded_contended;
+pub use contended::{run_contended, run_contended_with, ContendedConfig, ContendedResult};
 pub use population::{UserClass, UserPopulation};
 pub use scenario::Scenario;

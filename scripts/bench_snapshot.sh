@@ -2,9 +2,9 @@
 # Snapshot the negotiation-path microbenches into BENCH_negotiation.json.
 #
 # Runs the B4/B8 negotiation bench, the B1/B2/B7 classification bench, the
-# B9 contended-broker bench, the B10 trace bench and the B11 fleet-telemetry
-# bench with NOD_BENCH_JSON_OUT set, then merges the
-# dumps into a single JSON file at the repo root. Honors NOD_BENCH_FAST=1
+# B9 contended-broker bench, the B10 trace bench, the B11 fleet-telemetry
+# bench and the B12 city-scale fleet sweep with NOD_BENCH_JSON_OUT set,
+# then merges the dumps into a single JSON file at the repo root. Honors NOD_BENCH_FAST=1
 # for a quick smoke run (CI); leave it unset for publication-quality
 # numbers. The B9 run doubles as the broker stress smoke: it includes a
 # real-thread race against the shared farm and panics on leaked capacity.
@@ -39,6 +39,15 @@ echo "==> bench: telemetry (B11 fleet telemetry: determinism, retention, overhea
 NOD_BENCH_JSON_OUT="$tmpdir/telemetry.json" \
     cargo bench -q -p nod-bench --bench telemetry 2>&1 | tail -n +1
 
+# B12 sweeps the metro fleet through Broker::drive — 1k/10k in fast mode,
+# 1k/10k/100k/1M in full mode — reporting sessions/sec and peak RSS per
+# scale. The byte-identical merge across 1/2/8 workers gates in both
+# modes (at 10k fast, 100k full); zero leaked reservations gate at every
+# scale.
+echo "==> bench: fleet (B12 city-scale sweep: throughput, RSS, deterministic merge)"
+NOD_BENCH_JSON_OUT="$tmpdir/fleet.json" \
+    cargo bench -q -p nod-bench --bench fleet 2>&1 | tail -n +1
+
 # Nightly-depth oracle sweep (non-gating here — check.sh gates the 256-case
 # run): a wider seeded sweep whose counters (oracle.cases,
 # oracle.divergences) ride along in the snapshot. Divergences don't fail
@@ -65,6 +74,9 @@ cargo run -q --release -p nod-oracle --bin run_oracle -- \
     echo '  ,'
     echo '  "telemetry":'
     sed 's/^/    /' "$tmpdir/telemetry.json"
+    echo '  ,'
+    echo '  "fleet":'
+    sed 's/^/    /' "$tmpdir/fleet.json"
     echo '  ,'
     echo '  "oracle":'
     sed 's/^/    /' "$tmpdir/oracle.json"

@@ -31,6 +31,14 @@ cargo run -q --release -p nod-oracle --bin run_oracle -- \
 echo "==> bench smoke (NOD_BENCH_FAST=1 scripts/bench_snapshot.sh)"
 NOD_BENCH_FAST=1 scripts/bench_snapshot.sh
 
+# Fleet smoke (gating): drive a 10k-session metro fleet through the
+# sharded engine and assert the deterministic-merge contract — the
+# 8-worker outcome log must be byte-identical to the 1-worker log — plus
+# the zero-leak capacity audit that run_fleet performs on every run.
+echo "==> fleet smoke (run_fleet --sessions 10000 --workers 8 --assert-merge)"
+cargo run -q --release -p nod-bench --bin run_fleet -- \
+    --sessions 10000 --workers 8 --assert-merge
+
 # Trace smoke: a small contended run must emit a parseable JSONL trace log
 # whose span trees pass the analyzer's causal-integrity checks (the
 # --trace-report path exits non-zero on a malformed trace).

@@ -5,7 +5,7 @@
 //! injection must replay bit-for-bit under the same seed.
 
 use news_on_demand::broker::{
-    Broker, BrokerConfig, FaultPlan, OutcomeKind, SessionFate, SessionSpec,
+    Broker, BrokerConfig, EventRetention, FleetSpec, OutcomeKind, SessionFate, SessionSpec,
 };
 use news_on_demand::client::ClientMachine;
 use news_on_demand::cmfs::{Guarantee, ServerConfig, ServerFarm};
@@ -146,7 +146,7 @@ fn sixty_four_sessions_contend_for_a_thirty_two_stream_farm() {
             ..BrokerConfig::era_default()
         },
     );
-    let report = broker.run(&specs, &FaultPlan::none());
+    let report = broker.drive(&FleetSpec::new(&specs));
 
     // Every session reached one terminal fate; the partition is exact.
     assert_eq!(report.results.len(), 64);
@@ -229,7 +229,7 @@ fn k_sessions_racing_for_half_capacity_converge_without_leaks() {
                 ..BrokerConfig::era_default()
             },
         );
-        let report = broker.run(&specs, &FaultPlan::none());
+        let report = broker.drive(&FleetSpec::new(&specs));
         assert_eq!(report.leaked_streams, 0, "seed {seed}");
         assert_eq!(
             report.admitted + report.starved + report.rejected + report.errored,
@@ -293,8 +293,157 @@ fn threaded_stress_run_terminates_and_leaks_nothing() {
         })
         .collect();
     let broker = Broker::new(ctx(&w), BrokerConfig::era_default());
+    let report = broker.drive(
+        &FleetSpec::new(&specs)
+            .workers(4)
+            .retention(EventRetention::CountsOnly),
+    );
+    assert!(report.admitted >= 1, "some sessions must get through");
+    assert_eq!(report.leaked_streams, 0);
+    assert!(
+        report.events.is_empty(),
+        "CountsOnly retention keeps no raw log"
+    );
+    assert_drained(&w);
+
+    // The deprecated stress-mode shim must agree with the engine it
+    // wraps.
+    #[allow(deprecated)]
     let (admitted, leaked) = broker.run_threaded(&specs, 4);
-    assert!(admitted >= 1, "some sessions must get through");
-    assert_eq!(leaked, 0);
+    assert_eq!((admitted, leaked), (report.admitted, report.leaked_streams));
+    assert_drained(&w);
+}
+
+#[test]
+fn outcome_log_is_byte_identical_across_worker_counts() {
+    // The drive() determinism contract under everything at once: faults
+    // churning the farm, a choicePeriod holding reservations open, and
+    // retries — the outcome log and per-session results must not depend
+    // on the worker count.
+    let config = ContendedConfig {
+        seed: 41,
+        sessions: 48,
+        servers: 2,
+        arrivals_per_minute: 240.0,
+        hold_ms: 9_000,
+        fault_windows: 4,
+        choice_period_ms: 500,
+        ..ContendedConfig::default()
+    };
+    let run = |workers: usize| {
+        run_contended_with(
+            &ContendedConfig {
+                workers,
+                ..config.clone()
+            },
+            None,
+        )
+    };
+    let (r1, rep1) = run(1);
+    let (r2, rep2) = run(2);
+    let (r8, rep8) = run(8);
+    assert!(r1.faults_injected > 0, "the fault plan must fire");
+    assert!(r1.retries > 0, "the load must contend");
+    assert_eq!(r1, r2);
+    assert_eq!(r1, r8);
+    assert_eq!(rep1.events, rep2.events, "1 vs 2 workers diverged");
+    assert_eq!(rep1.events, rep8.events, "1 vs 8 workers diverged");
+    assert_eq!(rep1.results, rep8.results);
+    assert_eq!(rep1.leaked_streams, 0);
+}
+
+#[test]
+fn slab_recycling_keeps_peak_live_at_the_concurrent_overlap() {
+    let w = world(960);
+    let clients = clients();
+    let profile = tv_news_profile();
+    // Arrivals spaced 10 s apart, each holding 1 s, no retries: never
+    // more than one session in flight, so the live arena must peak at
+    // exactly 1 even though 32 sessions pass through.
+    let specs: Vec<SessionSpec<'_>> = (0..32u64)
+        .map(|i| SessionSpec {
+            client: &clients[(i % CLIENTS) as usize],
+            document: DocumentId(i % 8 + 1),
+            profile: &profile,
+            arrival_ms: i * 10_000,
+            hold_ms: Some(1_000),
+        })
+        .collect();
+    let broker = Broker::new(
+        ctx(&w),
+        BrokerConfig {
+            retry: RetryPolicy::NO_RETRY,
+            ..BrokerConfig::era_default()
+        },
+    );
+    let report = broker.drive(&FleetSpec::new(&specs));
+    assert!(report.admitted >= 1, "an idle farm admits most sessions");
+    assert_eq!(
+        report.peak_live_sessions, 1,
+        "non-overlapping sessions must recycle one slab slot"
+    );
+    assert_eq!(report.leaked_streams, 0);
+    assert_drained(&w);
+
+    // The same sessions arriving as one burst genuinely overlap.
+    let burst: Vec<SessionSpec<'_>> = specs
+        .iter()
+        .map(|s| SessionSpec {
+            arrival_ms: 0,
+            ..*s
+        })
+        .collect();
+    let report = broker.drive(&FleetSpec::new(&burst));
+    assert!(
+        report.peak_live_sessions > 1,
+        "a burst must hold several sessions live at once"
+    );
+    assert_eq!(report.leaked_streams, 0);
+    assert_drained(&w);
+}
+
+#[test]
+fn windows_only_retention_folds_the_log_it_drops() {
+    let config = ContendedConfig {
+        seed: 21,
+        sessions: 40,
+        servers: 1,
+        arrivals_per_minute: 240.0,
+        hold_ms: 8_000,
+        ..ContendedConfig::default()
+    };
+    let (_, full) = run_contended_with(&config, None);
+    assert!(!full.events.is_empty());
+
+    // Re-drive the same world with WindowsOnly retention: the raw log is
+    // gone but the windows must equal the post-hoc fold of the full log.
+    let w = world(970);
+    let clients = clients();
+    let profile = tv_news_profile();
+    let specs: Vec<SessionSpec<'_>> = (0..40u64)
+        .map(|i| SessionSpec {
+            client: &clients[(i % CLIENTS) as usize],
+            document: DocumentId(i % 8 + 1),
+            profile: &profile,
+            arrival_ms: i * 300,
+            hold_ms: Some(6_000),
+        })
+        .collect();
+    let broker = Broker::new(ctx(&w), BrokerConfig::era_default());
+    let full = broker.drive(&FleetSpec::new(&specs).windows(1_000));
+    let lean = broker.drive(
+        &FleetSpec::new(&specs)
+            .retention(EventRetention::WindowsOnly)
+            .windows(1_000),
+    );
+    assert!(!full.events.is_empty());
+    assert!(lean.events.is_empty(), "WindowsOnly drops the raw log");
+    assert_eq!(
+        lean.windows,
+        news_on_demand::broker::fleet_windows(&full.events, 1_000),
+        "streamed windows must equal the post-hoc fold"
+    );
+    assert_eq!(lean.windows, full.windows);
+    assert_eq!(lean.leaked_streams, 0);
     assert_drained(&w);
 }

@@ -7,9 +7,9 @@
 use std::collections::BTreeSet;
 
 use news_on_demand::obs::{analyze, Recorder, RetentionPolicy, Tracer};
-use news_on_demand::workload::{run_threaded_contended, ContendedConfig};
+use news_on_demand::workload::{run_contended_with, ContendedConfig};
 
-const THREADS: usize = 4;
+const WORKERS: usize = 4;
 
 /// A fleet small enough for tier-1 but contended enough that most
 /// sessions fail: one server, long holds, fast arrivals.
@@ -20,6 +20,7 @@ fn config() -> ContendedConfig {
         servers: 1,
         arrivals_per_minute: 240.0,
         hold_ms: 8_000,
+        workers: WORKERS,
         ..ContendedConfig::default()
     }
 }
@@ -35,12 +36,15 @@ fn policy() -> RetentionPolicy {
 
 /// Run the contended fleet with a tail-sampling tracer attached.
 fn sampled_run() -> (usize, Tracer) {
-    let recorder = Recorder::sharded(THREADS);
+    let recorder = Recorder::sharded(WORKERS);
     let tracer = Tracer::with_sampling(policy());
     recorder.set_tracer(tracer.clone());
-    let (admitted, leaked) = run_threaded_contended(&config(), Some(&recorder), THREADS);
-    assert_eq!(leaked, 0, "contended run must release every stream");
-    (admitted, tracer)
+    let (result, _) = run_contended_with(&config(), Some(&recorder));
+    assert_eq!(
+        result.leaked_streams, 0,
+        "contended run must release every stream"
+    );
+    (result.admitted, tracer)
 }
 
 #[test]

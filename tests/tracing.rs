@@ -2,13 +2,14 @@
 //! runs must be deterministic (same seed → byte-identical JSONL and equal
 //! span-tree shapes, including under fault injection and confirmation
 //! windows), complete (every event lands in exactly one session tree and
-//! wait attribution covers the whole session), survive `run_threaded`
-//! without violating the causal invariants, and the flight recorder must
+//! wait attribution covers the whole session), survive multi-worker
+//! `drive` without violating the causal invariants, and the flight
+//! recorder must
 //! capture the last events when the capacity audit trips.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use news_on_demand::broker::{Broker, BrokerConfig, FaultPlan, SessionSpec};
+use news_on_demand::broker::{Broker, BrokerConfig, EventRetention, FleetSpec, SessionSpec};
 use news_on_demand::client::ClientMachine;
 use news_on_demand::cmfs::{Guarantee, ServerConfig, ServerFarm};
 use news_on_demand::mmdb::{Catalog, CorpusBuilder, CorpusParams};
@@ -164,7 +165,7 @@ fn ctx<'a>(w: &'a World, recorder: Option<&'a Recorder>) -> NegotiationContext<'
 }
 
 #[test]
-fn run_threaded_traces_satisfy_causal_invariants() {
+fn threaded_drive_traces_satisfy_causal_invariants() {
     let w = world(950);
     let clients: Vec<ClientMachine> = (0..CLIENTS)
         .map(|i| ClientMachine::era_workstation(ClientId(i)))
@@ -183,9 +184,13 @@ fn run_threaded_traces_satisfy_causal_invariants() {
     let tracer = Tracer::new();
     recorder.set_tracer(tracer.clone());
     let broker = Broker::new(ctx(&w, Some(&recorder)), BrokerConfig::era_default());
-    let (admitted, leaked) = broker.run_threaded(&specs, 4);
-    assert!(admitted >= 1);
-    assert_eq!(leaked, 0);
+    let report = broker.drive(
+        &FleetSpec::new(&specs)
+            .workers(4)
+            .retention(EventRetention::CountsOnly),
+    );
+    assert!(report.admitted >= 1);
+    assert_eq!(report.leaked_streams, 0);
 
     // Scheduling is nondeterministic, but the per-session resume/suspend
     // protocol must still partition events into well-formed trees: every
@@ -232,7 +237,11 @@ fn injected_leak_trips_audit_and_dumps_flight_recorder() {
     );
     // The audit fires a debug_assert after dumping: tolerate both debug
     // (panic caught here) and release (run returns normally) profiles.
-    let _ = catch_unwind(AssertUnwindSafe(|| broker.run(&specs, &FaultPlan::none())));
+    // Eight worker shards: the audit and dump must fire under the
+    // threaded engine too, and the panic must not wedge the pool.
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        broker.drive(&FleetSpec::new(&specs).workers(8))
+    }));
 
     let dump = tracer
         .take_flight_dump()
