@@ -66,6 +66,7 @@ fn ctx(w: &World) -> NegotiationContext<'_> {
         prune_dominated: false,
         streaming: nod_qosneg::negotiate::StreamingMode::Auto,
         recorder: None,
+        explain: false,
     }
 }
 

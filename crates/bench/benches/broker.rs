@@ -34,6 +34,7 @@ fn ctx(w: &World) -> NegotiationContext<'_> {
         prune_dominated: false,
         streaming: StreamingMode::Auto,
         recorder: None,
+        explain: false,
     }
 }
 

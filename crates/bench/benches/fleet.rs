@@ -48,6 +48,7 @@ fn ctx(fleet: &MetroFleet) -> NegotiationContext<'_> {
         prune_dominated: false,
         streaming: StreamingMode::Auto,
         recorder: None,
+        explain: false,
     }
 }
 

@@ -59,6 +59,7 @@ fn main() {
             prune_dominated: false,
             streaming: nod_qosneg::negotiate::StreamingMode::Auto,
             recorder: None,
+            explain: false,
         };
 
         let session = Session::new(ctx);

@@ -45,6 +45,7 @@ fn main() {
                 prune_dominated: false,
                 streaming: nod_qosneg::negotiate::StreamingMode::Auto,
                 recorder: None,
+                explain: false,
             };
             let out = Session::new(ctx)
                 .submit(&NegotiationRequest::new(&client, DocumentId(1), &profile))

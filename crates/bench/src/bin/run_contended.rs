@@ -26,9 +26,10 @@
 //! A [`FlushGuard`] arms as soon as the sinks exist: if the run panics,
 //! the partial trace log and metrics snapshot are still written.
 
-use nod_bench::FlushGuard;
+use nod_bench::{write_artifact, FlushGuard};
 use nod_broker::fleet_windows;
-use nod_obs::{analyze, default_fleet_slos, to_prometheus_text, Recorder, Tracer};
+use nod_obs::{analyze, default_fleet_slos, to_prometheus_text, Recorder, RetentionPolicy, Tracer};
+use nod_qosneg::explain::{ExplainArtifact, ExplainMeta};
 use nod_workload::{run_contended_with, ContendedConfig};
 
 fn usage() -> ! {
@@ -36,7 +37,7 @@ fn usage() -> ! {
         "usage: run_contended [--sessions N] [--servers N] [--clients N] [--seed N] \
          [--workers N] [--faults N] [--arrivals-per-minute F] [--hold-ms N] [--choice-period MS] \
          [--trace-out <path>] [--trace-report] [--chrome-out <path>] [--metrics-out <path>] \
-         [--prom-out <path>] [--windows-out <dir>] [--window-ms N] [--slos]"
+         [--prom-out <path>] [--windows-out <dir>] [--window-ms N] [--slos] [--explain-out <path>]"
     );
     std::process::exit(2);
 }
@@ -65,6 +66,7 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut prom_out: Option<String> = None;
     let mut windows_out: Option<String> = None;
+    let mut explain_out: Option<String> = None;
     let mut window_ms: u64 = 5_000;
     let mut trace_report = false;
     let mut it = std::env::args().skip(1);
@@ -86,6 +88,7 @@ fn main() {
             "--metrics-out" => metrics_out = Some(parse(&mut it, "--metrics-out")),
             "--prom-out" => prom_out = Some(parse(&mut it, "--prom-out")),
             "--windows-out" => windows_out = Some(parse(&mut it, "--windows-out")),
+            "--explain-out" => explain_out = Some(parse(&mut it, "--explain-out")),
             "--window-ms" => window_ms = parse(&mut it, "--window-ms"),
             "--slos" => config.slos = default_fleet_slos(),
             "--trace-report" => trace_report = true,
@@ -93,6 +96,9 @@ fn main() {
         }
     }
 
+    if explain_out.is_some() {
+        config.explain = Some(RetentionPolicy::default());
+    }
     let recorder = Recorder::new();
     let tracer = Tracer::new();
     recorder.set_tracer(tracer.clone());
@@ -156,8 +162,8 @@ fn main() {
             text.push_str(&ev.to_json_line());
             text.push('\n');
         }
-        if let Err(e) = std::fs::write(path, text) {
-            eprintln!("error: cannot write trace to {path}: {e}");
+        if let Err(e) = write_artifact(path, &text) {
+            eprintln!("error: cannot write trace: {e}");
             std::process::exit(1);
         }
         eprintln!("trace log ({} events) written to {path}", events.len());
@@ -174,8 +180,8 @@ fn main() {
             print!("{}", analyze::text_report(&trees));
         }
         if let Some(path) = &chrome_out {
-            if let Err(e) = std::fs::write(path, analyze::chrome_trace_json(&trees)) {
-                eprintln!("error: cannot write chrome trace to {path}: {e}");
+            if let Err(e) = write_artifact(path, &analyze::chrome_trace_json(&trees)) {
+                eprintln!("error: cannot write chrome trace: {e}");
                 std::process::exit(1);
             }
             eprintln!("chrome trace written to {path} (open in chrome://tracing)");
@@ -183,15 +189,15 @@ fn main() {
     }
     let snapshot = recorder.snapshot();
     if let Some(path) = &metrics_out {
-        if let Err(e) = std::fs::write(path, snapshot.to_json_pretty()) {
-            eprintln!("error: cannot write metrics to {path}: {e}");
+        if let Err(e) = write_artifact(path, &snapshot.to_json_pretty()) {
+            eprintln!("error: cannot write metrics: {e}");
             std::process::exit(1);
         }
         eprintln!("metrics snapshot written to {path}");
     }
     if let Some(path) = &prom_out {
-        if let Err(e) = std::fs::write(path, to_prometheus_text(&snapshot)) {
-            eprintln!("error: cannot write exposition to {path}: {e}");
+        if let Err(e) = write_artifact(path, &to_prometheus_text(&snapshot)) {
+            eprintln!("error: cannot write exposition: {e}");
             std::process::exit(1);
         }
         eprintln!("prometheus exposition written to {path}");
@@ -205,8 +211,8 @@ fn main() {
         let windows = fleet_windows(&report.events, window_ms);
         for (i, w) in windows.iter().enumerate() {
             let path = dir.join(format!("window_{i:04}.prom"));
-            if let Err(e) = std::fs::write(&path, w.to_prometheus_text()) {
-                eprintln!("error: cannot write {}: {e}", path.display());
+            if let Err(e) = write_artifact(&path, &w.to_prometheus_text()) {
+                eprintln!("error: cannot write window: {e}");
                 std::process::exit(1);
             }
         }
@@ -214,6 +220,30 @@ fn main() {
             "{} fleet windows ({window_ms} ms each) written to {}",
             windows.len(),
             dir.display()
+        );
+    }
+    if let Some(path) = &explain_out {
+        let policy = config.explain.expect("set when --explain-out is given");
+        let data = report.explains.clone().expect("explain was requested");
+        let artifact = ExplainArtifact::new(
+            ExplainMeta {
+                source: "run_contended".to_string(),
+                seed: config.seed,
+                sessions: config.sessions as u64,
+                top_k: policy.top_k as u64,
+                sample_every: policy.sample_every,
+                sample_seed: policy.seed,
+            },
+            data,
+        );
+        if let Err(e) = write_artifact(path, &artifact.to_jsonl()) {
+            eprintln!("error: cannot write explain artifact: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "explain artifact ({} ledger rows, {} retained sessions) written to {path}",
+            artifact.ledger.len(),
+            artifact.sessions.len()
         );
     }
 }

@@ -13,14 +13,19 @@
 //! — the deterministic-merge contract the CI smoke gates on. Any leaked
 //! stream is fatal.
 
-use nod_bench::MetroFleet;
+use nod_bench::{write_artifact, MetroFleet};
 use nod_broker::{Broker, BrokerConfig, EventRetention, FleetSpec};
 use nod_cmfs::Guarantee;
+use nod_obs::RetentionPolicy;
+use nod_qosneg::explain::{ExplainArtifact, ExplainMeta};
 use nod_qosneg::negotiate::{NegotiationContext, StreamingMode};
 use nod_qosneg::ClassificationStrategy;
 
 fn usage() -> ! {
-    eprintln!("usage: run_fleet [--sessions N] [--workers N] [--seed N] [--assert-merge]");
+    eprintln!(
+        "usage: run_fleet [--sessions N] [--workers N] [--seed N] [--assert-merge] \
+         [--explain-out <path>]"
+    );
     std::process::exit(2);
 }
 
@@ -47,6 +52,7 @@ fn ctx(fleet: &MetroFleet) -> NegotiationContext<'_> {
         prune_dominated: false,
         streaming: StreamingMode::Auto,
         recorder: None,
+        explain: false,
     }
 }
 
@@ -55,6 +61,7 @@ fn main() {
     let mut workers = 8usize;
     let mut seed = 12u64;
     let mut assert_merge = false;
+    let mut explain_out: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -62,6 +69,7 @@ fn main() {
             "--workers" => workers = parse(&mut it, "--workers"),
             "--seed" => seed = parse(&mut it, "--seed"),
             "--assert-merge" => assert_merge = true,
+            "--explain-out" => explain_out = Some(parse(&mut it, "--explain-out")),
             _ => usage(),
         }
     }
@@ -83,8 +91,16 @@ fn main() {
     } else {
         EventRetention::WindowsOnly
     };
+    let policy = RetentionPolicy::default();
+    let fleet_spec = |workers: usize| {
+        let mut spec = FleetSpec::new(&specs).workers(workers).retention(retention);
+        if explain_out.is_some() {
+            spec = spec.explain(policy);
+        }
+        spec
+    };
     let t0 = std::time::Instant::now();
-    let report = broker.drive(&FleetSpec::new(&specs).workers(workers).retention(retention));
+    let report = broker.drive(&fleet_spec(workers));
     let wall = t0.elapsed();
 
     assert_eq!(report.leaked_streams, 0, "fleet run leaked streams");
@@ -109,7 +125,7 @@ fn main() {
 
     if assert_merge {
         let t0 = std::time::Instant::now();
-        let sequential = broker.drive(&FleetSpec::new(&specs).workers(1));
+        let sequential = broker.drive(&fleet_spec(1));
         let wall1 = t0.elapsed();
         assert_eq!(
             sequential.leaked_streams, 0,
@@ -120,10 +136,38 @@ fn main() {
             "outcome log diverged between {workers} workers and 1"
         );
         assert_eq!(report.results, sequential.results);
+        assert_eq!(
+            report.explains, sequential.explains,
+            "explain data diverged between {workers} workers and 1"
+        );
         println!(
             "merge assert OK: {} events byte-identical at {workers} workers vs 1 (sequential {:.2?})",
             report.events.len(),
             wall1,
+        );
+    }
+
+    if let Some(path) = &explain_out {
+        let data = report.explains.clone().expect("explain was requested");
+        let artifact = ExplainArtifact::new(
+            ExplainMeta {
+                source: "run_fleet".to_string(),
+                seed,
+                sessions: sessions as u64,
+                top_k: policy.top_k as u64,
+                sample_every: policy.sample_every,
+                sample_seed: policy.seed,
+            },
+            data,
+        );
+        if let Err(e) = write_artifact(path, &artifact.to_jsonl()) {
+            eprintln!("error: cannot write explain artifact: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "explain artifact ({} ledger rows, {} retained sessions) written to {path}",
+            artifact.ledger.len(),
+            artifact.sessions.len()
         );
     }
 }

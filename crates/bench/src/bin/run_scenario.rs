@@ -23,10 +23,14 @@
 //! span-tree summary to stderr. For per-session traces use the
 //! `run_contended` bin, whose broker assigns one trace per session.
 
-use nod_bench::{f3, Table};
-use nod_obs::{analyze, to_prometheus_text, Recorder, Tracer};
+use nod_bench::{f3, write_artifact, Table};
+use nod_obs::{analyze, to_prometheus_text, Recorder, RetentionPolicy, Tracer};
+use nod_qosneg::explain::{ExplainArtifact, ExplainData, ExplainMeta};
 use nod_workload::scenario::{presets, Scenario};
-use nod_workload::{run_adaptation_with, run_blocking_with};
+use nod_workload::{
+    run_adaptation_explained, run_adaptation_with, run_blocking_explained, run_blocking_with,
+    AdaptationResult, BlockingResult,
+};
 
 fn resolve(name: &str) -> Result<Scenario, String> {
     match name {
@@ -40,7 +44,7 @@ fn resolve(name: &str) -> Result<Scenario, String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: run_scenario [--dump] [--metrics-out <path>] [--prom-out <path>] [--trace-out <path>] [--trace-report] <preset|file.json>"
+        "usage: run_scenario [--dump] [--metrics-out <path>] [--prom-out <path>] [--trace-out <path>] [--trace-report] [--explain-out <path>] <preset|file.json>"
     );
     eprintln!("presets: light-load, prime-time, outage-drill");
     std::process::exit(2);
@@ -52,6 +56,7 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut prom_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut explain_out: Option<String> = None;
     let mut trace_report = false;
     let mut name: Option<String> = None;
     let mut it = args.into_iter();
@@ -68,6 +73,10 @@ fn main() {
             },
             "--trace-out" => match it.next() {
                 Some(path) => trace_out = Some(path),
+                None => usage(),
+            },
+            "--explain-out" => match it.next() {
+                Some(path) => explain_out = Some(path),
                 None => usage(),
             },
             "--trace-report" => trace_report = true,
@@ -87,6 +96,33 @@ fn main() {
         println!("{}", scenario.to_json());
         return;
     }
+    // Every run in the scenario lands in one artifact: session ids are
+    // offset per run so "session N" stays unambiguous across phases.
+    let explain_policy = explain_out.as_ref().map(|_| RetentionPolicy::default());
+    let mut explains = ExplainData::default();
+    let mut explain_offset: u64 = 0;
+    let mut merge_explains = |data: ExplainData, offered: u64| {
+        let base = explain_offset;
+        explain_offset += offered;
+        explains
+            .ledger
+            .extend(data.ledger.into_iter().map(|mut row| {
+                row.session += base;
+                row
+            }));
+        explains
+            .sessions
+            .extend(data.sessions.into_iter().map(|mut s| {
+                s.session += base;
+                s
+            }));
+        explains.stats.finished += data.stats.finished;
+        explains.stats.kept_failed += data.stats.kept_failed;
+        explains.stats.kept_head += data.stats.kept_head;
+        explains.stats.kept_slow += data.stats.kept_slow;
+        explains.stats.dropped += data.stats.dropped;
+        explains.stats.truncated_events += data.stats.truncated_events;
+    };
     let tracing = trace_out.is_some() || trace_report;
     let recorder = (metrics_out.is_some() || prom_out.is_some() || tracing).then(Recorder::new);
     let tracer = tracing.then(Tracer::new);
@@ -115,7 +151,14 @@ fn main() {
         ]);
         for cfg in &scenario.blocking {
             let span = recorder.as_ref().and_then(|r| r.trace_span("blocking_run"));
-            let r = run_blocking_with(cfg, recorder.as_ref());
+            let r: BlockingResult = match explain_policy {
+                Some(policy) => {
+                    let (r, data) = run_blocking_explained(cfg, recorder.as_ref(), policy);
+                    merge_explains(data, r.offered);
+                    r
+                }
+                None => run_blocking_with(cfg, recorder.as_ref()),
+            };
             if let Some(span) = span {
                 span.end();
             }
@@ -148,7 +191,14 @@ fn main() {
             let span = recorder
                 .as_ref()
                 .and_then(|r| r.trace_span("adaptation_run"));
-            let r = run_adaptation_with(cfg, recorder.as_ref());
+            let r: AdaptationResult = match explain_policy {
+                Some(policy) => {
+                    let (r, data) = run_adaptation_explained(cfg, recorder.as_ref(), policy);
+                    merge_explains(data, cfg.sessions as u64);
+                    r
+                }
+                None => run_adaptation_with(cfg, recorder.as_ref()),
+            };
             if let Some(span) = span {
                 span.end();
             }
@@ -175,8 +225,8 @@ fn main() {
                 text.push_str(&ev.to_json_line());
                 text.push('\n');
             }
-            if let Err(e) = std::fs::write(path, text) {
-                eprintln!("error: cannot write trace to {path}: {e}");
+            if let Err(e) = write_artifact(path, &text) {
+                eprintln!("error: cannot write trace: {e}");
                 std::process::exit(1);
             }
             eprintln!("trace log ({} events) written to {path}", events.len());
@@ -195,18 +245,47 @@ fn main() {
     if let Some(rec) = recorder {
         let snapshot = rec.snapshot();
         if let Some(path) = metrics_out {
-            if let Err(e) = std::fs::write(&path, snapshot.to_json_pretty()) {
-                eprintln!("error: cannot write metrics to {path}: {e}");
+            if let Err(e) = write_artifact(&path, &snapshot.to_json_pretty()) {
+                eprintln!("error: cannot write metrics: {e}");
                 std::process::exit(1);
             }
             eprintln!("metrics snapshot written to {path}");
         }
         if let Some(path) = prom_out {
-            if let Err(e) = std::fs::write(&path, to_prometheus_text(&snapshot)) {
-                eprintln!("error: cannot write exposition to {path}: {e}");
+            if let Err(e) = write_artifact(&path, &to_prometheus_text(&snapshot)) {
+                eprintln!("error: cannot write exposition: {e}");
                 std::process::exit(1);
             }
             eprintln!("prometheus exposition written to {path}");
         }
+    }
+
+    if let Some(path) = &explain_out {
+        let policy = explain_policy.expect("set when --explain-out is given");
+        let artifact = ExplainArtifact::new(
+            ExplainMeta {
+                source: "run_scenario".to_string(),
+                seed: scenario
+                    .blocking
+                    .first()
+                    .map(|c| c.seed)
+                    .or_else(|| scenario.adaptation.first().map(|c| c.seed))
+                    .unwrap_or(0),
+                sessions: explain_offset,
+                top_k: policy.top_k as u64,
+                sample_every: policy.sample_every,
+                sample_seed: policy.seed,
+            },
+            explains,
+        );
+        if let Err(e) = write_artifact(path, &artifact.to_jsonl()) {
+            eprintln!("error: cannot write explain artifact: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "explain artifact ({} ledger rows, {} retained sessions) written to {path}",
+            artifact.ledger.len(),
+            artifact.sessions.len()
+        );
     }
 }

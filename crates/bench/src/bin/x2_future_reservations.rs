@@ -32,6 +32,7 @@ fn main() {
         prune_dominated: false,
         streaming: nod_qosneg::negotiate::StreamingMode::Auto,
         recorder: None,
+        explain: false,
     };
     let session = Session::new(ctx);
     let mut book = AdvanceBook::new(&ctx);

@@ -110,6 +110,27 @@ pub fn standard_world(seed: u64, documents: usize, servers: usize, clients: usiz
     }
 }
 
+/// Write an experiment artifact, creating missing parent directories.
+///
+/// Every `--*-out` flag funnels through here so `--trace-out
+/// out/run7/trace.jsonl` works on a fresh checkout; errors name the
+/// offending path.
+pub fn write_artifact(path: impl AsRef<std::path::Path>, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("creating parent of {}: {e}", path.display()),
+                )
+            })?;
+        }
+    }
+    std::fs::write(path, contents)
+        .map_err(|e| std::io::Error::new(e.kind(), format!("writing {}: {e}", path.display())))
+}
+
 /// The process's peak resident set size (VmHWM), in kilobytes.
 ///
 /// Linux-only (`/proc/self/status`); returns `None` elsewhere. The value
@@ -157,6 +178,20 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn write_artifact_creates_missing_parents_and_names_paths() {
+        let dir = std::env::temp_dir().join("nod_write_artifact_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let nested = dir.join("a/b/c.jsonl");
+        write_artifact(&nested, "x\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&nested).unwrap(), "x\n");
+        // A directory in the way yields an error that names the path.
+        let blocked = dir.join("a/b");
+        let err = write_artifact(&blocked, "y").unwrap_err();
+        assert!(err.to_string().contains("a/b"), "error was: {err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,8 +26,13 @@
 //! engine), trading some single-worker throughput for a counter stream
 //! that cannot depend on how many workers ran.
 //!
-//! [`Broker::run`] and [`Broker::run_threaded`] survive as deprecated
-//! shims over `drive`.
+//! With [`FleetSpec::explain`] set, every negotiation additionally
+//! records a [`DecisionLog`](nod_qosneg::DecisionLog); the broker keeps
+//! the full capacity ledger (who held which streams, from when to when)
+//! and tail-retains per-session explanations under the same policy trace
+//! retention uses, so [`BrokerReport::explains`] — and any
+//! `--explain-out` artifact written from it — is byte-identical at every
+//! worker count.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -36,10 +41,15 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use nod_client::ClientMachine;
 use nod_cmfs::{Guarantee, StreamRequirement};
 use nod_mmdoc::{DocumentId, VariantId};
+use nod_obs::TailKeeper;
 use nod_obs::{
     HistogramSnapshot, Recorder, SloAlert, SloMonitor, SloSpec, Span, Tracer, ValueHistogram,
 };
 use nod_qosneg::classify::ScoredOffer;
+use nod_qosneg::explain::{
+    AttemptExplain, DecisionLog, ExplainData, LedgerRow, SessionExplain, Settlement, StreamRow,
+};
+use nod_qosneg::mapping::charged_bit_rate;
 use nod_qosneg::negotiate::{
     commit_prepared, prepare, CommitFailure, NegotiationContext, NegotiationTrace, Prepared,
     SessionReservation,
@@ -241,6 +251,10 @@ pub struct BrokerReport {
     /// SLO burn alerts fired during the run ([`FleetSpec::slos`] /
     /// [`Broker::with_slos`]); empty when no objectives were configured.
     pub slo_alerts: Vec<SloAlert>,
+    /// Decision provenance ([`FleetSpec::explain`]): the capacity ledger,
+    /// the tail-retained session explanations and the retention totals.
+    /// `None` when provenance was not requested.
+    pub explains: Option<ExplainData>,
 }
 
 /// Runtime-scheduled events. Fault edges and arrivals are known up front
@@ -266,16 +280,27 @@ struct LiveSession {
     session_span: Option<Span>,
     backoff_span: Option<Span>,
     confirm_span: Option<Span>,
+    /// Accumulating decision provenance ([`FleetSpec::explain`]).
+    explain: Option<SessionAcc>,
+}
+
+/// Per-session provenance accumulator, inline on the live session (an
+/// empty vec and a `None`, so the disabled path costs no allocation).
+#[derive(Default)]
+struct SessionAcc {
+    attempts: Vec<AttemptExplain>,
+    settlement: Option<Settlement>,
 }
 
 /// A prepared negotiation, in the thread-portable shape the prefetch
 /// pool hands back to the coordinator.
 enum Prep {
     /// Steps 1–4 ended before step 5 (local failure / no feasible offer);
-    /// only the terminal status matters to the broker.
-    Early(NegotiationStatus),
-    /// The classified offer list, ready for a step-5 commit walk.
-    Offers(Vec<ScoredOffer>, NegotiationTrace),
+    /// the terminal status plus — with provenance on — the decision log.
+    Early(NegotiationStatus, Option<Box<DecisionLog>>),
+    /// The classified offer list, ready for a step-5 commit walk, with
+    /// the prepare-stage decision log when provenance is on.
+    Offers(Vec<ScoredOffer>, NegotiationTrace, Option<Box<DecisionLog>>),
     /// The negotiation itself failed (stringified [`QosError`], matching
     /// what [`Session::submit`] would have returned).
     Failed(String),
@@ -283,12 +308,16 @@ enum Prep {
 
 /// Run steps 1–4 for one spec. Reads only the catalog and static
 /// topology, so the result is independent of in-flight commits — safe to
-/// run on any thread, ahead of the virtual clock.
-fn prepare_session(ctx: &NegotiationContext<'_>, spec: &SessionSpec<'_>) -> Prep {
-    match prepare(ctx, spec.client, spec.document, spec.profile) {
+/// run on any thread, ahead of the virtual clock. With `explain` set the
+/// returned decision log is a pure function of the spec, so it too is
+/// independent of which worker ran the prepare.
+fn prepare_session(ctx: &NegotiationContext<'_>, spec: &SessionSpec<'_>, explain: bool) -> Prep {
+    let mut ctx = *ctx;
+    ctx.explain = explain;
+    match prepare(&ctx, spec.client, spec.document, spec.profile) {
         Err(err) => Prep::Failed(QosError::from(err).to_string()),
-        Ok(Prepared::Early(out)) => Prep::Early(out.status),
-        Ok(Prepared::Offers(ordered, trace)) => Prep::Offers(ordered, trace),
+        Ok(Prepared::Early(out)) => Prep::Early(out.status, out.decisions),
+        Ok(Prepared::Offers(ordered, trace, decisions)) => Prep::Offers(ordered, trace, decisions),
     }
 }
 
@@ -362,6 +391,8 @@ struct PrefetchPool<'o> {
     /// `(session index, arrival_ms)` in consumption order.
     order: &'o [(u32, u64)],
     window: usize,
+    /// Record a [`DecisionLog`] on every prepare.
+    explain: bool,
     state: Mutex<PoolState>,
     /// Signalled when work appears (retry batch, freed window slot,
     /// shutdown).
@@ -371,10 +402,11 @@ struct PrefetchPool<'o> {
 }
 
 impl<'o> PrefetchPool<'o> {
-    fn new(order: &'o [(u32, u64)], workers: usize) -> Self {
+    fn new(order: &'o [(u32, u64)], workers: usize, explain: bool) -> Self {
         PrefetchPool {
             order,
             window: (workers * ARRIVAL_PREFETCH_PER_WORKER).clamp(workers, 1_024),
+            explain,
             state: Mutex::new(PoolState::default()),
             work: Condvar::new(),
             ready: Condvar::new(),
@@ -416,7 +448,7 @@ impl<'o> PrefetchPool<'o> {
             let spec = &specs[job.session as usize];
             let prep = {
                 let _pin = broker.recorder.map(|r| r.pin_sim_time_us(job.at_us));
-                prepare_session(broker.session.context(), spec)
+                prepare_session(broker.session.context(), spec, self.explain)
             };
             let mut st = self.lock();
             st.done.insert(job.session, prep);
@@ -549,7 +581,7 @@ impl<'a> Broker<'a> {
         if workers == 1 || specs.len() < 2 {
             return self.drive_loop(fleet, &order, None);
         }
-        let pool = PrefetchPool::new(&order, workers);
+        let pool = PrefetchPool::new(&order, workers, fleet.explain.is_some());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let pool = &pool;
@@ -630,6 +662,9 @@ impl<'a> Broker<'a> {
             backoff_ms_total: 0,
             faults_injected: 0,
             retry_prep: BinaryHeap::new(),
+            keeper: fleet.explain.map(TailKeeper::new),
+            ledger: Vec::new(),
+            ledger_ix: vec![u32::MAX; specs.len()],
         };
 
         let mut fi = 0usize; // next fault edge
@@ -777,6 +812,14 @@ impl<'a> Broker<'a> {
             rec.gauge("broker.peak_live_sessions", state.peak_live as f64);
         }
         let slo_alerts = state.slo.finish(self.recorder, end_ms).to_vec();
+        let explains = state.keeper.map(|keeper| {
+            let (items, stats) = keeper.drain();
+            ExplainData {
+                ledger: state.ledger,
+                sessions: items.into_iter().map(|(_, s)| s).collect(),
+                stats,
+            }
+        });
         BrokerReport {
             results,
             events: state.events,
@@ -797,26 +840,8 @@ impl<'a> Broker<'a> {
             peak_live_sessions: state.peak_live,
             latency: latency_snapshot(state.latency),
             slo_alerts,
+            explains,
         }
-    }
-
-    /// Drive every spec to a terminal fate on the virtual clock.
-    #[deprecated(note = "use `Broker::drive` with a `FleetSpec`")]
-    pub fn run(&self, specs: &[SessionSpec<'_>], faults: &FaultPlan) -> BrokerReport {
-        self.drive(&FleetSpec::new(specs).faults(faults))
-    }
-
-    /// Drive the specs with `threads` worker shards, returning only
-    /// `(admitted, leaked_streams)`.
-    #[deprecated(note = "use `Broker::drive` with `FleetSpec::workers` for the full report")]
-    pub fn run_threaded(&self, specs: &[SessionSpec<'_>], threads: usize) -> (usize, usize) {
-        assert!(threads >= 1);
-        let report = self.drive(
-            &FleetSpec::new(specs)
-                .workers(threads)
-                .retention(EventRetention::CountsOnly),
-        );
-        (report.admitted, report.leaked_streams)
     }
 }
 
@@ -850,6 +875,13 @@ struct DriveLoop<'e, 'a> {
     /// Scheduled retries awaiting hand-off to the prefetch pool at their
     /// tick, `(fire_ms, session)`.
     retry_prep: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Tail-retained session explanations ([`FleetSpec::explain`]).
+    keeper: Option<TailKeeper<SessionExplain>>,
+    /// Capacity ledger, one row per admission, in commit order.
+    ledger: Vec<LedgerRow>,
+    /// Spec index → ledger row (`u32::MAX` when never admitted), so the
+    /// departure handler can stamp `depart_ms`.
+    ledger_ix: Vec<u32>,
 }
 
 impl DriveLoop<'_, '_> {
@@ -898,6 +930,7 @@ impl DriveLoop<'_, '_> {
                 session_span: None,
                 backoff_span: None,
                 confirm_span: None,
+                explain: self.keeper.is_some().then(SessionAcc::default),
             });
             self.slots[i] = slot;
             self.peak_live = self.peak_live.max(self.live.len());
@@ -919,8 +952,9 @@ impl DriveLoop<'_, '_> {
         let attempt_span = broker.recorder.and_then(|r| r.trace_span("attempt"));
         let prep = match self.pool {
             Some(pool) => pool.take(i as u32, arrival),
-            None => prepare_session(broker.session.context(), spec),
+            None => prepare_session(broker.session.context(), spec, self.keeper.is_some()),
         };
+        let mut reserved_offer: Option<ScoredOffer> = None;
         let outcome = match prep {
             Prep::Failed(error) => {
                 if let Some(a) = attempt_span {
@@ -932,7 +966,7 @@ impl DriveLoop<'_, '_> {
                 self.close_out(i, now_ms);
                 return;
             }
-            Prep::Early(status) => {
+            Prep::Early(status, decisions) => {
                 // The fused negotiate path would have emitted the
                 // terminal outcome itself; the split path does it here.
                 if let Some(rec) = broker.recorder {
@@ -940,33 +974,56 @@ impl DriveLoop<'_, '_> {
                     rec.counter_with("negotiation.outcome", &[("status", &s)], 1);
                     rec.trace_point("negotiation.outcome", &[("status", &s)]);
                 }
-                (status, None, false, "other")
+                (status, None, false, "other", decisions)
             }
-            Prep::Offers(ordered, trace) => {
-                let out = commit_prepared(
+            Prep::Offers(ordered, trace, decisions) => {
+                let mut out = commit_prepared(
                     broker.session.context(),
                     spec.client,
                     spec.profile,
                     ordered,
                     trace,
+                    decisions,
                 );
                 let transient = out.commit_failures.is_empty()
                     || out.commit_failures.iter().any(|(_, f)| f.transient());
                 let reason = refusal_reason(&out.commit_failures);
-                (out.status, out.reservation, transient, reason)
+                reserved_offer = out.reserved_offer.take();
+                (
+                    out.status,
+                    out.reservation,
+                    transient,
+                    reason,
+                    out.decisions,
+                )
             }
         };
         if let Some(a) = attempt_span {
             a.end();
         }
-        let (status, reservation, transient, reason) = outcome;
+        let (status, reservation, transient, reason, decisions) = outcome;
+        if let Some(d) = decisions {
+            let st = self.live.get_mut(slot).expect("live session");
+            if let Some(acc) = st.explain.as_mut() {
+                acc.attempts.push(AttemptExplain {
+                    at_ms: now_ms,
+                    decisions: *d,
+                });
+            }
+        }
         let kind = match status {
             NegotiationStatus::Succeeded => {
+                if reservation.is_some() {
+                    self.push_ledger(i, now_ms, reserved_offer.as_ref());
+                }
                 self.live.get_mut(slot).expect("live session").reservation = reservation;
                 self.admit(i, slot, now_ms, false)
             }
             NegotiationStatus::FailedWithOffer => {
                 if broker.config.accept_degraded {
+                    if reservation.is_some() {
+                        self.push_ledger(i, now_ms, reserved_offer.as_ref());
+                    }
                     self.live.get_mut(slot).expect("live session").reservation = reservation;
                     self.admit(i, slot, now_ms, true)
                 } else {
@@ -993,6 +1050,42 @@ impl DriveLoop<'_, '_> {
         self.close_out(i, now_ms);
     }
 
+    /// Append a capacity-ledger row for a session whose reservation was
+    /// just committed. `depart_ms` starts equal to `admit_ms` and is
+    /// stamped for real when the session departs; `ledger_ix` remembers
+    /// which row to stamp.
+    fn push_ledger(&mut self, i: usize, now_ms: u64, offer: Option<&ScoredOffer>) {
+        if self.keeper.is_none() {
+            return;
+        }
+        let Some(offer) = offer else {
+            return;
+        };
+        let guarantee = self.broker.session.context().guarantee;
+        let streams = offer
+            .offer
+            .variants
+            .iter()
+            .map(|v| StreamRow {
+                server: v.server.0,
+                // Discrete media are delivered ahead of playout and hold
+                // no steady-state bandwidth.
+                bps: if v.blocks_per_second > 0 {
+                    charged_bit_rate(v, guarantee)
+                } else {
+                    0
+                },
+            })
+            .collect();
+        self.ledger_ix[i] = self.ledger.len() as u32;
+        self.ledger.push(LedgerRow {
+            session: i as u64,
+            admit_ms: now_ms,
+            depart_ms: now_ms,
+            streams,
+        });
+    }
+
     fn admit(&mut self, i: usize, slot: u32, now_ms: u64, degraded: bool) -> OutcomeKind {
         let broker = self.broker;
         let st = self.live.get_mut(slot).expect("live session");
@@ -1003,6 +1096,13 @@ impl DriveLoop<'_, '_> {
             st.pending_admit = Some(degraded);
             st.confirm_span = broker.recorder.and_then(|r| r.trace_span("confirm"));
             let delay = st.rng.range_u64(1, broker.config.choice_period_ms);
+            if let Some(acc) = st.explain.as_mut() {
+                acc.settlement = Some(Settlement {
+                    admitted_at_ms: now_ms,
+                    choice_delay_ms: delay,
+                    confirmed: false,
+                });
+            }
             self.dynq
                 .schedule(SimTime::from_millis(now_ms + delay), Ev::Confirm(i));
             return OutcomeKind::Admitted {
@@ -1011,6 +1111,13 @@ impl DriveLoop<'_, '_> {
             };
         }
         if st.reservation.is_some() {
+            if let Some(acc) = st.explain.as_mut() {
+                acc.settlement = Some(Settlement {
+                    admitted_at_ms: now_ms,
+                    choice_delay_ms: 0,
+                    confirmed: true,
+                });
+            }
             let hold = broker.hold_ms(&self.specs[i]).max(1);
             self.dynq
                 .schedule(SimTime::from_millis(now_ms + hold), Ev::Departure(i));
@@ -1094,6 +1201,11 @@ impl DriveLoop<'_, '_> {
         if let Some(c) = st.confirm_span.take() {
             c.end();
         }
+        if let Some(acc) = st.explain.as_mut() {
+            if let Some(s) = acc.settlement.as_mut() {
+                s.confirmed = true;
+            }
+        }
         let attempts = st.attempts;
         if st.reservation.is_some() {
             let hold = broker.hold_ms(&self.specs[i]).max(1);
@@ -1126,6 +1238,11 @@ impl DriveLoop<'_, '_> {
         let st = self.live.remove(slot);
         debug_assert!(st.closed, "session {i} departed before closing");
         self.slots[i] = u32::MAX;
+        if let Some(&ix) = self.ledger_ix.get(i) {
+            if ix != u32::MAX {
+                self.ledger[ix as usize].depart_ms = now_ms;
+            }
+        }
         self.record(now_ms, i, OutcomeKind::Departed);
     }
 
@@ -1195,7 +1312,9 @@ impl DriveLoop<'_, '_> {
             .admitted_at_ms
             .map(|at| at.saturating_sub(self.specs[i].arrival_ms) as f64);
         let attempts = result.attempts as u64;
+        let fate = fate_label(result.fate);
         let holds = st.reservation.is_some();
+        let acc = st.explain.take();
         self.latency.record(total_ms as f64);
         self.slo
             .on_session(broker.recorder, now_ms, latency_ms, failed, attempts);
@@ -1204,6 +1323,21 @@ impl DriveLoop<'_, '_> {
         // drops the rest now.
         if let Some(t) = self.tracer {
             t.finish_session(i as u64, failed, total_ms.saturating_mul(1_000));
+        }
+        if let Some(keeper) = self.keeper.as_mut() {
+            let arrival_ms = self.specs[i].arrival_ms;
+            keeper.finish_with(i as u64, failed, total_ms.saturating_mul(1_000), || {
+                let acc = acc.unwrap_or_default();
+                SessionExplain {
+                    session: i as u64,
+                    arrival_ms,
+                    fate: fate.to_string(),
+                    duration_ms: total_ms,
+                    attempts: acc.attempts,
+                    settlement: acc.settlement,
+                    adaptations: Vec::new(),
+                }
+            });
         }
         if !holds {
             self.live.remove(slot);

@@ -8,7 +8,7 @@
 //! prepare stage, SLO objectives, the outcome-log retention policy and
 //! an optional fleet-window cadence.
 
-use nod_obs::SloSpec;
+use nod_obs::{RetentionPolicy, SloSpec};
 
 use crate::broker::SessionSpec;
 use crate::fault::FaultPlan;
@@ -53,6 +53,7 @@ pub struct FleetSpec<'a> {
     pub(crate) slos: Vec<SloSpec>,
     pub(crate) retention: EventRetention,
     pub(crate) window_ms: u64,
+    pub(crate) explain: Option<RetentionPolicy>,
 }
 
 impl<'a> FleetSpec<'a> {
@@ -66,6 +67,7 @@ impl<'a> FleetSpec<'a> {
             slos: Vec::new(),
             retention: EventRetention::Full,
             window_ms: 0,
+            explain: None,
         }
     }
 
@@ -100,6 +102,17 @@ impl<'a> FleetSpec<'a> {
     /// [`EventRetention::WindowsOnly`] defaults to 1000 ms if unset).
     pub fn windows(mut self, window_ms: u64) -> Self {
         self.window_ms = window_ms;
+        self
+    }
+
+    /// Collect decision provenance: every negotiation records a
+    /// [`DecisionLog`](nod_qosneg::DecisionLog), the full capacity ledger
+    /// is kept, and per-session explanations are tail-retained under
+    /// `policy` — 100% of failures, the top-k slowest, and a seeded head
+    /// sample, exactly like trace retention. The retained set (and the
+    /// serialized artifact) is byte-identical at every worker count.
+    pub fn explain(mut self, policy: RetentionPolicy) -> Self {
+        self.explain = Some(policy);
         self
     }
 

@@ -27,6 +27,6 @@ pub mod server;
 
 pub use admission::{AdmissionError, Guarantee, StreamRequirement};
 pub use disk::DiskModel;
-pub use farm::{FarmUsage, ServerFarm};
+pub use farm::{FarmError, FarmUsage, ServerFarm};
 pub use rounds::{admit_greedily, simulate_rounds, RoundReport, SimStream};
 pub use server::{FileServer, ReservationId, ServerConfig};

@@ -57,6 +57,7 @@ pub mod analyze;
 pub mod hist;
 pub mod prom;
 mod recorder;
+pub mod retain;
 mod sink;
 pub mod slo;
 mod snapshot;
@@ -65,6 +66,7 @@ pub mod trace;
 pub use hist::{HistogramShardAcc, LogBuckets, LogHistogram, ValueHistogram, RELATIVE_ERROR};
 pub use prom::to_prometheus_text;
 pub use recorder::{Recorder, SimTimePin, Span};
+pub use retain::TailKeeper;
 pub use sink::{FileSink, MemorySink, ObsEvent, ObsSink, StderrSink};
 pub use slo::{default_fleet_slos, Objective, SloAlert, SloMonitor, SloSpec};
 pub use snapshot::{HistogramSnapshot, Snapshot};

@@ -174,10 +174,24 @@ pub struct FileSink {
 }
 
 impl FileSink {
-    /// Create (truncate) `path` and write events to it.
+    /// Create (truncate) `path` and write events to it, creating missing
+    /// parent directories. Errors name the offending path.
     pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    std::io::Error::new(
+                        e.kind(),
+                        format!("creating parent of {}: {e}", path.display()),
+                    )
+                })?;
+            }
+        }
+        let file = File::create(path).map_err(|e| {
+            std::io::Error::new(e.kind(), format!("creating {}: {e}", path.display()))
+        })?;
         Ok(FileSink {
-            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+            writer: Mutex::new(BufWriter::new(file)),
         })
     }
 }

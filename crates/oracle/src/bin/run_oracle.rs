@@ -1,7 +1,7 @@
 //! Differential conformance sweep — the CI gate.
 //!
 //! ```text
-//! run_oracle [--cases N] [--seed S] [--metrics-out PATH] [--stats]
+//! run_oracle [--cases N] [--seed S] [--metrics-out PATH] [--stats] [--explain-check]
 //! ```
 //!
 //! Runs `N` seeded scenarios (deterministic in `S`) through the reference
@@ -9,11 +9,17 @@
 //! shrunk to a minimal scenario and printed as a ready-to-paste `#[test]`;
 //! the process then exits nonzero. The divergence count is recorded on the
 //! `oracle.divergences` counter (written to `--metrics-out` when given).
+//!
+//! `--explain-check` additionally replays every divergence-free scenario
+//! with explanations enabled and asserts the decision log cites exactly
+//! the commit-refusal kinds, pruned-variant set, and winning-offer rank
+//! the paper-literal reference observes.
 
 use std::collections::BTreeMap;
 
 use nod_obs::Recorder;
 use nod_oracle::diff::run_differential;
+use nod_oracle::explain_check::run_explain_crosscheck;
 use nod_oracle::reference::{reference_negotiate, RefContext};
 use nod_oracle::scenario::Scenario;
 use nod_oracle::shrink::shrink;
@@ -23,6 +29,7 @@ fn main() {
     let mut seed: u64 = 7;
     let mut metrics_out: Option<String> = None;
     let mut stats = false;
+    let mut explain_check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,9 +37,10 @@ fn main() {
             "--seed" => seed = expect_num(args.next(), "--seed"),
             "--metrics-out" => metrics_out = args.next(),
             "--stats" => stats = true,
+            "--explain-check" => explain_check = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: run_oracle [--cases N] [--seed S] [--metrics-out PATH] [--stats]"
+                    "usage: run_oracle [--cases N] [--seed S] [--metrics-out PATH] [--stats] [--explain-check]"
                 );
                 return;
             }
@@ -52,21 +60,31 @@ fn main() {
         if stats {
             tally(&scenario, &mut outcome_tally);
         }
-        if let Err(d) = run_differential(&scenario) {
+        let check = run_differential(&scenario).and_then(|()| {
+            if explain_check {
+                run_explain_crosscheck(&scenario)
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(d) = check {
             divergences += 1;
             recorder.counter_with("oracle.divergences", &[("path", d.path)], 1);
             eprintln!("divergence: {d}");
             // Shrink while the same path still disagrees, then emit the
             // minimal scenario as a pasteable regression test.
             let path = d.path;
-            let minimal = shrink(
-                &scenario,
-                |s| matches!(run_differential(s), Err(e) if e.path == path),
-            );
-            let detail = run_differential(&minimal)
-                .err()
-                .map(|e| e.detail)
-                .unwrap_or_default();
+            let rerun = |s: &Scenario| {
+                run_differential(s).and_then(|()| {
+                    if explain_check {
+                        run_explain_crosscheck(s)
+                    } else {
+                        Ok(())
+                    }
+                })
+            };
+            let minimal = shrink(&scenario, |s| matches!(rerun(s), Err(e) if e.path == path));
+            let detail = rerun(&minimal).err().map(|e| e.detail).unwrap_or_default();
             eprintln!("shrunk repro ({path}: {detail}):\n");
             eprintln!("#[test]");
             eprintln!("fn oracle_divergence_seed_{}() {{", scenario.seed);
@@ -95,7 +113,12 @@ fn main() {
         eprintln!("run_oracle: {divergences}/{cases} scenarios diverged");
         std::process::exit(1);
     }
-    println!("run_oracle: {cases} scenarios, 0 divergences (seed {seed})");
+    let mode = if explain_check {
+        " + explain cross-check"
+    } else {
+        ""
+    };
+    println!("run_oracle: {cases} scenarios, 0 divergences (seed {seed}){mode}");
 }
 
 /// Bucket one scenario's reference outcome (vacuity check: a healthy

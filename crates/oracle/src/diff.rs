@@ -155,6 +155,7 @@ pub fn run_differential(scenario: &Scenario) -> Result<(), Box<Divergence>> {
             prune_dominated: false,
             streaming: StreamingMode::Auto,
             recorder: None,
+            explain: false,
         };
         let session = Session::new(ctx);
         let mut request = NegotiationRequest::new(&built.client, built.document, &built.profile);
@@ -238,6 +239,7 @@ pub fn run_differential(scenario: &Scenario) -> Result<(), Box<Divergence>> {
             prune_dominated: false,
             streaming: StreamingMode::Auto,
             recorder: None,
+            explain: false,
         };
         let broker = Broker::new(
             ctx,

@@ -18,14 +18,19 @@
 //!
 //! The gating entry point is the `run_oracle` binary (wired into
 //! `scripts/check.sh`); the library surface exists so regression tests can
-//! replay shrunk scenarios directly.
+//! replay shrunk scenarios directly. [`explain_check`] extends the oracle
+//! to the observability channel: decision logs must cite exactly the
+//! refusal kinds, pruned-variant set, and winning-offer rank the
+//! reference observes (`run_oracle --explain-check`).
 
 pub mod diff;
+pub mod explain_check;
 pub mod reference;
 pub mod scenario;
 pub mod shrink;
 
 pub use diff::{run_differential, Divergence};
+pub use explain_check::run_explain_crosscheck;
 pub use reference::{reference_negotiate, RefContext, RefOutcome};
 pub use scenario::Scenario;
 pub use shrink::shrink;

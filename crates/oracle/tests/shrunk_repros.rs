@@ -84,6 +84,7 @@ fn adapt_is_make_before_break_under_exactly_full_capacity() {
         prune_dominated: false,
         streaming: StreamingMode::Auto,
         recorder: None,
+        explain: false,
     };
     let session = Session::new(ctx);
     let out = session

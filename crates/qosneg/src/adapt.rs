@@ -12,7 +12,8 @@
 use nod_client::ClientMachine;
 
 use crate::classify::{reservation_order, ScoredOffer};
-use crate::negotiate::{try_commit, NegotiationContext, SessionReservation};
+use crate::explain::AdaptationRecord;
+use crate::negotiate::{try_commit_refusal, NegotiationContext, SessionReservation};
 
 /// Why adaptation was triggered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +24,17 @@ pub enum AdaptationReason {
     NetworkCongestion,
     /// The user asked for different QoS mid-session (renegotiation).
     UserRequest,
+}
+
+impl AdaptationReason {
+    /// Stable label for artifacts and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdaptationReason::ServerCongestion => "server_congestion",
+            AdaptationReason::NetworkCongestion => "network_congestion",
+            AdaptationReason::UserRequest => "user_request",
+        }
+    }
 }
 
 /// The result of one adaptation attempt.
@@ -37,6 +49,10 @@ pub struct AdaptationOutcome {
     pub attempts: usize,
     /// What triggered the adaptation.
     pub reason: AdaptationReason,
+    /// The adaptation verdict (present iff
+    /// [`NegotiationContext::explain`] was set): refused alternates with
+    /// their shortfalls, the new rank, and the make-before-break check.
+    pub explain: Option<Box<AdaptationRecord>>,
 }
 
 impl AdaptationOutcome {
@@ -67,6 +83,19 @@ pub fn adapt(
 ) -> AdaptationOutcome {
     let order = reservation_order(ordered_offers);
     let mut attempts = 0usize;
+    // The make-before-break flag is structural: the release below happens
+    // only after an alternate committed, and a failed adaptation keeps the
+    // current reservation untouched. Either way the session never stands
+    // without resources, so the record reports `true` unconditionally.
+    let mut record: Option<Box<AdaptationRecord>> = ctx.explain.then(|| {
+        Box::new(AdaptationRecord {
+            reason: reason.label().to_string(),
+            from_rank: current_index as u64,
+            attempts: Vec::new(),
+            new_rank: None,
+            make_before_break: true,
+        })
+    });
     for idx in order {
         if idx == current_index {
             continue; // "except the current one (which is in difficulty)"
@@ -74,15 +103,26 @@ pub fn adapt(
         attempts += 1;
         // Mid-session transitions are not bound by the startup deadline —
         // the user is already watching; the switch is best-effort fast.
-        if let Some(reservation) = try_commit(ctx, client, &ordered_offers[idx].offer, u64::MAX) {
-            // Break the old offer only after the new one is committed.
-            current_reservation.release(ctx.farm, ctx.network);
-            return AdaptationOutcome {
-                new_index: Some(idx),
-                reservation: Some(reservation),
-                attempts,
-                reason,
-            };
+        match try_commit_refusal(ctx, client, &ordered_offers[idx].offer, u64::MAX) {
+            Ok(reservation) => {
+                // Break the old offer only after the new one is committed.
+                current_reservation.release(ctx.farm, ctx.network);
+                if let Some(r) = record.as_deref_mut() {
+                    r.new_rank = Some(idx as u64);
+                }
+                return AdaptationOutcome {
+                    new_index: Some(idx),
+                    reservation: Some(reservation),
+                    attempts,
+                    reason,
+                    explain: record,
+                };
+            }
+            Err(refusal) => {
+                if let Some(r) = record.as_deref_mut() {
+                    r.attempts.push(refusal.record(idx));
+                }
+            }
         }
     }
     AdaptationOutcome {
@@ -90,6 +130,7 @@ pub fn adapt(
         reservation: None,
         attempts,
         reason,
+        explain: record,
     }
 }
 
@@ -144,6 +185,7 @@ mod tests {
             prune_dominated: false,
             streaming: crate::negotiate::StreamingMode::Auto,
             recorder: None,
+            explain: false,
         }
     }
 

@@ -7,10 +7,10 @@
 //! approaches "concentrate on the negotiation of a single monomedia
 //! object". Two baselines capture those behaviours for the experiments:
 //!
-//! * [`negotiate_static_first_fit`] — one a-priori configuration (the first
+//! * first-fit (`Procedure::FirstFit`) — one a-priori configuration (the first
 //!   compatible variant per component, catalog order), a single capacity
 //!   check, no classification, no alternate offers;
-//! * [`negotiate_per_monomedia`] — each monomedia negotiated and optimized
+//! * per-monomedia (`Procedure::PerMonomedia`) — each monomedia negotiated and optimized
 //!   *independently*, so the document-level cost ceiling and cross-media
 //!   trade-offs are invisible to the optimizer.
 
@@ -86,24 +86,13 @@ fn outcome_for_offer(
         local_offer: None,
         commit_failures: Vec::new(),
         trace,
+        decisions: None,
     }
 }
 
 /// Static first-fit negotiation: evaluate the capacity of the single
-/// a-priori configuration and accept or reject.
-#[deprecated(
-    since = "0.4.0",
-    note = "build a NegotiationRequest with Procedure::FirstFit and call Session::submit"
-)]
-pub fn negotiate_static_first_fit(
-    ctx: &NegotiationContext<'_>,
-    client: &ClientMachine,
-    document: DocumentId,
-    profile: &UserProfile,
-) -> Result<NegotiationOutcome, NegotiationError> {
-    negotiate_static_first_fit_impl(ctx, client, document, profile)
-}
-
+/// a-priori configuration and accept or reject. Reached through
+/// [`Procedure::FirstFit`](crate::request::Procedure::FirstFit).
 pub(crate) fn negotiate_static_first_fit_impl(
     ctx: &NegotiationContext<'_>,
     client: &ClientMachine,
@@ -134,6 +123,7 @@ pub(crate) fn negotiate_static_first_fit_impl(
                     local_offer: None,
                     commit_failures: Vec::new(),
                     trace,
+                    decisions: None,
                 })
             }
         }
@@ -160,20 +150,8 @@ pub(crate) fn negotiate_static_first_fit_impl(
 /// only that component's cost) and reserved greedily in classified order.
 /// The document-level cost ceiling is never consulted during optimization —
 /// exactly the blind spot the paper's atomic whole-document negotiation
-/// fixes.
-#[deprecated(
-    since = "0.4.0",
-    note = "build a NegotiationRequest with Procedure::PerMonomedia and call Session::submit"
-)]
-pub fn negotiate_per_monomedia(
-    ctx: &NegotiationContext<'_>,
-    client: &ClientMachine,
-    document: DocumentId,
-    profile: &UserProfile,
-) -> Result<NegotiationOutcome, NegotiationError> {
-    negotiate_per_monomedia_impl(ctx, client, document, profile)
-}
-
+/// fixes. Reached through
+/// [`Procedure::PerMonomedia`](crate::request::Procedure::PerMonomedia).
 pub(crate) fn negotiate_per_monomedia_impl(
     ctx: &NegotiationContext<'_>,
     client: &ClientMachine,
@@ -210,6 +188,7 @@ pub(crate) fn negotiate_per_monomedia_impl(
                 local_offer: None,
                 commit_failures: Vec::new(),
                 trace,
+                decisions: None,
             });
         }
         let offers: Vec<SystemOffer> = variants
@@ -246,6 +225,7 @@ pub(crate) fn negotiate_per_monomedia_impl(
                     local_offer: None,
                     commit_failures: Vec::new(),
                     trace,
+                    decisions: None,
                 });
             }
         }
@@ -286,14 +266,15 @@ pub(crate) fn negotiate_per_monomedia_impl(
         local_offer: None,
         commit_failures: Vec::new(),
         trace,
+        decisions: None,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    // The unit tests exercise the implementations directly; the deprecated
-    // shims are one line over them.
+    // The unit tests exercise the crate-private implementations directly;
+    // external callers go through `Session::submit`.
     use super::negotiate_per_monomedia_impl as negotiate_per_monomedia;
     use super::negotiate_static_first_fit_impl as negotiate_static_first_fit;
     use crate::cost::CostModel;
@@ -342,6 +323,7 @@ mod tests {
             prune_dominated: false,
             streaming: crate::negotiate::StreamingMode::Auto,
             recorder: None,
+            explain: false,
         }
     }
 

@@ -9,7 +9,7 @@
 //! [`nod_simcore::IntervalLedger`]s — per-server disk-round capacity and
 //! per-link bandwidth — so advance admission answers the same question the
 //! live reservation tables answer for "now", but over a window.
-//! [`negotiate_future`] reuses negotiation steps 1–4 verbatim
+//! [`crate::Session::submit_future`] reuses negotiation steps 1–4 verbatim
 //! ([`crate::negotiate::prepare`]) and replaces step 5's commitment with
 //! ledger bookings.
 
@@ -189,22 +189,8 @@ pub struct FutureOutcome {
 }
 
 /// Negotiate a session starting at `start`: steps 1–4 as in the live
-/// procedure, step 5 against the advance book's window ledgers.
-#[deprecated(
-    since = "0.4.0",
-    note = "build a NegotiationRequest with start_at and call Session::submit_future"
-)]
-pub fn negotiate_future(
-    ctx: &NegotiationContext<'_>,
-    book: &mut AdvanceBook,
-    client: &ClientMachine,
-    document: DocumentId,
-    profile: &crate::profile::UserProfile,
-    start: SimTime,
-) -> Result<FutureOutcome, NegotiationError> {
-    negotiate_future_impl(ctx, book, client, document, profile, start)
-}
-
+/// procedure, step 5 against the advance book's window ledgers. This is
+/// the implementation behind [`crate::Session::submit_future`].
 pub(crate) fn negotiate_future_impl(
     ctx: &NegotiationContext<'_>,
     book: &mut AdvanceBook,
@@ -225,7 +211,7 @@ pub(crate) fn negotiate_future_impl(
                 trace: o.trace,
             });
         }
-        Prepared::Offers(ordered, trace) => (ordered, trace),
+        Prepared::Offers(ordered, trace, _decisions) => (ordered, trace),
     };
     let duration_ms = ctx
         .catalog
@@ -266,8 +252,8 @@ pub(crate) fn negotiate_future_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
-    // The unit tests exercise the implementation directly; the deprecated
-    // `negotiate_future` shim is one line over it.
+    // The unit tests exercise the implementation directly; the public
+    // entry point is `Session::submit_future`.
     use super::negotiate_future_impl as negotiate_future;
     use crate::classify::ClassificationStrategy;
     use crate::cost::CostModel;
@@ -315,6 +301,7 @@ mod tests {
             prune_dominated: false,
             streaming: crate::negotiate::StreamingMode::Auto,
             recorder: None,
+            explain: false,
         }
     }
 

@@ -7,11 +7,11 @@
 //! the document, paying a transit surcharge for inter-domain delivery.
 //!
 //! Each [`Domain`] is a complete deployment (catalog + farm + network).
-//! [`negotiate_multidomain`] runs the ordinary single-domain procedure at
-//! home first; on resource failure it tries each peer domain through that
-//! domain's *gateway* (the ingress point foreign traffic enters through),
-//! shrinking the cost ceiling by the surcharge so the final, surcharged
-//! price still respects the user's budget.
+//! [`crate::Session::submit_multidomain`] runs the ordinary single-domain
+//! procedure at home first; on resource failure it tries each peer domain
+//! through that domain's *gateway* (the ingress point foreign traffic
+//! enters through), shrinking the cost ceiling by the surcharge so the
+//! final, surcharged price still respects the user's budget.
 
 use nod_client::ClientMachine;
 use nod_mmdb::Catalog;
@@ -88,6 +88,7 @@ fn ctx<'a>(domain: &'a Domain, config: &MultiDomainConfig<'a>) -> NegotiationCon
         prune_dominated: false,
         streaming: crate::negotiate::StreamingMode::Auto,
         recorder: None,
+        explain: false,
     }
 }
 
@@ -97,22 +98,8 @@ fn surcharged(price: Money, percent: u32) -> Money {
 }
 
 /// Negotiate at home, then across peers. `home` indexes `domains`; the
-/// client machine must be attached to the home network.
-#[deprecated(
-    since = "0.4.0",
-    note = "build a NegotiationRequest and call Session::submit_multidomain"
-)]
-pub fn negotiate_multidomain(
-    domains: &[Domain],
-    home: usize,
-    client: &ClientMachine,
-    document: DocumentId,
-    profile: &UserProfile,
-    config: &MultiDomainConfig<'_>,
-) -> Result<MultiDomainOutcome, NegotiationError> {
-    negotiate_multidomain_impl(domains, home, client, document, profile, config)
-}
-
+/// client machine must be attached to the home network. This is the
+/// implementation behind [`crate::Session::submit_multidomain`].
 pub(crate) fn negotiate_multidomain_impl(
     domains: &[Domain],
     home: usize,
@@ -216,6 +203,7 @@ pub(crate) fn negotiate_multidomain_impl(
             local_offer: None,
             commit_failures: Vec::new(),
             trace: Default::default(),
+            decisions: None,
         },
         user_cost: None,
     })
@@ -224,8 +212,8 @@ pub(crate) fn negotiate_multidomain_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
-    // The unit tests exercise the implementation directly; the deprecated
-    // `negotiate_multidomain` shim is one line over it.
+    // The unit tests exercise the implementation directly; the public
+    // entry point is `Session::submit_multidomain`.
     use super::negotiate_multidomain_impl as negotiate_multidomain;
     use crate::profile::tv_news_profile;
     use nod_cmfs::{Guarantee, ServerConfig};

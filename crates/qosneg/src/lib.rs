@@ -50,9 +50,18 @@
 //! hierarchical variant. All errors surface as the single
 //! [`QosError`] enum, whose [`QosError::transient`] predicate tells
 //! callers (e.g. the `nod-broker` retry loop) whether trying again
-//! later can help. The old free functions (`negotiate`,
-//! `negotiate_future`, `negotiate_multidomain`, and the baselines)
-//! remain as deprecated shims.
+//! later can help. The old deprecated free-function entry points
+//! (`negotiate`, `negotiate_future`, `negotiate_multidomain`, and the
+//! baselines) have been removed; the request/session API is the only
+//! entry point.
+//!
+//! # Decision provenance
+//!
+//! Setting [`negotiate::NegotiationContext::explain`] records a
+//! [`explain::DecisionLog`] on every outcome: pruning decisions with
+//! their dominating pairs, score decomposition of the top-k offers,
+//! every refused commit with its concrete [`explain::Shortfall`], and
+//! the chosen offer's rank. See [`explain`].
 
 pub mod adapt;
 pub mod baseline;
@@ -61,6 +70,7 @@ pub mod confirm;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod future;
 pub mod hierarchy;
 pub mod importance;
@@ -81,19 +91,22 @@ pub use confirm::{ConfirmationDecision, ConfirmationTimer, PendingConfirmation};
 pub use cost::{CostModel, CostTable};
 pub use engine::{OfferEngine, OfferList, OfferStream, StreamStats};
 pub use error::QosError;
+pub use explain::{
+    AdaptationRecord, DecisionLog, ExplainArtifact, ExplainData, ExplainMeta, PruneRecord,
+    RefusalRecord, ScoreRow, SessionExplain, Shortfall,
+};
 pub use future::{AdvanceBook, AdvanceBookingId, FutureOutcome};
-#[allow(deprecated)]
-pub use hierarchy::negotiate_multidomain;
 pub use hierarchy::{Domain, MultiDomainConfig, MultiDomainOutcome};
 pub use importance::ImportanceProfile;
 pub use manager::{ManagerConfig, QosManager};
 pub use mapping::{map_requirements, NetworkQosSpec};
 pub use money::Money;
 pub use negotiate::{
-    CommitFailure, NegotiationOutcome, NegotiationStatus, SessionReservation, StreamingMode,
+    CommitFailure, CommitRefusal, NegotiationOutcome, NegotiationStatus, SessionReservation,
+    StreamingMode,
 };
 pub use offer::{violated_components, OfferSet, SystemOffer, UserOffer};
 pub use profile::{MmQosSpec, TimeProfile, UserProfile};
-pub use prune::{dominates, importance_is_monotone, prune_dominated};
+pub use prune::{dominates, importance_is_monotone, prune_dominated, prune_dominated_explained};
 pub use request::{NegotiationRequest, Procedure, RetryPolicy, Session};
 pub use sns::StaticNegotiationStatus;

@@ -49,6 +49,10 @@ pub struct ManagerConfig {
     /// confirmation this manager drives. `None` (the default) makes all
     /// instrumentation a dead branch.
     pub recorder: Option<Recorder>,
+    /// Record decision provenance ([`crate::DecisionLog`]) on every
+    /// negotiation and adaptation this manager drives. Off by default —
+    /// the disabled path allocates nothing.
+    pub explain: bool,
 }
 
 impl Default for ManagerConfig {
@@ -62,6 +66,7 @@ impl Default for ManagerConfig {
             streaming: crate::negotiate::StreamingMode::Auto,
             degraded_delivery_ratio: 0.3,
             recorder: None,
+            explain: false,
         }
     }
 }
@@ -82,6 +87,9 @@ pub struct ActiveSession {
     /// The classified offers captured at negotiation time (the adaptation
     /// candidate set).
     pub ordered_offers: Vec<ScoredOffer>,
+    /// Adaptation verdicts collected over the session's lifetime (only
+    /// populated when [`ManagerConfig::explain`] is set).
+    pub adaptations: Vec<crate::explain::AdaptationRecord>,
 }
 
 /// The QoS manager.
@@ -151,6 +159,7 @@ impl QosManager {
             prune_dominated: self.config.prune_dominated,
             streaming: self.config.streaming,
             recorder: self.config.recorder.as_ref(),
+            explain: self.config.explain,
         }
     }
 
@@ -214,6 +223,7 @@ impl QosManager {
             reservation,
             offer_index,
             ordered_offers: outcome.ordered_offers.into_vec(),
+            adaptations: Vec::new(),
         }
     }
 
@@ -358,6 +368,9 @@ impl QosManager {
             &session.reservation,
             reason,
         );
+        if let Some(record) = outcome.explain {
+            session.adaptations.push(*record);
+        }
         match (outcome.new_index, outcome.reservation) {
             (Some(idx), Some(reservation)) => {
                 session.playout.interrupt_for_transition();

@@ -5,15 +5,16 @@
 //! is a pure function of the shared system state and runs here.
 
 use nod_client::ClientMachine;
-use nod_cmfs::{Guarantee, ReservationId, ServerFarm, StreamRequirement};
+use nod_cmfs::{AdmissionError, Guarantee, ReservationId, ServerFarm, StreamRequirement};
 use nod_mmdb::Catalog;
 use nod_mmdoc::{DocumentId, MediaKind, MonomediaId, ServerId, Variant};
-use nod_netsim::{NetReservationId, Network};
+use nod_netsim::{NetError, NetReservationId, Network};
 use nod_obs::{Recorder, Span};
 
 use crate::classify::{classify, reservation_order, ClassificationStrategy, ScoredOffer};
 use crate::cost::CostModel;
 use crate::engine::{OfferEngine, OfferList, ScoredCombo};
+use crate::explain::{DecisionLog, RefusalKind, RefusalRecord, Shortfall};
 use crate::mapping::{charged_bit_rate, map_requirements, path_supports};
 use crate::offer::{EnumerationError, SystemOffer, UserOffer};
 use crate::profile::{MmQosSpec, UserProfile};
@@ -71,6 +72,34 @@ impl std::fmt::Display for NegotiationStatus {
             NegotiationStatus::FailedWithLocalOffer => "FAILEDWITHLOCALOFFER",
         };
         f.write_str(s)
+    }
+}
+
+// Decision logs carry the terminal status; it serializes as the paper
+// spelling (`SUCCEEDED`, `FAILEDTRYLATER`, …), same as `Display`.
+impl nod_simcore::json::ToJson for NegotiationStatus {
+    fn to_json(&self) -> nod_simcore::json::Json {
+        nod_simcore::json::Json::Str(self.to_string())
+    }
+}
+
+impl nod_simcore::json::FromJson for NegotiationStatus {
+    fn from_json(v: &nod_simcore::json::Json) -> Result<Self, nod_simcore::json::JsonError> {
+        let nod_simcore::json::Json::Str(s) = v else {
+            return Err(nod_simcore::json::JsonError(
+                "NegotiationStatus expects a string".to_string(),
+            ));
+        };
+        match s.as_str() {
+            "SUCCEEDED" => Ok(NegotiationStatus::Succeeded),
+            "FAILEDWITHOFFER" => Ok(NegotiationStatus::FailedWithOffer),
+            "FAILEDTRYLATER" => Ok(NegotiationStatus::FailedTryLater),
+            "FAILEDWITHOUTOFFER" => Ok(NegotiationStatus::FailedWithoutOffer),
+            "FAILEDWITHLOCALOFFER" => Ok(NegotiationStatus::FailedWithLocalOffer),
+            other => Err(nod_simcore::json::JsonError(format!(
+                "unknown NegotiationStatus `{other}`"
+            ))),
+        }
     }
 }
 
@@ -147,6 +176,9 @@ pub struct NegotiationOutcome {
     pub commit_failures: Vec<(usize, CommitFailure)>,
     /// Work counters.
     pub trace: NegotiationTrace,
+    /// The decision log, present iff [`NegotiationContext::explain`] was
+    /// set (boxed: explain off must not widen the outcome).
+    pub decisions: Option<Box<DecisionLog>>,
 }
 
 /// Hard errors (misuse rather than negotiation failure).
@@ -205,6 +237,11 @@ pub struct NegotiationContext<'a> {
     /// per stage and nothing else; `Some` times each pipeline stage as a
     /// span and counts offers, reservation attempts and outcomes.
     pub recorder: Option<&'a Recorder>,
+    /// Record a [`DecisionLog`] on every outcome (see [`crate::explain`]).
+    /// `false` (the default everywhere) costs one branch per stage and
+    /// allocates nothing; `true` forces eager classification (the log
+    /// needs the materialized top-k) and fills `NegotiationOutcome::decisions`.
+    pub explain: bool,
 }
 
 /// Open a stage span: a child of `parent` when a trace is active, a fresh
@@ -225,8 +262,12 @@ fn stage_span(
 /// the classified offer list, or an early outcome (local failure /
 /// no-feasible-offer).
 pub enum Prepared {
-    /// Steps 1–4 completed: the classified offers plus the trace so far.
-    Offers(Vec<ScoredOffer>, NegotiationTrace),
+    /// Steps 1–4 completed: the classified offers, the trace so far, and —
+    /// when [`NegotiationContext::explain`] is set — the decision log of
+    /// those steps (pruning decisions, score decomposition). Step 5
+    /// ([`commit_prepared`]) finishes the log with refusals and the chosen
+    /// rank.
+    Offers(Vec<ScoredOffer>, NegotiationTrace, Option<Box<DecisionLog>>),
     /// Negotiation ended before step 5.
     Early(Box<NegotiationOutcome>),
 }
@@ -254,12 +295,21 @@ pub fn prepare(
     document: DocumentId,
     profile: &UserProfile,
 ) -> Result<Prepared, NegotiationError> {
-    match prepare_inner(ctx, client, document, profile, None)? {
-        PreparedInner::Early(outcome) => Ok(Prepared::Early(outcome)),
-        PreparedInner::Offers(ordered, trace) => Ok(Prepared::Offers(ordered, trace)),
-        PreparedInner::Engine(engine, trace) => {
-            Ok(Prepared::Offers(classify_engine(ctx, None, &engine), trace))
+    let mut log: Option<Box<DecisionLog>> = ctx.explain.then(Box::default);
+    match prepare_inner(ctx, client, document, profile, None, log.as_deref_mut())? {
+        PreparedInner::Early(mut outcome) => {
+            if let Some(mut l) = log {
+                l.status = Some(outcome.status);
+                outcome.decisions = Some(l);
+            }
+            Ok(Prepared::Early(outcome))
         }
+        PreparedInner::Offers(ordered, trace) => Ok(Prepared::Offers(ordered, trace, log)),
+        PreparedInner::Engine(engine, trace) => Ok(Prepared::Offers(
+            classify_engine(ctx, None, &engine),
+            trace,
+            log,
+        )),
     }
 }
 
@@ -319,6 +369,7 @@ fn prepare_inner(
     document: DocumentId,
     profile: &UserProfile,
     parent: Option<&Span>,
+    mut log: Option<&mut DecisionLog>,
 ) -> Result<PreparedInner, NegotiationError> {
     profile
         .validate()
@@ -329,6 +380,13 @@ fn prepare_inner(
         .ok_or(NegotiationError::UnknownDocument(document))?;
 
     let mut trace = NegotiationTrace::default();
+    if let Some(l) = log.as_deref_mut() {
+        l.durations_ms = doc
+            .monomedia()
+            .iter()
+            .map(|m| (m.id.0, m.duration_ms))
+            .collect();
+    }
 
     // ---- Step 1: static local negotiation -------------------------------
     // The machine must at least render the *worst acceptable* values — if it
@@ -348,6 +406,7 @@ fn prepare_inner(
                     local_offer: Some(local),
                     commit_failures: Vec::new(),
                     trace,
+                    decisions: None,
                 })));
             }
         }
@@ -405,6 +464,7 @@ fn prepare_inner(
                 local_offer: None,
                 commit_failures: Vec::new(),
                 trace,
+                decisions: None,
             })));
         }
         Err(e @ EnumerationError::TooManyOffers { .. }) => {
@@ -435,7 +495,10 @@ fn prepare_inner(
     let span_prune = stage_span(ctx, parent, "prune");
     let pruned_offers: Option<Vec<SystemOffer>> =
         if ctx.prune_dominated && crate::prune::importance_is_monotone(&profile.importance) {
-            let (survivors, pruned) = crate::prune::prune_dominated(engine.offers());
+            let (survivors, pruned) = match log.as_deref_mut() {
+                Some(l) => crate::prune::prune_dominated_explained(engine.offers(), &mut l.pruned),
+                None => crate::prune::prune_dominated(engine.offers()),
+            };
             trace.offers_pruned = pruned;
             Some(survivors)
         } else {
@@ -447,6 +510,10 @@ fn prepare_inner(
     if let Some(rec) = ctx.recorder {
         rec.counter("negotiation.offers.pruned", trace.offers_pruned as u64);
     }
+    if let Some(l) = log.as_deref_mut() {
+        l.feasible_variants = trace.feasible_variants as u64;
+        l.offers_enumerated = trace.offers_enumerated as u64;
+    }
 
     match pruned_offers {
         Some(offers) => {
@@ -456,33 +523,34 @@ fn prepare_inner(
                 span.end();
             }
             emit_classified_counters(ctx, ordered.len(), census_of(&ordered));
+            if let Some(l) = log {
+                l.record_scores(&ordered, ctx.cost_model, ctx.guarantee);
+            }
+            Ok(PreparedInner::Offers(ordered, trace))
+        }
+        // Explain needs the materialized top-k now, so it forces the eager
+        // classification the streaming path would otherwise defer. Both
+        // paths produce identical outcomes (the streaming-equivalence
+        // tests pin that), so explain changes what is *recorded*, never
+        // what is decided.
+        None if ctx.explain => {
+            let ordered = classify_engine(ctx, parent, &engine);
+            if let Some(l) = log {
+                l.record_scores(&ordered, ctx.cost_model, ctx.guarantee);
+            }
             Ok(PreparedInner::Offers(ordered, trace))
         }
         None => Ok(PreparedInner::Engine(Box::new(engine), trace)),
     }
 }
 
-/// Run steps 1–5 for `client` requesting `document` under `profile`.
+/// Run steps 1–5 for `client` requesting `document` under `profile` — the
+/// implementation behind [`crate::Session::submit`].
 ///
 /// With a [`NegotiationContext::recorder`] attached, the whole call is
 /// timed as a `negotiate` span with `enumerate`/`prune`/`classify` and
 /// per-attempt `commit` children, and the final status increments
 /// `negotiation.outcome{status=…}`.
-#[deprecated(
-    since = "0.4.0",
-    note = "build a NegotiationRequest and call Session::submit"
-)]
-pub fn negotiate(
-    ctx: &NegotiationContext<'_>,
-    client: &ClientMachine,
-    document: DocumentId,
-    profile: &UserProfile,
-) -> Result<NegotiationOutcome, NegotiationError> {
-    negotiate_impl(ctx, client, document, profile)
-}
-
-/// The shared implementation behind [`negotiate`] and
-/// [`crate::Session::submit`].
 pub(crate) fn negotiate_impl(
     ctx: &NegotiationContext<'_>,
     client: &ClientMachine,
@@ -509,18 +577,28 @@ fn negotiate_steps(
     profile: &UserProfile,
     root: Option<&Span>,
 ) -> Result<NegotiationOutcome, NegotiationError> {
-    let (ordered, trace) = match prepare_inner(ctx, client, document, profile, root)? {
-        PreparedInner::Early(outcome) => return Ok(*outcome),
-        PreparedInner::Offers(ordered, trace) => (ordered, trace),
-        PreparedInner::Engine(engine, trace) => {
-            if ctx.streaming == StreamingMode::Auto && engine.streaming_supported() {
-                return Ok(negotiate_streaming(
-                    ctx, client, profile, root, *engine, trace,
-                ));
+    let mut log: Option<Box<DecisionLog>> = ctx.explain.then(Box::default);
+    let (ordered, trace) =
+        match prepare_inner(ctx, client, document, profile, root, log.as_deref_mut())? {
+            PreparedInner::Early(mut outcome) => {
+                if let Some(mut l) = log {
+                    l.status = Some(outcome.status);
+                    outcome.decisions = Some(l);
+                }
+                return Ok(*outcome);
             }
-            (classify_engine(ctx, root, &engine), trace)
-        }
-    };
+            PreparedInner::Offers(ordered, trace) => (ordered, trace),
+            PreparedInner::Engine(engine, trace) => {
+                // Unreachable with explain on: prepare_inner classified
+                // eagerly, so `log` is always threaded through the walk.
+                if ctx.streaming == StreamingMode::Auto && engine.streaming_supported() {
+                    return Ok(negotiate_streaming(
+                        ctx, client, profile, root, *engine, trace,
+                    ));
+                }
+                (classify_engine(ctx, root, &engine), trace)
+            }
+        };
 
     // ---- Step 5 (eager): walk the full reservation order ----------------
     let order = reservation_order(&ordered);
@@ -534,6 +612,7 @@ fn negotiate_steps(
         0,
         Vec::new(),
         trace,
+        log,
     ))
 }
 
@@ -675,6 +754,7 @@ fn negotiate_streaming(
             local_offer: None,
             commit_failures: failures,
             trace,
+            decisions: None,
         };
     }
 
@@ -701,7 +781,7 @@ fn negotiate_streaming(
         })
         .collect();
     commit_ordered(
-        ctx, client, profile, root, ordered, &order, attempted, failures, trace,
+        ctx, client, profile, root, ordered, &order, attempted, failures, trace, None,
     )
 }
 
@@ -718,6 +798,7 @@ fn commit_ordered(
     start_at: usize,
     mut failures: Vec<(usize, CommitFailure)>,
     mut trace: NegotiationTrace,
+    mut decisions: Option<Box<DecisionLog>>,
 ) -> NegotiationOutcome {
     // As in the streamed walk, one commit span per ordered walk; the
     // per-candidate refusal points inside it carry the verdicts.
@@ -726,21 +807,26 @@ fn commit_ordered(
     let mut committed: Option<(usize, SessionReservation)> = None;
     for &idx in &order[start_at..] {
         trace.reservation_attempts += 1;
-        let attempt = try_commit_diagnosed(
+        match try_commit_refusal(
             ctx,
             client,
             &ordered[idx].offer,
             profile.time.max_startup_ms,
-        );
-        if ctx.recorder.is_some() {
-            census.attempt(attempt.as_ref().err());
-        }
-        match attempt {
-            Err(reason) => {
-                failures.push((idx, reason));
+        ) {
+            Err(refusal) => {
+                if ctx.recorder.is_some() {
+                    census.attempt(Some(&refusal.failure));
+                }
+                if let Some(l) = decisions.as_deref_mut() {
+                    l.refusals.push(refusal.record(idx));
+                }
+                failures.push((idx, refusal.failure));
                 continue;
             }
             Ok(reservation) => {
+                if ctx.recorder.is_some() {
+                    census.attempt(None);
+                }
                 committed = Some((idx, reservation));
                 break;
             }
@@ -759,6 +845,10 @@ fn commit_ordered(
         } else {
             NegotiationStatus::FailedWithOffer
         };
+        if let Some(l) = decisions.as_deref_mut() {
+            l.mark_chosen(idx, &ordered[idx], ctx.cost_model, ctx.guarantee);
+            l.status = Some(status);
+        }
         let user_offer = ordered[idx].offer.to_user_offer();
         let reserved_offer = Some(ordered[idx].clone());
         return NegotiationOutcome {
@@ -771,9 +861,13 @@ fn commit_ordered(
             local_offer: None,
             commit_failures: failures,
             trace,
+            decisions,
         };
     }
 
+    if let Some(l) = decisions.as_deref_mut() {
+        l.status = Some(NegotiationStatus::FailedTryLater);
+    }
     NegotiationOutcome {
         status: NegotiationStatus::FailedTryLater,
         user_offer: None,
@@ -784,6 +878,7 @@ fn commit_ordered(
         local_offer: None,
         commit_failures: failures,
         trace,
+        decisions,
     }
 }
 
@@ -804,6 +899,7 @@ pub fn commit_prepared(
     profile: &UserProfile,
     ordered: Vec<ScoredOffer>,
     trace: NegotiationTrace,
+    decisions: Option<Box<DecisionLog>>,
 ) -> NegotiationOutcome {
     let order = reservation_order(&ordered);
     let outcome = commit_ordered(
@@ -816,6 +912,7 @@ pub fn commit_prepared(
         0,
         Vec::new(),
         trace,
+        decisions,
     );
     if let Some(rec) = ctx.recorder {
         let status = outcome.status.to_string();
@@ -876,12 +973,17 @@ impl CommitFailure {
     /// Stable label for the `reason` label of
     /// `negotiation.commit.refused`.
     pub fn kind(&self) -> &'static str {
+        self.refusal_kind().as_str()
+    }
+
+    /// The failure's [`RefusalKind`] for decision logs.
+    pub fn refusal_kind(&self) -> RefusalKind {
         match self {
-            CommitFailure::DecodeBudget => "decode_budget",
-            CommitFailure::PathQos { .. } => "path_qos",
-            CommitFailure::Startup { .. } => "startup",
-            CommitFailure::Server { .. } => "server",
-            CommitFailure::Network { .. } => "network",
+            CommitFailure::DecodeBudget => RefusalKind::DecodeBudget,
+            CommitFailure::PathQos { .. } => RefusalKind::PathQos,
+            CommitFailure::Startup { .. } => RefusalKind::Startup,
+            CommitFailure::Server { .. } => RefusalKind::Server,
+            CommitFailure::Network { .. } => RefusalKind::Network,
         }
     }
 }
@@ -976,11 +1078,110 @@ pub fn try_commit_diagnosed(
     offer: &SystemOffer,
     max_startup_ms: u64,
 ) -> Result<SessionReservation, CommitFailure> {
+    try_commit_refusal(ctx, client, offer, max_startup_ms).map_err(|r| r.failure)
+}
+
+/// A refused commit with its concrete [`Shortfall`]: not just *which*
+/// resource said no, but requested vs available. Everything is stack data,
+/// so the diagnosed commit path stays allocation-free on refusal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitRefusal {
+    /// The refusal category (what [`try_commit_diagnosed`] reports).
+    pub failure: CommitFailure,
+    /// The quantitative shortfall behind it.
+    pub shortfall: Shortfall,
+}
+
+impl CommitRefusal {
+    /// The implicated server, when the failure names one.
+    pub fn server(&self) -> Option<ServerId> {
+        match self.failure {
+            CommitFailure::PathQos { server }
+            | CommitFailure::Server { server }
+            | CommitFailure::Network { server } => Some(server),
+            CommitFailure::DecodeBudget | CommitFailure::Startup { .. } => None,
+        }
+    }
+
+    /// Render as a [`RefusalRecord`] for the offer at classified-list rank
+    /// `rank`.
+    pub fn record(&self, rank: usize) -> RefusalRecord {
+        RefusalRecord {
+            rank: rank as u64,
+            kind: self.failure.refusal_kind(),
+            server: self.server().map(|s| s.0),
+            shortfall: self.shortfall,
+        }
+    }
+}
+
+fn admission_shortfall(err: nod_cmfs::FarmError) -> Shortfall {
+    let err = match err {
+        nod_cmfs::FarmError::Admission(e) => e,
+        // An offer naming a nonexistent server cannot be admitted anywhere
+        // on the path — report it as a path failure.
+        nod_cmfs::FarmError::NoSuchServer(_) => return Shortfall::PathQos,
+    };
+    match err {
+        AdmissionError::DiskSaturated {
+            used_us,
+            requested_us,
+            capacity_us,
+        } => Shortfall::Disk {
+            used_us,
+            requested_us,
+            capacity_us,
+        },
+        AdmissionError::InterfaceSaturated {
+            used_bps,
+            requested_bps,
+            capacity_bps,
+        } => Shortfall::Interface {
+            used_bps,
+            requested_bps,
+            capacity_bps,
+        },
+        AdmissionError::StreamLimit { limit } => Shortfall::StreamLimit {
+            limit: limit as u64,
+        },
+        AdmissionError::AdmissionPaused => Shortfall::AdmissionPaused,
+    }
+}
+
+fn net_shortfall(err: NetError, requested: u64) -> Shortfall {
+    match err {
+        NetError::InsufficientBandwidth {
+            link,
+            available_bps,
+            ..
+        } => Shortfall::Link {
+            link: link.0,
+            requested_bps: requested,
+            available_bps,
+        },
+        NetError::UnknownClient(_) | NetError::UnknownServer(_) | NetError::Unreachable(_) => {
+            Shortfall::PathQos
+        }
+    }
+}
+
+/// [`try_commit_diagnosed`] that also reports the concrete shortfall —
+/// which disk round / interface / link ran out, requested vs available.
+/// This is the commit primitive the decision-provenance layer records.
+pub fn try_commit_refusal(
+    ctx: &NegotiationContext<'_>,
+    client: &ClientMachine,
+    offer: &SystemOffer,
+    max_startup_ms: u64,
+) -> Result<SessionReservation, CommitRefusal> {
     // Combination-level client check: the offer's streams must fit the
     // machine's concurrent decode budget (per-variant decodability was
     // step 2; this guards the whole configuration).
     if !client.can_decode_concurrently(offer.variants.iter()) {
-        return Err(CommitFailure::DecodeBudget);
+        return Err(CommitRefusal {
+            failure: CommitFailure::DecodeBudget,
+            shortfall: Shortfall::DecodeBudget,
+        });
     }
     // Any early return (or panic) below drops the guard, which releases
     // every reservation taken so far — no refusal path can leak capacity.
@@ -992,8 +1193,11 @@ pub fn try_commit_diagnosed(
         let metrics = match ctx.network.path_metrics(client.id, variant.server) {
             Ok(m) if path_supports(&spec, &m) => m,
             _ => {
-                return Err(CommitFailure::PathQos {
-                    server: variant.server,
+                return Err(CommitRefusal {
+                    failure: CommitFailure::PathQos {
+                        server: variant.server,
+                    },
+                    shortfall: Shortfall::PathQos,
                 });
             }
         };
@@ -1010,9 +1214,15 @@ pub fn try_commit_diagnosed(
                 crate::startup::preroll_ms(ctx.jitter_buffer_ms),
             );
             if startup > max_startup_ms {
-                return Err(CommitFailure::Startup {
-                    estimated_ms: startup,
-                    limit_ms: max_startup_ms,
+                return Err(CommitRefusal {
+                    failure: CommitFailure::Startup {
+                        estimated_ms: startup,
+                        limit_ms: max_startup_ms,
+                    },
+                    shortfall: Shortfall::Startup {
+                        estimated_ms: startup,
+                        limit_ms: max_startup_ms,
+                    },
                 });
             }
         }
@@ -1021,9 +1231,12 @@ pub fn try_commit_diagnosed(
         let req = StreamRequirement::for_variant(variant, ctx.guarantee);
         match ctx.farm.try_reserve(variant.server, req) {
             Ok(id) => pending.servers.push((variant.server, id)),
-            Err(_) => {
-                return Err(CommitFailure::Server {
-                    server: variant.server,
+            Err(e) => {
+                return Err(CommitRefusal {
+                    failure: CommitFailure::Server {
+                        server: variant.server,
+                    },
+                    shortfall: admission_shortfall(e),
                 });
             }
         }
@@ -1033,9 +1246,12 @@ pub fn try_commit_diagnosed(
             let bps = charged_bit_rate(variant, ctx.guarantee);
             match ctx.network.try_reserve(client.id, variant.server, bps) {
                 Ok(id) => pending.nets.push(id),
-                Err(_) => {
-                    return Err(CommitFailure::Network {
-                        server: variant.server,
+                Err(e) => {
+                    return Err(CommitRefusal {
+                        failure: CommitFailure::Network {
+                            server: variant.server,
+                        },
+                        shortfall: net_shortfall(e, bps),
                     });
                 }
             }
@@ -1063,8 +1279,8 @@ fn clamp_spec(client: &ClientMachine, desired: &MmQosSpec) -> MmQosSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    // The unit tests exercise the implementation directly; the deprecated
-    // `negotiate` shim is one line over it.
+    // The unit tests exercise the crate-private implementation directly;
+    // external callers go through `Session::submit`.
     use super::negotiate_impl as negotiate;
     use crate::profile::tv_news_profile;
     use nod_cmfs::ServerConfig;
@@ -1110,6 +1326,7 @@ mod tests {
             prune_dominated: false,
             streaming: StreamingMode::Auto,
             recorder: None,
+            explain: false,
         }
     }
 

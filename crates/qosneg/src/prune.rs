@@ -21,6 +21,7 @@
 
 use nod_mmdoc::MediaQos;
 
+use crate::explain::PruneRecord;
 use crate::importance::ImportanceProfile;
 use crate::offer::SystemOffer;
 
@@ -71,6 +72,24 @@ pub fn dominates(a: &SystemOffer, b: &SystemOffer) -> bool {
 /// offers incomparable) is still quadratic, but on enumeration output the
 /// front stays small and dominated offers exit at the first hit.
 pub fn prune_dominated(offers: Vec<SystemOffer>) -> (Vec<SystemOffer>, usize) {
+    prune_sweep(offers, None)
+}
+
+/// [`prune_dominated`] that also records, for every pruned offer, the
+/// first dominating offer the sweep found (in the same check order the
+/// plain sweep short-circuits on, so the survivor set is identical).
+/// Records are appended in sweep (cost) order.
+pub fn prune_dominated_explained(
+    offers: Vec<SystemOffer>,
+    records: &mut Vec<PruneRecord>,
+) -> (Vec<SystemOffer>, usize) {
+    prune_sweep(offers, Some(records))
+}
+
+fn prune_sweep(
+    offers: Vec<SystemOffer>,
+    mut records: Option<&mut Vec<PruneRecord>>,
+) -> (Vec<SystemOffer>, usize) {
     let n = offers.len();
     if n <= 1 {
         return (offers, 0);
@@ -91,12 +110,27 @@ pub fn prune_dominated(offers: Vec<SystemOffer>) -> (Vec<SystemOffer>, usize) {
         }
         let run = &by_cost[run_start..run_end];
         for &i in run {
-            let dominated = front.iter().any(|&s| dominates(&offers[s], &offers[i]))
-                || run
-                    .iter()
-                    .any(|&j| j != i && dominates(&offers[j], &offers[i]));
-            if dominated {
+            // `find` short-circuits exactly where the old `any` did, so the
+            // survivor set is unchanged; the index is only kept for records.
+            let dominator = front
+                .iter()
+                .copied()
+                .find(|&s| dominates(&offers[s], &offers[i]))
+                .or_else(|| {
+                    run.iter()
+                        .copied()
+                        .find(|&j| j != i && dominates(&offers[j], &offers[i]))
+                });
+            if let Some(d) = dominator {
                 keep[i] = false;
+                if let Some(recs) = records.as_deref_mut() {
+                    recs.push(PruneRecord {
+                        victim_variants: offers[i].variants.iter().map(|v| v.id.0).collect(),
+                        victim_cost: offers[i].cost,
+                        dominator_variants: offers[d].variants.iter().map(|v| v.id.0).collect(),
+                        dominator_cost: offers[d].cost,
+                    });
+                }
             }
         }
         front.extend(run.iter().copied().filter(|&i| keep[i]));
@@ -298,6 +332,45 @@ mod tests {
             let (slow, slow_pruned) = prune_dominated_reference(offers);
             assert_eq!(fast_pruned, slow_pruned, "round {round}");
             assert_eq!(fast, slow, "round {round}: survivor sets differ");
+        }
+    }
+
+    #[test]
+    fn explained_pruning_matches_and_records_real_dominators() {
+        let mut rng = nod_simcore::StreamRng::new(0xFACE);
+        for round in 0..20u64 {
+            let n = 5 + (rng.below(60)) as usize;
+            let offers: Vec<SystemOffer> = (0..n)
+                .map(|i| {
+                    offer(
+                        round * 1000 + i as u64,
+                        ColorDepth::ALL[(rng.below(4)) as usize],
+                        [160, 320, 640, 960][(rng.below(4)) as usize],
+                        [5, 10, 15, 25, 30][(rng.below(5)) as usize],
+                        1_000 * (1 + (rng.below(6)) as i64),
+                    )
+                })
+                .collect();
+            let by_id: std::collections::BTreeMap<u64, SystemOffer> = offers
+                .iter()
+                .map(|o| (o.variants[0].id.0, o.clone()))
+                .collect();
+            let (plain, plain_pruned) = prune_dominated(offers.clone());
+            let mut records = Vec::new();
+            let (explained, explained_pruned) = prune_dominated_explained(offers, &mut records);
+            assert_eq!(plain, explained, "round {round}: survivor sets differ");
+            assert_eq!(plain_pruned, explained_pruned);
+            assert_eq!(records.len(), explained_pruned, "one record per victim");
+            for rec in &records {
+                let victim = &by_id[&rec.victim_variants[0]];
+                let dominator = &by_id[&rec.dominator_variants[0]];
+                assert!(
+                    dominates(dominator, victim),
+                    "round {round}: recorded dominator does not dominate"
+                );
+                assert_eq!(rec.victim_cost, victim.cost);
+                assert_eq!(rec.dominator_cost, dominator.cost);
+            }
         }
     }
 

@@ -23,7 +23,8 @@
 //! # }
 //! ```
 //!
-//! The old free functions survive as thin deprecated shims.
+//! The old free-function entry points have been removed; this facade is
+//! the only way in.
 
 use nod_client::ClientMachine;
 use nod_mmdoc::DocumentId;
@@ -142,6 +143,9 @@ pub struct NegotiationRequest<'a> {
     pub streaming: Option<StreamingMode>,
     /// Override (or attach) an observability recorder for this request.
     pub recorder: Option<&'a Recorder>,
+    /// Request decision provenance ([`crate::DecisionLog`]) on the outcome
+    /// even when the session's context has it off.
+    pub explain: bool,
     /// Retry/backoff/deadline policy. The synchronous [`Session::submit`]
     /// makes exactly one attempt regardless; the broker interprets the
     /// policy across virtual time.
@@ -163,6 +167,7 @@ impl<'a> NegotiationRequest<'a> {
             strategy: None,
             streaming: None,
             recorder: None,
+            explain: false,
             retry: RetryPolicy::NO_RETRY,
             start_at: None,
         }
@@ -189,6 +194,12 @@ impl<'a> NegotiationRequest<'a> {
     /// Attach an observability recorder.
     pub fn recorder(mut self, recorder: &'a Recorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Request decision provenance on the outcome.
+    pub fn explain(mut self) -> Self {
+        self.explain = true;
         self
     }
 
@@ -246,6 +257,9 @@ impl<'a> Session<'a> {
         }
         if let Some(recorder) = req.recorder {
             ctx.recorder = Some(recorder);
+        }
+        if req.explain {
+            ctx.explain = true;
         }
         ctx
     }

@@ -39,6 +39,14 @@ impl std::fmt::Display for StaticNegotiationStatus {
     }
 }
 
+// Explain artifacts carry the SNS per score row (serialized by variant
+// name, like every other unit enum in the JSONL schema).
+nod_simcore::json_unit_enum!(StaticNegotiationStatus {
+    Desirable,
+    Acceptable,
+    Constraint,
+});
+
 /// Compute the SNS of an offer delivering `qos_values` at `cost` against a
 /// profile — "a simple comparison between the QoS associated with the offer
 /// and the user profile".

@@ -76,6 +76,7 @@ fn ctx<'a>(
         prune_dominated: false,
         streaming: mode,
         recorder: None,
+        explain: false,
     }
 }
 

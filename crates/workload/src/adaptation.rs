@@ -9,7 +9,8 @@ use nod_cmfs::{ServerConfig, ServerFarm};
 use nod_mmdb::{CorpusBuilder, CorpusParams};
 use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
-use nod_obs::Recorder;
+use nod_obs::{Recorder, RetentionPolicy, TailKeeper};
+use nod_qosneg::explain::{AttemptExplain, ExplainData, SessionExplain};
 use nod_qosneg::manager::{ActiveSession, ManagerConfig, QosManager};
 use nod_qosneg::{CostModel, NegotiationStatus};
 use nod_simcore::StreamRng;
@@ -113,6 +114,29 @@ pub fn run_adaptation_with(
     config: &AdaptationConfig,
     recorder: Option<&Recorder>,
 ) -> AdaptationResult {
+    run_adaptation_impl(config, recorder, None).0
+}
+
+/// [`run_adaptation_with`] with decision provenance: negotiations record
+/// [`DecisionLog`](nod_qosneg::DecisionLog)s, every adaptation verdict
+/// (including the make-before-break check) lands in the session's
+/// explanation, and the set is tail-retained under `policy`. Results
+/// match the plain run exactly.
+pub fn run_adaptation_explained(
+    config: &AdaptationConfig,
+    recorder: Option<&Recorder>,
+    policy: RetentionPolicy,
+) -> (AdaptationResult, ExplainData) {
+    let (result, data) = run_adaptation_impl(config, recorder, Some(policy));
+    (result, data.expect("explain was requested"))
+}
+
+fn run_adaptation_impl(
+    config: &AdaptationConfig,
+    recorder: Option<&Recorder>,
+    explain: Option<RetentionPolicy>,
+) -> (AdaptationResult, Option<ExplainData>) {
+    let mut keeper = explain.map(TailKeeper::new);
     let mut master = StreamRng::new(config.seed);
     let mut corpus_rng = master.split();
     let mut user_rng = master.split();
@@ -138,6 +162,7 @@ pub fn run_adaptation_with(
         CostModel::era_default(),
         ManagerConfig {
             recorder: recorder.cloned(),
+            explain: keeper.is_some(),
             ..ManagerConfig::default()
         },
     );
@@ -149,20 +174,67 @@ pub fn run_adaptation_with(
 
     // Negotiate and start the sessions.
     let mut sessions: Vec<ActiveSession> = Vec::new();
+    let mut session_ids: Vec<u64> = Vec::new();
+    let mut attempts: Vec<Vec<AttemptExplain>> = Vec::new();
     for i in 0..config.sessions {
         let client_id = ClientId(i as u64);
         let (_, profile, machine) = population.sample(&mut user_rng, client_id);
         let doc = DocumentId(user_rng.zipf(config.documents, 0.9) as u64 + 1);
         match manager.negotiate(&machine, doc, &profile) {
-            Ok(outcome)
+            Ok(mut outcome)
                 if matches!(
                     outcome.status,
                     NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer
                 ) =>
             {
+                if keeper.is_some() {
+                    session_ids.push(i as u64);
+                    attempts.push(
+                        outcome
+                            .decisions
+                            .take()
+                            .map(|d| {
+                                vec![AttemptExplain {
+                                    at_ms: 0,
+                                    decisions: *d,
+                                }]
+                            })
+                            .unwrap_or_default(),
+                    );
+                }
                 sessions.push(manager.start_session(&machine, outcome, doc));
             }
-            _ => {}
+            other => {
+                if let Some(keeper) = keeper.as_mut() {
+                    let refused = match other {
+                        Ok(mut o) => o
+                            .decisions
+                            .take()
+                            .map(|d| {
+                                vec![AttemptExplain {
+                                    at_ms: 0,
+                                    decisions: *d,
+                                }]
+                            })
+                            .unwrap_or_default(),
+                        Err(_) => Vec::new(),
+                    };
+                    keeper.finish(
+                        i as u64,
+                        true,
+                        0,
+                        SessionExplain {
+                            session: i as u64,
+                            arrival_ms: 0,
+                            fate: "rejected".to_string(),
+                            duration_ms: 0,
+                            attempts: refused,
+                            settlement: None,
+                            adaptations: Vec::new(),
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -235,7 +307,38 @@ pub fn run_adaptation_with(
         result.mean_continuity = continuity_sum / result.started as f64;
         result.mean_progress = progress_sum / result.started as f64;
     }
-    result
+    let data = keeper.map(|mut k| {
+        for (idx, session) in sessions.iter().enumerate() {
+            let fate = match session.playout.state() {
+                SessionState::Completed => "completed",
+                SessionState::Aborted => "aborted",
+                _ => "playing",
+            };
+            k.finish(
+                session_ids[idx],
+                fate == "aborted",
+                // Surface the most-adapted sessions through the top-k
+                // slot the broker uses for the slowest.
+                session.adaptations.len() as u64,
+                SessionExplain {
+                    session: session_ids[idx],
+                    arrival_ms: 0,
+                    fate: fate.to_string(),
+                    duration_ms: 0,
+                    attempts: std::mem::take(&mut attempts[idx]),
+                    settlement: None,
+                    adaptations: session.adaptations.clone(),
+                },
+            );
+        }
+        let (items, stats) = k.drain();
+        ExplainData {
+            ledger: Vec::new(),
+            sessions: items.into_iter().map(|(_, s)| s).collect(),
+            stats,
+        }
+    });
+    (result, data)
 }
 
 #[cfg(test)]
@@ -335,6 +438,45 @@ mod tests {
             on_cont >= off_cont,
             "adaptation should not be worse: {on_cont} vs {off_cont}"
         );
+    }
+
+    #[test]
+    fn explained_run_matches_plain_and_records_adaptation_verdicts() {
+        let config = AdaptationConfig {
+            seed: 2,
+            adaptation_enabled: true,
+            congestion_health: 0.0,
+            ..AdaptationConfig::default()
+        };
+        let plain = run_adaptation(&config);
+        let (explained, data) = run_adaptation_explained(&config, None, RetentionPolicy::default());
+        assert_eq!(plain.started, explained.started);
+        assert_eq!(plain.completed, explained.completed);
+        assert_eq!(plain.transitions, explained.transitions);
+        assert_eq!(plain.mean_continuity, explained.mean_continuity);
+        if explained.transitions > 0 {
+            let recorded: usize = data
+                .sessions
+                .iter()
+                .map(|s| {
+                    s.adaptations
+                        .iter()
+                        .filter(|a| a.new_rank.is_some())
+                        .count()
+                })
+                .sum();
+            assert!(
+                recorded > 0,
+                "adaptation transitions happened but no verdicts were recorded"
+            );
+            assert!(
+                data.sessions
+                    .iter()
+                    .flat_map(|s| &s.adaptations)
+                    .any(|a| a.make_before_break),
+                "successful adaptations must pass the make-before-break check"
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,9 @@ use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
 use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
 use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
-use nod_obs::Recorder;
+use nod_obs::{Recorder, RetentionPolicy, TailKeeper};
+use nod_qosneg::explain::{AttemptExplain, ExplainData, LedgerRow, SessionExplain, StreamRow};
+use nod_qosneg::mapping::charged_bit_rate;
 use nod_qosneg::negotiate::{NegotiationContext, NegotiationStatus, StreamingMode};
 use nod_qosneg::{
     ClassificationStrategy, CostModel, Money, NegotiationRequest, Procedure, Session,
@@ -203,6 +205,31 @@ pub fn run_blocking(config: &BlockingConfig) -> BlockingResult {
 /// wall-clock timed (the negotiation runs at a single simulated instant,
 /// so the sim clock would collapse every stage latency to zero).
 pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -> BlockingResult {
+    run_blocking_impl(config, recorder, None).0
+}
+
+/// [`run_blocking_with`] with decision provenance: every negotiation
+/// records a [`DecisionLog`](nod_qosneg::DecisionLog), admitted sessions
+/// land in the capacity ledger, and per-session explanations are
+/// tail-retained under `policy` (100% of refusals plus a seeded head
+/// sample). The arrival trace is unchanged: results match the plain run
+/// exactly.
+pub fn run_blocking_explained(
+    config: &BlockingConfig,
+    recorder: Option<&Recorder>,
+    policy: RetentionPolicy,
+) -> (BlockingResult, ExplainData) {
+    let (result, data) = run_blocking_impl(config, recorder, Some(policy));
+    (result, data.expect("explain was requested"))
+}
+
+fn run_blocking_impl(
+    config: &BlockingConfig,
+    recorder: Option<&Recorder>,
+    explain: Option<RetentionPolicy>,
+) -> (BlockingResult, Option<ExplainData>) {
+    let mut keeper = explain.map(TailKeeper::new);
+    let mut ledger: Vec<LedgerRow> = Vec::new();
     let mut master = StreamRng::new(config.seed);
     let mut corpus_rng = master.split();
     let mut arrival_rng = master.split();
@@ -244,6 +271,7 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
         prune_dominated: false,
         streaming: StreamingMode::Auto,
         recorder,
+        explain: false,
     };
     let session = Session::new(ctx);
     let procedure = match config.negotiator {
@@ -277,8 +305,13 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
                 let client_id = ClientId(n % config.clients as u64);
                 let (_, profile, machine) = population.sample(&mut user_rng, client_id);
                 let doc = DocumentId(user_rng.zipf(config.documents, 0.9) as u64 + 1);
-                let outcome = session
-                    .submit(&NegotiationRequest::new(&machine, doc, &profile).procedure(procedure))
+                let mut request =
+                    NegotiationRequest::new(&machine, doc, &profile).procedure(procedure);
+                if keeper.is_some() {
+                    request = request.explain();
+                }
+                let mut outcome = session
+                    .submit(&request)
                     .expect("valid profiles and documents");
 
                 let duration_ms = catalog
@@ -310,6 +343,62 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
 
                 let keep = outcome.status == NegotiationStatus::Succeeded
                     || (outcome.status == NegotiationStatus::FailedWithOffer && accepted_degraded);
+                if let Some(keeper) = keeper.as_mut() {
+                    let now_ms = now.as_millis();
+                    let fate = match outcome.status {
+                        NegotiationStatus::Succeeded => "admitted",
+                        NegotiationStatus::FailedWithOffer if accepted_degraded => {
+                            "admitted_degraded"
+                        }
+                        _ => "rejected",
+                    };
+                    if keep {
+                        if let Some(reserved) = &outcome.reserved_offer {
+                            ledger.push(LedgerRow {
+                                session: n,
+                                admit_ms: now_ms,
+                                depart_ms: now_ms + duration_ms,
+                                streams: reserved
+                                    .offer
+                                    .variants
+                                    .iter()
+                                    .map(|v| StreamRow {
+                                        server: v.server.0,
+                                        bps: if v.blocks_per_second > 0 {
+                                            charged_bit_rate(v, config.guarantee)
+                                        } else {
+                                            0
+                                        },
+                                    })
+                                    .collect(),
+                            });
+                        }
+                    }
+                    let attempts = outcome
+                        .decisions
+                        .take()
+                        .map(|d| {
+                            vec![AttemptExplain {
+                                at_ms: now_ms,
+                                decisions: *d,
+                            }]
+                        })
+                        .unwrap_or_default();
+                    keeper.finish(
+                        n,
+                        fate == "rejected",
+                        0,
+                        SessionExplain {
+                            session: n,
+                            arrival_ms: now_ms,
+                            fate: fate.to_string(),
+                            duration_ms: 0,
+                            attempts,
+                            settlement: None,
+                            adaptations: Vec::new(),
+                        },
+                    );
+                }
                 if let Some(reservation) = outcome.reservation {
                     if keep {
                         result.carried += 1;
@@ -346,7 +435,15 @@ pub fn run_blocking_with(config: &BlockingConfig, recorder: Option<&Recorder>) -
     }
     result.p50_cost_dollars = costs.median().unwrap_or(0.0);
     result.p95_cost_dollars = costs.quantile(0.95).unwrap_or(0.0);
-    result
+    let data = keeper.map(|k| {
+        let (items, stats) = k.drain();
+        ExplainData {
+            ledger,
+            sessions: items.into_iter().map(|(_, s)| s).collect(),
+            stats,
+        }
+    });
+    (result, data)
 }
 
 #[cfg(test)]
@@ -464,6 +561,46 @@ mod tests {
         // The mean sits between the median and the tail for this skew.
         assert!(r.mean_cost_dollars >= r.p50_cost_dollars * 0.5);
         assert!(r.p95_cost_dollars <= r.mean_cost_dollars * 4.0);
+    }
+
+    #[test]
+    fn explained_run_matches_the_plain_run_and_retains_refusals() {
+        let config = BlockingConfig {
+            seed: 8,
+            documents: 12,
+            servers: 2,
+            clients: 6,
+            arrivals_per_minute: 40.0,
+            horizon_minutes: 20.0,
+            ..BlockingConfig::default()
+        };
+        let plain = run_blocking(&config);
+        let (explained, data) = run_blocking_explained(&config, None, RetentionPolicy::default());
+        // Provenance is observation, not intervention.
+        assert_eq!(plain.offered, explained.offered);
+        assert_eq!(plain.carried, explained.carried);
+        assert_eq!(plain.mean_satisfaction, explained.mean_satisfaction);
+        assert_eq!(
+            data.ledger.len() as u64,
+            explained.carried,
+            "one ledger row per carried session"
+        );
+        let rejected = data
+            .sessions
+            .iter()
+            .filter(|s| s.fate == "rejected")
+            .count() as u64;
+        assert_eq!(
+            rejected,
+            explained.offered - explained.carried,
+            "every refusal must be retained"
+        );
+        assert!(
+            data.sessions
+                .iter()
+                .any(|s| s.attempts.iter().any(|a| a.decisions.offers_enumerated > 0)),
+            "explanations must carry real decision logs"
+        );
     }
 
     #[test]

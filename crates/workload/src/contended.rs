@@ -15,7 +15,7 @@ use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
 use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
 use nod_mmdoc::{ClientId, DocumentId, ServerId};
 use nod_netsim::{Network, Topology};
-use nod_obs::{Recorder, SloSpec};
+use nod_obs::{Recorder, RetentionPolicy, SloSpec};
 use nod_qosneg::negotiate::{NegotiationContext, StreamingMode};
 use nod_qosneg::{ClassificationStrategy, CostModel, RetryPolicy, UserProfile};
 use nod_simcore::StreamRng;
@@ -65,6 +65,11 @@ pub struct ContendedConfig {
     /// this up with the farm for metro-sized fleets, or the backbone —
     /// not the servers — becomes the only bottleneck.
     pub backbone_bps: u64,
+    /// Decision-provenance retention (see [`FleetSpec::explain`]).
+    /// `None` (the default) records nothing and allocates nothing;
+    /// `Some(policy)` makes [`BrokerReport::explains`] carry the
+    /// capacity ledger and the tail-retained per-session explanations.
+    pub explain: Option<RetentionPolicy>,
 }
 
 impl Default for ContendedConfig {
@@ -85,6 +90,7 @@ impl Default for ContendedConfig {
             workers: 1,
             access_bps: 25_000_000,
             backbone_bps: 155_000_000,
+            explain: None,
         }
     }
 }
@@ -212,6 +218,7 @@ impl ContendedWorld {
             prune_dominated: false,
             streaming: StreamingMode::Auto,
             recorder,
+            explain: false,
         }
     }
 
@@ -249,12 +256,14 @@ pub fn run_contended_with(
     };
 
     let broker = Broker::new(world.ctx(config, recorder), world.broker_config(config));
-    let report = broker.drive(
-        &FleetSpec::new(&specs)
-            .faults(&faults)
-            .workers(config.workers)
-            .slos(config.slos.clone()),
-    );
+    let mut fleet = FleetSpec::new(&specs)
+        .faults(&faults)
+        .workers(config.workers)
+        .slos(config.slos.clone());
+    if let Some(policy) = config.explain {
+        fleet = fleet.explain(policy);
+    }
+    let report = broker.drive(&fleet);
     let result = ContendedResult {
         offered: config.sessions,
         admitted: report.admitted,
@@ -267,26 +276,6 @@ pub fn run_contended_with(
         leaked_streams: report.leaked_streams,
     };
     (result, report)
-}
-
-/// The contended world with `threads` worker shards, returning only
-/// `(admitted, leaked_streams)`.
-///
-/// Superseded: set [`ContendedConfig::workers`] and call
-/// [`run_contended_with`] — the full [`BrokerReport`] comes back at any
-/// worker count now, byte-identical to the sequential one.
-#[deprecated(note = "set `ContendedConfig::workers` and use `run_contended_with`")]
-pub fn run_threaded_contended(
-    config: &ContendedConfig,
-    recorder: Option<&Recorder>,
-    threads: usize,
-) -> (usize, usize) {
-    let config = ContendedConfig {
-        workers: threads,
-        ..config.clone()
-    };
-    let (result, _) = run_contended_with(&config, recorder);
-    (result.admitted, result.leaked_streams)
 }
 
 #[cfg(test)]
@@ -360,6 +349,96 @@ mod tests {
         );
         assert_eq!(s1, s2, "merged snapshot must not depend on worker count");
         assert_eq!(s1, s8, "merged snapshot must not depend on worker count");
+    }
+
+    #[test]
+    fn explain_artifacts_are_byte_identical_across_worker_counts() {
+        use nod_qosneg::explain::{ExplainArtifact, ExplainMeta};
+        let config = ContendedConfig {
+            seed: 23,
+            sessions: 48,
+            servers: 1,
+            arrivals_per_minute: 240.0,
+            hold_ms: 8_000,
+            choice_period_ms: 300,
+            explain: Some(RetentionPolicy::default()),
+            ..ContendedConfig::default()
+        };
+        let artifact = |workers: usize| {
+            let cfg = ContendedConfig {
+                workers,
+                ..config.clone()
+            };
+            let (_, report) = run_contended_with(&cfg, None);
+            let data = report.explains.expect("explain was requested");
+            let policy = cfg.explain.unwrap();
+            ExplainArtifact::new(
+                ExplainMeta {
+                    source: "test".into(),
+                    seed: cfg.seed,
+                    sessions: cfg.sessions as u64,
+                    top_k: policy.top_k as u64,
+                    sample_every: policy.sample_every,
+                    sample_seed: policy.seed,
+                },
+                data,
+            )
+            .to_jsonl()
+        };
+        let a1 = artifact(1);
+        let a2 = artifact(2);
+        let a8 = artifact(8);
+        assert!(
+            a1.lines().any(|l| l.starts_with("{\"session\"")),
+            "artifact retains no session explanations:\n{a1}"
+        );
+        assert!(
+            a1.lines().any(|l| l.starts_with("{\"ledger\"")),
+            "artifact carries no capacity ledger:\n{a1}"
+        );
+        assert_eq!(a1, a2, "explain artifact depends on worker count");
+        assert_eq!(a1, a8, "explain artifact depends on worker count");
+    }
+
+    #[test]
+    fn explain_retains_every_failure_with_refusal_shortfalls() {
+        let config = ContendedConfig {
+            seed: 5,
+            sessions: 32,
+            servers: 1,
+            arrivals_per_minute: 300.0,
+            hold_ms: 30_000,
+            retry: RetryPolicy::NO_RETRY,
+            explain: Some(RetentionPolicy::default()),
+            ..ContendedConfig::default()
+        };
+        let (result, report) = run_contended_with(&config, None);
+        let data = report.explains.expect("explain was requested");
+        let failed = config.sessions - result.admitted;
+        assert!(failed > 0, "run must actually refuse sessions");
+        let retained_failures = data
+            .sessions
+            .iter()
+            .filter(|s| s.fate != "admitted" && s.fate != "admitted_degraded")
+            .count();
+        assert_eq!(
+            retained_failures, failed,
+            "tail retention must keep 100% of failures"
+        );
+        // At least one failed session must explain itself with a concrete
+        // commit refusal (kind + shortfall) from the decision log.
+        assert!(
+            data.sessions
+                .iter()
+                .any(|s| s.attempts.iter().any(|a| !a.decisions.refusals.is_empty())),
+            "no session explanation carries a commit refusal"
+        );
+        // Ledger rows cover exactly the admitted sessions.
+        assert_eq!(data.ledger.len(), result.admitted);
+        assert!(data
+            .ledger
+            .iter()
+            .all(|row| row.depart_ms > row.admit_ms && !row.streams.is_empty()));
     }
 
     #[test]

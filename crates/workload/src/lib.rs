@@ -13,12 +13,14 @@ pub mod contended;
 pub mod population;
 pub mod scenario;
 
-pub use adaptation::{run_adaptation, run_adaptation_with, AdaptationConfig, AdaptationResult};
-pub use blocking::{
-    run_blocking, run_blocking_with, BlockingConfig, BlockingResult, NegotiatorKind,
+pub use adaptation::{
+    run_adaptation, run_adaptation_explained, run_adaptation_with, AdaptationConfig,
+    AdaptationResult,
 };
-#[allow(deprecated)]
-pub use contended::run_threaded_contended;
+pub use blocking::{
+    run_blocking, run_blocking_explained, run_blocking_with, BlockingConfig, BlockingResult,
+    NegotiatorKind,
+};
 pub use contended::{run_contended, run_contended_with, ContendedConfig, ContendedResult};
 pub use population::{UserClass, UserPopulation};
 pub use scenario::Scenario;

@@ -3,7 +3,8 @@
 #
 # Runs the B4/B8 negotiation bench, the B1/B2/B7 classification bench, the
 # B9 contended-broker bench, the B10 trace bench, the B11 fleet-telemetry
-# bench and the B12 city-scale fleet sweep with NOD_BENCH_JSON_OUT set,
+# bench, the B12 city-scale fleet sweep and the B13 decision-provenance
+# bench with NOD_BENCH_JSON_OUT set,
 # then merges the dumps into a single JSON file at the repo root. Honors NOD_BENCH_FAST=1
 # for a quick smoke run (CI); leave it unset for publication-quality
 # numbers. The B9 run doubles as the broker stress smoke: it includes a
@@ -48,6 +49,15 @@ echo "==> bench: fleet (B12 city-scale sweep: throughput, RSS, deterministic mer
 NOD_BENCH_JSON_OUT="$tmpdir/fleet.json" \
     cargo bench -q -p nod-bench --bench fleet 2>&1 | tail -n +1
 
+# B13 gates in both modes: the counting global allocator asserts the
+# explain-disabled hook path performs zero allocations and that the whole
+# per-negotiation explain cost sits behind the gate, even under
+# NOD_BENCH_FAST=1; the ≤10% overhead ratio on the 10k-session contended
+# fleet is asserted only in full mode but always lands in the JSON.
+echo "==> bench: explain (B13 decision-provenance: alloc-free disabled path, overhead)"
+NOD_BENCH_JSON_OUT="$tmpdir/explain.json" \
+    cargo bench -q -p nod-bench --bench explain 2>&1 | tail -n +1
+
 # Nightly-depth oracle sweep (non-gating here — check.sh gates the 256-case
 # run): a wider seeded sweep whose counters (oracle.cases,
 # oracle.divergences) ride along in the snapshot. Divergences don't fail
@@ -77,6 +87,9 @@ cargo run -q --release -p nod-oracle --bin run_oracle -- \
     echo '  ,'
     echo '  "fleet":'
     sed 's/^/    /' "$tmpdir/fleet.json"
+    echo '  ,'
+    echo '  "explain":'
+    sed 's/^/    /' "$tmpdir/explain.json"
     echo '  ,'
     echo '  "oracle":'
     sed 's/^/    /' "$tmpdir/oracle.json"

@@ -18,9 +18,12 @@ cargo test --workspace -q
 # (streaming / eager / session / manager / broker). Any divergence prints a
 # shrunk, ready-to-paste repro test and fails the gate. Deterministic in
 # the seed; raise NOD_ORACLE_CASES locally for a deeper sweep.
-echo "==> conformance oracle (run_oracle --cases \${NOD_ORACLE_CASES:-256} --seed 7)"
+# --explain-check additionally replays each scenario with explanations on
+# and asserts the decision log cites exactly the refusal kinds, score
+# decomposition and pruning victims the reference observed.
+echo "==> conformance oracle (run_oracle --cases \${NOD_ORACLE_CASES:-256} --seed 7 --explain-check)"
 cargo run -q --release -p nod-oracle --bin run_oracle -- \
-    --cases "${NOD_ORACLE_CASES:-256}" --seed 7
+    --cases "${NOD_ORACLE_CASES:-256}" --seed 7 --explain-check
 
 # Non-gating bench smoke: the fast-mode snapshot only has to *run* (panics
 # and build errors fail the check); the numbers themselves are not gated.
@@ -65,5 +68,18 @@ test -s "$trace_tmp/windows/window_0000.prom"
 top_frame="$(cargo run -q --release -p nod-tui --features top --bin nod_top -- \
     --sessions 16 --servers 1 --seed 5 --hold-ms 4000 --slos --once)"
 grep -q "nod-top — fleet window" <<< "$top_frame"
+
+# Explain smoke: a contended run must emit a parseable decision-provenance
+# artifact, and nod_explain must load it and render the overview (the
+# overview includes the retention-ledger line, so a truncated or
+# schema-drifted artifact fails the grep, not just the parse).
+echo "==> explain smoke (run_contended --explain-out, nod_explain --once)"
+cargo run -q --release -p nod-bench --bin run_contended -- \
+    --sessions 64 --servers 1 --seed 5 --hold-ms 4000 \
+    --explain-out "$trace_tmp/explain.jsonl" > /dev/null
+test -s "$trace_tmp/explain.jsonl"
+explain_overview="$(cargo run -q --release -p nod-bench --bin nod_explain -- \
+    --once "$trace_tmp/explain.jsonl")"
+grep -q "retained .* of .* finished" <<< "$explain_overview"
 
 echo "All checks passed."

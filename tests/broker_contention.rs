@@ -71,6 +71,7 @@ fn ctx(w: &World) -> NegotiationContext<'_> {
         prune_dominated: false,
         streaming: StreamingMode::Auto,
         recorder: None,
+        explain: false,
     }
 }
 
@@ -306,11 +307,16 @@ fn threaded_stress_run_terminates_and_leaks_nothing() {
     );
     assert_drained(&w);
 
-    // The deprecated stress-mode shim must agree with the engine it
-    // wraps.
-    #[allow(deprecated)]
-    let (admitted, leaked) = broker.run_threaded(&specs, 4);
-    assert_eq!((admitted, leaked), (report.admitted, report.leaked_streams));
+    // A second drive over the same world must agree with the first.
+    let again = broker.drive(
+        &FleetSpec::new(&specs)
+            .workers(4)
+            .retention(EventRetention::CountsOnly),
+    );
+    assert_eq!(
+        (again.admitted, again.leaked_streams),
+        (report.admitted, report.leaked_streams)
+    );
     assert_drained(&w);
 }
 

@@ -52,6 +52,7 @@ fn ctx(w: &World, prune: bool) -> NegotiationContext<'_> {
         prune_dominated: prune,
         streaming: nod_qosneg::negotiate::StreamingMode::Auto,
         recorder: None,
+        explain: false,
     }
 }
 

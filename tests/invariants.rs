@@ -290,6 +290,7 @@ fn negotiation_never_leaks_resources() {
             prune_dominated: false,
             streaming: nod_qosneg::negotiate::StreamingMode::Auto,
             recorder: None,
+            explain: false,
         };
         let client = ClientMachine::era_workstation(ClientId(0));
         let session = Session::new(ctx);

@@ -161,6 +161,7 @@ fn ctx<'a>(w: &'a World, recorder: Option<&'a Recorder>) -> NegotiationContext<'
         prune_dominated: false,
         streaming: StreamingMode::Auto,
         recorder,
+        explain: false,
     }
 }
 
