@@ -1,0 +1,225 @@
+//! B14 — write-ahead journal overhead and recovery time.
+//!
+//! Journaling must be free to leave compiled in: with no journal
+//! attached, the hot-path hooks are gated branches that perform **zero
+//! heap allocations** — asserted with a counting global allocator,
+//! alongside exact allocation reproducibility of the unjournaled run.
+//! With the journal live at the default snapshot cadence, a 10k-session
+//! contended fleet must stay within ~10% of the identical unjournaled
+//! run (asserted outside `NOD_BENCH_FAST`; CI smoke samples are too few
+//! to bound noise) and the outcome log must be byte-identical — the
+//! journal observes the run, it never steers it. Recovery time is then
+//! measured against the crash point's position in the log: an early
+//! crash re-executes most of the run live, a late crash replays most of
+//! it from the journal.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nod_bench::micro::Micro;
+use nod_broker::{Journal, JournalConfig};
+use nod_workload::{
+    recover_contended, run_contended_journaled, run_contended_with, ContendedConfig,
+};
+
+/// Counts heap allocations so the disabled-path check is exact, not a
+/// timing judgement call. A single relaxed atomic add per allocation;
+/// both timed benches share the overhead equally.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; only bookkeeping is added.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The contended fleet the overhead pair runs: 10k sessions over an
+/// 8-server farm — the same load point as B13.
+fn fleet_config() -> ContendedConfig {
+    ContendedConfig {
+        seed: 3,
+        sessions: 10_000,
+        servers: 8,
+        ..ContendedConfig::default()
+    }
+}
+
+fn main() {
+    let fast = std::env::var("NOD_BENCH_FAST").is_ok_and(|v| v == "1");
+    let mut m = Micro::new();
+
+    // Disabled hot path: the exact gate every journaled transition runs
+    // — an absent journal reference and the empty hold row it implies.
+    // All of it must early-out before any allocation (`Vec::new` never
+    // touches the heap).
+    const CALLS: u64 = 10_000;
+    let before = alloc_count();
+    for _ in 0..CALLS {
+        let journal: Option<&Journal> = black_box(None);
+        let holds: Vec<u64> = if journal.is_some() {
+            vec![black_box(1)]
+        } else {
+            Vec::new()
+        };
+        black_box(&holds);
+    }
+    let disabled_hook_allocs = alloc_count() - before;
+    m.metric(
+        "b14_journal_hook/disabled_allocs_per_call",
+        disabled_hook_allocs as f64 / CALLS as f64,
+    );
+    assert_eq!(
+        disabled_hook_allocs, 0,
+        "the journal-disabled hook path must not allocate"
+    );
+
+    // The unjournaled run's allocation count must be exactly
+    // reproducible — the journal feature left no conditional allocation
+    // behind on the disabled path.
+    let small = ContendedConfig {
+        sessions: 256,
+        ..fleet_config()
+    };
+    let run_allocs = || {
+        let before = alloc_count();
+        let (result, _) = run_contended_with(&small, None);
+        black_box(result.retries);
+        alloc_count() - before
+    };
+    run_allocs(); // warm caches and lazy pools
+    let off_a = run_allocs();
+    let off_b = run_allocs();
+    assert_eq!(
+        off_a, off_b,
+        "journal-disabled run allocations must be exactly reproducible"
+    );
+    m.metric("b14_journal_allocs/disabled_per_run", off_a as f64);
+
+    // End-to-end overhead: the 10k-session fleet without and with the
+    // journal at its default policy (snapshot every 4096 events,
+    // compaction on). Samples are *paired* — plain and journaled
+    // alternate — so machine-load drift lands on both sides equally.
+    let pairs = if fast { 2 } else { 7 };
+    let mut plain_ns: Vec<f64> = Vec::with_capacity(pairs);
+    let mut journaled_ns: Vec<f64> = Vec::with_capacity(pairs);
+    let mut journal_bytes = 0usize;
+    let mut journal_events = 0u64;
+    let mut journal_snapshots = 0u64;
+    for i in 0..pairs + 1 {
+        let cfg = fleet_config();
+        let t0 = std::time::Instant::now();
+        let (result, plain_report) = run_contended_with(&cfg, None);
+        let plain = t0.elapsed().as_nanos() as f64;
+        black_box(result.retries);
+        let journal = Journal::in_memory(JournalConfig::default());
+        let t0 = std::time::Instant::now();
+        let (result, journaled_report) = run_contended_journaled(&cfg, None, &journal);
+        let journaled = t0.elapsed().as_nanos() as f64;
+        black_box(result.retries);
+        assert_eq!(
+            plain_report.events, journaled_report.events,
+            "journaling perturbed the outcome log"
+        );
+        let stats = journal.stats();
+        journal_bytes = stats.bytes;
+        journal_events = stats.events_appended;
+        journal_snapshots = stats.snapshots;
+        if i > 0 {
+            // pair 0 warms both paths and is discarded
+            plain_ns.push(plain);
+            journaled_ns.push(journaled);
+        }
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    let baseline = median(&mut plain_ns);
+    let journaled = median(&mut journaled_ns);
+    let ratio = journaled / baseline;
+    m.metric("b14_journal_overhead/plain_median_ns", baseline);
+    m.metric("b14_journal_overhead/journaled_median_ns", journaled);
+    m.metric("b14_journal_overhead/journaled_over_plain", ratio);
+    m.metric("b14_journal_overhead/journal_bytes", journal_bytes as f64);
+    m.metric(
+        "b14_journal_overhead/events_appended",
+        journal_events as f64,
+    );
+    m.metric("b14_journal_overhead/snapshots", journal_snapshots as f64);
+    assert!(
+        journal_events > 10_000 && journal_snapshots >= 1,
+        "journaled run recorded suspiciously little: \
+         {journal_events} events, {journal_snapshots} snapshots"
+    );
+    if !fast {
+        assert!(
+            ratio <= 1.10,
+            "journal overhead {:.1}% exceeds the 10% budget \
+             (plain {baseline:.0} ns, journaled {journaled:.0} ns)",
+            (ratio - 1.0) * 100.0,
+        );
+    }
+
+    // Recovery time vs crash position. One uncompacted run keeps the
+    // full record stream; truncating it at 25/50/75/100% of the event
+    // records simulates crashes spread across the run's life. Early
+    // crashes re-execute most of the run live; the 100% point is pure
+    // replay.
+    let cfg = fleet_config();
+    let chaos = JournalConfig {
+        compact: false,
+        ..JournalConfig::default()
+    };
+    let journal = Journal::in_memory(chaos);
+    let (_, full) = run_contended_journaled(&cfg, None, &journal);
+    let bytes = journal.bytes();
+    let ends = journal.event_record_ends();
+    for pct in [25usize, 50, 75, 100] {
+        let cut = if pct == 100 {
+            bytes.len()
+        } else {
+            ends[(ends.len() - 1) * pct / 100]
+        };
+        let truncated = Journal::from_bytes(bytes[..cut].to_vec(), chaos);
+        let t0 = std::time::Instant::now();
+        let rec = recover_contended(&cfg, None, &truncated)
+            .unwrap_or_else(|e| panic!("recovery at {pct}% failed: {e}"));
+        let elapsed = t0.elapsed().as_nanos() as f64;
+        let at = rec.suffix_starts_at_event as usize;
+        assert_eq!(
+            rec.report.events,
+            &full.events[at..],
+            "recovery at {pct}% is not the byte-identical suffix"
+        );
+        assert_eq!(rec.report.leaked_streams, 0, "recovery at {pct}% leaked");
+        m.metric(&format!("b14_recovery/at_{pct}pct_ns"), elapsed);
+        m.metric(
+            &format!("b14_recovery/at_{pct}pct_replayed_events"),
+            rec.replayed_events as f64,
+        );
+        black_box(rec);
+    }
+
+    m.report();
+}

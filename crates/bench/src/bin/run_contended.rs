@@ -26,18 +26,30 @@
 //! A [`FlushGuard`] arms as soon as the sinks exist: if the run panics,
 //! the partial trace log and metrics snapshot are still written.
 
+//! Crash recovery: `--journal <path>` appends a write-ahead journal of
+//! every session transition to `path` as the run progresses;
+//! `--kill-at-event N` crashes the process (exit code 86) right after
+//! the N-th journaled event — a deterministic chaos hook. A later
+//! invocation with the **same workload flags** plus `--journal <path>
+//! --recover` resumes the crashed run from the journal, verifies the
+//! resumed outcome log is the byte-identical suffix of an uninterrupted
+//! in-process rerun, and completes the journal.
+
 use nod_bench::{write_artifact, FlushGuard};
-use nod_broker::fleet_windows;
+use nod_broker::{fleet_windows, Journal, JournalConfig};
 use nod_obs::{analyze, default_fleet_slos, to_prometheus_text, Recorder, RetentionPolicy, Tracer};
 use nod_qosneg::explain::{ExplainArtifact, ExplainMeta};
-use nod_workload::{run_contended_with, ContendedConfig};
+use nod_workload::{
+    recover_contended, run_contended_journaled, run_contended_with, ContendedConfig,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: run_contended [--sessions N] [--servers N] [--clients N] [--seed N] \
          [--workers N] [--faults N] [--arrivals-per-minute F] [--hold-ms N] [--choice-period MS] \
          [--trace-out <path>] [--trace-report] [--chrome-out <path>] [--metrics-out <path>] \
-         [--prom-out <path>] [--windows-out <dir>] [--window-ms N] [--slos] [--explain-out <path>]"
+         [--prom-out <path>] [--windows-out <dir>] [--window-ms N] [--slos] [--explain-out <path>] \
+         [--journal <path>] [--kill-at-event N] [--recover]"
     );
     std::process::exit(2);
 }
@@ -69,6 +81,9 @@ fn main() {
     let mut explain_out: Option<String> = None;
     let mut window_ms: u64 = 5_000;
     let mut trace_report = false;
+    let mut journal_path: Option<String> = None;
+    let mut kill_at_event: Option<u64> = None;
+    let mut recover = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -92,8 +107,72 @@ fn main() {
             "--window-ms" => window_ms = parse(&mut it, "--window-ms"),
             "--slos" => config.slos = default_fleet_slos(),
             "--trace-report" => trace_report = true,
+            "--journal" => journal_path = Some(parse(&mut it, "--journal")),
+            "--kill-at-event" => kill_at_event = Some(parse(&mut it, "--kill-at-event")),
+            "--recover" => recover = true,
             _ => usage(),
         }
+    }
+
+    if recover {
+        let Some(path) = &journal_path else {
+            eprintln!("error: --recover needs --journal <path>");
+            usage()
+        };
+        let journal = match Journal::open(path, JournalConfig::default()) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: cannot open journal {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let rec = match recover_contended(&config, None, &journal) {
+            Ok(rec) => rec,
+            Err(e) => {
+                eprintln!("error: recovery from {path} failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        if rec.torn_bytes > 0 {
+            eprintln!(
+                "torn tail: {} byte(s) of a partial record truncated",
+                rec.torn_bytes
+            );
+        }
+        println!(
+            "recovered from {path}: resumed at {} ms, {} journaled events replayed, \
+             {} events generated after the crash point",
+            rec.resumed_at_ms
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "start".into()),
+            rec.replayed_events,
+            rec.report.events.len(),
+        );
+        // Verify against an uninterrupted in-process rerun of the same
+        // config: the resumed log must be its byte-identical suffix.
+        let (_, full) = run_contended_with(&config, None);
+        let at = rec.suffix_starts_at_event as usize;
+        if at > full.events.len() || rec.report.events != full.events[at..] {
+            eprintln!("error: resumed outcome log diverges from the uninterrupted run");
+            std::process::exit(1);
+        }
+        if rec.report.leaked_streams != 0 {
+            eprintln!(
+                "error: recovered run leaked {} streams",
+                rec.report.leaked_streams
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "recovery verified: {} suffix events byte-identical from log position {at}, \
+             0 leaked streams ({} sessions: {} admitted, {} starved, {} rejected)",
+            rec.report.events.len(),
+            rec.report.results.len(),
+            rec.report.admitted,
+            rec.report.starved,
+            rec.report.rejected + rec.report.errored,
+        );
+        return;
     }
 
     if explain_out.is_some() {
@@ -126,7 +205,20 @@ fn main() {
         })
     };
 
-    let (result, report) = run_contended_with(&config, Some(&recorder));
+    let journal = journal_path.as_ref().map(|p| {
+        let cfg = JournalConfig {
+            crash_after_events: kill_at_event,
+            ..JournalConfig::default()
+        };
+        Journal::create(p, cfg).unwrap_or_else(|e| {
+            eprintln!("error: cannot create journal {p}: {e}");
+            std::process::exit(1);
+        })
+    });
+    let (result, report) = match &journal {
+        Some(j) => run_contended_journaled(&config, Some(&recorder), j),
+        None => run_contended_with(&config, Some(&recorder)),
+    };
     guard.disarm();
 
     println!(
@@ -148,6 +240,13 @@ fn main() {
         "session latency ms: p50 {:.0}  p95 {:.0}  p99 {:.0}  max {:.0}",
         report.latency.p50, report.latency.p95, report.latency.p99, report.latency.max
     );
+    if let (Some(path), Some(j)) = (&journal_path, &journal) {
+        let s = j.stats();
+        eprintln!(
+            "journal: {} events, {} snapshots, {} compactions, {} bytes written to {path}",
+            s.events_appended, s.snapshots, s.compactions, s.bytes
+        );
+    }
     for alert in &report.slo_alerts {
         println!(
             "SLO BURN: {} — observed {:.3} vs bound {:.3} for {} windows (ending at {} ms)",

@@ -14,7 +14,7 @@
 //! stream is fatal.
 
 use nod_bench::{write_artifact, MetroFleet};
-use nod_broker::{Broker, BrokerConfig, EventRetention, FleetSpec};
+use nod_broker::{Broker, BrokerConfig, EventRetention, FleetSpec, Journal, JournalConfig};
 use nod_cmfs::Guarantee;
 use nod_obs::RetentionPolicy;
 use nod_qosneg::explain::{ExplainArtifact, ExplainMeta};
@@ -24,7 +24,7 @@ use nod_qosneg::ClassificationStrategy;
 fn usage() -> ! {
     eprintln!(
         "usage: run_fleet [--sessions N] [--workers N] [--seed N] [--assert-merge] \
-         [--explain-out <path>]"
+         [--explain-out <path>] [--journal <path>]"
     );
     std::process::exit(2);
 }
@@ -62,6 +62,7 @@ fn main() {
     let mut seed = 12u64;
     let mut assert_merge = false;
     let mut explain_out: Option<String> = None;
+    let mut journal_path: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -70,6 +71,7 @@ fn main() {
             "--seed" => seed = parse(&mut it, "--seed"),
             "--assert-merge" => assert_merge = true,
             "--explain-out" => explain_out = Some(parse(&mut it, "--explain-out")),
+            "--journal" => journal_path = Some(parse(&mut it, "--journal")),
             _ => usage(),
         }
     }
@@ -92,6 +94,15 @@ fn main() {
         EventRetention::WindowsOnly
     };
     let policy = RetentionPolicy::default();
+    // The journal attaches to the measured run only: a journal records
+    // exactly one run, and the merge assert's sequential rerun is a
+    // fresh drive of the same fleet.
+    let journal = journal_path.as_ref().map(|p| {
+        Journal::create(p, JournalConfig::default()).unwrap_or_else(|e| {
+            eprintln!("error: cannot create journal {p}: {e}");
+            std::process::exit(1);
+        })
+    });
     let fleet_spec = |workers: usize| {
         let mut spec = FleetSpec::new(&specs).workers(workers).retention(retention);
         if explain_out.is_some() {
@@ -99,9 +110,20 @@ fn main() {
         }
         spec
     };
+    let mut journaled_spec = fleet_spec(workers);
+    if let Some(j) = &journal {
+        journaled_spec = journaled_spec.journal(j);
+    }
     let t0 = std::time::Instant::now();
-    let report = broker.drive(&fleet_spec(workers));
+    let report = broker.drive(&journaled_spec);
     let wall = t0.elapsed();
+    if let (Some(path), Some(j)) = (&journal_path, &journal) {
+        let s = j.stats();
+        eprintln!(
+            "journal: {} events, {} snapshots, {} compactions, {} bytes written to {path}",
+            s.events_appended, s.snapshots, s.compactions, s.bytes
+        );
+    }
 
     assert_eq!(report.leaked_streams, 0, "fleet run leaked streams");
     let rate = sessions as f64 / wall.as_secs_f64();

@@ -40,7 +40,7 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 
 use nod_client::ClientMachine;
 use nod_cmfs::{Guarantee, StreamRequirement};
-use nod_mmdoc::{DocumentId, VariantId};
+use nod_mmdoc::{DocumentId, ServerId, VariantId};
 use nod_obs::TailKeeper;
 use nod_obs::{
     HistogramSnapshot, Recorder, SloAlert, SloMonitor, SloSpec, Span, Tracer, ValueHistogram,
@@ -58,8 +58,12 @@ use nod_qosneg::{NegotiationStatus, QosError, RetryPolicy, Session, UserProfile}
 use nod_simcore::{EventQueue, SimTime, StreamRng};
 
 use crate::audit::CapacitySnapshot;
-use crate::fault::FaultPlan;
+use crate::fault::{Fault, FaultPlan};
 use crate::fleet::{EventRetention, FleetSpec};
+use crate::journal::{
+    HeaderRecord, Journal, JournalError, SnapEvent, SnapHold, SnapResult, SnapSession,
+    SnapshotState, SpecHasher,
+};
 use crate::slab::Slab;
 use crate::windows::{FleetWindow, WindowAccumulator};
 
@@ -257,6 +261,45 @@ pub struct BrokerReport {
     pub explains: Option<ExplainData>,
 }
 
+/// What [`Broker::recover`] did: the resumed run's report plus where the
+/// journal handed over to live execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The resumed run's report. `results` and the aggregate counts
+    /// cover the **whole** run (pre-crash fates restored from the
+    /// journal); `events`, `windows`, `latency` and SLO burn cover only
+    /// the portion after the last snapshot.
+    pub report: BrokerReport,
+    /// Journaled post-snapshot events the engine regenerated and
+    /// verified byte-for-byte before going live.
+    pub replayed_events: u64,
+    /// Tick of the snapshot recovery rebuilt from; `None` when the
+    /// journal held no snapshot and the whole run was replayed.
+    pub resumed_at_ms: Option<u64>,
+    /// Global outcome-log index of the first event in `report.events`:
+    /// the byte-identity contract is
+    /// `full.events[suffix_starts_at_event..] == report.events` against
+    /// an uninterrupted same-seed run.
+    pub suffix_starts_at_event: u64,
+    /// Bytes discarded off the journal's end as a torn (mid-record)
+    /// crash write.
+    pub torn_bytes: usize,
+}
+
+/// Journal replay state during recovery: the journaled post-snapshot
+/// events the engine must regenerate — each asserted byte-equal and
+/// suppressed from the new report — before the run goes live.
+struct Replay {
+    tail: Vec<OutcomeEvent>,
+    cursor: usize,
+}
+
+/// What a resumed drive starts from ([`Broker::recover`]).
+struct ResumeState {
+    snapshot: Option<SnapshotState>,
+    tail: Vec<OutcomeEvent>,
+}
+
 /// Runtime-scheduled events. Fault edges and arrivals are known up front
 /// and merged in from sorted lists instead of occupying heap slots.
 enum Ev {
@@ -282,6 +325,10 @@ struct LiveSession {
     confirm_span: Option<Span>,
     /// Accumulating decision provenance ([`FleetSpec::explain`]).
     explain: Option<SessionAcc>,
+    /// Re-reservation rows for the held streams, captured at commit time
+    /// — populated only when a journal is attached (empty `Vec`s never
+    /// allocate, keeping the journal-disabled path allocation-free).
+    holds: Vec<SnapHold>,
 }
 
 /// Per-session provenance accumulator, inline on the live session (an
@@ -349,6 +396,19 @@ fn fate_label(fate: SessionFate) -> &'static str {
         SessionFate::Rejected => "rejected",
         SessionFate::Errored => "errored",
     }
+}
+
+/// ms → µs on the virtual clock. A virtual time near `u64::MAX` ms has no
+/// µs representation; silently clamping would collapse distinct later
+/// instants onto one tick and reorder events, so debug builds panic at
+/// the overflow edge while release builds keep the historical saturating
+/// clamp.
+fn ms_to_us(ms: u64) -> u64 {
+    debug_assert!(
+        ms <= u64::MAX / 1_000,
+        "virtual time {ms} ms overflows the microsecond clock"
+    );
+    ms.saturating_mul(1_000)
 }
 
 /// How many arrivals each worker keeps prepared ahead of the clock.
@@ -439,7 +499,7 @@ impl<'o> PrefetchPool<'o> {
                         st.outstanding_arrivals += 1;
                         break PrefetchJob {
                             session,
-                            at_us: at_ms.saturating_mul(1_000),
+                            at_us: ms_to_us(at_ms),
                         };
                     }
                     st = self.work.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -466,7 +526,7 @@ impl<'o> PrefetchPool<'o> {
         for &(session, at_ms) in jobs {
             st.retries.push_back(PrefetchJob {
                 session,
-                at_us: at_ms.saturating_mul(1_000),
+                at_us: ms_to_us(at_ms),
             });
         }
         drop(st);
@@ -566,6 +626,128 @@ impl<'a> Broker<'a> {
     /// attached, the merged metric snapshot is byte-identical at every
     /// worker count too.
     pub fn drive(&self, fleet: &FleetSpec<'_>) -> BrokerReport {
+        if let Some(journal) = fleet.journal {
+            journal.begin(HeaderRecord {
+                seed: self.config.seed,
+                sessions: fleet.sessions.len() as u64,
+                spec_hash: self.spec_hash(fleet),
+            });
+        }
+        self.drive_from(fleet, None)
+    }
+
+    /// The fleet-identity hash a journal header carries: seed, per-spec
+    /// arrival/client/document/hold, the broker config's policy numbers
+    /// and the fault plan. Recovery refuses a journal whose hash differs
+    /// — a deterministic replay against a different fleet is garbage.
+    fn spec_hash(&self, fleet: &FleetSpec<'_>) -> u64 {
+        let mut h = SpecHasher::new();
+        h.u64(self.config.seed);
+        h.u64(fleet.sessions.len() as u64);
+        for s in fleet.sessions {
+            h.u64(s.arrival_ms);
+            h.u64(s.client.id.0);
+            h.u64(s.document.0);
+            h.u64(s.hold_ms.unwrap_or(u64::MAX));
+        }
+        let r = &self.config.retry;
+        h.u64(r.max_attempts as u64);
+        h.u64(r.base_backoff_ms);
+        h.u64(r.max_backoff_ms);
+        h.f64(r.jitter);
+        h.u64(r.deadline_ms.is_some() as u64);
+        h.u64(r.deadline_ms.unwrap_or(0));
+        h.u64(self.config.accept_degraded as u64);
+        h.u64(self.config.default_hold_ms);
+        h.u64(self.config.choice_period_ms);
+        h.u64(self.config.inject_leak_at_ms.is_some() as u64);
+        h.u64(self.config.inject_leak_at_ms.unwrap_or(0));
+        if let Some(plan) = fleet.faults {
+            for w in &plan.windows {
+                h.u64(w.from_ms);
+                h.u64(w.until_ms);
+                match w.fault {
+                    Fault::ServerCrash { server } => {
+                        h.u64(0);
+                        h.u64(server.0);
+                    }
+                    Fault::ServerSlowAdmission { server, factor } => {
+                        h.u64(1);
+                        h.u64(server.0);
+                        h.f64(factor);
+                    }
+                    Fault::LinkBlackout { link } => {
+                        h.u64(2);
+                        h.u64(link.0);
+                    }
+                    Fault::LinkCapacityDrop { link, health } => {
+                        h.u64(3);
+                        h.u64(link.0);
+                        h.f64(health);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Rebuild a crashed run from the journal attached to `fleet` and
+    /// resume driving it to completion.
+    ///
+    /// The fleet must be identical to the one the journal was written
+    /// under — same specs, same seed/config, same fault plan, and a
+    /// **fresh** (pristine) farm + network exactly as at the original
+    /// run's start; a mismatch is refused via the header's spec hash. A
+    /// torn tail (a record cut mid-write by the crash) is discarded.
+    ///
+    /// Recovery rebuilds the engine at the journal's last complete
+    /// snapshot — slab, held reservations, capacity ledgers, pending
+    /// confirmations/choice-period timers and retry queues — then
+    /// re-drives: every regenerated outcome is asserted byte-equal to
+    /// the journaled suffix and suppressed, after which the run is live.
+    /// The returned report's `events` therefore hold only the outcomes
+    /// after the journal's end; see [`RecoveryReport`] for where they
+    /// sit in the global log.
+    pub fn recover(&self, fleet: &FleetSpec<'_>) -> Result<RecoveryReport, JournalError> {
+        let journal = fleet.journal.ok_or(JournalError::NoJournal)?;
+        let parsed = journal.recover_state(HeaderRecord {
+            seed: self.config.seed,
+            sessions: fleet.sessions.len() as u64,
+            spec_hash: self.spec_hash(fleet),
+        })?;
+        let replayed_events = parsed.tail.len() as u64;
+        let suffix_starts_at_event = parsed.events_before + replayed_events;
+        let resumed_at_ms = parsed.snapshot.as_ref().map(|s| s.at_ms);
+        let torn_bytes = parsed.torn_bytes;
+        let span = self.recorder.map(|r| r.span("broker.recover"));
+        if let Some(rec) = self.recorder {
+            rec.counter("broker.recovery.replayed_events", replayed_events);
+            if torn_bytes > 0 {
+                rec.counter("broker.recovery.torn_bytes", torn_bytes as u64);
+            }
+        }
+        let report = self.drive_from(
+            fleet,
+            Some(ResumeState {
+                snapshot: parsed.snapshot,
+                tail: parsed.tail,
+            }),
+        );
+        if let Some(span) = span {
+            span.end();
+        }
+        Ok(RecoveryReport {
+            report,
+            replayed_events,
+            resumed_at_ms,
+            suffix_starts_at_event,
+            torn_bytes,
+        })
+    }
+
+    /// Shared engine entry behind [`Broker::drive`] (fresh) and
+    /// [`Broker::recover`] (resumed from a snapshot + replay tail).
+    fn drive_from(&self, fleet: &FleetSpec<'_>, resume: Option<ResumeState>) -> BrokerReport {
         let specs = fleet.sessions;
         // Arrival consumption order: (arrival_ms, spec index) — exactly
         // how the legacy single queue broke ties. Shared with the
@@ -577,11 +759,21 @@ impl<'a> Broker<'a> {
             .collect();
         order.sort_unstable_by_key(|&(i, at_ms)| (at_ms, i));
 
+        // Arrivals at or before a resumed snapshot's tick were fully
+        // processed before the snapshot was cut; both the loop and the
+        // prefetch pool start past them (the pool would otherwise fill
+        // its window with prepares the coordinator never consumes and
+        // deadlock).
+        let ai0 = match resume.as_ref().and_then(|r| r.snapshot.as_ref()) {
+            Some(s) => order.partition_point(|&(_, at_ms)| at_ms <= s.at_ms),
+            None => 0,
+        };
+
         let workers = fleet.workers.max(1);
         if workers == 1 || specs.len() < 2 {
-            return self.drive_loop(fleet, &order, None);
+            return self.drive_loop(fleet, &order, ai0, None, resume);
         }
-        let pool = PrefetchPool::new(&order, workers, fleet.explain.is_some());
+        let pool = PrefetchPool::new(&order[ai0..], workers, fleet.explain.is_some());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let pool = &pool;
@@ -597,7 +789,7 @@ impl<'a> Broker<'a> {
                 }
             }
             let _guard = Shutdown(&pool);
-            self.drive_loop(fleet, &order, Some(&pool))
+            self.drive_loop(fleet, &order, ai0, Some(&pool), resume)
         })
     }
 
@@ -608,10 +800,14 @@ impl<'a> Broker<'a> {
         &self,
         fleet: &FleetSpec<'_>,
         order: &[(u32, u64)],
+        ai0: usize,
         pool: Option<&PrefetchPool<'_>>,
+        resume: Option<ResumeState>,
     ) -> BrokerReport {
         let specs = fleet.sessions;
         let ctx = self.session.context();
+        // Captured before a resumed run re-reserves its held streams, so
+        // the end-of-run audit still checks against the pristine world.
         let before = CapacitySnapshot::capture(ctx.farm, ctx.network);
 
         let none_plan;
@@ -624,16 +820,38 @@ impl<'a> Broker<'a> {
         };
         let fault_edges = faults.edges_ms();
 
+        let (snap, tail) = match resume {
+            Some(r) => (r.snapshot, r.tail),
+            None => (None, Vec::new()),
+        };
+
         let mut dynq: EventQueue<Ev> = EventQueue::new();
-        if let Some(at_ms) = self.config.inject_leak_at_ms {
-            // Scheduled first: the lowest sequence number in the dynamic
-            // queue, so at its tick it pops ahead of same-tick retries —
-            // the same order the legacy single queue produced.
-            dynq.schedule(SimTime::from_millis(at_ms), Ev::InjectLeak);
+        if snap.is_none() {
+            if let Some(at_ms) = self.config.inject_leak_at_ms {
+                // Scheduled first: the lowest sequence number in the
+                // dynamic queue, so at its tick it pops ahead of
+                // same-tick retries — the same order the legacy single
+                // queue produced. On a snapshot resume the pending
+                // InjectLeak (if any) lives in the snapshot's queue.
+                dynq.schedule(SimTime::from_millis(at_ms), Ev::InjectLeak);
+            }
         }
 
         let mut master = StreamRng::new(self.config.seed);
-        let rngs: Vec<Option<StreamRng>> = specs.iter().map(|_| Some(master.split())).collect();
+        // Per-session splits happen in spec order unconditionally, so a
+        // resumed run's post-snapshot arrivals draw the very streams the
+        // uninterrupted run would have; sessions already arrived by the
+        // snapshot carry their RNG state inside it instead.
+        let rngs: Vec<Option<StreamRng>> = match &snap {
+            None => specs.iter().map(|_| Some(master.split())).collect(),
+            Some(s) => specs
+                .iter()
+                .map(|sp| {
+                    let split = master.split();
+                    (sp.arrival_ms > s.at_ms).then_some(split)
+                })
+                .collect(),
+        };
 
         let slos = if fleet.slos.is_empty() {
             self.slos.clone()
@@ -665,10 +883,19 @@ impl<'a> Broker<'a> {
             keeper: fleet.explain.map(TailKeeper::new),
             ledger: Vec::new(),
             ledger_ix: vec![u32::MAX; specs.len()],
+            journal: fleet.journal,
+            snapshot_due: false,
+            replay: (!tail.is_empty()).then_some(Replay { tail, cursor: 0 }),
         };
 
         let mut fi = 0usize; // next fault edge
-        let mut ai = 0usize; // next arrival (index into `order`)
+        let mut ai = ai0; // next arrival (index into `order`)
+        if let Some(s) = &snap {
+            // Fault edges at or before the snapshot tick are folded into
+            // the restored fault state; the loop resumes past them.
+            fi = fault_edges.partition_point(|&e| e <= s.at_ms);
+            state.restore(s, faults);
+        }
         let mut retry_batch: Vec<(u32, u64)> = Vec::new();
         let mut end_ms = 0u64;
         loop {
@@ -690,7 +917,7 @@ impl<'a> Broker<'a> {
             if let Some(rec) = self.recorder {
                 // One clock store per tick — every event in the batch
                 // shares the instant.
-                rec.set_sim_time_us(t.saturating_mul(1_000));
+                rec.set_sim_time_us(ms_to_us(t));
             }
             // Hand this tick's retry re-prepares to the pool as one
             // batch, so worker shards chew them in parallel while the
@@ -753,6 +980,27 @@ impl<'a> Broker<'a> {
                     Ev::Departure(i) => state.departure(i, t),
                     Ev::InjectLeak => state.inject_leak(),
                 }
+            }
+            // A journal snapshot is cut at the tick boundary: every
+            // event at `t` above is processed and journaled, every
+            // pending event is strictly later — exactly the state
+            // `restore` rebuilds.
+            if state.snapshot_due {
+                state.snapshot_due = false;
+                state.write_snapshot(t);
+            }
+        }
+        assert!(
+            state.replay.is_none(),
+            "recovery replay ended with journaled events unconsumed — \
+             the journal holds more events than the resumed run produced"
+        );
+        if let Some(journal) = state.journal {
+            journal
+                .sync()
+                .unwrap_or_else(|e| panic!("journal sync at run end failed: {e}"));
+            if let Some(rec) = self.recorder {
+                rec.gauge("broker.journal.bytes", journal.stats().bytes as f64);
             }
         }
 
@@ -882,6 +1130,13 @@ struct DriveLoop<'e, 'a> {
     /// Spec index → ledger row (`u32::MAX` when never admitted), so the
     /// departure handler can stamp `depart_ms`.
     ledger_ix: Vec<u32>,
+    /// The write-ahead journal ([`FleetSpec::journal`]), when attached.
+    journal: Option<&'e Journal>,
+    /// The journal's snapshot cadence fired; cut one at this tick's end.
+    snapshot_due: bool,
+    /// Journaled post-snapshot events still being replay-verified; `None`
+    /// once the run is live.
+    replay: Option<Replay>,
 }
 
 impl DriveLoop<'_, '_> {
@@ -893,6 +1148,35 @@ impl DriveLoop<'_, '_> {
                 self.retry_prep.push(Reverse((fire_ms, session as u32)));
             }
         }
+        // Recovery replay: the engine regenerates the journaled suffix.
+        // Each regenerated outcome must match the journal exactly (the
+        // determinism contract recovery rests on) and is suppressed — it
+        // was already journaled, windowed and reported by the crashed
+        // run. Past the journal's end the run is live again.
+        if let Some(rp) = self.replay.as_mut() {
+            let expect = &rp.tail[rp.cursor];
+            assert!(
+                expect.at_ms == at_ms && expect.session == session && expect.kind == kind,
+                "recovery replay diverged at journaled event {}: journal has {:?}, \
+                 engine produced {:?} for session {} at {} ms",
+                rp.cursor,
+                expect,
+                kind,
+                session,
+                at_ms,
+            );
+            rp.cursor += 1;
+            if rp.cursor == rp.tail.len() {
+                self.replay = None;
+            }
+            return;
+        }
+        if let Some(journal) = self.journal {
+            if journal.append_event(at_ms, session, &kind) {
+                self.snapshot_due = true;
+            }
+            self.broker.counter("broker.journal.records", 1);
+        }
         if let Some(acc) = &mut self.win_acc {
             acc.push(at_ms, &kind);
         }
@@ -903,6 +1187,203 @@ impl DriveLoop<'_, '_> {
                 kind,
             });
         }
+    }
+
+    /// Rebuild the engine at a journal snapshot: finished results, the
+    /// live slab (with every held stream re-reserved against the fresh
+    /// world), pending events and counters. Re-reservation happens at
+    /// nominal health — live holds passed a commit-time capacity check,
+    /// so on a pristine world they always fit — and the fault state in
+    /// force at the snapshot tick is applied afterwards. No fault edge
+    /// lies strictly between the last edge ≤ tick and the tick itself,
+    /// so reset-then-reapply recomputes exactly the state the crashed
+    /// run held, even when a window closed on the snapshot tick.
+    fn restore(&mut self, snap: &SnapshotState, faults: &FaultPlan) {
+        let broker = self.broker;
+        let ctx = broker.session.context();
+        for r in &snap.results {
+            let i = r.session as usize;
+            let fate = match r.fate {
+                0 => SessionFate::Admitted { degraded: false },
+                1 => SessionFate::Admitted { degraded: true },
+                2 => SessionFate::Starved,
+                3 => SessionFate::Rejected,
+                _ => SessionFate::Errored,
+            };
+            self.results[i] = Some(SessionResult {
+                session: i,
+                fate,
+                attempts: r.attempts,
+                admitted_at_ms: (r.admitted_at_ms != u64::MAX).then_some(r.admitted_at_ms),
+            });
+        }
+        for s in &snap.live {
+            let i = s.session as usize;
+            let reservation = s.reserved.then(|| {
+                let mut res = SessionReservation {
+                    servers: Vec::with_capacity(s.holds.len()),
+                    network: Vec::new(),
+                };
+                for h in &s.holds {
+                    let server = ServerId(h.server);
+                    let rid = ctx.farm.try_reserve(server, h.req).unwrap_or_else(|e| {
+                        panic!("recovery re-reserve of session {i} on {server} failed: {e:?}")
+                    });
+                    res.servers.push((server, rid));
+                    if let Some(bps) = h.net_bps {
+                        let nid = ctx
+                            .network
+                            .try_reserve(self.specs[i].client.id, server, bps)
+                            .unwrap_or_else(|e| {
+                                panic!("recovery net re-reserve of session {i} failed: {e:?}")
+                            });
+                        res.network.push(nid);
+                    }
+                }
+                res
+            });
+            let slot = self.live.insert(LiveSession {
+                attempts: s.attempts,
+                rng: StreamRng::from_state_parts(s.rng.0, s.rng.1),
+                reservation,
+                pending_admit: match s.pending_admit {
+                    0 => None,
+                    1 => Some(false),
+                    _ => Some(true),
+                },
+                closed: s.closed,
+                session_span: None,
+                backoff_span: None,
+                confirm_span: None,
+                explain: self.keeper.is_some().then(SessionAcc::default),
+                holds: s.holds.clone(),
+            });
+            self.slots[i] = slot;
+        }
+        faults.apply_state_at(ctx.farm, ctx.network, snap.at_ms);
+        // Pending events, rescheduled in delivery order: fresh sequence
+        // numbers assigned in `(at, seq)` order reproduce the same-tick
+        // FIFO tie-break exactly.
+        for e in &snap.dynq {
+            let ev = match e.kind {
+                0 => Ev::Retry(e.session as usize),
+                1 => Ev::Confirm(e.session as usize),
+                2 => Ev::Departure(e.session as usize),
+                _ => Ev::InjectLeak,
+            };
+            self.dynq.schedule(SimTime::from_micros(e.at_us), ev);
+            if self.pool.is_some() && e.kind == 0 {
+                self.retry_prep
+                    .push(Reverse((e.at_us / 1_000, e.session as u32)));
+            }
+        }
+        self.peak_live = snap.peak_live as usize;
+        self.retries = snap.retries;
+        self.backoff_ms_total = snap.backoff_ms_total;
+        self.faults_injected = snap.faults_injected;
+    }
+
+    /// Cut a checkpoint at the end of tick `at_ms` and append it to the
+    /// journal (compacting history past it, per its config).
+    fn write_snapshot(&mut self, at_ms: u64) {
+        let Some(journal) = self.journal else { return };
+        let results = self
+            .results
+            .iter()
+            .flatten()
+            .map(|r| SnapResult {
+                session: r.session as u64,
+                fate: match r.fate {
+                    SessionFate::Admitted { degraded: false } => 0,
+                    SessionFate::Admitted { degraded: true } => 1,
+                    SessionFate::Starved => 2,
+                    SessionFate::Rejected => 3,
+                    SessionFate::Errored => 4,
+                },
+                attempts: r.attempts,
+                admitted_at_ms: r.admitted_at_ms.unwrap_or(u64::MAX),
+            })
+            .collect();
+        let mut live = Vec::with_capacity(self.live.len());
+        for (i, &slot) in self.slots.iter().enumerate() {
+            if slot == u32::MAX {
+                continue;
+            }
+            let st = self.live.get(slot).expect("live session");
+            live.push(SnapSession {
+                session: i as u64,
+                attempts: st.attempts,
+                rng: st.rng.state_parts(),
+                pending_admit: match st.pending_admit {
+                    None => 0,
+                    Some(false) => 1,
+                    Some(true) => 2,
+                },
+                closed: st.closed,
+                reserved: st.reservation.is_some(),
+                holds: st.holds.clone(),
+            });
+        }
+        let mut pending: Vec<(u64, u64, u8, u64)> = self
+            .dynq
+            .iter()
+            .map(|sch| {
+                let (kind, session) = match sch.event {
+                    Ev::Retry(i) => (0u8, i as u64),
+                    Ev::Confirm(i) => (1, i as u64),
+                    Ev::Departure(i) => (2, i as u64),
+                    Ev::InjectLeak => (3, 0),
+                };
+                (sch.at.as_micros(), sch.seq, kind, session)
+            })
+            .collect();
+        pending.sort_unstable_by_key(|&(at, seq, _, _)| (at, seq));
+        let dynq = pending
+            .into_iter()
+            .map(|(at_us, _, kind, session)| SnapEvent {
+                at_us,
+                kind,
+                session,
+            })
+            .collect();
+        journal.append_snapshot(&SnapshotState {
+            at_ms,
+            events_logged: journal.events_total(),
+            retries: self.retries,
+            backoff_ms_total: self.backoff_ms_total,
+            faults_injected: self.faults_injected,
+            peak_live: self.peak_live as u64,
+            results,
+            live,
+            dynq,
+        });
+        self.broker.counter("broker.journal.snapshots", 1);
+    }
+
+    /// Capture the re-reservation rows for a just-committed offer — only
+    /// when a journal is attached, so the disabled path stays
+    /// allocation-free.
+    fn hold_rows(&self, offer: Option<&ScoredOffer>) -> Vec<SnapHold> {
+        if self.journal.is_none() {
+            return Vec::new();
+        }
+        let Some(offer) = offer else {
+            return Vec::new();
+        };
+        let guarantee = self.broker.session.context().guarantee;
+        offer
+            .offer
+            .variants
+            .iter()
+            .map(|v| SnapHold {
+                server: v.server.0,
+                req: StreamRequirement::for_variant(v, guarantee),
+                // Discrete media are delivered ahead of playout and hold
+                // no steady-state bandwidth (cf. `push_ledger`) — nothing
+                // to re-reserve on the network.
+                net_bps: (v.blocks_per_second > 0).then(|| charged_bit_rate(v, guarantee)),
+            })
+            .collect()
     }
 
     fn finish(&mut self, i: usize, attempts: u32, fate: SessionFate, admitted_at_ms: Option<u64>) {
@@ -931,6 +1412,7 @@ impl DriveLoop<'_, '_> {
                 backoff_span: None,
                 confirm_span: None,
                 explain: self.keeper.is_some().then(SessionAcc::default),
+                holds: Vec::new(),
             });
             self.slots[i] = slot;
             self.peak_live = self.peak_live.max(self.live.len());
@@ -1015,6 +1497,8 @@ impl DriveLoop<'_, '_> {
             NegotiationStatus::Succeeded => {
                 if reservation.is_some() {
                     self.push_ledger(i, now_ms, reserved_offer.as_ref());
+                    let holds = self.hold_rows(reserved_offer.as_ref());
+                    self.live.get_mut(slot).expect("live session").holds = holds;
                 }
                 self.live.get_mut(slot).expect("live session").reservation = reservation;
                 self.admit(i, slot, now_ms, false)
@@ -1023,6 +1507,8 @@ impl DriveLoop<'_, '_> {
                 if broker.config.accept_degraded {
                     if reservation.is_some() {
                         self.push_ledger(i, now_ms, reserved_offer.as_ref());
+                        let holds = self.hold_rows(reserved_offer.as_ref());
+                        self.live.get_mut(slot).expect("live session").holds = holds;
                     }
                     self.live.get_mut(slot).expect("live session").reservation = reservation;
                     self.admit(i, slot, now_ms, true)
@@ -1163,7 +1649,10 @@ impl DriveLoop<'_, '_> {
         };
         let fire_ms = now_ms + backoff;
         if let Some(deadline) = policy.deadline_ms {
-            if fire_ms.saturating_sub(self.specs[i].arrival_ms) > deadline {
+            // The deadline is exclusive (see `RetryPolicy::deadline_ms`):
+            // a retry firing exactly `deadline` ms after arrival is
+            // already past the give-up instant, so `>=`, not `>`.
+            if fire_ms.saturating_sub(self.specs[i].arrival_ms) >= deadline {
                 self.finish(i, attempts, SessionFate::Starved, None);
                 return OutcomeKind::Starved { attempts };
             }
@@ -1322,11 +1811,11 @@ impl DriveLoop<'_, '_> {
         // keeps failures, the top-k slowest and the seeded baseline, and
         // drops the rest now.
         if let Some(t) = self.tracer {
-            t.finish_session(i as u64, failed, total_ms.saturating_mul(1_000));
+            t.finish_session(i as u64, failed, ms_to_us(total_ms));
         }
         if let Some(keeper) = self.keeper.as_mut() {
             let arrival_ms = self.specs[i].arrival_ms;
-            keeper.finish_with(i as u64, failed, total_ms.saturating_mul(1_000), || {
+            keeper.finish_with(i as u64, failed, ms_to_us(total_ms), || {
                 let acc = acc.unwrap_or_default();
                 SessionExplain {
                     session: i as u64,
@@ -1343,5 +1832,35 @@ impl DriveLoop<'_, '_> {
             self.live.remove(slot);
             self.slots[i] = u32::MAX;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ms_to_us;
+
+    #[test]
+    fn ms_to_us_is_exact_in_range() {
+        assert_eq!(ms_to_us(0), 0);
+        assert_eq!(ms_to_us(5), 5_000);
+        // The largest millisecond count with an exact microsecond image.
+        let top = u64::MAX / 1_000;
+        assert_eq!(ms_to_us(top), top * 1_000);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflows the microsecond clock")]
+    fn ms_to_us_panics_on_overflow_in_debug() {
+        ms_to_us(u64::MAX / 1_000 + 1);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn ms_to_us_saturates_on_overflow_in_release() {
+        // In release builds the conversion still refuses to wrap: it
+        // pins to the end of time instead of jumping backwards.
+        assert_eq!(ms_to_us(u64::MAX / 1_000 + 1), u64::MAX);
+        assert_eq!(ms_to_us(u64::MAX), u64::MAX);
     }
 }

@@ -261,6 +261,51 @@ mod tests {
     }
 
     #[test]
+    fn recomputation_at_an_edge_matches_the_sequential_history() {
+        // Recovery's contract: a snapshot cut at tick `t` restores fault
+        // state with one `apply_state_at(t)` call against a fresh world,
+        // while the crashed run got there by applying every edge ≤ t in
+        // order. The two must agree at *every* edge — including edges
+        // where a window closes at the very tick the snapshot is cut
+        // (reset-then-reapply must not resurrect or half-reset a target).
+        let servers = [ServerId(0), ServerId(1)];
+        let (seq_farm, seq_net) = world();
+        let links = seq_net.topology().link_ids();
+        let plan = FaultPlan::seeded(&mut StreamRng::new(0xFA17), &servers, &links, 60_000, 12);
+
+        let state = |farm: &ServerFarm, net: &Network| {
+            let servers: Vec<(f64, f64)> = [ServerId(0), ServerId(1)]
+                .iter()
+                .map(|&s| {
+                    let sv = farm.server(s).unwrap();
+                    (sv.health(), sv.admission_factor())
+                })
+                .collect();
+            let links: Vec<f64> = links.iter().map(|&l| net.link_health(l)).collect();
+            (servers, links)
+        };
+
+        let mut checked = 0;
+        for &edge in &plan.edges_ms() {
+            // The crashed run's history: every edge up to and including
+            // this one, applied in order.
+            for &e in plan.edges_ms().iter().filter(|&&e| e <= edge) {
+                plan.apply_state_at(&seq_farm, &seq_net, e);
+            }
+            // Recovery: one recomputation on a pristine world.
+            let (rec_farm, rec_net) = world();
+            plan.apply_state_at(&rec_farm, &rec_net, edge);
+            assert_eq!(
+                state(&seq_farm, &seq_net),
+                state(&rec_farm, &rec_net),
+                "fault state diverges when recovery snapshots at edge {edge} ms"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 12, "seeded plan produced too few edges");
+    }
+
+    #[test]
     fn seeded_plans_replay_bit_for_bit() {
         let servers = [ServerId(0), ServerId(1)];
         let (_, network) = world();

@@ -12,6 +12,7 @@ use nod_obs::{RetentionPolicy, SloSpec};
 
 use crate::broker::SessionSpec;
 use crate::fault::FaultPlan;
+use crate::journal::Journal;
 
 /// How much of the chronological outcome log a run keeps.
 ///
@@ -54,6 +55,7 @@ pub struct FleetSpec<'a> {
     pub(crate) retention: EventRetention,
     pub(crate) window_ms: u64,
     pub(crate) explain: Option<RetentionPolicy>,
+    pub(crate) journal: Option<&'a Journal>,
 }
 
 impl<'a> FleetSpec<'a> {
@@ -68,6 +70,7 @@ impl<'a> FleetSpec<'a> {
             retention: EventRetention::Full,
             window_ms: 0,
             explain: None,
+            journal: None,
         }
     }
 
@@ -113,6 +116,16 @@ impl<'a> FleetSpec<'a> {
     /// serialized artifact) is byte-identical at every worker count.
     pub fn explain(mut self, policy: RetentionPolicy) -> Self {
         self.explain = Some(policy);
+        self
+    }
+
+    /// Journal every session transition into `journal` as it happens —
+    /// the write-ahead log [`Broker::recover`](crate::Broker::recover)
+    /// replays after a crash. The journal must be fresh (or freshly
+    /// [`open`](Journal::open)ed for recovery); snapshot cadence and
+    /// compaction come from its [`JournalConfig`](crate::JournalConfig).
+    pub fn journal(mut self, journal: &'a Journal) -> Self {
+        self.journal = Some(journal);
         self
     }
 

@@ -23,6 +23,11 @@
 //! - [`FaultPlan`] injects replayable degradations — server crashes,
 //!   admission brownouts, link blackouts and capacity drops — over timed
 //!   windows.
+//! - [`Journal`] is a CRC-framed write-ahead log of session transitions
+//!   appended from the drive loop ([`FleetSpec::journal`]), with periodic
+//!   engine snapshots and log compaction; [`Broker::recover`] rebuilds
+//!   the slab, ledgers, pending confirmations and retry queues from it
+//!   and resumes driving with a byte-identical outcome log.
 //! - [`CapacitySnapshot`] audits release-on-failure end to end: after a
 //!   run drains, farm and network capacity must equal the pristine
 //!   baseline, else `broker.leaked_reservations` fires (and a debug
@@ -38,15 +43,17 @@ mod audit;
 mod broker;
 mod fault;
 mod fleet;
+mod journal;
 mod slab;
 mod windows;
 
 pub use audit::CapacitySnapshot;
 pub use broker::{
-    Broker, BrokerConfig, BrokerReport, OutcomeEvent, OutcomeKind, SessionFate, SessionResult,
-    SessionSpec,
+    Broker, BrokerConfig, BrokerReport, OutcomeEvent, OutcomeKind, RecoveryReport, SessionFate,
+    SessionResult, SessionSpec,
 };
 pub use fault::{Fault, FaultPlan, FaultWindow};
 pub use fleet::{EventRetention, FleetSpec};
+pub use journal::{crc32, Journal, JournalConfig, JournalError, JournalStats, CRASH_EXIT_CODE};
 pub use slab::Slab;
 pub use windows::{fleet_windows, FleetWindow, WindowAccumulator};

@@ -70,6 +70,13 @@ pub struct RetryPolicy {
     /// retries in the same instant, and collides again.
     pub jitter: f64,
     /// Give up once this much time has passed since the first attempt, ms.
+    ///
+    /// The deadline is **exclusive**: a retry may only fire strictly less
+    /// than `deadline_ms` after the session's arrival. A retry whose
+    /// jittered backoff would land it exactly at (or past) the deadline
+    /// instant is not scheduled — the session starves there and then.
+    /// Attempts already in flight are never cut short; the deadline gates
+    /// scheduling, not execution.
     pub deadline_ms: Option<u64>,
 }
 

@@ -115,6 +115,14 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|s| s.at)
     }
 
+    /// Visit every pending event in **heap order** (arbitrary). Callers
+    /// snapshotting the queue must sort by `(at, seq)` themselves — that
+    /// is delivery order, and rescheduling entries in that order into a
+    /// fresh queue reproduces the same-tick FIFO tie-break exactly.
+    pub fn iter(&self) -> impl Iterator<Item = &Scheduled<E>> {
+        self.heap.iter()
+    }
+
     /// Drain and discard every pending event (e.g. at simulation end).
     pub fn clear(&mut self) {
         self.heap.clear();

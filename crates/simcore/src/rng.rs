@@ -51,6 +51,20 @@ impl SplitMix64 {
         mix64(self.state)
     }
 
+    /// The raw `(state, gamma)` pair — everything the generator is.
+    /// Pairs with [`SplitMix64::from_state_parts`] so checkpoint/restore
+    /// (e.g. a broker journal snapshot) resumes the stream mid-flight
+    /// without replaying the draws that produced it.
+    pub fn state_parts(&self) -> (u64, u64) {
+        (self.state, self.gamma)
+    }
+
+    /// Rebuild a generator from a saved [`SplitMix64::state_parts`] pair.
+    /// The restored stream continues exactly where the saved one stopped.
+    pub fn from_state_parts(state: u64, gamma: u64) -> Self {
+        SplitMix64 { state, gamma }
+    }
+
     /// Split off a statistically independent child generator.
     ///
     /// The parent advances; the child's `(state, gamma)` pair is derived so
@@ -112,6 +126,20 @@ impl StreamRng {
     pub fn split(&mut self) -> StreamRng {
         StreamRng {
             inner: self.inner.split(),
+        }
+    }
+
+    /// The raw `(state, gamma)` pair of the underlying [`SplitMix64`] —
+    /// see [`SplitMix64::state_parts`].
+    pub fn state_parts(&self) -> (u64, u64) {
+        self.inner.state_parts()
+    }
+
+    /// Rebuild a stream from a saved [`StreamRng::state_parts`] pair; the
+    /// restored stream continues exactly where the saved one stopped.
+    pub fn from_state_parts(state: u64, gamma: u64) -> Self {
+        StreamRng {
+            inner: SplitMix64::from_state_parts(state, gamma),
         }
     }
 
@@ -315,6 +343,19 @@ mod tests {
         let mut p = parent1;
         let overlap = (0..64).filter(|_| c.next_u64() == p.next_u64()).count();
         assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream_mid_flight() {
+        let mut r = StreamRng::new(77);
+        for _ in 0..100 {
+            r.f64();
+        }
+        let (state, gamma) = r.state_parts();
+        let mut restored = StreamRng::from_state_parts(state, gamma);
+        for _ in 0..1000 {
+            assert_eq!(r.below(1 << 40), restored.below(1 << 40));
+        }
     }
 
     #[test]

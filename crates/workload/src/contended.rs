@@ -9,7 +9,10 @@
 //! experiment measures admission ratio, starvation, retry volume and —
 //! always — that the drained system leaks zero capacity.
 
-use nod_broker::{Broker, BrokerConfig, BrokerReport, FaultPlan, FleetSpec, SessionSpec};
+use nod_broker::{
+    Broker, BrokerConfig, BrokerReport, FaultPlan, FleetSpec, Journal, JournalError,
+    RecoveryReport, SessionSpec,
+};
 use nod_client::ClientMachine;
 use nod_cmfs::{Guarantee, ServerConfig, ServerFarm};
 use nod_mmdb::{Catalog, CorpusBuilder, CorpusParams};
@@ -222,6 +225,36 @@ impl ContendedWorld {
         }
     }
 
+    fn fault_plan(&self, config: &ContendedConfig, fault_rng: &mut StreamRng) -> FaultPlan {
+        if config.fault_windows == 0 {
+            return FaultPlan::none();
+        }
+        let horizon_ms = self.users.last().map(|u| u.3).unwrap_or(0) + config.hold_ms;
+        FaultPlan::seeded(
+            fault_rng,
+            &self.farm.ids(),
+            &self.network.topology().link_ids(),
+            horizon_ms.max(1_000),
+            config.fault_windows,
+        )
+    }
+
+    fn fleet<'s>(
+        &self,
+        config: &ContendedConfig,
+        specs: &'s [SessionSpec<'s>],
+        faults: &'s FaultPlan,
+    ) -> FleetSpec<'s> {
+        let mut fleet = FleetSpec::new(specs)
+            .faults(faults)
+            .workers(config.workers)
+            .slos(config.slos.clone());
+        if let Some(policy) = config.explain {
+            fleet = fleet.explain(policy);
+        }
+        fleet
+    }
+
     fn broker_config(&self, config: &ContendedConfig) -> BrokerConfig {
         BrokerConfig {
             retry: config.retry,
@@ -241,30 +274,59 @@ pub fn run_contended_with(
 ) -> (ContendedResult, BrokerReport) {
     let (world, mut fault_rng) = build_world(config, recorder);
     let specs = world.specs(config);
-
-    let horizon_ms = world.users.last().map(|u| u.3).unwrap_or(0) + config.hold_ms;
-    let faults = if config.fault_windows == 0 {
-        FaultPlan::none()
-    } else {
-        FaultPlan::seeded(
-            &mut fault_rng,
-            &world.farm.ids(),
-            &world.network.topology().link_ids(),
-            horizon_ms.max(1_000),
-            config.fault_windows,
-        )
-    };
+    let faults = world.fault_plan(config, &mut fault_rng);
 
     let broker = Broker::new(world.ctx(config, recorder), world.broker_config(config));
-    let mut fleet = FleetSpec::new(&specs)
-        .faults(&faults)
-        .workers(config.workers)
-        .slos(config.slos.clone());
-    if let Some(policy) = config.explain {
-        fleet = fleet.explain(policy);
-    }
+    let fleet = world.fleet(config, &specs, &faults);
     let report = broker.drive(&fleet);
-    let result = ContendedResult {
+    let result = summarize(config, &report);
+    (result, report)
+}
+
+/// [`run_contended_with`], journaling every session transition to
+/// `journal` so the run can be resumed after a crash with
+/// [`recover_contended`]. The journal must be fresh (no prior records).
+pub fn run_contended_journaled(
+    config: &ContendedConfig,
+    recorder: Option<&Recorder>,
+    journal: &Journal,
+) -> (ContendedResult, BrokerReport) {
+    let (world, mut fault_rng) = build_world(config, recorder);
+    let specs = world.specs(config);
+    let faults = world.fault_plan(config, &mut fault_rng);
+
+    let broker = Broker::new(world.ctx(config, recorder), world.broker_config(config));
+    let fleet = world.fleet(config, &specs, &faults).journal(journal);
+    let report = broker.drive(&fleet);
+    let result = summarize(config, &report);
+    (result, report)
+}
+
+/// Resume a crashed [`run_contended_journaled`] run from its journal.
+///
+/// Rebuilds the world deterministically from `config` (which must be the
+/// same config the crashed run used — the journal header's spec hash is
+/// checked), then hands the journal to
+/// [`Broker::recover`](nod_broker::Broker::recover). The returned
+/// report's outcome log is the byte-identical suffix of the
+/// uninterrupted run's log, starting at
+/// [`RecoveryReport::suffix_starts_at_event`].
+pub fn recover_contended(
+    config: &ContendedConfig,
+    recorder: Option<&Recorder>,
+    journal: &Journal,
+) -> Result<RecoveryReport, JournalError> {
+    let (world, mut fault_rng) = build_world(config, recorder);
+    let specs = world.specs(config);
+    let faults = world.fault_plan(config, &mut fault_rng);
+
+    let broker = Broker::new(world.ctx(config, recorder), world.broker_config(config));
+    let fleet = world.fleet(config, &specs, &faults).journal(journal);
+    broker.recover(&fleet)
+}
+
+fn summarize(config: &ContendedConfig, report: &BrokerReport) -> ContendedResult {
+    ContendedResult {
         offered: config.sessions,
         admitted: report.admitted,
         starved: report.starved,
@@ -274,8 +336,7 @@ pub fn run_contended_with(
         faults_injected: report.faults_injected,
         admission_ratio: report.admission_ratio,
         leaked_streams: report.leaked_streams,
-    };
-    (result, report)
+    }
 }
 
 #[cfg(test)]

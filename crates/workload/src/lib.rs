@@ -21,6 +21,9 @@ pub use blocking::{
     run_blocking, run_blocking_explained, run_blocking_with, BlockingConfig, BlockingResult,
     NegotiatorKind,
 };
-pub use contended::{run_contended, run_contended_with, ContendedConfig, ContendedResult};
+pub use contended::{
+    recover_contended, run_contended, run_contended_journaled, run_contended_with, ContendedConfig,
+    ContendedResult,
+};
 pub use population::{UserClass, UserPopulation};
 pub use scenario::Scenario;

@@ -3,8 +3,8 @@
 #
 # Runs the B4/B8 negotiation bench, the B1/B2/B7 classification bench, the
 # B9 contended-broker bench, the B10 trace bench, the B11 fleet-telemetry
-# bench, the B12 city-scale fleet sweep and the B13 decision-provenance
-# bench with NOD_BENCH_JSON_OUT set,
+# bench, the B12 city-scale fleet sweep, the B13 decision-provenance
+# bench and the B14 write-ahead-journal bench with NOD_BENCH_JSON_OUT set,
 # then merges the dumps into a single JSON file at the repo root. Honors NOD_BENCH_FAST=1
 # for a quick smoke run (CI); leave it unset for publication-quality
 # numbers. The B9 run doubles as the broker stress smoke: it includes a
@@ -58,6 +58,16 @@ echo "==> bench: explain (B13 decision-provenance: alloc-free disabled path, ove
 NOD_BENCH_JSON_OUT="$tmpdir/explain.json" \
     cargo bench -q -p nod-bench --bench explain 2>&1 | tail -n +1
 
+# B14 gates in both modes: the counting global allocator asserts the
+# journal-disabled hook path performs zero allocations and that the
+# journaled outcome log is byte-identical to the plain run, even under
+# NOD_BENCH_FAST=1; the ≤10% overhead ratio on the 10k-session contended
+# fleet and the recovery-time-vs-crash-position sweep always land in the
+# JSON (the ratio is asserted only in full mode).
+echo "==> bench: journal (B14 write-ahead journal: alloc-free disabled path, overhead, recovery)"
+NOD_BENCH_JSON_OUT="$tmpdir/journal.json" \
+    cargo bench -q -p nod-bench --bench journal 2>&1 | tail -n +1
+
 # Nightly-depth oracle sweep (non-gating here — check.sh gates the 256-case
 # run): a wider seeded sweep whose counters (oracle.cases,
 # oracle.divergences) ride along in the snapshot. Divergences don't fail
@@ -90,6 +100,9 @@ cargo run -q --release -p nod-oracle --bin run_oracle -- \
     echo '  ,'
     echo '  "explain":'
     sed 's/^/    /' "$tmpdir/explain.json"
+    echo '  ,'
+    echo '  "journal":'
+    sed 's/^/    /' "$tmpdir/journal.json"
     echo '  ,'
     echo '  "oracle":'
     sed 's/^/    /' "$tmpdir/oracle.json"

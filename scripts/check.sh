@@ -82,4 +82,27 @@ explain_overview="$(cargo run -q --release -p nod-bench --bin nod_explain -- \
     --once "$trace_tmp/explain.jsonl")"
 grep -q "retained .* of .* finished" <<< "$explain_overview"
 
+# Kill-and-recover smoke (gating): journal a contended run, crash the
+# process at a seeded event index (exit code 86 is the deliberate chaos
+# exit — any other code is a real failure), then resume from the journal
+# with the same workload flags. The --recover path re-runs the workload
+# uninterrupted in-process and exits non-zero unless the resumed outcome
+# log is the byte-identical suffix with zero leaked streams.
+echo "==> kill-and-recover smoke (run_contended --journal --kill-at-event / --recover)"
+recover_flags=(--sessions 64 --servers 1 --seed 9 --faults 3 --choice-period 300
+    --journal "$trace_tmp/run.nodj")
+set +e
+cargo run -q --release -p nod-bench --bin run_contended -- \
+    "${recover_flags[@]}" --kill-at-event 40 > /dev/null
+kill_status=$?
+set -e
+if [ "$kill_status" -ne 86 ]; then
+    echo "error: --kill-at-event exited with $kill_status, expected the chaos exit code 86"
+    exit 1
+fi
+test -s "$trace_tmp/run.nodj"
+recover_out="$(cargo run -q --release -p nod-bench --bin run_contended -- \
+    "${recover_flags[@]}" --recover)"
+grep -q "recovery verified" <<< "$recover_out"
+
 echo "All checks passed."

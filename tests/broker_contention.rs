@@ -453,3 +453,90 @@ fn windows_only_retention_folds_the_log_it_drops() {
     assert_eq!(lean.leaked_streams, 0);
     assert_drained(&w);
 }
+
+#[test]
+fn retry_deadline_is_exclusive_at_the_boundary() {
+    // A retry whose backoff lands exactly `deadline_ms` after arrival is
+    // *not* scheduled — the deadline is exclusive (`RetryPolicy::
+    // deadline_ms`). Saturate the farm so the lone session is refused
+    // FAILEDTRYLATER on arrival, with zero jitter so the first backoff
+    // lands at exactly base_backoff_ms = 1000 ms.
+    let drive_with_deadline = |deadline_ms: u64| {
+        let w = world(910);
+        let clients = clients();
+        let session = Session::new(ctx(&w));
+        let profile = tv_news_profile();
+        let mut held = Vec::new();
+        loop {
+            let client = &clients[held.len() % clients.len()];
+            let doc = DocumentId(held.len() as u64 % 8 + 1);
+            let out = session
+                .submit(&NegotiationRequest::new(client, doc, &profile))
+                .unwrap();
+            match out.status {
+                NegotiationStatus::Succeeded | NegotiationStatus::FailedWithOffer => {
+                    held.push(out.reservation.expect("admitted outcome reserves"));
+                }
+                _ => break,
+            }
+            assert!(held.len() <= 64, "capacity never saturated");
+        }
+
+        let specs = [SessionSpec {
+            client: &clients[0],
+            document: DocumentId(1),
+            profile: &profile,
+            arrival_ms: 0,
+            hold_ms: Some(1_000),
+        }];
+        let broker = Broker::new(
+            ctx(&w),
+            BrokerConfig {
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    base_backoff_ms: 1_000,
+                    jitter: 0.0,
+                    deadline_ms: Some(deadline_ms),
+                    ..RetryPolicy::era_default()
+                },
+                ..BrokerConfig::era_default()
+            },
+        );
+        let report = broker.drive(&FleetSpec::new(&specs));
+        for r in &held {
+            session.release(r);
+        }
+        assert_drained(&w);
+        report
+    };
+
+    // Backoff would fire at 1000 ms. One millisecond of deadline on
+    // either side must flip the decision; at the boundary itself the
+    // retry must NOT fire.
+    for deadline in [999, 1_000] {
+        let report = drive_with_deadline(deadline);
+        assert_eq!(
+            report.results[0].fate,
+            SessionFate::Starved,
+            "deadline {deadline}: a retry at 1000 ms must not be scheduled"
+        );
+        assert_eq!(report.results[0].attempts, 1);
+        assert!(
+            !report
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, OutcomeKind::RetryScheduled { .. })),
+            "deadline {deadline}: no retry may be scheduled"
+        );
+    }
+    let report = drive_with_deadline(1_001);
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, OutcomeKind::RetryScheduled { at_ms: 1_000, .. })),
+        "deadline 1001: the 1000 ms retry fits strictly inside: {:?}",
+        report.events
+    );
+    assert_eq!(report.results[0].attempts, 2, "the scheduled retry ran");
+}

@@ -1,0 +1,278 @@
+//! Crash-recovery chaos harness for the broker's write-ahead journal.
+//!
+//! One contended run is journaled end to end (compaction off, so the
+//! byte stream holds the full history), then the journal is truncated at
+//! dozens of seeded crash points — whole-record boundaries, fault-edge
+//! record boundaries and their ±1-byte torn-write neighbours, and random
+//! mid-record cuts — and recovered from scratch each time. Every
+//! recovery must satisfy the three acceptance gates:
+//!
+//! 1. **Byte-identical suffix**: the resumed run's outcome log equals
+//!    the uninterrupted run's log from
+//!    [`suffix_starts_at_event`](news_on_demand::broker::RecoveryReport)
+//!    onward, and the whole-run results match exactly.
+//! 2. **Zero leaked reservations**: the recovered run drains to the
+//!    pristine capacity snapshot ([`BrokerReport::leaked_streams`] = 0).
+//! 3. **Exactly-once settlement**: across the combined pre-crash +
+//!    post-recovery log, every session confirms at most once, departs at
+//!    most once, and reaches exactly one terminal fate.
+
+use news_on_demand::broker::{
+    BrokerReport, Journal, JournalConfig, JournalError, OutcomeEvent, OutcomeKind, RecoveryReport,
+};
+use news_on_demand::simcore::StreamRng;
+use news_on_demand::workload::{
+    recover_contended, run_contended_journaled, run_contended_with, ContendedConfig,
+};
+
+/// A contended, faulted run with a real user choice period, so the
+/// journal carries retries, pending confirmations, departures and fault
+/// edges — every record kind recovery has to rebuild.
+fn chaos_config() -> ContendedConfig {
+    ContendedConfig {
+        seed: 7,
+        sessions: 48,
+        servers: 1,
+        arrivals_per_minute: 240.0,
+        hold_ms: 8_000,
+        choice_period_ms: 300,
+        fault_windows: 4,
+        ..ContendedConfig::default()
+    }
+}
+
+/// Chaos-side journal policy: frequent snapshots so cuts land on both
+/// sides of several snapshot horizons, compaction off so the byte stream
+/// keeps the full history for truncation.
+fn chaos_journal_cfg() -> JournalConfig {
+    JournalConfig {
+        snapshot_every_events: 64,
+        compact: false,
+        crash_after_events: None,
+    }
+}
+
+/// Run the chaos config journaled, returning the uninterrupted report
+/// and the complete journal byte stream.
+fn full_run() -> (BrokerReport, Vec<u8>) {
+    let journal = Journal::in_memory(chaos_journal_cfg());
+    let (_, report) = run_contended_journaled(&chaos_config(), None, &journal);
+    let bytes = journal.bytes();
+    (report, bytes)
+}
+
+fn recover_from(bytes: Vec<u8>) -> Result<RecoveryReport, JournalError> {
+    let journal = Journal::from_bytes(bytes, chaos_journal_cfg());
+    recover_contended(&chaos_config(), None, &journal)
+}
+
+/// Gate 3: exactly-once settlement over one combined outcome log.
+fn assert_exactly_once(sessions: usize, combined: &[&OutcomeEvent]) {
+    let mut confirmed = vec![0u32; sessions];
+    let mut departed = vec![0u32; sessions];
+    let mut terminal = vec![0u32; sessions];
+    for ev in combined {
+        match ev.kind {
+            OutcomeKind::Confirmed => confirmed[ev.session] += 1,
+            OutcomeKind::Departed => departed[ev.session] += 1,
+            OutcomeKind::Admitted { .. }
+            | OutcomeKind::Starved { .. }
+            | OutcomeKind::Rejected { .. }
+            | OutcomeKind::Errored { .. } => terminal[ev.session] += 1,
+            OutcomeKind::RetryScheduled { .. } | OutcomeKind::FaultEdge => {}
+        }
+    }
+    for s in 0..sessions {
+        assert!(confirmed[s] <= 1, "session {s} confirmed {}×", confirmed[s]);
+        assert!(departed[s] <= 1, "session {s} departed {}×", departed[s]);
+        assert_eq!(
+            terminal[s], 1,
+            "session {s} reached {} terminal events",
+            terminal[s]
+        );
+    }
+}
+
+/// Gates 1–3 for one crash point.
+fn assert_recovery(full: &BrokerReport, rec: &RecoveryReport, cut: usize) {
+    let at = rec.suffix_starts_at_event as usize;
+    assert!(
+        at <= full.events.len(),
+        "cut {cut}: suffix start {at} past the full log ({})",
+        full.events.len()
+    );
+    assert_eq!(
+        rec.report.events,
+        &full.events[at..],
+        "cut {cut}: resumed outcome log is not the byte-identical suffix"
+    );
+    assert_eq!(
+        rec.replayed_events as usize + rec.report.events.len(),
+        full.events.len() - at + rec.replayed_events as usize,
+        "cut {cut}: replay/suffix accounting is inconsistent"
+    );
+    assert_eq!(
+        rec.report.results, full.results,
+        "cut {cut}: whole-run results diverged"
+    );
+    assert_eq!(
+        rec.report.leaked_streams, 0,
+        "cut {cut}: recovered run leaked reservations"
+    );
+    let combined: Vec<&OutcomeEvent> = full.events[..at]
+        .iter()
+        .chain(rec.report.events.iter())
+        .collect();
+    assert_exactly_once(full.results.len(), &combined);
+}
+
+#[test]
+fn journaling_does_not_perturb_the_run() {
+    let config = chaos_config();
+    let (plain_result, plain) = run_contended_with(&config, None);
+    let journal = Journal::in_memory(chaos_journal_cfg());
+    let (journaled_result, journaled) = run_contended_journaled(&config, None, &journal);
+    assert_eq!(
+        plain.events, journaled.events,
+        "journaling perturbed the run"
+    );
+    assert_eq!(plain.results, journaled.results);
+    assert_eq!(plain_result, journaled_result);
+    let stats = journal.stats();
+    assert_eq!(stats.events_appended as usize, plain.events.len());
+    assert!(
+        stats.snapshots >= 1,
+        "run of {} events cut no snapshot at cadence 64",
+        plain.events.len()
+    );
+    assert_eq!(stats.compactions, 0, "compaction was off");
+}
+
+#[test]
+fn chaos_cuts_recover_to_byte_identical_suffixes() {
+    let (full, bytes) = full_run();
+    let journal = Journal::from_bytes(bytes.clone(), chaos_journal_cfg());
+    let ends = journal.event_record_ends();
+    assert_eq!(
+        ends.len(),
+        full.events.len(),
+        "one journal record per outcome event"
+    );
+    assert!(
+        full.events
+            .iter()
+            .any(|e| matches!(e.kind, OutcomeKind::FaultEdge)),
+        "chaos run must cross fault windows"
+    );
+
+    let mut cuts: Vec<usize> = Vec::new();
+    // Every fault-window edge record: the clean boundary plus both
+    // torn-write neighbours (one byte short of the edge record's CRC,
+    // one byte into the following frame).
+    for (k, ev) in full.events.iter().enumerate() {
+        if matches!(ev.kind, OutcomeKind::FaultEdge) {
+            cuts.push(ends[k]);
+            cuts.push(ends[k] - 1);
+            if ends[k] + 1 < bytes.len() {
+                cuts.push(ends[k] + 1);
+            }
+        }
+    }
+    // A clean cut at every 4th whole-record boundary.
+    for k in (0..ends.len()).step_by(4) {
+        cuts.push(ends[k]);
+    }
+    // Seeded mid-record torn writes anywhere past the first record.
+    let mut rng = StreamRng::new(0xC0FFEE);
+    let lo = ends[0];
+    while cuts.len() < 96 {
+        cuts.push(lo + rng.below((bytes.len() - lo - 1) as u64) as usize);
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    assert!(cuts.len() >= 64, "only {} crash points", cuts.len());
+
+    for &cut in &cuts {
+        let rec = recover_from(bytes[..cut].to_vec())
+            .unwrap_or_else(|e| panic!("recovery from cut {cut} failed: {e}"));
+        assert_recovery(&full, &rec, cut);
+    }
+}
+
+#[test]
+fn recovery_from_a_complete_journal_replays_the_whole_tail() {
+    let (full, bytes) = full_run();
+    let rec = recover_from(bytes).expect("complete journal must recover");
+    assert_recovery(&full, &rec, usize::MAX);
+    // The run had already finished: the entire tail is replay, and the
+    // resumed engine generates nothing new.
+    assert!(rec.report.events.is_empty(), "a finished run resumed work");
+    assert!(
+        rec.replayed_events > 0,
+        "a complete journal replays its tail"
+    );
+}
+
+#[test]
+fn recovery_from_a_header_only_journal_replays_from_scratch() {
+    let (full, bytes) = full_run();
+    let journal = Journal::from_bytes(bytes.clone(), chaos_journal_cfg());
+    let first_event_end = journal.event_record_ends()[0];
+    // A cut inside the very first event record leaves only the header.
+    let rec = recover_from(bytes[..first_event_end - 1].to_vec())
+        .expect("header-only journal must recover");
+    assert_eq!(rec.resumed_at_ms, None, "no snapshot to resume from");
+    assert_eq!(rec.replayed_events, 0);
+    assert_eq!(rec.suffix_starts_at_event, 0);
+    assert_eq!(rec.report.events, full.events, "from-scratch run diverged");
+    assert_eq!(rec.report.results, full.results);
+    assert!(rec.torn_bytes > 0, "the partial record was torn");
+}
+
+#[test]
+fn sub_header_cuts_and_wrong_configs_are_refused() {
+    let (_, bytes) = full_run();
+    // Mid-header torn write: nothing valid survives truncation.
+    assert!(matches!(
+        recover_from(bytes[..10].to_vec()),
+        Err(JournalError::NoHeader)
+    ));
+    assert!(matches!(
+        recover_from(Vec::new()),
+        Err(JournalError::NoHeader)
+    ));
+    // A journal from a different world (other seed) must be refused
+    // before any state is touched.
+    let other = ContendedConfig {
+        seed: 8,
+        ..chaos_config()
+    };
+    let other_journal = Journal::in_memory(chaos_journal_cfg());
+    run_contended_journaled(&other, None, &other_journal);
+    let journal = Journal::from_bytes(other_journal.bytes(), chaos_journal_cfg());
+    assert!(matches!(
+        recover_contended(&chaos_config(), None, &journal),
+        Err(JournalError::SpecMismatch { .. })
+    ));
+}
+
+#[test]
+fn compacted_journals_stay_bounded_and_recoverable() {
+    let config = chaos_config();
+    let compacting = JournalConfig {
+        snapshot_every_events: 64,
+        compact: true,
+        crash_after_events: None,
+    };
+    let journal = Journal::in_memory(compacting);
+    let (_, full) = run_contended_journaled(&config, None, &journal);
+    let stats = journal.stats();
+    assert!(stats.compactions >= 1, "cadence 64 must compact this run");
+
+    // The compacted journal holds only the newest snapshot plus its
+    // tail, yet still recovers to the byte-identical suffix.
+    let rec_journal = Journal::from_bytes(journal.bytes(), compacting);
+    let rec = recover_contended(&config, None, &rec_journal).expect("compacted journal recovers");
+    assert_recovery(&full, &rec, usize::MAX);
+    assert!(rec.resumed_at_ms.is_some(), "compaction implies a snapshot");
+}
